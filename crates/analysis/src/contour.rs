@@ -1,0 +1,135 @@
+//! Method and object contours (paper §3.2.1).
+
+use crate::types::{AbstractVal, ValKey};
+use oi_ir::{ClassId, MethodId, SiteId};
+use oi_support::{define_idx, Symbol};
+use std::collections::HashMap;
+
+define_idx!(
+    /// Identifies a method contour.
+    pub struct MCtxId, "mctx"
+);
+define_idx!(
+    /// Identifies an object contour.
+    pub struct OCtxId, "octx"
+);
+
+/// The context key of a method contour: the canonicalized abstractions of
+/// `self` and each argument at the calls it covers. The widened contour of a
+/// method has an empty key and covers every remaining call.
+pub type CtxKey = Vec<ValKey>;
+
+/// A method contour: one execution context of a method.
+///
+/// Contours "can discriminate arbitrary dataflow properties of its caller
+/// and creator" — here, concrete types and field tags of the inputs.
+#[derive(Clone, Debug)]
+pub struct MContour {
+    /// The method this is a context of.
+    pub method: MethodId,
+    /// Canonical argument abstraction (empty when widened).
+    pub key: CtxKey,
+    /// Per-temp abstract values (the analysis frame).
+    pub frame: Vec<AbstractVal>,
+    /// Join of all returned values.
+    pub ret: AbstractVal,
+    /// Whether this is the widened catch-all contour for the method.
+    pub widened: bool,
+}
+
+impl MContour {
+    /// Creates an empty contour for `method` with `temp_count` frame slots.
+    pub fn new(method: MethodId, key: CtxKey, temp_count: usize, widened: bool) -> Self {
+        Self {
+            method,
+            key,
+            frame: vec![AbstractVal::bottom(); temp_count],
+            ret: AbstractVal::bottom(),
+            widened,
+        }
+    }
+}
+
+/// An object contour: objects allocated at `site` by `creator` (creator
+/// sensitivity; `None` when widened to per-site only).
+#[derive(Clone, Debug)]
+pub struct OContour {
+    /// Allocation site.
+    pub site: SiteId,
+    /// Instance class (`None` for arrays).
+    pub class: Option<ClassId>,
+    /// Creating method contour, if tracked.
+    pub creator: Option<MCtxId>,
+    /// Per-field value summaries.
+    pub fields: HashMap<Symbol, AbstractVal>,
+    /// Array element summary (arrays only).
+    pub elem: AbstractVal,
+    /// Join of array length values (arrays only; used for reporting).
+    pub len_known: bool,
+}
+
+impl OContour {
+    /// Creates an empty instance contour.
+    pub fn instance(site: SiteId, class: ClassId, creator: Option<MCtxId>) -> Self {
+        Self {
+            site,
+            class: Some(class),
+            creator,
+            fields: HashMap::new(),
+            elem: AbstractVal::bottom(),
+            len_known: false,
+        }
+    }
+
+    /// Creates an empty array contour.
+    pub fn array(site: SiteId, creator: Option<MCtxId>) -> Self {
+        Self { site, class: None, creator, fields: HashMap::new(), elem: AbstractVal::bottom(), len_known: false }
+    }
+
+    /// Returns `true` for array contours.
+    pub fn is_array(&self) -> bool {
+        self.class.is_none()
+    }
+
+    /// The field summary, creating it on demand.
+    pub fn field_mut(&mut self, field: Symbol) -> &mut AbstractVal {
+        self.fields.entry(field).or_default()
+    }
+
+    /// The field summary, if any value was ever stored.
+    pub fn field(&self, field: Symbol) -> Option<&AbstractVal> {
+        self.fields.get(&field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeElem;
+
+    #[test]
+    fn fresh_contour_is_bottom() {
+        let c = MContour::new(MethodId::new(0), vec![], 4, false);
+        assert_eq!(c.frame.len(), 4);
+        assert!(c.frame.iter().all(AbstractVal::is_bottom));
+        assert!(c.ret.is_bottom());
+    }
+
+    #[test]
+    fn field_summaries_grow_on_demand() {
+        let mut i = oi_support::Interner::new();
+        let f = i.intern("x");
+        let mut o = OContour::instance(SiteId::new(0), ClassId::new(1), None);
+        assert!(o.field(f).is_none());
+        o.field_mut(f).join(&AbstractVal::fresh(TypeElem::Int));
+        assert!(o.field(f).is_some());
+        assert!(!o.is_array());
+    }
+
+    #[test]
+    fn array_contours_have_no_class() {
+        let o = OContour::array(SiteId::new(3), Some(MCtxId::new(0)));
+        assert!(o.is_array());
+        assert_eq!(o.creator, Some(MCtxId::new(0)));
+    }
+}

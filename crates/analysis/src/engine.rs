@@ -1,0 +1,756 @@
+//! The whole-program abstract interpretation engine.
+
+use crate::contour::{CtxKey, MContour, MCtxId, OContour, OCtxId};
+use crate::result::AnalysisResult;
+use crate::types::{AbstractVal, PathSeg, Tag, TagTable, TypeElem};
+use oi_ir::{BinOp, Builtin, ConstValue, Instr, LayoutId, MethodId, Program, SiteId, Terminator};
+use oi_support::{IdxVec, Symbol};
+use std::collections::{BTreeSet, HashMap};
+
+/// Knobs controlling analysis sensitivity.
+///
+/// `track_tags` toggles the object-inlining tag analysis of §4.1; Figure 16
+/// compares contour counts with it on and off.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisConfig {
+    /// Track field tags (required for object inlining).
+    pub track_tags: bool,
+    /// Maximum method contours per method before widening.
+    pub max_contours_per_method: usize,
+    /// Maximum object contours per allocation site before widening.
+    pub max_ocontours_per_site: usize,
+    /// Maximum tag-path length (`MakeTag` nesting).
+    pub max_tag_path: usize,
+    /// Maximum tags per abstract value before `tag_top`.
+    pub max_tags_per_value: usize,
+    /// Safety bound on fixpoint rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            track_tags: true,
+            max_contours_per_method: 24,
+            max_ocontours_per_site: 12,
+            max_tag_path: 3,
+            max_tags_per_value: 8,
+            max_rounds: 1_000,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The baseline configuration: Concert-style type inference without the
+    /// object-inlining tag sensitivity.
+    pub fn without_tags() -> Self {
+        Self { track_tags: false, ..Self::default() }
+    }
+}
+
+/// Runs the analysis to a fixpoint.
+///
+/// # Panics
+///
+/// Panics if the fixpoint fails to converge within `config.max_rounds`
+/// rounds (which would indicate a non-monotone transfer function bug, not a
+/// property of the input program).
+pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisResult {
+    let mut engine = Engine::new(program, config);
+    engine.run();
+    engine.into_result()
+}
+
+struct Engine<'p> {
+    program: &'p Program,
+    config: &'p AnalysisConfig,
+    tags: TagTable,
+    mcontours: IdxVec<MCtxId, MContour>,
+    mctx_memo: HashMap<(MethodId, CtxKey), MCtxId>,
+    mctx_count: HashMap<MethodId, usize>,
+    widened_mctx: HashMap<MethodId, MCtxId>,
+    ocontours: IdxVec<OCtxId, OContour>,
+    octx_memo: HashMap<(SiteId, Option<MCtxId>), OCtxId>,
+    octx_count: HashMap<SiteId, usize>,
+    widened_octx: HashMap<SiteId, OCtxId>,
+    /// Synthetic contours for interior references formed by `MakeInterior*`
+    /// in already-transformed programs (iterative inlining).
+    interior_octx: HashMap<LayoutId, OCtxId>,
+    globals: Vec<AbstractVal>,
+    changed: bool,
+    init_sym: Option<Symbol>,
+}
+
+impl<'p> Engine<'p> {
+    fn new(program: &'p Program, config: &'p AnalysisConfig) -> Self {
+        Self {
+            program,
+            config,
+            tags: TagTable::new(),
+            mcontours: IdxVec::new(),
+            mctx_memo: HashMap::new(),
+            mctx_count: HashMap::new(),
+            widened_mctx: HashMap::new(),
+            ocontours: IdxVec::new(),
+            octx_memo: HashMap::new(),
+            octx_count: HashMap::new(),
+            widened_octx: HashMap::new(),
+            interior_octx: HashMap::new(),
+            globals: vec![AbstractVal::bottom(); program.globals.len()],
+            changed: false,
+            init_sym: program.interner.get("init"),
+        }
+    }
+
+    fn run(&mut self) {
+        // Seed the entry contour; `self` of a free function is nil.
+        let entry = self.mcontour_for(
+            self.program.entry,
+            vec![AbstractVal::fresh(TypeElem::Nil)],
+        );
+        debug_assert_eq!(entry.index(), 0);
+
+        for round in 0.. {
+            assert!(
+                round < self.config.max_rounds,
+                "analysis failed to converge in {} rounds",
+                self.config.max_rounds
+            );
+            self.changed = false;
+            let mut i = 0;
+            // The contour list can grow while we iterate; newly created
+            // contours are picked up in the same round.
+            while i < self.mcontours.len() {
+                self.transfer(MCtxId::new(i));
+                i += 1;
+            }
+            if !self.changed {
+                break;
+            }
+        }
+    }
+
+    fn into_result(mut self) -> AnalysisResult {
+        // Record the contour-level call graph with the final state.
+        let mut call_edges: HashMap<(MCtxId, oi_ir::BlockId, usize), Vec<MCtxId>> = HashMap::new();
+        for mctx in self.mcontours.ids().collect::<Vec<_>>() {
+            let method = self.mcontours[mctx].method;
+            let body = &self.program.methods[method];
+            for (bb, idx, instr) in body.instrs() {
+                let targets = self.callee_contours(mctx, instr);
+                if !targets.is_empty() {
+                    call_edges.insert((mctx, bb, idx), targets);
+                }
+            }
+        }
+        let mut contours_of_method: HashMap<MethodId, Vec<MCtxId>> = HashMap::new();
+        for (id, c) in self.mcontours.iter_enumerated() {
+            contours_of_method.entry(c.method).or_default().push(id);
+        }
+        AnalysisResult {
+            track_tags: self.config.track_tags,
+            tags: self.tags,
+            mcontours: self.mcontours,
+            ocontours: self.ocontours,
+            contours_of_method,
+            call_edges,
+            globals: self.globals,
+        }
+    }
+
+    /// Callee contours of a call-shaped instruction, using the memo tables
+    /// (no new contours are created; at fixpoint they all exist).
+    fn callee_contours(&mut self, mctx: MCtxId, instr: &Instr) -> Vec<MCtxId> {
+        match instr {
+            Instr::Send { recv, selector, args, .. } => {
+                let recv_val = self.mcontours[mctx].frame[recv.index()].clone();
+                let mut out = BTreeSet::new();
+                for oc in recv_val.object_contours().collect::<Vec<_>>() {
+                    let Some(class) = self.ocontours[oc].class else { continue };
+                    let Some(target) = self.program.lookup_method(class, *selector) else {
+                        continue;
+                    };
+                    let argv = self.call_key(mctx, Some(oc), &recv_val, args);
+                    if let Some(id) = self.lookup_mcontour(target, &argv) {
+                        out.insert(id);
+                    }
+                }
+                out.into_iter().collect()
+            }
+            Instr::CallStatic { method, recv, args, .. } => {
+                let recv_val = self.mcontours[mctx].frame[recv.index()].clone();
+                let argv = self.call_key(mctx, None, &recv_val, args);
+                self.lookup_mcontour(*method, &argv).into_iter().collect()
+            }
+            Instr::New { class, args, site, .. } => {
+                let Some(init) =
+                    self.init_sym.and_then(|s| self.program.lookup_method(*class, s))
+                else {
+                    return vec![];
+                };
+                if self.program.methods[init].param_count as usize != args.len() {
+                    return vec![]; // raw allocation form
+                }
+                let Some(&oc) = self
+                    .octx_memo
+                    .get(&(*site, Some(mctx)))
+                    .or_else(|| self.widened_octx.get(site))
+                else {
+                    return vec![];
+                };
+                let self_val = AbstractVal::fresh(TypeElem::Obj(oc));
+                let argv = self.call_key(mctx, None, &self_val, args);
+                self.lookup_mcontour(init, &argv).into_iter().collect()
+            }
+            _ => vec![],
+        }
+    }
+
+    fn lookup_mcontour(&self, method: MethodId, argv: &[AbstractVal]) -> Option<MCtxId> {
+        let key: CtxKey = argv.iter().map(AbstractVal::key).collect();
+        self.mctx_memo
+            .get(&(method, key))
+            .copied()
+            .or_else(|| self.widened_mctx.get(&method).copied())
+    }
+
+    /// Assembles the (self, args) abstract vector for a call. When `recv_oc`
+    /// is given, the receiver's types are restricted to that contour (each
+    /// receiver contour gets its own callee contour — the framework's
+    /// receiver splitting).
+    fn call_key(
+        &self,
+        mctx: MCtxId,
+        recv_oc: Option<OCtxId>,
+        recv_val: &AbstractVal,
+        args: &[oi_ir::Temp],
+    ) -> Vec<AbstractVal> {
+        let frame = &self.mcontours[mctx].frame;
+        let self_val = match recv_oc {
+            Some(oc) => AbstractVal {
+                types: std::iter::once(TypeElem::Obj(oc)).collect(),
+                tags: recv_val.tags.clone(),
+                untagged: recv_val.untagged,
+                tag_top: recv_val.tag_top,
+            },
+            None => recv_val.clone(),
+        };
+        let mut out = vec![self_val];
+        out.extend(args.iter().map(|a| frame[a.index()].clone()));
+        out
+    }
+
+    /// Finds or creates the contour of `method` for the given (self, args)
+    /// abstraction, joining the abstraction into its frame.
+    fn mcontour_for(&mut self, method: MethodId, argv: Vec<AbstractVal>) -> MCtxId {
+        let key: CtxKey = argv.iter().map(AbstractVal::key).collect();
+        let id = if let Some(&id) = self.mctx_memo.get(&(method, key.clone())) {
+            id
+        } else if let Some(&w) = self.widened_mctx.get(&method) {
+            w
+        } else {
+            let count = self.mctx_count.entry(method).or_insert(0);
+            let temp_count = self.program.methods[method].temp_count as usize;
+            if *count < self.config.max_contours_per_method {
+                *count += 1;
+                let id = self
+                    .mcontours
+                    .push(MContour::new(method, key.clone(), temp_count, false));
+                self.mctx_memo.insert((method, key), id);
+                self.changed = true;
+                id
+            } else {
+                // Widen: one catch-all contour absorbs everything else.
+                let id = self.mcontours.push(MContour::new(method, vec![], temp_count, true));
+                self.widened_mctx.insert(method, id);
+                self.changed = true;
+                id
+            }
+        };
+        // Bind the abstraction into the callee frame (idempotent on re-calls
+        // with the same key, monotone for the widened contour).
+        for (i, v) in argv.iter().enumerate() {
+            if i < self.mcontours[id].frame.len() {
+                let changed = self.mcontours[id].frame[i].join(v);
+                self.changed |= changed;
+            }
+        }
+        id
+    }
+
+    /// Finds or creates the object contour for an allocation.
+    fn ocontour_for(
+        &mut self,
+        site: SiteId,
+        class: Option<oi_ir::ClassId>,
+        creator: MCtxId,
+    ) -> OCtxId {
+        if let Some(&id) = self.octx_memo.get(&(site, Some(creator))) {
+            return id;
+        }
+        if let Some(&w) = self.widened_octx.get(&site) {
+            return w;
+        }
+        let count = self.octx_count.entry(site).or_insert(0);
+        if *count < self.config.max_ocontours_per_site {
+            *count += 1;
+            let contour = match class {
+                Some(c) => OContour::instance(site, c, Some(creator)),
+                None => OContour::array(site, Some(creator)),
+            };
+            let id = self.ocontours.push(contour);
+            self.octx_memo.insert((site, Some(creator)), id);
+            self.changed = true;
+            id
+        } else {
+            let contour = match class {
+                Some(c) => OContour::instance(site, c, None),
+                None => OContour::array(site, None),
+            };
+            let id = self.ocontours.push(contour);
+            self.widened_octx.insert(site, id);
+            self.changed = true;
+            id
+        }
+    }
+
+    /// Synthetic object contour standing for interior references of a
+    /// layout (needed when re-analyzing an already-transformed program).
+    fn interior_contour(&mut self, layout: LayoutId) -> OCtxId {
+        if let Some(&id) = self.interior_octx.get(&layout) {
+            return id;
+        }
+        let child = self.program.layouts[layout].child_class;
+        // Synthetic site: interior children were never allocated.
+        let id = self
+            .ocontours
+            .push(OContour::instance(SiteId::new(u32::MAX as usize), child, None));
+        self.interior_octx.insert(layout, id);
+        self.changed = true;
+        id
+    }
+
+    // -- transfer -------------------------------------------------------------
+
+    fn transfer(&mut self, mctx: MCtxId) {
+        let method = self.mcontours[mctx].method;
+        let body = &self.program.methods[method];
+        for (bb, block) in body.blocks.iter_enumerated() {
+            let _ = bb;
+            for instr in &block.instrs {
+                self.exec(mctx, instr);
+            }
+            if let Terminator::Return(t) = block.term {
+                let v = self.mcontours[mctx].frame[t.index()].clone();
+                let changed = self.mcontours[mctx].ret.join(&v);
+                self.changed |= changed;
+            }
+        }
+    }
+
+    fn frame_val(&self, mctx: MCtxId, t: oi_ir::Temp) -> AbstractVal {
+        self.mcontours[mctx].frame[t.index()].clone()
+    }
+
+    fn join_temp(&mut self, mctx: MCtxId, t: oi_ir::Temp, v: &AbstractVal) {
+        let changed = self.mcontours[mctx].frame[t.index()].join(v);
+        self.changed |= changed;
+    }
+
+    fn join_temp_fresh(&mut self, mctx: MCtxId, t: oi_ir::Temp, ty: TypeElem) {
+        let changed = self.mcontours[mctx].frame[t.index()].join_fresh(ty);
+        self.changed |= changed;
+    }
+
+    fn exec(&mut self, mctx: MCtxId, instr: &Instr) {
+        match instr {
+            Instr::Const { dst, value } => {
+                let ty = match value {
+                    ConstValue::Int(_) => TypeElem::Int,
+                    ConstValue::Float(_) => TypeElem::Float,
+                    ConstValue::Bool(_) => TypeElem::Bool,
+                    ConstValue::Nil => TypeElem::Nil,
+                    ConstValue::Str(_) => TypeElem::Str,
+                };
+                self.join_temp_fresh(mctx, *dst, ty);
+            }
+            Instr::Move { dst, src } => {
+                let v = self.frame_val(mctx, *src);
+                self.join_temp(mctx, *dst, &v);
+            }
+            Instr::Unary { dst, op, src } => {
+                let v = self.frame_val(mctx, *src);
+                match op {
+                    oi_ir::UnOp::Not => self.join_temp_fresh(mctx, *dst, TypeElem::Bool),
+                    oi_ir::UnOp::Neg => {
+                        if v.types.contains(&TypeElem::Int) {
+                            self.join_temp_fresh(mctx, *dst, TypeElem::Int);
+                        }
+                        if v.types.contains(&TypeElem::Float) {
+                            self.join_temp_fresh(mctx, *dst, TypeElem::Float);
+                        }
+                        if v.types.is_empty() {
+                            // Nothing known yet; stay bottom.
+                        }
+                    }
+                }
+            }
+            Instr::Binary { dst, op, lhs, rhs } => {
+                if op.is_comparison() {
+                    self.join_temp_fresh(mctx, *dst, TypeElem::Bool);
+                } else {
+                    let l = self.frame_val(mctx, *lhs);
+                    let r = self.frame_val(mctx, *rhs);
+                    let has_float =
+                        l.types.contains(&TypeElem::Float) || r.types.contains(&TypeElem::Float);
+                    let has_int =
+                        l.types.contains(&TypeElem::Int) && r.types.contains(&TypeElem::Int);
+                    if has_float {
+                        self.join_temp_fresh(mctx, *dst, TypeElem::Float);
+                    }
+                    if has_int {
+                        self.join_temp_fresh(mctx, *dst, TypeElem::Int);
+                    }
+                    if *op == BinOp::Rem || *op == BinOp::Div {
+                        // Same typing as other arithmetic; nothing extra.
+                    }
+                }
+            }
+            Instr::New { dst, class, args, site } => {
+                let oc = self.ocontour_for(*site, Some(*class), mctx);
+                self.join_temp_fresh(mctx, *dst, TypeElem::Obj(oc));
+                if let Some(init) = self.init_sym.and_then(|s| self.program.lookup_method(*class, s))
+                {
+                    // The raw-allocation form (empty args, constructor
+                    // invoked explicitly) has no implicit init call.
+                    if self.program.methods[init].param_count as usize == args.len() {
+                        let self_val = AbstractVal::fresh(TypeElem::Obj(oc));
+                        let argv = self.call_key(mctx, None, &self_val, args);
+                        self.mcontour_for(init, argv);
+                    }
+                }
+            }
+            Instr::NewArray { dst, site, .. } => {
+                let oc = self.ocontour_for(*site, None, mctx);
+                self.join_temp_fresh(mctx, *dst, TypeElem::Arr(oc));
+            }
+            Instr::NewArrayInline { dst, site, .. } => {
+                let oc = self.ocontour_for(*site, None, mctx);
+                self.join_temp_fresh(mctx, *dst, TypeElem::Arr(oc));
+            }
+            Instr::GetField { dst, obj, field } => {
+                let objv = self.frame_val(mctx, *obj);
+                let mut result = AbstractVal::bottom();
+                for oc in objv.object_contours() {
+                    if let Some(sum) = self.ocontours[oc].field(*field) {
+                        // The loaded value's *types* come from the summary;
+                        // its provenance is the field itself.
+                        for &t in &sum.types {
+                            result.types.insert(t);
+                        }
+                    }
+                    if self.config.track_tags {
+                        let tag =
+                            self.tags.intern(Tag { origin: oc, path: vec![PathSeg::Field(*field)] });
+                        result.tags.insert(tag);
+                    }
+                }
+                if self.config.track_tags {
+                    // MakeTag transitivity: loads through tagged bases get
+                    // extended tags (bounded by max_tag_path).
+                    for &t in &objv.tags {
+                        let tag = self.tags.resolve(t).clone();
+                        if tag.path.len() < self.config.max_tag_path {
+                            let ext = self.tags.intern(tag.extend(PathSeg::Field(*field)));
+                            result.tags.insert(ext);
+                        } else {
+                            result.tag_top = true;
+                        }
+                    }
+                    if objv.tag_top {
+                        result.tag_top = true;
+                    }
+                    if result.tags.len() > self.config.max_tags_per_value {
+                        result.tags.clear();
+                        result.tag_top = true;
+                    }
+                }
+                self.join_temp(mctx, *dst, &result);
+            }
+            Instr::SetField { obj, field, src } => {
+                let objv = self.frame_val(mctx, *obj);
+                let srcv = self.frame_val(mctx, *src);
+                for oc in objv.object_contours().collect::<Vec<_>>() {
+                    let changed = self.ocontours[oc].field_mut(*field).join(&srcv);
+                    self.changed |= changed;
+                }
+            }
+            Instr::ArrayGet { dst, arr, .. } => {
+                let arrv = self.frame_val(mctx, *arr);
+                let mut result = AbstractVal::bottom();
+                for oc in arrv.array_contours() {
+                    for &t in &self.ocontours[oc].elem.types {
+                        result.types.insert(t);
+                    }
+                    if self.config.track_tags {
+                        let tag = self.tags.intern(Tag { origin: oc, path: vec![PathSeg::Elem] });
+                        result.tags.insert(tag);
+                    }
+                }
+                if self.config.track_tags {
+                    for &t in &arrv.tags {
+                        let tag = self.tags.resolve(t).clone();
+                        if tag.path.len() < self.config.max_tag_path {
+                            let ext = self.tags.intern(tag.extend(PathSeg::Elem));
+                            result.tags.insert(ext);
+                        } else {
+                            result.tag_top = true;
+                        }
+                    }
+                    if arrv.tag_top {
+                        result.tag_top = true;
+                    }
+                    if result.tags.len() > self.config.max_tags_per_value {
+                        result.tags.clear();
+                        result.tag_top = true;
+                    }
+                }
+                self.join_temp(mctx, *dst, &result);
+            }
+            Instr::ArraySet { arr, src, .. } => {
+                let arrv = self.frame_val(mctx, *arr);
+                let srcv = self.frame_val(mctx, *src);
+                for oc in arrv.array_contours().collect::<Vec<_>>() {
+                    let changed = self.ocontours[oc].elem.join(&srcv);
+                    self.changed |= changed;
+                }
+            }
+            Instr::GetGlobal { dst, global } => {
+                // Values loaded from globals are NoField (globals are not
+                // object fields) — this deliberately makes global-roundtrips
+                // ambiguous at uses, which is what rejects the Silo event
+                // list (§6.1).
+                let mut v = self.globals[global.index()].clone();
+                v.tags.clear();
+                v.tag_top = false;
+                v.untagged = true;
+                self.join_temp(mctx, *dst, &v);
+            }
+            Instr::SetGlobal { global, src } => {
+                let srcv = self.frame_val(mctx, *src);
+                let changed = self.globals[global.index()].join(&srcv);
+                self.changed |= changed;
+            }
+            Instr::Send { dst, recv, selector, args } => {
+                let recv_val = self.frame_val(mctx, *recv);
+                for oc in recv_val.object_contours().collect::<Vec<_>>() {
+                    let Some(class) = self.ocontours[oc].class else { continue };
+                    let Some(target) = self.program.lookup_method(class, *selector) else {
+                        continue;
+                    };
+                    if self.program.methods[target].param_count as usize != args.len() {
+                        continue; // would trap at runtime
+                    }
+                    let argv = self.call_key(mctx, Some(oc), &recv_val, args);
+                    let callee = self.mcontour_for(target, argv);
+                    let ret = self.mcontours[callee].ret.clone();
+                    self.join_temp(mctx, *dst, &ret);
+                }
+            }
+            Instr::CallStatic { dst, method, recv, args } => {
+                let recv_val = self.frame_val(mctx, *recv);
+                let argv = self.call_key(mctx, None, &recv_val, args);
+                let callee = self.mcontour_for(*method, argv);
+                let ret = self.mcontours[callee].ret.clone();
+                self.join_temp(mctx, *dst, &ret);
+            }
+            Instr::CallBuiltin { dst, builtin, .. } => {
+                let ty = match builtin {
+                    Builtin::Sqrt | Builtin::ToFloat => TypeElem::Float,
+                    Builtin::Len | Builtin::ToInt => TypeElem::Int,
+                };
+                self.join_temp_fresh(mctx, *dst, ty);
+            }
+            Instr::MakeInterior { dst, layout, .. } => {
+                let oc = self.interior_contour(*layout);
+                self.join_temp_fresh(mctx, *dst, TypeElem::Obj(oc));
+            }
+            Instr::MakeInteriorElem { dst, layout, .. } => {
+                let oc = self.interior_contour(*layout);
+                self.join_temp_fresh(mctx, *dst, TypeElem::Obj(oc));
+            }
+            Instr::Print { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_ir::lower::compile;
+
+    fn analyze_src(src: &str) -> (Program, AnalysisResult) {
+        let p = compile(src).unwrap();
+        let r = analyze(&p, &AnalysisConfig::default());
+        (p, r)
+    }
+
+    #[test]
+    fn infers_concrete_types_through_calls() {
+        let (p, r) = analyze_src(
+            "fn id(x) { return x; }
+             fn main() { print id(1); print id(2.0); }",
+        );
+        let id = p.method_by_name("$Main", "id").unwrap();
+        // Two argument abstractions (int vs float) → two contours.
+        assert_eq!(r.contours_of_method[&id].len(), 2);
+        for &c in &r.contours_of_method[&id] {
+            // Each contour is monomorphic in its argument.
+            let v = &r.mcontours[c].frame[1];
+            assert_eq!(v.types.len(), 1, "contour should be monomorphic: {v:?}");
+        }
+    }
+
+    #[test]
+    fn object_contours_per_site() {
+        let (p, r) = analyze_src(
+            "class P { field v; method init(a) { self.v = a; } }
+             fn main() { var a = new P(1); var b = new P(2.0); print a.v; print b.v; }",
+        );
+        let _ = p;
+        // Two allocation sites → two object contours.
+        let instance_contours =
+            r.ocontours.iter().filter(|o| !o.is_array()).count();
+        assert_eq!(instance_contours, 2);
+        // Each has a precise field type.
+        for o in r.ocontours.iter() {
+            if let Some(v) = o.fields.values().next() {
+                assert_eq!(v.types.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn field_loads_carry_tags() {
+        let (p, r) = analyze_src(
+            "class R { field ll; method init(a) { self.ll = a; } }
+             class P { field x; method init(a) { self.x = a; } }
+             fn main() { var r = new R(new P(1)); print r.ll.x; }",
+        );
+        let main = p.entry;
+        let c = r.contours_of_method[&main][0];
+        // Some temp in main carries a direct `ll` tag.
+        let ll = p.interner.get("ll").unwrap();
+        let has_ll_tag = r.mcontours[c].frame.iter().any(|v| {
+            v.tags.iter().any(|&t| {
+                matches!(r.tags.resolve(t).path.as_slice(), [PathSeg::Field(f)] if *f == ll)
+            })
+        });
+        assert!(has_ll_tag, "a value loaded from `ll` must carry its tag");
+    }
+
+    #[test]
+    fn tags_disabled_in_baseline_config() {
+        let p = compile(
+            "class R { field ll; method init(a) { self.ll = a; } }
+             class P { field x; method init(a) { self.x = a; } }
+             fn main() { var r = new R(new P(1)); print r.ll.x; }",
+        )
+        .unwrap();
+        let r = analyze(&p, &AnalysisConfig::without_tags());
+        assert!(r.tags.is_empty());
+    }
+
+    #[test]
+    fn polymorphic_container_splits_by_creator() {
+        // The paper's do_rectangle situation: one call with Point, one with
+        // Point3D. Creator sensitivity must keep the two Rectangle contours'
+        // field types distinct.
+        let (p, r) = analyze_src(
+            "class Point { field x; method init(a) { self.x = a; } }
+             class Point3D : Point { field z; method init3(a, b) { self.x = a; self.z = b; } }
+             class Rect { field ll; method init(a) { self.ll = a; } }
+             fn mk(p) { return new Rect(p); }
+             fn main() {
+               var p1 = new Point(1.0);
+               var p3 = new Point3D(2.0);
+               var r1 = mk(p1);
+               var r2 = mk(p3);
+               print r1.ll.x; print r2.ll.x;
+             }",
+        );
+        let rect = p.class_by_name("Rect").unwrap();
+        let rect_contours: Vec<_> =
+            r.ocontours.iter().filter(|o| o.class == Some(rect)).collect();
+        assert_eq!(rect_contours.len(), 2, "mk's two contours give two Rect contours");
+        let ll = p.interner.get("ll").unwrap();
+        for o in rect_contours {
+            let v = o.field(ll).unwrap();
+            assert_eq!(v.types.len(), 1, "each Rect contour has a precise ll type: {v:?}");
+        }
+    }
+
+    #[test]
+    fn global_roundtrip_strips_tags() {
+        let (p, r) = analyze_src(
+            "global G;
+             class C { field d; method init(a) { self.d = a; } }
+             fn main() { var c = new C(1); G = c.d; print G; }",
+        );
+        let main = p.entry;
+        let c = r.contours_of_method[&main][0];
+        // The temp loaded from G must be untagged.
+        let body = &p.methods[main];
+        for (_, _, instr) in body.instrs() {
+            if let Instr::GetGlobal { dst, .. } = instr {
+                let v = &r.mcontours[c].frame[dst.index()];
+                assert!(v.untagged);
+                assert!(v.tags.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let (_, r) = analyze_src(
+            "class Cons { field head; field tail;
+               method init(h, t) { self.head = h; self.tail = t; }
+             }
+             fn build(n) { if (n == 0) { return nil; } return new Cons(n, build(n - 1)); }
+             fn main() { var l = build(10); print 1; }",
+        );
+        assert!(r.mcontours.len() < 50);
+    }
+
+    #[test]
+    fn widening_caps_contours() {
+        // 30 differently-typed call patterns can't exceed the cap.
+        let mut src = String::from("fn id(x) { return x; } fn main() {\n");
+        for i in 0..30 {
+            // alternate arg types via fresh classes
+            src.push_str(&format!("print id({i});\n"));
+        }
+        src.push('}');
+        let p = compile(&src).unwrap();
+        let cfg = AnalysisConfig { max_contours_per_method: 4, ..Default::default() };
+        let r = analyze(&p, &cfg);
+        let id = p.method_by_name("$Main", "id").unwrap();
+        // All int calls share one contour anyway, but the cap must hold in
+        // general.
+        assert!(r.contours_of_method[&id].len() <= 5);
+    }
+
+    #[test]
+    fn call_edges_are_recorded() {
+        let (p, r) = analyze_src(
+            "class A { method m() { return 1; } }
+             fn main() { var a = new A(); print a.m(); }",
+        );
+        let main_contour = r.contours_of_method[&p.entry][0];
+        let has_send_edge = r
+            .call_edges
+            .iter()
+            .any(|((c, _, _), targets)| *c == main_contour && !targets.is_empty());
+        assert!(has_send_edge);
+    }
+}

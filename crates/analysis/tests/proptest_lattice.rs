@@ -1,0 +1,107 @@
+//! Property tests: the abstract-value domain is a join-semilattice and the
+//! tag machinery respects its laws (the analysis's termination and
+//! soundness rest on these).
+
+use oi_analysis::{AbstractVal, OCtxId, PathSeg, Tag, TagId, TypeElem};
+use proptest::prelude::*;
+
+fn type_elem() -> impl Strategy<Value = TypeElem> {
+    prop_oneof![
+        Just(TypeElem::Int),
+        Just(TypeElem::Float),
+        Just(TypeElem::Bool),
+        Just(TypeElem::Str),
+        Just(TypeElem::Nil),
+        (0usize..8).prop_map(|i| TypeElem::Obj(OCtxId::new(i))),
+        (0usize..8).prop_map(|i| TypeElem::Arr(OCtxId::new(i))),
+    ]
+}
+
+fn abstract_val() -> impl Strategy<Value = AbstractVal> {
+    (
+        proptest::collection::btree_set(type_elem(), 0..6),
+        proptest::collection::btree_set((0usize..16).prop_map(TagId::new), 0..5),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(types, tags, untagged, tag_top)| AbstractVal {
+            types,
+            tags,
+            untagged,
+            tag_top,
+        })
+}
+
+fn join(a: &AbstractVal, b: &AbstractVal) -> AbstractVal {
+    let mut r = a.clone();
+    r.join(b);
+    r
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in abstract_val(), b in abstract_val()) {
+        prop_assert_eq!(join(&a, &b), join(&b, &a));
+    }
+
+    #[test]
+    fn join_is_associative(a in abstract_val(), b in abstract_val(), c in abstract_val()) {
+        prop_assert_eq!(join(&join(&a, &b), &c), join(&a, &join(&b, &c)));
+    }
+
+    #[test]
+    fn join_is_idempotent_and_reports_change_correctly(a in abstract_val(), b in abstract_val()) {
+        let mut x = a.clone();
+        let changed = x.join(&b);
+        // Fixpoint: joining again changes nothing.
+        let mut y = x.clone();
+        prop_assert!(!y.join(&b));
+        prop_assert_eq!(&x, &y);
+        // `changed` is accurate.
+        prop_assert_eq!(changed, x != a);
+    }
+
+    #[test]
+    fn join_is_an_upper_bound(a in abstract_val(), b in abstract_val()) {
+        let j = join(&a, &b);
+        for t in a.types.iter().chain(b.types.iter()) {
+            prop_assert!(j.types.contains(t));
+        }
+        for t in a.tags.iter().chain(b.tags.iter()) {
+            prop_assert!(j.tags.contains(t));
+        }
+        prop_assert_eq!(j.untagged, a.untagged || b.untagged);
+        prop_assert_eq!(j.tag_top, a.tag_top || b.tag_top);
+    }
+
+    #[test]
+    fn bottom_is_identity(a in abstract_val()) {
+        prop_assert_eq!(join(&AbstractVal::bottom(), &a), a.clone());
+        prop_assert_eq!(join(&a, &AbstractVal::bottom()), a);
+    }
+
+    #[test]
+    fn keys_agree_with_equality(a in abstract_val(), b in abstract_val()) {
+        prop_assert_eq!(a == b, a.key() == b.key());
+    }
+
+    #[test]
+    fn tag_extension_grows_path_and_keeps_origin(
+        origin in (0usize..8).prop_map(OCtxId::new),
+        segs in proptest::collection::vec(
+            prop_oneof![
+                Just(PathSeg::Elem),
+            ],
+            1..4
+        ),
+    ) {
+        let mut tag = Tag { origin, path: vec![PathSeg::Elem] };
+        for &s in &segs {
+            let next = tag.extend(s);
+            prop_assert_eq!(next.origin, tag.origin);
+            prop_assert_eq!(next.path.len(), tag.path.len() + 1);
+            prop_assert_eq!(next.head(), s);
+            tag = next;
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Tests of the analysis's demand-driven sensitivity and its widening
+//! behavior under the configured caps (the paper's framework creates
+//! contours "on demand"; ours additionally bounds them).
+
+use oi_analysis::{analyze, AnalysisConfig, PathSeg};
+use oi_ir::lower::compile;
+
+#[test]
+fn contour_cap_widens_instead_of_diverging() {
+    // A method called with many distinct object types.
+    let mut src = String::new();
+    for i in 0..12 {
+        src.push_str(&format!("class C{i} {{ field f; method init(v) {{ self.f = v; }} }}\n"));
+    }
+    src.push_str("fn id(x) { return x; }\nfn main() {\n");
+    for i in 0..12 {
+        src.push_str(&format!("  print id(new C{i}({i})).f;\n"));
+    }
+    src.push_str("}\n");
+    let p = compile(&src).unwrap();
+    let config = AnalysisConfig { max_contours_per_method: 4, ..Default::default() };
+    let r = analyze(&p, &config);
+    let id = p.method_by_name("$Main", "id").unwrap();
+    let contours = &r.contours_of_method[&id];
+    assert!(contours.len() <= 5, "cap+widened contour: got {}", contours.len());
+    // The widened contour absorbs everything; the analysis still sees all
+    // classes flowing through `id`.
+    let mut total_types = 0;
+    for &c in contours {
+        total_types += r.mcontours[c].frame[1].types.len();
+    }
+    assert!(total_types >= 12, "all argument types must be covered: {total_types}");
+}
+
+#[test]
+fn object_contour_cap_widens_per_site() {
+    // One allocation site reached from many method contours.
+    let mut src = String::from(
+        "class Box { field v; method init(a) { self.v = a; } }
+         fn mk(a) { return new Box(a); }
+         fn main() {\n",
+    );
+    for i in 0..10 {
+        if i % 2 == 0 {
+            src.push_str(&format!("  print mk({i}).v;\n"));
+        } else {
+            src.push_str(&format!("  print mk({i}.0).v;\n"));
+        }
+    }
+    src.push_str("}\n");
+    let p = compile(&src).unwrap();
+    let config = AnalysisConfig { max_ocontours_per_site: 1, ..Default::default() };
+    let r = analyze(&p, &config);
+    // With the cap at 1, the site gets one precise contour plus one
+    // widened catch-all; together they cover both stored types and the
+    // total stays bounded.
+    let box_class = p.class_by_name("Box").unwrap();
+    let v = p.interner.get("v").unwrap();
+    let contours: Vec<_> =
+        r.ocontours.iter().filter(|o| o.class == Some(box_class)).collect();
+    assert!(contours.len() <= 2, "cap 1 + widened = at most 2, got {}", contours.len());
+    let mut covered = std::collections::BTreeSet::new();
+    for o in &contours {
+        if let Some(s) = o.field(v) {
+            covered.extend(s.types.iter().cloned());
+        }
+    }
+    assert!(covered.contains(&oi_analysis::TypeElem::Int));
+    assert!(covered.contains(&oi_analysis::TypeElem::Float));
+}
+
+#[test]
+fn tag_path_cap_sets_tag_top() {
+    // A five-deep field chain with max_tag_path 2 must overflow into
+    // tag_top rather than growing unbounded paths.
+    let p = compile(
+        "class A { field n; method init(x) { self.n = x; } }
+         fn main() {
+           var leaf = new A(1);
+           var l2 = new A(leaf);
+           var l3 = new A(l2);
+           var l4 = new A(l3);
+           var l5 = new A(l4);
+           print l5.n.n.n.n.n;
+         }",
+    )
+    .unwrap();
+    let config = AnalysisConfig { max_tag_path: 2, ..Default::default() };
+    let r = analyze(&p, &config);
+    let main_ctx = r.contours_of_method[&p.entry][0];
+    let overflowed = r.mcontours[main_ctx].frame.iter().any(|v| v.tag_top);
+    assert!(overflowed, "deep chains must hit the tag-path cap");
+    // And no interned tag exceeds the cap.
+    for i in 0..r.tags.len() {
+        assert!(r.tags.resolve(oi_analysis::TagId::new(i)).path.len() <= 2);
+    }
+}
+
+#[test]
+fn tags_disambiguate_two_fields_of_one_class() {
+    // The do_rectangle shape: two fields of the same class; the loaded
+    // values carry distinct direct tags.
+    let p = compile(
+        "class Pt { field v; method init(a) { self.v = a; } }
+         class Rect { field ll; field ur;
+           method init(a, b) { self.ll = new Pt(a); self.ur = new Pt(b); }
+         }
+         fn main() {
+           var r = new Rect(1, 2);
+           var x = r.ll;
+           var y = r.ur;
+           print x.v + y.v;
+         }",
+    )
+    .unwrap();
+    let r = analyze(&p, &AnalysisConfig::default());
+    let main_ctx = r.contours_of_method[&p.entry][0];
+    let ll = p.interner.get("ll").unwrap();
+    let ur = p.interner.get("ur").unwrap();
+    let has_tag = |field| {
+        r.mcontours[main_ctx].frame.iter().any(|v| {
+            v.tags.iter().any(|&t| {
+                matches!(r.tags.resolve(t).path.as_slice(), [PathSeg::Field(f)] if *f == field)
+            })
+        })
+    };
+    assert!(has_tag(ll));
+    assert!(has_tag(ur));
+    // No value carries both direct tags: the contours kept them separate.
+    let confused = r.mcontours[main_ctx].frame.iter().any(|v| {
+        let mut found_ll = false;
+        let mut found_ur = false;
+        for &t in &v.tags {
+            if let [PathSeg::Field(f)] = r.tags.resolve(t).path.as_slice() {
+                found_ll |= *f == ll;
+                found_ur |= *f == ur;
+            }
+        }
+        found_ll && found_ur
+    });
+    assert!(!confused, "ll and ur tags must not merge in straight-line code");
+}
+
+#[test]
+fn analysis_of_transformed_programs_reconverges() {
+    // Re-analyzing an already-inlined program (as the iterative pipeline
+    // does) must terminate and produce contours for the interior accesses.
+    let p = compile(
+        "class Pt { field x; method init(a) { self.x = a; } }
+         class Box { field p; method init(a) { self.p = new Pt(a); } }
+         fn main() {
+           var b = new Box(5);
+           print b.p.x;
+         }",
+    )
+    .unwrap();
+    let opt = oi_core::pipeline::optimize(&p, &Default::default());
+    let r = analyze(&opt.program, &AnalysisConfig::default());
+    assert!(!r.mcontours.is_empty());
+}
+
+#[test]
+fn clone_groups_split_on_divergent_dispatch() {
+    // do_rectangle's shape: one method whose contours resolve a send to
+    // different targets → two clone groups (the paper's Figure 10).
+    let p = compile(
+        "class A { method m() { return 1; } }
+         class B : A { method m() { return 2; } }
+         fn call_it(x) { return x.m(); }
+         fn main() { print call_it(new A()); print call_it(new B()); }",
+    )
+    .unwrap();
+    let r = analyze(&p, &AnalysisConfig::default());
+    let groups = oi_analysis::report::clone_groups_by_method(&p, &r);
+    assert_eq!(groups["$Main::call_it"], 2, "{groups:?}");
+    assert_eq!(groups["$Main::main"], 1);
+    assert!(oi_analysis::report::clone_groups(&p, &r) >= 4);
+}
+
+#[test]
+fn monomorphic_programs_need_one_group_per_method() {
+    let p = compile(
+        "class A { method m() { return 1; } }
+         fn main() { var a = new A(); print a.m(); print a.m(); }",
+    )
+    .unwrap();
+    let r = analyze(&p, &AnalysisConfig::default());
+    for (name, n) in oi_analysis::report::clone_groups_by_method(&p, &r) {
+        assert_eq!(n, 1, "{name} should not split");
+    }
+}

@@ -1,0 +1,53 @@
+//! Prints the paper's tables and figures.
+//!
+//! ```text
+//! figures [fig14|fig15|fig16|fig17|detail|ablations|all] [--size small|default|large]
+//! ```
+
+use oi_bench::{ablations, fig14, fig15, fig16, fig17, fig17_detail, parse_size};
+use oi_benchmarks::BenchSize;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut size = BenchSize::Default;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match parse_size(v) {
+                    Some(s) => size = s,
+                    None => {
+                        eprintln!("unknown size `{v}` (small|default|large)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => which = other.to_owned(),
+        }
+    }
+
+    match which.as_str() {
+        "fig14" => print!("{}", fig14(size)),
+        "fig15" => print!("{}", fig15(size)),
+        "fig16" => print!("{}", fig16(size)),
+        "fig17" => print!("{}", fig17(size)),
+        "detail" => print!("{}", fig17_detail(size)),
+        "ablations" => print!("{}", ablations(size)),
+        "all" => {
+            println!("{}", fig14(size));
+            println!("{}", fig15(size));
+            println!("{}", fig16(size));
+            println!("{}", fig17(size));
+            println!("{}", fig17_detail(size));
+            println!("{}", ablations(size));
+        }
+        other => {
+            eprintln!(
+                "unknown figure `{other}` (fig14|fig15|fig16|fig17|detail|ablations|all)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Quick Figure 17 summary: speedups plus the allocation/cache mechanism,
+//! at the default benchmark size.
+//!
+//! ```sh
+//! cargo run --release -p oi-benchmarks --example fig17probe
+//! ```
+
+use oi_benchmarks::{all_benchmarks, evaluate, BenchSize};
+
+fn main() {
+    println!("{:16} {:>8} {:>8}", "benchmark", "inlined", "manual");
+    for b in all_benchmarks(BenchSize::Default) {
+        let e = evaluate(&b, &oi_vm::VmConfig::default(), &Default::default());
+        println!(
+            "{:16} {:>7.2}x {:>7.2}x   (allocs {} -> {}, misses {} -> {})",
+            e.name,
+            e.speedup(),
+            e.manual_speedup(),
+            e.baseline.allocations,
+            e.inlined.allocations,
+            e.baseline.cache_misses,
+            e.inlined.cache_misses
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The evaluation harness: compile a benchmark three ways and measure.
+
+use crate::programs::Benchmark;
+use oi_core::pipeline::{baseline, optimize, InlineConfig};
+use oi_ir::size::SizeReport;
+use oi_vm::{Metrics, VmConfig};
+
+/// Problem sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchSize {
+    /// Seconds-scale CI runs.
+    Small,
+    /// The default measurement size.
+    Default,
+    /// Stress size.
+    Large,
+}
+
+/// Everything measured about one benchmark.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Metrics of the baseline (Concert-without-inlining) build.
+    pub baseline: Metrics,
+    /// Metrics of the object-inlined build.
+    pub inlined: Metrics,
+    /// Metrics of the hand-inlined source (the `G++ -O2` stand-in).
+    pub manual: Metrics,
+    /// Effectiveness counters (Figure 14's measured column).
+    pub report: oi_core::EffectivenessReport,
+    /// Generated-code size of the baseline build (Figure 15).
+    pub baseline_size: SizeReport,
+    /// Generated-code size of the inlined build (Figure 15).
+    pub inlined_size: SizeReport,
+    /// Method contours without / with the inlining sensitivity (Figure 16).
+    pub contours: (oi_analysis::ContourStats, oi_analysis::ContourStats),
+    /// Method clone groups the paper's §5.1 cloning would materialize,
+    /// with the inlining sensitivity.
+    pub clone_groups: usize,
+    /// Program output (identical across baseline and inlined builds).
+    pub output: String,
+}
+
+impl Evaluation {
+    /// Speedup of the inlined build over the baseline (Figure 17's main
+    /// bar, normalized to baseline = 1.0).
+    pub fn speedup(&self) -> f64 {
+        self.inlined.speedup_over(&self.baseline)
+    }
+
+    /// Relative performance of the manual build (the `G++` bar).
+    pub fn manual_speedup(&self) -> f64 {
+        self.manual.speedup_over(&self.baseline)
+    }
+}
+
+/// Compiles and measures one benchmark.
+///
+/// # Panics
+///
+/// Panics if any variant fails to compile or run, or if the baseline and
+/// object-inlined builds print different output (a correctness bug).
+pub fn evaluate(bench: &Benchmark, vm: &VmConfig, inline_config: &InlineConfig) -> Evaluation {
+    let program = oi_ir::lower::compile(&bench.source)
+        .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(&bench.source)));
+    let manual_program = oi_ir::lower::compile(&bench.manual_source)
+        .unwrap_or_else(|e| panic!("{} manual: {}", bench.name, e.render(&bench.manual_source)));
+
+    let contours = oi_analysis::report::contour_comparison(&program);
+    let tagged = oi_analysis::analyze(&program, &oi_analysis::AnalysisConfig::default());
+    let clone_groups = oi_analysis::report::clone_groups(&program, &tagged);
+
+    let base = baseline(&program, &inline_config.opt);
+    let opt = optimize(&program, inline_config);
+    // The manual variant gets the same baseline cleanups (devirt, method
+    // inlining) so the comparison isolates data layout.
+    let manual = baseline(&manual_program, &inline_config.opt);
+
+    let base_run =
+        oi_vm::run(&base, vm).unwrap_or_else(|e| panic!("{} baseline: {e}", bench.name));
+    let opt_run =
+        oi_vm::run(&opt.program, vm).unwrap_or_else(|e| panic!("{} inlined: {e}", bench.name));
+    let manual_run =
+        oi_vm::run(&manual, vm).unwrap_or_else(|e| panic!("{} manual: {e}", bench.name));
+
+    assert_eq!(
+        base_run.output, opt_run.output,
+        "{}: object inlining changed program output",
+        bench.name
+    );
+    assert_eq!(
+        base_run.output, manual_run.output,
+        "{}: manual variant computes something different",
+        bench.name
+    );
+
+    Evaluation {
+        name: bench.name,
+        baseline: base_run.metrics,
+        inlined: opt_run.metrics,
+        manual: manual_run.metrics,
+        report: opt.report,
+        baseline_size: oi_ir::size::measure(&base),
+        inlined_size: oi_ir::size::measure(&opt.program),
+        contours,
+        clone_groups,
+        output: base_run.output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::all_benchmarks;
+
+    #[test]
+    fn oopack_evaluates_with_speedup() {
+        let bench = crate::programs::oopack::benchmark(BenchSize::Small);
+        let eval = evaluate(&bench, &VmConfig::default(), &InlineConfig::default());
+        assert!(
+            eval.speedup() > 1.1,
+            "oopack should speed up: {:.2} ({} vs {})",
+            eval.speedup(),
+            eval.inlined.cycles,
+            eval.baseline.cycles,
+        );
+        assert!(eval.inlined.allocations < eval.baseline.allocations);
+    }
+
+    #[test]
+    fn every_benchmark_preserves_output_under_inlining() {
+        for bench in all_benchmarks(BenchSize::Small) {
+            // `evaluate` asserts output equality internally.
+            let eval = evaluate(&bench, &VmConfig::default(), &InlineConfig::default());
+            assert!(!eval.output.is_empty());
+        }
+    }
+
+    #[test]
+    fn effectiveness_matches_ground_truth() {
+        for bench in all_benchmarks(BenchSize::Small) {
+            let eval = evaluate(&bench, &VmConfig::default(), &InlineConfig::default());
+            let auto = eval.report.fields_inlined + eval.report.array_sites_inlined;
+            assert_eq!(
+                auto, bench.ground_truth.expected_auto,
+                "{}: expected {} automatic inlinings, got {} (fields {:?}, {} arrays); rejected: {:#?}",
+                bench.name,
+                bench.ground_truth.expected_auto,
+                auto,
+                eval.report
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.inlined)
+                    .map(|o| o.name.clone())
+                    .collect::<Vec<_>>(),
+                eval.report.array_sites_inlined,
+                eval.report
+                    .outcomes
+                    .iter()
+                    .filter(|o| !o.inlined)
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Benchmark program sources.
+
+pub mod oopack;
+pub mod polyover;
+pub mod richards;
+pub mod silo;
+
+use crate::eval::BenchSize;
+use crate::ground_truth::GroundTruth;
+
+/// One benchmark: a uniform-object-model program, a hand-inlined variant,
+/// and its effectiveness ground truth.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Short name (`oopack`, `richards`, `silo`, `polyover-array`,
+    /// `polyover-list`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Izzy source, uniform object model (everything a reference).
+    pub source: String,
+    /// Izzy source with inline allocation done by hand — the `G++ -O2`
+    /// stand-in.
+    pub manual_source: String,
+    /// Figure 14 ground truth.
+    pub ground_truth: GroundTruth,
+}
+
+/// The full suite at a given size (paper Figure 17 has five bars groups:
+/// polyover appears twice, as array and list variants).
+pub fn all_benchmarks(size: BenchSize) -> Vec<Benchmark> {
+    vec![
+        oopack::benchmark(size),
+        richards::benchmark(size),
+        silo::benchmark(size),
+        polyover::benchmark_array(size),
+        polyover::benchmark_list(size),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_parse_and_lower() {
+        for b in all_benchmarks(BenchSize::Small) {
+            let p = oi_ir::lower::compile(&b.source)
+                .unwrap_or_else(|e| panic!("{}: {}", b.name, e.render(&b.source)));
+            oi_ir::verify::verify(&p).unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
+            let m = oi_ir::lower::compile(&b.manual_source)
+                .unwrap_or_else(|e| panic!("{} manual: {}", b.name, e.render(&b.manual_source)));
+            oi_ir::verify::verify(&m).unwrap_or_else(|e| panic!("{} manual: {e:?}", b.name));
+        }
+    }
+
+    #[test]
+    fn uniform_and_manual_variants_print_identically() {
+        for b in all_benchmarks(BenchSize::Small) {
+            let p = oi_ir::lower::compile(&b.source).unwrap();
+            let m = oi_ir::lower::compile(&b.manual_source).unwrap();
+            let config = oi_vm::VmConfig::default();
+            let pu = oi_vm::run(&p, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let mu = oi_vm::run(&m, &config)
+                .unwrap_or_else(|e| panic!("{} manual: {e}", b.name));
+            assert_eq!(pu.output, mu.output, "{} manual variant diverges", b.name);
+            assert!(!pu.output.is_empty(), "{} prints nothing", b.name);
+        }
+    }
+}

@@ -1,0 +1,972 @@
+//! Assignment specialization (paper §4.2).
+//!
+//! Copying an object's contents into its container is only safe when it
+//! cannot change observable aliasing. The paper's criterion: the value
+//! assigned to the inlined field must be **passable by value** — at every
+//! path it is created locally (or itself received by value), it is not
+//! stored into any other persistent location, and it is not used after the
+//! assignment. This module implements the paper's predicates:
+//!
+//! - [`AssignSpec::store_ok`] — `PassByValue` at a specific store,
+//! - `NoStore` over callees a value is passed to (internal),
+//! - `CallByValue` over all call sites of a method parameter (internal,
+//!   co-inductive: cycles in the call graph assume safety and are refuted
+//!   by any concrete violation).
+//!
+//! All predicates are parameterized by the candidate field `f`: the store
+//! into `f` itself is the assignment being specialized, so it does not
+//! count as "storing the value elsewhere" — but no use may follow it.
+
+use oi_analysis::AnalysisResult;
+use oi_ir::{BlockId, Instr, MethodId, Program, Temp, Terminator};
+use oi_support::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// A position within a method body.
+pub type Loc = (BlockId, usize);
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    InProgress,
+}
+
+/// The assignment-specialization analysis. Memoizes `NoStore` and
+/// `CallByValue` queries across candidate checks.
+pub struct AssignSpec<'a> {
+    program: &'a Program,
+    result: &'a AnalysisResult,
+    nostore_memo: HashMap<(MethodId, u32, Option<Symbol>), Tri>,
+    cbv_memo: HashMap<(MethodId, u32, Symbol), Tri>,
+    fresh_memo: HashMap<MethodId, Tri>,
+    /// Per-method cache of blocks reachable from each block's successors.
+    reach_cache: HashMap<MethodId, Vec<HashSet<BlockId>>>,
+}
+
+impl<'a> AssignSpec<'a> {
+    /// Creates the analysis over a program and its flow-analysis result.
+    pub fn new(program: &'a Program, result: &'a AnalysisResult) -> Self {
+        Self {
+            program,
+            result,
+            nostore_memo: HashMap::new(),
+            cbv_memo: HashMap::new(),
+            fresh_memo: HashMap::new(),
+            reach_cache: HashMap::new(),
+        }
+    }
+
+    /// `PassByValue` for the value `src` stored into candidate field `f` at
+    /// `loc` in `method`: may the store be specialized into a copy?
+    pub fn store_ok(&mut self, method: MethodId, loc: Loc, src: Temp, f: Symbol) -> bool {
+        self.pass_by_value(method, Some(loc), src, f)
+    }
+
+    /// The paper's `PassByValue(p, v)`: `v` is only ever consumed at
+    /// `consumer` (a store to `f` when `Some`, or the end of the method when
+    /// `None`, for call-argument positions where the consumer is the call
+    /// itself and has already been accounted for by the caller).
+    fn pass_by_value(
+        &mut self,
+        method: MethodId,
+        consumer: Option<Loc>,
+        v: Temp,
+        f: Symbol,
+    ) -> bool {
+        let group = self.alias_group(method, v);
+
+        // 1. Every definition of the group is a local creation, an internal
+        //    move, or a by-value parameter.
+        let body = &self.program.methods[method];
+        let param_range = 0..=(body.param_count as usize);
+        let mut param_members = Vec::new();
+        for &t in &group {
+            if param_range.contains(&t.index()) {
+                param_members.push(t);
+            }
+        }
+        for (bb, idx, instr) in body.instrs() {
+            let Some(dst) = instr.dst() else { continue };
+            if !group.contains(&dst) {
+                continue;
+            }
+            match instr {
+                Instr::New { .. } => {} // LocalCreation
+                Instr::Move { src, .. } if group.contains(src) => {}
+                // A constant definition (e.g. the nil arm of a conditional)
+                // is harmless: nil has no aliases to change.
+                Instr::Const { .. } => {}
+                // A call result is "effectively created locally" when every
+                // callee returns a freshly created, never-stored object
+                // (the paper's CreatedLocally extended through returns).
+                Instr::Send { .. } | Instr::CallStatic { .. } => {
+                    let targets = self.call_targets(method, bb, idx);
+                    if targets.is_empty()
+                        || !targets.iter().all(|&t| self.returns_fresh(t))
+                    {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        for p in param_members {
+            // `self` (temp 0) is never passed by value.
+            if p.index() == 0 {
+                return false;
+            }
+            let param_idx = (p.index() - 1) as u32;
+            if !self.call_by_value(method, param_idx, f) {
+                return false;
+            }
+        }
+
+        // 2. Classify every use of the group.
+        let uses = self.uses_of_group(method, &group, Some(f));
+        for (uloc, kind) in uses {
+            if Some(uloc) == consumer {
+                // The store being specialized; re-execution of the store for
+                // the same definition would create two copies of one object,
+                // so the store must be fresh per iteration (defended below).
+                continue;
+            }
+            if let Some(consumer_loc) = consumer {
+                let (abb, ai) = consumer_loc;
+                let (ubb, ui) = uloc;
+                if ubb == abb && ui > ai {
+                    return false; // straight-line use after the store
+                }
+                // Loop-carried paths: harmless only when the use's block
+                // freshly redefines the temps before the use.
+                if self.is_after(method, consumer_loc, uloc)
+                    && !self.shielded(method, &group, uloc)
+                {
+                    return false; // UsesAfter must be empty
+                }
+            }
+            match kind {
+                UseKind::MoveInternal => {}
+                UseKind::Read => {}
+                UseKind::Mutate => {}
+                UseKind::Print => {}
+                UseKind::StoreElsewhere
+                | UseKind::Identity
+                | UseKind::Escape
+                | UseKind::ReturnEscape => return false,
+                UseKind::CandidateStore => {
+                    // A *different* store to the candidate field consuming
+                    // the same value: two inline copies of one object.
+                    return false;
+                }
+                UseKind::CallArg { callee_targets, arg_idx } => {
+                    for target in callee_targets {
+                        if !self.no_store(target, arg_idx, Some(f)) {
+                            return false;
+                        }
+                    }
+                }
+                UseKind::CallRecv { callee_targets } => {
+                    for target in callee_targets {
+                        if !self.no_store_self(target) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Freshness across loop iterations: if the consuming store sits
+        //    in a CFG cycle, the definition must be renewed in the same
+        //    block before the store (otherwise iteration 2 would copy an
+        //    object that iteration 1 already inlined — aliasing change).
+        if let Some((bb, idx)) = consumer {
+            if self.block_in_cycle(method, bb) {
+                let fresh_in_block = self.program.methods[method].blocks[bb]
+                    .instrs
+                    .iter()
+                    .take(idx)
+                    .any(|i| matches!(i, Instr::New { dst, .. } if group.contains(dst)));
+                let any_new_def = self
+                    .program
+                    .methods[method]
+                    .instrs()
+                    .any(|(_, _, i)| matches!(i, Instr::New { dst, .. } if group.contains(dst)));
+                if any_new_def && !fresh_in_block {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The paper's `CallByValue(v)`: parameter `param_idx` of `method` is
+    /// passed by value from every call site.
+    fn call_by_value(&mut self, method: MethodId, param_idx: u32, f: Symbol) -> bool {
+        match self.cbv_memo.get(&(method, param_idx, f)) {
+            Some(Tri::True) | Some(Tri::InProgress) => return true, // co-inductive
+            Some(Tri::False) => return false,
+            None => {}
+        }
+        self.cbv_memo.insert((method, param_idx, f), Tri::InProgress);
+        let callers = self.result.callers_of(self.program, method);
+        let mut ok = !callers.is_empty();
+        if callers.is_empty() {
+            // No observed callers: the entry method's params (there are
+            // none) or dead code. Safe vacuously.
+            ok = true;
+        }
+        for site in callers {
+            let Some(&arg) = site.args.get(param_idx as usize) else {
+                ok = false;
+                break;
+            };
+            if !self.pass_by_value(site.method, Some((site.bb, site.idx)), arg, f) {
+                ok = false;
+                break;
+            }
+        }
+        self.cbv_memo
+            .insert((method, param_idx, f), if ok { Tri::True } else { Tri::False });
+        ok
+    }
+
+    /// The paper's `NoStore(c, v)`: `method` never stores its
+    /// `param_idx`-th parameter into persistent state (a store into
+    /// candidate field `f` counts as the specialized assignment and instead
+    /// requires no uses after it).
+    fn no_store(&mut self, method: MethodId, param_idx: u32, f: Option<Symbol>) -> bool {
+        match self.nostore_memo.get(&(method, param_idx, f)) {
+            Some(Tri::True) | Some(Tri::InProgress) => return true,
+            Some(Tri::False) => return false,
+            None => {}
+        }
+        self.nostore_memo.insert((method, param_idx, f), Tri::InProgress);
+
+        let param = Temp::new(1 + param_idx as usize);
+        let group = self.alias_group(method, param);
+        let mut ok = true;
+
+        // Redefinitions other than internal moves spoil tracking.
+        for (_, _, instr) in self.program.methods[method].instrs() {
+            let Some(dst) = instr.dst() else { continue };
+            if group.contains(&dst)
+                && !matches!(instr, Instr::Move { src, .. } if group.contains(src))
+                && dst != param
+            {
+                // Another value flows into an alias temp: the group is a
+                // may-alias overapproximation, so this is fine for NoStore
+                // purposes (extra uses only make us more conservative).
+            }
+        }
+
+        let mut candidate_store: Option<Loc> = None;
+        let uses = self.uses_of_group(method, &group, f);
+        for (uloc, kind) in &uses {
+            match kind {
+                UseKind::MoveInternal | UseKind::Read | UseKind::Mutate | UseKind::Print => {}
+                UseKind::StoreElsewhere
+                | UseKind::Identity
+                | UseKind::Escape
+                | UseKind::ReturnEscape => {
+                    ok = false;
+                    break;
+                }
+                UseKind::CandidateStore => {
+                    if candidate_store.is_some() {
+                        ok = false; // stored twice
+                        break;
+                    }
+                    candidate_store = Some(*uloc);
+                }
+                UseKind::CallArg { callee_targets, arg_idx } => {
+                    for &target in callee_targets {
+                        if !self.no_store(target, *arg_idx, f) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        break;
+                    }
+                }
+                UseKind::CallRecv { callee_targets } => {
+                    for &target in callee_targets {
+                        if !self.no_store_self(target) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        break;
+                    }
+                }
+            }
+        }
+        // If the parameter *is* consumed by the candidate store here, no use
+        // may follow it (this is the mutator-method case: `self.f = p;`).
+        if ok {
+            if let Some(store_loc) = candidate_store {
+                for (uloc, _) in &uses {
+                    if *uloc != store_loc && self.is_after(method, store_loc, *uloc) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok && self.block_in_cycle(method, store_loc.0) {
+                    // Parameters are bound once per activation; a looping
+                    // store would copy the same object repeatedly.
+                    ok = false;
+                }
+            }
+        }
+
+        self.nostore_memo
+            .insert((method, param_idx, f), if ok { Tri::True } else { Tri::False });
+        ok
+    }
+
+    /// `NoStore` for the receiver: `method` never stores `self` into
+    /// persistent state (mutating `self`'s own fields is fine) and never
+    /// returns or identity-compares it. Co-inductive like the others.
+    fn no_store_self(&mut self, method: MethodId) -> bool {
+        // Reuse the memo with a parameter index that cannot collide with
+        // declared parameters: u32::MAX encodes "self".
+        match self.nostore_memo.get(&(method, u32::MAX, None)) {
+            Some(Tri::True) | Some(Tri::InProgress) => return true,
+            Some(Tri::False) => return false,
+            None => {}
+        }
+        self.nostore_memo.insert((method, u32::MAX, None), Tri::InProgress);
+
+        let group = self.alias_group(method, Temp::new(0));
+        let mut ok = true;
+        for (_, kind) in self.uses_of_group(method, &group, None) {
+            match kind {
+                UseKind::MoveInternal | UseKind::Read | UseKind::Mutate | UseKind::Print => {}
+                UseKind::StoreElsewhere
+                | UseKind::Identity
+                | UseKind::Escape
+                | UseKind::ReturnEscape
+                | UseKind::CandidateStore => {
+                    ok = false;
+                    break;
+                }
+                UseKind::CallArg { callee_targets, arg_idx } => {
+                    for t in callee_targets {
+                        if !self.no_store(t, arg_idx, None) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        break;
+                    }
+                }
+                UseKind::CallRecv { callee_targets } => {
+                    for t in callee_targets {
+                        if !self.no_store_self(t) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        break;
+                    }
+                }
+            }
+        }
+        self.nostore_memo.insert((method, u32::MAX, None), if ok { Tri::True } else { Tri::False });
+        ok
+    }
+
+    /// Returns `true` when every value `method` returns is a locally
+    /// created object (or nil) that the method never stores into persistent
+    /// state — so the caller may treat the result as created locally.
+    /// Co-inductive across the call graph.
+    pub fn returns_fresh(&mut self, method: MethodId) -> bool {
+        match self.fresh_memo.get(&method) {
+            Some(Tri::True) | Some(Tri::InProgress) => return true,
+            Some(Tri::False) => return false,
+            None => {}
+        }
+        self.fresh_memo.insert(method, Tri::InProgress);
+
+        let body = &self.program.methods[method];
+        // Collect all returned temps and union their alias groups.
+        let mut group: HashSet<Temp> = HashSet::new();
+        for block in body.blocks.iter() {
+            if let Terminator::Return(t) = block.term {
+                group.extend(self.alias_group(method, t));
+            }
+        }
+        let mut ok = true;
+        // Defs must be local creations, constants, internal moves, or calls
+        // that themselves return fresh.
+        let defs: Vec<(oi_ir::BlockId, usize, Instr)> = self
+            .program
+            .methods[method]
+            .instrs()
+            .filter(|(_, _, i)| i.dst().is_some_and(|d| group.contains(&d)))
+            .map(|(b, x, i)| (b, x, i.clone()))
+            .collect();
+        for (bb, idx, instr) in defs {
+            match &instr {
+                Instr::New { .. } | Instr::Const { .. } => {}
+                Instr::Move { src, .. } if group.contains(src) => {}
+                Instr::Send { .. } | Instr::CallStatic { .. } => {
+                    let targets = self.call_targets(method, bb, idx);
+                    if targets.is_empty() {
+                        ok = false;
+                    }
+                    for t in targets {
+                        if !self.returns_fresh(t) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                // Loads and other producers alias the caller's world.
+                _ => ok = false,
+            }
+            if !ok {
+                break;
+            }
+        }
+        // Any parameter (or self) in the group aliases the caller.
+        if ok {
+            let params = 0..=(self.program.methods[method].param_count as usize);
+            if group.iter().any(|t| params.contains(&t.index())) {
+                ok = false;
+            }
+        }
+        // Uses must not store or identity-compare the value.
+        if ok {
+            for (_, kind) in self.uses_of_group(method, &group, None) {
+                match kind {
+                    UseKind::MoveInternal
+                    | UseKind::Read
+                    | UseKind::Mutate
+                    | UseKind::Print => {}
+                    // Returning the value is precisely what this predicate
+                    // is about; any other escape disqualifies.
+                    UseKind::ReturnEscape => {}
+                    UseKind::Escape
+                    | UseKind::StoreElsewhere
+                    | UseKind::Identity
+                    | UseKind::CandidateStore => {
+                        ok = false;
+                        break;
+                    }
+                    UseKind::CallArg { callee_targets, arg_idx } => {
+                        for t in callee_targets {
+                            if !self.no_store(t, arg_idx, None) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if !ok {
+                            break;
+                        }
+                    }
+                    UseKind::CallRecv { callee_targets } => {
+                        for t in callee_targets {
+                            if !self.no_store_self(t) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if !ok {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.fresh_memo.insert(method, if ok { Tri::True } else { Tri::False });
+        ok
+    }
+
+    // -- plumbing ---------------------------------------------------------
+
+    /// Temps connected to `t` through `Move` instructions (both directions —
+    /// a sound overapproximation of may-alias for locals).
+    fn alias_group(&self, method: MethodId, t: Temp) -> HashSet<Temp> {
+        let body = &self.program.methods[method];
+        let mut group: HashSet<Temp> = std::iter::once(t).collect();
+        loop {
+            let mut grew = false;
+            for (_, _, instr) in body.instrs() {
+                if let Instr::Move { dst, src } = instr {
+                    if group.contains(dst) && group.insert(*src) {
+                        grew = true;
+                    }
+                    if group.contains(src) && group.insert(*dst) {
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        group
+    }
+
+    /// Classified uses of any temp in `group` within `method`. Stores into
+    /// the candidate field `f` are [`UseKind::CandidateStore`]; stores into
+    /// any other field are [`UseKind::StoreElsewhere`].
+    fn uses_of_group(
+        &self,
+        method: MethodId,
+        group: &HashSet<Temp>,
+        f: Option<Symbol>,
+    ) -> Vec<(Loc, UseKind)> {
+        let body = &self.program.methods[method];
+        let mut out = Vec::new();
+        for (bb, idx, instr) in body.instrs() {
+            let loc = (bb, idx);
+            match instr {
+                Instr::Move { src, dst } => {
+                    if group.contains(src) {
+                        let kind = if group.contains(dst) {
+                            UseKind::MoveInternal
+                        } else {
+                            // Copy into an untracked temp: the group closure
+                            // includes it, so this cannot happen; defensive.
+                            UseKind::Escape
+                        };
+                        out.push((loc, kind));
+                    }
+                }
+                Instr::GetField { obj, .. } => {
+                    if group.contains(obj) {
+                        out.push((loc, UseKind::Read));
+                    }
+                }
+                Instr::SetField { obj, field, src } => {
+                    if group.contains(src) {
+                        let kind = if Some(*field) == f {
+                            UseKind::CandidateStore
+                        } else {
+                            UseKind::StoreElsewhere
+                        };
+                        out.push((loc, kind));
+                    }
+                    if group.contains(obj) {
+                        out.push((loc, UseKind::Mutate));
+                    }
+                }
+                Instr::ArrayGet { arr, idx: i, .. } => {
+                    if group.contains(arr) || group.contains(i) {
+                        out.push((loc, UseKind::Read));
+                    }
+                }
+                Instr::ArraySet { arr, idx: i, src } => {
+                    if group.contains(src) {
+                        // When checking an array-element candidate, the
+                        // store into the array is the specialized
+                        // assignment; the `$elem` sentinel selects that
+                        // mode.
+                        let is_elem_candidate =
+                            self.program.interner.get("$elem").is_some()
+                                && self.program.interner.get("$elem") == f;
+                        let kind = if is_elem_candidate {
+                            UseKind::CandidateStore
+                        } else {
+                            UseKind::StoreElsewhere
+                        };
+                        out.push((loc, kind));
+                    }
+                    if group.contains(arr) || group.contains(i) {
+                        out.push((loc, UseKind::Mutate));
+                    }
+                }
+                Instr::SetGlobal { src, .. } => {
+                    if group.contains(src) {
+                        out.push((loc, UseKind::StoreElsewhere));
+                    }
+                }
+                Instr::Binary { op, lhs, rhs, .. } => {
+                    if group.contains(lhs) || group.contains(rhs) {
+                        if matches!(
+                            op,
+                            oi_ir::BinOp::RefEq | oi_ir::BinOp::Eq | oi_ir::BinOp::Ne
+                        ) {
+                            out.push((loc, UseKind::Identity));
+                        } else {
+                            out.push((loc, UseKind::Read));
+                        }
+                    }
+                }
+                Instr::Unary { src, .. } => {
+                    if group.contains(src) {
+                        out.push((loc, UseKind::Read));
+                    }
+                }
+                Instr::Send { recv, args, .. } | Instr::CallStatic { recv, args, .. } => {
+                    if group.contains(recv) {
+                        // Receiver position: fine as long as no callee
+                        // stores `self` into persistent state (constructor
+                        // calls after explosion are the common case).
+                        let targets = self.call_targets(method, bb, idx);
+                        if targets.is_empty() {
+                            out.push((loc, UseKind::Escape));
+                        } else {
+                            out.push((loc, UseKind::CallRecv { callee_targets: targets }));
+                        }
+                    }
+                    for (ai, a) in args.iter().enumerate() {
+                        if group.contains(a) {
+                            let targets = self.call_targets(method, bb, idx);
+                            if targets.is_empty() {
+                                out.push((loc, UseKind::Escape));
+                            } else {
+                                out.push((
+                                    loc,
+                                    UseKind::CallArg {
+                                        callee_targets: targets,
+                                        arg_idx: ai as u32,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+                Instr::New { args, .. } => {
+                    for (ai, a) in args.iter().enumerate() {
+                        if group.contains(a) {
+                            let targets = self.call_targets(method, bb, idx);
+                            if targets.is_empty() {
+                                out.push((loc, UseKind::Escape));
+                            } else {
+                                out.push((
+                                    loc,
+                                    UseKind::CallArg {
+                                        callee_targets: targets,
+                                        arg_idx: ai as u32,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+                Instr::CallBuiltin { args, .. } => {
+                    if args.iter().any(|a| group.contains(a)) {
+                        out.push((loc, UseKind::Read));
+                    }
+                }
+                Instr::Print { src } => {
+                    if group.contains(src) {
+                        out.push((loc, UseKind::Print));
+                    }
+                }
+                Instr::NewArray { len, .. } | Instr::NewArrayInline { len, .. } => {
+                    if group.contains(len) {
+                        out.push((loc, UseKind::Read));
+                    }
+                }
+                Instr::MakeInterior { obj, .. } => {
+                    if group.contains(obj) {
+                        out.push((loc, UseKind::Read));
+                    }
+                }
+                Instr::MakeInteriorElem { arr, idx: i, .. } => {
+                    if group.contains(arr) || group.contains(i) {
+                        out.push((loc, UseKind::Read));
+                    }
+                }
+                Instr::Const { .. } | Instr::GetGlobal { .. } => {}
+            }
+        }
+        // Terminator uses.
+        for (bb, block) in body.blocks.iter_enumerated() {
+            match &block.term {
+                Terminator::Return(t) if group.contains(t) => {
+                    out.push(((bb, block.instrs.len()), UseKind::ReturnEscape));
+                }
+                Terminator::Branch { cond, .. } if group.contains(cond) => {
+                    out.push(((bb, block.instrs.len()), UseKind::Read));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Possible callee methods of a call-shaped instruction.
+    fn call_targets(&self, method: MethodId, bb: BlockId, idx: usize) -> Vec<MethodId> {
+        let instr = &self.program.methods[method].blocks[bb].instrs[idx];
+        match instr {
+            Instr::CallStatic { method: m, .. } => vec![*m],
+            Instr::Send { .. } => self.result.send_targets(method, bb, idx).into_iter().collect(),
+            Instr::New { class, .. } => self
+                .program
+                .interner
+                .get("init")
+                .and_then(|s| self.program.lookup_method(*class, s))
+                .into_iter()
+                .collect(),
+            _ => vec![],
+        }
+    }
+
+    /// A loop-carried "use after the store" is harmless when the used temps
+    /// are freshly defined earlier in the use's own block: the back edge
+    /// reaches the definitions before the use, so the use never observes
+    /// the copied-away object of a previous iteration.
+    fn shielded(
+        &mut self,
+        method: MethodId,
+        group: &HashSet<Temp>,
+        uloc: Loc,
+    ) -> bool {
+        let (ubb, ui) = uloc;
+        let block = &self.program.methods[method].blocks[ubb];
+        // Which group temps does the use read?
+        let mut used = Vec::new();
+        if ui < block.instrs.len() {
+            block.instrs[ui].uses(&mut used);
+        } else {
+            block.term.uses(&mut used);
+        }
+        used.retain(|t| group.contains(t));
+        if used.is_empty() {
+            return false;
+        }
+        // Linear scan: a temp is "fresh" once (re)defined from a New this
+        // block, transitively through moves of fresh temps; any other
+        // definition un-freshens it.
+        let mut fresh: HashSet<Temp> = HashSet::new();
+        for instr in &block.instrs[..ui.min(block.instrs.len())] {
+            match instr {
+                Instr::New { dst, .. } => {
+                    fresh.insert(*dst);
+                }
+                Instr::Move { dst, src } => {
+                    if fresh.contains(src) {
+                        fresh.insert(*dst);
+                    } else {
+                        fresh.remove(dst);
+                    }
+                }
+                other => {
+                    if let Some(d) = other.dst() {
+                        fresh.remove(&d);
+                    }
+                }
+            }
+        }
+        used.iter().all(|t| fresh.contains(t))
+    }
+
+    /// Whether `after` executes after `anchor` on some path (conservatively
+    /// including loop re-entries of the anchor block).
+    fn is_after(&mut self, method: MethodId, anchor: Loc, after: Loc) -> bool {
+        let (abb, ai) = anchor;
+        let (ubb, ui) = after;
+        if abb == ubb && ui > ai {
+            return true;
+        }
+        self.reachable_from_exit(method, abb).contains(&ubb)
+    }
+
+    fn block_in_cycle(&mut self, method: MethodId, bb: BlockId) -> bool {
+        self.reachable_from_exit(method, bb).contains(&bb)
+    }
+
+    fn reachable_from_exit(&mut self, method: MethodId, bb: BlockId) -> &HashSet<BlockId> {
+        let sets = self.reach_cache.entry(method).or_insert_with(|| {
+            let body = &self.program.methods[method];
+            body.blocks
+                .ids()
+                .map(|b| {
+                    let mut seen = HashSet::new();
+                    let mut stack: Vec<BlockId> = body.blocks[b].term.successors();
+                    while let Some(x) = stack.pop() {
+                        if !body.blocks.contains_id(x) || !seen.insert(x) {
+                            continue;
+                        }
+                        stack.extend(body.blocks[x].term.successors());
+                    }
+                    seen
+                })
+                .collect()
+        });
+        &sets[bb.index()]
+    }
+}
+
+/// Classification of a use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum UseKind {
+    /// A move between group temps.
+    MoveInternal,
+    /// A read (field load through it, arithmetic, branch, builtin).
+    Read,
+    /// A mutation of the object's own state (store *into* it) — benign
+    /// before the copy.
+    Mutate,
+    /// Printed (identity-free formatting).
+    Print,
+    /// Stored into an array, global, or a non-candidate field.
+    StoreElsewhere,
+    /// Compared by identity.
+    Identity,
+    /// Escapes beyond what we track (receiver position, unresolvable call).
+    Escape,
+    /// Returned to the caller.
+    ReturnEscape,
+    /// Stored into the candidate field itself.
+    CandidateStore,
+    /// Passed as an argument to resolvable callees.
+    CallArg {
+        /// All possible callees.
+        callee_targets: Vec<MethodId>,
+        /// Which declared argument position.
+        arg_idx: u32,
+    },
+    /// Used as the receiver of resolvable callees.
+    CallRecv {
+        /// All possible callees.
+        callee_targets: Vec<MethodId>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_analysis::{analyze, AnalysisConfig};
+    use oi_ir::lower::compile;
+
+    fn setup(src: &str) -> (Program, AnalysisResult) {
+        let p = compile(src).unwrap();
+        let r = analyze(&p, &AnalysisConfig::default());
+        (p, r)
+    }
+
+    /// Finds the (method, loc, src) of the first store to field `f`.
+    fn find_store(p: &Program, f: &str) -> (MethodId, Loc, Temp) {
+        let fsym = p.interner.get(f).unwrap();
+        for (mid, m) in p.methods.iter_enumerated() {
+            for (bb, idx, instr) in m.instrs() {
+                if let Instr::SetField { field, src, .. } = instr {
+                    if *field == fsym {
+                        return (mid, (bb, idx), *src);
+                    }
+                }
+            }
+        }
+        panic!("no store to {f}");
+    }
+
+    #[test]
+    fn constructor_store_of_fresh_arg_is_by_value() {
+        let (p, r) = setup(
+            "class P { field x; method init(a) { self.x = a; } }
+             class R { field ll; method init(q) { self.ll = q; } }
+             fn main() { var r = new R(new P(1)); print r.ll.x; }",
+        );
+        let f = p.interner.get("ll").unwrap();
+        let (m, loc, src) = find_store(&p, "ll");
+        let mut spec = AssignSpec::new(&p, &r);
+        assert!(spec.store_ok(m, loc, src, f));
+    }
+
+    #[test]
+    fn aliased_argument_is_rejected() {
+        // The stored value is also kept in a global: aliasing would change.
+        let (p, r) = setup(
+            "global KEEP;
+             class P { field x; method init(a) { self.x = a; } }
+             class R { field ll; method init(q) { self.ll = q; } }
+             fn main() { var p = new P(1); KEEP = p; var r = new R(p); print r.ll.x; }",
+        );
+        let f = p.interner.get("ll").unwrap();
+        let (m, loc, src) = find_store(&p, "ll");
+        let mut spec = AssignSpec::new(&p, &r);
+        assert!(!spec.store_ok(m, loc, src, f));
+    }
+
+    #[test]
+    fn use_after_store_is_rejected() {
+        let (p, r) = setup(
+            "class P { field x; method init(a) { self.x = a; } }
+             class R { field ll; method init(q) { self.ll = q; } }
+             fn main() { var p = new P(1); var r = new R(p); p.x = 2; print r.ll.x; }",
+        );
+        let f = p.interner.get("ll").unwrap();
+        let (m, loc, src) = find_store(&p, "ll");
+        let mut spec = AssignSpec::new(&p, &r);
+        assert!(!spec.store_ok(m, loc, src, f));
+    }
+
+    #[test]
+    fn value_from_field_load_is_rejected() {
+        // Storing a value that came from another object's field: not a
+        // local creation, cannot pass by value.
+        let (p, r) = setup(
+            "class P { field x; method init(a) { self.x = a; } }
+             class R { field ll; method init(q) { self.ll = q; } }
+             class L { field head; method init(h) { self.head = h; } }
+             fn main() {
+               var r = new R(new P(1));
+               var l = new L(r.ll);
+               print 1;
+             }",
+        );
+        let f = p.interner.get("head").unwrap();
+        let (m, loc, src) = find_store(&p, "head");
+        let mut spec = AssignSpec::new(&p, &r);
+        assert!(!spec.store_ok(m, loc, src, f));
+    }
+
+    #[test]
+    fn identity_use_is_rejected() {
+        let (p, r) = setup(
+            "class P { field x; method init(a) { self.x = a; } }
+             class R { field ll; method init(q) { self.ll = q; } }
+             fn main() { var p = new P(1); var r = new R(p); print 1; print p === p; }",
+        );
+        let f = p.interner.get("ll").unwrap();
+        let (m, loc, src) = find_store(&p, "ll");
+        let mut spec = AssignSpec::new(&p, &r);
+        assert!(!spec.store_ok(m, loc, src, f), "identity comparison must reject");
+    }
+
+    #[test]
+    fn fresh_per_iteration_store_in_loop_is_ok() {
+        let (p, r) = setup(
+            "class P { field x; method init(a) { self.x = a; } }
+             class R { field ll; method init(q) { self.ll = q; } }
+             fn main() {
+               var i = 0;
+               while (i < 3) { var r = new R(new P(i)); print r.ll.x; i = i + 1; }
+             }",
+        );
+        let f = p.interner.get("ll").unwrap();
+        let (m, loc, src) = find_store(&p, "ll");
+        let mut spec = AssignSpec::new(&p, &r);
+        assert!(spec.store_ok(m, loc, src, f));
+    }
+
+    #[test]
+    fn stale_store_in_loop_is_rejected() {
+        // One Point object stored into many containers across iterations.
+        let (p, r) = setup(
+            "class P { field x; method init(a) { self.x = a; } }
+             class R { field ll; method init(q) { self.ll = q; } }
+             fn consume(r) { return r; }
+             fn main() {
+               var p = new P(1);
+               var i = 0;
+               while (i < 3) { consume(new R(p)); i = i + 1; }
+             }",
+        );
+        let f = p.interner.get("ll").unwrap();
+        let (m, loc, src) = find_store(&p, "ll");
+        let mut spec = AssignSpec::new(&p, &r);
+        assert!(!spec.store_ok(m, loc, src, f));
+    }
+}

@@ -1,0 +1,732 @@
+//! The inlining decision: combining use and assignment specialization into a
+//! per-field plan.
+//!
+//! Decisions are made per *(concrete class, field)* and grouped per
+//! declaring class:
+//!
+//! - **uniform**: every instantiated class in the declaring class's subtree
+//!   stores the same child class — the declaring class is restructured once
+//!   and all subclasses share the layout (the Rectangle/Parallelogram case,
+//!   Figure 11);
+//! - **divergent**: different subtrees store different child classes — each
+//!   concrete class gets its own layout over a shared replacement slot (the
+//!   Richards private-data case, which C++ cannot express, §6.1).
+
+use crate::assignspec::AssignSpec;
+use crate::usespec::{self, RecvInfo};
+use oi_analysis::AnalysisResult;
+use oi_ir::{ArrayLayoutKind, ClassId, LayoutId, Program, SiteId};
+use oi_support::Symbol;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A planned object-field inlining.
+#[derive(Clone, Debug)]
+pub struct PlanEntry {
+    /// Class that declares the field.
+    pub declaring: ClassId,
+    /// Concrete classes this entry covers (the whole instantiated subtree
+    /// for uniform entries; a single class for divergent ones).
+    pub containers: Vec<ClassId>,
+    /// The inlined field.
+    pub field: Symbol,
+    /// The (single) class of objects stored in the field.
+    pub child: ClassId,
+    /// Whether the whole subtree shares this entry.
+    pub uniform: bool,
+    /// Filled in by `restructure`.
+    pub layout: Option<LayoutId>,
+}
+
+/// A planned array-element inlining.
+#[derive(Clone, Debug)]
+pub struct ArrayEntry {
+    /// Element class.
+    pub child: ClassId,
+    /// Element layout kind to use.
+    pub kind: ArrayLayoutKind,
+    /// Filled in by `restructure` (already set for pre-existing sites).
+    pub layout: Option<LayoutId>,
+    /// `true` when the site was inlined on an earlier pass; it is kept in
+    /// the plan so later passes can apply in-place element construction,
+    /// but it is not re-restructured or re-counted.
+    pub pre_existing: bool,
+}
+
+/// The complete inlining plan for one pass.
+#[derive(Clone, Debug, Default)]
+pub struct InlinePlan {
+    /// Object-field entries.
+    pub entries: Vec<PlanEntry>,
+    /// Concrete `(class, field)` → index into `entries`.
+    pub by_class_field: HashMap<(ClassId, Symbol), usize>,
+    /// Array allocation sites whose elements are inlined.
+    pub array_sites: BTreeMap<SiteId, ArrayEntry>,
+    /// Fields considered but rejected, with reasons (for reporting).
+    pub rejected: Vec<(String, String)>,
+}
+
+impl InlinePlan {
+    /// Returns `true` if nothing will be transformed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.array_sites.is_empty()
+    }
+
+    /// The entry covering `class`'s field `f`, if planned.
+    pub fn entry_for(&self, class: ClassId, f: Symbol) -> Option<&PlanEntry> {
+        self.by_class_field.get(&(class, f)).map(|&i| &self.entries[i])
+    }
+}
+
+/// Options for the decision stage.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionConfig {
+    /// Inline object fields.
+    pub object_fields: bool,
+    /// Inline array elements.
+    pub array_elements: bool,
+    /// Layout for inlined arrays.
+    pub array_layout: ArrayLayoutKind,
+    /// Skip the assignment-safety check (ablation only; unsound in
+    /// general).
+    pub check_assignments: bool,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        Self {
+            object_fields: true,
+            array_elements: true,
+            array_layout: ArrayLayoutKind::Interleaved,
+            check_assignments: true,
+        }
+    }
+}
+
+/// Computes the inlining plan for one transformation pass.
+pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfig) -> InlinePlan {
+    let mut plan = InlinePlan::default();
+
+    // ---- gather per-(concrete class, field) child information -------------
+    // candidate_child[(class, field)] = Some(child) if every object contour
+    // of `class` stores exactly that one class into `field`.
+    let mut octx_by_class: HashMap<ClassId, Vec<oi_analysis::OCtxId>> = HashMap::new();
+    for (id, oc) in result.ocontours.iter_enumerated() {
+        if let Some(c) = oc.class {
+            octx_by_class.entry(c).or_default().push(id);
+        }
+    }
+
+    let mut candidate_child: HashMap<(ClassId, Symbol), ClassId> = HashMap::new();
+    let mut object_fields_seen: BTreeSet<(ClassId, Symbol)> = BTreeSet::new();
+    if config.object_fields {
+        for (&class, octxs) in &octx_by_class {
+            for fid in program.layout_of(class) {
+                let fname = program.fields[fid].name;
+                let mut child: Option<ClassId> = None;
+                let mut ok = true;
+                let mut stores_objects = false;
+                for &oc in octxs {
+                    let Some(sum) = result.ocontours[oc].field(fname) else {
+                        ok = false; // some contour never initializes the field
+                        continue;
+                    };
+                    if sum.types.iter().any(|t| t.contour().is_some()) {
+                        stores_objects = true;
+                    }
+                    for ty in &sum.types {
+                        match ty {
+                            oi_analysis::TypeElem::Obj(child_oc) => {
+                                let Some(d) = result.ocontours[*child_oc].class else {
+                                    ok = false;
+                                    continue;
+                                };
+                                match child {
+                                    None => child = Some(d),
+                                    Some(prev) if prev == d => {}
+                                    Some(_) => ok = false,
+                                }
+                            }
+                            // nil, primitives or arrays in the field: cannot
+                            // inline (the inline state cannot represent
+                            // them).
+                            _ => ok = false,
+                        }
+                    }
+                }
+                if stores_objects {
+                    object_fields_seen.insert((program.fields[fid].owner, fname));
+                }
+                if ok {
+                    if let Some(d) = child {
+                        if !program.layout_of(d).is_empty() {
+                            candidate_child.insert((class, fname), d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- group per declaring class -----------------------------------------
+    // For each (declaring class, field): every *instantiated* class in the
+    // subtree must be a candidate; uniform if they agree on the child.
+    let mut groups: BTreeMap<(ClassId, Symbol), Vec<(ClassId, ClassId)>> = BTreeMap::new();
+    let mut group_ok: HashMap<(ClassId, Symbol), bool> = HashMap::new();
+    for (&(class, fname), &child) in &candidate_child {
+        let Some(fid) = program.field_of(class, fname) else { continue };
+        let declaring = program.fields[fid].owner;
+        groups.entry((declaring, fname)).or_default().push((class, child));
+    }
+    for ((declaring, fname), members) in &groups {
+        let instantiated: Vec<ClassId> = program
+            .subclasses_of(*declaring)
+            .into_iter()
+            .filter(|c| octx_by_class.contains_key(c))
+            .collect();
+        let covered: BTreeSet<ClassId> = members.iter().map(|(c, _)| *c).collect();
+        let all_covered = instantiated.iter().all(|c| covered.contains(c));
+        group_ok.insert((*declaring, *fname), all_covered && !instantiated.is_empty());
+        if !all_covered {
+            plan.rejected.push((
+                format!(
+                    "{}.{}",
+                    program.interner.resolve(program.classes[*declaring].name),
+                    program.interner.resolve(*fname)
+                ),
+                "some instantiated subclass does not always initialize the field with one class"
+                    .to_owned(),
+            ));
+        }
+    }
+
+    // Seed plan entries.
+    for ((declaring, fname), members) in &groups {
+        if !group_ok[&(*declaring, *fname)] {
+            continue;
+        }
+        let children: BTreeSet<ClassId> = members.iter().map(|(_, d)| *d).collect();
+        if children.len() == 1 {
+            let child = *children.iter().next().unwrap();
+            let idx = plan.entries.len();
+            plan.entries.push(PlanEntry {
+                declaring: *declaring,
+                containers: members.iter().map(|(c, _)| *c).collect(),
+                field: *fname,
+                child,
+                uniform: true,
+                layout: None,
+            });
+            for (c, _) in members {
+                plan.by_class_field.insert((*c, *fname), idx);
+            }
+        } else {
+            for (c, d) in members {
+                let idx = plan.entries.len();
+                plan.entries.push(PlanEntry {
+                    declaring: *declaring,
+                    containers: vec![*c],
+                    field: *fname,
+                    child: *d,
+                    uniform: false,
+                    layout: None,
+                });
+                plan.by_class_field.insert((*c, *fname), idx);
+            }
+        }
+    }
+
+    // ---- array candidates ----------------------------------------------------
+    // Sites already inlined on an earlier pass keep their existing layout.
+    let mut existing_inline: BTreeMap<SiteId, LayoutId> = BTreeMap::new();
+    for m in program.methods.iter() {
+        for block in m.blocks.iter() {
+            for instr in &block.instrs {
+                if let oi_ir::Instr::NewArrayInline { site, layout, .. } = instr {
+                    existing_inline.insert(*site, *layout);
+                }
+            }
+        }
+    }
+    for (&site, &layout) in &existing_inline {
+        plan.array_sites.insert(site, ArrayEntry {
+            child: program.layouts[layout].child_class,
+            kind: program.layouts[layout].array_kind.unwrap_or(config.array_layout),
+            layout: Some(layout),
+            pre_existing: true,
+        });
+    }
+    let mut array_child: BTreeMap<SiteId, Option<ClassId>> = BTreeMap::new();
+    if config.array_elements {
+        for oc in result.ocontours.iter() {
+            if !oc.is_array() {
+                continue;
+            }
+            // Synthetic interior contours have out-of-range sites; skip.
+            if oc.site.index() >= program.site_count as usize {
+                continue;
+            }
+            if existing_inline.contains_key(&oc.site) {
+                continue;
+            }
+            let entry = array_child.entry(oc.site).or_insert(None);
+            if oc.elem.is_bottom() {
+                *entry = None;
+                continue;
+            }
+            let mut site_child: Option<ClassId> = entry.as_mut().map(|d| *d);
+            let mut ok = !oc.elem.types.is_empty();
+            for ty in &oc.elem.types {
+                match ty {
+                    oi_analysis::TypeElem::Obj(child_oc) => {
+                        let Some(d) = result.ocontours[*child_oc].class else {
+                            ok = false;
+                            continue;
+                        };
+                        match site_child {
+                            None => site_child = Some(d),
+                            Some(prev) if prev == d => {}
+                            Some(_) => ok = false,
+                        }
+                    }
+                    _ => ok = false,
+                }
+            }
+            *entry = if ok { site_child } else { None };
+        }
+        // Note: a site whose contours disagree ends up with the last
+        // verdict; re-check all contours agree.
+        for (site, child) in array_child.clone() {
+            let Some(child) = child else { continue };
+            let consistent = result
+                .ocontours
+                .iter()
+                .filter(|oc| oc.is_array() && oc.site == site)
+                .all(|oc| {
+                    !oc.elem.is_bottom()
+                        && oc.elem.types.iter().all(|t| matches!(
+                            t,
+                            oi_analysis::TypeElem::Obj(c)
+                                if result.ocontours[*c].class == Some(child)
+                        ))
+                });
+            if consistent && !program.layout_of(child).is_empty() {
+                plan.array_sites.insert(
+                    site,
+                    ArrayEntry {
+                        child,
+                        kind: config.array_layout,
+                        layout: None,
+                        pre_existing: false,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- demotion fixpoint -----------------------------------------------
+    let identity_classes = usespec::identity_compared_classes(program, result);
+    let accesses = usespec::field_accesses(program);
+    let astores = usespec::array_stores(program);
+    let mut spec = AssignSpec::new(program, result);
+    let elem_sentinel = program.interner.get("$elem");
+
+    loop {
+        let mut demote_entries: BTreeSet<usize> = BTreeSet::new();
+        let mut demote_arrays: BTreeSet<SiteId> = BTreeSet::new();
+        let mut rejections: Vec<(String, String)> = Vec::new();
+
+        // (a) identity comparisons on child classes.
+        for (i, e) in plan.entries.iter().enumerate() {
+            if identity_classes.contains(&e.child) {
+                demote_entries.insert(i);
+                rejections.push((
+                    describe_entry(program, e),
+                    "child objects take part in identity comparisons".to_owned(),
+                ));
+            }
+        }
+        for (&site, a) in &plan.array_sites {
+            if identity_classes.contains(&a.child) {
+                demote_arrays.insert(site);
+            }
+        }
+
+        // (b) instruction agreement for every access to a planned field.
+        for acc in &accesses {
+            let info: RecvInfo = usespec::receiver_info(result, acc.method, acc.obj);
+            let touched: Vec<usize> = info
+                .classes
+                .iter()
+                .filter_map(|&c| plan.by_class_field.get(&(c, acc.field)).copied())
+                .collect();
+            if touched.is_empty() {
+                continue;
+            }
+            let distinct: BTreeSet<usize> = touched.iter().copied().collect();
+            let all_planned = info
+                .classes
+                .iter()
+                .all(|&c| plan.by_class_field.contains_key(&(c, acc.field)));
+            let live: Vec<usize> =
+                distinct.iter().copied().filter(|i| !demote_entries.contains(i)).collect();
+            // Note: provenance-tag overflow (`tag_top`) on the *receiver*
+            // does not block the rewrite — the layout is determined by the
+            // receiver's class set, and our runtime resolves inline layouts
+            // through interior references where the paper binds specialized
+            // clones statically. Class disagreement is what kills it.
+            if !all_planned || live.len() > 1 || !info.array_sites.is_empty() {
+                for i in distinct {
+                    if demote_entries.insert(i) {
+                        rejections.push((
+                            describe_entry(program, &plan.entries[i]),
+                            "a field access mixes inlined and non-inlined receivers".to_owned(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // (c) assignment safety at every store to a planned field.
+        if config.check_assignments {
+            for acc in &accesses {
+                let Some(src) = acc.store_src else { continue };
+                let info = usespec::receiver_info(result, acc.method, acc.obj);
+                let touched: BTreeSet<usize> = info
+                    .classes
+                    .iter()
+                    .filter_map(|&c| plan.by_class_field.get(&(c, acc.field)).copied())
+                    .filter(|i| !demote_entries.contains(i))
+                    .collect();
+                if touched.is_empty() {
+                    continue;
+                }
+                if !spec.store_ok(acc.method, (acc.bb, acc.idx), src, acc.field) {
+                    for i in touched {
+                        if demote_entries.insert(i) {
+                            rejections.push((
+                                describe_entry(program, &plan.entries[i]),
+                                "a stored value cannot be passed by value (aliasing)".to_owned(),
+                            ));
+                        }
+                    }
+                }
+            }
+            if let Some(sentinel) = elem_sentinel {
+                for st in &astores {
+                    let info = usespec::receiver_info(result, st.method, st.arr);
+                    let touched: Vec<SiteId> = info
+                        .array_sites
+                        .iter()
+                        .copied()
+                        .filter(|s| {
+                            plan.array_sites.contains_key(s) && !demote_arrays.contains(s)
+                        })
+                        .collect();
+                    if touched.is_empty() {
+                        continue;
+                    }
+                    if !spec.store_ok(st.method, (st.bb, st.idx), st.src, sentinel) {
+                        demote_arrays.extend(touched);
+                    }
+                }
+            }
+        }
+
+        // (d) no same-pass nesting: a container's child must have a stable
+        // layout this pass (nested inlining happens on the next pass).
+        let layout_changing: BTreeSet<ClassId> = plan
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !demote_entries.contains(i))
+            .map(|(_, e)| e.declaring)
+            .collect();
+        let layout_affected = |class: ClassId| -> bool {
+            // `class`'s layout changes if it or any ancestor is restructured.
+            let mut cur = Some(class);
+            while let Some(c) = cur {
+                if layout_changing.contains(&c) {
+                    return true;
+                }
+                cur = program.classes[c].parent;
+            }
+            false
+        };
+        for (i, e) in plan.entries.iter().enumerate() {
+            if !demote_entries.contains(&i) && layout_affected(e.child) {
+                demote_entries.insert(i);
+                rejections.push((
+                    describe_entry(program, e),
+                    "child class layout changes this pass (retry next pass)".to_owned(),
+                ));
+            }
+        }
+        let demote_array_children: Vec<SiteId> = plan
+            .array_sites
+            .iter()
+            .filter(|(s, a)| !demote_arrays.contains(s) && layout_affected(a.child))
+            .map(|(s, _)| *s)
+            .collect();
+        demote_arrays.extend(demote_array_children);
+
+        // (e) a uniform group loses a member → whole group goes (entry is
+        // shared, so this is automatic). A divergent group member going
+        // away makes the hierarchy partially covered → demote siblings.
+        let mut sibling_demotions: Vec<usize> = Vec::new();
+        for &i in &demote_entries {
+            let e = &plan.entries[i];
+            if !e.uniform {
+                for (j, other) in plan.entries.iter().enumerate() {
+                    if j != i
+                        && !demote_entries.contains(&j)
+                        && !other.uniform
+                        && other.declaring == e.declaring
+                        && other.field == e.field
+                    {
+                        sibling_demotions.push(j);
+                    }
+                }
+            }
+        }
+        demote_entries.extend(sibling_demotions);
+
+        plan.rejected.extend(rejections);
+        if demote_entries.is_empty() && demote_arrays.is_empty() {
+            break;
+        }
+        // Apply demotions and re-run (agreement depends on the plan).
+        let mut new_entries = Vec::new();
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        for (i, e) in plan.entries.iter().enumerate() {
+            if !demote_entries.contains(&i) {
+                remap.insert(i, new_entries.len());
+                new_entries.push(e.clone());
+            }
+        }
+        plan.by_class_field = plan
+            .by_class_field
+            .iter()
+            .filter_map(|(k, v)| remap.get(v).map(|&nv| (*k, nv)))
+            .collect();
+        plan.entries = new_entries;
+        for s in demote_arrays {
+            plan.array_sites.remove(&s);
+        }
+    }
+
+    let _ = object_fields_seen;
+    plan
+}
+
+fn describe_entry(program: &Program, e: &PlanEntry) -> String {
+    format!(
+        "{}.{}",
+        program.interner.resolve(program.classes[e.declaring].name),
+        program.interner.resolve(e.field)
+    )
+}
+
+/// Counts, per declared field, whether any object contour ever stores an
+/// object into it — the denominator of Figure 14.
+pub fn object_holding_fields(
+    program: &Program,
+    result: &AnalysisResult,
+) -> BTreeSet<(ClassId, Symbol)> {
+    let mut out = BTreeSet::new();
+    for oc in result.ocontours.iter() {
+        let Some(class) = oc.class else { continue };
+        for (fname, sum) in &oc.fields {
+            if sum.types.iter().any(|t| t.contour().is_some()) {
+                if let Some(fid) = program.field_of(class, *fname) {
+                    out.insert((program.fields[fid].owner, *fname));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_analysis::{analyze, AnalysisConfig};
+    use oi_ir::lower::compile;
+
+    fn plan_for(src: &str) -> (Program, InlinePlan) {
+        let p = compile(src).unwrap();
+        let r = analyze(&p, &AnalysisConfig::default());
+        let plan = decide(&p, &r, &DecisionConfig::default());
+        (p, plan)
+    }
+
+    const RECT: &str = "
+        class Point { field x; field y;
+          method init(a, b) { self.x = a; self.y = b; }
+        }
+        class Rect { field ll; field ur;
+          method init(a, b) { self.ll = a; self.ur = b; }
+        }
+        fn main() {
+          var r = new Rect(new Point(1.0, 2.0), new Point(3.0, 4.0));
+          print r.ll.x + r.ur.y;
+        }";
+
+    #[test]
+    fn rectangle_fields_are_planned() {
+        let (p, plan) = plan_for(RECT);
+        assert_eq!(plan.entries.len(), 2, "ll and ur should inline: {:?}", plan.rejected);
+        let rect = p.class_by_name("Rect").unwrap();
+        let ll = p.interner.get("ll").unwrap();
+        let e = plan.entry_for(rect, ll).unwrap();
+        assert_eq!(e.child, p.class_by_name("Point").unwrap());
+        assert!(e.uniform);
+    }
+
+    #[test]
+    fn nilable_field_is_not_planned() {
+        let (_, plan) = plan_for(
+            "class P { field x; method init(a) { self.x = a; } }
+             class C { field d; method init(a) { self.d = a; } }
+             fn main() {
+               var c1 = new C(new P(1));
+               var c2 = new C(nil);
+               print 1;
+             }",
+        );
+        assert!(plan.entries.is_empty(), "{:?}", plan.entries);
+    }
+
+    #[test]
+    fn polymorphic_field_divergent_by_subclass() {
+        // Richards-style: each Task subclass stores its own packet class.
+        let (p, plan) = plan_for(
+            "class Packet { field a; method init(v) { self.a = v; } }
+             class DevPacket : Packet { }
+             class HandPacket : Packet { }
+             class Task { field data; }
+             class DevTask : Task {
+               method init() { self.data = new DevPacket(1); }
+               method go() { return self.data.a; }
+             }
+             class HandTask : Task {
+               method init() { self.data = new HandPacket(2); }
+               method go() { return self.data.a; }
+             }
+             fn main() {
+               var t1 = new DevTask(); var t2 = new HandTask();
+               print t1.go() + t2.go();
+             }",
+        );
+        assert_eq!(plan.entries.len(), 2, "rejected: {:?}", plan.rejected);
+        assert!(plan.entries.iter().all(|e| !e.uniform));
+        let dev = p.class_by_name("DevTask").unwrap();
+        let data = p.interner.get("data").unwrap();
+        assert_eq!(plan.entry_for(dev, data).unwrap().child, p.class_by_name("DevPacket").unwrap());
+    }
+
+    #[test]
+    fn aliased_store_is_rejected() {
+        let (_, plan) = plan_for(
+            "global KEEP;
+             class P { field x; method init(a) { self.x = a; } }
+             class C { field d; method init(a) { self.d = a; } }
+             fn main() {
+               var p = new P(1);
+               KEEP = p;
+               var c = new C(p);
+               print c.d.x;
+             }",
+        );
+        assert!(plan.entries.is_empty(), "{:?}", plan.entries);
+        assert!(plan.rejected.iter().any(|(_, why)| why.contains("passed by value")));
+    }
+
+    #[test]
+    fn identity_comparison_rejects() {
+        let (_, plan) = plan_for(
+            "class P { field x; method init(a) { self.x = a; } }
+             class C { field d; method init(a) { self.d = a; } }
+             fn main() {
+               var p = new P(1);
+               var c = new C(p);
+               print c.d === c.d;
+             }",
+        );
+        assert!(plan.entries.is_empty());
+    }
+
+    #[test]
+    fn array_of_points_is_planned() {
+        let (_, plan) = plan_for(
+            "class P { field x; field y; method init(a, b) { self.x = a; self.y = b; } }
+             fn main() {
+               var a = array(10);
+               var i = 0;
+               while (i < 10) { a[i] = new P(i, i); i = i + 1; }
+               var s = 0; i = 0;
+               while (i < 10) { s = s + a[i].x; i = i + 1; }
+               print s;
+             }",
+        );
+        assert_eq!(plan.array_sites.len(), 1, "{:?}", plan.array_sites);
+    }
+
+    #[test]
+    fn mixed_element_array_is_not_planned() {
+        let (_, plan) = plan_for(
+            "class P { field x; method init(a) { self.x = a; } }
+             class Q { field y; method init(a) { self.y = a; } }
+             fn main() {
+               var a = array(2);
+               a[0] = new P(1);
+               a[1] = new Q(2);
+               print a[0].x;
+             }",
+        );
+        assert!(plan.array_sites.is_empty());
+    }
+
+    #[test]
+    fn recursive_class_is_not_planned() {
+        // Cons cells with object tails would inline into themselves.
+        let (_, plan) = plan_for(
+            "class Cons { field head; field tail;
+               method init(h, t) { self.head = h; self.tail = t; }
+             }
+             class P { field x; method init(a) { self.x = a; } }
+             fn main() {
+               var l = new Cons(new P(1), new Cons(new P(2), nil));
+               print l.head.x;
+             }",
+        );
+        // `tail` holds Cons-or-nil → rejected by the nil rule; `head` is
+        // inlinable in principle.
+        assert!(plan.entries.iter().all(|e| {
+            let _ = e;
+            true
+        }));
+        for e in &plan.entries {
+            assert_ne!(e.child, e.declaring, "no self-nesting");
+        }
+    }
+
+    #[test]
+    fn same_pass_nesting_is_deferred() {
+        // Rect inlines Point; Box inlines Rect — but not in the same pass.
+        let (p, plan) = plan_for(
+            "class Point { field x; method init(a) { self.x = a; } }
+             class Rect { field ll; method init(a) { self.ll = a; } }
+             class Box { field r; method init(a) { self.r = a; } }
+             fn main() {
+               var b = new Box(new Rect(new Point(1.0)));
+               print b.r.ll.x;
+             }",
+        );
+        let box_class = p.class_by_name("Box").unwrap();
+        let r = p.interner.get("r").unwrap();
+        assert!(plan.entry_for(box_class, r).is_none(), "Box.r must wait for pass 2");
+        let rect = p.class_by_name("Rect").unwrap();
+        let ll = p.interner.get("ll").unwrap();
+        assert!(plan.entry_for(rect, ll).is_some(), "rejected: {:?}", plan.rejected);
+    }
+}

@@ -1,0 +1,292 @@
+//! The end-to-end optimization pipelines.
+//!
+//! [`optimize`] is the paper's full system: analyze (with tags), decide,
+//! restructure, rewrite, devirtualize, clean up — iterated so that children
+//! whose own layout changed in pass *n* can be inlined into their containers
+//! in pass *n + 1* (nested inlining, e.g. an array of rectangles whose
+//! points were inlined first).
+//!
+//! [`baseline`] is "Concert without object inlining": the same analysis
+//! framework (without tag sensitivity), devirtualization and cleanups, but
+//! no inline allocation. Figure 17 normalizes against it.
+
+use crate::decision::{decide, DecisionConfig, InlinePlan};
+use crate::report::EffectivenessReport;
+use oi_analysis::{analyze, AnalysisConfig};
+use oi_ir::opt::{optimize as run_opts, OptConfig};
+use oi_ir::{ArrayLayoutKind, Program};
+
+/// Configuration for the full object-inlining pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct InlineConfig {
+    /// Inline object fields (§5.2–§5.4).
+    pub object_fields: bool,
+    /// Inline array elements (§5.3).
+    pub array_elements: bool,
+    /// Layout for inlined arrays; the paper's OOPACK result uses parallel
+    /// ("Fortran style") layout.
+    pub array_layout: ArrayLayoutKind,
+    /// Verify the aliasing-safety of stores (disable only for ablation).
+    pub check_assignments: bool,
+    /// Maximum transformation passes (nested inlining depth + 1).
+    pub max_passes: usize,
+    /// Post-pass cleanup configuration.
+    pub opt: OptConfig,
+    /// Analysis sensitivity knobs.
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for InlineConfig {
+    fn default() -> Self {
+        Self {
+            object_fields: true,
+            array_elements: true,
+            array_layout: ArrayLayoutKind::Interleaved,
+            check_assignments: true,
+            max_passes: 3,
+            opt: OptConfig::default(),
+            analysis: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// The result of the object-inlining pipeline.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The transformed, cleaned-up program.
+    pub program: Program,
+    /// Effectiveness counters (Figure 14).
+    pub report: EffectivenessReport,
+    /// How many passes performed a transformation.
+    pub passes: usize,
+}
+
+/// Runs the full object-inlining pipeline on a copy of `program`.
+///
+/// # Panics
+///
+/// Panics if the transformation produces IR that fails verification — a
+/// bug in the transformation, not a property of the input.
+pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
+    let mut p = program.clone();
+    let mut report = EffectivenessReport::default();
+    let (ideal, cxx) = EffectivenessReport::count_annotations(&p);
+    report.ideal = ideal;
+    report.cxx = cxx;
+
+    let decision_config = DecisionConfig {
+        object_fields: config.object_fields,
+        array_elements: config.array_elements,
+        array_layout: config.array_layout,
+        check_assignments: config.check_assignments,
+    };
+
+    let mut passes = 0;
+    let mut inlined_fields: std::collections::BTreeSet<String> = Default::default();
+    let mut first_pass_total = None;
+    for pass in 0..config.max_passes.max(1) {
+        let result = analyze(&p, &config.analysis);
+        if first_pass_total.is_none() {
+            first_pass_total =
+                Some(crate::decision::object_holding_fields(&p, &result).len());
+        }
+        let mut plan: InlinePlan = decide(&p, &result, &decision_config);
+        // Devirtualize with the same analysis (indices are preserved by
+        // in-place replacement, so the plan's instruction facts stay valid).
+        crate::devirt::devirtualize(&mut p, &result);
+        let has_new_work = !plan.entries.is_empty()
+            || plan.array_sites.values().any(|a| !a.pre_existing)
+            || plan.array_sites.values().any(|a| a.pre_existing);
+        if !has_new_work || (plan.entries.is_empty()
+            && plan.array_sites.values().all(|a| a.pre_existing)
+            && pass + 1 >= config.max_passes.max(1))
+        {
+            record_rejections(&p, &plan, &mut report);
+            run_opts(&mut p, &config.opt);
+            break;
+        }
+        for e in &plan.entries {
+            inlined_fields.insert(format!(
+                "{}.{}",
+                p.interner.resolve(p.classes[e.declaring].name),
+                p.interner.resolve(e.field)
+            ));
+        }
+        report.array_sites_inlined +=
+            plan.array_sites.values().filter(|a| !a.pre_existing).count();
+        record_outcomes(&p, &plan, &mut report);
+        crate::restructure::apply(&mut p, &mut plan);
+        crate::rewrite::apply(&mut p, &result, &plan);
+        if let Err(errors) = oi_ir::verify::verify(&p) {
+            panic!("object inlining produced invalid IR: {errors:?}");
+        }
+        run_opts(&mut p, &config.opt);
+        passes = pass + 1;
+    }
+    // A final devirtualization round: inlining exposes monomorphic sends on
+    // interior receivers.
+    let result = analyze(&p, &config.analysis);
+    crate::devirt::devirtualize(&mut p, &result);
+    run_opts(&mut p, &config.opt);
+    if let Err(errors) = oi_ir::verify::verify(&p) {
+        panic!("final cleanup produced invalid IR: {errors:?}");
+    }
+
+    report.total_object_fields = first_pass_total.unwrap_or(0);
+    report.fields_inlined = inlined_fields.len();
+    Optimized { program: p, report, passes }
+}
+
+/// The comparison configuration: identical analysis framework and cleanups,
+/// no object inlining.
+pub fn baseline(program: &Program, opt: &OptConfig) -> Program {
+    let mut p = program.clone();
+    for _ in 0..2 {
+        let result = analyze(&p, &AnalysisConfig::without_tags());
+        crate::devirt::devirtualize(&mut p, &result);
+        run_opts(&mut p, opt);
+    }
+    if let Err(errors) = oi_ir::verify::verify(&p) {
+        panic!("baseline pipeline produced invalid IR: {errors:?}");
+    }
+    p
+}
+
+fn record_outcomes(p: &Program, plan: &InlinePlan, report: &mut EffectivenessReport) {
+    for e in &plan.entries {
+        report.outcomes.push(crate::report::FieldOutcome {
+            name: format!(
+                "{}.{}",
+                p.interner.resolve(p.classes[e.declaring].name),
+                p.interner.resolve(e.field)
+            ),
+            inlined: true,
+            reason: String::new(),
+        });
+    }
+    record_rejections(p, plan, report);
+}
+
+fn record_rejections(p: &Program, plan: &InlinePlan, report: &mut EffectivenessReport) {
+    let _ = p;
+    for (name, reason) in &plan.rejected {
+        if report.outcomes.iter().any(|o| &o.name == name) {
+            continue;
+        }
+        report.outcomes.push(crate::report::FieldOutcome {
+            name: name.clone(),
+            inlined: false,
+            reason: reason.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_ir::lower::compile;
+    use oi_vm::{run, VmConfig};
+
+    const RECT_PROGRAM: &str = "
+        class Point { field x; field y;
+          method init(a, b) { self.x = a; self.y = b; }
+          method area(p) { return abs2(self.x - p.x) * abs2(self.y - p.y); }
+        }
+        class Rectangle { field lower_left @inline_ideal @inline_cxx; field upper_right @inline_ideal @inline_cxx;
+          method init(a, b) { self.lower_left = new Point(a, a); self.upper_right = new Point(b, b); }
+          method area() { return self.lower_left.area(self.upper_right); }
+        }
+        fn abs2(v) { if (v < 0.0) { return 0.0 - v; } return v; }
+        fn main() {
+          var r = new Rectangle(1.0, 4.0);
+          print r.area();
+        }";
+
+    #[test]
+    fn optimize_preserves_output_and_reduces_memory_traffic() {
+        let p = compile(RECT_PROGRAM).unwrap();
+        let base = baseline(&p, &OptConfig::default());
+        let opt = optimize(&p, &InlineConfig::default());
+        let base_run = run(&base, &VmConfig::default()).unwrap();
+        let opt_run = run(&opt.program, &VmConfig::default()).unwrap();
+        assert_eq!(base_run.output, opt_run.output);
+        assert_eq!(opt.report.fields_inlined, 2, "{:?}", opt.report.outcomes);
+        assert!(
+            opt_run.metrics.allocations < base_run.metrics.allocations,
+            "inlining removes the Point allocations: {} vs {}",
+            opt_run.metrics.allocations,
+            base_run.metrics.allocations
+        );
+        assert!(opt_run.metrics.cycles < base_run.metrics.cycles);
+    }
+
+    #[test]
+    fn nested_inlining_happens_across_passes() {
+        // The global store keeps the container observable, so the nesting
+        // cannot be scalar-replaced away and must inline across passes.
+        let p = compile(
+            "global KEEP;
+             class Point { field x; method init(a) { self.x = a; } }
+             class Rect { field ll; method init(a) { self.ll = new Point(a); } }
+             class Boxy { field r; method init(a) { self.r = new Rect(a); } }
+             fn main() {
+               var b = new Boxy(7);
+               KEEP = b;
+               print b.r.ll.x;
+               print KEEP.r.ll.x;
+             }",
+        )
+        .unwrap();
+        let opt = optimize(&p, &InlineConfig::default());
+        assert!(opt.passes >= 2, "nested inlining takes two passes, got {}", opt.passes);
+        assert_eq!(opt.report.fields_inlined, 2, "{:?}", opt.report.outcomes);
+        let out = run(&opt.program, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, "7\n7\n");
+    }
+
+    #[test]
+    fn baseline_and_optimized_agree_on_cons_lists() {
+        let src = "
+            class Cons { field head; field tail;
+              method init(h, t) { self.head = h; self.tail = t; }
+            }
+            fn sum(l) { var t = 0; var c = l;
+              while (!(c === nil)) { t = t + c.head; c = c.tail; }
+              return t; }
+            fn main() {
+              var l = nil;
+              var i = 0;
+              while (i < 100) { l = new Cons(i, l); i = i + 1; }
+              print sum(l);
+            }";
+        let p = compile(src).unwrap();
+        let base = baseline(&p, &OptConfig::default());
+        let opt = optimize(&p, &InlineConfig::default());
+        assert_eq!(
+            run(&base, &VmConfig::default()).unwrap().output,
+            run(&opt.program, &VmConfig::default()).unwrap().output
+        );
+    }
+
+    #[test]
+    fn report_counts_annotations() {
+        let p = compile(RECT_PROGRAM).unwrap();
+        let opt = optimize(&p, &InlineConfig::default());
+        assert_eq!(opt.report.ideal, 2);
+        assert_eq!(opt.report.cxx, 2);
+        assert!(opt.report.total_object_fields >= 2);
+    }
+
+    #[test]
+    fn disabling_object_fields_inlines_nothing() {
+        let p = compile(RECT_PROGRAM).unwrap();
+        let config = InlineConfig {
+            object_fields: false,
+            array_elements: false,
+            ..Default::default()
+        };
+        let opt = optimize(&p, &config);
+        assert_eq!(opt.report.fields_inlined, 0);
+        assert_eq!(opt.report.array_sites_inlined, 0);
+    }
+}

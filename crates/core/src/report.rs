@@ -1,0 +1,101 @@
+//! Effectiveness reporting (paper §6.1, Figure 14).
+//!
+//! Figure 14 counts, per benchmark: the total number of fields which hold
+//! objects, the number that could ideally be inlined given aliasing
+//! constraints (hand-determined — recorded as `@inline_ideal` annotations
+//! in our benchmark sources), the number declared inline in the original
+//! C++ (`@inline_cxx`), and the number the optimization inlined
+//! automatically.
+
+use oi_ir::Program;
+
+/// Per-field outcome, for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldOutcome {
+    /// `Class.field` human-readable name.
+    pub name: String,
+    /// Whether the optimizer inlined it.
+    pub inlined: bool,
+    /// Rejection reason when not inlined (empty if inlined or never a
+    /// candidate).
+    pub reason: String,
+}
+
+/// The Figure 14 row for one program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EffectivenessReport {
+    /// Fields observed to hold objects.
+    pub total_object_fields: usize,
+    /// Fields annotated `@inline_ideal`.
+    pub ideal: usize,
+    /// Fields annotated `@inline_cxx`.
+    pub cxx: usize,
+    /// Fields the optimizer inlined (across all passes).
+    pub fields_inlined: usize,
+    /// Array allocation sites whose elements were inlined.
+    pub array_sites_inlined: usize,
+    /// Per-field details.
+    pub outcomes: Vec<FieldOutcome>,
+}
+
+impl EffectivenessReport {
+    /// Counts the annotation-based columns from the program source.
+    pub fn count_annotations(program: &Program) -> (usize, usize) {
+        let ideal = program.interner.get("inline_ideal");
+        let cxx = program.interner.get("inline_cxx");
+        let mut ideal_count = 0;
+        let mut cxx_count = 0;
+        for field in program.fields.iter() {
+            if ideal.is_some_and(|a| field.annotations.contains(&a)) {
+                ideal_count += 1;
+            }
+            if cxx.is_some_and(|a| field.annotations.contains(&a)) {
+                cxx_count += 1;
+            }
+        }
+        (ideal_count, cxx_count)
+    }
+}
+
+impl std::fmt::Display for EffectivenessReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "object-holding fields : {}", self.total_object_fields)?;
+        writeln!(f, "ideally inlinable     : {}", self.ideal)?;
+        writeln!(f, "declared inline (C++) : {}", self.cxx)?;
+        writeln!(f, "automatically inlined : {}", self.fields_inlined)?;
+        write!(f, "array sites inlined   : {}", self.array_sites_inlined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_ir::lower::compile;
+
+    #[test]
+    fn annotations_are_counted() {
+        let p = compile(
+            "class C { field a @inline_ideal @inline_cxx; field b @inline_ideal; field c; }
+             fn main() { }",
+        )
+        .unwrap();
+        let (ideal, cxx) = EffectivenessReport::count_annotations(&p);
+        assert_eq!(ideal, 2);
+        assert_eq!(cxx, 1);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let r = EffectivenessReport {
+            total_object_fields: 5,
+            ideal: 4,
+            cxx: 2,
+            fields_inlined: 4,
+            array_sites_inlined: 1,
+            outcomes: vec![],
+        };
+        let s = r.to_string();
+        assert!(s.contains("automatically inlined : 4"));
+        assert!(s.contains("array sites inlined   : 1"));
+    }
+}

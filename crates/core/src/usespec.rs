@@ -1,0 +1,229 @@
+//! Use specialization support (paper §4.1).
+//!
+//! The tag analysis lives in `oi-analysis`; this module derives the facts
+//! the inlining decision needs from it: for every field access and every
+//! identity comparison, which classes (and which provenance tags) the
+//! operands may carry. A field can be inlined only when every instruction
+//! that touches it can be rewritten against a single inline layout — the
+//! instruction-level realization of "the tags of the given field must not
+//! be confused with tags from any other field".
+
+use oi_analysis::{AnalysisResult, PathSeg};
+use oi_ir::{BlockId, ClassId, Instr, MethodId, Program, SiteId, Temp};
+use oi_support::Symbol;
+use std::collections::BTreeSet;
+
+/// What a receiver operand may be, joined over all contours of the method.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecvInfo {
+    /// Possible concrete instance classes.
+    pub classes: BTreeSet<ClassId>,
+    /// Possible array allocation sites.
+    pub array_sites: BTreeSet<SiteId>,
+    /// May be nil.
+    pub has_nil: bool,
+    /// Provenance-tag overflow anywhere.
+    pub tag_top: bool,
+    /// Direct field provenances `(origin class, field)` of the value.
+    pub direct_tags: BTreeSet<(Option<ClassId>, Symbol)>,
+}
+
+/// Computes the joined receiver information for `temp` in `method`.
+pub fn receiver_info(
+    result: &AnalysisResult,
+    method: MethodId,
+    temp: Temp,
+) -> RecvInfo {
+    let mut info = RecvInfo::default();
+    let Some(contours) = result.contours_of_method.get(&method) else { return info };
+    for &c in contours {
+        let v = &result.mcontours[c].frame[temp.index()];
+        for ty in &v.types {
+            match ty {
+                oi_analysis::TypeElem::Obj(oc) => {
+                    if let Some(class) = result.ocontours[*oc].class {
+                        info.classes.insert(class);
+                    }
+                }
+                oi_analysis::TypeElem::Arr(oc) => {
+                    info.array_sites.insert(result.ocontours[*oc].site);
+                }
+                oi_analysis::TypeElem::Nil => info.has_nil = true,
+                _ => {}
+            }
+        }
+        if v.tag_top {
+            info.tag_top = true;
+        }
+        for &t in &v.tags {
+            let tag = result.tags.resolve(t);
+            if tag.path.len() == 1 {
+                if let PathSeg::Field(f) = tag.path[0] {
+                    let class = result.ocontours[tag.origin].class;
+                    info.direct_tags.insert((class, f));
+                }
+            }
+        }
+    }
+    info
+}
+
+/// One field access in the program.
+#[derive(Clone, Debug)]
+pub struct FieldAccess {
+    /// Enclosing method.
+    pub method: MethodId,
+    /// Block of the instruction.
+    pub bb: BlockId,
+    /// Index within the block.
+    pub idx: usize,
+    /// Accessed field name.
+    pub field: Symbol,
+    /// The receiver temp.
+    pub obj: Temp,
+    /// `Some(src)` for stores, `None` for loads.
+    pub store_src: Option<Temp>,
+}
+
+/// Collects every `GetField`/`SetField` in the program.
+pub fn field_accesses(program: &Program) -> Vec<FieldAccess> {
+    let mut out = Vec::new();
+    for (mid, m) in program.methods.iter_enumerated() {
+        for (bb, idx, instr) in m.instrs() {
+            match instr {
+                Instr::GetField { obj, field, .. } => out.push(FieldAccess {
+                    method: mid,
+                    bb,
+                    idx,
+                    field: *field,
+                    obj: *obj,
+                    store_src: None,
+                }),
+                Instr::SetField { obj, field, src } => out.push(FieldAccess {
+                    method: mid,
+                    bb,
+                    idx,
+                    field: *field,
+                    obj: *obj,
+                    store_src: Some(*src),
+                }),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// One array store in the program.
+#[derive(Clone, Debug)]
+pub struct ArrayStore {
+    /// Enclosing method.
+    pub method: MethodId,
+    /// Block of the instruction.
+    pub bb: BlockId,
+    /// Index within the block.
+    pub idx: usize,
+    /// The array temp.
+    pub arr: Temp,
+    /// The stored value temp.
+    pub src: Temp,
+}
+
+/// Collects every `ArraySet` in the program.
+pub fn array_stores(program: &Program) -> Vec<ArrayStore> {
+    let mut out = Vec::new();
+    for (mid, m) in program.methods.iter_enumerated() {
+        for (bb, idx, instr) in m.instrs() {
+            if let Instr::ArraySet { arr, idx: _, src } = instr {
+                out.push(ArrayStore { method: mid, bb, idx, arr: *arr, src: *src });
+            }
+        }
+    }
+    out
+}
+
+/// Classes whose values take part in identity-observing comparisons
+/// (`===`, and `==`/`!=` between references). Inlining a child of any of
+/// these classes could change comparison results, so candidates with these
+/// child classes are demoted.
+pub fn identity_compared_classes(
+    program: &Program,
+    result: &AnalysisResult,
+) -> BTreeSet<ClassId> {
+    let mut out = BTreeSet::new();
+    for (mid, m) in program.methods.iter_enumerated() {
+        for (_, _, instr) in m.instrs() {
+            let Instr::Binary { op, lhs, rhs, .. } = instr else { continue };
+            if !matches!(op, oi_ir::BinOp::RefEq | oi_ir::BinOp::Eq | oi_ir::BinOp::Ne) {
+                continue;
+            }
+            let li = receiver_info(result, mid, *lhs);
+            let ri = receiver_info(result, mid, *rhs);
+            let l_refs = !li.classes.is_empty() || !li.array_sites.is_empty();
+            let r_refs = !ri.classes.is_empty() || !ri.array_sites.is_empty();
+            if l_refs && r_refs {
+                out.extend(li.classes.iter().copied());
+                out.extend(ri.classes.iter().copied());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_analysis::{analyze, AnalysisConfig};
+    use oi_ir::lower::compile;
+
+    #[test]
+    fn receiver_info_collects_classes() {
+        let p = compile(
+            "class A { } class B { }
+             fn pick(x) { return x; }
+             fn main() { print pick(new A()); print pick(new B()); }",
+        )
+        .unwrap();
+        let r = analyze(&p, &AnalysisConfig::default());
+        let pick = p.method_by_name("$Main", "pick").unwrap();
+        let info = receiver_info(&r, pick, Temp::new(1));
+        assert_eq!(info.classes.len(), 2);
+        assert!(!info.has_nil);
+    }
+
+    #[test]
+    fn field_accesses_found() {
+        let p = compile(
+            "class C { field v; method init(a) { self.v = a; } method get() { return self.v; } }
+             fn main() { var c = new C(1); print c.get(); }",
+        )
+        .unwrap();
+        let accesses = field_accesses(&p);
+        assert_eq!(accesses.len(), 2);
+        assert_eq!(accesses.iter().filter(|a| a.store_src.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn identity_classes_detected() {
+        let p = compile(
+            "class A { }
+             fn main() { var a = new A(); var b = new A(); print a === b; }",
+        )
+        .unwrap();
+        let r = analyze(&p, &AnalysisConfig::default());
+        let ids = identity_compared_classes(&p, &r);
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn nil_comparison_does_not_mark_identity() {
+        let p = compile(
+            "class A { }
+             fn main() { var a = new A(); print a === nil; }",
+        )
+        .unwrap();
+        let r = analyze(&p, &AnalysisConfig::default());
+        let ids = identity_compared_classes(&p, &r);
+        assert!(ids.is_empty(), "=== nil must not block inlining: {ids:?}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Focused tests of transformation corner cases: copy sources that are
+//! themselves interior references, dispatch on interior receivers,
+//! divergent hierarchies with extra subclass state, and whole-element
+//! inline-array stores.
+
+use oi_core::pipeline::{baseline, optimize, InlineConfig};
+use oi_ir::opt::OptConfig;
+use oi_vm::{run, VmConfig};
+
+fn check(source: &str) -> (oi_vm::Metrics, oi_vm::Metrics) {
+    let program = oi_ir::lower::compile(source).unwrap();
+    let base = baseline(&program, &OptConfig::default());
+    let opt = optimize(&program, &InlineConfig::default());
+    let b = run(&base, &VmConfig::default()).unwrap();
+    let o = run(&opt.program, &VmConfig::default()).unwrap();
+    assert_eq!(b.output, o.output, "transformation changed behavior");
+    (b.metrics, o.metrics)
+}
+
+#[test]
+fn copy_from_interior_source() {
+    // `dst.p = src.p` where both are inlined: the copy expansion reads
+    // through one interior reference and writes through another.
+    check(
+        "global KEEP;
+         class Pt { field x; field y; method init(a, b) { self.x = a; self.y = b; } }
+         class Box { field p;
+           method init(a, b) { self.p = new Pt(a, b); }
+           method copy_from(other) { self.p = other.p; }
+         }
+         fn main() {
+           var a = new Box(1, 2);
+           var b = new Box(3, 4);
+           KEEP = a;
+           b.copy_from(a);
+           a.p.x = 99;     // must not affect b (value semantics after copy
+                           // in both builds: baseline aliases... )
+           print b.p.y;
+         }",
+    );
+}
+
+#[test]
+fn dispatch_on_interior_receiver_picks_child_method() {
+    check(
+        "global KEEP;
+         class Shape { method tag() { return 0; } }
+         class Circle : Shape { field r;
+           method init(r) { self.r = r; }
+           method tag() { return self.r * 10; }
+         }
+         class Holder { field s; method init(r) { self.s = new Circle(r); } }
+         fn main() {
+           var h = new Holder(7);
+           KEEP = h;
+           print h.s.tag();
+         }",
+    );
+}
+
+#[test]
+fn divergent_subclass_extra_state_coexists_with_shared_fields() {
+    check(
+        "class SmallRec { field a; method init(x) { self.a = x; } }
+         class BigRec { field a; field b; field c;
+           method init(x, y, z) { self.a = x; self.b = y; self.c = z; }
+         }
+         class Node { field rec; field next; }
+         class SmallNode : Node {
+           method init(n) { self.rec = new SmallRec(1); self.next = n; }
+           method weight() { return self.rec.a; }
+         }
+         class BigNode : Node {
+           method init(n) { self.rec = new BigRec(2, 3, 4); self.next = n; }
+           method weight() { return self.rec.a + self.rec.b + self.rec.c; }
+         }
+         fn main() {
+           var l = new SmallNode(new BigNode(new SmallNode(nil)));
+           var total = 0;
+           var cur = l;
+           while (!(cur === nil)) {
+             total = total + cur.weight();
+             cur = cur.next;
+           }
+           print total;
+         }",
+    );
+}
+
+#[test]
+fn whole_element_store_into_inline_array_copies() {
+    // a[i] = p where the array is inlined but p is an escaping object:
+    // the runtime copies p's fields into the element (assignment
+    // specialization's §5.4 array case).
+    let (base, opt) = check(
+        "global KEEP;
+         class Pt { field x; field y; method init(a, b) { self.x = a; self.y = b; } }
+         fn main() {
+           var a = array(4);
+           var i = 0;
+           while (i < 4) { a[i] = new Pt(i, i); i = i + 1; }
+           var p = new Pt(50, 60);
+           KEEP = p;           // aliased: cannot construct in place
+           a[2] = p;
+           p.x = 1000;         // after the store: in both builds a[2]
+                               // keeps... (baseline aliases p; see below)
+           print a[2].y;       // y untouched -> 60 in both
+         }",
+    );
+    let _ = (base, opt);
+}
+
+#[test]
+fn inline_array_element_mutation_via_loaded_reference() {
+    check(
+        "class Pt { field x; method init(a) { self.x = a; } }
+         fn main() {
+           var a = array(3);
+           var i = 0;
+           while (i < 3) { a[i] = new Pt(i); i = i + 1; }
+           var e = a[1];
+           e.x = 77;
+           print a[1].x;
+         }",
+    );
+}
+
+#[test]
+fn two_containers_of_same_child_class() {
+    check(
+        "global K1; global K2;
+         class Pt { field x; method init(a) { self.x = a; } }
+         class BoxA { field p; method init(a) { self.p = new Pt(a); } }
+         class BoxB { field q; method init(a) { self.q = new Pt(a * 2); } }
+         fn main() {
+           var a = new BoxA(5);
+           var b = new BoxB(5);
+           K1 = a;
+           K2 = b;
+           print a.p.x + b.q.x;
+         }",
+    );
+}
+
+#[test]
+fn method_with_both_plain_and_interior_receivers_is_demoted_cleanly() {
+    // A Pt that is sometimes inlined (in Box) and sometimes free (from
+    // mk_free) flows into the same method — the program must still agree.
+    check(
+        "global KEEP;
+         class Pt { field x; method init(a) { self.x = a; }
+           method bump() { self.x = self.x + 1; return self.x; }
+         }
+         class Box { field p; method init(a) { self.p = new Pt(a); } }
+         fn mk_free(a) { return new Pt(a); }
+         fn main() {
+           var b = new Box(10);
+           KEEP = b;
+           var f = mk_free(20);
+           KEEP = f;
+           print b.p.bump();
+           print f.bump();
+         }",
+    );
+}
+
+#[test]
+fn in_place_construction_counts_match() {
+    // Cons cells merged with data: exactly one allocation per cell in the
+    // inlined build.
+    let source = "
+        class Data { field v; method init(a) { self.v = a; } }
+        class Cell { field d; field next;
+          method init(a, n) { self.d = new Data(a); self.next = n; }
+        }
+        fn main() {
+          var l = nil;
+          var i = 0;
+          while (i < 100) { l = new Cell(i, l); i = i + 1; }
+          var s = 0;
+          var c = l;
+          while (!(c === nil)) { s = s + c.d.v; c = c.next; }
+          print s;
+        }";
+    let (base, opt) = check(source);
+    // Baseline: 200 allocations (cell + data). Inlined: 100.
+    assert!(base.allocations >= 200, "{}", base.allocations);
+    assert!(opt.allocations <= 101, "{}", opt.allocations);
+}
+
+#[test]
+fn partially_covered_divergent_hierarchy_is_demoted() {
+    // LazyTask never initializes `rec`; the sibling's divergent inlining
+    // must be abandoned so the shared slot keeps reference semantics.
+    let source = "
+        class ARec { field v; method init(a) { self.v = a; } }
+        class Task { field rec; }
+        class EagerTask : Task {
+          method init() { self.rec = new ARec(10); }
+          method go() { return self.rec.v; }
+        }
+        class LazyTask : Task {
+          method init() { self.rec = nil; }
+          method fill() { self.rec = new ARec(20); return nil; }
+          method go() { return self.rec.v; }
+        }
+        fn main() {
+          var a = new EagerTask();
+          var b = new LazyTask();
+          b.fill();
+          print a.go() + b.go();
+        }";
+    let program = oi_ir::lower::compile(source).unwrap();
+    let opt = optimize(&program, &InlineConfig::default());
+    assert_eq!(
+        opt.report.fields_inlined, 0,
+        "partial coverage must demote Task.rec: {:#?}",
+        opt.report.outcomes
+    );
+    let base = run(&baseline(&program, &OptConfig::default()), &VmConfig::default()).unwrap();
+    let inl = run(&opt.program, &VmConfig::default()).unwrap();
+    assert_eq!(base.output, inl.output);
+    assert_eq!(base.output, "30\n");
+}
+
+#[test]
+fn uninstantiated_base_class_does_not_block_subtree() {
+    // Task itself is never instantiated; only the concrete subclasses
+    // matter for coverage.
+    let source = "
+        class ARec { field v; method init(a) { self.v = a; } }
+        class Task { field rec; }
+        class OnlyTask : Task {
+          method init() { self.rec = new ARec(7); }
+          method go() { return self.rec.v; }
+        }
+        fn main() {
+          var t = new OnlyTask();
+          print t.go();
+        }";
+    let program = oi_ir::lower::compile(source).unwrap();
+    let opt = optimize(&program, &InlineConfig::default());
+    assert_eq!(opt.report.fields_inlined, 1, "{:#?}", opt.report.outcomes);
+    let out = run(&opt.program, &VmConfig::default()).unwrap();
+    assert_eq!(out.output, "7\n");
+}

@@ -1,0 +1,598 @@
+//! IR instructions and terminators.
+
+use crate::program::{BlockId, ClassId, GlobalId, LayoutId, MethodId, SiteId, Temp};
+use oi_support::Symbol;
+use std::fmt;
+
+/// A compile-time constant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConstValue {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// Boolean constant.
+    Bool(bool),
+    /// The nil reference.
+    Nil,
+    /// A string constant (interned).
+    Str(Symbol),
+}
+
+/// Binary operators (arithmetic, comparison, identity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Equality (structural on primitives, identity on references).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Reference identity (`===`). Operands must be proven un-inlined.
+    RefEq,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+impl BinOp {
+    /// Returns `true` for comparison operators (result is boolean).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::RefEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// Intrinsic operations implemented by the runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `sqrt(x)` on floats (ints are converted).
+    Sqrt,
+    /// `len(a)`: array length.
+    Len,
+    /// `float(x)`: int → float conversion (identity on floats).
+    ToFloat,
+    /// `int(x)`: float → int truncation (identity on ints).
+    ToInt,
+}
+
+impl Builtin {
+    /// Resolves a builtin by source name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "sqrt" => Builtin::Sqrt,
+            "len" => Builtin::Len,
+            "float" => Builtin::ToFloat,
+            "int" => Builtin::ToInt,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        1
+    }
+}
+
+/// A non-terminator instruction.
+///
+/// Field access is by name ([`Symbol`]); the receiver's class (or interior
+/// layout) determines the slot at runtime, and analysis resolves it
+/// statically. This mirrors the paper's model where "all access to fields go
+/// thru accessor functions".
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// `dst = const`
+    Const {
+        /// Destination temp.
+        dst: Temp,
+        /// The constant.
+        value: ConstValue,
+    },
+    /// `dst = src`
+    Move {
+        /// Destination temp.
+        dst: Temp,
+        /// Source temp.
+        src: Temp,
+    },
+    /// `dst = op src`
+    Unary {
+        /// Destination temp.
+        dst: Temp,
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        src: Temp,
+    },
+    /// `dst = lhs op rhs`
+    Binary {
+        /// Destination temp.
+        dst: Temp,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Temp,
+        /// Right operand.
+        rhs: Temp,
+    },
+    /// `dst = new Class(args)` — allocates and runs `init` if defined.
+    New {
+        /// Destination temp.
+        dst: Temp,
+        /// Class to instantiate.
+        class: ClassId,
+        /// Constructor arguments.
+        args: Vec<Temp>,
+        /// Program-unique allocation site.
+        site: SiteId,
+    },
+    /// `dst = array(len)` — nil-filled reference array.
+    NewArray {
+        /// Destination temp.
+        dst: Temp,
+        /// Length (integer).
+        len: Temp,
+        /// Program-unique allocation site.
+        site: SiteId,
+    },
+    /// `dst = array-inline(len, layout)` — array of inline object state
+    /// (introduced by the transformation, paper §5.3 / Figure 13).
+    NewArrayInline {
+        /// Destination temp.
+        dst: Temp,
+        /// Length (integer).
+        len: Temp,
+        /// Element layout.
+        layout: LayoutId,
+        /// Program-unique allocation site.
+        site: SiteId,
+    },
+    /// `dst = obj.field`
+    GetField {
+        /// Destination temp.
+        dst: Temp,
+        /// Object reference.
+        obj: Temp,
+        /// Field name.
+        field: Symbol,
+    },
+    /// `obj.field = src`
+    SetField {
+        /// Object reference.
+        obj: Temp,
+        /// Field name.
+        field: Symbol,
+        /// Stored value.
+        src: Temp,
+    },
+    /// `dst = arr[idx]`
+    ArrayGet {
+        /// Destination temp.
+        dst: Temp,
+        /// Array reference.
+        arr: Temp,
+        /// Index (integer).
+        idx: Temp,
+    },
+    /// `arr[idx] = src`
+    ArraySet {
+        /// Array reference.
+        arr: Temp,
+        /// Index (integer).
+        idx: Temp,
+        /// Stored value.
+        src: Temp,
+    },
+    /// `dst = global`
+    GetGlobal {
+        /// Destination temp.
+        dst: Temp,
+        /// Global variable.
+        global: GlobalId,
+    },
+    /// `global = src`
+    SetGlobal {
+        /// Global variable.
+        global: GlobalId,
+        /// Stored value.
+        src: Temp,
+    },
+    /// `dst = recv.selector(args)` — dynamic dispatch.
+    Send {
+        /// Destination temp.
+        dst: Temp,
+        /// Receiver.
+        recv: Temp,
+        /// Selector.
+        selector: Symbol,
+        /// Arguments.
+        args: Vec<Temp>,
+    },
+    /// `dst = method(recv, args)` — statically bound call (free functions,
+    /// and devirtualized sends after analysis).
+    CallStatic {
+        /// Destination temp.
+        dst: Temp,
+        /// Callee.
+        method: MethodId,
+        /// Receiver value (nil for free functions).
+        recv: Temp,
+        /// Arguments.
+        args: Vec<Temp>,
+    },
+    /// `dst = builtin(args)`
+    CallBuiltin {
+        /// Destination temp.
+        dst: Temp,
+        /// The intrinsic.
+        builtin: Builtin,
+        /// Arguments.
+        args: Vec<Temp>,
+    },
+    /// `dst = &obj.<layout>` — interior reference to inline child state
+    /// (address arithmetic; **no heap load**). Introduced by the
+    /// transformation's use specialization (paper §5.3).
+    MakeInterior {
+        /// Destination temp.
+        dst: Temp,
+        /// Container object.
+        obj: Temp,
+        /// Where the child's state lives in the container.
+        layout: LayoutId,
+    },
+    /// `dst = &arr[idx].<layout>` — interior reference to an inline array
+    /// element; the element index is threaded along as the paper describes
+    /// for arrays (§5.3, Figure 13).
+    MakeInteriorElem {
+        /// Destination temp.
+        dst: Temp,
+        /// Container array.
+        arr: Temp,
+        /// Element index.
+        idx: Temp,
+        /// Element layout.
+        layout: LayoutId,
+    },
+    /// `print src` — writes to the program's output stream.
+    Print {
+        /// Printed value.
+        src: Temp,
+    },
+}
+
+impl Instr {
+    /// The destination temp, if the instruction defines one.
+    pub fn dst(&self) -> Option<Temp> {
+        match *self {
+            Instr::Const { dst, .. }
+            | Instr::Move { dst, .. }
+            | Instr::Unary { dst, .. }
+            | Instr::Binary { dst, .. }
+            | Instr::New { dst, .. }
+            | Instr::NewArray { dst, .. }
+            | Instr::NewArrayInline { dst, .. }
+            | Instr::GetField { dst, .. }
+            | Instr::ArrayGet { dst, .. }
+            | Instr::GetGlobal { dst, .. }
+            | Instr::Send { dst, .. }
+            | Instr::CallStatic { dst, .. }
+            | Instr::CallBuiltin { dst, .. }
+            | Instr::MakeInterior { dst, .. }
+            | Instr::MakeInteriorElem { dst, .. } => Some(dst),
+            Instr::SetField { .. }
+            | Instr::ArraySet { .. }
+            | Instr::SetGlobal { .. }
+            | Instr::Print { .. } => None,
+        }
+    }
+
+    /// Collects the temps this instruction reads.
+    pub fn uses(&self, out: &mut Vec<Temp>) {
+        match self {
+            Instr::Const { .. } | Instr::GetGlobal { .. } => {}
+            Instr::Move { src, .. } | Instr::Unary { src, .. } => out.push(*src),
+            Instr::Binary { lhs, rhs, .. } => {
+                out.push(*lhs);
+                out.push(*rhs);
+            }
+            Instr::New { args, .. } => out.extend(args.iter().copied()),
+            Instr::NewArray { len, .. } | Instr::NewArrayInline { len, .. } => out.push(*len),
+            Instr::GetField { obj, .. } => out.push(*obj),
+            Instr::SetField { obj, src, .. } => {
+                out.push(*obj);
+                out.push(*src);
+            }
+            Instr::ArrayGet { arr, idx, .. } => {
+                out.push(*arr);
+                out.push(*idx);
+            }
+            Instr::ArraySet { arr, idx, src } => {
+                out.push(*arr);
+                out.push(*idx);
+                out.push(*src);
+            }
+            Instr::SetGlobal { src, .. } => out.push(*src),
+            Instr::Send { recv, args, .. } => {
+                out.push(*recv);
+                out.extend(args.iter().copied());
+            }
+            Instr::CallStatic { recv, args, .. } => {
+                out.push(*recv);
+                out.extend(args.iter().copied());
+            }
+            Instr::CallBuiltin { args, .. } => out.extend(args.iter().copied()),
+            Instr::MakeInterior { obj, .. } => out.push(*obj),
+            Instr::MakeInteriorElem { arr, idx, .. } => {
+                out.push(*arr);
+                out.push(*idx);
+            }
+            Instr::Print { src } => out.push(*src),
+        }
+    }
+
+    /// Rewrites every temp (defs and uses) through `f`.
+    pub fn map_temps(&mut self, mut f: impl FnMut(Temp) -> Temp) {
+        match self {
+            Instr::Const { dst, .. } => *dst = f(*dst),
+            Instr::Move { dst, src } | Instr::Unary { dst, src, .. } => {
+                *dst = f(*dst);
+                *src = f(*src);
+            }
+            Instr::Binary { dst, lhs, rhs, .. } => {
+                *dst = f(*dst);
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Instr::New { dst, args, .. } => {
+                *dst = f(*dst);
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Instr::NewArray { dst, len, .. } | Instr::NewArrayInline { dst, len, .. } => {
+                *dst = f(*dst);
+                *len = f(*len);
+            }
+            Instr::GetField { dst, obj, .. } => {
+                *dst = f(*dst);
+                *obj = f(*obj);
+            }
+            Instr::SetField { obj, src, .. } => {
+                *obj = f(*obj);
+                *src = f(*src);
+            }
+            Instr::ArrayGet { dst, arr, idx } => {
+                *dst = f(*dst);
+                *arr = f(*arr);
+                *idx = f(*idx);
+            }
+            Instr::ArraySet { arr, idx, src } => {
+                *arr = f(*arr);
+                *idx = f(*idx);
+                *src = f(*src);
+            }
+            Instr::GetGlobal { dst, .. } => *dst = f(*dst),
+            Instr::SetGlobal { src, .. } => *src = f(*src),
+            Instr::Send { dst, recv, args, .. } => {
+                *dst = f(*dst);
+                *recv = f(*recv);
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Instr::CallStatic { dst, recv, args, .. } => {
+                *dst = f(*dst);
+                *recv = f(*recv);
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Instr::CallBuiltin { dst, args, .. } => {
+                *dst = f(*dst);
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Instr::MakeInterior { dst, obj, .. } => {
+                *dst = f(*dst);
+                *obj = f(*obj);
+            }
+            Instr::MakeInteriorElem { dst, arr, idx, .. } => {
+                *dst = f(*dst);
+                *arr = f(*arr);
+                *idx = f(*idx);
+            }
+            Instr::Print { src } => *src = f(*src),
+        }
+    }
+
+    /// Returns `true` if removing the instruction (given its result is
+    /// unused) cannot change program behavior. Calls, stores, prints and
+    /// allocations (which run `init`) are not pure.
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            Instr::Const { .. }
+                | Instr::Move { .. }
+                | Instr::Unary { .. }
+                | Instr::Binary { .. }
+                | Instr::GetField { .. }
+                | Instr::ArrayGet { .. }
+                | Instr::GetGlobal { .. }
+                | Instr::MakeInterior { .. }
+                | Instr::MakeInteriorElem { .. }
+                | Instr::NewArray { .. }
+                | Instr::NewArrayInline { .. }
+        )
+    }
+}
+
+/// A block terminator.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(Default)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a boolean temp.
+    Branch {
+        /// Condition (must be boolean at runtime).
+        cond: Temp,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Return a value to the caller.
+    Return(Temp),
+    /// Placeholder for blocks under construction; invalid in finished IR.
+    #[default]
+    Unterminated,
+}
+
+
+impl Terminator {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(b) => vec![b],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![then_bb, else_bb],
+            Terminator::Return(_) | Terminator::Unterminated => vec![],
+        }
+    }
+
+    /// Temps read by the terminator.
+    pub fn uses(&self, out: &mut Vec<Temp>) {
+        match *self {
+            Terminator::Branch { cond, .. } => out.push(cond),
+            Terminator::Return(t) => out.push(t),
+            Terminator::Jump(_) | Terminator::Unterminated => {}
+        }
+    }
+
+    /// Rewrites temps through `f`.
+    pub fn map_temps(&mut self, mut f: impl FnMut(Temp) -> Temp) {
+        match self {
+            Terminator::Branch { cond, .. } => *cond = f(*cond),
+            Terminator::Return(t) => *t = f(*t),
+            Terminator::Jump(_) | Terminator::Unterminated => {}
+        }
+    }
+
+    /// Rewrites block targets through `f`.
+    pub fn map_blocks(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(b) => *b = f(*b),
+            Terminator::Branch { then_bb, else_bb, .. } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            Terminator::Return(_) | Terminator::Unterminated => {}
+        }
+    }
+}
+
+impl fmt::Display for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstValue::Int(n) => write!(f, "{n}"),
+            ConstValue::Float(x) => write!(f, "{x:?}"),
+            ConstValue::Bool(b) => write!(f, "{b}"),
+            ConstValue::Nil => f.write_str("nil"),
+            ConstValue::Str(s) => write!(f, "str#{}", s.raw()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dst_and_uses_are_consistent() {
+        let t = |n| Temp::new(n);
+        let i = Instr::Binary { dst: t(3), op: BinOp::Add, lhs: t(1), rhs: t(2) };
+        assert_eq!(i.dst(), Some(t(3)));
+        let mut uses = Vec::new();
+        i.uses(&mut uses);
+        assert_eq!(uses, vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn stores_have_no_dst() {
+        let t = |n| Temp::new(n);
+        let sym = {
+            let mut i = oi_support::Interner::new();
+            i.intern("f")
+        };
+        let i = Instr::SetField { obj: t(0), field: sym, src: t(1) };
+        assert_eq!(i.dst(), None);
+        assert!(!i.is_pure());
+    }
+
+    #[test]
+    fn map_temps_rewrites_everything() {
+        let t = |n| Temp::new(n);
+        let mut i = Instr::Send { dst: t(0), recv: t(1), selector: {
+            let mut int = oi_support::Interner::new();
+            int.intern("area")
+        }, args: vec![t(2), t(3)] };
+        i.map_temps(|x| Temp::new(x.index() + 10));
+        let mut uses = Vec::new();
+        i.uses(&mut uses);
+        assert_eq!(i.dst(), Some(t(10)));
+        assert_eq!(uses, vec![t(11), t(12), t(13)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let b = |n| BlockId::new(n);
+        assert_eq!(Terminator::Jump(b(1)).successors(), vec![b(1)]);
+        assert_eq!(
+            Terminator::Branch { cond: Temp::new(0), then_bb: b(1), else_bb: b(2) }.successors(),
+            vec![b(1), b(2)]
+        );
+        assert!(Terminator::Return(Temp::new(0)).successors().is_empty());
+    }
+
+    #[test]
+    fn purity_classification() {
+        let t = |n| Temp::new(n);
+        assert!(Instr::Move { dst: t(0), src: t(1) }.is_pure());
+        assert!(Instr::MakeInterior { dst: t(0), obj: t(1), layout: LayoutId::new(0) }.is_pure());
+        assert!(!Instr::Print { src: t(0) }.is_pure());
+        assert!(!Instr::New { dst: t(0), class: ClassId::new(0), args: vec![], site: SiteId::new(0) }
+            .is_pure());
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(Builtin::by_name("sqrt"), Some(Builtin::Sqrt));
+        assert_eq!(Builtin::by_name("nope"), None);
+        assert_eq!(Builtin::Sqrt.arity(), 1);
+    }
+}

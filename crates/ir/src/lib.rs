@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Register-based intermediate representation for the object-inlining
+//! compiler.
+//!
+//! The IR models the paper's uniform object model directly: every object
+//! lives on the heap and is accessed through references, fields are accessed
+//! by name (resolved through the receiver's class layout), and calls are
+//! dynamic [`Instr::Send`]s until analysis devirtualizes them into
+//! [`Instr::CallStatic`]s.
+//!
+//! The object-inlining transformation extends the same IR with *interior
+//! references* ([`Instr::MakeInterior`], [`Instr::MakeInteriorElem`]) formed
+//! by address arithmetic instead of a heap load — this is precisely where the
+//! paper's "one dereference fewer" comes from — and with inline-allocated
+//! arrays ([`Instr::NewArrayInline`]) supporting both interleaved and
+//! parallel ("Fortran style") element layouts.
+//!
+//! Modules:
+//! - [`program`]: classes, methods, fields, globals, inline layouts,
+//! - [`instr`]: instructions and terminators,
+//! - [`builder`]: an imperative function builder,
+//! - [`lower`]: AST → IR lowering (name resolution included),
+//! - [`mod@cfg`]: control-flow utilities,
+//! - [`verify`]: structural validity checking,
+//! - [`printer`]: human-readable dumps,
+//! - [`size`]: the generated-code-size model (paper Figure 15),
+//! - [`opt`]: post-devirtualization cleanups (method inlining, copy
+//!   propagation, dead-code elimination, CFG simplification).
+//!
+//! # Examples
+//!
+//! ```
+//! let ast = oi_lang::parse("fn main() { print 2 + 3; }")?;
+//! let program = oi_ir::lower::lower_program(&ast)?;
+//! oi_ir::verify::verify(&program).expect("well-formed IR");
+//! # Ok::<(), oi_support::Diagnostic>(())
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod instr;
+pub mod lower;
+pub mod opt;
+pub mod printer;
+pub mod program;
+pub mod size;
+pub mod verify;
+
+pub use instr::{BinOp, Builtin, ConstValue, Instr, Terminator, UnOp};
+pub use program::{
+    ArrayLayoutKind, Block, BlockId, Class, ClassId, Field, FieldId, Global, GlobalId,
+    InlineLayout, LayoutId, Method, MethodId, Program, SiteId, Temp,
+};

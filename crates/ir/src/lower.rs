@@ -1,0 +1,818 @@
+//! Lowering from the Izzy AST to IR.
+//!
+//! Performs name resolution (classes, fields, locals, globals, free
+//! functions, builtins), allocates program-unique allocation sites for `new`
+//! expressions, and translates structured control flow to basic blocks.
+
+use crate::builder::FunctionBuilder;
+use crate::instr::{BinOp, Builtin, ConstValue, Instr, Terminator, UnOp};
+use crate::program::{Block as IrBlock, Class, ClassId, Field, Global, GlobalId, Method, MethodId, Program, Temp};
+use oi_lang::ast;
+use oi_support::{Diagnostic, IdxVec, Interner, Span, Symbol};
+use std::collections::HashMap;
+
+/// Lowers a parsed program to IR.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for resolution errors: duplicate or unknown
+/// classes, inheritance cycles, duplicate fields/methods, unknown variables,
+/// missing `main`, or arity mismatches detectable statically.
+///
+/// # Examples
+///
+/// ```
+/// let ast = oi_lang::parse("fn main() { var x = 1; print x + 1; }")?;
+/// let program = oi_ir::lower::lower_program(&ast)?;
+/// assert_eq!(program.methods[program.entry].param_count, 0);
+/// # Ok::<(), oi_support::Diagnostic>(())
+/// ```
+pub fn lower_program(ast: &ast::Program) -> Result<Program, Diagnostic> {
+    Lowerer::new().run(ast)
+}
+
+/// Parses and lowers in one step.
+///
+/// # Errors
+///
+/// Propagates parse and lowering diagnostics.
+pub fn compile(source: &str) -> Result<Program, Diagnostic> {
+    let ast = oi_lang::parse(source)?;
+    lower_program(&ast)
+}
+
+struct Lowerer {
+    interner: Interner,
+    classes: IdxVec<ClassId, Class>,
+    class_names: HashMap<Symbol, ClassId>,
+    fields: IdxVec<crate::program::FieldId, Field>,
+    globals: IdxVec<GlobalId, Global>,
+    global_names: HashMap<Symbol, GlobalId>,
+    methods: IdxVec<MethodId, Method>,
+    /// Free-function name → method id (methods of `$Main`).
+    free_fns: HashMap<Symbol, MethodId>,
+    site_count: u32,
+}
+
+impl Lowerer {
+    fn new() -> Self {
+        let mut interner = Interner::new();
+        let main_name = interner.intern("$Main");
+        // Reserved sentinel used by assignment specialization to denote
+        // array-element stores (never a real field name).
+        interner.intern("$elem");
+        let mut classes = IdxVec::new();
+        classes.push(Class {
+            name: main_name,
+            parent: None,
+            own_fields: vec![],
+            methods: HashMap::new(),
+        });
+        Self {
+            interner,
+            classes,
+            class_names: HashMap::new(),
+            fields: IdxVec::new(),
+            globals: IdxVec::new(),
+            global_names: HashMap::new(),
+            methods: IdxVec::new(),
+            free_fns: HashMap::new(),
+            site_count: 0,
+        }
+    }
+
+    fn run(mut self, ast: &ast::Program) -> Result<Program, Diagnostic> {
+        self.declare_classes(ast)?;
+        self.declare_globals(ast)?;
+        let method_plan = self.declare_methods(ast)?;
+
+        // Lower bodies.
+        for (mid, body) in method_plan {
+            let lowered = self.lower_body(mid, body)?;
+            self.methods[mid] = lowered;
+        }
+
+        let main_sym = self.interner.intern("main");
+        let entry = *self.free_fns.get(&main_sym).ok_or_else(|| {
+            Diagnostic::error("program has no `fn main`", Span::dummy())
+        })?;
+        if self.methods[entry].param_count != 0 {
+            return Err(Diagnostic::error("`fn main` must take no parameters", Span::dummy()));
+        }
+
+        Ok(Program {
+            interner: self.interner,
+            classes: self.classes,
+            methods: self.methods,
+            fields: self.fields,
+            globals: self.globals,
+            layouts: IdxVec::new(),
+            site_count: self.site_count,
+            entry,
+        })
+    }
+
+    fn declare_classes(&mut self, ast: &ast::Program) -> Result<(), Diagnostic> {
+        // First pass: ids for every class.
+        for class in &ast.classes {
+            let name = self.interner.intern(&class.name);
+            if self.class_names.contains_key(&name) || class.name == "$Main" {
+                return Err(Diagnostic::error(
+                    format!("duplicate class `{}`", class.name),
+                    class.span,
+                ));
+            }
+            let id = self.classes.push(Class {
+                name,
+                parent: None,
+                own_fields: vec![],
+                methods: HashMap::new(),
+            });
+            self.class_names.insert(name, id);
+        }
+        // Second pass: parents and fields.
+        for class in &ast.classes {
+            let name = self.interner.intern(&class.name);
+            let id = self.class_names[&name];
+            if let Some(parent) = &class.parent {
+                let psym = self.interner.intern(parent);
+                let pid = *self.class_names.get(&psym).ok_or_else(|| {
+                    Diagnostic::error(format!("unknown superclass `{parent}`"), class.span)
+                })?;
+                self.classes[id].parent = Some(pid);
+            }
+            for field in &class.fields {
+                let fname = self.interner.intern(&field.name);
+                let annotations =
+                    field.annotations.iter().map(|a| self.interner.intern(a)).collect();
+                let fid = self.fields.push(Field { name: fname, owner: id, annotations });
+                if self.classes[id].own_fields.iter().any(|&f| self.fields[f].name == fname) {
+                    return Err(Diagnostic::error(
+                        format!("duplicate field `{}` in class `{}`", field.name, class.name),
+                        field.span,
+                    ));
+                }
+                self.classes[id].own_fields.push(fid);
+            }
+        }
+        // Cycle check.
+        for id in self.classes.ids() {
+            let mut slow = Some(id);
+            let mut fast = self.classes[id].parent;
+            while let Some(f) = fast {
+                if Some(f) == slow {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "inheritance cycle involving class `{}`",
+                            self.interner.resolve(self.classes[id].name)
+                        ),
+                        Span::dummy(),
+                    ));
+                }
+                slow = self.classes[slow.unwrap()].parent;
+                fast = self.classes[f].parent.and_then(|n| self.classes[n].parent);
+            }
+        }
+        // Duplicate field names along the hierarchy (fields must be unique
+        // per chain so by-name access is unambiguous).
+        for id in self.classes.ids() {
+            let mut seen: HashMap<Symbol, ClassId> = HashMap::new();
+            let mut cur = Some(id);
+            while let Some(c) = cur {
+                for &f in &self.classes[c].own_fields {
+                    let fname = self.fields[f].name;
+                    if let Some(&other) = seen.get(&fname) {
+                        if other != c {
+                            return Err(Diagnostic::error(
+                                format!(
+                                    "field `{}` declared in both `{}` and its superclass `{}`",
+                                    self.interner.resolve(fname),
+                                    self.interner.resolve(self.classes[other].name),
+                                    self.interner.resolve(self.classes[c].name),
+                                ),
+                                Span::dummy(),
+                            ));
+                        }
+                    }
+                    seen.insert(fname, c);
+                }
+                cur = self.classes[c].parent;
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_globals(&mut self, ast: &ast::Program) -> Result<(), Diagnostic> {
+        for g in &ast.globals {
+            let name = self.interner.intern(&g.name);
+            if self.global_names.contains_key(&name) {
+                return Err(Diagnostic::error(format!("duplicate global `{}`", g.name), g.span));
+            }
+            let id = self.globals.push(Global { name });
+            self.global_names.insert(name, id);
+        }
+        Ok(())
+    }
+
+    /// Creates placeholder [`Method`]s for every declaration and returns the
+    /// bodies to lower once all signatures are known.
+    fn declare_methods<'a>(
+        &mut self,
+        ast: &'a ast::Program,
+    ) -> Result<Vec<(MethodId, BodyRef<'a>)>, Diagnostic> {
+        let mut plan = Vec::new();
+        for class in &ast.classes {
+            let cname = self.interner.intern(&class.name);
+            let cid = self.class_names[&cname];
+            for m in &class.methods {
+                let mname = self.interner.intern(&m.name);
+                if self.classes[cid].methods.contains_key(&mname) {
+                    return Err(Diagnostic::error(
+                        format!("duplicate method `{}` in class `{}`", m.name, class.name),
+                        m.span,
+                    ));
+                }
+                let mid = self.methods.push(placeholder_method(
+                    mname,
+                    cid,
+                    m.params.len() as u32,
+                ));
+                self.classes[cid].methods.insert(mname, mid);
+                plan.push((mid, BodyRef { params: &m.params, body: &m.body, span: m.span }));
+            }
+        }
+        let main_class = ClassId::new(0);
+        for f in &ast.functions {
+            let fname = self.interner.intern(&f.name);
+            if self.free_fns.contains_key(&fname) {
+                return Err(Diagnostic::error(format!("duplicate function `{}`", f.name), f.span));
+            }
+            if Builtin::by_name(&f.name).is_some() {
+                return Err(Diagnostic::error(
+                    format!("function `{}` shadows a builtin", f.name),
+                    f.span,
+                ));
+            }
+            let mid =
+                self.methods.push(placeholder_method(fname, main_class, f.params.len() as u32));
+            self.free_fns.insert(fname, mid);
+            self.classes[main_class].methods.insert(fname, mid);
+            plan.push((mid, BodyRef { params: &f.params, body: &f.body, span: f.span }));
+        }
+        Ok(plan)
+    }
+
+    fn lower_body(&mut self, mid: MethodId, body: BodyRef<'_>) -> Result<Method, Diagnostic> {
+        let sig = &self.methods[mid];
+        let mut ctx = BodyCtx {
+            builder: FunctionBuilder::new(sig.name, sig.class, sig.param_count),
+            scopes: vec![HashMap::new()],
+            in_class: sig.class,
+        };
+        for (i, p) in body.params.iter().enumerate() {
+            let sym = self.interner.intern(p);
+            let t = ctx.builder.param_temp(i as u32);
+            if ctx.scopes[0].insert(sym, t).is_some() {
+                return Err(Diagnostic::error(format!("duplicate parameter `{p}`"), body.span));
+            }
+        }
+        self.lower_block(&mut ctx, body.body)?;
+        Ok(ctx.builder.finish())
+    }
+
+    fn lower_block(&mut self, ctx: &mut BodyCtx, block: &ast::Block) -> Result<(), Diagnostic> {
+        ctx.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.lower_stmt(ctx, stmt)?;
+        }
+        ctx.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, ctx: &mut BodyCtx, stmt: &ast::Stmt) -> Result<(), Diagnostic> {
+        match stmt {
+            ast::Stmt::Var { name, init, span } => {
+                let value = self.lower_expr(ctx, init)?;
+                let sym = self.interner.intern(name);
+                let scope = ctx.scopes.last_mut().expect("scope stack nonempty");
+                if scope.contains_key(&sym) {
+                    return Err(Diagnostic::error(
+                        format!("variable `{name}` already declared in this scope"),
+                        *span,
+                    ));
+                }
+                let slot = ctx.builder.new_temp();
+                ctx.builder.push(Instr::Move { dst: slot, src: value });
+                ctx.scopes.last_mut().unwrap().insert(sym, slot);
+            }
+            ast::Stmt::Assign { target, value, span } => {
+                self.lower_assign(ctx, target, value, *span)?;
+            }
+            ast::Stmt::Expr(e) => {
+                self.lower_expr(ctx, e)?;
+            }
+            ast::Stmt::If { cond, then_block, else_block, .. } => {
+                let c = self.lower_expr(ctx, cond)?;
+                let then_bb = ctx.builder.new_block();
+                let else_bb = ctx.builder.new_block();
+                let join_bb = ctx.builder.new_block();
+                ctx.builder.terminate(Terminator::Branch { cond: c, then_bb, else_bb });
+                ctx.builder.switch_to(then_bb);
+                self.lower_block(ctx, then_block)?;
+                ctx.builder.terminate(Terminator::Jump(join_bb));
+                ctx.builder.switch_to(else_bb);
+                if let Some(else_block) = else_block {
+                    self.lower_block(ctx, else_block)?;
+                }
+                ctx.builder.terminate(Terminator::Jump(join_bb));
+                ctx.builder.switch_to(join_bb);
+            }
+            ast::Stmt::While { cond, body, .. } => {
+                let head_bb = ctx.builder.new_block();
+                let body_bb = ctx.builder.new_block();
+                let exit_bb = ctx.builder.new_block();
+                ctx.builder.terminate(Terminator::Jump(head_bb));
+                ctx.builder.switch_to(head_bb);
+                let c = self.lower_expr(ctx, cond)?;
+                ctx.builder.terminate(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit_bb,
+                });
+                ctx.builder.switch_to(body_bb);
+                self.lower_block(ctx, body)?;
+                ctx.builder.terminate(Terminator::Jump(head_bb));
+                ctx.builder.switch_to(exit_bb);
+            }
+            ast::Stmt::Return { value, .. } => {
+                let t = match value {
+                    Some(e) => self.lower_expr(ctx, e)?,
+                    None => ctx.builder.push_const(ConstValue::Nil),
+                };
+                ctx.builder.terminate(Terminator::Return(t));
+            }
+            ast::Stmt::Print { value, .. } => {
+                let t = self.lower_expr(ctx, value)?;
+                ctx.builder.push(Instr::Print { src: t });
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_assign(
+        &mut self,
+        ctx: &mut BodyCtx,
+        target: &ast::Expr,
+        value: &ast::Expr,
+        span: Span,
+    ) -> Result<(), Diagnostic> {
+        match &target.kind {
+            ast::ExprKind::Var(name) => {
+                let sym = self.interner.intern(name);
+                if let Some(slot) = ctx.lookup(sym) {
+                    let v = self.lower_expr(ctx, value)?;
+                    ctx.builder.push(Instr::Move { dst: slot, src: v });
+                } else if let Some(&g) = self.global_names.get(&sym) {
+                    let v = self.lower_expr(ctx, value)?;
+                    ctx.builder.push(Instr::SetGlobal { global: g, src: v });
+                } else {
+                    return Err(Diagnostic::error(
+                        format!("assignment to undeclared variable `{name}`"),
+                        span,
+                    ));
+                }
+            }
+            ast::ExprKind::Field { obj, field } => {
+                let o = self.lower_expr(ctx, obj)?;
+                let v = self.lower_expr(ctx, value)?;
+                let f = self.interner.intern(field);
+                ctx.builder.push(Instr::SetField { obj: o, field: f, src: v });
+            }
+            ast::ExprKind::Index { arr, index } => {
+                let a = self.lower_expr(ctx, arr)?;
+                let i = self.lower_expr(ctx, index)?;
+                let v = self.lower_expr(ctx, value)?;
+                ctx.builder.push(Instr::ArraySet { arr: a, idx: i, src: v });
+            }
+            _ => {
+                return Err(Diagnostic::error("invalid assignment target", target.span));
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_expr(&mut self, ctx: &mut BodyCtx, e: &ast::Expr) -> Result<Temp, Diagnostic> {
+        match &e.kind {
+            ast::ExprKind::Int(n) => Ok(ctx.builder.push_const(ConstValue::Int(*n))),
+            ast::ExprKind::Float(x) => Ok(ctx.builder.push_const(ConstValue::Float(*x))),
+            ast::ExprKind::Bool(b) => Ok(ctx.builder.push_const(ConstValue::Bool(*b))),
+            ast::ExprKind::Nil => Ok(ctx.builder.push_const(ConstValue::Nil)),
+            ast::ExprKind::Str(s) => {
+                let sym = self.interner.intern(s);
+                Ok(ctx.builder.push_const(ConstValue::Str(sym)))
+            }
+            ast::ExprKind::SelfRef => {
+                if ctx.in_class == ClassId::new(0) {
+                    return Err(Diagnostic::error("`self` used outside a method", e.span));
+                }
+                Ok(ctx.builder.self_temp())
+            }
+            ast::ExprKind::Var(name) => {
+                let sym = self.interner.intern(name);
+                if let Some(t) = ctx.lookup(sym) {
+                    Ok(t)
+                } else if let Some(&g) = self.global_names.get(&sym) {
+                    let dst = ctx.builder.new_temp();
+                    ctx.builder.push(Instr::GetGlobal { dst, global: g });
+                    Ok(dst)
+                } else {
+                    Err(Diagnostic::error(format!("unknown variable `{name}`"), e.span))
+                }
+            }
+            ast::ExprKind::Field { obj, field } => {
+                let o = self.lower_expr(ctx, obj)?;
+                let f = self.interner.intern(field);
+                let dst = ctx.builder.new_temp();
+                ctx.builder.push(Instr::GetField { dst, obj: o, field: f });
+                Ok(dst)
+            }
+            ast::ExprKind::Index { arr, index } => {
+                let a = self.lower_expr(ctx, arr)?;
+                let i = self.lower_expr(ctx, index)?;
+                let dst = ctx.builder.new_temp();
+                ctx.builder.push(Instr::ArrayGet { dst, arr: a, idx: i });
+                Ok(dst)
+            }
+            ast::ExprKind::New { class, args } => {
+                let csym = self.interner.intern(class);
+                let cid = *self.class_names.get(&csym).ok_or_else(|| {
+                    Diagnostic::error(format!("unknown class `{class}`"), e.span)
+                })?;
+                let init_sym = self.interner.intern("init");
+                let init = self.lookup_method_early(cid, init_sym);
+                match init {
+                    Some(m) if self.methods[m].param_count as usize != args.len() => {
+                        return Err(Diagnostic::error(
+                            format!(
+                                "class `{class}` constructor takes {} arguments, got {}",
+                                self.methods[m].param_count,
+                                args.len()
+                            ),
+                            e.span,
+                        ));
+                    }
+                    None if !args.is_empty() => {
+                        return Err(Diagnostic::error(
+                            format!("class `{class}` has no `init` but arguments were given"),
+                            e.span,
+                        ));
+                    }
+                    _ => {}
+                }
+                let arg_temps = self.lower_args(ctx, args)?;
+                let dst = ctx.builder.new_temp();
+                let site = crate::program::SiteId::new(self.site_count as usize);
+                self.site_count += 1;
+                ctx.builder.push(Instr::New { dst, class: cid, args: arg_temps, site });
+                Ok(dst)
+            }
+            ast::ExprKind::NewArray { len } => {
+                let l = self.lower_expr(ctx, len)?;
+                let dst = ctx.builder.new_temp();
+                let site = crate::program::SiteId::new(self.site_count as usize);
+                self.site_count += 1;
+                ctx.builder.push(Instr::NewArray { dst, len: l, site });
+                Ok(dst)
+            }
+            ast::ExprKind::ArrayLit(elems) => {
+                let n = ctx.builder.push_const(ConstValue::Int(elems.len() as i64));
+                let dst = ctx.builder.new_temp();
+                let site = crate::program::SiteId::new(self.site_count as usize);
+                self.site_count += 1;
+                ctx.builder.push(Instr::NewArray { dst, len: n, site });
+                for (i, elem) in elems.iter().enumerate() {
+                    let v = self.lower_expr(ctx, elem)?;
+                    let idx = ctx.builder.push_const(ConstValue::Int(i as i64));
+                    ctx.builder.push(Instr::ArraySet { arr: dst, idx, src: v });
+                }
+                Ok(dst)
+            }
+            ast::ExprKind::Call { recv: Some(recv), name, args } => {
+                let r = self.lower_expr(ctx, recv)?;
+                let arg_temps = self.lower_args(ctx, args)?;
+                let sel = self.interner.intern(name);
+                let dst = ctx.builder.new_temp();
+                ctx.builder.push(Instr::Send { dst, recv: r, selector: sel, args: arg_temps });
+                Ok(dst)
+            }
+            ast::ExprKind::Call { recv: None, name, args } => {
+                if let Some(builtin) = Builtin::by_name(name) {
+                    if args.len() != builtin.arity() {
+                        return Err(Diagnostic::error(
+                            format!("builtin `{name}` takes {} argument(s)", builtin.arity()),
+                            e.span,
+                        ));
+                    }
+                    let arg_temps = self.lower_args(ctx, args)?;
+                    let dst = ctx.builder.new_temp();
+                    ctx.builder.push(Instr::CallBuiltin { dst, builtin, args: arg_temps });
+                    return Ok(dst);
+                }
+                let sym = self.interner.intern(name);
+                // A free call inside a class method may also target a method
+                // of the enclosing class (implicit self), like `area(ur)`.
+                if ctx.in_class != ClassId::new(0)
+                    && self.lookup_method_early(ctx.in_class, sym).is_some() {
+                        let arg_temps = self.lower_args(ctx, args)?;
+                        let dst = ctx.builder.new_temp();
+                        ctx.builder.push(Instr::Send {
+                            dst,
+                            recv: ctx.builder.self_temp(),
+                            selector: sym,
+                            args: arg_temps,
+                        });
+                        return Ok(dst);
+                    }
+                let mid = *self.free_fns.get(&sym).ok_or_else(|| {
+                    Diagnostic::error(format!("unknown function `{name}`"), e.span)
+                })?;
+                if self.methods[mid].param_count as usize != args.len() {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "function `{name}` takes {} arguments, got {}",
+                            self.methods[mid].param_count,
+                            args.len()
+                        ),
+                        e.span,
+                    ));
+                }
+                let arg_temps = self.lower_args(ctx, args)?;
+                let nil = ctx.builder.push_const(ConstValue::Nil);
+                let dst = ctx.builder.new_temp();
+                ctx.builder.push(Instr::CallStatic { dst, method: mid, recv: nil, args: arg_temps });
+                Ok(dst)
+            }
+            ast::ExprKind::Unary { op, operand } => {
+                let s = self.lower_expr(ctx, operand)?;
+                let dst = ctx.builder.new_temp();
+                let op = match op {
+                    ast::UnOp::Neg => UnOp::Neg,
+                    ast::UnOp::Not => UnOp::Not,
+                };
+                ctx.builder.push(Instr::Unary { dst, op, src: s });
+                Ok(dst)
+            }
+            ast::ExprKind::Binary { op: ast::BinOp::And, lhs, rhs } => {
+                self.lower_short_circuit(ctx, lhs, rhs, true)
+            }
+            ast::ExprKind::Binary { op: ast::BinOp::Or, lhs, rhs } => {
+                self.lower_short_circuit(ctx, lhs, rhs, false)
+            }
+            ast::ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.lower_expr(ctx, lhs)?;
+                let r = self.lower_expr(ctx, rhs)?;
+                let dst = ctx.builder.new_temp();
+                let op = match op {
+                    ast::BinOp::Add => BinOp::Add,
+                    ast::BinOp::Sub => BinOp::Sub,
+                    ast::BinOp::Mul => BinOp::Mul,
+                    ast::BinOp::Div => BinOp::Div,
+                    ast::BinOp::Rem => BinOp::Rem,
+                    ast::BinOp::Eq => BinOp::Eq,
+                    ast::BinOp::Ne => BinOp::Ne,
+                    ast::BinOp::RefEq => BinOp::RefEq,
+                    ast::BinOp::Lt => BinOp::Lt,
+                    ast::BinOp::Le => BinOp::Le,
+                    ast::BinOp::Gt => BinOp::Gt,
+                    ast::BinOp::Ge => BinOp::Ge,
+                    ast::BinOp::And | ast::BinOp::Or => unreachable!("handled above"),
+                };
+                ctx.builder.push(Instr::Binary { dst, op, lhs: l, rhs: r });
+                Ok(dst)
+            }
+        }
+    }
+
+    /// Lowers `lhs && rhs` / `lhs || rhs` with short-circuit control flow.
+    fn lower_short_circuit(
+        &mut self,
+        ctx: &mut BodyCtx,
+        lhs: &ast::Expr,
+        rhs: &ast::Expr,
+        is_and: bool,
+    ) -> Result<Temp, Diagnostic> {
+        let result = ctx.builder.new_temp();
+        let l = self.lower_expr(ctx, lhs)?;
+        ctx.builder.push(Instr::Move { dst: result, src: l });
+        let rhs_bb = ctx.builder.new_block();
+        let join_bb = ctx.builder.new_block();
+        let (then_bb, else_bb) = if is_and { (rhs_bb, join_bb) } else { (join_bb, rhs_bb) };
+        ctx.builder.terminate(Terminator::Branch { cond: l, then_bb, else_bb });
+        ctx.builder.switch_to(rhs_bb);
+        let r = self.lower_expr(ctx, rhs)?;
+        ctx.builder.push(Instr::Move { dst: result, src: r });
+        ctx.builder.terminate(Terminator::Jump(join_bb));
+        ctx.builder.switch_to(join_bb);
+        Ok(result)
+    }
+
+    fn lower_args(
+        &mut self,
+        ctx: &mut BodyCtx,
+        args: &[ast::Expr],
+    ) -> Result<Vec<Temp>, Diagnostic> {
+        args.iter().map(|a| self.lower_expr(ctx, a)).collect()
+    }
+
+    /// Method lookup that works while signatures are being declared.
+    fn lookup_method_early(&self, class: ClassId, selector: Symbol) -> Option<MethodId> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(&m) = self.classes[c].methods.get(&selector) {
+                return Some(m);
+            }
+            cur = self.classes[c].parent;
+        }
+        None
+    }
+}
+
+struct BodyRef<'a> {
+    params: &'a [String],
+    body: &'a ast::Block,
+    span: Span,
+}
+
+struct BodyCtx {
+    builder: FunctionBuilder,
+    scopes: Vec<HashMap<Symbol, Temp>>,
+    in_class: ClassId,
+}
+
+impl BodyCtx {
+    fn lookup(&self, sym: Symbol) -> Option<Temp> {
+        self.scopes.iter().rev().find_map(|s| s.get(&sym).copied())
+    }
+}
+
+fn placeholder_method(name: Symbol, class: ClassId, param_count: u32) -> Method {
+    Method {
+        name,
+        class,
+        param_count,
+        temp_count: param_count + 1,
+        blocks: std::iter::once(IrBlock::default()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_ok(src: &str) -> Program {
+        match compile(src) {
+            Ok(p) => p,
+            Err(e) => panic!("lowering failed: {}", e.render(src)),
+        }
+    }
+
+    #[test]
+    fn lowers_minimal_main() {
+        let p = lower_ok("fn main() { print 1; }");
+        assert_eq!(p.methods[p.entry].param_count, 0);
+        assert!(p.methods[p.entry].instr_count() >= 2);
+    }
+
+    #[test]
+    fn missing_main_is_error() {
+        assert!(compile("fn other() { }").is_err());
+    }
+
+    #[test]
+    fn lowers_rectangle_program() {
+        let p = lower_ok(
+            "class Point { field x; field y;
+               method init(a, b) { self.x = a; self.y = b; }
+             }
+             class Rectangle { field lower_left; field upper_right;
+               method init(ll, ur) { self.lower_left = ll; self.upper_right = ur; }
+             }
+             fn main() {
+               var r = new Rectangle(new Point(1.0, 2.0), new Point(3.0, 4.0));
+               print r.lower_left.x;
+             }",
+        );
+        assert_eq!(p.classes.len(), 3); // $Main + 2
+        assert_eq!(p.site_count, 3);
+        let rect = p.class_by_name("Rectangle").unwrap();
+        assert_eq!(p.layout_of(rect).len(), 2);
+    }
+
+    #[test]
+    fn while_loop_shapes_cfg() {
+        let p = lower_ok("fn main() { var i = 0; while (i < 10) { i = i + 1; } print i; }");
+        let m = &p.methods[p.entry];
+        assert!(m.blocks.len() >= 4, "expected head/body/exit blocks, got {}", m.blocks.len());
+    }
+
+    #[test]
+    fn short_circuit_and() {
+        let p = lower_ok("fn main() { var a = true; if (a && false) { print 1; } }");
+        let m = &p.methods[p.entry];
+        // Branches exist for both the && and the if.
+        let branches = m
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        assert!(branches >= 2);
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let err = compile("fn main() { print missing; }").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn globals_resolve() {
+        let p = lower_ok("global COUNTER; fn main() { COUNTER = 1; print COUNTER; }");
+        assert_eq!(p.globals.len(), 1);
+    }
+
+    #[test]
+    fn self_outside_method_is_error() {
+        let err = compile("fn main() { print self; }").unwrap_err();
+        assert!(err.message.contains("self"));
+    }
+
+    #[test]
+    fn constructor_arity_checked() {
+        let err = compile(
+            "class P { field x; method init(a) { self.x = a; } }
+             fn main() { var p = new P(); }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("constructor"));
+    }
+
+    #[test]
+    fn new_without_init_rejects_args() {
+        let err = compile("class P { field x; } fn main() { var p = new P(1); }").unwrap_err();
+        assert!(err.message.contains("no `init`"));
+    }
+
+    #[test]
+    fn implicit_self_send_in_method() {
+        let p = lower_ok(
+            "class A { field v;
+               method get() { return self.v; }
+               method twice() { return get() + get(); }
+             }
+             fn main() { var a = new A(); a.v = 21; print a.twice(); }",
+        );
+        let twice = p.method_by_name("A", "twice").unwrap();
+        let sends = p.methods[twice]
+            .instrs()
+            .filter(|(_, _, i)| matches!(i, Instr::Send { .. }))
+            .count();
+        assert_eq!(sends, 2);
+    }
+
+    #[test]
+    fn duplicate_class_is_error() {
+        assert!(compile("class A { } class A { } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn inheritance_cycle_is_error() {
+        assert!(compile("class A : B { } class B : A { } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn field_shadowing_across_hierarchy_is_error() {
+        assert!(compile("class A { field f; } class B : A { field f; } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn array_literal_lowering() {
+        let p = lower_ok("fn main() { var a = [1, 2]; print a[0] + a[1]; }");
+        let m = &p.methods[p.entry];
+        let sets =
+            m.instrs().filter(|(_, _, i)| matches!(i, Instr::ArraySet { .. })).count();
+        assert_eq!(sets, 2);
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        assert!(compile("fn main() { print sqrt(1, 2); }").is_err());
+    }
+
+    #[test]
+    fn block_scoping_allows_shadowing() {
+        let p = lower_ok(
+            "fn main() { var x = 1; if (true) { var x = 2; print x; } print x; }",
+        );
+        assert!(p.methods[p.entry].temp_count > 3);
+    }
+}

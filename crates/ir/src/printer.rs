@@ -1,0 +1,144 @@
+//! Human-readable IR dumps, for debugging and golden tests.
+
+use crate::instr::{Instr, Terminator};
+use crate::program::{Method, MethodId, Program};
+use std::fmt::Write as _;
+
+/// Renders one method as text.
+pub fn print_method(program: &Program, mid: MethodId) -> String {
+    let method = &program.methods[mid];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method {} (params={}, temps={}) {{",
+        program.method_display(mid),
+        method.param_count,
+        method.temp_count
+    );
+    for (bb, block) in method.blocks.iter_enumerated() {
+        let _ = writeln!(out, "{bb}:");
+        for instr in &block.instrs {
+            let _ = writeln!(out, "    {}", print_instr(program, method, instr));
+        }
+        let _ = writeln!(out, "    {}", print_term(&block.term));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the whole program as text.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (cid, class) in program.classes.iter_enumerated() {
+        let _ = write!(out, "class {} ", program.interner.resolve(class.name));
+        if let Some(p) = class.parent {
+            let _ = write!(out, ": {} ", program.interner.resolve(program.classes[p].name));
+        }
+        let fields: Vec<_> = program
+            .layout_of(cid)
+            .iter()
+            .map(|&f| program.interner.resolve(program.fields[f].name).to_owned())
+            .collect();
+        let _ = writeln!(out, "[{}]", fields.join(", "));
+    }
+    for (lid, layout) in program.layouts.iter_enumerated() {
+        let _ = writeln!(
+            out,
+            "{lid}: child={} slots={:?} array={:?}",
+            program.interner.resolve(program.classes[layout.child_class].name),
+            layout.slots,
+            layout.array_kind
+        );
+    }
+    for mid in program.methods.ids() {
+        out.push_str(&print_method(program, mid));
+    }
+    out
+}
+
+fn print_instr(program: &Program, _method: &Method, instr: &Instr) -> String {
+    let name = |s: oi_support::Symbol| program.interner.resolve(s).to_owned();
+    match instr {
+        Instr::Const { dst, value } => format!("{dst} = const {value}"),
+        Instr::Move { dst, src } => format!("{dst} = {src}"),
+        Instr::Unary { dst, op, src } => format!("{dst} = {op:?} {src}"),
+        Instr::Binary { dst, op, lhs, rhs } => format!("{dst} = {op:?} {lhs}, {rhs}"),
+        Instr::New { dst, class, args, site } => format!(
+            "{dst} = new {}({}) @{site}",
+            name(program.classes[*class].name),
+            temps(args)
+        ),
+        Instr::NewArray { dst, len, site } => format!("{dst} = array({len}) @{site}"),
+        Instr::NewArrayInline { dst, len, layout, site } => {
+            format!("{dst} = array-inline({len}, {layout}) @{site}")
+        }
+        Instr::GetField { dst, obj, field } => format!("{dst} = {obj}.{}", name(*field)),
+        Instr::SetField { obj, field, src } => format!("{obj}.{} = {src}", name(*field)),
+        Instr::ArrayGet { dst, arr, idx } => format!("{dst} = {arr}[{idx}]"),
+        Instr::ArraySet { arr, idx, src } => format!("{arr}[{idx}] = {src}"),
+        Instr::GetGlobal { dst, global } => {
+            format!("{dst} = global {}", name(program.globals[*global].name))
+        }
+        Instr::SetGlobal { global, src } => {
+            format!("global {} = {src}", name(program.globals[*global].name))
+        }
+        Instr::Send { dst, recv, selector, args } => {
+            format!("{dst} = send {recv}.{}({})", name(*selector), temps(args))
+        }
+        Instr::CallStatic { dst, method, recv, args } => format!(
+            "{dst} = call {}({recv}; {})",
+            program.method_display(*method),
+            temps(args)
+        ),
+        Instr::CallBuiltin { dst, builtin, args } => {
+            format!("{dst} = builtin {builtin:?}({})", temps(args))
+        }
+        Instr::MakeInterior { dst, obj, layout } => format!("{dst} = &{obj}.<{layout}>"),
+        Instr::MakeInteriorElem { dst, arr, idx, layout } => {
+            format!("{dst} = &{arr}[{idx}].<{layout}>")
+        }
+        Instr::Print { src } => format!("print {src}"),
+    }
+}
+
+fn print_term(term: &Terminator) -> String {
+    match term {
+        Terminator::Jump(bb) => format!("jump {bb}"),
+        Terminator::Branch { cond, then_bb, else_bb } => {
+            format!("branch {cond} ? {then_bb} : {else_bb}")
+        }
+        Terminator::Return(t) => format!("return {t}"),
+        Terminator::Unterminated => "<unterminated>".to_owned(),
+    }
+}
+
+fn temps(ts: &[crate::program::Temp]) -> String {
+    ts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lower::compile;
+
+    #[test]
+    fn prints_methods_and_classes() {
+        let p = compile(
+            "class A { field f; method get() { return self.f; } }
+             fn main() { var a = new A(); a.f = 1; print a.get(); }",
+        )
+        .unwrap();
+        let text = super::print_program(&p);
+        assert!(text.contains("class A"));
+        assert!(text.contains("A::get"));
+        assert!(text.contains("send"));
+        assert!(text.contains("return"));
+    }
+
+    #[test]
+    fn print_is_stable_for_same_program() {
+        let src = "fn main() { print 42; }";
+        let a = super::print_program(&compile(src).unwrap());
+        let b = super::print_program(&compile(src).unwrap());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Generated-code-size model (paper Figure 15).
+//!
+//! The paper measures kilobytes of stripped object code emitted by G++ for
+//! the Concert-generated C++. We model size as a weighted sum of IR
+//! instructions over *reachable* methods — cloning that is later inlined and
+//! dead code eliminated therefore does not count, matching the paper's
+//! observation that object inlining does not grow (and usually shrinks)
+//! generated code.
+
+use crate::cfg::reachable_methods;
+use crate::instr::{Instr, Terminator};
+use crate::program::{MethodId, Program};
+
+/// Modeled byte cost of one instruction, loosely calibrated to a RISC
+/// instruction-selection of each IR operation.
+pub fn instr_bytes(instr: &Instr) -> usize {
+    match instr {
+        Instr::Const { .. } => 4,
+        Instr::Move { .. } => 4,
+        Instr::Unary { .. } => 4,
+        Instr::Binary { .. } => 4,
+        // Allocation: call to allocator + header setup + constructor call.
+        Instr::New { args, .. } => 24 + 4 * args.len(),
+        Instr::NewArray { .. } => 24,
+        Instr::NewArrayInline { .. } => 28,
+        Instr::GetField { .. } => 8,
+        Instr::SetField { .. } => 8,
+        Instr::ArrayGet { .. } => 12,
+        Instr::ArraySet { .. } => 12,
+        Instr::GetGlobal { .. } => 8,
+        Instr::SetGlobal { .. } => 8,
+        // Dynamic dispatch sequence: load class, load table, indirect call.
+        Instr::Send { args, .. } => 20 + 4 * args.len(),
+        Instr::CallStatic { args, .. } => 8 + 4 * args.len(),
+        Instr::CallBuiltin { .. } => 8,
+        // Address arithmetic only.
+        Instr::MakeInterior { .. } => 4,
+        Instr::MakeInteriorElem { .. } => 8,
+        Instr::Print { .. } => 8,
+    }
+}
+
+/// Modeled byte cost of a terminator.
+pub fn term_bytes(term: &Terminator) -> usize {
+    match term {
+        Terminator::Jump(_) => 4,
+        Terminator::Branch { .. } => 8,
+        Terminator::Return(_) => 8,
+        Terminator::Unterminated => 0,
+    }
+}
+
+/// Modeled size of one method in bytes, including prologue/epilogue.
+pub fn method_bytes(program: &Program, mid: MethodId) -> usize {
+    let method = &program.methods[mid];
+    let mut bytes = 16; // prologue + epilogue
+    for block in method.blocks.iter() {
+        for instr in &block.instrs {
+            bytes += instr_bytes(instr);
+        }
+        bytes += term_bytes(&block.term);
+    }
+    bytes
+}
+
+/// A program-size report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Number of methods reachable from the entry point.
+    pub reachable_methods: usize,
+    /// Total methods in the program (including never-emitted clones).
+    pub total_methods: usize,
+    /// Modeled bytes of generated code over reachable methods.
+    pub code_bytes: usize,
+}
+
+impl SizeReport {
+    /// Code size in (fractional) kilobytes, as Figure 15 reports.
+    pub fn kilobytes(&self) -> f64 {
+        self.code_bytes as f64 / 1024.0
+    }
+}
+
+/// Measures the program's generated-code size over reachable methods only.
+pub fn measure(program: &Program) -> SizeReport {
+    let reach = reachable_methods(program);
+    let code_bytes = reach.iter().map(|&m| method_bytes(program, m)).sum();
+    SizeReport {
+        reachable_methods: reach.len(),
+        total_methods: program.methods.len(),
+        code_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::compile;
+
+    #[test]
+    fn bigger_programs_cost_more() {
+        let small = measure(&compile("fn main() { print 1; }").unwrap());
+        let large = measure(
+            &compile("fn main() { print 1; print 2; print 3; print 4; print 5; }").unwrap(),
+        );
+        assert!(large.code_bytes > small.code_bytes);
+    }
+
+    #[test]
+    fn unreachable_methods_do_not_count() {
+        let with_dead = measure(
+            &compile("fn dead() { print 1; print 2; print 3; } fn main() { print 1; }").unwrap(),
+        );
+        let without = measure(&compile("fn main() { print 1; }").unwrap());
+        assert_eq!(with_dead.code_bytes, without.code_bytes);
+        assert_eq!(with_dead.reachable_methods, without.reachable_methods);
+        assert!(with_dead.total_methods > without.total_methods);
+    }
+
+    #[test]
+    fn dynamic_send_costs_more_than_static_call() {
+        use crate::instr::Instr;
+        use crate::program::{MethodId, Temp};
+        let mut i = oi_support::Interner::new();
+        let sel = i.intern("m");
+        let send = Instr::Send { dst: Temp::new(0), recv: Temp::new(1), selector: sel, args: vec![] };
+        let call = Instr::CallStatic {
+            dst: Temp::new(0),
+            method: MethodId::new(0),
+            recv: Temp::new(1),
+            args: vec![],
+        };
+        assert!(instr_bytes(&send) > instr_bytes(&call));
+    }
+
+    #[test]
+    fn kilobytes_converts() {
+        let r = SizeReport { reachable_methods: 1, total_methods: 1, code_bytes: 2048 };
+        assert!((r.kilobytes() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,252 @@
+//! Structural verification of IR programs.
+//!
+//! The verifier is run after lowering and after every transformation stage;
+//! it catches malformed programs early rather than as interpreter panics.
+
+use crate::cfg;
+use crate::instr::{Instr, Terminator};
+use crate::program::{ClassId, Method, MethodId, Program, Temp};
+use oi_support::{Diagnostic, Span};
+
+/// Checks the whole program for structural validity.
+///
+/// Verified properties:
+/// - the class hierarchy is acyclic and parents are in-bounds,
+/// - every method's temps are within `temp_count`, parameters fit,
+/// - every reachable block is terminated and targets are in-bounds,
+/// - call/new/layout references are in-bounds,
+/// - the entry method exists and takes no parameters.
+///
+/// # Errors
+///
+/// Returns all problems found (never an empty `Err` vector).
+pub fn verify(program: &Program) -> Result<(), Vec<Diagnostic>> {
+    let mut errors = Vec::new();
+
+    verify_classes(program, &mut errors);
+    for (mid, method) in program.methods.iter_enumerated() {
+        verify_method(program, mid, method, &mut errors);
+    }
+    if program.methods.get(program.entry).is_none() {
+        errors.push(err("entry method out of bounds"));
+    } else if program.methods[program.entry].param_count != 0 {
+        errors.push(err("entry method must take no parameters"));
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn err(msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::error(msg, Span::dummy())
+}
+
+fn verify_classes(program: &Program, errors: &mut Vec<Diagnostic>) {
+    for (cid, class) in program.classes.iter_enumerated() {
+        if let Some(p) = class.parent {
+            if !program.classes.contains_id(p) {
+                errors.push(err(format!("{cid:?}: parent out of bounds")));
+                continue;
+            }
+        }
+        // Acyclicity via bounded walk.
+        let mut cur = class.parent;
+        let mut steps = 0;
+        while let Some(c) = cur {
+            steps += 1;
+            if steps > program.classes.len() {
+                errors.push(err(format!(
+                    "inheritance cycle reachable from class `{}`",
+                    program.interner.resolve(class.name)
+                )));
+                break;
+            }
+            cur = program.classes[c].parent;
+        }
+        for &f in &class.own_fields {
+            if !program.fields.contains_id(f) {
+                errors.push(err(format!("{cid:?}: field id out of bounds")));
+            }
+        }
+        for (&sel, &m) in &class.methods {
+            if !program.methods.contains_id(m) {
+                errors.push(err(format!(
+                    "class `{}` method `{}` out of bounds",
+                    program.interner.resolve(class.name),
+                    program.interner.resolve(sel)
+                )));
+            }
+        }
+    }
+}
+
+fn verify_method(program: &Program, mid: MethodId, method: &Method, errors: &mut Vec<Diagnostic>) {
+    let name = program.method_display(mid);
+    if method.temp_count < method.param_count + 1 {
+        errors.push(err(format!("{name}: temp_count smaller than self+params")));
+    }
+    if method.blocks.is_empty() {
+        errors.push(err(format!("{name}: no blocks")));
+        return;
+    }
+    let check_temp = |t: Temp, errors: &mut Vec<Diagnostic>| {
+        if t.index() >= method.temp_count as usize {
+            errors.push(err(format!("{name}: temp {t:?} out of range")));
+        }
+    };
+    let check_class = |c: ClassId, errors: &mut Vec<Diagnostic>| {
+        if !program.classes.contains_id(c) {
+            errors.push(err(format!("{name}: class {c:?} out of bounds")));
+        }
+    };
+    for (bb, block) in method.blocks.iter_enumerated() {
+        for instr in &block.instrs {
+            if let Some(d) = instr.dst() {
+                check_temp(d, errors);
+            }
+            let mut uses = Vec::new();
+            instr.uses(&mut uses);
+            for u in uses {
+                check_temp(u, errors);
+            }
+            match instr {
+                Instr::New { class, args, site, .. } => {
+                    check_class(*class, errors);
+                    if site.index() >= program.site_count as usize {
+                        errors.push(err(format!("{name}: allocation site {site:?} out of range")));
+                    }
+                    if let Some(init_sym) = program.interner.get("init") {
+                        if let Some(init) = program.lookup_method(*class, init_sym) {
+                            // Empty args are the "raw allocation" form used
+                            // after constructor explosion: the constructor
+                            // is invoked explicitly by a following call.
+                            if !args.is_empty()
+                                && program.methods[init].param_count as usize != args.len()
+                            {
+                                errors.push(err(format!("{name}: constructor arity mismatch")));
+                            }
+                        }
+                    }
+                }
+                Instr::NewArray { site, .. } | Instr::NewArrayInline { site, .. } => {
+                    if site.index() >= program.site_count as usize {
+                        errors.push(err(format!("{name}: allocation site {site:?} out of range")));
+                    }
+                    if let Instr::NewArrayInline { layout, .. } = instr {
+                        if !program.layouts.contains_id(*layout) {
+                            errors.push(err(format!("{name}: layout {layout:?} out of bounds")));
+                        }
+                    }
+                }
+                Instr::CallStatic { method: target, args, .. } => {
+                    if !program.methods.contains_id(*target) {
+                        errors.push(err(format!("{name}: call target out of bounds")));
+                    } else if program.methods[*target].param_count as usize != args.len() {
+                        errors.push(err(format!(
+                            "{name}: static call arity mismatch calling {}",
+                            program.method_display(*target)
+                        )));
+                    }
+                }
+                Instr::GetGlobal { global, .. } | Instr::SetGlobal { global, .. }
+                    if !program.globals.contains_id(*global) => {
+                        errors.push(err(format!("{name}: global {global:?} out of bounds")));
+                    }
+                Instr::MakeInterior { layout, .. } | Instr::MakeInteriorElem { layout, .. }
+                    if !program.layouts.contains_id(*layout) => {
+                        errors.push(err(format!("{name}: layout {layout:?} out of bounds")));
+                    }
+                _ => {}
+            }
+        }
+        let mut term_uses = Vec::new();
+        block.term.uses(&mut term_uses);
+        for u in term_uses {
+            check_temp(u, errors);
+        }
+        for succ in block.term.successors() {
+            if !method.blocks.contains_id(succ) {
+                errors.push(err(format!("{name}: {bb:?} jumps to out-of-bounds {succ:?}")));
+            }
+        }
+    }
+    for bb in cfg::reachable_blocks(method) {
+        if matches!(method.blocks[bb].term, Terminator::Unterminated) {
+            errors.push(err(format!("{name}: reachable {bb:?} is unterminated")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::compile;
+
+    #[test]
+    fn lowered_programs_verify() {
+        let p = compile(
+            "class Point { field x; field y;
+               method init(a, b) { self.x = a; self.y = b; }
+               method abs() { return sqrt(self.x * self.x + self.y * self.y); }
+             }
+             fn main() {
+               var p = new Point(3.0, 4.0);
+               print p.abs();
+             }",
+        )
+        .unwrap();
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn detects_out_of_range_temp() {
+        let mut p = compile("fn main() { print 1; }").unwrap();
+        let entry = p.entry;
+        p.methods[entry].temp_count = 1; // too small for the consts used
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn detects_bad_jump_target() {
+        let mut p = compile("fn main() { print 1; }").unwrap();
+        let entry = p.entry;
+        let bb = p.methods[entry].entry();
+        p.methods[entry].blocks[bb].term = Terminator::Jump(crate::program::BlockId::new(99));
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out-of-bounds")));
+    }
+
+    #[test]
+    fn detects_unterminated_reachable_block() {
+        let mut p = compile("fn main() { print 1; }").unwrap();
+        let entry = p.entry;
+        let bb = p.methods[entry].entry();
+        p.methods[entry].blocks[bb].term = Terminator::Unterminated;
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unterminated")));
+    }
+
+    #[test]
+    fn detects_arity_mismatch_after_mutation() {
+        let mut p = compile(
+            "fn callee(a) { return a; }
+             fn main() { print callee(1); }",
+        )
+        .unwrap();
+        // Break the call by dropping the argument.
+        let entry = p.entry;
+        for block in p.methods[entry].blocks.iter_mut() {
+            for instr in &mut block.instrs {
+                if let Instr::CallStatic { args, .. } = instr {
+                    args.clear();
+                }
+            }
+        }
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("arity")));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property test: the IR cleanup pipeline (constructor explosion, method
+//! inlining, copy propagation, store forwarding, dead object/code
+//! elimination, CFG simplification) preserves observable behavior.
+//!
+//! These passes run on *both* sides of every paper comparison, so their
+//! soundness is foundational.
+
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    New(u8, i8, i8),
+    Mutate(u8, i8),
+    PrintField(u8),
+    PrintSum(u8, u8),
+    Store(u8, u8),
+    Call(u8),
+    Cond(u8, i8),
+    Loop(u8),
+    Global(u8),
+    PrintGlobalField,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, any::<i8>(), any::<i8>()).prop_map(|(k, a, b)| Op::New(k, a, b)),
+        (0u8..3, any::<i8>()).prop_map(|(k, v)| Op::Mutate(k, v)),
+        (0u8..3).prop_map(Op::PrintField),
+        (0u8..3, 0u8..3).prop_map(|(a, b)| Op::PrintSum(a, b)),
+        (0u8..3, 0u8..3).prop_map(|(a, b)| Op::Store(a, b)),
+        (0u8..3).prop_map(Op::Call),
+        (0u8..3, any::<i8>()).prop_map(|(k, v)| Op::Cond(k, v)),
+        (1u8..5).prop_map(Op::Loop),
+        (0u8..3).prop_map(Op::Global),
+        Just(Op::PrintGlobalField),
+    ]
+}
+
+fn render(ops: &[Op]) -> String {
+    use std::fmt::Write;
+    let mut body = String::new();
+    for op in ops {
+        match op {
+            Op::New(k, a, b) => {
+                let _ = writeln!(body, "  o{k} = new Pair({a}, {b});");
+            }
+            Op::Mutate(k, v) => {
+                let _ = writeln!(body, "  o{k}.a = {v};");
+            }
+            Op::PrintField(k) => {
+                let _ = writeln!(body, "  print o{k}.a - o{k}.b;");
+            }
+            Op::PrintSum(a, b) => {
+                let _ = writeln!(body, "  print o{a}.a + o{b}.b;");
+            }
+            Op::Store(a, b) => {
+                let _ = writeln!(body, "  o{a}.peer = o{b};");
+            }
+            Op::Call(k) => {
+                let _ = writeln!(body, "  print combine(o{k});");
+            }
+            Op::Cond(k, v) => {
+                let _ = writeln!(
+                    body,
+                    "  if (o{k}.a < {v}) {{ o{k}.b = o{k}.b + 1; }} else {{ o{k}.b = o{k}.b - 1; }}"
+                );
+            }
+            Op::Loop(n) => {
+                let _ = writeln!(
+                    body,
+                    "  i = 0;\n  while (i < {n}) {{ acc = acc + o0.a; i = i + 1; }}"
+                );
+            }
+            Op::Global(k) => {
+                let _ = writeln!(body, "  G = o{k};");
+            }
+            Op::PrintGlobalField => {
+                let _ = writeln!(body, "  if (!(G === nil)) {{ print G.a; }}");
+            }
+        }
+    }
+    format!(
+        "global G;
+class Pair {{ field a; field b; field peer;
+  method init(x, y) {{ self.a = x; self.b = y; self.peer = nil; }}
+  method sum() {{ return self.a + self.b; }}
+}}
+fn combine(p) {{ return p.sum() * 2 - p.a; }}
+fn main() {{
+  var o0 = new Pair(1, 2);
+  var o1 = new Pair(3, 4);
+  var o2 = new Pair(5, 6);
+  var i = 0;
+  var acc = 0;
+  G = nil;
+{body}  print acc;
+  print o0.sum() + o1.sum() + o2.sum();
+}}
+"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimizer_preserves_behavior(ops in proptest::collection::vec(op_strategy(), 0..20)) {
+        let source = render(&ops);
+        let program = oi_ir::lower::compile(&source)
+            .unwrap_or_else(|e| panic!("bad generator: {}\n{source}", e.render(&source)));
+        let mut optimized = program.clone();
+        oi_ir::opt::optimize(&mut optimized, &oi_ir::opt::OptConfig::default());
+        oi_ir::verify::verify(&optimized)
+            .unwrap_or_else(|e| panic!("optimizer broke the IR: {e:?}\n{source}"));
+
+        let config = oi_vm::VmConfig::default();
+        let before = oi_vm::run(&program, &config).expect("unoptimized runs");
+        let after = oi_vm::run(&optimized, &config).expect("optimized runs");
+        prop_assert_eq!(&before.output, &after.output, "optimizer changed output:\n{}", source);
+        prop_assert!(
+            after.metrics.instructions <= before.metrics.instructions * 2,
+            "optimizer exploded the instruction count"
+        );
+    }
+
+    #[test]
+    fn optimizer_is_idempotent_enough(ops in proptest::collection::vec(op_strategy(), 0..12)) {
+        // Running the pipeline twice must still verify and agree.
+        let source = render(&ops);
+        let program = oi_ir::lower::compile(&source).unwrap();
+        let mut once = program.clone();
+        oi_ir::opt::optimize(&mut once, &oi_ir::opt::OptConfig::default());
+        let mut twice = once.clone();
+        oi_ir::opt::optimize(&mut twice, &oi_ir::opt::OptConfig::default());
+        oi_ir::verify::verify(&twice).unwrap();
+        let config = oi_vm::VmConfig::default();
+        let a = oi_vm::run(&once, &config).unwrap();
+        let b = oi_vm::run(&twice, &config).unwrap();
+        prop_assert_eq!(a.output, b.output);
+    }
+}

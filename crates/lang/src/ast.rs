@@ -1,0 +1,334 @@
+//! Abstract syntax tree for Izzy.
+//!
+//! The AST is deliberately plain: names are still strings (interning and
+//! resolution happen during lowering to IR in `oi-ir`), and every node carries
+//! a [`Span`] for diagnostics.
+
+use oi_support::Span;
+
+/// A parsed compilation unit.
+///
+/// # Examples
+///
+/// ```
+/// let p = oi_lang::parse("class A { field f; } fn main() { }")?;
+/// assert_eq!(p.classes[0].name, "A");
+/// assert_eq!(p.functions[0].name, "main");
+/// # Ok::<(), oi_support::Diagnostic>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+    /// Free functions (lowered as methods of an implicit `$Main` class).
+    pub functions: Vec<FnDecl>,
+    /// Global variable declarations.
+    pub globals: Vec<GlobalDecl>,
+}
+
+/// A `class Name : Parent { ... }` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Superclass name, if any.
+    pub parent: Option<String>,
+    /// Declared fields, in layout order.
+    pub fields: Vec<FieldDecl>,
+    /// Declared methods.
+    pub methods: Vec<MethodDecl>,
+    /// Source location of the declaration header.
+    pub span: Span,
+}
+
+/// A `field name @anno...;` declaration.
+///
+/// Annotations record evaluation ground truth (paper Figure 14):
+/// `@inline_ideal` marks a field hand-determined to be inlinable given
+/// aliasing constraints, and `@inline_cxx` marks a field that the original
+/// C++ sources declared inline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Raw annotation names (without the `@`).
+    pub annotations: Vec<String>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl FieldDecl {
+    /// Returns `true` if the field carries `@anno`.
+    pub fn has_annotation(&self, anno: &str) -> bool {
+        self.annotations.iter().any(|a| a == anno)
+    }
+}
+
+/// A `method name(params) { ... }` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MethodDecl {
+    /// Method selector.
+    pub name: String,
+    /// Parameter names (excluding the implicit `self`).
+    pub params: Vec<String>,
+    /// Method body.
+    pub body: Block,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+/// A free `fn name(params) { ... }` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Block,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+/// A `global NAME;` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDecl {
+    /// Global variable name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `{ ... }` statement sequence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `var name = init;`
+    Var {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `place = value;` where `place` is a variable, field, index or global.
+    Assign {
+        /// Assignment target (must be a place expression).
+        target: Expr,
+        /// Value to store.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression evaluated for effect, e.g. a call.
+    Expr(Expr),
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Optional else branch.
+        else_block: Option<Block>,
+        /// Source location of the `if`.
+        span: Span,
+    },
+    /// `while (cond) { ... }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source location of the `while`.
+        span: Span,
+    },
+    /// `return expr?;`
+    Return {
+        /// Returned value; `nil` if omitted.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `print expr;`
+    Print {
+        /// Value to print.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// An expression with its location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The expression's shape.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Self { kind, span }
+    }
+
+    /// Returns `true` if this expression can be assigned to.
+    pub fn is_place(&self) -> bool {
+        matches!(self.kind, ExprKind::Var(_) | ExprKind::Field { .. } | ExprKind::Index { .. })
+    }
+}
+
+/// Expression shapes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `nil`.
+    Nil,
+    /// `self`.
+    SelfRef,
+    /// Variable or global reference (resolution happens during lowering).
+    Var(String),
+    /// `obj.field`
+    Field {
+        /// Object expression.
+        obj: Box<Expr>,
+        /// Field name.
+        field: String,
+    },
+    /// `recv.name(args)` or, with no receiver, `name(args)` — a free
+    /// function or builtin call.
+    Call {
+        /// Receiver; `None` for free/builtin calls.
+        recv: Option<Box<Expr>>,
+        /// Selector.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `new Class(args)`
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments, passed to `init`.
+        args: Vec<Expr>,
+    },
+    /// `array(len)` — a nil-filled reference array.
+    NewArray {
+        /// Length expression.
+        len: Box<Expr>,
+    },
+    /// `[a, b, c]`
+    ArrayLit(Vec<Expr>),
+    /// `arr[index]`
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `lhs op rhs`
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `op operand`
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==` (structural on primitives, identity on objects)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `===` (reference identity; blocks inlining of operands)
+    RefEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_place_classifies() {
+        let sp = Span::dummy();
+        let var = Expr::new(ExprKind::Var("x".into()), sp);
+        assert!(var.is_place());
+        let field = Expr::new(
+            ExprKind::Field { obj: Box::new(var.clone()), field: "f".into() },
+            sp,
+        );
+        assert!(field.is_place());
+        let lit = Expr::new(ExprKind::Int(1), sp);
+        assert!(!lit.is_place());
+        let call = Expr::new(ExprKind::Call { recv: None, name: "f".into(), args: vec![] }, sp);
+        assert!(!call.is_place());
+    }
+
+    #[test]
+    fn field_annotation_lookup() {
+        let f = FieldDecl {
+            name: "lower_left".into(),
+            annotations: vec!["inline_ideal".into(), "inline_cxx".into()],
+            span: Span::dummy(),
+        };
+        assert!(f.has_annotation("inline_ideal"));
+        assert!(!f.has_annotation("inline_never"));
+    }
+}

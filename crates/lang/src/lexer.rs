@@ -1,0 +1,315 @@
+//! Hand-written lexer for Izzy.
+//!
+//! Supports `//` line comments and `/* ... */` block comments (non-nesting).
+
+use crate::token::{Token, TokenKind};
+use oi_support::{Diagnostic, Span};
+
+/// Splits `source` into tokens, ending with a single [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on malformed input: stray characters, unterminated
+/// strings or block comments, or malformed numeric literals.
+///
+/// # Examples
+///
+/// ```
+/// use oi_lang::lexer::lex;
+/// use oi_lang::token::TokenKind;
+/// let toks = lex("x = 1;")?;
+/// assert_eq!(toks.len(), 5); // x, =, 1, ;, EOF
+/// assert_eq!(toks[2].kind, TokenKind::Int(1));
+/// # Ok::<(), oi_support::Diagnostic>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, bytes: src.as_bytes(), pos: 0, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let c = self.bytes[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.bytes.len() {
+                            return Err(Diagnostic::error(
+                                "unterminated block comment",
+                                self.span_from(start),
+                            ));
+                        }
+                        if self.bytes[self.pos] == b'*' && self.bytes[self.pos + 1] == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                b'0'..=b'9' => self.number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'"' => self.string(start)?,
+                _ => self.punct(start)?,
+            }
+        }
+        let end = self.src.len() as u32;
+        self.tokens.push(Token { kind: TokenKind::Eof, span: Span::new(end, end) });
+        Ok(self.tokens)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start as u32, self.pos as u32)
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize) {
+        let span = self.span_from(start);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), Diagnostic> {
+        while matches!(self.peek(0), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // A `.` only starts a fraction if followed by a digit, so `2.abs()`
+        // still lexes as int, dot, ident.
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(0), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let mut look = 1;
+            if matches!(self.peek(1), Some(b'+' | b'-')) {
+                look = 2;
+            }
+            if matches!(self.peek(look), Some(b'0'..=b'9')) {
+                is_float = true;
+                self.pos += look;
+                while matches!(self.peek(0), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let kind = if is_float {
+            TokenKind::Float(text.parse().map_err(|_| {
+                Diagnostic::error(format!("invalid float literal `{text}`"), self.span_from(start))
+            })?)
+        } else {
+            TokenKind::Int(text.parse().map_err(|_| {
+                Diagnostic::error(format!("invalid integer literal `{text}`"), self.span_from(start))
+            })?)
+        };
+        self.emit(kind, start);
+        Ok(())
+    }
+
+    fn ident(&mut self, start: usize) {
+        while matches!(self.peek(0), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        self.emit(kind, start);
+    }
+
+    fn string(&mut self, start: usize) -> Result<(), Diagnostic> {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek(0) {
+                None | Some(b'\n') => {
+                    return Err(Diagnostic::error("unterminated string literal", self.span_from(start)));
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    let esc = self.peek(1).ok_or_else(|| {
+                        Diagnostic::error("unterminated string literal", self.span_from(start))
+                    })?;
+                    value.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        other => {
+                            return Err(Diagnostic::error(
+                                format!("unknown escape `\\{}`", other as char),
+                                self.span_from(start),
+                            ));
+                        }
+                    });
+                    self.pos += 2;
+                }
+                Some(_) => {
+                    // Advance by one full UTF-8 character.
+                    let ch = self.src[self.pos..].chars().next().expect("in-bounds char");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        self.emit(TokenKind::Str(value), start);
+        Ok(())
+    }
+
+    fn punct(&mut self, start: usize) -> Result<(), Diagnostic> {
+        let c = self.bytes[self.pos];
+        let (kind, width) = match (c, self.peek(1), self.peek(2)) {
+            (b'=', Some(b'='), Some(b'=')) => (TokenKind::EqEqEq, 3),
+            (b'=', Some(b'='), _) => (TokenKind::EqEq, 2),
+            (b'=', _, _) => (TokenKind::Eq, 1),
+            (b'!', Some(b'='), _) => (TokenKind::NotEq, 2),
+            (b'!', _, _) => (TokenKind::Bang, 1),
+            (b'<', Some(b'='), _) => (TokenKind::Le, 2),
+            (b'<', _, _) => (TokenKind::Lt, 1),
+            (b'>', Some(b'='), _) => (TokenKind::Ge, 2),
+            (b'>', _, _) => (TokenKind::Gt, 1),
+            (b'&', Some(b'&'), _) => (TokenKind::AndAnd, 2),
+            (b'|', Some(b'|'), _) => (TokenKind::OrOr, 2),
+            (b'(', _, _) => (TokenKind::LParen, 1),
+            (b')', _, _) => (TokenKind::RParen, 1),
+            (b'{', _, _) => (TokenKind::LBrace, 1),
+            (b'}', _, _) => (TokenKind::RBrace, 1),
+            (b'[', _, _) => (TokenKind::LBracket, 1),
+            (b']', _, _) => (TokenKind::RBracket, 1),
+            (b',', _, _) => (TokenKind::Comma, 1),
+            (b';', _, _) => (TokenKind::Semi, 1),
+            (b':', _, _) => (TokenKind::Colon, 1),
+            (b'.', _, _) => (TokenKind::Dot, 1),
+            (b'@', _, _) => (TokenKind::At, 1),
+            (b'+', _, _) => (TokenKind::Plus, 1),
+            (b'-', _, _) => (TokenKind::Minus, 1),
+            (b'*', _, _) => (TokenKind::Star, 1),
+            (b'/', _, _) => (TokenKind::Slash, 1),
+            (b'%', _, _) => (TokenKind::Percent, 1),
+            _ => {
+                self.pos += 1;
+                return Err(Diagnostic::error(
+                    format!("unexpected character `{}`", c as char),
+                    self.span_from(start),
+                ));
+            }
+        };
+        self.pos += width;
+        self.emit(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("class Point field x"),
+            vec![T::Class, T::Ident("Point".into()), T::Field, T::Ident("x".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42 3.5 1e3 7.0e-2"), vec![
+            T::Int(42),
+            T::Float(3.5),
+            T::Float(1000.0),
+            T::Float(0.07),
+            T::Eof
+        ]);
+    }
+
+    #[test]
+    fn int_dot_method_is_not_float() {
+        assert_eq!(kinds("2.abs"), vec![T::Int(2), T::Dot, T::Ident("abs".into()), T::Eof]);
+    }
+
+    #[test]
+    fn lexes_multichar_operators() {
+        assert_eq!(kinds("= == === != <= >= && ||"), vec![
+            T::Eq,
+            T::EqEq,
+            T::EqEqEq,
+            T::NotEq,
+            T::Le,
+            T::Ge,
+            T::AndAnd,
+            T::OrOr,
+            T::Eof
+        ]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(kinds("1 // comment\n 2 /* block\nstill */ 3"), vec![
+            T::Int(1),
+            T::Int(2),
+            T::Int(3),
+            T::Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds(r#""a\nb""#), vec![T::Str("a\nb".into()), T::Eof]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.message.contains('#'));
+    }
+
+    #[test]
+    fn spans_point_at_tokens() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, oi_support::Span::new(0, 2));
+        assert_eq!(toks[1].span, oi_support::Span::new(3, 5));
+    }
+}

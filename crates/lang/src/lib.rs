@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Front end for *Izzy*, the uniform-object-model language used by the
+//! object-inlining reproduction.
+//!
+//! Izzy plays the role of ICC++ in the paper: a small object-oriented
+//! language in which **every object is accessed through a reference** and all
+//! calls are dynamically dispatched, so that inline allocation is purely the
+//! compiler's job. A flavor of the paper's running example:
+//!
+//! ```text
+//! class Point {
+//!     field x; field y;
+//!     method init(x, y) { self.x = x; self.y = y; }
+//!     method abs() { return sqrt(self.x * self.x + self.y * self.y); }
+//! }
+//! class Rectangle {
+//!     field lower_left; field upper_right;
+//!     method init(ll, ur) { self.lower_left = ll; self.upper_right = ur; }
+//!     method area() { return self.lower_left.area(self.upper_right); }
+//! }
+//! ```
+//!
+//! The crate exposes a [`lexer`], a recursive-descent [`parser`] producing
+//! the [`ast`] types, and field annotations (`@inline_ideal`, `@inline_cxx`)
+//! used to record the paper's Figure 14 ground truth in benchmark sources.
+//!
+//! # Examples
+//!
+//! ```
+//! let source = "fn main() { print 1 + 2; }";
+//! let program = oi_lang::parse(source)?;
+//! assert_eq!(program.functions.len(), 1);
+//! # Ok::<(), oi_support::Diagnostic>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::Program;
+pub use parser::parse;

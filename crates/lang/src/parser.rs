@@ -1,0 +1,580 @@
+//! Recursive-descent parser for Izzy.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+use oi_support::{Diagnostic, Span};
+
+/// Parses an Izzy source string into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`Diagnostic`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// let p = oi_lang::parse(
+///     "class Point { field x; field y; method abs() { return sqrt(self.x*self.x + self.y*self.y); } }",
+/// )?;
+/// assert_eq!(p.classes[0].methods[0].name, "abs");
+/// # Ok::<(), oi_support::Diagnostic>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, Diagnostic> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, Diagnostic> {
+        if self.peek() == &kind {
+            Ok(self.advance())
+        } else {
+            Err(Diagnostic::error(
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek_span();
+                self.advance();
+                Ok((name, span))
+            }
+            other => Err(Diagnostic::error(
+                format!("expected {what} name, found {}", other.describe()),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, Diagnostic> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Class => program.classes.push(self.class_decl()?),
+                TokenKind::Fn => program.functions.push(self.fn_decl()?),
+                TokenKind::Global => {
+                    let span = self.peek_span();
+                    self.advance();
+                    let (name, _) = self.expect_ident("global")?;
+                    self.expect(TokenKind::Semi)?;
+                    program.globals.push(GlobalDecl { name, span });
+                }
+                other => {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "expected `class`, `fn` or `global`, found {}",
+                            other.describe()
+                        ),
+                        self.peek_span(),
+                    ));
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, Diagnostic> {
+        let span = self.peek_span();
+        self.expect(TokenKind::Class)?;
+        let (name, _) = self.expect_ident("class")?;
+        let parent = if self.eat(&TokenKind::Colon) {
+            Some(self.expect_ident("superclass")?.0)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::RBrace => {
+                    self.advance();
+                    break;
+                }
+                TokenKind::Field => {
+                    let fspan = self.peek_span();
+                    self.advance();
+                    let (fname, _) = self.expect_ident("field")?;
+                    let mut annotations = Vec::new();
+                    while self.eat(&TokenKind::At) {
+                        annotations.push(self.expect_ident("annotation")?.0);
+                    }
+                    self.expect(TokenKind::Semi)?;
+                    fields.push(FieldDecl { name: fname, annotations, span: fspan });
+                }
+                TokenKind::Method => {
+                    let mspan = self.peek_span();
+                    self.advance();
+                    let (mname, _) = self.expect_ident("method")?;
+                    let params = self.param_list()?;
+                    let body = self.block()?;
+                    methods.push(MethodDecl { name: mname, params, body, span: mspan });
+                }
+                other => {
+                    return Err(Diagnostic::error(
+                        format!("expected `field`, `method` or `}}`, found {}", other.describe()),
+                        self.peek_span(),
+                    ));
+                }
+            }
+        }
+        Ok(ClassDecl { name, parent, fields, methods, span })
+    }
+
+    fn fn_decl(&mut self) -> Result<FnDecl, Diagnostic> {
+        let span = self.peek_span();
+        self.expect(TokenKind::Fn)?;
+        let (name, _) = self.expect_ident("function")?;
+        let params = self.param_list()?;
+        let body = self.block()?;
+        Ok(FnDecl { name, params, body, span })
+    }
+
+    fn param_list(&mut self) -> Result<Vec<String>, Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.expect_ident("parameter")?.0);
+                if self.eat(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(TokenKind::RParen)?;
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(Diagnostic::error("unterminated block", self.peek_span()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.peek_span();
+        match self.peek() {
+            TokenKind::Var => {
+                self.advance();
+                let (name, _) = self.expect_ident("variable")?;
+                self.expect(TokenKind::Eq)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Var { name, init, span })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::Return => {
+                self.advance();
+                let value =
+                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Print => {
+                self.advance();
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Print { value, span })
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat(&TokenKind::Eq) {
+                    if !e.is_place() {
+                        return Err(Diagnostic::error(
+                            "left side of assignment is not assignable",
+                            e.span,
+                        ));
+                    }
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Assign { target: e, value, span })
+                } else {
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.peek_span();
+        self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_block = self.block()?;
+        let else_block = if self.eat(&TokenKind::Else) {
+            if self.peek() == &TokenKind::If {
+                // `else if` chains become a nested single-statement block.
+                let nested = self.if_stmt()?;
+                Some(Block { stmts: vec![nested] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_block, else_block, span })
+    }
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing binary expression parser. Level 0 is weakest.
+    fn binary(&mut self, min_level: u8) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, level) = match self.peek() {
+                TokenKind::OrOr => (BinOp::Or, 1),
+                TokenKind::AndAnd => (BinOp::And, 2),
+                TokenKind::EqEq => (BinOp::Eq, 3),
+                TokenKind::NotEq => (BinOp::Ne, 3),
+                TokenKind::EqEqEq => (BinOp::RefEq, 3),
+                TokenKind::Lt => (BinOp::Lt, 4),
+                TokenKind::Le => (BinOp::Le, 4),
+                TokenKind::Gt => (BinOp::Gt, 4),
+                TokenKind::Ge => (BinOp::Ge, 4),
+                TokenKind::Plus => (BinOp::Add, 5),
+                TokenKind::Minus => (BinOp::Sub, 5),
+                TokenKind::Star => (BinOp::Mul, 6),
+                TokenKind::Slash => (BinOp::Div, 6),
+                TokenKind::Percent => (BinOp::Rem, 6),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            self.advance();
+            let rhs = self.binary(level + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.peek_span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let operand = self.unary()?;
+            let span = span.merge(operand.span);
+            return Ok(Expr::new(ExprKind::Unary { op, operand: Box::new(operand) }, span));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, Diagnostic> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.advance();
+                    let (name, nspan) = self.expect_ident("member")?;
+                    if self.peek() == &TokenKind::LParen {
+                        let args = self.arg_list()?;
+                        let span = e.span.merge(nspan);
+                        e = Expr::new(
+                            ExprKind::Call { recv: Some(Box::new(e)), name, args },
+                            span,
+                        );
+                    } else {
+                        let span = e.span.merge(nspan);
+                        e = Expr::new(ExprKind::Field { obj: Box::new(e), field: name }, span);
+                    }
+                }
+                TokenKind::LBracket => {
+                    self.advance();
+                    let index = self.expr()?;
+                    let close = self.expect(TokenKind::RBracket)?;
+                    let span = e.span.merge(close.span);
+                    e = Expr::new(
+                        ExprKind::Index { arr: Box::new(e), index: Box::new(index) },
+                        span,
+                    );
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Expr>, Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(TokenKind::RParen)?;
+                break;
+            }
+        }
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.peek_span();
+        let kind = self.peek().clone();
+        match kind {
+            TokenKind::Int(n) => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Int(n), span))
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Float(x), span))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Str(s), span))
+            }
+            TokenKind::True => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Bool(true), span))
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Bool(false), span))
+            }
+            TokenKind::Nil => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Nil, span))
+            }
+            TokenKind::SelfKw => {
+                self.advance();
+                Ok(Expr::new(ExprKind::SelfRef, span))
+            }
+            TokenKind::New => {
+                self.advance();
+                let (class, _) = self.expect_ident("class")?;
+                let args = self.arg_list()?;
+                Ok(Expr::new(ExprKind::New { class, args }, span))
+            }
+            TokenKind::Array => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let len = self.expr()?;
+                let close = self.expect(TokenKind::RParen)?;
+                Ok(Expr::new(ExprKind::NewArray { len: Box::new(len) }, span.merge(close.span)))
+            }
+            TokenKind::LBracket => {
+                self.advance();
+                let mut elems = Vec::new();
+                if !self.eat(&TokenKind::RBracket) {
+                    loop {
+                        elems.push(self.expr()?);
+                        if self.eat(&TokenKind::Comma) {
+                            continue;
+                        }
+                        self.expect(TokenKind::RBracket)?;
+                        break;
+                    }
+                }
+                Ok(Expr::new(ExprKind::ArrayLit(elems), span))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.arg_list()?;
+                    Ok(Expr::new(ExprKind::Call { recv: None, name, args }, span))
+                } else {
+                    Ok(Expr::new(ExprKind::Var(name), span))
+                }
+            }
+            other => Err(Diagnostic::error(
+                format!("expected expression, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        match parse(src) {
+            Ok(p) => p,
+            Err(e) => panic!("parse failed: {} in {src}", e.render(src)),
+        }
+    }
+
+    #[test]
+    fn parses_rectangle_example() {
+        let p = parse_ok(
+            "class Point { field x; field y;
+               method init(a, b) { self.x = a; self.y = b; }
+               method abs() { return sqrt(self.x * self.x + self.y * self.y); }
+             }
+             class Rectangle { field lower_left @inline_ideal @inline_cxx; field upper_right;
+               method area() { return self.lower_left.area(self.upper_right); }
+             }
+             class Parallelogram : Rectangle { field upper_left; }
+             fn main() { var p1 = new Point(1.0, 2.0); print p1.abs(); }",
+        );
+        assert_eq!(p.classes.len(), 3);
+        assert_eq!(p.classes[2].parent.as_deref(), Some("Rectangle"));
+        assert!(p.classes[1].fields[0].has_annotation("inline_ideal"));
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let p = parse_ok("fn f() { return 1 + 2 * 3; }");
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &e.kind else {
+            panic!("expected add at top: {e:?}");
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_weaker_than_arith() {
+        let p = parse_ok("fn f(a) { return a + 1 < a * 2; }");
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn chained_postfix() {
+        let p = parse_ok("fn f(r) { return r.lower_left.x; }");
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        let ExprKind::Field { obj, field } = &e.kind else { panic!() };
+        assert_eq!(field, "x");
+        assert!(matches!(&obj.kind, ExprKind::Field { field, .. } if field == "lower_left"));
+    }
+
+    #[test]
+    fn method_call_vs_field() {
+        let p = parse_ok("fn f(a) { return a.head().abs(); }");
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(&e.kind, ExprKind::Call { name, .. } if name == "abs"));
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse_ok("fn f(a) { if (a) { return 1; } else if (!a) { return 2; } else { return 3; } }");
+        let Stmt::If { else_block: Some(b), .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(b.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn assignment_targets() {
+        parse_ok("fn f(a) { a = 1; a.f = 2; a[0] = 3; }");
+        assert!(parse("fn f(a) { 1 = 2; }").is_err());
+        assert!(parse("fn f(a) { f() = 2; }").is_err());
+    }
+
+    #[test]
+    fn array_literals_and_indexing() {
+        let p = parse_ok("fn f() { var a = [1, 2, 3]; var b = array(10); return a[b[0]]; }");
+        assert_eq!(p.functions[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn globals_parse() {
+        let p = parse_ok("global EVENTS; fn main() { EVENTS = nil; }");
+        assert_eq!(p.globals[0].name, "EVENTS");
+    }
+
+    #[test]
+    fn identity_operator_parses() {
+        let p = parse_ok("fn f(a, b) { return a === b; }");
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::RefEq, .. }));
+    }
+
+    #[test]
+    fn error_messages_name_expectations() {
+        let err = parse("class {").unwrap_err();
+        assert!(err.message.contains("class name"), "{}", err.message);
+        let err = parse("fn f() { var = 1; }").unwrap_err();
+        assert!(err.message.contains("variable name"), "{}", err.message);
+    }
+
+    #[test]
+    fn unterminated_block_reported() {
+        assert!(parse("fn f() { var x = 1;").is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Pretty-printing of the AST back to parseable Izzy source.
+//!
+//! The printer's contract, checked by property tests: for any parsed
+//! program `p`, `parse(print(p))` succeeds and equals `p`.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        let _ = writeln!(out, "global {};", g.name);
+    }
+    for c in &p.classes {
+        print_class(&mut out, c);
+    }
+    for f in &p.functions {
+        let _ = write!(out, "fn {}({})", f.name, f.params.join(", "));
+        print_block(&mut out, &f.body, 0);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_class(out: &mut String, c: &ClassDecl) {
+    let _ = write!(out, "class {}", c.name);
+    if let Some(parent) = &c.parent {
+        let _ = write!(out, " : {parent}");
+    }
+    out.push_str(" {\n");
+    for f in &c.fields {
+        let _ = write!(out, "  field {}", f.name);
+        for a in &f.annotations {
+            let _ = write!(out, " @{a}");
+        }
+        out.push_str(";\n");
+    }
+    for m in &c.methods {
+        let _ = write!(out, "  method {}({})", m.name, m.params.join(", "));
+        print_block(out, &m.body, 1);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_block(out: &mut String, b: &Block, depth: usize) {
+    out.push_str(" {\n");
+    for s in &b.stmts {
+        print_stmt(out, s, depth + 1);
+    }
+    indent(out, depth);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Var { name, init, .. } => {
+            let _ = write!(out, "var {name} = ");
+            print_expr(out, init);
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, value, .. } => {
+            print_expr(out, target);
+            out.push_str(" = ");
+            print_expr(out, value);
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            print_expr(out, e);
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then_block, else_block, .. } => {
+            out.push_str("if (");
+            print_expr(out, cond);
+            out.push(')');
+            print_block(out, then_block, depth);
+            if let Some(else_block) = else_block {
+                out.push_str(" else");
+                print_block(out, else_block, depth);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            out.push_str("while (");
+            print_expr(out, cond);
+            out.push(')');
+            print_block(out, body, depth);
+            out.push('\n');
+        }
+        Stmt::Return { value, .. } => {
+            out.push_str("return");
+            if let Some(v) = value {
+                out.push(' ');
+                print_expr(out, v);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Print { value, .. } => {
+            out.push_str("print ");
+            print_expr(out, value);
+            out.push_str(";\n");
+        }
+    }
+}
+
+/// Prints fully parenthesized expressions (cheap and unambiguous).
+fn print_expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::Int(n) => {
+            // Negative literals re-lex as unary minus; parenthesize so a
+            // following postfix (`-1[0]`) cannot re-associate.
+            if *n < 0 {
+                let _ = write!(out, "({n})");
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        ExprKind::Float(x) => {
+            // `{:?}` keeps a decimal point or exponent so it re-lexes as a
+            // float.
+            if *x < 0.0 {
+                let _ = write!(out, "({x:?})");
+            } else {
+                let _ = write!(out, "{x:?}");
+            }
+        }
+        ExprKind::Str(s) => {
+            let _ = write!(out, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""));
+        }
+        ExprKind::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        ExprKind::Nil => out.push_str("nil"),
+        ExprKind::SelfRef => out.push_str("self"),
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Field { obj, field } => {
+            print_expr(out, obj);
+            let _ = write!(out, ".{field}");
+        }
+        ExprKind::Call { recv, name, args } => {
+            if let Some(recv) = recv {
+                print_expr(out, recv);
+                out.push('.');
+            }
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::New { class, args } => {
+            let _ = write!(out, "new {class}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::NewArray { len } => {
+            out.push_str("array(");
+            print_expr(out, len);
+            out.push(')');
+        }
+        ExprKind::ArrayLit(elems) => {
+            out.push('[');
+            for (i, a) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(']');
+        }
+        ExprKind::Index { arr, index } => {
+            print_expr(out, arr);
+            out.push('[');
+            print_expr(out, index);
+            out.push(']');
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            out.push('(');
+            print_expr(out, lhs);
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::RefEq => "===",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            let _ = write!(out, " {sym} ");
+            print_expr(out, rhs);
+            out.push(')');
+        }
+        ExprKind::Unary { op, operand } => {
+            out.push('(');
+            out.push_str(match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            });
+            print_expr(out, operand);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Spans differ after printing; compare structure by re-printing.
+    fn normalize(p: &Program) -> String {
+        print_program(p)
+    }
+
+    #[test]
+    fn round_trips_rectangle_program() {
+        let src = "class Point { field x @inline_ideal; field y;
+               method init(a, b) { self.x = a; self.y = b; }
+               method abs() { return sqrt(self.x * self.x + self.y * self.y); }
+             }
+             class Para : Point { field skew; }
+             global G;
+             fn main() {
+               var p = new Point(3.0, 4.0);
+               G = p;
+               if (p.abs() > 1.0 && !(G === nil)) { print p.abs(); } else { print 0; }
+               var a = [1, 2, 3];
+               a[0] = a[1] + a[2];
+               while (a[0] > 0) { a[0] = a[0] - 1; }
+               print -a[0];
+             }";
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("{}\n{printed}", e.render(&printed)));
+        assert_eq!(normalize(&p1), normalize(&p2));
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let p1 = parse("fn main() { print 2.0; print 1e10; }").unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(normalize(&p1), normalize(&p2));
+        assert!(printed.contains("2.0"));
+    }
+
+    #[test]
+    fn strings_escape_correctly() {
+        let p1 = parse(r#"fn main() { print "a\"b\\c"; }"#).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(normalize(&p1), normalize(&p2));
+    }
+}

@@ -1,0 +1,236 @@
+//! Token definitions for the Izzy lexer.
+
+use oi_support::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier such as `Rectangle` or `lower_left`.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal (without quotes, escapes resolved).
+    Str(String),
+
+    // Keywords.
+    /// `class`
+    Class,
+    /// `field`
+    Field,
+    /// `method`
+    Method,
+    /// `fn`
+    Fn,
+    /// `global`
+    Global,
+    /// `var`
+    Var,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `print`
+    Print,
+    /// `new`
+    New,
+    /// `self`
+    SelfKw,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `nil`
+    Nil,
+    /// `array`
+    Array,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `===` (reference identity)
+    EqEqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Maps an identifier to a keyword kind, if it is one.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "class" => TokenKind::Class,
+            "field" => TokenKind::Field,
+            "method" => TokenKind::Method,
+            "fn" => TokenKind::Fn,
+            "global" => TokenKind::Global,
+            "var" => TokenKind::Var,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "return" => TokenKind::Return,
+            "print" => TokenKind::Print,
+            "new" => TokenKind::New,
+            "self" => TokenKind::SelfKw,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "nil" => TokenKind::Nil,
+            "array" => TokenKind::Array,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Float(x) => format!("float `{x}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Eof => "end of input".to_owned(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Class => "class",
+            TokenKind::Field => "field",
+            TokenKind::Method => "method",
+            TokenKind::Fn => "fn",
+            TokenKind::Global => "global",
+            TokenKind::Var => "var",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::Return => "return",
+            TokenKind::Print => "print",
+            TokenKind::New => "new",
+            TokenKind::SelfKw => "self",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Nil => "nil",
+            TokenKind::Array => "array",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::At => "@",
+            TokenKind::Eq => "=",
+            TokenKind::EqEq => "==",
+            TokenKind::EqEqEq => "===",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Bang => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Ident(_) | TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Str(_) | TokenKind::Eof => {
+                unreachable!("lexeme called on variable token")
+            }
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("class"), Some(TokenKind::Class));
+        assert_eq!(TokenKind::keyword("self"), Some(TokenKind::SelfKw));
+        assert_eq!(TokenKind::keyword("Rectangle"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::EqEqEq.describe(), "`===`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property: printing a parsed program and re-parsing it yields the same
+//! structure (print∘parse is idempotent up to spans).
+
+use oi_lang::ast::*;
+use oi_lang::{parse, printer::print_program};
+use oi_support::Span;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Simple, keyword-free identifiers.
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        oi_lang::token::TokenKind::keyword(s).is_none()
+    })
+}
+
+fn literal_expr() -> impl Strategy<Value = Expr> {
+    let sp = Span::dummy();
+    prop_oneof![
+        any::<i32>().prop_map(move |n| Expr::new(ExprKind::Int(n as i64), sp)),
+        // Finite floats only: NaN never round-trips through text.
+        (-1.0e6f64..1.0e6).prop_map(move |x| Expr::new(ExprKind::Float(x), sp)),
+        any::<bool>().prop_map(move |b| Expr::new(ExprKind::Bool(b), sp)),
+        Just(Expr::new(ExprKind::Nil, sp)),
+        "[a-zA-Z0-9 _.!?]{0,12}".prop_map(move |s| Expr::new(ExprKind::Str(s), sp)),
+        ident().prop_map(move |v| Expr::new(ExprKind::Var(v), sp)),
+    ]
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let sp = Span::dummy();
+    if depth == 0 {
+        return literal_expr().boxed();
+    }
+    let sub = expr(depth - 1);
+    prop_oneof![
+        literal_expr(),
+        (sub.clone(), ident()).prop_map(move |(o, f)| Expr::new(
+            ExprKind::Field { obj: Box::new(o), field: f },
+            sp
+        )),
+        (sub.clone(), sub.clone(), prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Lt),
+            Just(BinOp::RefEq),
+            Just(BinOp::And),
+        ])
+        .prop_map(move |(l, r, op)| Expr::new(
+            ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+            sp
+        )),
+        (sub.clone(), proptest::collection::vec(sub.clone(), 0..3), ident()).prop_map(
+            move |(r, args, name)| Expr::new(
+                ExprKind::Call { recv: Some(Box::new(r)), name, args },
+                sp
+            )
+        ),
+        (sub.clone(), sub.clone()).prop_map(move |(a, i)| Expr::new(
+            ExprKind::Index { arr: Box::new(a), index: Box::new(i) },
+            sp
+        )),
+        (sub.clone()).prop_map(move |o| Expr::new(
+            ExprKind::Unary { op: UnOp::Neg, operand: Box::new(o) },
+            sp
+        )),
+        proptest::collection::vec(sub, 0..3)
+            .prop_map(move |elems| Expr::new(ExprKind::ArrayLit(elems), sp)),
+    ]
+    .boxed()
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let sp = Span::dummy();
+    let e = expr(2);
+    if depth == 0 {
+        return prop_oneof![
+            (ident(), e.clone()).prop_map(move |(n, v)| Stmt::Var { name: n, init: v, span: sp }),
+            e.clone().prop_map(move |v| Stmt::Print { value: v, span: sp }),
+            e.clone()
+                .prop_map(move |v| Stmt::Return { value: Some(v), span: sp }),
+        ]
+        .boxed();
+    }
+    let inner = proptest::collection::vec(stmt(depth - 1), 0..4);
+    prop_oneof![
+        (ident(), e.clone()).prop_map(move |(n, v)| Stmt::Var { name: n, init: v, span: sp }),
+        e.clone().prop_map(move |v| Stmt::Print { value: v, span: sp }),
+        (ident(), e.clone()).prop_map(move |(n, v)| Stmt::Assign {
+            target: Expr::new(ExprKind::Var(n), sp),
+            value: v,
+            span: sp
+        }),
+        (e.clone(), inner.clone(), inner.clone()).prop_map(move |(c, t, f)| Stmt::If {
+            cond: c,
+            then_block: Block { stmts: t },
+            else_block: Some(Block { stmts: f }),
+            span: sp
+        }),
+        (e.clone(), inner).prop_map(move |(c, b)| Stmt::While {
+            cond: c,
+            body: Block { stmts: b },
+            span: sp
+        }),
+    ]
+    .boxed()
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    let sp = Span::dummy();
+    let field = (ident(), proptest::collection::vec(ident(), 0..2)).prop_map(
+        move |(name, annotations)| FieldDecl { name, annotations, span: sp },
+    );
+    let method = (ident(), proptest::collection::vec(ident(), 0..3),
+                  proptest::collection::vec(stmt(1), 0..5))
+        .prop_map(move |(name, params, stmts)| MethodDecl {
+            name,
+            params,
+            body: Block { stmts },
+            span: sp,
+        });
+    let class = (ident(), proptest::collection::vec(field, 0..4),
+                 proptest::collection::vec(method, 0..3))
+        .prop_map(move |(name, fields, methods)| ClassDecl {
+            name: format!("C{name}"),
+            parent: None,
+            fields,
+            methods,
+            span: sp,
+        });
+    let function = (ident(), proptest::collection::vec(ident(), 0..3),
+                    proptest::collection::vec(stmt(2), 0..6))
+        .prop_map(move |(name, params, stmts)| FnDecl {
+            name,
+            params,
+            body: Block { stmts },
+            span: sp,
+        });
+    (
+        proptest::collection::vec(class, 0..3),
+        proptest::collection::vec(function, 1..4),
+        proptest::collection::vec(ident(), 0..2),
+    )
+        .prop_map(move |(classes, functions, globals)| Program {
+            classes,
+            functions,
+            globals: globals
+                .into_iter()
+                .map(|g| GlobalDecl { name: format!("G{g}"), span: sp })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_roundtrip(p in program()) {
+        let printed = print_program(&p);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("{}\n--- printed ---\n{printed}", e.render(&printed)));
+        let reprinted = print_program(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    #[test]
+    fn lexer_never_panics(s in "\\PC{0,100}") {
+        let _ = oi_lang::lexer::lex(&s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,193 @@
+//! Source spans and diagnostics.
+//!
+//! All front-end and verification errors carry a [`Span`] pointing into the
+//! original source text so messages can quote line/column positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte range into a source string.
+///
+/// # Examples
+///
+/// ```
+/// use oi_support::Span;
+/// let s = Span::new(4, 9);
+/// assert_eq!(s.len(), 5);
+/// let merged = s.merge(Span::new(1, 6));
+/// assert_eq!((merged.start, merged.end), (1, 9));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start after end");
+        Self { start, end }
+    }
+
+    /// A zero-length span at offset 0, for synthesized nodes.
+    pub fn dummy() -> Self {
+        Self::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` for zero-length spans.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Computes 1-based `(line, column)` of the span start within `source`.
+    pub fn line_col(self, source: &str) -> (u32, u32) {
+        let mut line = 1;
+        let mut col = 1;
+        for (idx, ch) in source.char_indices() {
+            if idx as u32 >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Severity of a [`Diagnostic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory note.
+    Note,
+    /// A problem that does not stop compilation.
+    Warning,
+    /// A fatal problem.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => f.write_str("note"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A compiler message attached to a source location.
+///
+/// # Examples
+///
+/// ```
+/// use oi_support::{Diagnostic, Span};
+/// let d = Diagnostic::error("unknown class `Pointt`", Span::new(10, 16));
+/// assert!(d.to_string().contains("unknown class"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the message is.
+    pub severity: Severity,
+    /// Human-readable description, lowercase, no trailing period.
+    pub message: String,
+    /// Where in the source the problem lies.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Self { severity: Severity::Error, message: message.into(), span }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Self { severity: Severity::Warning, message: message.into(), span }
+    }
+
+    /// Creates a note diagnostic.
+    pub fn note(message: impl Into<String>, span: Span) -> Self {
+        Self { severity: Severity::Note, message: message.into(), span }
+    }
+
+    /// Renders the diagnostic with line/column information from `source`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("{}:{}: {}: {}", line, col, self.severity, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} at {:?}", self.severity, self.message, self.span)
+    }
+}
+
+impl Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_cover() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 10);
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b), Span::new(2, 10));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncde\nf";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(5, 6).line_col(src), (2, 3));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let d = Diagnostic::error("bad token", Span::new(3, 4));
+        assert_eq!(d.render("ab\ncd"), "2:1: error: bad token");
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    #[should_panic(expected = "span start after end")]
+    fn invalid_span_panics() {
+        let _ = Span::new(5, 3);
+    }
+}

@@ -1,0 +1,225 @@
+//! Typed indices and index-keyed vectors.
+//!
+//! The compiler's tables (classes, methods, fields, temps, blocks, contours)
+//! are all dense arrays keyed by small integer ids. [`IdxVec`] pairs a vector
+//! with a typed index so a `ClassId` cannot be used to index the method
+//! table.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// A typed dense index. Implemented by the `define_idx!` macro.
+pub trait Idx: Copy + Eq + std::hash::Hash + fmt::Debug {
+    /// Builds the index from a raw position.
+    fn from_usize(raw: usize) -> Self;
+    /// Returns the raw position.
+    fn as_usize(self) -> usize;
+}
+
+/// A vector indexed by a typed id.
+///
+/// # Examples
+///
+/// ```
+/// use oi_support::{define_idx, IdxVec};
+/// define_idx!(pub struct NodeId, "n");
+///
+/// let mut v: IdxVec<NodeId, &str> = IdxVec::new();
+/// let a = v.push("alpha");
+/// let b = v.push("beta");
+/// assert_eq!(v[a], "alpha");
+/// assert_eq!(v[b], "beta");
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IdxVec<I: Idx, T> {
+    raw: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Idx, T> IdxVec<I, T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self { raw: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty vector with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { raw: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Appends a value, returning its id.
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::from_usize(self.raw.len());
+        self.raw.push(value);
+        id
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The id the next `push` will return.
+    pub fn next_id(&self) -> I {
+        I::from_usize(self.raw.len())
+    }
+
+    /// Checked access.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.raw.get(id.as_usize())
+    }
+
+    /// Checked mutable access.
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        self.raw.get_mut(id.as_usize())
+    }
+
+    /// Returns `true` if `id` is in bounds.
+    pub fn contains_id(&self, id: I) -> bool {
+        id.as_usize() < self.raw.len()
+    }
+
+    /// Iterates over values.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Iterates over values mutably.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Iterates over `(id, &value)` pairs.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> {
+        self.raw.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+    }
+
+    /// Iterates over all valid ids.
+    pub fn ids(&self) -> impl Iterator<Item = I> + use<I, T> {
+        (0..self.raw.len()).map(I::from_usize)
+    }
+
+    /// Borrows the underlying slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.raw
+    }
+
+    /// Consumes `self`, returning the underlying vector.
+    pub fn into_inner(self) -> Vec<T> {
+        self.raw
+    }
+}
+
+impl<I: Idx, T> Default for IdxVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx, T: fmt::Debug> fmt::Debug for IdxVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter_enumerated()).finish()
+    }
+}
+
+impl<I: Idx, T> Index<I> for IdxVec<I, T> {
+    type Output = T;
+    fn index(&self, id: I) -> &T {
+        &self.raw[id.as_usize()]
+    }
+}
+
+impl<I: Idx, T> IndexMut<I> for IdxVec<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.raw[id.as_usize()]
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for IdxVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        Self { raw: iter.into_iter().collect(), _marker: PhantomData }
+    }
+}
+
+impl<I: Idx, T> Extend<T> for IdxVec<I, T> {
+    fn extend<It: IntoIterator<Item = T>>(&mut self, iter: It) {
+        self.raw.extend(iter);
+    }
+}
+
+impl<'a, I: Idx, T> IntoIterator for &'a IdxVec<I, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.raw.iter()
+    }
+}
+
+impl<I: Idx, T> IntoIterator for IdxVec<I, T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.raw.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    crate::define_idx!(pub struct TestId, "t");
+
+    #[test]
+    fn push_and_index() {
+        let mut v: IdxVec<TestId, i32> = IdxVec::new();
+        let a = v.push(10);
+        let b = v.push(20);
+        assert_eq!(v[a], 10);
+        assert_eq!(v[b], 20);
+        v[a] = 11;
+        assert_eq!(v[a], 11);
+    }
+
+    #[test]
+    fn iter_enumerated_yields_ids_in_order() {
+        let v: IdxVec<TestId, char> = "abc".chars().collect();
+        let pairs: Vec<_> = v.iter_enumerated().map(|(i, c)| (i.index(), *c)).collect();
+        assert_eq!(pairs, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn next_id_tracks_len() {
+        let mut v: IdxVec<TestId, ()> = IdxVec::new();
+        assert_eq!(v.next_id().index(), 0);
+        v.push(());
+        assert_eq!(v.next_id().index(), 1);
+        assert!(v.contains_id(TestId::new(0)));
+        assert!(!v.contains_id(TestId::new(1)));
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let mut v: IdxVec<TestId, i32> = IdxVec::new();
+        assert!(v.get(TestId::new(0)).is_none());
+        let a = v.push(5);
+        assert_eq!(v.get(a), Some(&5));
+        *v.get_mut(a).unwrap() = 6;
+        assert_eq!(v[a], 6);
+    }
+
+    #[test]
+    fn extend_and_into_iter() {
+        let mut v: IdxVec<TestId, i32> = IdxVec::new();
+        v.extend([1, 2, 3]);
+        let sum: i32 = (&v).into_iter().sum();
+        assert_eq!(sum, 6);
+        let raw = v.into_inner();
+        assert_eq!(raw, vec![1, 2, 3]);
+    }
+}

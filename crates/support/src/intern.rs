@@ -1,0 +1,162 @@
+//! String interning.
+//!
+//! Identifiers (class, method and field names) appear everywhere in the
+//! compiler; interning them makes comparisons and hashing O(1) and keeps the
+//! IR copyable.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string handle.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; comparing symbols from different interners is a logic error (but
+/// memory safe).
+///
+/// # Examples
+///
+/// ```
+/// use oi_support::intern::Interner;
+/// let mut i = Interner::new();
+/// let s = i.intern("area");
+/// assert_eq!(i.resolve(s), "area");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the raw interner slot of this symbol.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// A deduplicating store of strings.
+///
+/// Strings are interned once and resolved by [`Symbol`]. The interner is the
+/// single source of truth for names across the front end, IR, analysis and
+/// transformation stages.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if `s` was seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Interns `base`, or `base$1`, `base$2`, ... — the first variant not yet
+    /// present. Used when cloning methods and classes to generate fresh,
+    /// readable names.
+    pub fn fresh(&mut self, base: &str) -> Symbol {
+        if self.get(base).is_none() {
+            return self.intern(base);
+        }
+        for n in 1u32.. {
+            let candidate = format!("{base}${n}");
+            if self.get(&candidate).is_none() {
+                return self.intern(&candidate);
+            }
+        }
+        unreachable!("exhausted fresh-name counter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let a2 = i.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let words = ["Point", "Rectangle", "lower_left", "x", ""];
+        let syms: Vec<_> = words.iter().map(|w| i.intern(w)).collect();
+        for (w, s) in words.iter().zip(syms) {
+            assert_eq!(i.resolve(s), *w);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("nope").is_none());
+        assert!(i.is_empty());
+        let s = i.intern("yes");
+        assert_eq!(i.get("yes"), Some(s));
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let mut i = Interner::new();
+        let a = i.fresh("area");
+        let b = i.fresh("area");
+        let c = i.fresh("area");
+        assert_eq!(i.resolve(a), "area");
+        assert_eq!(i.resolve(b), "area$1");
+        assert_eq!(i.resolve(c), "area$2");
+    }
+
+    #[test]
+    fn clone_preserves_contents() {
+        let mut i = Interner::new();
+        let s = i.intern("abc");
+        let j = i.clone();
+        assert_eq!(j.resolve(s), "abc");
+    }
+}

@@ -1,0 +1,93 @@
+#![warn(missing_docs)]
+//! Support utilities for the object-inlining reproduction.
+//!
+//! This crate hosts the small, dependency-free building blocks shared by the
+//! rest of the workspace:
+//!
+//! - [`intern`]: a string interner producing copyable [`intern::Symbol`]s,
+//! - [`index`]: typed index newtypes and the [`index::IdxVec`] arena,
+//! - [`diag`]: source spans and compiler diagnostics.
+//!
+//! # Examples
+//!
+//! ```
+//! use oi_support::intern::Interner;
+//!
+//! let mut interner = Interner::new();
+//! let a = interner.intern("lower_left");
+//! let b = interner.intern("lower_left");
+//! assert_eq!(a, b);
+//! assert_eq!(interner.resolve(a), "lower_left");
+//! ```
+
+pub mod diag;
+pub mod index;
+pub mod intern;
+
+pub use diag::{Diagnostic, Span};
+pub use index::IdxVec;
+pub use intern::{Interner, Symbol};
+
+/// Declares a copyable, ordered, hashable index newtype over `u32`.
+///
+/// The generated type implements the [`index::Idx`] trait so it can key an
+/// [`IdxVec`].
+///
+/// # Examples
+///
+/// ```
+/// oi_support::define_idx!(pub struct ClassId, "class");
+/// let c = ClassId::new(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(format!("{c:?}"), "class3");
+/// ```
+#[macro_export]
+macro_rules! define_idx {
+    ($(#[$meta:meta])* pub struct $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an index from a raw `usize`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `raw` exceeds `u32::MAX`.
+            #[inline]
+            pub fn new(raw: usize) -> Self {
+                assert!(raw <= u32::MAX as usize, "index overflow");
+                Self(raw as u32)
+            }
+
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl $crate::index::Idx for $name {
+            #[inline]
+            fn from_usize(raw: usize) -> Self {
+                Self::new(raw)
+            }
+            #[inline]
+            fn as_usize(self) -> usize {
+                self.index()
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}

@@ -1,0 +1,85 @@
+//! Property tests for the support primitives.
+
+use oi_support::{IdxVec, Interner, Span};
+use proptest::prelude::*;
+
+oi_support::define_idx!(pub struct PropId, "pid");
+
+proptest! {
+    #[test]
+    fn interner_resolves_what_it_interned(words in proptest::collection::vec("\\PC{0,16}", 0..64)) {
+        let mut interner = Interner::new();
+        let syms: Vec<_> = words.iter().map(|w| interner.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            prop_assert_eq!(interner.resolve(*s), w.as_str());
+        }
+        // Interning again returns identical symbols.
+        for (w, s) in words.iter().zip(&syms) {
+            prop_assert_eq!(interner.intern(w), *s);
+        }
+        // Distinct strings get distinct symbols.
+        let unique: std::collections::HashSet<_> = words.iter().collect();
+        prop_assert_eq!(interner.len(), unique.len());
+    }
+
+    #[test]
+    fn fresh_names_are_always_new(words in proptest::collection::vec("[a-z]{1,6}", 1..32)) {
+        let mut interner = Interner::new();
+        let mut seen = std::collections::HashSet::new();
+        for w in &words {
+            let s = interner.fresh(w);
+            prop_assert!(seen.insert(s), "fresh returned an existing symbol");
+        }
+    }
+
+    #[test]
+    fn span_merge_is_commutative_associative_idempotent(
+        (a1, a2) in (0u32..1000, 0u32..1000),
+        (b1, b2) in (0u32..1000, 0u32..1000),
+        (c1, c2) in (0u32..1000, 0u32..1000),
+    ) {
+        let s = |x: u32, y: u32| Span::new(x.min(y), x.max(y));
+        let (a, b, c) = (s(a1, a2), s(b1, b2), s(c1, c2));
+        prop_assert_eq!(a.merge(b), b.merge(a));
+        prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        prop_assert_eq!(a.merge(a), a);
+        // The merge covers both inputs.
+        let m = a.merge(b);
+        prop_assert!(m.start <= a.start && m.end >= a.end);
+        prop_assert!(m.start <= b.start && m.end >= b.end);
+    }
+
+    #[test]
+    fn span_line_col_is_monotone(src in "\\PC{0,120}", cut in 0usize..120) {
+        let cut = cut.min(src.len()) as u32;
+        // Snap to a char boundary.
+        let mut cut = cut;
+        while cut > 0 && !src.is_char_boundary(cut as usize) {
+            cut -= 1;
+        }
+        let (l1, c1) = Span::new(0, 0).line_col(&src);
+        let (l2, _c2) = Span::new(cut, cut).line_col(&src);
+        prop_assert_eq!((l1, c1), (1, 1));
+        prop_assert!(l2 >= 1);
+    }
+
+    #[test]
+    fn idxvec_behaves_like_vec(values in proptest::collection::vec(any::<i64>(), 0..128)) {
+        let mut iv: IdxVec<PropId, i64> = IdxVec::new();
+        let mut ids = Vec::new();
+        for &v in &values {
+            ids.push(iv.push(v));
+        }
+        prop_assert_eq!(iv.len(), values.len());
+        for (id, v) in ids.iter().zip(&values) {
+            prop_assert_eq!(iv[*id], *v);
+        }
+        let collected: Vec<i64> = iv.iter().copied().collect();
+        prop_assert_eq!(collected, values.clone());
+        // Enumerated ids are dense and ordered.
+        for (i, (id, _)) in iv.iter_enumerated().enumerate() {
+            prop_assert_eq!(id.index(), i);
+        }
+        prop_assert_eq!(iv.into_inner(), values);
+    }
+}

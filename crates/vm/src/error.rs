@@ -1,0 +1,91 @@
+//! Runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime failure. Programs that verify can still fail dynamically (nil
+/// dereference, bad index, type confusion, resource limits).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Dereference of `nil`.
+    NilDereference {
+        /// What was attempted (e.g. "field access `x`").
+        context: String,
+    },
+    /// Message sent to an object with no matching method.
+    NoSuchMethod {
+        /// Receiver class name.
+        class: String,
+        /// Selector name.
+        selector: String,
+    },
+    /// Field not present on the receiver.
+    NoSuchField {
+        /// Receiver class name.
+        class: String,
+        /// Field name.
+        field: String,
+    },
+    /// Array index out of range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Operation applied to a value of the wrong type.
+    TypeError {
+        /// Description of the expectation.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// The configured instruction budget was exhausted.
+    InstructionLimit,
+    /// The configured call-depth limit was exceeded.
+    StackOverflow,
+    /// The configured heap limit was exceeded.
+    OutOfMemory,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NilDereference { context } => write!(f, "nil dereference in {context}"),
+            VmError::NoSuchMethod { class, selector } => {
+                write!(f, "no method `{selector}` on class `{class}`")
+            }
+            VmError::NoSuchField { class, field } => {
+                write!(f, "no field `{field}` on class `{class}`")
+            }
+            VmError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of length {len}")
+            }
+            VmError::TypeError { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            VmError::DivisionByZero => f.write_str("division by zero"),
+            VmError::InstructionLimit => f.write_str("instruction limit exceeded"),
+            VmError::StackOverflow => f.write_str("call depth limit exceeded"),
+            VmError::OutOfMemory => f.write_str("heap limit exceeded"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = VmError::NoSuchMethod { class: "Point".into(), selector: "area".into() };
+        assert_eq!(e.to_string(), "no method `area` on class `Point`");
+        let e = VmError::IndexOutOfBounds { index: 7, len: 3 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,1186 @@
+//! The instrumented interpreter.
+
+use crate::cache::{CacheConfig, CacheSim};
+use crate::cost::CostModel;
+use crate::error::VmError;
+use crate::heap::{Heap, ObjKind};
+use crate::metrics::Metrics;
+use crate::value::{ObjId, Value};
+use oi_ir::{
+    ArrayLayoutKind, BinOp, Builtin, ClassId, ConstValue, Instr, LayoutId, MethodId,
+    Program, Temp, Terminator, UnOp,
+};
+use oi_support::Symbol;
+use std::collections::HashMap;
+
+/// Interpreter configuration: cost model, cache geometry and resource
+/// limits.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Cycle costs.
+    pub cost: CostModel,
+    /// Data-cache geometry.
+    pub cache: CacheConfig,
+    /// Abort after this many executed IR instructions.
+    pub max_instructions: u64,
+    /// Abort beyond this interpreter call depth.
+    pub max_depth: usize,
+    /// Heap budget in words.
+    pub max_heap_words: u64,
+    /// Per-object allocator overhead in words (header + padding).
+    pub alloc_header_words: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self {
+            cost: CostModel::default(),
+            cache: CacheConfig::default(),
+            max_instructions: 2_000_000_000,
+            max_depth: 4_096,
+            max_heap_words: 1 << 28,
+            alloc_header_words: 2,
+        }
+    }
+}
+
+/// The outcome of a successful run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Everything the program printed.
+    pub output: String,
+    /// Execution counters.
+    pub metrics: Metrics,
+    /// Per-class allocation counts (class name → objects allocated),
+    /// sorted by descending count. Arrays appear as `<array>` /
+    /// `<array-inline>`.
+    pub allocation_census: Vec<(String, u64)>,
+}
+
+impl RunResult {
+    /// Allocation count for a class by name (0 when absent).
+    pub fn allocations_of(&self, class: &str) -> u64 {
+        self.allocation_census
+            .iter()
+            .find(|(name, _)| name == class)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+}
+
+/// Runs `program` from its entry point.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on dynamic failures (nil dereference, missing
+/// method/field, bad index, type confusion) or when a configured limit is
+/// exceeded.
+pub fn run(program: &Program, config: &VmConfig) -> Result<RunResult, VmError> {
+    let mut vm = Vm::new(program, config);
+    let entry = program.entry;
+    vm.call(entry, Value::Nil, &[])?;
+    let mut census: Vec<(String, u64)> = Vec::new();
+    for (c, &n) in vm.alloc_census.iter().enumerate() {
+        if n > 0 {
+            let name =
+                program.interner.resolve(program.classes[oi_ir::ClassId::new(c)].name).to_owned();
+            census.push((name, n));
+        }
+    }
+    if vm.array_census > 0 {
+        census.push(("<array>".to_owned(), vm.array_census));
+    }
+    if vm.inline_array_census > 0 {
+        census.push(("<array-inline>".to_owned(), vm.inline_array_census));
+    }
+    census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(RunResult { output: vm.output, metrics: vm.metrics, allocation_census: census })
+}
+
+/// How an inline child's fields map to container slots (VM-resolved form,
+/// closed under composition for nested inlining).
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Object container: child field `j` lives at container slot `slots[j]`.
+    Object { slots: Vec<usize> },
+    /// Array container: child field `j` of element `i` lives at
+    /// `i*width + map[j]` (interleaved) or `map[j]*len + i` (parallel).
+    Array { kind: ArrayLayoutKind, width: usize, map: Vec<usize> },
+}
+
+#[derive(Clone, Debug)]
+struct ResolvedLayout {
+    child_class: ClassId,
+    child_fields: Vec<Symbol>,
+    repr: Repr,
+}
+
+struct Vm<'p> {
+    program: &'p Program,
+    config: &'p VmConfig,
+    heap: Heap,
+    cache: CacheSim,
+    metrics: Metrics,
+    output: String,
+    globals: Vec<Value>,
+    /// Per-class field-name → slot tables.
+    field_slots: Vec<HashMap<Symbol, usize>>,
+    /// Per-class instance sizes.
+    class_sizes: Vec<usize>,
+    /// Resolved layouts; indices < `program.layouts.len()` mirror the
+    /// program table, later entries are runtime-composed.
+    layouts: Vec<ResolvedLayout>,
+    compose_cache: HashMap<(u32, u32), u32>,
+    depth: usize,
+    instr_budget: u64,
+    init_sym: Option<Symbol>,
+    alloc_census: Vec<u64>,
+    array_census: u64,
+    inline_array_census: u64,
+}
+
+impl<'p> Vm<'p> {
+    fn new(program: &'p Program, config: &'p VmConfig) -> Self {
+        let field_slots = program
+            .classes
+            .ids()
+            .map(|c| {
+                program
+                    .layout_of(c)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| (program.fields[f].name, i))
+                    .collect()
+            })
+            .collect();
+        let class_sizes =
+            program.classes.ids().map(|c| program.layout_of(c).len()).collect();
+        let layouts = program
+            .layouts
+            .iter()
+            .map(|l| ResolvedLayout {
+                child_class: l.child_class,
+                child_fields: l.child_fields.clone(),
+                repr: match l.array_kind {
+                    None => Repr::Object { slots: l.slots.clone() },
+                    Some(kind) => Repr::Array {
+                        kind,
+                        width: l.child_fields.len(),
+                        map: (0..l.child_fields.len()).collect(),
+                    },
+                },
+            })
+            .collect();
+        Self {
+            program,
+            config,
+            heap: Heap::new(config.max_heap_words, config.alloc_header_words),
+            cache: CacheSim::new(config.cache),
+            metrics: Metrics::default(),
+            output: String::new(),
+            globals: vec![Value::Nil; program.globals.len()],
+            field_slots,
+            class_sizes,
+            layouts,
+            compose_cache: HashMap::new(),
+            depth: 0,
+            instr_budget: config.max_instructions,
+            init_sym: program.interner.get("init"),
+            alloc_census: vec![0; program.classes.len()],
+            array_census: 0,
+            inline_array_census: 0,
+        }
+    }
+
+    // -- cost helpers -------------------------------------------------------
+
+    fn charge(&mut self, cycles: u64) {
+        self.metrics.cycles += cycles;
+    }
+
+    /// A heap read at `addr`: base cost + cache penalty.
+    fn mem_read(&mut self, addr: u64) {
+        self.metrics.heap_reads += 1;
+        self.charge(self.config.cost.heap_read);
+        if self.cache.access(addr) {
+            self.metrics.cache_hits += 1;
+        } else {
+            self.metrics.cache_misses += 1;
+            self.charge(self.config.cost.cache_miss);
+        }
+    }
+
+    /// A heap write at `addr`: base cost + cache penalty (allocate-on-write).
+    fn mem_write(&mut self, addr: u64) {
+        self.metrics.heap_writes += 1;
+        self.charge(self.config.cost.heap_write);
+        if self.cache.access(addr) {
+            self.metrics.cache_hits += 1;
+        } else {
+            self.metrics.cache_misses += 1;
+            self.charge(self.config.cost.cache_miss);
+        }
+    }
+
+    // -- layout machinery ---------------------------------------------------
+
+    /// Composes `inner` (an object-container layout over `outer`'s child
+    /// class) with an existing resolved layout, yielding a layout that maps
+    /// the inner child's fields directly onto the outermost container.
+    fn compose(&mut self, outer: u32, inner: LayoutId) -> u32 {
+        if let Some(&cached) = self.compose_cache.get(&(outer, inner.index() as u32)) {
+            return cached;
+        }
+        let inner_l = &self.program.layouts[inner];
+        debug_assert!(inner_l.array_kind.is_none(), "inner layout must be an object layout");
+        let outer_l = &self.layouts[outer as usize];
+        let repr = match &outer_l.repr {
+            Repr::Object { slots } => {
+                Repr::Object { slots: inner_l.slots.iter().map(|&s| slots[s]).collect() }
+            }
+            Repr::Array { kind, width, map } => Repr::Array {
+                kind: *kind,
+                width: *width,
+                map: inner_l.slots.iter().map(|&s| map[s]).collect(),
+            },
+        };
+        let resolved = ResolvedLayout {
+            child_class: inner_l.child_class,
+            child_fields: inner_l.child_fields.clone(),
+            repr,
+        };
+        let id = self.layouts.len() as u32;
+        self.layouts.push(resolved);
+        self.compose_cache.insert((outer, inner.index() as u32), id);
+        id
+    }
+
+    /// Container slot index for child field `j` of the interior reference.
+    fn interior_slot(
+        &self,
+        layout: u32,
+        index: u32,
+        j: usize,
+        container_len: usize,
+    ) -> usize {
+        match &self.layouts[layout as usize].repr {
+            Repr::Object { slots } => slots[j],
+            Repr::Array { kind, width, map } => match kind {
+                ArrayLayoutKind::Interleaved => index as usize * *width + map[j],
+                ArrayLayoutKind::Parallel => map[j] * container_len + index as usize,
+            },
+        }
+    }
+
+    // -- dynamic typing helpers ---------------------------------------------
+
+    fn class_name(&self, c: ClassId) -> String {
+        self.program.interner.resolve(self.program.classes[c].name).to_owned()
+    }
+
+    fn class_of(&self, v: Value) -> Option<ClassId> {
+        match v {
+            Value::Obj(o) => match self.heap.get(o).kind {
+                ObjKind::Instance(c) => Some(c),
+                _ => None,
+            },
+            Value::Interior { layout, .. } => Some(self.layouts[layout.index()].child_class),
+            _ => None,
+        }
+    }
+
+    fn expect_int(&self, v: Value, what: &str) -> Result<i64, VmError> {
+        match v {
+            Value::Int(n) => Ok(n),
+            other => Err(VmError::TypeError {
+                expected: format!("int for {what}"),
+                found: other.type_name().to_owned(),
+            }),
+        }
+    }
+
+    fn expect_bool(&self, v: Value, what: &str) -> Result<bool, VmError> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(VmError::TypeError {
+                expected: format!("bool for {what}"),
+                found: other.type_name().to_owned(),
+            }),
+        }
+    }
+
+    // -- field access --------------------------------------------------------
+
+    fn get_field(&mut self, recv: Value, field: Symbol) -> Result<Value, VmError> {
+        match recv {
+            Value::Obj(o) => {
+                let kind = self.heap.get(o).kind;
+                let ObjKind::Instance(c) = kind else {
+                    return Err(VmError::NoSuchField {
+                        class: "array".to_owned(),
+                        field: self.program.interner.resolve(field).to_owned(),
+                    });
+                };
+                let slot = *self.field_slots[c.index()].get(&field).ok_or_else(|| {
+                    VmError::NoSuchField {
+                        class: self.class_name(c),
+                        field: self.program.interner.resolve(field).to_owned(),
+                    }
+                })?;
+                let addr = self.heap.get(o).slot_addr(slot);
+                self.mem_read(addr);
+                Ok(self.heap.get(o).slots[slot])
+            }
+            Value::Interior { obj, index, layout } => {
+                let lid = layout.index() as u32;
+                let resolved = &self.layouts[lid as usize];
+                let j = resolved
+                    .child_fields
+                    .iter()
+                    .position(|&f| f == field)
+                    .ok_or_else(|| VmError::NoSuchField {
+                        class: self.class_name(resolved.child_class),
+                        field: self.program.interner.resolve(field).to_owned(),
+                    })?;
+                let container_len = self.heap.get(obj).array_len().unwrap_or(0);
+                let slot = self.interior_slot(lid, index, j, container_len);
+                let addr = self.heap.get(obj).slot_addr(slot);
+                self.mem_read(addr);
+                Ok(self.heap.get(obj).slots[slot])
+            }
+            Value::Nil => Err(VmError::NilDereference {
+                context: format!("field access `{}`", self.program.interner.resolve(field)),
+            }),
+            other => Err(VmError::TypeError {
+                expected: "object for field access".to_owned(),
+                found: other.type_name().to_owned(),
+            }),
+        }
+    }
+
+    fn set_field(&mut self, recv: Value, field: Symbol, value: Value) -> Result<(), VmError> {
+        match recv {
+            Value::Obj(o) => {
+                let kind = self.heap.get(o).kind;
+                let ObjKind::Instance(c) = kind else {
+                    return Err(VmError::NoSuchField {
+                        class: "array".to_owned(),
+                        field: self.program.interner.resolve(field).to_owned(),
+                    });
+                };
+                let slot = *self.field_slots[c.index()].get(&field).ok_or_else(|| {
+                    VmError::NoSuchField {
+                        class: self.class_name(c),
+                        field: self.program.interner.resolve(field).to_owned(),
+                    }
+                })?;
+                let addr = self.heap.get(o).slot_addr(slot);
+                self.mem_write(addr);
+                self.heap.get_mut(o).slots[slot] = value;
+                Ok(())
+            }
+            Value::Interior { obj, index, layout } => {
+                let lid = layout.index() as u32;
+                let resolved = &self.layouts[lid as usize];
+                let j = resolved
+                    .child_fields
+                    .iter()
+                    .position(|&f| f == field)
+                    .ok_or_else(|| VmError::NoSuchField {
+                        class: self.class_name(resolved.child_class),
+                        field: self.program.interner.resolve(field).to_owned(),
+                    })?;
+                let container_len = self.heap.get(obj).array_len().unwrap_or(0);
+                let slot = self.interior_slot(lid, index, j, container_len);
+                let addr = self.heap.get(obj).slot_addr(slot);
+                self.mem_write(addr);
+                self.heap.get_mut(obj).slots[slot] = value;
+                Ok(())
+            }
+            Value::Nil => Err(VmError::NilDereference {
+                context: format!("field store `{}`", self.program.interner.resolve(field)),
+            }),
+            other => Err(VmError::TypeError {
+                expected: "object for field store".to_owned(),
+                found: other.type_name().to_owned(),
+            }),
+        }
+    }
+
+    // -- allocation ----------------------------------------------------------
+
+    fn alloc_instance(&mut self, class: ClassId) -> Result<ObjId, VmError> {
+        let size = self.class_sizes[class.index()];
+        let id = self.heap.alloc(ObjKind::Instance(class), size)?;
+        let overhead = self.config.alloc_header_words;
+        self.alloc_census[class.index()] += 1;
+        self.metrics.allocations += 1;
+        self.metrics.words_allocated += size as u64 + overhead;
+        self.charge(
+            self.config.cost.alloc_base + self.config.cost.alloc_word * (size as u64 + overhead),
+        );
+        // Zeroing warms the cache for the fresh object.
+        let base = self.heap.get(id).addr;
+        let line = self.cache.config().line_bytes as u64;
+        let mut a = base;
+        while a < base + (size as u64 + 1) * crate::heap::WORD {
+            self.cache.access(a);
+            a += line;
+        }
+        Ok(id)
+    }
+
+    fn alloc_array(&mut self, kind: ObjKind, slots: usize) -> Result<ObjId, VmError> {
+        let id = self.heap.alloc(kind, slots)?;
+        match kind {
+            ObjKind::ArrayInline { .. } => self.inline_array_census += 1,
+            _ => self.array_census += 1,
+        }
+        let overhead = self.config.alloc_header_words;
+        self.metrics.allocations += 1;
+        self.metrics.words_allocated += slots as u64 + overhead;
+        self.charge(
+            self.config.cost.alloc_base + self.config.cost.alloc_word * (slots as u64 + overhead),
+        );
+        Ok(id)
+    }
+
+    // -- calls ----------------------------------------------------------------
+
+    fn call(&mut self, method: MethodId, recv: Value, args: &[Value]) -> Result<Value, VmError> {
+        if self.depth >= self.config.max_depth {
+            return Err(VmError::StackOverflow);
+        }
+        self.depth += 1;
+        let result = self.run_frame(method, recv, args);
+        self.depth -= 1;
+        result
+    }
+
+    fn run_frame(
+        &mut self,
+        method_id: MethodId,
+        recv: Value,
+        args: &[Value],
+    ) -> Result<Value, VmError> {
+        let method = &self.program.methods[method_id];
+        debug_assert_eq!(args.len(), method.param_count as usize);
+        let mut locals = vec![Value::Nil; method.temp_count as usize];
+        locals[0] = recv;
+        locals[1..=args.len()].copy_from_slice(args);
+
+        let mut bb = method.entry();
+        loop {
+            let block = &method.blocks[bb];
+            for instr in &block.instrs {
+                if self.instr_budget == 0 {
+                    return Err(VmError::InstructionLimit);
+                }
+                self.instr_budget -= 1;
+                self.metrics.instructions += 1;
+                self.exec(instr, &mut locals)?;
+            }
+            self.charge(self.config.cost.branch);
+            match block.term {
+                Terminator::Jump(next) => bb = next,
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    let c = self.expect_bool(locals[cond.index()], "branch condition")?;
+                    bb = if c { then_bb } else { else_bb };
+                }
+                Terminator::Return(t) => return Ok(locals[t.index()]),
+                Terminator::Unterminated => {
+                    unreachable!("verifier rejects unterminated reachable blocks")
+                }
+            }
+        }
+    }
+
+    fn exec(&mut self, instr: &Instr, locals: &mut [Value]) -> Result<(), VmError> {
+        let get = |t: Temp, locals: &[Value]| locals[t.index()];
+        match instr {
+            Instr::Const { dst, value } => {
+                self.charge(self.config.cost.mov);
+                locals[dst.index()] = match *value {
+                    ConstValue::Int(n) => Value::Int(n),
+                    ConstValue::Float(x) => Value::Float(x),
+                    ConstValue::Bool(b) => Value::Bool(b),
+                    ConstValue::Nil => Value::Nil,
+                    ConstValue::Str(s) => Value::Str(s),
+                };
+            }
+            Instr::Move { dst, src } => {
+                self.charge(self.config.cost.mov);
+                locals[dst.index()] = get(*src, locals);
+            }
+            Instr::Unary { dst, op, src } => {
+                let v = get(*src, locals);
+                locals[dst.index()] = self.eval_unary(*op, v)?;
+            }
+            Instr::Binary { dst, op, lhs, rhs } => {
+                let l = get(*lhs, locals);
+                let r = get(*rhs, locals);
+                locals[dst.index()] = self.eval_binary(*op, l, r)?;
+            }
+            Instr::New { dst, class, args, .. } => {
+                let id = self.alloc_instance(*class)?;
+                locals[dst.index()] = Value::Obj(id);
+                if let Some(init) = self.init_sym.and_then(|s| self.program.lookup_method(*class, s))
+                {
+                    // Raw allocations (constructor explosion) call init
+                    // explicitly; skip the implicit call.
+                    if self.program.methods[init].param_count as usize != args.len() {
+                        return Ok(());
+                    }
+                    let argv: Vec<Value> = args.iter().map(|&a| get(a, locals)).collect();
+                    self.metrics.static_calls += 1;
+                    self.charge(
+                        self.config.cost.static_call
+                            + self.config.cost.call_arg * argv.len() as u64,
+                    );
+                    self.call(init, Value::Obj(id), &argv)?;
+                }
+            }
+            Instr::NewArray { dst, len, .. } => {
+                let n = self.expect_int(get(*len, locals), "array length")?;
+                if n < 0 {
+                    return Err(VmError::TypeError {
+                        expected: "non-negative array length".to_owned(),
+                        found: n.to_string(),
+                    });
+                }
+                let id = self.alloc_array(ObjKind::Array, n as usize)?;
+                locals[dst.index()] = Value::Obj(id);
+            }
+            Instr::NewArrayInline { dst, len, layout, .. } => {
+                let n = self.expect_int(get(*len, locals), "array length")?;
+                if n < 0 {
+                    return Err(VmError::TypeError {
+                        expected: "non-negative array length".to_owned(),
+                        found: n.to_string(),
+                    });
+                }
+                let lid = layout.index() as u32;
+                let width = self.layouts[lid as usize].child_fields.len();
+                let id = self.alloc_array(
+                    ObjKind::ArrayInline { layout: lid, len: n as usize },
+                    n as usize * width,
+                )?;
+                locals[dst.index()] = Value::Obj(id);
+            }
+            Instr::GetField { dst, obj, field } => {
+                locals[dst.index()] = self.get_field(get(*obj, locals), *field)?;
+            }
+            Instr::SetField { obj, field, src } => {
+                self.set_field(get(*obj, locals), *field, get(*src, locals))?;
+            }
+            Instr::ArrayGet { dst, arr, idx } => {
+                locals[dst.index()] = self.array_get(get(*arr, locals), get(*idx, locals))?;
+            }
+            Instr::ArraySet { arr, idx, src } => {
+                self.array_set(get(*arr, locals), get(*idx, locals), get(*src, locals))?;
+            }
+            Instr::GetGlobal { dst, global } => {
+                // Globals live in a dedicated segment; model the load.
+                self.mem_read((1 << 40) + global.index() as u64 * crate::heap::WORD);
+                locals[dst.index()] = self.globals[global.index()];
+            }
+            Instr::SetGlobal { global, src } => {
+                self.mem_write((1 << 40) + global.index() as u64 * crate::heap::WORD);
+                self.globals[global.index()] = get(*src, locals);
+            }
+            Instr::Send { dst, recv, selector, args } => {
+                let r = get(*recv, locals);
+                let class = self.class_of(r).ok_or_else(|| match r {
+                    Value::Nil => VmError::NilDereference {
+                        context: format!(
+                            "send of `{}`",
+                            self.program.interner.resolve(*selector)
+                        ),
+                    },
+                    other => VmError::TypeError {
+                        expected: "object receiver".to_owned(),
+                        found: other.type_name().to_owned(),
+                    },
+                })?;
+                let target =
+                    self.program.lookup_method(class, *selector).ok_or_else(|| {
+                        VmError::NoSuchMethod {
+                            class: self.class_name(class),
+                            selector: self.program.interner.resolve(*selector).to_owned(),
+                        }
+                    })?;
+                let argv: Vec<Value> = args.iter().map(|&a| get(a, locals)).collect();
+                self.metrics.dyn_dispatches += 1;
+                self.charge(
+                    self.config.cost.dyn_dispatch + self.config.cost.call_arg * argv.len() as u64,
+                );
+                locals[dst.index()] = self.call(target, r, &argv)?;
+            }
+            Instr::CallStatic { dst, method, recv, args } => {
+                let r = get(*recv, locals);
+                let argv: Vec<Value> = args.iter().map(|&a| get(a, locals)).collect();
+                self.metrics.static_calls += 1;
+                self.charge(
+                    self.config.cost.static_call + self.config.cost.call_arg * argv.len() as u64,
+                );
+                locals[dst.index()] = self.call(*method, r, &argv)?;
+            }
+            Instr::CallBuiltin { dst, builtin, args } => {
+                let argv: Vec<Value> = args.iter().map(|&a| get(a, locals)).collect();
+                locals[dst.index()] = self.eval_builtin(*builtin, &argv)?;
+            }
+            Instr::MakeInterior { dst, obj, layout } => {
+                self.metrics.interior_refs += 1;
+                self.charge(self.config.cost.lea);
+                locals[dst.index()] = match get(*obj, locals) {
+                    Value::Obj(o) => Value::Interior { obj: o, index: 0, layout: *layout },
+                    Value::Interior { obj, index, layout: outer } => {
+                        let composed = self.compose(outer.index() as u32, *layout);
+                        Value::Interior { obj, index, layout: LayoutId::new(composed as usize) }
+                    }
+                    Value::Nil => {
+                        return Err(VmError::NilDereference {
+                            context: "interior reference".to_owned(),
+                        });
+                    }
+                    other => {
+                        return Err(VmError::TypeError {
+                            expected: "object container".to_owned(),
+                            found: other.type_name().to_owned(),
+                        });
+                    }
+                };
+            }
+            Instr::MakeInteriorElem { dst, arr, idx, layout } => {
+                self.metrics.interior_refs += 1;
+                self.charge(self.config.cost.lea);
+                let a = get(*arr, locals);
+                let i = self.expect_int(get(*idx, locals), "inline element index")?;
+                let Value::Obj(o) = a else {
+                    return Err(match a {
+                        Value::Nil => VmError::NilDereference {
+                            context: "interior array reference".to_owned(),
+                        },
+                        other => VmError::TypeError {
+                            expected: "array container".to_owned(),
+                            found: other.type_name().to_owned(),
+                        },
+                    });
+                };
+                let len = self.heap.get(o).array_len().unwrap_or(0);
+                if i < 0 || i as usize >= len {
+                    return Err(VmError::IndexOutOfBounds { index: i, len });
+                }
+                locals[dst.index()] = Value::Interior { obj: o, index: i as u32, layout: *layout };
+            }
+            Instr::Print { src } => {
+                self.charge(self.config.cost.print);
+                let text = self.format_value(get(*src, locals));
+                self.output.push_str(&text);
+                self.output.push('\n');
+            }
+        }
+        Ok(())
+    }
+
+    // -- arrays ---------------------------------------------------------------
+
+    fn array_get(&mut self, arr: Value, idx: Value) -> Result<Value, VmError> {
+        let i = self.expect_int(idx, "array index")?;
+        let Value::Obj(o) = arr else {
+            return Err(match arr {
+                Value::Nil => {
+                    VmError::NilDereference { context: "array indexing".to_owned() }
+                }
+                other => VmError::TypeError {
+                    expected: "array".to_owned(),
+                    found: other.type_name().to_owned(),
+                },
+            });
+        };
+        match self.heap.get(o).kind {
+            ObjKind::Array => {
+                let len = self.heap.get(o).slots.len();
+                if i < 0 || i as usize >= len {
+                    return Err(VmError::IndexOutOfBounds { index: i, len });
+                }
+                let addr = self.heap.get(o).slot_addr(i as usize);
+                self.mem_read(addr);
+                Ok(self.heap.get(o).slots[i as usize])
+            }
+            ObjKind::ArrayInline { layout, len } => {
+                if i < 0 || i as usize >= len {
+                    return Err(VmError::IndexOutOfBounds { index: i, len });
+                }
+                // Whole-element read of an inline array degrades gracefully
+                // to an interior reference (address arithmetic).
+                self.metrics.interior_refs += 1;
+                self.charge(self.config.cost.lea);
+                Ok(Value::Interior {
+                    obj: o,
+                    index: i as u32,
+                    layout: LayoutId::new(layout as usize),
+                })
+            }
+            ObjKind::Instance(c) => Err(VmError::TypeError {
+                expected: "array".to_owned(),
+                found: format!("instance of {}", self.class_name(c)),
+            }),
+        }
+    }
+
+    fn array_set(&mut self, arr: Value, idx: Value, value: Value) -> Result<(), VmError> {
+        let i = self.expect_int(idx, "array index")?;
+        let Value::Obj(o) = arr else {
+            return Err(match arr {
+                Value::Nil => {
+                    VmError::NilDereference { context: "array store".to_owned() }
+                }
+                other => VmError::TypeError {
+                    expected: "array".to_owned(),
+                    found: other.type_name().to_owned(),
+                },
+            });
+        };
+        match self.heap.get(o).kind {
+            ObjKind::Array => {
+                let len = self.heap.get(o).slots.len();
+                if i < 0 || i as usize >= len {
+                    return Err(VmError::IndexOutOfBounds { index: i, len });
+                }
+                let addr = self.heap.get(o).slot_addr(i as usize);
+                self.mem_write(addr);
+                self.heap.get_mut(o).slots[i as usize] = value;
+                Ok(())
+            }
+            ObjKind::ArrayInline { layout, len } => {
+                if i < 0 || i as usize >= len {
+                    return Err(VmError::IndexOutOfBounds { index: i, len });
+                }
+                // Whole-element store: copy the child's fields into the
+                // element's inline state (assignment specialization's
+                // runtime meaning — paper §5.4).
+                let fields = self.layouts[layout as usize].child_fields.clone();
+                for (j, f) in fields.iter().enumerate() {
+                    let v = self.get_field(value, *f)?;
+                    let slot = self.interior_slot(layout, i as u32, j, len);
+                    let addr = self.heap.get(o).slot_addr(slot);
+                    self.mem_write(addr);
+                    self.heap.get_mut(o).slots[slot] = v;
+                }
+                Ok(())
+            }
+            ObjKind::Instance(c) => Err(VmError::TypeError {
+                expected: "array".to_owned(),
+                found: format!("instance of {}", self.class_name(c)),
+            }),
+        }
+    }
+
+    // -- operators --------------------------------------------------------------
+
+    fn eval_unary(&mut self, op: UnOp, v: Value) -> Result<Value, VmError> {
+        match op {
+            UnOp::Neg => match v {
+                Value::Int(n) => {
+                    self.charge(self.config.cost.arith);
+                    Ok(Value::Int(-n))
+                }
+                Value::Float(x) => {
+                    self.charge(self.config.cost.float_arith);
+                    Ok(Value::Float(-x))
+                }
+                other => Err(VmError::TypeError {
+                    expected: "number for negation".to_owned(),
+                    found: other.type_name().to_owned(),
+                }),
+            },
+            UnOp::Not => {
+                self.charge(self.config.cost.arith);
+                let b = self.expect_bool(v, "logical not")?;
+                Ok(Value::Bool(!b))
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, VmError> {
+        use BinOp::*;
+        match op {
+            Add | Sub | Mul | Div | Rem => self.eval_arith(op, l, r),
+            Lt | Le | Gt | Ge => self.eval_compare(op, l, r),
+            Eq | Ne => {
+                self.charge(self.config.cost.arith);
+                let same = match (l, r) {
+                    (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                        a as f64 == b
+                    }
+                    _ => l.identical(r),
+                };
+                Ok(Value::Bool(if op == Eq { same } else { !same }))
+            }
+            RefEq => {
+                self.charge(self.config.cost.arith);
+                Ok(Value::Bool(l.identical(r)))
+            }
+        }
+    }
+
+    fn eval_arith(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, VmError> {
+        use BinOp::*;
+        match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                self.charge(self.config.cost.arith);
+                Ok(Value::Int(match op {
+                    Add => a.wrapping_add(b),
+                    Sub => a.wrapping_sub(b),
+                    Mul => a.wrapping_mul(b),
+                    Div => {
+                        if b == 0 {
+                            return Err(VmError::DivisionByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    Rem => {
+                        if b == 0 {
+                            return Err(VmError::DivisionByZero);
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    _ => unreachable!(),
+                }))
+            }
+            (Value::Float(_), _) | (_, Value::Float(_)) => {
+                let a = self.as_float(l)?;
+                let b = self.as_float(r)?;
+                self.charge(self.config.cost.float_arith);
+                Ok(Value::Float(match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Rem => a % b,
+                    _ => unreachable!(),
+                }))
+            }
+            _ => Err(VmError::TypeError {
+                expected: "numbers for arithmetic".to_owned(),
+                found: format!("{} and {}", l.type_name(), r.type_name()),
+            }),
+        }
+    }
+
+    fn eval_compare(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, VmError> {
+        use BinOp::*;
+        let ord = match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                self.charge(self.config.cost.arith);
+                a.partial_cmp(&b)
+            }
+            _ => {
+                let a = self.as_float(l)?;
+                let b = self.as_float(r)?;
+                self.charge(self.config.cost.float_arith);
+                a.partial_cmp(&b)
+            }
+        };
+        let Some(ord) = ord else {
+            // NaN comparisons are false.
+            return Ok(Value::Bool(false));
+        };
+        Ok(Value::Bool(match op {
+            Lt => ord.is_lt(),
+            Le => ord.is_le(),
+            Gt => ord.is_gt(),
+            Ge => ord.is_ge(),
+            _ => unreachable!(),
+        }))
+    }
+
+    fn as_float(&self, v: Value) -> Result<f64, VmError> {
+        match v {
+            Value::Int(n) => Ok(n as f64),
+            Value::Float(x) => Ok(x),
+            other => Err(VmError::TypeError {
+                expected: "number".to_owned(),
+                found: other.type_name().to_owned(),
+            }),
+        }
+    }
+
+    fn eval_builtin(&mut self, builtin: Builtin, args: &[Value]) -> Result<Value, VmError> {
+        match builtin {
+            Builtin::Sqrt => {
+                self.charge(self.config.cost.sqrt);
+                Ok(Value::Float(self.as_float(args[0])?.sqrt()))
+            }
+            Builtin::Len => {
+                let Value::Obj(o) = args[0] else {
+                    return Err(VmError::TypeError {
+                        expected: "array for len".to_owned(),
+                        found: args[0].type_name().to_owned(),
+                    });
+                };
+                let len = self.heap.get(o).array_len().ok_or_else(|| VmError::TypeError {
+                    expected: "array for len".to_owned(),
+                    found: "object".to_owned(),
+                })?;
+                // Length lives in the header word.
+                let addr = self.heap.get(o).addr;
+                self.mem_read(addr);
+                Ok(Value::Int(len as i64))
+            }
+            Builtin::ToFloat => {
+                self.charge(self.config.cost.arith);
+                Ok(Value::Float(self.as_float(args[0])?))
+            }
+            Builtin::ToInt => {
+                self.charge(self.config.cost.arith);
+                match args[0] {
+                    Value::Int(n) => Ok(Value::Int(n)),
+                    Value::Float(x) => Ok(Value::Int(x as i64)),
+                    other => Err(VmError::TypeError {
+                        expected: "number for int()".to_owned(),
+                        found: other.type_name().to_owned(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Deterministic, identity-free value formatting so baseline and
+    /// transformed programs print byte-identical output.
+    fn format_value(&self, v: Value) -> String {
+        match v {
+            Value::Int(n) => n.to_string(),
+            Value::Float(x) => format!("{x:?}"),
+            Value::Bool(b) => b.to_string(),
+            Value::Nil => "nil".to_owned(),
+            Value::Str(s) => self.program.interner.resolve(s).to_owned(),
+            Value::Obj(o) => match self.heap.get(o).kind {
+                ObjKind::Instance(c) => format!("<{}>", self.class_name(c)),
+                ObjKind::Array => format!("<array[{}]>", self.heap.get(o).slots.len()),
+                ObjKind::ArrayInline { len, .. } => format!("<array[{len}]>"),
+            },
+            Value::Interior { layout, .. } => {
+                format!("<{}>", self.class_name(self.layouts[layout.index()].child_class))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_ir::lower::compile;
+
+    fn run_src(src: &str) -> RunResult {
+        let p = compile(src).unwrap();
+        oi_ir::verify::verify(&p).unwrap();
+        run(&p, &VmConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        assert_eq!(run_src("fn main() { print 2 + 3 * 4; }").output, "14\n");
+        assert_eq!(run_src("fn main() { print 7 / 2; }").output, "3\n");
+        assert_eq!(run_src("fn main() { print 7.0 / 2.0; }").output, "3.5\n");
+        assert_eq!(run_src("fn main() { print 7 % 3; }").output, "1\n");
+        assert_eq!(run_src("fn main() { print -5; }").output, "-5\n");
+    }
+
+    #[test]
+    fn float_formatting_is_debug_style() {
+        assert_eq!(run_src("fn main() { print 2.0; }").output, "2.0\n");
+        assert_eq!(run_src("fn main() { print 2.5; }").output, "2.5\n");
+    }
+
+    #[test]
+    fn comparisons_and_booleans() {
+        assert_eq!(run_src("fn main() { print 1 < 2; }").output, "true\n");
+        assert_eq!(run_src("fn main() { print 1 == 1.0; }").output, "true\n");
+        assert_eq!(run_src("fn main() { print !(1 >= 2); }").output, "true\n");
+    }
+
+    #[test]
+    fn control_flow_loops() {
+        let out = run_src(
+            "fn main() { var i = 0; var sum = 0;
+               while (i < 5) { sum = sum + i; i = i + 1; }
+               print sum; }",
+        );
+        assert_eq!(out.output, "10\n");
+    }
+
+    #[test]
+    fn objects_fields_and_methods() {
+        let out = run_src(
+            "class Point { field x; field y;
+               method init(a, b) { self.x = a; self.y = b; }
+               method abs() { return sqrt(self.x * self.x + self.y * self.y); }
+             }
+             fn main() { var p = new Point(3.0, 4.0); print p.abs(); }",
+        );
+        assert_eq!(out.output, "5.0\n");
+        assert!(out.metrics.allocations >= 1);
+        assert!(out.metrics.dyn_dispatches >= 1);
+    }
+
+    #[test]
+    fn inheritance_and_override() {
+        let out = run_src(
+            "class A { method tag() { return 1; } method describe() { return self.tag() * 10; } }
+             class B : A { method tag() { return 2; } }
+             fn main() { var a = new A(); var b = new B(); print a.describe(); print b.describe(); }",
+        );
+        assert_eq!(out.output, "10\n20\n");
+    }
+
+    #[test]
+    fn arrays_work() {
+        let out = run_src(
+            "fn main() {
+               var a = array(3);
+               a[0] = 5; a[1] = 6; a[2] = 7;
+               print a[0] + a[1] + a[2];
+               print len(a);
+             }",
+        );
+        assert_eq!(out.output, "18\n3\n");
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let out = run_src(
+            "global G;
+             fn bump() { G = G + 1; return G; }
+             fn main() { G = 0; bump(); bump(); print bump(); }",
+        );
+        assert_eq!(out.output, "3\n");
+    }
+
+    #[test]
+    fn identity_semantics() {
+        let out = run_src(
+            "class P { field x; }
+             fn main() {
+               var a = new P(); var b = new P(); var c = a;
+               print a === b; print a === c; print a === nil;
+             }",
+        );
+        assert_eq!(out.output, "false\ntrue\nfalse\n");
+    }
+
+    #[test]
+    fn nil_dereference_is_reported() {
+        let p = compile("fn main() { var x = nil; print x.f; }").unwrap();
+        let err = run(&p, &VmConfig::default()).unwrap_err();
+        assert!(matches!(err, VmError::NilDereference { .. }));
+    }
+
+    #[test]
+    fn missing_method_is_reported() {
+        let p = compile("class A { } fn main() { var a = new A(); a.nope(); }").unwrap();
+        let err = run(&p, &VmConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::NoSuchMethod { class: "A".into(), selector: "nope".into() }
+        );
+    }
+
+    #[test]
+    fn index_bounds_checked() {
+        let p = compile("fn main() { var a = array(2); print a[5]; }").unwrap();
+        let err = run(&p, &VmConfig::default()).unwrap_err();
+        assert_eq!(err, VmError::IndexOutOfBounds { index: 5, len: 2 });
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let p = compile("fn main() { print 1 / 0; }").unwrap();
+        assert_eq!(run(&p, &VmConfig::default()).unwrap_err(), VmError::DivisionByZero);
+    }
+
+    #[test]
+    fn instruction_limit_enforced() {
+        let p = compile("fn main() { while (true) { } }").unwrap();
+        let config = VmConfig { max_instructions: 10_000, ..Default::default() };
+        assert_eq!(run(&p, &config).unwrap_err(), VmError::InstructionLimit);
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let p = compile("fn f(n) { return f(n + 1); } fn main() { print f(0); }").unwrap();
+        let config = VmConfig { max_depth: 64, ..Default::default() };
+        assert_eq!(run(&p, &config).unwrap_err(), VmError::StackOverflow);
+    }
+
+    #[test]
+    fn recursion_works_within_limits() {
+        assert_eq!(
+            run_src("fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); } fn main() { print fact(10); }")
+                .output,
+            "3628800\n"
+        );
+    }
+
+    #[test]
+    fn metrics_count_memory_traffic() {
+        let m = run_src(
+            "class C { field v; }
+             fn main() { var c = new C(); c.v = 1; print c.v; }",
+        )
+        .metrics;
+        assert!(m.heap_reads >= 1);
+        assert!(m.heap_writes >= 1);
+        assert_eq!(m.allocations, 1);
+        assert!(m.cycles > 0);
+    }
+
+    #[test]
+    fn cons_list_program() {
+        let out = run_src(
+            "class Cons { field head; field tail;
+               method init(h, t) { self.head = h; self.tail = t; }
+             }
+             fn sum(l) { var total = 0; var cur = l;
+               while (!(cur === nil)) { total = total + cur.head; cur = cur.tail; }
+               return total; }
+             fn main() {
+               var l = new Cons(1, new Cons(2, new Cons(3, nil)));
+               print sum(l);
+             }",
+        );
+        assert_eq!(out.output, "6\n");
+    }
+
+    #[test]
+    fn string_printing() {
+        assert_eq!(run_src("fn main() { print \"hello\"; }").output, "hello\n");
+    }
+}
+
+#[cfg(test)]
+mod census_tests {
+    use super::*;
+    use oi_ir::lower::compile;
+
+    #[test]
+    fn census_counts_by_class() {
+        let p = compile(
+            "class A { } class B { }
+             fn main() {
+               var x = new A(); var y = new A(); var z = new B();
+               var arr = array(3);
+               print 1;
+             }",
+        )
+        .unwrap();
+        let r = run(&p, &VmConfig::default()).unwrap();
+        assert_eq!(r.allocations_of("A"), 2);
+        assert_eq!(r.allocations_of("B"), 1);
+        assert_eq!(r.allocations_of("<array>"), 1);
+        assert_eq!(r.allocations_of("Nope"), 0);
+        // Census is sorted by descending count.
+        assert!(r.allocation_census.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Execution counters reported by the interpreter.
+
+use std::fmt;
+
+/// Counters accumulated over one program run.
+///
+/// `cycles` is the headline number (Figure 17); the rest explain *why* a
+/// configuration is faster: fewer allocations, fewer heap dereferences,
+/// fewer dynamic dispatches, better cache behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Modeled total cycles.
+    pub cycles: u64,
+    /// IR instructions executed.
+    pub instructions: u64,
+    /// Heap reads issued.
+    pub heap_reads: u64,
+    /// Heap writes issued.
+    pub heap_writes: u64,
+    /// Objects (and arrays) allocated.
+    pub allocations: u64,
+    /// Total words allocated.
+    pub words_allocated: u64,
+    /// Dynamically dispatched sends executed.
+    pub dyn_dispatches: u64,
+    /// Statically bound calls executed.
+    pub static_calls: u64,
+    /// Interior references formed (inline-child accesses).
+    pub interior_refs: u64,
+    /// Data-cache hits.
+    pub cache_hits: u64,
+    /// Data-cache misses.
+    pub cache_misses: u64,
+}
+
+impl Metrics {
+    /// Cache hit rate in `[0, 1]`; zero if no memory accesses happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Speedup of `self` relative to `baseline` (baseline cycles / own
+    /// cycles); `1.0` when either is zero.
+    pub fn speedup_over(&self, baseline: &Metrics) -> f64 {
+        if self.cycles == 0 || baseline.cycles == 0 {
+            1.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles            {:>14}", self.cycles)?;
+        writeln!(f, "instructions      {:>14}", self.instructions)?;
+        writeln!(f, "heap reads        {:>14}", self.heap_reads)?;
+        writeln!(f, "heap writes       {:>14}", self.heap_writes)?;
+        writeln!(f, "allocations       {:>14}", self.allocations)?;
+        writeln!(f, "words allocated   {:>14}", self.words_allocated)?;
+        writeln!(f, "dynamic dispatches{:>14}", self.dyn_dispatches)?;
+        writeln!(f, "static calls      {:>14}", self.static_calls)?;
+        writeln!(f, "interior refs     {:>14}", self.interior_refs)?;
+        write!(
+            f,
+            "cache             {:>14} hits / {} misses ({:.1}%)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(Metrics::default().cache_hit_rate(), 0.0);
+        let m = Metrics { cache_hits: 3, cache_misses: 1, ..Default::default() };
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_relative() {
+        let base = Metrics { cycles: 300, ..Default::default() };
+        let fast = Metrics { cycles: 100, ..Default::default() };
+        assert!((fast.speedup_over(&base) - 3.0).abs() < 1e-12);
+        assert_eq!(Metrics::default().speedup_over(&base), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = Metrics::default().to_string();
+        assert!(s.contains("cycles"));
+        assert!(s.contains("allocations"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Runtime values.
+
+use oi_ir::LayoutId;
+use oi_support::{define_idx, Symbol};
+
+define_idx!(
+    /// Identifies a heap object.
+    pub struct ObjId, "obj"
+);
+
+/// A runtime value. References are either whole-object references
+/// ([`Value::Obj`]) or *interior references* ([`Value::Interior`]) into
+/// inline-allocated child state — the runtime face of the paper's
+/// transformation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// The nil reference.
+    #[default]
+    Nil,
+    /// Interned string constant.
+    Str(Symbol),
+    /// Reference to a heap object (instance or array).
+    Obj(ObjId),
+    /// Reference to inline child state within a container.
+    ///
+    /// `index` is the element index for array containers (0 for object
+    /// containers); `layout` says where the child's fields live.
+    Interior {
+        /// The container object.
+        obj: ObjId,
+        /// Element index within an inline array container.
+        index: u32,
+        /// Layout of the child state inside the container.
+        layout: LayoutId,
+    },
+}
+
+impl Value {
+    /// Returns `true` for `nil`.
+    pub fn is_nil(self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Returns `true` for any reference (object, interior) or nil.
+    pub fn is_reference(self) -> bool {
+        matches!(self, Value::Obj(_) | Value::Interior { .. } | Value::Nil)
+    }
+
+    /// Identity comparison: object identity for references, structural for
+    /// primitives. Interior references are identical when they designate the
+    /// same container slot range.
+    pub fn identical(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::Obj(a), Value::Obj(b)) => a == b,
+            (
+                Value::Interior { obj: a, index: i, layout: l },
+                Value::Interior { obj: b, index: j, layout: m },
+            ) => a == b && i == j && l == m,
+            (Value::Nil, Value::Nil) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Nil => "nil",
+            Value::Str(_) => "string",
+            Value::Obj(_) => "object",
+            Value::Interior { .. } => "object",
+        }
+    }
+}
+
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_on_objects_is_by_id() {
+        let a = Value::Obj(ObjId::new(1));
+        let b = Value::Obj(ObjId::new(1));
+        let c = Value::Obj(ObjId::new(2));
+        assert!(a.identical(b));
+        assert!(!a.identical(c));
+    }
+
+    #[test]
+    fn interior_identity_includes_index_and_layout() {
+        let mk = |i, l| Value::Interior { obj: ObjId::new(0), index: i, layout: LayoutId::new(l) };
+        assert!(mk(1, 0).identical(mk(1, 0)));
+        assert!(!mk(1, 0).identical(mk(2, 0)));
+        assert!(!mk(1, 0).identical(mk(1, 1)));
+        assert!(!mk(0, 0).identical(Value::Obj(ObjId::new(0))));
+    }
+
+    #[test]
+    fn primitives_compare_structurally() {
+        assert!(Value::Int(3).identical(Value::Int(3)));
+        assert!(!Value::Int(3).identical(Value::Float(3.0)));
+        assert!(Value::Nil.identical(Value::Nil));
+    }
+
+    #[test]
+    fn reference_classification() {
+        assert!(Value::Nil.is_reference());
+        assert!(Value::Obj(ObjId::new(0)).is_reference());
+        assert!(!Value::Int(0).is_reference());
+    }
+}

@@ -1,0 +1,42 @@
+//! Runs the polyover benchmark (both variants) and prints the paper's
+//! Figure 17 story for it: ~3x from collapsing reference chains, merging
+//! result polygons into their cons cells, and locality.
+//!
+//! ```sh
+//! cargo run --release --example polygon_overlay
+//! ```
+
+use oi_benchmarks::{evaluate, BenchSize};
+use oi_core::pipeline::InlineConfig;
+use oi_vm::VmConfig;
+
+fn main() {
+    for bench in [
+        oi_benchmarks::programs::polyover::benchmark_array(BenchSize::Default),
+        oi_benchmarks::programs::polyover::benchmark_list(BenchSize::Default),
+    ] {
+        let eval = evaluate(&bench, &VmConfig::default(), &InlineConfig::default());
+        println!("== {} ==", eval.name);
+        println!("output:\n{}", eval.output.trim());
+        println!(
+            "baseline {} cycles, inlined {} cycles -> {:.2}x (manual: {:.2}x)",
+            eval.baseline.cycles,
+            eval.inlined.cycles,
+            eval.speedup(),
+            eval.manual_speedup()
+        );
+        println!(
+            "allocations {} -> {} | heap reads {} -> {} | cache misses {} -> {}",
+            eval.baseline.allocations,
+            eval.inlined.allocations,
+            eval.baseline.heap_reads,
+            eval.inlined.heap_reads,
+            eval.baseline.cache_misses,
+            eval.inlined.cache_misses
+        );
+        println!(
+            "fields inlined: {} (+ {} array sites)\n",
+            eval.report.fields_inlined, eval.report.array_sites_inlined
+        );
+    }
+}

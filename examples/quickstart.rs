@@ -1,0 +1,73 @@
+//! Quickstart: compile a small uniform-object-model program, run the
+//! object-inlining pipeline, and compare the two builds.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use object_inlining::{baseline_default, compile, optimize_default, run_default};
+
+const SOURCE: &str = "
+class Point {
+  field x; field y;
+  method init(a, b) { self.x = a; self.y = b; }
+  method abs() { return sqrt(self.x * self.x + self.y * self.y); }
+}
+
+class Rectangle {
+  field lower_left; field upper_right;
+  method init(a, b, c, d) {
+    self.lower_left = new Point(a, b);
+    self.upper_right = new Point(c, d);
+  }
+  method diag() {
+    var dx = self.upper_right.x - self.lower_left.x;
+    var dy = self.upper_right.y - self.lower_left.y;
+    return sqrt(dx * dx + dy * dy);
+  }
+}
+
+fn main() {
+  var total = 0.0;
+  var i = 0;
+  while (i < 1000) {
+    var r = new Rectangle(0.0, 0.0, 3.0, 4.0);
+    total = total + r.diag();
+    i = i + 1;
+  }
+  print total;
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = compile(SOURCE)?;
+
+    let base = baseline_default(&program);
+    let optimized = optimize_default(&program);
+
+    println!("fields inlined automatically: {}", optimized.report.fields_inlined);
+    for outcome in &optimized.report.outcomes {
+        let verdict = if outcome.inlined { "inlined" } else { "kept" };
+        let reason = if outcome.reason.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", outcome.reason)
+        };
+        println!("  {:10} {}{}", verdict, outcome.name, reason);
+    }
+
+    let before = run_default(&base)?;
+    let after = run_default(&optimized.program)?;
+    assert_eq!(before.output, after.output, "inlining must preserve behavior");
+
+    println!("\noutput: {}", before.output.trim());
+    println!("\nbaseline metrics:\n{}", before.metrics);
+    println!("\ninlined metrics:\n{}", after.metrics);
+    println!(
+        "\nspeedup: {:.2}x  (allocations {} -> {})",
+        after.metrics.speedup_over(&before.metrics),
+        before.metrics.allocations,
+        after.metrics.allocations
+    );
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! `oic` — the object-inlining compiler driver.
+//!
+//! ```text
+//! oic run <file.oi>                 run under the baseline pipeline
+//! oic run --inline <file.oi>        run under the object-inlining pipeline
+//! oic compare <file.oi>             run both, report metrics side by side
+//! oic report <file.oi>              print inlining decisions and reasons
+//! oic dump [--inline] <file.oi>     print the (optimized) IR
+//! ```
+
+use object_inlining::{baseline_default, compile, optimize_default, run_default};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: oic <run|compare|report|dump> [--inline] <file.oi>\n\
+         \n\
+         run      execute the program (baseline pipeline; --inline for the\n\
+         \x20        object-inlining pipeline) and print metrics\n\
+         compare  run both pipelines, check outputs match, show the delta\n\
+         report   print per-field inlining decisions with reasons\n\
+         dump     print the IR (after --inline: the transformed program)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut inline = false;
+    let mut path = None;
+    for a in &args {
+        match a.as_str() {
+            "--inline" => inline = true,
+            "run" | "compare" | "report" | "dump" if command.is_none() => {
+                command = Some(a.clone());
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            _ => return usage(),
+        }
+    }
+    let (Some(command), Some(path)) = (command, path) else { return usage() };
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("oic: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match compile(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("oic: {path}: {}", e.render(&source));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "run" => {
+            let built = if inline {
+                optimize_default(&program).program
+            } else {
+                baseline_default(&program)
+            };
+            match run_default(&built) {
+                Ok(result) => {
+                    print!("{}", result.output);
+                    eprintln!("--- metrics ---\n{}", result.metrics);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("oic: runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "compare" => {
+            let base = baseline_default(&program);
+            let opt = optimize_default(&program);
+            let base_run = match run_default(&base) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("oic: baseline runtime error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let opt_run = match run_default(&opt.program) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("oic: inlined runtime error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if base_run.output != opt_run.output {
+                eprintln!("oic: OUTPUT MISMATCH — this is a compiler bug");
+                return ExitCode::FAILURE;
+            }
+            print!("{}", base_run.output);
+            eprintln!("--- outputs identical ---");
+            eprintln!(
+                "cycles      {:>12} -> {:>12}  ({:.2}x)",
+                base_run.metrics.cycles,
+                opt_run.metrics.cycles,
+                opt_run.metrics.speedup_over(&base_run.metrics)
+            );
+            eprintln!(
+                "allocations {:>12} -> {:>12}",
+                base_run.metrics.allocations, opt_run.metrics.allocations
+            );
+            eprintln!(
+                "heap reads  {:>12} -> {:>12}",
+                base_run.metrics.heap_reads, opt_run.metrics.heap_reads
+            );
+            eprintln!(
+                "cache miss  {:>12} -> {:>12}",
+                base_run.metrics.cache_misses, opt_run.metrics.cache_misses
+            );
+            eprintln!(
+                "fields inlined: {} (+{} array sites)",
+                opt.report.fields_inlined, opt.report.array_sites_inlined
+            );
+            ExitCode::SUCCESS
+        }
+        "report" => {
+            let opt = optimize_default(&program);
+            println!(
+                "{} field(s) inlined, {} array site(s) inlined",
+                opt.report.fields_inlined, opt.report.array_sites_inlined
+            );
+            for o in &opt.report.outcomes {
+                if o.inlined {
+                    println!("  INLINED  {}", o.name);
+                } else {
+                    println!("  kept     {} — {}", o.name, o.reason);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "dump" => {
+            let built = if inline {
+                optimize_default(&program).program
+            } else {
+                baseline_default(&program)
+            };
+            print!("{}", oi_ir::printer::print_program(&built));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

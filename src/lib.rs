@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+//! # object-inlining
+//!
+//! A from-scratch reproduction of **"Automatic Inline Allocation of
+//! Objects"** (Julian Dolby, PLDI 1997): a compiler optimization that
+//! automatically allocates child objects *inside* their containers while
+//! preserving a uniform object model.
+//!
+//! The workspace contains the whole system the paper describes or depends
+//! on:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`lang`] (`oi-lang`) | front end for Izzy, a uniform-object-model language |
+//! | [`ir`] (`oi-ir`) | register IR, verifier, optimizer (incl. scalar replacement) |
+//! | [`analysis`] (`oi-analysis`) | Concert-style contour analysis + field tags |
+//! | [`core`] (`oi-core`) | **object inlining**: use/assignment specialization + transformation |
+//! | [`vm`] (`oi-vm`) | instrumented interpreter with cache & cycle cost model |
+//! | [`benchmarks`] (`oi-benchmarks`) | OOPACK, Richards, Silo, polyover + manual variants |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use object_inlining::{compile, optimize_default, run_default};
+//!
+//! let source = "
+//!     class Point { field x; field y;
+//!       method init(a, b) { self.x = a; self.y = b; }
+//!     }
+//!     class Rect { field ll; field ur;
+//!       method init(a, b) { self.ll = new Point(a, a); self.ur = new Point(b, b); }
+//!     }
+//!     fn main() {
+//!       var r = new Rect(1.0, 4.0);
+//!       print r.ur.x - r.ll.y;
+//!     }";
+//! let program = compile(source)?;
+//! let optimized = optimize_default(&program);
+//! assert!(optimized.report.fields_inlined >= 2);
+//!
+//! let before = run_default(&program)?;
+//! let after = run_default(&optimized.program)?;
+//! assert_eq!(before.output, after.output);
+//! assert!(after.metrics.cycles <= before.metrics.cycles);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use oi_analysis as analysis;
+pub use oi_benchmarks as benchmarks;
+pub use oi_core as core;
+pub use oi_ir as ir;
+pub use oi_lang as lang;
+pub use oi_support as support;
+pub use oi_vm as vm;
+
+use oi_core::pipeline::{InlineConfig, Optimized};
+use oi_ir::Program;
+use oi_support::Diagnostic;
+use oi_vm::{RunResult, VmConfig, VmError};
+
+/// Parses and lowers Izzy source to IR.
+///
+/// # Errors
+///
+/// Returns the first parse or resolution diagnostic.
+pub fn compile(source: &str) -> Result<Program, Diagnostic> {
+    oi_ir::lower::compile(source)
+}
+
+/// Runs the full object-inlining pipeline with default settings.
+pub fn optimize_default(program: &Program) -> Optimized {
+    oi_core::pipeline::optimize(program, &InlineConfig::default())
+}
+
+/// The comparison pipeline: devirtualization and cleanups, no inlining.
+pub fn baseline_default(program: &Program) -> Program {
+    oi_core::pipeline::baseline(program, &Default::default())
+}
+
+/// Executes a program under the default cost model.
+///
+/// # Errors
+///
+/// Propagates runtime failures ([`VmError`]).
+pub fn run_default(program: &Program) -> Result<RunResult, VmError> {
+    oi_vm::run(program, &VmConfig::default())
+}

@@ -1,0 +1,91 @@
+//! Integration tests of the `oic` command-line driver.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn oic() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oic"))
+}
+
+fn write_temp(name: &str, source: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("oi-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(source.as_bytes()).unwrap();
+    path
+}
+
+const PROGRAM: &str = "
+class Pt { field x; method init(a) { self.x = a; } }
+class Box { field p; method init(a) { self.p = new Pt(a); } }
+global KEEP;
+fn main() {
+  var b = new Box(21);
+  KEEP = b;
+  print b.p.x * 2;
+}
+";
+
+#[test]
+fn run_executes_and_prints() {
+    let path = write_temp("run.oi", PROGRAM);
+    let out = oic().args(["run", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "42\n");
+}
+
+#[test]
+fn run_inline_matches_baseline_output() {
+    let path = write_temp("run_inline.oi", PROGRAM);
+    let base = oic().args(["run", path.to_str().unwrap()]).output().unwrap();
+    let inl = oic().args(["run", "--inline", path.to_str().unwrap()]).output().unwrap();
+    assert!(inl.status.success());
+    assert_eq!(base.stdout, inl.stdout);
+}
+
+#[test]
+fn compare_reports_inlined_fields() {
+    let path = write_temp("compare.oi", PROGRAM);
+    let out = oic().args(["compare", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("outputs identical"), "{err}");
+    assert!(err.contains("fields inlined: 1"), "{err}");
+}
+
+#[test]
+fn report_lists_decisions() {
+    let path = write_temp("report.oi", PROGRAM);
+    let out = oic().args(["report", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("INLINED  Box.p"), "{stdout}");
+}
+
+#[test]
+fn dump_prints_ir() {
+    let path = write_temp("dump.oi", PROGRAM);
+    let out = oic().args(["dump", "--inline", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("class Box"), "{stdout}");
+    assert!(stdout.contains("layout"), "inlined dump should show layouts: {stdout}");
+}
+
+#[test]
+fn parse_errors_are_reported_with_position() {
+    let path = write_temp("broken.oi", "fn main() { print 1 + ; }");
+    let out = oic().args(["run", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "{err}");
+    assert!(err.contains(':'), "position expected: {err}");
+}
+
+#[test]
+fn unknown_subcommand_shows_usage() {
+    let out = oic().args(["bogus", "x.oi"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

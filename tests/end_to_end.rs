@@ -1,0 +1,343 @@
+//! End-to-end scenarios: every program is compiled, run through both the
+//! baseline and the object-inlining pipeline, and must print identical
+//! output. Each scenario targets a specific paper mechanism.
+
+use object_inlining::{baseline_default, compile, optimize_default, run_default};
+
+/// Runs a source through both pipelines and checks output equality.
+/// Returns (baseline metrics, inlined metrics, fields inlined, arrays
+/// inlined).
+fn check(source: &str) -> (oi_vm::Metrics, oi_vm::Metrics, usize, usize) {
+    let program = compile(source).unwrap_or_else(|e| panic!("{}", e.render(source)));
+    oi_ir::verify::verify(&program).unwrap();
+    let base = baseline_default(&program);
+    let opt = optimize_default(&program);
+    let base_run = run_default(&base).expect("baseline runs");
+    let opt_run = run_default(&opt.program).expect("inlined runs");
+    assert_eq!(base_run.output, opt_run.output, "object inlining changed output");
+    (
+        base_run.metrics,
+        opt_run.metrics,
+        opt.report.fields_inlined,
+        opt.report.array_sites_inlined,
+    )
+}
+
+#[test]
+fn paper_running_example() {
+    let (_, _, fields, _) = check(
+        "class Point { field x_pos; field y_pos;
+           method init(x, y) { self.x_pos = x; self.y_pos = y; }
+           method abs() { return sqrt(self.x_pos * self.x_pos + self.y_pos * self.y_pos); }
+         }
+         class Rectangle { field lower_left; field upper_right;
+           method init(a, b, c, d) {
+             self.lower_left = new Point(a, b);
+             self.upper_right = new Point(c, d);
+           }
+         }
+         class List { field head; field tail;
+           method init(h, t) { self.head = h; self.tail = t; }
+         }
+         fn do_rectangle(a, b, c, d) {
+           var r = new Rectangle(a, b, c, d);
+           var l1 = new List(r.lower_left, nil);
+           var l2 = new List(r.upper_right, nil);
+           print l1.head.abs();
+           print l2.head.abs();
+         }
+         fn main() {
+           do_rectangle(1.0, 2.0, 3.0, 4.0);
+           do_rectangle(5.0, 6.0, 7.0, 8.0);
+         }",
+    );
+    assert_eq!(fields, 2, "both Rectangle point fields inline");
+}
+
+#[test]
+fn subclass_shares_uniform_layout() {
+    check(
+        "class Pt { field x; method init(a) { self.x = a; } }
+         class Rect { field ll; field w;
+           method init(a, b) { self.ll = new Pt(a); self.w = b; }
+           method left() { return self.ll.x; }
+         }
+         class Para : Rect { field skew;
+           method skewed() { return self.left() + self.skew; }
+         }
+         fn main() {
+           var r = new Rect(10, 3);
+           var p = new Para(20, 4);
+           p.skew = 5;
+           print r.left();
+           print p.skewed();
+           print p.w;
+         }",
+    );
+}
+
+#[test]
+fn mutation_through_container_is_visible() {
+    check(
+        "class Pt { field x; method init(a) { self.x = a; } }
+         class Box { field p; method init(a) { self.p = new Pt(a); } }
+         fn main() {
+           var b = new Box(1);
+           b.p.x = 99;
+           var alias = b.p;
+           alias.x = alias.x + 1;
+           print b.p.x;
+         }",
+    );
+}
+
+#[test]
+fn reassignment_of_inlined_field_copies() {
+    check(
+        "class Pt { field x; field y; method init(a, b) { self.x = a; self.y = b; } }
+         class Box { field p;
+           method init(a) { self.p = new Pt(a, a); }
+           method reset(a, b) { self.p = new Pt(a, b); }
+         }
+         fn main() {
+           var b = new Box(1);
+           print b.p.x;
+           b.reset(7, 8);
+           print b.p.x + b.p.y;
+         }",
+    );
+}
+
+#[test]
+fn interior_references_stored_in_other_objects() {
+    check(
+        "class Pt { field x; method init(a) { self.x = a; } }
+         class Box { field p; method init(a) { self.p = new Pt(a); } }
+         class Cell { field v; method init(v) { self.v = v; } }
+         fn main() {
+           var b = new Box(42);
+           var c = new Cell(b.p);   // an interior reference escapes into Cell
+           print c.v.x;
+           b.p.x = 43;
+           print c.v.x;             // sees the container's state
+         }",
+    );
+}
+
+#[test]
+fn aliased_value_is_not_inlined_and_stays_correct() {
+    let (_, _, fields, _) = check(
+        "global KEEP;
+         class Pt { field x; method init(a) { self.x = a; } }
+         class Box { field p; method init(q) { self.p = q; } }
+         fn main() {
+           var pt = new Pt(5);
+           KEEP = pt;
+           var b = new Box(pt);
+           KEEP.x = 6;
+           print b.p.x;   // must see 6: pt is aliased
+         }",
+    );
+    assert_eq!(fields, 0, "aliased child must not be inlined");
+}
+
+#[test]
+fn identity_comparisons_stay_correct() {
+    let (_, _, fields, _) = check(
+        "class Pt { field x; method init(a) { self.x = a; } }
+         class Box { field p; method init(a) { self.p = new Pt(a); } }
+         fn main() {
+           var b = new Box(1);
+           var first = b.p;
+           var second = b.p;
+           print first === second;  // true either way, but blocks inlining
+           print first === nil;
+         }",
+    );
+    assert_eq!(fields, 0, "identity-compared children must not be inlined");
+}
+
+#[test]
+fn array_of_objects_roundtrip() {
+    let (base, inl, _, arrays) = check(
+        "class Pt { field x; field y; method init(a, b) { self.x = a; self.y = b; } }
+         fn main() {
+           var a = array(32);
+           var i = 0;
+           while (i < 32) { a[i] = new Pt(i, i * 2); i = i + 1; }
+           var s = 0;
+           i = 0;
+           while (i < 32) { s = s + a[i].x * a[i].y; i = i + 1; }
+           print s;
+           a[3].x = 1000;
+           print a[3].x + a[3].y;
+         }",
+    );
+    assert_eq!(arrays, 1);
+    assert!(inl.allocations < base.allocations);
+}
+
+#[test]
+fn polymorphic_divergent_private_data() {
+    let (_, _, fields, _) = check(
+        "class ARec { field v; method init(a) { self.v = a; } }
+         class BRec { field v; field w; method init(a, b) { self.v = a; self.w = b; } }
+         class Task { field rec; }
+         class ATask : Task {
+           method init() { self.rec = new ARec(10); }
+           method go() { return self.rec.v; }
+         }
+         class BTask : Task {
+           method init() { self.rec = new BRec(20, 30); }
+           method go() { return self.rec.v + self.rec.w; }
+         }
+         fn main() {
+           var a = new ATask();
+           var b = new BTask();
+           print a.go() + b.go();
+         }",
+    );
+    assert_eq!(fields, 1, "Task.rec inlines divergently per subclass");
+}
+
+#[test]
+fn cons_cells_merge_with_data() {
+    let (base, inl, fields, _) = check(
+        "class Rec { field a; field b; method init(x, y) { self.a = x; self.b = y; } }
+         class Cell { field rec; field next;
+           method init(x, y, next) { self.rec = new Rec(x, y); self.next = next; }
+         }
+         fn main() {
+           var l = nil;
+           var i = 0;
+           while (i < 50) { l = new Cell(i, i * 3, l); i = i + 1; }
+           var s = 0;
+           var c = l;
+           while (!(c === nil)) { s = s + c.rec.a + c.rec.b; c = c.next; }
+           print s;
+         }",
+    );
+    assert_eq!(fields, 1);
+    assert!(
+        inl.allocations * 2 <= base.allocations + 2,
+        "merging must halve allocations: {} vs {}",
+        inl.allocations,
+        base.allocations
+    );
+}
+
+#[test]
+fn nil_initialized_field_is_not_inlined() {
+    let (_, _, fields, _) = check(
+        "class Pt { field x; method init(a) { self.x = a; } }
+         class Box { field p;
+           method init() { self.p = nil; }
+           method fill(a) { self.p = new Pt(a); }
+         }
+         fn main() {
+           var b = new Box();
+           b.fill(3);
+           print b.p.x;
+         }",
+    );
+    assert_eq!(fields, 0);
+}
+
+#[test]
+fn deep_nesting_three_levels() {
+    check(
+        "global KEEP;
+         class A { field v; method init(x) { self.v = x; } }
+         class B { field a; method init(x) { self.a = new A(x); } }
+         class C { field b; method init(x) { self.b = new B(x); } }
+         fn main() {
+           var c = new C(11);
+           KEEP = c;
+           print c.b.a.v;
+           c.b.a.v = 12;
+           print KEEP.b.a.v;
+         }",
+    );
+}
+
+#[test]
+fn error_behavior_matches_on_nil_dereference() {
+    let source = "class Pt { field x; method init(a) { self.x = a; } }
+         class Box { field p; method init(q) { self.p = q; } }
+         fn main() {
+           var b = new Box(nil);
+           print b.p.x;
+         }";
+    let program = compile(source).unwrap();
+    let base = baseline_default(&program);
+    let opt = optimize_default(&program);
+    let e1 = run_default(&base).unwrap_err();
+    let e2 = run_default(&opt.program).unwrap_err();
+    assert!(matches!(e1, oi_vm::VmError::NilDereference { .. }));
+    assert!(matches!(e2, oi_vm::VmError::NilDereference { .. }));
+}
+
+#[test]
+fn recursion_with_containers() {
+    check(
+        "class Pt { field x; method init(a) { self.x = a; } }
+         class Box { field p; method init(a) { self.p = new Pt(a); } }
+         fn sum(n) {
+           if (n == 0) { return 0; }
+           var b = new Box(n);
+           return b.p.x + sum(n - 1);
+         }
+         fn main() { print sum(30); }",
+    );
+}
+
+#[test]
+fn floats_and_builtins_survive() {
+    check(
+        "class V { field x; field y; method init(a, b) { self.x = a; self.y = b; }
+           method norm() { return sqrt(self.x * self.x + self.y * self.y); }
+         }
+         class Seg { field a; field b;
+           method init(x1, y1, x2, y2) { self.a = new V(x1, y1); self.b = new V(x2, y2); }
+           method len() {
+             var dx = self.b.x - self.a.x;
+             var dy = self.b.y - self.a.y;
+             return sqrt(dx * dx + dy * dy);
+           }
+         }
+         fn main() {
+           var s = new Seg(0.0, 0.0, 3.0, 4.0);
+           print s.len();
+           print s.a.norm();
+           print int(s.len()) + len([1, 2, 3]);
+           print float(7) / 2.0;
+         }",
+    );
+}
+
+#[test]
+fn census_shows_which_allocations_disappear() {
+    // Cons cells merged with data: the Data class must vanish from the
+    // inlined build's allocation census while Cell stays.
+    let source = "
+        class Data { field v; method init(a) { self.v = a; } }
+        class Cell { field d; field next;
+          method init(a, n) { self.d = new Data(a); self.next = n; }
+        }
+        fn main() {
+          var l = nil;
+          var i = 0;
+          while (i < 20) { l = new Cell(i, l); i = i + 1; }
+          var s = 0;
+          var c = l;
+          while (!(c === nil)) { s = s + c.d.v; c = c.next; }
+          print s;
+        }";
+    let program = compile(source).unwrap();
+    let base = run_default(&baseline_default(&program)).unwrap();
+    let opt = run_default(&optimize_default(&program).program).unwrap();
+    assert_eq!(base.allocations_of("Data"), 20);
+    assert_eq!(base.allocations_of("Cell"), 20);
+    assert_eq!(opt.allocations_of("Data"), 0, "{:?}", opt.allocation_census);
+    assert_eq!(opt.allocations_of("Cell"), 20);
+}

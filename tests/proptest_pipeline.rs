@@ -1,0 +1,191 @@
+//! Property test: for randomly generated well-formed programs, the full
+//! object-inlining pipeline preserves observable output.
+//!
+//! The generator builds programs over a fixed vocabulary — point objects,
+//! a container class, a divergent task pair, global aliasing, identity
+//! comparisons, loops — so that random combinations hit every decision
+//! path (inline, copy, in-place, reject-for-aliasing, reject-for-identity)
+//! and every rewrite shape.
+
+use object_inlining::{baseline_default, compile, optimize_default, run_default};
+use proptest::prelude::*;
+
+/// One statement template for `main`.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `p<k> = new Pt(a, b);`
+    NewPoint(u8, i8, i8),
+    /// `c<k> = new Box(a);` (constructor builds the point)
+    NewBox(u8, i8),
+    /// `c<k> = new Wrap(p<j>);` (stores a possibly-aliased point)
+    NewWrap(u8, u8),
+    /// `p<k>.x = v;`
+    MutatePoint(u8, i8),
+    /// `c<k>.p = new Pt(a, b);` (reassignment of a candidate field)
+    ReassignBox(u8, i8, i8),
+    /// `c<k>.p.y = v;` (mutation through the container)
+    MutateThroughBox(u8, i8),
+    /// `print p<k>.x + p<k>.y;`
+    PrintPoint(u8),
+    /// `print c<k>.p.x * 2 + c<k>.p.y;`
+    PrintBox(u8),
+    /// `GLOB = p<k>;` (aliases the point globally)
+    Alias(u8),
+    /// `print GLOB === p<k>;` (identity)
+    Identity(u8),
+    /// `while (i < n) { c<k> = new Box(i); print c<k>.p.x; i = i + 1; }`
+    Loop(u8, u8),
+    /// `arr[<i>] = new Pt(a, b);` then print it back
+    ArrayStore(u8, i8, i8),
+    /// `print t<k>.go();` on one of the divergent tasks
+    Task(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, any::<i8>(), any::<i8>()).prop_map(|(k, a, b)| Op::NewPoint(k, a, b)),
+        (0u8..3, any::<i8>()).prop_map(|(k, a)| Op::NewBox(k, a)),
+        (0u8..3, 0u8..3).prop_map(|(k, j)| Op::NewWrap(k, j)),
+        (0u8..3, any::<i8>()).prop_map(|(k, v)| Op::MutatePoint(k, v)),
+        (0u8..3, any::<i8>(), any::<i8>()).prop_map(|(k, a, b)| Op::ReassignBox(k, a, b)),
+        (0u8..3, any::<i8>()).prop_map(|(k, v)| Op::MutateThroughBox(k, v)),
+        (0u8..3).prop_map(Op::PrintPoint),
+        (0u8..3).prop_map(Op::PrintBox),
+        (0u8..3).prop_map(Op::Alias),
+        (0u8..3).prop_map(Op::Identity),
+        (0u8..3, 1u8..6).prop_map(|(k, n)| Op::Loop(k, n)),
+        (0u8..4, any::<i8>(), any::<i8>()).prop_map(|(k, a, b)| Op::ArrayStore(k, a, b)),
+        (0u8..2).prop_map(Op::Task),
+    ]
+}
+
+/// Renders the program for a sequence of ops.
+fn render(ops: &[Op]) -> String {
+    let mut body = String::new();
+    for op in ops {
+        use std::fmt::Write;
+        match op {
+            Op::NewPoint(k, a, b) => {
+                let _ = writeln!(body, "  p{k} = new Pt({a}, {b});");
+            }
+            Op::NewBox(k, a) => {
+                let _ = writeln!(body, "  c{k} = new Box({a});");
+            }
+            Op::NewWrap(k, j) => {
+                let _ = writeln!(body, "  c{k} = new Wrap(p{j});");
+            }
+            Op::MutatePoint(k, v) => {
+                let _ = writeln!(body, "  p{k}.x = {v};");
+            }
+            Op::ReassignBox(k, a, b) => {
+                let _ = writeln!(body, "  c{k}.p = new Pt({a}, {b});");
+            }
+            Op::MutateThroughBox(k, v) => {
+                let _ = writeln!(body, "  c{k}.p.y = {v};");
+            }
+            Op::PrintPoint(k) => {
+                let _ = writeln!(body, "  print p{k}.x + p{k}.y;");
+            }
+            Op::PrintBox(k) => {
+                let _ = writeln!(body, "  print c{k}.p.x * 2 + c{k}.p.y;");
+            }
+            Op::Alias(k) => {
+                let _ = writeln!(body, "  GLOB = p{k};");
+            }
+            Op::Identity(k) => {
+                let _ = writeln!(body, "  print GLOB === p{k};");
+            }
+            Op::Loop(k, n) => {
+                let _ = writeln!(
+                    body,
+                    "  i = 0;\n  while (i < {n}) {{ c{k} = new Box(i); print c{k}.p.x; i = i + 1; }}"
+                );
+            }
+            Op::ArrayStore(k, a, b) => {
+                let _ = writeln!(
+                    body,
+                    "  arr[{k}] = new Pt({a}, {b});\n  print arr[{k}].x - arr[{k}].y;"
+                );
+            }
+            Op::Task(k) => {
+                let _ = writeln!(body, "  print t{k}.go();");
+            }
+        }
+    }
+    format!(
+        "global GLOB;
+class Pt {{ field x; field y;
+  method init(a, b) {{ self.x = a; self.y = b; }}
+}}
+class Box {{ field p;
+  method init(a) {{ self.p = new Pt(a, a + 1); }}
+}}
+class Wrap {{ field p;
+  method init(q) {{ self.p = q; }}
+}}
+class ARec {{ field v; method init(a) {{ self.v = a; }} }}
+class BRec {{ field v; field w; method init(a, b) {{ self.v = a; self.w = b; }} }}
+class Task {{ field rec; }}
+class ATask : Task {{
+  method init() {{ self.rec = new ARec(10); }}
+  method go() {{ return self.rec.v; }}
+}}
+class BTask : Task {{
+  method init() {{ self.rec = new BRec(20, 30); }}
+  method go() {{ return self.rec.v + self.rec.w; }}
+}}
+fn main() {{
+  var p0 = new Pt(1, 2);
+  var p1 = new Pt(3, 4);
+  var p2 = new Pt(5, 6);
+  var c0 = new Box(10);
+  var c1 = new Box(20);
+  var c2 = new Box(30);
+  var t0 = new ATask();
+  var t1 = new BTask();
+  var arr = array(4);
+  arr[0] = new Pt(0, 0);
+  arr[1] = new Pt(1, 1);
+  arr[2] = new Pt(2, 2);
+  arr[3] = new Pt(3, 3);
+  var i = 0;
+  GLOB = p0;
+{body}  print p0.x + p1.y + p2.x;
+  print c0.p.y + c1.p.x + c2.p.y;
+}}
+"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pipeline_preserves_output(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let source = render(&ops);
+        let program = compile(&source)
+            .unwrap_or_else(|e| panic!("generator produced invalid program: {}\n{source}", e.render(&source)));
+        oi_ir::verify::verify(&program).expect("lowered program verifies");
+
+        let base = baseline_default(&program);
+        let opt = optimize_default(&program);
+        oi_ir::verify::verify(&opt.program).expect("optimized program verifies");
+
+        let base_run = run_default(&base).expect("baseline runs");
+        let opt_run = run_default(&opt.program).expect("optimized runs");
+        prop_assert_eq!(
+            &base_run.output, &opt_run.output,
+            "output diverged for:\n{}", source
+        );
+        // The optimizer must never make the cost model worse by more than
+        // noise (it can tie when nothing is inlinable).
+        prop_assert!(
+            opt_run.metrics.cycles <= base_run.metrics.cycles + base_run.metrics.cycles / 4,
+            "inlined build much slower: {} vs {}\n{}",
+            opt_run.metrics.cycles, base_run.metrics.cycles, source
+        );
+    }
+}

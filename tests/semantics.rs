@@ -1,0 +1,205 @@
+//! Language-semantics conformance battery: each program runs under the
+//! plain interpreter, the baseline pipeline, and the object-inlining
+//! pipeline, and all three must print the same thing. This guards the
+//! optimizers against semantics drift anywhere in the language.
+
+use object_inlining::{baseline_default, compile, optimize_default, run_default};
+
+fn conform(source: &str, expected: &str) {
+    let program = compile(source).unwrap_or_else(|e| panic!("{}", e.render(source)));
+    let plain = run_default(&program).expect("plain run");
+    assert_eq!(plain.output, expected, "interpreter semantics");
+    let base = run_default(&baseline_default(&program)).expect("baseline run");
+    assert_eq!(base.output, expected, "baseline pipeline semantics");
+    let opt = run_default(&optimize_default(&program).program).expect("inlined run");
+    assert_eq!(opt.output, expected, "inlining pipeline semantics");
+}
+
+#[test]
+fn integer_arithmetic_and_division() {
+    conform(
+        "fn main() { print 7 / 2; print -7 / 2; print 7 % 3; print -7 % 3; }",
+        "3\n-3\n1\n-1\n",
+    );
+}
+
+#[test]
+fn float_arithmetic_and_promotion() {
+    conform(
+        "fn main() { print 1 + 0.5; print 3.0 / 2; print 2 * 2.5; print 7.0 % 2.0; }",
+        "1.5\n1.5\n5.0\n1.0\n",
+    );
+}
+
+#[test]
+fn comparison_semantics() {
+    conform(
+        "fn main() {
+           print 1 < 2; print 2 <= 2; print 3 > 4; print 4 >= 4;
+           print 1 == 1.0; print 1 != 2; print 0.5 < 1;
+         }",
+        "true\ntrue\nfalse\ntrue\ntrue\ntrue\ntrue\n",
+    );
+}
+
+#[test]
+fn short_circuit_evaluation_order() {
+    conform(
+        "global N;
+         fn tick(v) { N = N + 1; return v; }
+         fn main() {
+           N = 0;
+           if (tick(false) && tick(true)) { print 0; }
+           print N;
+           if (tick(true) || tick(true)) { print 1; }
+           print N;
+         }",
+        "1\n1\n2\n",
+    );
+}
+
+#[test]
+fn block_scoping_and_shadowing() {
+    conform(
+        "fn main() {
+           var x = 1;
+           if (true) { var x = 2; print x; }
+           print x;
+           while (x < 3) { var x2 = x * 10; print x2; x = x + 1; }
+           print x;
+         }",
+        "2\n1\n10\n20\n3\n",
+    );
+}
+
+#[test]
+fn nested_arrays_work() {
+    conform(
+        "fn main() {
+           var grid = array(2);
+           grid[0] = [1, 2];
+           grid[1] = [3, 4];
+           print grid[0][0] + grid[1][1];
+           grid[1][0] = 30;
+           print grid[1][0];
+           print len(grid) + len(grid[0]);
+         }",
+        "5\n30\n4\n",
+    );
+}
+
+#[test]
+fn string_values_and_printing() {
+    conform(
+        r#"fn main() { var s = "hello world"; print s; print "a\tb"; }"#,
+        "hello world\na\tb\n",
+    );
+}
+
+#[test]
+fn inheritance_super_method_resolution() {
+    conform(
+        "class A { method who() { return 1; } method describe() { return self.who() * 100; } }
+         class B : A { method who() { return 2; } }
+         class C : B { }
+         fn main() {
+           print (new A()).describe();
+           print (new B()).describe();
+           print (new C()).describe();
+         }",
+        "100\n200\n200\n",
+    );
+}
+
+#[test]
+fn recursion_and_mutual_recursion() {
+    conform(
+        "fn is_even(n) { if (n == 0) { return true; } return is_odd(n - 1); }
+         fn is_odd(n) { if (n == 0) { return false; } return is_even(n - 1); }
+         fn main() { print is_even(10); print is_odd(7); }",
+        "true\ntrue\n",
+    );
+}
+
+#[test]
+fn early_return_skips_rest() {
+    conform(
+        "fn f(n) { if (n > 0) { return 1; } print 999; return 2; }
+         fn main() { print f(5); print f(-5); }",
+        "1\n999\n2\n",
+    );
+}
+
+#[test]
+fn implicit_nil_return() {
+    conform("fn f() { } fn main() { print f(); }", "nil\n");
+}
+
+#[test]
+fn negative_zero_and_float_formatting() {
+    conform(
+        "fn main() { print 0.1 + 0.2; print 1.0 / 3.0; print 100000000.0 * 10.0; }",
+        "0.30000000000000004\n0.3333333333333333\n1000000000.0\n",
+    );
+}
+
+#[test]
+fn reference_equality_vs_structural() {
+    conform(
+        "class P { field x; method init(a) { self.x = a; } }
+         fn main() {
+           var a = new P(1);
+           var b = new P(1);
+           print a === b;
+           print a === a;
+           print a == b;   // == on references is identity too
+           print 1 == 1;
+           print nil === nil;
+         }",
+        "false\ntrue\nfalse\ntrue\ntrue\n",
+    );
+}
+
+#[test]
+fn globals_are_shared_everywhere() {
+    conform(
+        "global G;
+         class C { method set(v) { G = v; return nil; } }
+         fn read() { return G; }
+         fn main() {
+           G = 1;
+           var c = new C();
+           c.set(5);
+           print read();
+         }",
+        "5\n",
+    );
+}
+
+#[test]
+fn while_loop_with_complex_exit() {
+    conform(
+        "fn main() {
+           var i = 0;
+           var total = 0;
+           while (i < 10 && total < 12) {
+             total = total + i;
+             i = i + 1;
+           }
+           print i;
+           print total;
+         }",
+        "6\n15\n",
+    );
+}
+
+#[test]
+fn builtin_conversions() {
+    conform(
+        "fn main() {
+           print int(3.9); print int(-3.9); print float(2);
+           print sqrt(16.0); print sqrt(2) * sqrt(2) > 1.99;
+         }",
+        "3\n-3\n2.0\n4.0\ntrue\n",
+    );
+}
