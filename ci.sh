@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# The full offline CI gate: formatting, lints, release build, tests.
+# No network access is required — the workspace has no external deps.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo test (property tests)"
+cargo test -q --features property-tests --test proptest_pipeline
+
+echo "CI green."

@@ -83,7 +83,14 @@ impl OContour {
 
     /// Creates an empty array contour.
     pub fn array(site: SiteId, creator: Option<MCtxId>) -> Self {
-        Self { site, class: None, creator, fields: HashMap::new(), elem: AbstractVal::bottom(), len_known: false }
+        Self {
+            site,
+            class: None,
+            creator,
+            fields: HashMap::new(),
+            elem: AbstractVal::bottom(),
+            len_known: false,
+        }
     }
 
     /// Returns `true` for array contours.

@@ -4,6 +4,7 @@ use crate::contour::{CtxKey, MContour, MCtxId, OContour, OCtxId};
 use crate::result::AnalysisResult;
 use crate::types::{AbstractVal, PathSeg, Tag, TagTable, TypeElem};
 use oi_ir::{BinOp, Builtin, ConstValue, Instr, LayoutId, MethodId, Program, SiteId, Terminator};
+use oi_support::trace::{self, kv};
 use oi_support::{IdxVec, Symbol};
 use std::collections::{BTreeSet, HashMap};
 
@@ -44,7 +45,10 @@ impl AnalysisConfig {
     /// The baseline configuration: Concert-style type inference without the
     /// object-inlining tag sensitivity.
     pub fn without_tags() -> Self {
-        Self { track_tags: false, ..Self::default() }
+        Self {
+            track_tags: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -104,10 +108,7 @@ impl<'p> Engine<'p> {
 
     fn run(&mut self) {
         // Seed the entry contour; `self` of a free function is nil.
-        let entry = self.mcontour_for(
-            self.program.entry,
-            vec![AbstractVal::fresh(TypeElem::Nil)],
-        );
+        let entry = self.mcontour_for(self.program.entry, vec![AbstractVal::fresh(TypeElem::Nil)]);
         debug_assert_eq!(entry.index(), 0);
 
         for round in 0.. {
@@ -124,9 +125,103 @@ impl<'p> Engine<'p> {
                 self.transfer(MCtxId::new(i));
                 i += 1;
             }
+            trace::counter("analysis.rounds", 1);
+            if trace::is_enabled() {
+                trace::event(
+                    "analysis.round",
+                    vec![
+                        kv("round", round),
+                        kv("mcontours", self.mcontours.len()),
+                        kv("ocontours", self.ocontours.len()),
+                        kv("changed", self.changed),
+                    ],
+                );
+            }
             if !self.changed {
                 break;
             }
+        }
+    }
+
+    /// `Class.selector` display name for trace events.
+    fn method_label(&self, method: MethodId) -> String {
+        let m = &self.program.methods[method];
+        let class = self
+            .program
+            .interner
+            .resolve(self.program.classes[m.class].name);
+        format!("{}.{}", class, self.program.interner.resolve(m.name))
+    }
+
+    /// Emits the contour-creation/split event for the `nth` method contour.
+    fn trace_method_contour(&self, method: MethodId, nth: usize) {
+        if !trace::is_enabled() {
+            return;
+        }
+        let label = self.method_label(method);
+        if nth > 1 {
+            // A second contour for the same method means distinct call
+            // abstractions reached it: a call-confluence split.
+            trace::event(
+                "contour.split",
+                vec![
+                    kv("kind", "method"),
+                    kv("cause", "call-confluence"),
+                    kv("method", label),
+                    kv("contours", nth),
+                ],
+            );
+        } else {
+            trace::event(
+                "contour.new",
+                vec![kv("kind", "method"), kv("method", label)],
+            );
+        }
+    }
+
+    /// Emits the contour-creation/split event for the `nth` object contour
+    /// of an allocation site (`nth == 0` marks the widened catch-all).
+    fn trace_object_contour(&self, site: SiteId, class: Option<oi_ir::ClassId>, nth: usize) {
+        if !trace::is_enabled() {
+            return;
+        }
+        let class_name = match class {
+            Some(c) => self
+                .program
+                .interner
+                .resolve(self.program.classes[c].name)
+                .to_string(),
+            None => "<array>".to_string(),
+        };
+        if nth == 0 {
+            trace::event(
+                "contour.widen",
+                vec![
+                    kv("kind", "object"),
+                    kv("site", site.index()),
+                    kv("class", class_name),
+                ],
+            );
+        } else if nth > 1 {
+            trace::event(
+                "contour.split",
+                vec![
+                    kv("kind", "object"),
+                    kv("cause", "creator-sensitivity"),
+                    kv("site", site.index()),
+                    kv("class", class_name),
+                    kv("contours", nth),
+                ],
+            );
+        } else {
+            trace::event(
+                "contour.new",
+                vec![
+                    kv("kind", "object"),
+                    kv("site", site.index()),
+                    kv("class", class_name),
+                ],
+            );
         }
     }
 
@@ -162,11 +257,18 @@ impl<'p> Engine<'p> {
     /// (no new contours are created; at fixpoint they all exist).
     fn callee_contours(&mut self, mctx: MCtxId, instr: &Instr) -> Vec<MCtxId> {
         match instr {
-            Instr::Send { recv, selector, args, .. } => {
+            Instr::Send {
+                recv,
+                selector,
+                args,
+                ..
+            } => {
                 let recv_val = self.mcontours[mctx].frame[recv.index()].clone();
                 let mut out = BTreeSet::new();
                 for oc in recv_val.object_contours().collect::<Vec<_>>() {
-                    let Some(class) = self.ocontours[oc].class else { continue };
+                    let Some(class) = self.ocontours[oc].class else {
+                        continue;
+                    };
                     let Some(target) = self.program.lookup_method(class, *selector) else {
                         continue;
                     };
@@ -177,14 +279,19 @@ impl<'p> Engine<'p> {
                 }
                 out.into_iter().collect()
             }
-            Instr::CallStatic { method, recv, args, .. } => {
+            Instr::CallStatic {
+                method, recv, args, ..
+            } => {
                 let recv_val = self.mcontours[mctx].frame[recv.index()].clone();
                 let argv = self.call_key(mctx, None, &recv_val, args);
                 self.lookup_mcontour(*method, &argv).into_iter().collect()
             }
-            Instr::New { class, args, site, .. } => {
-                let Some(init) =
-                    self.init_sym.and_then(|s| self.program.lookup_method(*class, s))
+            Instr::New {
+                class, args, site, ..
+            } => {
+                let Some(init) = self
+                    .init_sym
+                    .and_then(|s| self.program.lookup_method(*class, s))
                 else {
                     return vec![];
                 };
@@ -253,17 +360,35 @@ impl<'p> Engine<'p> {
             let temp_count = self.program.methods[method].temp_count as usize;
             if *count < self.config.max_contours_per_method {
                 *count += 1;
+                let nth = *count;
                 let id = self
                     .mcontours
                     .push(MContour::new(method, key.clone(), temp_count, false));
                 self.mctx_memo.insert((method, key), id);
                 self.changed = true;
+                trace::counter("analysis.mcontours", 1);
+                if nth > 1 {
+                    trace::counter("analysis.mcontour_splits", 1);
+                }
+                self.trace_method_contour(method, nth);
                 id
             } else {
                 // Widen: one catch-all contour absorbs everything else.
-                let id = self.mcontours.push(MContour::new(method, vec![], temp_count, true));
+                let id = self
+                    .mcontours
+                    .push(MContour::new(method, vec![], temp_count, true));
                 self.widened_mctx.insert(method, id);
                 self.changed = true;
+                trace::counter("analysis.mcontour_widenings", 1);
+                if trace::is_enabled() {
+                    trace::event(
+                        "contour.widen",
+                        vec![
+                            kv("kind", "method"),
+                            kv("method", self.method_label(method)),
+                        ],
+                    );
+                }
                 id
             }
         };
@@ -294,6 +419,7 @@ impl<'p> Engine<'p> {
         let count = self.octx_count.entry(site).or_insert(0);
         if *count < self.config.max_ocontours_per_site {
             *count += 1;
+            let nth = *count;
             let contour = match class {
                 Some(c) => OContour::instance(site, c, Some(creator)),
                 None => OContour::array(site, Some(creator)),
@@ -301,6 +427,11 @@ impl<'p> Engine<'p> {
             let id = self.ocontours.push(contour);
             self.octx_memo.insert((site, Some(creator)), id);
             self.changed = true;
+            trace::counter("analysis.ocontours", 1);
+            if nth > 1 {
+                trace::counter("analysis.ocontour_splits", 1);
+            }
+            self.trace_object_contour(site, class, nth);
             id
         } else {
             let contour = match class {
@@ -310,6 +441,8 @@ impl<'p> Engine<'p> {
             let id = self.ocontours.push(contour);
             self.widened_octx.insert(site, id);
             self.changed = true;
+            trace::counter("analysis.ocontour_widenings", 1);
+            self.trace_object_contour(site, class, 0);
             id
         }
     }
@@ -322,9 +455,11 @@ impl<'p> Engine<'p> {
         }
         let child = self.program.layouts[layout].child_class;
         // Synthetic site: interior children were never allocated.
-        let id = self
-            .ocontours
-            .push(OContour::instance(SiteId::new(u32::MAX as usize), child, None));
+        let id = self.ocontours.push(OContour::instance(
+            SiteId::new(u32::MAX as usize),
+            child,
+            None,
+        ));
         self.interior_octx.insert(layout, id);
         self.changed = true;
         id
@@ -416,10 +551,17 @@ impl<'p> Engine<'p> {
                     }
                 }
             }
-            Instr::New { dst, class, args, site } => {
+            Instr::New {
+                dst,
+                class,
+                args,
+                site,
+            } => {
                 let oc = self.ocontour_for(*site, Some(*class), mctx);
                 self.join_temp_fresh(mctx, *dst, TypeElem::Obj(oc));
-                if let Some(init) = self.init_sym.and_then(|s| self.program.lookup_method(*class, s))
+                if let Some(init) = self
+                    .init_sym
+                    .and_then(|s| self.program.lookup_method(*class, s))
                 {
                     // The raw-allocation form (empty args, constructor
                     // invoked explicitly) has no implicit init call.
@@ -450,8 +592,10 @@ impl<'p> Engine<'p> {
                         }
                     }
                     if self.config.track_tags {
-                        let tag =
-                            self.tags.intern(Tag { origin: oc, path: vec![PathSeg::Field(*field)] });
+                        let tag = self.tags.intern(Tag {
+                            origin: oc,
+                            path: vec![PathSeg::Field(*field)],
+                        });
                         result.tags.insert(tag);
                     }
                 }
@@ -473,6 +617,14 @@ impl<'p> Engine<'p> {
                     if result.tags.len() > self.config.max_tags_per_value {
                         result.tags.clear();
                         result.tag_top = true;
+                        trace::counter("analysis.tag_overflows", 1);
+                        if trace::is_enabled() {
+                            let name = self.program.interner.resolve(*field);
+                            trace::event(
+                                "tag.overflow",
+                                vec![kv("cause", "field-confluence"), kv("field", name)],
+                            );
+                        }
                     }
                 }
                 self.join_temp(mctx, *dst, &result);
@@ -493,7 +645,10 @@ impl<'p> Engine<'p> {
                         result.types.insert(t);
                     }
                     if self.config.track_tags {
-                        let tag = self.tags.intern(Tag { origin: oc, path: vec![PathSeg::Elem] });
+                        let tag = self.tags.intern(Tag {
+                            origin: oc,
+                            path: vec![PathSeg::Elem],
+                        });
                         result.tags.insert(tag);
                     }
                 }
@@ -513,6 +668,13 @@ impl<'p> Engine<'p> {
                     if result.tags.len() > self.config.max_tags_per_value {
                         result.tags.clear();
                         result.tag_top = true;
+                        trace::counter("analysis.tag_overflows", 1);
+                        if trace::is_enabled() {
+                            trace::event(
+                                "tag.overflow",
+                                vec![kv("cause", "field-confluence"), kv("at", "array-element")],
+                            );
+                        }
                     }
                 }
                 self.join_temp(mctx, *dst, &result);
@@ -541,10 +703,17 @@ impl<'p> Engine<'p> {
                 let changed = self.globals[global.index()].join(&srcv);
                 self.changed |= changed;
             }
-            Instr::Send { dst, recv, selector, args } => {
+            Instr::Send {
+                dst,
+                recv,
+                selector,
+                args,
+            } => {
                 let recv_val = self.frame_val(mctx, *recv);
                 for oc in recv_val.object_contours().collect::<Vec<_>>() {
-                    let Some(class) = self.ocontours[oc].class else { continue };
+                    let Some(class) = self.ocontours[oc].class else {
+                        continue;
+                    };
                     let Some(target) = self.program.lookup_method(class, *selector) else {
                         continue;
                     };
@@ -557,7 +726,12 @@ impl<'p> Engine<'p> {
                     self.join_temp(mctx, *dst, &ret);
                 }
             }
-            Instr::CallStatic { dst, method, recv, args } => {
+            Instr::CallStatic {
+                dst,
+                method,
+                recv,
+                args,
+            } => {
                 let recv_val = self.frame_val(mctx, *recv);
                 let argv = self.call_key(mctx, None, &recv_val, args);
                 let callee = self.mcontour_for(*method, argv);
@@ -619,8 +793,7 @@ mod tests {
         );
         let _ = p;
         // Two allocation sites → two object contours.
-        let instance_contours =
-            r.ocontours.iter().filter(|o| !o.is_array()).count();
+        let instance_contours = r.ocontours.iter().filter(|o| !o.is_array()).count();
         assert_eq!(instance_contours, 2);
         // Each has a precise field type.
         for o in r.ocontours.iter() {
@@ -642,9 +815,9 @@ mod tests {
         // Some temp in main carries a direct `ll` tag.
         let ll = p.interner.get("ll").unwrap();
         let has_ll_tag = r.mcontours[c].frame.iter().any(|v| {
-            v.tags.iter().any(|&t| {
-                matches!(r.tags.resolve(t).path.as_slice(), [PathSeg::Field(f)] if *f == ll)
-            })
+            v.tags.iter().any(
+                |&t| matches!(r.tags.resolve(t).path.as_slice(), [PathSeg::Field(f)] if *f == ll),
+            )
         });
         assert!(has_ll_tag, "a value loaded from `ll` must carry its tag");
     }
@@ -680,13 +853,24 @@ mod tests {
              }",
         );
         let rect = p.class_by_name("Rect").unwrap();
-        let rect_contours: Vec<_> =
-            r.ocontours.iter().filter(|o| o.class == Some(rect)).collect();
-        assert_eq!(rect_contours.len(), 2, "mk's two contours give two Rect contours");
+        let rect_contours: Vec<_> = r
+            .ocontours
+            .iter()
+            .filter(|o| o.class == Some(rect))
+            .collect();
+        assert_eq!(
+            rect_contours.len(),
+            2,
+            "mk's two contours give two Rect contours"
+        );
         let ll = p.interner.get("ll").unwrap();
         for o in rect_contours {
             let v = o.field(ll).unwrap();
-            assert_eq!(v.types.len(), 1, "each Rect contour has a precise ll type: {v:?}");
+            assert_eq!(
+                v.types.len(),
+                1,
+                "each Rect contour has a precise ll type: {v:?}"
+            );
         }
     }
 
@@ -732,7 +916,10 @@ mod tests {
         }
         src.push('}');
         let p = compile(&src).unwrap();
-        let cfg = AnalysisConfig { max_contours_per_method: 4, ..Default::default() };
+        let cfg = AnalysisConfig {
+            max_contours_per_method: 4,
+            ..Default::default()
+        };
         let r = analyze(&p, &cfg);
         let id = p.method_by_name("$Main", "id").unwrap();
         // All int calls share one contour anyway, but the cap must hold in

@@ -116,7 +116,10 @@ pub fn clone_groups_by_method(
 pub fn contour_comparison(program: &Program) -> (ContourStats, ContourStats) {
     let without = crate::engine::analyze(program, &crate::engine::AnalysisConfig::without_tags());
     let with = crate::engine::analyze(program, &crate::engine::AnalysisConfig::default());
-    (ContourStats::from_result(&without), ContourStats::from_result(&with))
+    (
+        ContourStats::from_result(&without),
+        ContourStats::from_result(&with),
+    )
 }
 
 #[cfg(test)]

@@ -91,7 +91,13 @@ impl AnalysisResult {
                 Instr::New { args, .. } => (None, args.clone()),
                 _ => continue,
             };
-            out.push(CallerSite { method: caller, bb: *bb, idx: *idx, recv, args });
+            out.push(CallerSite {
+                method: caller,
+                bb: *bb,
+                idx: *idx,
+                recv,
+                args,
+            });
         }
         out.sort_by_key(|s| (s.method.index(), s.bb.index(), s.idx));
         out

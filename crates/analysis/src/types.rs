@@ -40,7 +40,10 @@ impl Tag {
     pub fn extend(&self, seg: PathSeg) -> Tag {
         let mut path = self.path.clone();
         path.push(seg);
-        Tag { origin: self.origin, path }
+        Tag {
+            origin: self.origin,
+            path,
+        }
     }
 
     /// Returns `true` for direct (length-1) tags of `origin.field`.
@@ -144,7 +147,12 @@ impl AbstractVal {
 
     /// A freshly produced (non-field) value of the given type.
     pub fn fresh(ty: TypeElem) -> Self {
-        Self { types: std::iter::once(ty).collect(), tags: BTreeSet::new(), untagged: true, tag_top: false }
+        Self {
+            types: std::iter::once(ty).collect(),
+            tags: BTreeSet::new(),
+            untagged: true,
+            tag_top: false,
+        }
     }
 
     /// Returns `true` if nothing flows here yet.
@@ -243,7 +251,10 @@ mod tests {
 
     #[test]
     fn tag_extension_and_head() {
-        let t = Tag { origin: OCtxId::new(0), path: vec![PathSeg::Field(sym("ll"))] };
+        let t = Tag {
+            origin: OCtxId::new(0),
+            path: vec![PathSeg::Field(sym("ll"))],
+        };
         let t2 = t.extend(PathSeg::Field(sym("x")));
         assert_eq!(t2.path.len(), 2);
         assert_eq!(t2.head(), PathSeg::Field(sym("x")));
@@ -254,9 +265,18 @@ mod tests {
     #[test]
     fn tag_table_interns() {
         let mut tt = TagTable::new();
-        let a = tt.intern(Tag { origin: OCtxId::new(0), path: vec![PathSeg::Elem] });
-        let b = tt.intern(Tag { origin: OCtxId::new(0), path: vec![PathSeg::Elem] });
-        let c = tt.intern(Tag { origin: OCtxId::new(1), path: vec![PathSeg::Elem] });
+        let a = tt.intern(Tag {
+            origin: OCtxId::new(0),
+            path: vec![PathSeg::Elem],
+        });
+        let b = tt.intern(Tag {
+            origin: OCtxId::new(0),
+            path: vec![PathSeg::Elem],
+        });
+        let c = tt.intern(Tag {
+            origin: OCtxId::new(1),
+            path: vec![PathSeg::Elem],
+        });
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(tt.len(), 2);
@@ -296,7 +316,10 @@ mod tests {
         v.types.insert(TypeElem::Obj(OCtxId::new(1)));
         v.types.insert(TypeElem::Arr(OCtxId::new(2)));
         v.types.insert(TypeElem::Int);
-        assert_eq!(v.object_contours().collect::<Vec<_>>(), vec![OCtxId::new(1)]);
+        assert_eq!(
+            v.object_contours().collect::<Vec<_>>(),
+            vec![OCtxId::new(1)]
+        );
         assert_eq!(v.array_contours().collect::<Vec<_>>(), vec![OCtxId::new(2)]);
         assert!(v.has_reference_type());
     }

@@ -1,35 +1,36 @@
 //! Property tests: the abstract-value domain is a join-semilattice and the
 //! tag machinery respects its laws (the analysis's termination and
 //! soundness rest on these).
+//!
+//! Random values come from the in-repo seeded PRNG, so every failure
+//! reproduces from the seed printed in its message.
 
 use oi_analysis::{AbstractVal, OCtxId, PathSeg, Tag, TagId, TypeElem};
-use proptest::prelude::*;
+use oi_support::rng::XorShift64;
 
-fn type_elem() -> impl Strategy<Value = TypeElem> {
-    prop_oneof![
-        Just(TypeElem::Int),
-        Just(TypeElem::Float),
-        Just(TypeElem::Bool),
-        Just(TypeElem::Str),
-        Just(TypeElem::Nil),
-        (0usize..8).prop_map(|i| TypeElem::Obj(OCtxId::new(i))),
-        (0usize..8).prop_map(|i| TypeElem::Arr(OCtxId::new(i))),
-    ]
+fn type_elem(rng: &mut XorShift64) -> TypeElem {
+    match rng.below(7) {
+        0 => TypeElem::Int,
+        1 => TypeElem::Float,
+        2 => TypeElem::Bool,
+        3 => TypeElem::Str,
+        4 => TypeElem::Nil,
+        5 => TypeElem::Obj(OCtxId::new(rng.below(8))),
+        _ => TypeElem::Arr(OCtxId::new(rng.below(8))),
+    }
 }
 
-fn abstract_val() -> impl Strategy<Value = AbstractVal> {
-    (
-        proptest::collection::btree_set(type_elem(), 0..6),
-        proptest::collection::btree_set((0usize..16).prop_map(TagId::new), 0..5),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(types, tags, untagged, tag_top)| AbstractVal {
-            types,
-            tags,
-            untagged,
-            tag_top,
-        })
+fn abstract_val(rng: &mut XorShift64) -> AbstractVal {
+    let types = (0..rng.below(6)).map(|_| type_elem(rng)).collect();
+    let tags = (0..rng.below(5))
+        .map(|_| TagId::new(rng.below(16)))
+        .collect();
+    AbstractVal {
+        types,
+        tags,
+        untagged: rng.chance(1, 2),
+        tag_top: rng.chance(1, 2),
+    }
 }
 
 fn join(a: &AbstractVal, b: &AbstractVal) -> AbstractVal {
@@ -38,69 +39,101 @@ fn join(a: &AbstractVal, b: &AbstractVal) -> AbstractVal {
     r
 }
 
-proptest! {
-    #[test]
-    fn join_is_commutative(a in abstract_val(), b in abstract_val()) {
-        prop_assert_eq!(join(&a, &b), join(&b, &a));
-    }
+const CASES: u64 = 128;
 
-    #[test]
-    fn join_is_associative(a in abstract_val(), b in abstract_val(), c in abstract_val()) {
-        prop_assert_eq!(join(&join(&a, &b), &c), join(&a, &join(&b, &c)));
+#[test]
+fn join_is_commutative() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::new(seed);
+        let (a, b) = (abstract_val(&mut rng), abstract_val(&mut rng));
+        assert_eq!(join(&a, &b), join(&b, &a), "seed {seed}");
     }
+}
 
-    #[test]
-    fn join_is_idempotent_and_reports_change_correctly(a in abstract_val(), b in abstract_val()) {
+#[test]
+fn join_is_associative() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::new(seed);
+        let (a, b, c) = (
+            abstract_val(&mut rng),
+            abstract_val(&mut rng),
+            abstract_val(&mut rng),
+        );
+        assert_eq!(
+            join(&join(&a, &b), &c),
+            join(&a, &join(&b, &c)),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn join_is_idempotent_and_reports_change_correctly() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::new(seed);
+        let (a, b) = (abstract_val(&mut rng), abstract_val(&mut rng));
         let mut x = a.clone();
         let changed = x.join(&b);
         // Fixpoint: joining again changes nothing.
         let mut y = x.clone();
-        prop_assert!(!y.join(&b));
-        prop_assert_eq!(&x, &y);
+        assert!(!y.join(&b), "seed {seed}");
+        assert_eq!(&x, &y, "seed {seed}");
         // `changed` is accurate.
-        prop_assert_eq!(changed, x != a);
+        assert_eq!(changed, x != a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn join_is_an_upper_bound(a in abstract_val(), b in abstract_val()) {
+#[test]
+fn join_is_an_upper_bound() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::new(seed);
+        let (a, b) = (abstract_val(&mut rng), abstract_val(&mut rng));
         let j = join(&a, &b);
         for t in a.types.iter().chain(b.types.iter()) {
-            prop_assert!(j.types.contains(t));
+            assert!(j.types.contains(t), "seed {seed}");
         }
         for t in a.tags.iter().chain(b.tags.iter()) {
-            prop_assert!(j.tags.contains(t));
+            assert!(j.tags.contains(t), "seed {seed}");
         }
-        prop_assert_eq!(j.untagged, a.untagged || b.untagged);
-        prop_assert_eq!(j.tag_top, a.tag_top || b.tag_top);
+        assert_eq!(j.untagged, a.untagged || b.untagged, "seed {seed}");
+        assert_eq!(j.tag_top, a.tag_top || b.tag_top, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bottom_is_identity(a in abstract_val()) {
-        prop_assert_eq!(join(&AbstractVal::bottom(), &a), a.clone());
-        prop_assert_eq!(join(&a, &AbstractVal::bottom()), a);
+#[test]
+fn bottom_is_identity() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::new(seed);
+        let a = abstract_val(&mut rng);
+        assert_eq!(join(&AbstractVal::bottom(), &a), a.clone(), "seed {seed}");
+        assert_eq!(join(&a, &AbstractVal::bottom()), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn keys_agree_with_equality(a in abstract_val(), b in abstract_val()) {
-        prop_assert_eq!(a == b, a.key() == b.key());
+#[test]
+fn keys_agree_with_equality() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::new(seed);
+        let (a, b) = (abstract_val(&mut rng), abstract_val(&mut rng));
+        assert_eq!(a == b, a.key() == b.key(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn tag_extension_grows_path_and_keeps_origin(
-        origin in (0usize..8).prop_map(OCtxId::new),
-        segs in proptest::collection::vec(
-            prop_oneof![
-                Just(PathSeg::Elem),
-            ],
-            1..4
-        ),
-    ) {
-        let mut tag = Tag { origin, path: vec![PathSeg::Elem] };
-        for &s in &segs {
+#[test]
+fn tag_extension_grows_path_and_keeps_origin() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::new(seed);
+        let origin = OCtxId::new(rng.below(8));
+        let mut tag = Tag {
+            origin,
+            path: vec![PathSeg::Elem],
+        };
+        for _ in 0..1 + rng.below(3) {
+            let s = PathSeg::Elem;
             let next = tag.extend(s);
-            prop_assert_eq!(next.origin, tag.origin);
-            prop_assert_eq!(next.path.len(), tag.path.len() + 1);
-            prop_assert_eq!(next.head(), s);
+            assert_eq!(next.origin, tag.origin, "seed {seed}");
+            assert_eq!(next.path.len(), tag.path.len() + 1, "seed {seed}");
+            assert_eq!(next.head(), s, "seed {seed}");
             tag = next;
         }
     }

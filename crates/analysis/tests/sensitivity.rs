@@ -10,7 +10,9 @@ fn contour_cap_widens_instead_of_diverging() {
     // A method called with many distinct object types.
     let mut src = String::new();
     for i in 0..12 {
-        src.push_str(&format!("class C{i} {{ field f; method init(v) {{ self.f = v; }} }}\n"));
+        src.push_str(&format!(
+            "class C{i} {{ field f; method init(v) {{ self.f = v; }} }}\n"
+        ));
     }
     src.push_str("fn id(x) { return x; }\nfn main() {\n");
     for i in 0..12 {
@@ -18,18 +20,28 @@ fn contour_cap_widens_instead_of_diverging() {
     }
     src.push_str("}\n");
     let p = compile(&src).unwrap();
-    let config = AnalysisConfig { max_contours_per_method: 4, ..Default::default() };
+    let config = AnalysisConfig {
+        max_contours_per_method: 4,
+        ..Default::default()
+    };
     let r = analyze(&p, &config);
     let id = p.method_by_name("$Main", "id").unwrap();
     let contours = &r.contours_of_method[&id];
-    assert!(contours.len() <= 5, "cap+widened contour: got {}", contours.len());
+    assert!(
+        contours.len() <= 5,
+        "cap+widened contour: got {}",
+        contours.len()
+    );
     // The widened contour absorbs everything; the analysis still sees all
     // classes flowing through `id`.
     let mut total_types = 0;
     for &c in contours {
         total_types += r.mcontours[c].frame[1].types.len();
     }
-    assert!(total_types >= 12, "all argument types must be covered: {total_types}");
+    assert!(
+        total_types >= 12,
+        "all argument types must be covered: {total_types}"
+    );
 }
 
 #[test]
@@ -49,16 +61,26 @@ fn object_contour_cap_widens_per_site() {
     }
     src.push_str("}\n");
     let p = compile(&src).unwrap();
-    let config = AnalysisConfig { max_ocontours_per_site: 1, ..Default::default() };
+    let config = AnalysisConfig {
+        max_ocontours_per_site: 1,
+        ..Default::default()
+    };
     let r = analyze(&p, &config);
     // With the cap at 1, the site gets one precise contour plus one
     // widened catch-all; together they cover both stored types and the
     // total stays bounded.
     let box_class = p.class_by_name("Box").unwrap();
     let v = p.interner.get("v").unwrap();
-    let contours: Vec<_> =
-        r.ocontours.iter().filter(|o| o.class == Some(box_class)).collect();
-    assert!(contours.len() <= 2, "cap 1 + widened = at most 2, got {}", contours.len());
+    let contours: Vec<_> = r
+        .ocontours
+        .iter()
+        .filter(|o| o.class == Some(box_class))
+        .collect();
+    assert!(
+        contours.len() <= 2,
+        "cap 1 + widened = at most 2, got {}",
+        contours.len()
+    );
     let mut covered = std::collections::BTreeSet::new();
     for o in &contours {
         if let Some(s) = o.field(v) {
@@ -85,7 +107,10 @@ fn tag_path_cap_sets_tag_top() {
          }",
     )
     .unwrap();
-    let config = AnalysisConfig { max_tag_path: 2, ..Default::default() };
+    let config = AnalysisConfig {
+        max_tag_path: 2,
+        ..Default::default()
+    };
     let r = analyze(&p, &config);
     let main_ctx = r.contours_of_method[&p.entry][0];
     let overflowed = r.mcontours[main_ctx].frame.iter().any(|v| v.tag_top);
@@ -138,7 +163,10 @@ fn tags_disambiguate_two_fields_of_one_class() {
         }
         found_ll && found_ur
     });
-    assert!(!confused, "ll and ur tags must not merge in straight-line code");
+    assert!(
+        !confused,
+        "ll and ur tags must not merge in straight-line code"
+    );
 }
 
 #[test]

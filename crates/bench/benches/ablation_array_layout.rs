@@ -1,15 +1,14 @@
 //! Ablation: interleaved vs. parallel inline array layout (§6.3's OOPACK
 //! discussion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use oi_bench::harness::Group;
 use oi_benchmarks::{all_benchmarks, BenchSize};
 use oi_core::pipeline::{optimize, InlineConfig};
 use oi_ir::ArrayLayoutKind;
 use oi_vm::VmConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_array_layout");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("ablation_array_layout").sample_size(10);
     for b in all_benchmarks(BenchSize::Small) {
         if b.name != "oopack" {
             continue;
@@ -21,16 +20,15 @@ fn bench(c: &mut Criterion) {
         ] {
             let opt = optimize(
                 &program,
-                &InlineConfig { array_layout: kind, ..Default::default() },
+                &InlineConfig {
+                    array_layout: kind,
+                    ..Default::default()
+                },
             )
             .program;
-            group.bench_function(format!("{}/{}", b.name, label), |bencher| {
-                bencher.iter(|| oi_vm::run(&opt, &VmConfig::default()).unwrap());
+            group.bench(&format!("{}/{}", b.name, label), || {
+                oi_vm::run(&opt, &VmConfig::default()).unwrap();
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,24 @@
 //! Scalability of the analysis and the full pipeline with program size
 //! (complements Figure 16's sensitivity metric with wall-clock cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oi_analysis::{analyze, AnalysisConfig};
+use oi_bench::harness::Group;
 use oi_bench::synth::{generate, SynthParams};
 use oi_core::pipeline::{optimize, InlineConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_scaling");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("analysis_scaling").sample_size(10);
     for pairs in [2usize, 8, 24] {
-        let src = generate(SynthParams { class_pairs: pairs, ..Default::default() });
-        let program = oi_ir::lower::compile(&src).unwrap();
-        group.bench_with_input(BenchmarkId::new("analyze", pairs), &program, |b, p| {
-            b.iter(|| analyze(p, &AnalysisConfig::default()));
+        let src = generate(SynthParams {
+            class_pairs: pairs,
+            ..Default::default()
         });
-        group.bench_with_input(BenchmarkId::new("optimize", pairs), &program, |b, p| {
-            b.iter(|| optimize(p, &InlineConfig::default()));
+        let program = oi_ir::lower::compile(&src).unwrap();
+        group.bench(&format!("analyze/{pairs}"), || {
+            analyze(&program, &AnalysisConfig::default());
+        });
+        group.bench(&format!("optimize/{pairs}"), || {
+            optimize(&program, &InlineConfig::default());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

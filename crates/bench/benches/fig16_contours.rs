@@ -2,24 +2,19 @@
 //! (Figure 16's cost metric is contour counts; this measures the wall-clock
 //! cost of the extra sensitivity).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use oi_analysis::{analyze, AnalysisConfig};
+use oi_bench::harness::Group;
 use oi_benchmarks::{all_benchmarks, BenchSize};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig16_contours");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig16_contours").sample_size(10);
     for b in all_benchmarks(BenchSize::Small) {
         let program = oi_ir::lower::compile(&b.source).unwrap();
-        group.bench_function(format!("{}/without_tags", b.name), |bencher| {
-            bencher.iter(|| analyze(&program, &AnalysisConfig::without_tags()));
+        group.bench(&format!("{}/without_tags", b.name), || {
+            analyze(&program, &AnalysisConfig::without_tags());
         });
-        group.bench_function(format!("{}/with_tags", b.name), |bencher| {
-            bencher.iter(|| analyze(&program, &AnalysisConfig::default()));
+        group.bench(&format!("{}/with_tags", b.name), || {
+            analyze(&program, &AnalysisConfig::default());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

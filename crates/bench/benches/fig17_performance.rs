@@ -1,27 +1,22 @@
 //! Times the simulated execution of each benchmark in baseline and inlined
 //! form (Figure 17's underlying measurement).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use oi_bench::harness::Group;
 use oi_benchmarks::{all_benchmarks, BenchSize};
 use oi_core::pipeline::{baseline, optimize, InlineConfig};
 use oi_vm::VmConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig17_performance");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig17_performance").sample_size(10);
     for b in all_benchmarks(BenchSize::Small) {
         let program = oi_ir::lower::compile(&b.source).unwrap();
         let base = baseline(&program, &Default::default());
         let opt = optimize(&program, &InlineConfig::default()).program;
-        group.bench_function(format!("{}/baseline", b.name), |bencher| {
-            bencher.iter(|| oi_vm::run(&base, &VmConfig::default()).unwrap());
+        group.bench(&format!("{}/baseline", b.name), || {
+            oi_vm::run(&base, &VmConfig::default()).unwrap();
         });
-        group.bench_function(format!("{}/inlined", b.name), |bencher| {
-            bencher.iter(|| oi_vm::run(&opt, &VmConfig::default()).unwrap());
+        group.bench(&format!("{}/inlined", b.name), || {
+            oi_vm::run(&opt, &VmConfig::default()).unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

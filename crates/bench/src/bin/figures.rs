@@ -1,16 +1,23 @@
 //! Prints the paper's tables and figures.
 //!
 //! ```text
-//! figures [fig14|fig15|fig16|fig17|detail|ablations|all] [--size small|default|large]
+//! figures [fig14|fig15|fig16|fig17|detail|ablations|all]
+//!         [--size small|default|large] [--json] [--out FILE]
 //! ```
+//!
+//! `--json` emits the Figure 14–17 tables as one schema-stable JSON
+//! document (`oi.figures.v1`) instead of text; `--out` writes it to a
+//! file instead of stdout.
 
-use oi_bench::{ablations, fig14, fig15, fig16, fig17, fig17_detail, parse_size};
+use oi_bench::{ablations, fig14, fig15, fig16, fig17, fig17_detail, figures_json, parse_size};
 use oi_benchmarks::BenchSize;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_owned();
     let mut size = BenchSize::Default;
+    let mut json = false;
+    let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -24,8 +31,43 @@ fn main() {
                     }
                 }
             }
+            "--json" => json = true,
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("`--out` needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
             other => which = other.to_owned(),
         }
+    }
+
+    if out.is_some() && !json {
+        eprintln!("`--out` only applies to `--json` output");
+        std::process::exit(2);
+    }
+    if json {
+        if which != "all" {
+            eprintln!("`--json` emits all tables in one document; drop `{which}`");
+            std::process::exit(2);
+        }
+        let doc = figures_json(size).to_string();
+        match out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, doc + "\n") {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+            None => println!("{doc}"),
+        }
+        return;
     }
 
     match which.as_str() {
@@ -44,9 +86,7 @@ fn main() {
             println!("{}", ablations(size));
         }
         other => {
-            eprintln!(
-                "unknown figure `{other}` (fig14|fig15|fig16|fig17|detail|ablations|all)"
-            );
+            eprintln!("unknown figure `{other}` (fig14|fig15|fig16|fig17|detail|ablations|all)");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,95 @@
+//! A minimal wall-clock benchmarking harness with no external
+//! dependencies.
+//!
+//! The `benches/` targets use this instead of Criterion so the workspace
+//! builds and benches offline. Each measurement does one warm-up run,
+//! then `sample_size` timed runs, and prints min/median/max per label in
+//! a stable, greppable format:
+//!
+//! ```text
+//! group/label  min 1.204ms  median 1.311ms  max 1.502ms  (10 samples)
+//! ```
+
+use std::time::Instant;
+
+/// A named group of benchmark measurements, printed as they complete.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+}
+
+impl Group {
+    /// Starts a group. `name` prefixes every printed label.
+    pub fn new(name: &str) -> Group {
+        println!("# {name}");
+        Group {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Sets how many timed samples each measurement takes (default 10).
+    pub fn sample_size(mut self, n: usize) -> Group {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f`: one untimed warm-up, then `sample_size` timed runs.
+    pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) {
+        f();
+        let mut nanos: Vec<u128> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        nanos.sort_unstable();
+        let min = nanos[0];
+        let median = nanos[nanos.len() / 2];
+        let max = nanos[nanos.len() - 1];
+        println!(
+            "{}/{label}  min {}  median {}  max {}  ({} samples)",
+            self.name,
+            format_nanos(min),
+            format_nanos(median),
+            format_nanos(max),
+            self.sample_size,
+        );
+    }
+}
+
+/// Formats a nanosecond duration with an adaptive unit.
+pub fn format_nanos(nanos: u128) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_adaptive_units() {
+        assert_eq!(format_nanos(999), "999ns");
+        assert_eq!(format_nanos(1_500), "1.500us");
+        assert_eq!(format_nanos(2_000_000), "2.000ms");
+        assert_eq!(format_nanos(3_500_000_000), "3.500s");
+    }
+
+    #[test]
+    fn bench_runs_warmup_plus_samples() {
+        let mut runs = 0;
+        Group::new("test")
+            .sample_size(5)
+            .bench("count", || runs += 1);
+        assert_eq!(runs, 6);
+    }
+}

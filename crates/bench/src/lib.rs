@@ -11,14 +11,17 @@
 //! - [`fig17`] — performance normalized to Concert-without-inlining,
 //! - [`ablations`] — array layout, pass toggles, memory-only cost model.
 //!
-//! The `figures` binary prints them; `benches/` time the underlying
-//! pipeline stages with Criterion.
+//! The `figures` binary prints them (`--json` emits the same tables as a
+//! machine-readable `oi.figures.v1` document); `benches/` time the
+//! underlying pipeline stages with the in-repo [`harness`].
 
+pub mod harness;
 pub mod synth;
 
 use oi_benchmarks::{all_benchmarks, evaluate, BenchSize, Evaluation};
 use oi_core::pipeline::InlineConfig;
 use oi_ir::ArrayLayoutKind;
+use oi_support::Json;
 use oi_vm::VmConfig;
 use std::fmt::Write as _;
 
@@ -117,7 +120,10 @@ pub fn fig16(size: BenchSize) -> String {
 /// `manual` stands in for the paper's `G++ -O2` bars.
 pub fn fig17(size: BenchSize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 17: Object inlining performance (baseline = 1.00)");
+    let _ = writeln!(
+        out,
+        "Figure 17: Object inlining performance (baseline = 1.00)"
+    );
     let _ = writeln!(
         out,
         "{:16} {:>9} {:>9} {:>9}",
@@ -167,7 +173,11 @@ pub fn fig17_detail(size: BenchSize) -> String {
 pub fn ablation_array_layout(size: BenchSize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Ablation: inline array layout (speedup over baseline)");
-    let _ = writeln!(out, "{:16} {:>12} {:>10}", "benchmark", "interleaved", "parallel");
+    let _ = writeln!(
+        out,
+        "{:16} {:>12} {:>10}",
+        "benchmark", "interleaved", "parallel"
+    );
     for bench in all_benchmarks(size) {
         if !matches!(bench.name, "oopack" | "polyover-array") {
             continue;
@@ -175,12 +185,18 @@ pub fn ablation_array_layout(size: BenchSize) -> String {
         let inter = evaluate(
             &bench,
             &VmConfig::default(),
-            &InlineConfig { array_layout: ArrayLayoutKind::Interleaved, ..Default::default() },
+            &InlineConfig {
+                array_layout: ArrayLayoutKind::Interleaved,
+                ..Default::default()
+            },
         );
         let par = evaluate(
             &bench,
             &VmConfig::default(),
-            &InlineConfig { array_layout: ArrayLayoutKind::Parallel, ..Default::default() },
+            &InlineConfig {
+                array_layout: ArrayLayoutKind::Parallel,
+                ..Default::default()
+            },
         );
         let _ = writeln!(
             out,
@@ -197,7 +213,10 @@ pub fn ablation_array_layout(size: BenchSize) -> String {
 /// only, arrays only, or both.
 pub fn ablation_passes(size: BenchSize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: optimization components (speedup over baseline)");
+    let _ = writeln!(
+        out,
+        "Ablation: optimization components (speedup over baseline)"
+    );
     let _ = writeln!(
         out,
         "{:16} {:>7} {:>12} {:>12}",
@@ -208,12 +227,18 @@ pub fn ablation_passes(size: BenchSize) -> String {
         let fields_only = evaluate(
             &bench,
             &VmConfig::default(),
-            &InlineConfig { array_elements: false, ..Default::default() },
+            &InlineConfig {
+                array_elements: false,
+                ..Default::default()
+            },
         );
         let arrays_only = evaluate(
             &bench,
             &VmConfig::default(),
-            &InlineConfig { object_fields: false, ..Default::default() },
+            &InlineConfig {
+                object_fields: false,
+                ..Default::default()
+            },
         );
         let _ = writeln!(
             out,
@@ -231,9 +256,19 @@ pub fn ablation_passes(size: BenchSize) -> String {
 /// from compute.
 pub fn ablation_memory_only(size: BenchSize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: memory-only cost model (speedup over baseline)");
-    let _ = writeln!(out, "{:16} {:>8} {:>12}", "benchmark", "default", "memory-only");
-    let mem_vm = VmConfig { cost: oi_vm::CostModel::memory_only(), ..Default::default() };
+    let _ = writeln!(
+        out,
+        "Ablation: memory-only cost model (speedup over baseline)"
+    );
+    let _ = writeln!(
+        out,
+        "{:16} {:>8} {:>12}",
+        "benchmark", "default", "memory-only"
+    );
+    let mem_vm = VmConfig {
+        cost: oi_vm::CostModel::memory_only(),
+        ..Default::default()
+    };
     for bench in all_benchmarks(size) {
         let default = evaluate(&bench, &VmConfig::default(), &InlineConfig::default());
         let memory = evaluate(&bench, &mem_vm, &InlineConfig::default());
@@ -258,6 +293,87 @@ pub fn ablations(size: BenchSize) -> String {
     out
 }
 
+/// Machine-readable figure tables: the `oi.figures.v1` document that
+/// `figures --json` writes. One evaluation pass feeds every table.
+pub fn figures_json(size: BenchSize) -> Json {
+    let evals = evaluate_suite(size);
+    let fig14 = evals
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("benchmark", e.name.into()),
+                ("total", e.report.total_object_fields.into()),
+                ("ideal", e.report.ideal.into()),
+                ("cxx", e.report.cxx.into()),
+                (
+                    "auto",
+                    (e.report.fields_inlined + e.report.array_sites_inlined).into(),
+                ),
+            ])
+        })
+        .collect();
+    let fig15 = evals
+        .iter()
+        .map(|e| {
+            let without = e.baseline_size.kilobytes();
+            let with = e.inlined_size.kilobytes();
+            Json::obj(vec![
+                ("benchmark", e.name.into()),
+                ("without_kb", without.into()),
+                ("with_kb", with.into()),
+                ("ratio", (with / without).into()),
+            ])
+        })
+        .collect();
+    let fig16 = evals
+        .iter()
+        .map(|e| {
+            let (without, with) = &e.contours;
+            Json::obj(vec![
+                ("benchmark", e.name.into()),
+                (
+                    "contours_per_method_without",
+                    without.contours_per_method.into(),
+                ),
+                ("contours_per_method_with", with.contours_per_method.into()),
+                ("object_contours_without", without.object_contours.into()),
+                ("object_contours_with", with.object_contours.into()),
+                ("clone_groups", e.clone_groups.into()),
+            ])
+        })
+        .collect();
+    let fig17 = evals
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("benchmark", e.name.into()),
+                ("baseline", 1.0.into()),
+                ("inlined", e.speedup().into()),
+                ("manual", e.manual_speedup().into()),
+                ("baseline_metrics", e.baseline.to_json()),
+                ("inlined_metrics", e.inlined.to_json()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", "oi.figures.v1".into()),
+        ("size", size_name(size).into()),
+        ("fig14", Json::Arr(fig14)),
+        ("fig15", Json::Arr(fig15)),
+        ("fig16", Json::Arr(fig16)),
+        ("fig17", Json::Arr(fig17)),
+    ])
+}
+
+/// The canonical name of a `--size` value (inverse of [`parse_size`]).
+pub fn size_name(size: BenchSize) -> &'static str {
+    match size {
+        BenchSize::Small => "small",
+        BenchSize::Default => "default",
+        BenchSize::Large => "large",
+    }
+}
+
 /// Parses a `--size` argument value.
 pub fn parse_size(s: &str) -> Option<BenchSize> {
     match s {
@@ -275,7 +391,13 @@ mod tests {
     #[test]
     fn fig14_contains_every_benchmark() {
         let t = fig14(BenchSize::Small);
-        for name in ["oopack", "richards", "silo", "polyover-array", "polyover-list"] {
+        for name in [
+            "oopack",
+            "richards",
+            "silo",
+            "polyover-array",
+            "polyover-list",
+        ] {
             assert!(t.contains(name), "missing {name} in:\n{t}");
         }
     }
@@ -314,5 +436,26 @@ mod tests {
         assert_eq!(parse_size("small"), Some(BenchSize::Small));
         assert_eq!(parse_size("default"), Some(BenchSize::Default));
         assert_eq!(parse_size("bogus"), None);
+        for size in [BenchSize::Small, BenchSize::Default, BenchSize::Large] {
+            assert_eq!(parse_size(size_name(size)), Some(size));
+        }
+    }
+
+    #[test]
+    fn figures_json_has_every_table_and_parses() {
+        let doc = figures_json(BenchSize::Small);
+        let text = doc.to_string();
+        let parsed = Json::parse(&text).expect("figures output must be valid JSON");
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some("oi.figures.v1")
+        );
+        for table in ["fig14", "fig15", "fig16", "fig17"] {
+            let rows = parsed.get(table).and_then(Json::as_arr).unwrap();
+            assert!(!rows.is_empty(), "{table} must have rows");
+            assert!(rows.iter().all(|r| r.get("benchmark").is_some()));
+        }
+        let row = &parsed.get("fig17").unwrap().as_arr().unwrap()[0];
+        assert!(row.get("inlined_metrics").unwrap().get("cycles").is_some());
     }
 }

@@ -6,6 +6,7 @@
 //! so these programs stress the analysis and the transformation
 //! proportionally to program size.
 
+use oi_support::rng::XorShift64;
 use std::fmt::Write as _;
 
 /// Parameters of a synthetic program.
@@ -18,18 +19,32 @@ pub struct SynthParams {
     /// Extra helper call depth per pair (stresses interprocedural
     /// `CallByValue`).
     pub call_depth: usize,
+    /// Seed for the constant-variation PRNG; the same seed always yields
+    /// byte-identical source.
+    pub seed: u64,
 }
 
 impl Default for SynthParams {
     fn default() -> Self {
-        Self { class_pairs: 8, loop_iters: 16, call_depth: 2 }
+        Self {
+            class_pairs: 8,
+            loop_iters: 16,
+            call_depth: 2,
+            seed: 0xD01B_1997,
+        }
     }
 }
 
 /// Generates the program source.
 pub fn generate(params: SynthParams) -> String {
+    let mut rng = XorShift64::new(params.seed);
     let mut out = String::new();
     for k in 0..params.class_pairs {
+        // Vary the arithmetic constants per pair so repeated pairs do not
+        // collapse into identical code; the shape (and hence inlinability)
+        // is unaffected.
+        let mult = rng.range_i64(2, 7);
+        let bias = rng.range_i64(0, 9);
         let _ = writeln!(
             out,
             "class Child{k} {{ field a; field b;
@@ -37,7 +52,7 @@ pub fn generate(params: SynthParams) -> String {
   method total() {{ return self.a + self.b; }}
 }}
 class Holder{k} {{ field c; field n;
-  method init(x) {{ self.c = new Child{k}(x, x * 2); self.n = x; }}
+  method init(x) {{ self.c = new Child{k}(x, x * {mult}); self.n = x + {bias}; }}
   method score() {{ return self.c.total() + self.n; }}
 }}"
         );
@@ -78,9 +93,11 @@ mod tests {
     #[test]
     fn generated_programs_compile_and_inline_everything() {
         for pairs in [1, 4, 12] {
-            let src = generate(SynthParams { class_pairs: pairs, ..Default::default() });
-            let p = oi_ir::lower::compile(&src)
-                .unwrap_or_else(|e| panic!("{}", e.render(&src)));
+            let src = generate(SynthParams {
+                class_pairs: pairs,
+                ..Default::default()
+            });
+            let p = oi_ir::lower::compile(&src).unwrap_or_else(|e| panic!("{}", e.render(&src)));
             let opt = oi_core::pipeline::optimize(&p, &Default::default());
             assert_eq!(
                 opt.report.fields_inlined, pairs,
@@ -95,9 +112,27 @@ mod tests {
     }
 
     #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(SynthParams::default());
+        let b = generate(SynthParams::default());
+        assert_eq!(a, b);
+        let c = generate(SynthParams {
+            seed: 7,
+            ..Default::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn size_scales_with_parameters() {
-        let small = generate(SynthParams { class_pairs: 2, ..Default::default() });
-        let large = generate(SynthParams { class_pairs: 16, ..Default::default() });
+        let small = generate(SynthParams {
+            class_pairs: 2,
+            ..Default::default()
+        });
+        let large = generate(SynthParams {
+            class_pairs: 16,
+            ..Default::default()
+        });
         assert!(large.len() > small.len() * 4);
     }
 }

@@ -77,8 +77,7 @@ pub fn evaluate(bench: &Benchmark, vm: &VmConfig, inline_config: &InlineConfig) 
     // inlining) so the comparison isolates data layout.
     let manual = baseline(&manual_program, &inline_config.opt);
 
-    let base_run =
-        oi_vm::run(&base, vm).unwrap_or_else(|e| panic!("{} baseline: {e}", bench.name));
+    let base_run = oi_vm::run(&base, vm).unwrap_or_else(|e| panic!("{} baseline: {e}", bench.name));
     let opt_run =
         oi_vm::run(&opt.program, vm).unwrap_or_else(|e| panic!("{} inlined: {e}", bench.name));
     let manual_run =

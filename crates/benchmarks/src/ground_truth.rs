@@ -54,7 +54,11 @@ mod tests {
         // manually declared inline in C++ that our analysis did not find
         // inlinable", and on three benchmarks it did strictly better.
         let benches = crate::programs::all_benchmarks(BenchSize::Small);
-        assert!(benches.iter().all(|b| b.ground_truth.expected_auto >= b.ground_truth.cxx));
-        assert!(benches.iter().any(|b| b.ground_truth.expected_auto > b.ground_truth.cxx));
+        assert!(benches
+            .iter()
+            .all(|b| b.ground_truth.expected_auto >= b.ground_truth.cxx));
+        assert!(benches
+            .iter()
+            .any(|b| b.ground_truth.expected_auto > b.ground_truth.cxx));
     }
 }

@@ -60,10 +60,8 @@ mod tests {
             let p = oi_ir::lower::compile(&b.source).unwrap();
             let m = oi_ir::lower::compile(&b.manual_source).unwrap();
             let config = oi_vm::VmConfig::default();
-            let pu = oi_vm::run(&p, &config)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            let mu = oi_vm::run(&m, &config)
-                .unwrap_or_else(|e| panic!("{} manual: {e}", b.name));
+            let pu = oi_vm::run(&p, &config).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let mu = oi_vm::run(&m, &config).unwrap_or_else(|e| panic!("{} manual: {e}", b.name));
             assert_eq!(pu.output, mu.output, "{} manual variant diverges", b.name);
             assert!(!pu.output.is_empty(), "{} prints nothing", b.name);
         }

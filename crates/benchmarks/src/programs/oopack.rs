@@ -133,7 +133,12 @@ pub fn benchmark(size: BenchSize) -> Benchmark {
         manual_source: manual_source(size),
         // Slots: the three arrays' contents. All three are inline
         // allocated in C++ and all three are found automatically.
-        ground_truth: GroundTruth { total: 3, ideal: 3, cxx: 3, expected_auto: 3 },
+        ground_truth: GroundTruth {
+            total: 3,
+            ideal: 3,
+            cxx: 3,
+            expected_auto: 3,
+        },
     }
 }
 

@@ -383,7 +383,12 @@ pub fn benchmark_array(size: BenchSize) -> Benchmark {
         // ResCell.next = 6. Ideal: all but ResCell.next = 5. C++: the
         // corner points and the arrays = 4. Automatic: ll, ur, both
         // arrays, ResCell.poly = 5.
-        ground_truth: GroundTruth { total: 6, ideal: 5, cxx: 4, expected_auto: 5 },
+        ground_truth: GroundTruth {
+            total: 6,
+            ideal: 5,
+            cxx: 4,
+            expected_auto: 5,
+        },
     }
 }
 
@@ -398,7 +403,12 @@ pub fn benchmark_list(size: BenchSize) -> Benchmark {
         // ResCell.poly, ResCell.next = 6. Ideal: the four poly/corner
         // slots = 4. C++: only the corner points (cons cells cannot be
         // inline allocated) = 2. Automatic: all four = 4.
-        ground_truth: GroundTruth { total: 6, ideal: 4, cxx: 2, expected_auto: 4 },
+        ground_truth: GroundTruth {
+            total: 6,
+            ideal: 4,
+            cxx: 2,
+            expected_auto: 4,
+        },
     }
 }
 
@@ -430,11 +440,11 @@ mod tests {
     fn nested_point_inlining_takes_two_passes() {
         let p = oi_ir::lower::compile(&source_list(BenchSize::Small)).unwrap();
         let opt = oi_core::pipeline::optimize(&p, &Default::default());
-        assert!(opt.passes >= 2, "Pt→Poly then Poly→cells: got {} passes", opt.passes);
-        assert_eq!(
-            opt.report.fields_inlined, 4,
-            "{:#?}",
-            opt.report.outcomes
+        assert!(
+            opt.passes >= 2,
+            "Pt→Poly then Poly→cells: got {} passes",
+            opt.passes
         );
+        assert_eq!(opt.report.fields_inlined, 4, "{:#?}", opt.report.outcomes);
     }
 }

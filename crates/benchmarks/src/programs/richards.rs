@@ -366,7 +366,12 @@ pub fn benchmark(size: BenchSize) -> Benchmark {
         // analysis could split it, §6.4): dat + rec + tasktab = 3. C++ can
         // only declare the packet record inline (rec is void*): 1.
         // The analysis inlines dat and rec (per subclass): 2.
-        ground_truth: GroundTruth { total: 9, ideal: 3, cxx: 1, expected_auto: 2 },
+        ground_truth: GroundTruth {
+            total: 9,
+            ideal: 3,
+            cxx: 1,
+            expected_auto: 2,
+        },
     }
 }
 
@@ -392,7 +397,10 @@ mod tests {
     fn larger_sizes_do_more_work() {
         let run = |size| {
             let p = oi_ir::lower::compile(&source(size)).unwrap();
-            oi_vm::run(&p, &oi_vm::VmConfig::default()).unwrap().metrics.instructions
+            oi_vm::run(&p, &oi_vm::VmConfig::default())
+                .unwrap()
+                .metrics
+                .instructions
         };
         assert!(run(BenchSize::Default) > run(BenchSize::Small));
     }

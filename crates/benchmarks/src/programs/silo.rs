@@ -307,7 +307,12 @@ pub fn benchmark(size: BenchSize) -> Benchmark {
         // Ideal: queue, stats, rec (the event list stays aliased even for a
         // human) = 3. C++ inlines the wrappers but cannot merge cons cells
         // with data: 2. Automatic: queue, stats, rec = 3.
-        ground_truth: GroundTruth { total: 12, ideal: 4, cxx: 3, expected_auto: 4 },
+        ground_truth: GroundTruth {
+            total: 12,
+            ideal: 4,
+            cxx: 3,
+            expected_auto: 4,
+        },
     }
 }
 

@@ -102,9 +102,7 @@ impl<'a> AssignSpec<'a> {
                 // (the paper's CreatedLocally extended through returns).
                 Instr::Send { .. } | Instr::CallStatic { .. } => {
                     let targets = self.call_targets(method, bb, idx);
-                    if targets.is_empty()
-                        || !targets.iter().all(|&t| self.returns_fresh(t))
-                    {
+                    if targets.is_empty() || !targets.iter().all(|&t| self.returns_fresh(t)) {
                         return false;
                     }
                 }
@@ -139,8 +137,7 @@ impl<'a> AssignSpec<'a> {
                 }
                 // Loop-carried paths: harmless only when the use's block
                 // freshly redefines the temps before the use.
-                if self.is_after(method, consumer_loc, uloc)
-                    && !self.shielded(method, &group, uloc)
+                if self.is_after(method, consumer_loc, uloc) && !self.shielded(method, &group, uloc)
                 {
                     return false; // UsesAfter must be empty
                 }
@@ -159,7 +156,10 @@ impl<'a> AssignSpec<'a> {
                     // the same value: two inline copies of one object.
                     return false;
                 }
-                UseKind::CallArg { callee_targets, arg_idx } => {
+                UseKind::CallArg {
+                    callee_targets,
+                    arg_idx,
+                } => {
                     for target in callee_targets {
                         if !self.no_store(target, arg_idx, Some(f)) {
                             return false;
@@ -187,9 +187,7 @@ impl<'a> AssignSpec<'a> {
                     .iter()
                     .take(idx)
                     .any(|i| matches!(i, Instr::New { dst, .. } if group.contains(dst)));
-                let any_new_def = self
-                    .program
-                    .methods[method]
+                let any_new_def = self.program.methods[method]
                     .instrs()
                     .any(|(_, _, i)| matches!(i, Instr::New { dst, .. } if group.contains(dst)));
                 if any_new_def && !fresh_in_block {
@@ -208,7 +206,8 @@ impl<'a> AssignSpec<'a> {
             Some(Tri::False) => return false,
             None => {}
         }
-        self.cbv_memo.insert((method, param_idx, f), Tri::InProgress);
+        self.cbv_memo
+            .insert((method, param_idx, f), Tri::InProgress);
         let callers = self.result.callers_of(self.program, method);
         let mut ok = !callers.is_empty();
         if callers.is_empty() {
@@ -226,8 +225,10 @@ impl<'a> AssignSpec<'a> {
                 break;
             }
         }
-        self.cbv_memo
-            .insert((method, param_idx, f), if ok { Tri::True } else { Tri::False });
+        self.cbv_memo.insert(
+            (method, param_idx, f),
+            if ok { Tri::True } else { Tri::False },
+        );
         ok
     }
 
@@ -241,7 +242,8 @@ impl<'a> AssignSpec<'a> {
             Some(Tri::False) => return false,
             None => {}
         }
-        self.nostore_memo.insert((method, param_idx, f), Tri::InProgress);
+        self.nostore_memo
+            .insert((method, param_idx, f), Tri::InProgress);
 
         let param = Temp::new(1 + param_idx as usize);
         let group = self.alias_group(method, param);
@@ -279,7 +281,10 @@ impl<'a> AssignSpec<'a> {
                     }
                     candidate_store = Some(*uloc);
                 }
-                UseKind::CallArg { callee_targets, arg_idx } => {
+                UseKind::CallArg {
+                    callee_targets,
+                    arg_idx,
+                } => {
                     for &target in callee_targets {
                         if !self.no_store(target, *arg_idx, f) {
                             ok = false;
@@ -321,8 +326,10 @@ impl<'a> AssignSpec<'a> {
             }
         }
 
-        self.nostore_memo
-            .insert((method, param_idx, f), if ok { Tri::True } else { Tri::False });
+        self.nostore_memo.insert(
+            (method, param_idx, f),
+            if ok { Tri::True } else { Tri::False },
+        );
         ok
     }
 
@@ -337,7 +344,8 @@ impl<'a> AssignSpec<'a> {
             Some(Tri::False) => return false,
             None => {}
         }
-        self.nostore_memo.insert((method, u32::MAX, None), Tri::InProgress);
+        self.nostore_memo
+            .insert((method, u32::MAX, None), Tri::InProgress);
 
         let group = self.alias_group(method, Temp::new(0));
         let mut ok = true;
@@ -352,7 +360,10 @@ impl<'a> AssignSpec<'a> {
                     ok = false;
                     break;
                 }
-                UseKind::CallArg { callee_targets, arg_idx } => {
+                UseKind::CallArg {
+                    callee_targets,
+                    arg_idx,
+                } => {
                     for t in callee_targets {
                         if !self.no_store(t, arg_idx, None) {
                             ok = false;
@@ -376,7 +387,10 @@ impl<'a> AssignSpec<'a> {
                 }
             }
         }
-        self.nostore_memo.insert((method, u32::MAX, None), if ok { Tri::True } else { Tri::False });
+        self.nostore_memo.insert(
+            (method, u32::MAX, None),
+            if ok { Tri::True } else { Tri::False },
+        );
         ok
     }
 
@@ -403,9 +417,7 @@ impl<'a> AssignSpec<'a> {
         let mut ok = true;
         // Defs must be local creations, constants, internal moves, or calls
         // that themselves return fresh.
-        let defs: Vec<(oi_ir::BlockId, usize, Instr)> = self
-            .program
-            .methods[method]
+        let defs: Vec<(oi_ir::BlockId, usize, Instr)> = self.program.methods[method]
             .instrs()
             .filter(|(_, _, i)| i.dst().is_some_and(|d| group.contains(&d)))
             .map(|(b, x, i)| (b, x, i.clone()))
@@ -444,10 +456,7 @@ impl<'a> AssignSpec<'a> {
         if ok {
             for (_, kind) in self.uses_of_group(method, &group, None) {
                 match kind {
-                    UseKind::MoveInternal
-                    | UseKind::Read
-                    | UseKind::Mutate
-                    | UseKind::Print => {}
+                    UseKind::MoveInternal | UseKind::Read | UseKind::Mutate | UseKind::Print => {}
                     // Returning the value is precisely what this predicate
                     // is about; any other escape disqualifies.
                     UseKind::ReturnEscape => {}
@@ -458,7 +467,10 @@ impl<'a> AssignSpec<'a> {
                         ok = false;
                         break;
                     }
-                    UseKind::CallArg { callee_targets, arg_idx } => {
+                    UseKind::CallArg {
+                        callee_targets,
+                        arg_idx,
+                    } => {
                         for t in callee_targets {
                             if !self.no_store(t, arg_idx, None) {
                                 ok = false;
@@ -484,7 +496,8 @@ impl<'a> AssignSpec<'a> {
             }
         }
 
-        self.fresh_memo.insert(method, if ok { Tri::True } else { Tri::False });
+        self.fresh_memo
+            .insert(method, if ok { Tri::True } else { Tri::False });
         ok
     }
 
@@ -569,9 +582,8 @@ impl<'a> AssignSpec<'a> {
                         // store into the array is the specialized
                         // assignment; the `$elem` sentinel selects that
                         // mode.
-                        let is_elem_candidate =
-                            self.program.interner.get("$elem").is_some()
-                                && self.program.interner.get("$elem") == f;
+                        let is_elem_candidate = self.program.interner.get("$elem").is_some()
+                            && self.program.interner.get("$elem") == f;
                         let kind = if is_elem_candidate {
                             UseKind::CandidateStore
                         } else {
@@ -614,7 +626,12 @@ impl<'a> AssignSpec<'a> {
                         if targets.is_empty() {
                             out.push((loc, UseKind::Escape));
                         } else {
-                            out.push((loc, UseKind::CallRecv { callee_targets: targets }));
+                            out.push((
+                                loc,
+                                UseKind::CallRecv {
+                                    callee_targets: targets,
+                                },
+                            ));
                         }
                     }
                     for (ai, a) in args.iter().enumerate() {
@@ -700,7 +717,11 @@ impl<'a> AssignSpec<'a> {
         let instr = &self.program.methods[method].blocks[bb].instrs[idx];
         match instr {
             Instr::CallStatic { method: m, .. } => vec![*m],
-            Instr::Send { .. } => self.result.send_targets(method, bb, idx).into_iter().collect(),
+            Instr::Send { .. } => self
+                .result
+                .send_targets(method, bb, idx)
+                .into_iter()
+                .collect(),
             Instr::New { class, .. } => self
                 .program
                 .interner
@@ -716,12 +737,7 @@ impl<'a> AssignSpec<'a> {
     /// are freshly defined earlier in the use's own block: the back edge
     /// reaches the definitions before the use, so the use never observes
     /// the copied-away object of a previous iteration.
-    fn shielded(
-        &mut self,
-        method: MethodId,
-        group: &HashSet<Temp>,
-        uloc: Loc,
-    ) -> bool {
+    fn shielded(&mut self, method: MethodId, group: &HashSet<Temp>, uloc: Loc) -> bool {
         let (ubb, ui) = uloc;
         let block = &self.program.methods[method].blocks[ubb];
         // Which group temps does the use read?
@@ -932,7 +948,10 @@ mod tests {
         let f = p.interner.get("ll").unwrap();
         let (m, loc, src) = find_store(&p, "ll");
         let mut spec = AssignSpec::new(&p, &r);
-        assert!(!spec.store_ok(m, loc, src, f), "identity comparison must reject");
+        assert!(
+            !spec.store_ok(m, loc, src, f),
+            "identity comparison must reject"
+        );
     }
 
     #[test]

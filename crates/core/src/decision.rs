@@ -16,8 +16,80 @@ use crate::assignspec::AssignSpec;
 use crate::usespec::{self, RecvInfo};
 use oi_analysis::AnalysisResult;
 use oi_ir::{ArrayLayoutKind, ClassId, LayoutId, Program, SiteId};
+use oi_support::trace::{self, kv};
 use oi_support::Symbol;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Machine-readable rejection reasons, each enforcing one of the inlining
+/// decision rules of DESIGN §4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReasonCode {
+    /// Rule 1 (precise content): the field holds nil, a primitive, an
+    /// array, more than one content class, or some contour never
+    /// initializes it.
+    ImpreciseContent,
+    /// Rule 2 (use unambiguity): a dereference mixes inlined and
+    /// non-inlined receivers, so no single specialized access works.
+    AmbiguousUse,
+    /// Rule 3 (assignment safety): a store cannot pass its value by value
+    /// — the value escapes, is loaded from elsewhere, or is used after
+    /// the store.
+    UnsafeAssignment,
+    /// Rule 3 (assignment safety): child objects take part in `===`
+    /// identity comparisons, which inline copies cannot preserve.
+    IdentityCompared,
+    /// Rule 4 (no inline recursion): the child's layout changes this
+    /// pass; the field is retried on the next pass.
+    LayoutInFlux,
+}
+
+impl ReasonCode {
+    /// Stable kebab-case identifier used in JSON output and traces.
+    pub fn code(self) -> &'static str {
+        match self {
+            ReasonCode::ImpreciseContent => "imprecise-content",
+            ReasonCode::AmbiguousUse => "ambiguous-use",
+            ReasonCode::UnsafeAssignment => "unsafe-assignment",
+            ReasonCode::IdentityCompared => "identity-compared",
+            ReasonCode::LayoutInFlux => "layout-in-flux",
+        }
+    }
+
+    /// The DESIGN §4 decision rule this code enforces.
+    pub fn rule(self) -> u8 {
+        match self {
+            ReasonCode::ImpreciseContent => 1,
+            ReasonCode::AmbiguousUse => 2,
+            ReasonCode::UnsafeAssignment | ReasonCode::IdentityCompared => 3,
+            ReasonCode::LayoutInFlux => 4,
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(self) -> &'static str {
+        match self {
+            ReasonCode::ImpreciseContent => {
+                "some instantiated subclass does not always initialize the field with one class"
+            }
+            ReasonCode::AmbiguousUse => "a field access mixes inlined and non-inlined receivers",
+            ReasonCode::UnsafeAssignment => "a stored value cannot be passed by value (aliasing)",
+            ReasonCode::IdentityCompared => "child objects take part in identity comparisons",
+            ReasonCode::LayoutInFlux => "child class layout changes this pass (retry next pass)",
+        }
+    }
+}
+
+/// A rejected field with its provenance: which rule fired and where.
+#[derive(Clone, Debug)]
+pub struct Rejection {
+    /// `Class.field` the verdict applies to.
+    pub field: String,
+    /// Which DESIGN §4 rule rejected it.
+    pub code: ReasonCode,
+    /// The offending site, class, or value, for diagnostics (may be
+    /// empty when the rule has no single culprit).
+    pub detail: String,
+}
 
 /// A planned object-field inlining.
 #[derive(Clone, Debug)]
@@ -61,8 +133,9 @@ pub struct InlinePlan {
     pub by_class_field: HashMap<(ClassId, Symbol), usize>,
     /// Array allocation sites whose elements are inlined.
     pub array_sites: BTreeMap<SiteId, ArrayEntry>,
-    /// Fields considered but rejected, with reasons (for reporting).
-    pub rejected: Vec<(String, String)>,
+    /// Fields considered but rejected, with provenance (for reporting
+    /// and `oic explain`).
+    pub rejected: Vec<Rejection>,
 }
 
 impl InlinePlan {
@@ -73,7 +146,9 @@ impl InlinePlan {
 
     /// The entry covering `class`'s field `f`, if planned.
     pub fn entry_for(&self, class: ClassId, f: Symbol) -> Option<&PlanEntry> {
-        self.by_class_field.get(&(class, f)).map(|&i| &self.entries[i])
+        self.by_class_field
+            .get(&(class, f))
+            .map(|&i| &self.entries[i])
     }
 }
 
@@ -173,9 +248,14 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
     let mut groups: BTreeMap<(ClassId, Symbol), Vec<(ClassId, ClassId)>> = BTreeMap::new();
     let mut group_ok: HashMap<(ClassId, Symbol), bool> = HashMap::new();
     for (&(class, fname), &child) in &candidate_child {
-        let Some(fid) = program.field_of(class, fname) else { continue };
+        let Some(fid) = program.field_of(class, fname) else {
+            continue;
+        };
         let declaring = program.fields[fid].owner;
-        groups.entry((declaring, fname)).or_default().push((class, child));
+        groups
+            .entry((declaring, fname))
+            .or_default()
+            .push((class, child));
     }
     for ((declaring, fname), members) in &groups {
         let instantiated: Vec<ClassId> = program
@@ -185,17 +265,26 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
             .collect();
         let covered: BTreeSet<ClassId> = members.iter().map(|(c, _)| *c).collect();
         let all_covered = instantiated.iter().all(|c| covered.contains(c));
-        group_ok.insert((*declaring, *fname), all_covered && !instantiated.is_empty());
+        group_ok.insert(
+            (*declaring, *fname),
+            all_covered && !instantiated.is_empty(),
+        );
         if !all_covered {
-            plan.rejected.push((
+            let missing: Vec<&str> = instantiated
+                .iter()
+                .filter(|c| !covered.contains(c))
+                .map(|&c| program.interner.resolve(program.classes[c].name))
+                .collect();
+            push_rejection(
+                &mut plan.rejected,
                 format!(
                     "{}.{}",
                     program.interner.resolve(program.classes[*declaring].name),
                     program.interner.resolve(*fname)
                 ),
-                "some instantiated subclass does not always initialize the field with one class"
-                    .to_owned(),
-            ));
+                ReasonCode::ImpreciseContent,
+                format!("imprecise in subclass(es) {}", missing.join(", ")),
+            );
         }
     }
 
@@ -248,12 +337,17 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
         }
     }
     for (&site, &layout) in &existing_inline {
-        plan.array_sites.insert(site, ArrayEntry {
-            child: program.layouts[layout].child_class,
-            kind: program.layouts[layout].array_kind.unwrap_or(config.array_layout),
-            layout: Some(layout),
-            pre_existing: true,
-        });
+        plan.array_sites.insert(
+            site,
+            ArrayEntry {
+                child: program.layouts[layout].child_class,
+                kind: program.layouts[layout]
+                    .array_kind
+                    .unwrap_or(config.array_layout),
+                layout: Some(layout),
+                pre_existing: true,
+            },
+        );
     }
     let mut array_child: BTreeMap<SiteId, Option<ClassId>> = BTreeMap::new();
     if config.array_elements {
@@ -303,11 +397,13 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
                 .filter(|oc| oc.is_array() && oc.site == site)
                 .all(|oc| {
                     !oc.elem.is_bottom()
-                        && oc.elem.types.iter().all(|t| matches!(
-                            t,
-                            oi_analysis::TypeElem::Obj(c)
-                                if result.ocontours[*c].class == Some(child)
-                        ))
+                        && oc.elem.types.iter().all(|t| {
+                            matches!(
+                                t,
+                                oi_analysis::TypeElem::Obj(c)
+                                    if result.ocontours[*c].class == Some(child)
+                            )
+                        })
                 });
             if consistent && !program.layout_of(child).is_empty() {
                 plan.array_sites.insert(
@@ -324,25 +420,38 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
     }
 
     // ---- demotion fixpoint -----------------------------------------------
-    let identity_classes = usespec::identity_compared_classes(program, result);
-    let accesses = usespec::field_accesses(program);
-    let astores = usespec::array_stores(program);
-    let mut spec = AssignSpec::new(program, result);
+    let (identity_classes, accesses, astores) = {
+        let _s = trace::span("decide.usespec");
+        (
+            usespec::identity_compared_classes(program, result),
+            usespec::field_accesses(program),
+            usespec::array_stores(program),
+        )
+    };
+    let mut spec = {
+        let _s = trace::span("decide.assignspec");
+        AssignSpec::new(program, result)
+    };
     let elem_sentinel = program.interner.get("$elem");
 
     loop {
         let mut demote_entries: BTreeSet<usize> = BTreeSet::new();
         let mut demote_arrays: BTreeSet<SiteId> = BTreeSet::new();
-        let mut rejections: Vec<(String, String)> = Vec::new();
+        let mut rejections: Vec<Rejection> = Vec::new();
 
         // (a) identity comparisons on child classes.
         for (i, e) in plan.entries.iter().enumerate() {
             if identity_classes.contains(&e.child) {
                 demote_entries.insert(i);
-                rejections.push((
+                push_rejection(
+                    &mut rejections,
                     describe_entry(program, e),
-                    "child objects take part in identity comparisons".to_owned(),
-                ));
+                    ReasonCode::IdentityCompared,
+                    format!(
+                        "`===` reaches objects of class {}",
+                        program.interner.resolve(program.classes[e.child].name)
+                    ),
+                );
             }
         }
         for (&site, a) in &plan.array_sites {
@@ -367,8 +476,11 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
                 .classes
                 .iter()
                 .all(|&c| plan.by_class_field.contains_key(&(c, acc.field)));
-            let live: Vec<usize> =
-                distinct.iter().copied().filter(|i| !demote_entries.contains(i)).collect();
+            let live: Vec<usize> = distinct
+                .iter()
+                .copied()
+                .filter(|i| !demote_entries.contains(i))
+                .collect();
             // Note: provenance-tag overflow (`tag_top`) on the *receiver*
             // does not block the rewrite — the layout is determined by the
             // receiver's class set, and our runtime resolves inline layouts
@@ -377,10 +489,18 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
             if !all_planned || live.len() > 1 || !info.array_sites.is_empty() {
                 for i in distinct {
                     if demote_entries.insert(i) {
-                        rejections.push((
+                        push_rejection(
+                            &mut rejections,
                             describe_entry(program, &plan.entries[i]),
-                            "a field access mixes inlined and non-inlined receivers".to_owned(),
-                        ));
+                            ReasonCode::AmbiguousUse,
+                            format!(
+                                "access to `{}` in {} (block {}, instr {})",
+                                program.interner.resolve(acc.field),
+                                program.method_display(acc.method),
+                                acc.bb.index(),
+                                acc.idx
+                            ),
+                        );
                     }
                 }
             }
@@ -403,10 +523,18 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
                 if !spec.store_ok(acc.method, (acc.bb, acc.idx), src, acc.field) {
                     for i in touched {
                         if demote_entries.insert(i) {
-                            rejections.push((
+                            push_rejection(
+                                &mut rejections,
                                 describe_entry(program, &plan.entries[i]),
-                                "a stored value cannot be passed by value (aliasing)".to_owned(),
-                            ));
+                                ReasonCode::UnsafeAssignment,
+                                format!(
+                                    "store to `{}` in {} (block {}, instr {})",
+                                    program.interner.resolve(acc.field),
+                                    program.method_display(acc.method),
+                                    acc.bb.index(),
+                                    acc.idx
+                                ),
+                            );
                         }
                     }
                 }
@@ -418,9 +546,7 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
                         .array_sites
                         .iter()
                         .copied()
-                        .filter(|s| {
-                            plan.array_sites.contains_key(s) && !demote_arrays.contains(s)
-                        })
+                        .filter(|s| plan.array_sites.contains_key(s) && !demote_arrays.contains(s))
                         .collect();
                     if touched.is_empty() {
                         continue;
@@ -455,10 +581,15 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
         for (i, e) in plan.entries.iter().enumerate() {
             if !demote_entries.contains(&i) && layout_affected(e.child) {
                 demote_entries.insert(i);
-                rejections.push((
+                push_rejection(
+                    &mut rejections,
                     describe_entry(program, e),
-                    "child class layout changes this pass (retry next pass)".to_owned(),
-                ));
+                    ReasonCode::LayoutInFlux,
+                    format!(
+                        "child class {} is restructured this pass",
+                        program.interner.resolve(program.classes[e.child].name)
+                    ),
+                );
             }
         }
         let demote_array_children: Vec<SiteId> = plan
@@ -514,8 +645,46 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
         }
     }
 
-    let _ = object_fields_seen;
+    // Rule 1 final sweep: object-holding fields that never became
+    // candidates (nil/primitive/mixed-class stores or an uninitializing
+    // constructor path) get a provenance record too, so `oic explain` can
+    // name the rule that dropped them.
+    for (declaring, fname) in &object_fields_seen {
+        if !groups.contains_key(&(*declaring, *fname)) {
+            push_rejection(
+                &mut plan.rejected,
+                format!(
+                    "{}.{}",
+                    program.interner.resolve(program.classes[*declaring].name),
+                    program.interner.resolve(*fname)
+                ),
+                ReasonCode::ImpreciseContent,
+                "stores of nil, primitives, or multiple classes reach the field".to_owned(),
+            );
+        }
+    }
     plan
+}
+
+/// Records a rejection, mirroring it onto the trace stream so
+/// `OIC_TRACE=json` shows decisions as they are made.
+fn push_rejection(out: &mut Vec<Rejection>, field: String, code: ReasonCode, detail: String) {
+    if trace::is_enabled() {
+        trace::event(
+            "decide.reject",
+            vec![
+                kv("field", field.clone()),
+                kv("code", code.code()),
+                kv("rule", u64::from(code.rule())),
+                kv("detail", detail.clone()),
+            ],
+        );
+    }
+    out.push(Rejection {
+        field,
+        code,
+        detail,
+    });
 }
 
 fn describe_entry(program: &Program, e: &PlanEntry) -> String {
@@ -574,7 +743,12 @@ mod tests {
     #[test]
     fn rectangle_fields_are_planned() {
         let (p, plan) = plan_for(RECT);
-        assert_eq!(plan.entries.len(), 2, "ll and ur should inline: {:?}", plan.rejected);
+        assert_eq!(
+            plan.entries.len(),
+            2,
+            "ll and ur should inline: {:?}",
+            plan.rejected
+        );
         let rect = p.class_by_name("Rect").unwrap();
         let ll = p.interner.get("ll").unwrap();
         let e = plan.entry_for(rect, ll).unwrap();
@@ -621,7 +795,10 @@ mod tests {
         assert!(plan.entries.iter().all(|e| !e.uniform));
         let dev = p.class_by_name("DevTask").unwrap();
         let data = p.interner.get("data").unwrap();
-        assert_eq!(plan.entry_for(dev, data).unwrap().child, p.class_by_name("DevPacket").unwrap());
+        assert_eq!(
+            plan.entry_for(dev, data).unwrap().child,
+            p.class_by_name("DevPacket").unwrap()
+        );
     }
 
     #[test]
@@ -638,7 +815,10 @@ mod tests {
              }",
         );
         assert!(plan.entries.is_empty(), "{:?}", plan.entries);
-        assert!(plan.rejected.iter().any(|(_, why)| why.contains("passed by value")));
+        assert!(plan
+            .rejected
+            .iter()
+            .any(|r| r.code == ReasonCode::UnsafeAssignment && r.detail.contains("store to")));
     }
 
     #[test]
@@ -724,9 +904,16 @@ mod tests {
         );
         let box_class = p.class_by_name("Box").unwrap();
         let r = p.interner.get("r").unwrap();
-        assert!(plan.entry_for(box_class, r).is_none(), "Box.r must wait for pass 2");
+        assert!(
+            plan.entry_for(box_class, r).is_none(),
+            "Box.r must wait for pass 2"
+        );
         let rect = p.class_by_name("Rect").unwrap();
         let ll = p.interner.get("ll").unwrap();
-        assert!(plan.entry_for(rect, ll).is_some(), "rejected: {:?}", plan.rejected);
+        assert!(
+            plan.entry_for(rect, ll).is_some(),
+            "rejected: {:?}",
+            plan.rejected
+        );
     }
 }

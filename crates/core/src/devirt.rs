@@ -17,14 +17,25 @@ pub fn devirtualize(program: &mut Program, result: &AnalysisResult) -> usize {
         for bb in blocks {
             for idx in 0..program.methods[mid].blocks[bb].instrs.len() {
                 let instr = &program.methods[mid].blocks[bb].instrs[idx];
-                let Instr::Send { dst, recv, args, .. } = instr else { continue };
+                let Instr::Send {
+                    dst, recv, args, ..
+                } = instr
+                else {
+                    continue;
+                };
                 let (dst, recv, args) = (*dst, *recv, args.clone());
-                let Some(target) = result.devirt_target(mid, bb, idx) else { continue };
+                let Some(target) = result.devirt_target(mid, bb, idx) else {
+                    continue;
+                };
                 if program.methods[target].param_count as usize != args.len() {
                     continue;
                 }
-                program.methods[mid].blocks[bb].instrs[idx] =
-                    Instr::CallStatic { dst, method: target, recv, args };
+                program.methods[mid].blocks[bb].instrs[idx] = Instr::CallStatic {
+                    dst,
+                    method: target,
+                    recv,
+                    args,
+                };
                 count += 1;
             }
         }

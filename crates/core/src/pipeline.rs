@@ -15,6 +15,21 @@ use crate::report::EffectivenessReport;
 use oi_analysis::{analyze, AnalysisConfig};
 use oi_ir::opt::{optimize as run_opts, OptConfig};
 use oi_ir::{ArrayLayoutKind, Program};
+use oi_support::trace::{self, kv};
+
+/// Runs `f` under a timed trace span that records the program's
+/// instruction count before and after the stage.
+fn staged<T>(name: &str, p: &mut Program, f: impl FnOnce(&mut Program) -> T) -> T {
+    let mut span = trace::span(name);
+    if trace::is_enabled() {
+        span.field("instrs_before", p.total_instrs().into());
+    }
+    let out = f(p);
+    if trace::is_enabled() {
+        span.field("instrs_after", p.total_instrs().into());
+    }
+    out
+}
 
 /// Configuration for the full object-inlining pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -85,24 +100,46 @@ pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
     let mut inlined_fields: std::collections::BTreeSet<String> = Default::default();
     let mut first_pass_total = None;
     for pass in 0..config.max_passes.max(1) {
-        let result = analyze(&p, &config.analysis);
+        let _pass_span = trace::span_with("pipeline.pass", vec![kv("pass", pass)]);
+        let result = {
+            let _s = trace::span("pipeline.analyze");
+            analyze(&p, &config.analysis)
+        };
         if first_pass_total.is_none() {
-            first_pass_total =
-                Some(crate::decision::object_holding_fields(&p, &result).len());
+            first_pass_total = Some(crate::decision::object_holding_fields(&p, &result).len());
         }
-        let mut plan: InlinePlan = decide(&p, &result, &decision_config);
+        let mut plan: InlinePlan = {
+            let _s = trace::span("pipeline.decide");
+            decide(&p, &result, &decision_config)
+        };
+        if trace::is_enabled() {
+            trace::event(
+                "pipeline.plan",
+                vec![
+                    kv("pass", pass),
+                    kv("fields_to_inline", plan.entries.len()),
+                    kv("array_sites", plan.array_sites.len()),
+                    kv("rejected", plan.rejected.len()),
+                ],
+            );
+        }
+        trace::counter("pipeline.fields_planned", plan.entries.len() as i64);
+        trace::counter("pipeline.fields_rejected", plan.rejected.len() as i64);
         // Devirtualize with the same analysis (indices are preserved by
         // in-place replacement, so the plan's instruction facts stay valid).
-        crate::devirt::devirtualize(&mut p, &result);
+        staged("pipeline.devirt", &mut p, |p| {
+            crate::devirt::devirtualize(p, &result)
+        });
         let has_new_work = !plan.entries.is_empty()
             || plan.array_sites.values().any(|a| !a.pre_existing)
             || plan.array_sites.values().any(|a| a.pre_existing);
-        if !has_new_work || (plan.entries.is_empty()
-            && plan.array_sites.values().all(|a| a.pre_existing)
-            && pass + 1 >= config.max_passes.max(1))
+        if !has_new_work
+            || (plan.entries.is_empty()
+                && plan.array_sites.values().all(|a| a.pre_existing)
+                && pass + 1 >= config.max_passes.max(1))
         {
-            record_rejections(&p, &plan, &mut report);
-            run_opts(&mut p, &config.opt);
+            record_rejections(&p, &plan, &mut report, pass);
+            staged("pipeline.cleanup", &mut p, |p| run_opts(p, &config.opt));
             break;
         }
         for e in &plan.entries {
@@ -112,39 +149,68 @@ pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
                 p.interner.resolve(e.field)
             ));
         }
-        report.array_sites_inlined +=
-            plan.array_sites.values().filter(|a| !a.pre_existing).count();
-        record_outcomes(&p, &plan, &mut report);
-        crate::restructure::apply(&mut p, &mut plan);
-        crate::rewrite::apply(&mut p, &result, &plan);
-        if let Err(errors) = oi_ir::verify::verify(&p) {
-            panic!("object inlining produced invalid IR: {errors:?}");
+        report.array_sites_inlined += plan
+            .array_sites
+            .values()
+            .filter(|a| !a.pre_existing)
+            .count();
+        record_outcomes(&p, &plan, &mut report, pass);
+        staged("pipeline.restructure", &mut p, |p| {
+            crate::restructure::apply(p, &mut plan)
+        });
+        staged("pipeline.rewrite", &mut p, |p| {
+            crate::rewrite::apply(p, &result, &plan)
+        });
+        {
+            let _s = trace::span("pipeline.verify");
+            if let Err(errors) = oi_ir::verify::verify(&p) {
+                panic!("object inlining produced invalid IR: {errors:?}");
+            }
         }
-        run_opts(&mut p, &config.opt);
+        staged("pipeline.cleanup", &mut p, |p| run_opts(p, &config.opt));
         passes = pass + 1;
     }
     // A final devirtualization round: inlining exposes monomorphic sends on
     // interior receivers.
-    let result = analyze(&p, &config.analysis);
-    crate::devirt::devirtualize(&mut p, &result);
-    run_opts(&mut p, &config.opt);
-    if let Err(errors) = oi_ir::verify::verify(&p) {
-        panic!("final cleanup produced invalid IR: {errors:?}");
+    {
+        let _s = trace::span("pipeline.finalize");
+        let result = {
+            let _s = trace::span("pipeline.analyze");
+            analyze(&p, &config.analysis)
+        };
+        staged("pipeline.devirt", &mut p, |p| {
+            crate::devirt::devirtualize(p, &result)
+        });
+        staged("pipeline.cleanup", &mut p, |p| run_opts(p, &config.opt));
+        let _v = trace::span("pipeline.verify");
+        if let Err(errors) = oi_ir::verify::verify(&p) {
+            panic!("final cleanup produced invalid IR: {errors:?}");
+        }
     }
 
     report.total_object_fields = first_pass_total.unwrap_or(0);
     report.fields_inlined = inlined_fields.len();
-    Optimized { program: p, report, passes }
+    Optimized {
+        program: p,
+        report,
+        passes,
+    }
 }
 
 /// The comparison configuration: identical analysis framework and cleanups,
 /// no object inlining.
 pub fn baseline(program: &Program, opt: &OptConfig) -> Program {
     let mut p = program.clone();
-    for _ in 0..2 {
-        let result = analyze(&p, &AnalysisConfig::without_tags());
-        crate::devirt::devirtualize(&mut p, &result);
-        run_opts(&mut p, opt);
+    for round in 0..2usize {
+        let _s = trace::span_with("pipeline.baseline_round", vec![kv("round", round)]);
+        let result = {
+            let _s = trace::span("pipeline.analyze");
+            analyze(&p, &AnalysisConfig::without_tags())
+        };
+        staged("pipeline.devirt", &mut p, |p| {
+            crate::devirt::devirtualize(p, &result)
+        });
+        staged("pipeline.cleanup", &mut p, |p| run_opts(p, opt));
     }
     if let Err(errors) = oi_ir::verify::verify(&p) {
         panic!("baseline pipeline produced invalid IR: {errors:?}");
@@ -152,31 +218,63 @@ pub fn baseline(program: &Program, opt: &OptConfig) -> Program {
     p
 }
 
-fn record_outcomes(p: &Program, plan: &InlinePlan, report: &mut EffectivenessReport) {
+fn record_outcomes(p: &Program, plan: &InlinePlan, report: &mut EffectivenessReport, pass: usize) {
     for e in &plan.entries {
-        report.outcomes.push(crate::report::FieldOutcome {
-            name: format!(
-                "{}.{}",
-                p.interner.resolve(p.classes[e.declaring].name),
-                p.interner.resolve(e.field)
+        let name = format!(
+            "{}.{}",
+            p.interner.resolve(p.classes[e.declaring].name),
+            p.interner.resolve(e.field)
+        );
+        report.provenance.push(crate::report::ProvenanceStep {
+            pass,
+            field: name.clone(),
+            inlined: true,
+            code: "inlined".to_owned(),
+            rule: None,
+            detail: format!(
+                "child {} inlined into {} container(s)",
+                p.interner.resolve(p.classes[e.child].name),
+                e.containers.len()
             ),
+        });
+        report.outcomes.push(crate::report::FieldOutcome {
+            name,
             inlined: true,
             reason: String::new(),
+            code: String::new(),
+            rule: None,
+            detail: String::new(),
         });
     }
-    record_rejections(p, plan, report);
+    record_rejections(p, plan, report, pass);
 }
 
-fn record_rejections(p: &Program, plan: &InlinePlan, report: &mut EffectivenessReport) {
+fn record_rejections(
+    p: &Program,
+    plan: &InlinePlan,
+    report: &mut EffectivenessReport,
+    pass: usize,
+) {
     let _ = p;
-    for (name, reason) in &plan.rejected {
-        if report.outcomes.iter().any(|o| &o.name == name) {
+    for r in &plan.rejected {
+        report.provenance.push(crate::report::ProvenanceStep {
+            pass,
+            field: r.field.clone(),
+            inlined: false,
+            code: r.code.code().to_owned(),
+            rule: Some(r.code.rule()),
+            detail: r.detail.clone(),
+        });
+        if report.outcomes.iter().any(|o| o.name == r.field) {
             continue;
         }
         report.outcomes.push(crate::report::FieldOutcome {
-            name: name.clone(),
+            name: r.field.clone(),
             inlined: false,
-            reason: reason.clone(),
+            reason: r.code.summary().to_owned(),
+            code: r.code.code().to_owned(),
+            rule: Some(r.code.rule()),
+            detail: r.detail.clone(),
         });
     }
 }
@@ -238,7 +336,11 @@ mod tests {
         )
         .unwrap();
         let opt = optimize(&p, &InlineConfig::default());
-        assert!(opt.passes >= 2, "nested inlining takes two passes, got {}", opt.passes);
+        assert!(
+            opt.passes >= 2,
+            "nested inlining takes two passes, got {}",
+            opt.passes
+        );
         assert_eq!(opt.report.fields_inlined, 2, "{:?}", opt.report.outcomes);
         let out = run(&opt.program, &VmConfig::default()).unwrap();
         assert_eq!(out.output, "7\n7\n");

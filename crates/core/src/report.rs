@@ -8,6 +8,7 @@
 //! automatically.
 
 use oi_ir::Program;
+use oi_support::Json;
 
 /// Per-field outcome, for diagnostics.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -19,6 +20,30 @@ pub struct FieldOutcome {
     /// Rejection reason when not inlined (empty if inlined or never a
     /// candidate).
     pub reason: String,
+    /// Stable kebab-case reason code (empty when inlined).
+    pub code: String,
+    /// The DESIGN §4 rule number behind `code` (`None` when inlined).
+    pub rule: Option<u8>,
+    /// Offending site or class (empty when inlined or not pinpointed).
+    pub detail: String,
+}
+
+/// One step in a field's decision history: what the decision stage
+/// concluded about it on one pipeline pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceStep {
+    /// Pipeline pass the verdict was reached on (0-based).
+    pub pass: usize,
+    /// `Class.field` the verdict applies to.
+    pub field: String,
+    /// `true` for the pass that inlined the field.
+    pub inlined: bool,
+    /// Reason code (`"inlined"` for accepting steps).
+    pub code: String,
+    /// The DESIGN §4 rule number (`None` for accepting steps).
+    pub rule: Option<u8>,
+    /// Offending site or class named by the rule, if any.
+    pub detail: String,
 }
 
 /// The Figure 14 row for one program.
@@ -36,9 +61,85 @@ pub struct EffectivenessReport {
     pub array_sites_inlined: usize,
     /// Per-field details.
     pub outcomes: Vec<FieldOutcome>,
+    /// Full decision history across passes, in the order verdicts were
+    /// reached (a field can be rejected on pass 0 and inlined on pass 1).
+    pub provenance: Vec<ProvenanceStep>,
+}
+
+impl FieldOutcome {
+    /// The outcome as schema-stable JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("field", self.name.clone().into()),
+            ("inlined", self.inlined.into()),
+            (
+                "code",
+                if self.inlined {
+                    "inlined".into()
+                } else {
+                    self.code.clone().into()
+                },
+            ),
+            (
+                "rule",
+                match self.rule {
+                    Some(r) => u64::from(r).into(),
+                    None => Json::Null,
+                },
+            ),
+            ("reason", self.reason.clone().into()),
+            ("detail", self.detail.clone().into()),
+        ])
+    }
+}
+
+impl ProvenanceStep {
+    /// The step as schema-stable JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pass", self.pass.into()),
+            ("field", self.field.clone().into()),
+            ("inlined", self.inlined.into()),
+            ("code", self.code.clone().into()),
+            (
+                "rule",
+                match self.rule {
+                    Some(r) => u64::from(r).into(),
+                    None => Json::Null,
+                },
+            ),
+            ("detail", self.detail.clone().into()),
+        ])
+    }
 }
 
 impl EffectivenessReport {
+    /// The report as schema-stable JSON: the Figure 14 counters plus
+    /// per-field decisions (with reason codes) and the full provenance
+    /// chain.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total_object_fields", self.total_object_fields.into()),
+            ("ideal", self.ideal.into()),
+            ("cxx", self.cxx.into()),
+            ("fields_inlined", self.fields_inlined.into()),
+            ("array_sites_inlined", self.array_sites_inlined.into()),
+            (
+                "decisions",
+                Json::Arr(self.outcomes.iter().map(FieldOutcome::to_json).collect()),
+            ),
+            (
+                "provenance",
+                Json::Arr(
+                    self.provenance
+                        .iter()
+                        .map(ProvenanceStep::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Counts the annotation-based columns from the program source.
     pub fn count_annotations(program: &Program) -> (usize, usize) {
         let ideal = program.interner.get("inline_ideal");
@@ -93,6 +194,7 @@ mod tests {
             fields_inlined: 4,
             array_sites_inlined: 1,
             outcomes: vec![],
+            provenance: vec![],
         };
         let s = r.to_string();
         assert!(s.contains("automatically inlined : 4"));

@@ -31,9 +31,14 @@ pub fn apply(program: &mut Program, plan: &mut InlinePlan) {
 
     for (i, entry) in plan.entries.iter().enumerate() {
         let child_layout = program.layout_of(entry.child);
-        let child_names: Vec<Symbol> =
-            child_layout.iter().map(|&f| program.fields[f].name).collect();
-        assert!(!child_names.is_empty(), "zero-width child was filtered by the decision");
+        let child_names: Vec<Symbol> = child_layout
+            .iter()
+            .map(|&f| program.fields[f].name)
+            .collect();
+        assert!(
+            !child_names.is_empty(),
+            "zero-width child was filtered by the decision"
+        );
         let fname_str = program.interner.resolve(entry.field).to_owned();
 
         if entry.uniform {
@@ -57,25 +62,32 @@ pub fn apply(program: &mut Program, plan: &mut InlinePlan) {
                 }));
             }
             program.classes[declaring].own_fields[pos] = new_ids[0];
-            program.classes[declaring].own_fields.extend(new_ids[1..].iter().copied());
+            program.classes[declaring]
+                .own_fields
+                .extend(new_ids[1..].iter().copied());
             entry_first_field[i] = Some(new_ids[0]);
             entry_rest_fields[i] = new_ids[1..].to_vec();
         } else {
             // Divergent: shared replacement slot in the declaring class,
             // per-concrete-class extras.
             let declaring = entry.declaring;
-            let slot_fid = *divergent_slot.entry((declaring, entry.field)).or_insert_with(|| {
-                let pos = program.classes[declaring]
-                    .own_fields
-                    .iter()
-                    .position(|&f| program.fields[f].name == entry.field)
-                    .expect("declaring class owns the inlined field");
-                let sym = program.interner.fresh(&format!("{fname_str}$inline"));
-                let fid =
-                    program.fields.push(Field { name: sym, owner: declaring, annotations: vec![] });
-                program.classes[declaring].own_fields[pos] = fid;
-                fid
-            });
+            let slot_fid = *divergent_slot
+                .entry((declaring, entry.field))
+                .or_insert_with(|| {
+                    let pos = program.classes[declaring]
+                        .own_fields
+                        .iter()
+                        .position(|&f| program.fields[f].name == entry.field)
+                        .expect("declaring class owns the inlined field");
+                    let sym = program.interner.fresh(&format!("{fname_str}$inline"));
+                    let fid = program.fields.push(Field {
+                        name: sym,
+                        owner: declaring,
+                        annotations: vec![],
+                    });
+                    program.classes[declaring].own_fields[pos] = fid;
+                    fid
+                });
             entry_first_field[i] = Some(slot_fid);
             let concrete = entry.containers[0];
             let mut rest = Vec::new();
@@ -89,7 +101,9 @@ pub fn apply(program: &mut Program, plan: &mut InlinePlan) {
                     annotations: vec![],
                 }));
             }
-            program.classes[concrete].own_fields.extend(rest.iter().copied());
+            program.classes[concrete]
+                .own_fields
+                .extend(rest.iter().copied());
             entry_rest_fields[i] = rest;
         }
     }
@@ -105,7 +119,11 @@ pub fn apply(program: &mut Program, plan: &mut InlinePlan) {
         // Slots are computed in a representative container's layout; for
         // uniform entries the new fields live in the declaring class's
         // segment, so indices agree across all subclasses.
-        let container = if entry.uniform { entry.declaring } else { entry.containers[0] };
+        let container = if entry.uniform {
+            entry.declaring
+        } else {
+            entry.containers[0]
+        };
         let container_layout = program.layout_of(container);
         let slot_of = |fid: oi_ir::FieldId| -> usize {
             container_layout
@@ -129,8 +147,11 @@ pub fn apply(program: &mut Program, plan: &mut InlinePlan) {
         if a.pre_existing {
             continue; // keeps its existing layout
         }
-        let child_names: Vec<Symbol> =
-            program.layout_of(a.child).iter().map(|&f| program.fields[f].name).collect();
+        let child_names: Vec<Symbol> = program
+            .layout_of(a.child)
+            .iter()
+            .map(|&f| program.fields[f].name)
+            .collect();
         let layout = program.layouts.push(InlineLayout {
             child_class: a.child,
             child_fields: child_names,

@@ -33,11 +33,7 @@ pub struct RewriteStats {
 }
 
 /// Rewrites every method against the (already restructured) plan.
-pub fn apply(
-    program: &mut Program,
-    result: &AnalysisResult,
-    plan: &InlinePlan,
-) -> RewriteStats {
+pub fn apply(program: &mut Program, result: &AnalysisResult, plan: &InlinePlan) -> RewriteStats {
     let mut stats = RewriteStats::default();
     let init_sym = program.interner.get("init");
     for mid in program.methods.ids().collect::<Vec<_>>() {
@@ -78,18 +74,18 @@ fn rewrite_method(
                         .iter()
                         .find(|e| e.layout == Some(layout))
                         .expect("layout belongs to an entry");
-                    if let Some(j) = find_in_place_new(program, &old, i, &[*obj], *src, entry.child) {
+                    if let Some(j) = find_in_place_new(program, &old, i, &[*obj], *src, entry.child)
+                    {
                         in_place_new.insert(j, i);
                         in_place_store.insert(i, (j, layout));
                     }
                 }
                 Instr::ArraySet { arr, idx, src } => {
-                    let Some((layout, child)) =
-                        lookup_array_layout(result, plan, mid, *arr)
-                    else {
+                    let Some((layout, child)) = lookup_array_layout(result, plan, mid, *arr) else {
                         continue;
                     };
-                    if let Some(j) = find_in_place_new(program, &old, i, &[*arr, *idx], *src, child) {
+                    if let Some(j) = find_in_place_new(program, &old, i, &[*arr, *idx], *src, child)
+                    {
                         in_place_new.insert(j, i);
                         in_place_store.insert(i, (j, layout));
                     }
@@ -130,7 +126,12 @@ fn rewrite_method(
                         None => new_instrs.push(instr.clone()),
                     }
                 }
-                Instr::New { dst, class, args, site } => {
+                Instr::New {
+                    dst,
+                    class,
+                    args,
+                    site,
+                } => {
                     if let Some(&store_idx) = in_place_new.get(&i) {
                         // Replace allocation with interior construction.
                         let (_, layout) = in_place_store[&store_idx];
@@ -152,8 +153,7 @@ fn rewrite_method(
                             }
                             _ => unreachable!("in-place target is a store"),
                         }
-                        if let Some(init) =
-                            init_sym.and_then(|s| program.lookup_method(*class, s))
+                        if let Some(init) = init_sym.and_then(|s| program.lookup_method(*class, s))
                         {
                             // Raw allocations (constructor explosion) have
                             // an explicit init call elsewhere; only emit
@@ -335,7 +335,9 @@ fn find_in_place_new(
                 let in_window = k > j && k < store_idx;
                 let is_construction = in_window
                     && match instr {
-                        Instr::CallStatic { method, recv, args, .. } => {
+                        Instr::CallStatic {
+                            method, recv, args, ..
+                        } => {
                             Some(*method) == child_init
                                 && chain.contains(recv)
                                 && !args.iter().any(|a| chain.contains(a))
@@ -355,9 +357,7 @@ fn find_in_place_new(
         // A redefinition of a chain temp after the New also disqualifies.
         if k > j && k < store_idx {
             if let Some(d) = instr.dst() {
-                if chain.contains(&d)
-                    && !matches!(instr, Instr::Move { .. } | Instr::New { .. })
-                {
+                if chain.contains(&d) && !matches!(instr, Instr::Move { .. } | Instr::New { .. }) {
                     return None;
                 }
             }
@@ -376,12 +376,24 @@ fn emit_copy(
     layout: oi_ir::LayoutId,
 ) {
     let interior = fresh_temp(program, mid);
-    out.push(Instr::MakeInterior { dst: interior, obj, layout });
+    out.push(Instr::MakeInterior {
+        dst: interior,
+        obj,
+        layout,
+    });
     let child_fields = program.layouts[layout].child_fields.clone();
     for g in child_fields {
         let tmp = fresh_temp(program, mid);
-        out.push(Instr::GetField { dst: tmp, obj: src, field: g });
-        out.push(Instr::SetField { obj: interior, field: g, src: tmp });
+        out.push(Instr::GetField {
+            dst: tmp,
+            obj: src,
+            field: g,
+        });
+        out.push(Instr::SetField {
+            obj: interior,
+            field: g,
+            src: tmp,
+        });
     }
 }
 

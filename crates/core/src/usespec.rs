@@ -29,13 +29,11 @@ pub struct RecvInfo {
 }
 
 /// Computes the joined receiver information for `temp` in `method`.
-pub fn receiver_info(
-    result: &AnalysisResult,
-    method: MethodId,
-    temp: Temp,
-) -> RecvInfo {
+pub fn receiver_info(result: &AnalysisResult, method: MethodId, temp: Temp) -> RecvInfo {
     let mut info = RecvInfo::default();
-    let Some(contours) = result.contours_of_method.get(&method) else { return info };
+    let Some(contours) = result.contours_of_method.get(&method) else {
+        return info;
+    };
     for &c in contours {
         let v = &result.mcontours[c].frame[temp.index()];
         for ty in &v.types {
@@ -135,7 +133,13 @@ pub fn array_stores(program: &Program) -> Vec<ArrayStore> {
     for (mid, m) in program.methods.iter_enumerated() {
         for (bb, idx, instr) in m.instrs() {
             if let Instr::ArraySet { arr, idx: _, src } = instr {
-                out.push(ArrayStore { method: mid, bb, idx, arr: *arr, src: *src });
+                out.push(ArrayStore {
+                    method: mid,
+                    bb,
+                    idx,
+                    arr: *arr,
+                    src: *src,
+                });
             }
         }
     }
@@ -146,15 +150,17 @@ pub fn array_stores(program: &Program) -> Vec<ArrayStore> {
 /// (`===`, and `==`/`!=` between references). Inlining a child of any of
 /// these classes could change comparison results, so candidates with these
 /// child classes are demoted.
-pub fn identity_compared_classes(
-    program: &Program,
-    result: &AnalysisResult,
-) -> BTreeSet<ClassId> {
+pub fn identity_compared_classes(program: &Program, result: &AnalysisResult) -> BTreeSet<ClassId> {
     let mut out = BTreeSet::new();
     for (mid, m) in program.methods.iter_enumerated() {
         for (_, _, instr) in m.instrs() {
-            let Instr::Binary { op, lhs, rhs, .. } = instr else { continue };
-            if !matches!(op, oi_ir::BinOp::RefEq | oi_ir::BinOp::Eq | oi_ir::BinOp::Ne) {
+            let Instr::Binary { op, lhs, rhs, .. } = instr else {
+                continue;
+            };
+            if !matches!(
+                op,
+                oi_ir::BinOp::RefEq | oi_ir::BinOp::Eq | oi_ir::BinOp::Ne
+            ) {
                 continue;
             }
             let li = receiver_info(result, mid, *lhs);

@@ -217,7 +217,11 @@ fn partially_covered_divergent_hierarchy_is_demoted() {
         "partial coverage must demote Task.rec: {:#?}",
         opt.report.outcomes
     );
-    let base = run(&baseline(&program, &OptConfig::default()), &VmConfig::default()).unwrap();
+    let base = run(
+        &baseline(&program, &OptConfig::default()),
+        &VmConfig::default(),
+    )
+    .unwrap();
     let inl = run(&opt.program, &VmConfig::default()).unwrap();
     assert_eq!(base.output, inl.output);
     assert_eq!(base.output, "30\n");

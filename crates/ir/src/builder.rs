@@ -40,7 +40,14 @@ impl FunctionBuilder {
     pub fn new(name: Symbol, class: ClassId, param_count: u32) -> Self {
         let mut blocks = IdxVec::new();
         let entry = blocks.push(Block::default());
-        Self { name, class, param_count, next_temp: param_count + 1, blocks, current: entry }
+        Self {
+            name,
+            class,
+            param_count,
+            next_temp: param_count + 1,
+            blocks,
+            current: entry,
+        }
     }
 
     /// Allocates a fresh temp.
@@ -124,7 +131,10 @@ impl FunctionBuilder {
                     self.next_temp += 1;
                     t
                 });
-                self.blocks[bb].instrs.push(Instr::Const { dst: t, value: ConstValue::Nil });
+                self.blocks[bb].instrs.push(Instr::Const {
+                    dst: t,
+                    value: ConstValue::Nil,
+                });
                 self.blocks[bb].term = Terminator::Return(t);
             }
         }

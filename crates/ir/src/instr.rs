@@ -398,14 +398,18 @@ impl Instr {
             }
             Instr::GetGlobal { dst, .. } => *dst = f(*dst),
             Instr::SetGlobal { src, .. } => *src = f(*src),
-            Instr::Send { dst, recv, args, .. } => {
+            Instr::Send {
+                dst, recv, args, ..
+            } => {
                 *dst = f(*dst);
                 *recv = f(*recv);
                 for a in args {
                     *a = f(*a);
                 }
             }
-            Instr::CallStatic { dst, recv, args, .. } => {
+            Instr::CallStatic {
+                dst, recv, args, ..
+            } => {
                 *dst = f(*dst);
                 *recv = f(*recv);
                 for a in args {
@@ -453,8 +457,7 @@ impl Instr {
 }
 
 /// A block terminator.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
@@ -474,13 +477,14 @@ pub enum Terminator {
     Unterminated,
 }
 
-
 impl Terminator {
     /// Successor blocks.
     pub fn successors(&self) -> Vec<BlockId> {
         match *self {
             Terminator::Jump(b) => vec![b],
-            Terminator::Branch { then_bb, else_bb, .. } => vec![then_bb, else_bb],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![then_bb, else_bb],
             Terminator::Return(_) | Terminator::Unterminated => vec![],
         }
     }
@@ -507,7 +511,9 @@ impl Terminator {
     pub fn map_blocks(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             Terminator::Jump(b) => *b = f(*b),
-            Terminator::Branch { then_bb, else_bb, .. } => {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = f(*then_bb);
                 *else_bb = f(*else_bb);
             }
@@ -535,7 +541,12 @@ mod tests {
     #[test]
     fn dst_and_uses_are_consistent() {
         let t = |n| Temp::new(n);
-        let i = Instr::Binary { dst: t(3), op: BinOp::Add, lhs: t(1), rhs: t(2) };
+        let i = Instr::Binary {
+            dst: t(3),
+            op: BinOp::Add,
+            lhs: t(1),
+            rhs: t(2),
+        };
         assert_eq!(i.dst(), Some(t(3)));
         let mut uses = Vec::new();
         i.uses(&mut uses);
@@ -549,7 +560,11 @@ mod tests {
             let mut i = oi_support::Interner::new();
             i.intern("f")
         };
-        let i = Instr::SetField { obj: t(0), field: sym, src: t(1) };
+        let i = Instr::SetField {
+            obj: t(0),
+            field: sym,
+            src: t(1),
+        };
         assert_eq!(i.dst(), None);
         assert!(!i.is_pure());
     }
@@ -557,10 +572,15 @@ mod tests {
     #[test]
     fn map_temps_rewrites_everything() {
         let t = |n| Temp::new(n);
-        let mut i = Instr::Send { dst: t(0), recv: t(1), selector: {
-            let mut int = oi_support::Interner::new();
-            int.intern("area")
-        }, args: vec![t(2), t(3)] };
+        let mut i = Instr::Send {
+            dst: t(0),
+            recv: t(1),
+            selector: {
+                let mut int = oi_support::Interner::new();
+                int.intern("area")
+            },
+            args: vec![t(2), t(3)],
+        };
         i.map_temps(|x| Temp::new(x.index() + 10));
         let mut uses = Vec::new();
         i.uses(&mut uses);
@@ -573,7 +593,12 @@ mod tests {
         let b = |n| BlockId::new(n);
         assert_eq!(Terminator::Jump(b(1)).successors(), vec![b(1)]);
         assert_eq!(
-            Terminator::Branch { cond: Temp::new(0), then_bb: b(1), else_bb: b(2) }.successors(),
+            Terminator::Branch {
+                cond: Temp::new(0),
+                then_bb: b(1),
+                else_bb: b(2)
+            }
+            .successors(),
             vec![b(1), b(2)]
         );
         assert!(Terminator::Return(Temp::new(0)).successors().is_empty());
@@ -582,11 +607,25 @@ mod tests {
     #[test]
     fn purity_classification() {
         let t = |n| Temp::new(n);
-        assert!(Instr::Move { dst: t(0), src: t(1) }.is_pure());
-        assert!(Instr::MakeInterior { dst: t(0), obj: t(1), layout: LayoutId::new(0) }.is_pure());
+        assert!(Instr::Move {
+            dst: t(0),
+            src: t(1)
+        }
+        .is_pure());
+        assert!(Instr::MakeInterior {
+            dst: t(0),
+            obj: t(1),
+            layout: LayoutId::new(0)
+        }
+        .is_pure());
         assert!(!Instr::Print { src: t(0) }.is_pure());
-        assert!(!Instr::New { dst: t(0), class: ClassId::new(0), args: vec![], site: SiteId::new(0) }
-            .is_pure());
+        assert!(!Instr::New {
+            dst: t(0),
+            class: ClassId::new(0),
+            args: vec![],
+            site: SiteId::new(0)
+        }
+        .is_pure());
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use crate::builder::FunctionBuilder;
 use crate::instr::{BinOp, Builtin, ConstValue, Instr, Terminator, UnOp};
-use crate::program::{Block as IrBlock, Class, ClassId, Field, Global, GlobalId, Method, MethodId, Program, Temp};
+use crate::program::{
+    Block as IrBlock, Class, ClassId, Field, Global, GlobalId, Method, MethodId, Program, Temp,
+};
 use oi_lang::ast;
 use oi_support::{Diagnostic, IdxVec, Interner, Span, Symbol};
 use std::collections::HashMap;
@@ -93,11 +95,15 @@ impl Lowerer {
         }
 
         let main_sym = self.interner.intern("main");
-        let entry = *self.free_fns.get(&main_sym).ok_or_else(|| {
-            Diagnostic::error("program has no `fn main`", Span::dummy())
-        })?;
+        let entry = *self
+            .free_fns
+            .get(&main_sym)
+            .ok_or_else(|| Diagnostic::error("program has no `fn main`", Span::dummy()))?;
         if self.methods[entry].param_count != 0 {
-            return Err(Diagnostic::error("`fn main` must take no parameters", Span::dummy()));
+            return Err(Diagnostic::error(
+                "`fn main` must take no parameters",
+                Span::dummy(),
+            ));
         }
 
         Ok(Program {
@@ -143,10 +149,21 @@ impl Lowerer {
             }
             for field in &class.fields {
                 let fname = self.interner.intern(&field.name);
-                let annotations =
-                    field.annotations.iter().map(|a| self.interner.intern(a)).collect();
-                let fid = self.fields.push(Field { name: fname, owner: id, annotations });
-                if self.classes[id].own_fields.iter().any(|&f| self.fields[f].name == fname) {
+                let annotations = field
+                    .annotations
+                    .iter()
+                    .map(|a| self.interner.intern(a))
+                    .collect();
+                let fid = self.fields.push(Field {
+                    name: fname,
+                    owner: id,
+                    annotations,
+                });
+                if self.classes[id]
+                    .own_fields
+                    .iter()
+                    .any(|&f| self.fields[f].name == fname)
+                {
                     return Err(Diagnostic::error(
                         format!("duplicate field `{}` in class `{}`", field.name, class.name),
                         field.span,
@@ -206,7 +223,10 @@ impl Lowerer {
         for g in &ast.globals {
             let name = self.interner.intern(&g.name);
             if self.global_names.contains_key(&name) {
-                return Err(Diagnostic::error(format!("duplicate global `{}`", g.name), g.span));
+                return Err(Diagnostic::error(
+                    format!("duplicate global `{}`", g.name),
+                    g.span,
+                ));
             }
             let id = self.globals.push(Global { name });
             self.global_names.insert(name, id);
@@ -232,20 +252,28 @@ impl Lowerer {
                         m.span,
                     ));
                 }
-                let mid = self.methods.push(placeholder_method(
-                    mname,
-                    cid,
-                    m.params.len() as u32,
-                ));
+                let mid = self
+                    .methods
+                    .push(placeholder_method(mname, cid, m.params.len() as u32));
                 self.classes[cid].methods.insert(mname, mid);
-                plan.push((mid, BodyRef { params: &m.params, body: &m.body, span: m.span }));
+                plan.push((
+                    mid,
+                    BodyRef {
+                        params: &m.params,
+                        body: &m.body,
+                        span: m.span,
+                    },
+                ));
             }
         }
         let main_class = ClassId::new(0);
         for f in &ast.functions {
             let fname = self.interner.intern(&f.name);
             if self.free_fns.contains_key(&fname) {
-                return Err(Diagnostic::error(format!("duplicate function `{}`", f.name), f.span));
+                return Err(Diagnostic::error(
+                    format!("duplicate function `{}`", f.name),
+                    f.span,
+                ));
             }
             if Builtin::by_name(&f.name).is_some() {
                 return Err(Diagnostic::error(
@@ -254,10 +282,18 @@ impl Lowerer {
                 ));
             }
             let mid =
-                self.methods.push(placeholder_method(fname, main_class, f.params.len() as u32));
+                self.methods
+                    .push(placeholder_method(fname, main_class, f.params.len() as u32));
             self.free_fns.insert(fname, mid);
             self.classes[main_class].methods.insert(fname, mid);
-            plan.push((mid, BodyRef { params: &f.params, body: &f.body, span: f.span }));
+            plan.push((
+                mid,
+                BodyRef {
+                    params: &f.params,
+                    body: &f.body,
+                    span: f.span,
+                },
+            ));
         }
         Ok(plan)
     }
@@ -273,7 +309,10 @@ impl Lowerer {
             let sym = self.interner.intern(p);
             let t = ctx.builder.param_temp(i as u32);
             if ctx.scopes[0].insert(sym, t).is_some() {
-                return Err(Diagnostic::error(format!("duplicate parameter `{p}`"), body.span));
+                return Err(Diagnostic::error(
+                    format!("duplicate parameter `{p}`"),
+                    body.span,
+                ));
             }
         }
         self.lower_block(&mut ctx, body.body)?;
@@ -302,21 +341,37 @@ impl Lowerer {
                     ));
                 }
                 let slot = ctx.builder.new_temp();
-                ctx.builder.push(Instr::Move { dst: slot, src: value });
+                ctx.builder.push(Instr::Move {
+                    dst: slot,
+                    src: value,
+                });
                 ctx.scopes.last_mut().unwrap().insert(sym, slot);
             }
-            ast::Stmt::Assign { target, value, span } => {
+            ast::Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 self.lower_assign(ctx, target, value, *span)?;
             }
             ast::Stmt::Expr(e) => {
                 self.lower_expr(ctx, e)?;
             }
-            ast::Stmt::If { cond, then_block, else_block, .. } => {
+            ast::Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
                 let c = self.lower_expr(ctx, cond)?;
                 let then_bb = ctx.builder.new_block();
                 let else_bb = ctx.builder.new_block();
                 let join_bb = ctx.builder.new_block();
-                ctx.builder.terminate(Terminator::Branch { cond: c, then_bb, else_bb });
+                ctx.builder.terminate(Terminator::Branch {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                });
                 ctx.builder.switch_to(then_bb);
                 self.lower_block(ctx, then_block)?;
                 ctx.builder.terminate(Terminator::Jump(join_bb));
@@ -386,13 +441,21 @@ impl Lowerer {
                 let o = self.lower_expr(ctx, obj)?;
                 let v = self.lower_expr(ctx, value)?;
                 let f = self.interner.intern(field);
-                ctx.builder.push(Instr::SetField { obj: o, field: f, src: v });
+                ctx.builder.push(Instr::SetField {
+                    obj: o,
+                    field: f,
+                    src: v,
+                });
             }
             ast::ExprKind::Index { arr, index } => {
                 let a = self.lower_expr(ctx, arr)?;
                 let i = self.lower_expr(ctx, index)?;
                 let v = self.lower_expr(ctx, value)?;
-                ctx.builder.push(Instr::ArraySet { arr: a, idx: i, src: v });
+                ctx.builder.push(Instr::ArraySet {
+                    arr: a,
+                    idx: i,
+                    src: v,
+                });
             }
             _ => {
                 return Err(Diagnostic::error("invalid assignment target", target.span));
@@ -426,28 +489,40 @@ impl Lowerer {
                     ctx.builder.push(Instr::GetGlobal { dst, global: g });
                     Ok(dst)
                 } else {
-                    Err(Diagnostic::error(format!("unknown variable `{name}`"), e.span))
+                    Err(Diagnostic::error(
+                        format!("unknown variable `{name}`"),
+                        e.span,
+                    ))
                 }
             }
             ast::ExprKind::Field { obj, field } => {
                 let o = self.lower_expr(ctx, obj)?;
                 let f = self.interner.intern(field);
                 let dst = ctx.builder.new_temp();
-                ctx.builder.push(Instr::GetField { dst, obj: o, field: f });
+                ctx.builder.push(Instr::GetField {
+                    dst,
+                    obj: o,
+                    field: f,
+                });
                 Ok(dst)
             }
             ast::ExprKind::Index { arr, index } => {
                 let a = self.lower_expr(ctx, arr)?;
                 let i = self.lower_expr(ctx, index)?;
                 let dst = ctx.builder.new_temp();
-                ctx.builder.push(Instr::ArrayGet { dst, arr: a, idx: i });
+                ctx.builder.push(Instr::ArrayGet {
+                    dst,
+                    arr: a,
+                    idx: i,
+                });
                 Ok(dst)
             }
             ast::ExprKind::New { class, args } => {
                 let csym = self.interner.intern(class);
-                let cid = *self.class_names.get(&csym).ok_or_else(|| {
-                    Diagnostic::error(format!("unknown class `{class}`"), e.span)
-                })?;
+                let cid = *self
+                    .class_names
+                    .get(&csym)
+                    .ok_or_else(|| Diagnostic::error(format!("unknown class `{class}`"), e.span))?;
                 let init_sym = self.interner.intern("init");
                 let init = self.lookup_method_early(cid, init_sym);
                 match init {
@@ -473,7 +548,12 @@ impl Lowerer {
                 let dst = ctx.builder.new_temp();
                 let site = crate::program::SiteId::new(self.site_count as usize);
                 self.site_count += 1;
-                ctx.builder.push(Instr::New { dst, class: cid, args: arg_temps, site });
+                ctx.builder.push(Instr::New {
+                    dst,
+                    class: cid,
+                    args: arg_temps,
+                    site,
+                });
                 Ok(dst)
             }
             ast::ExprKind::NewArray { len } => {
@@ -493,19 +573,36 @@ impl Lowerer {
                 for (i, elem) in elems.iter().enumerate() {
                     let v = self.lower_expr(ctx, elem)?;
                     let idx = ctx.builder.push_const(ConstValue::Int(i as i64));
-                    ctx.builder.push(Instr::ArraySet { arr: dst, idx, src: v });
+                    ctx.builder.push(Instr::ArraySet {
+                        arr: dst,
+                        idx,
+                        src: v,
+                    });
                 }
                 Ok(dst)
             }
-            ast::ExprKind::Call { recv: Some(recv), name, args } => {
+            ast::ExprKind::Call {
+                recv: Some(recv),
+                name,
+                args,
+            } => {
                 let r = self.lower_expr(ctx, recv)?;
                 let arg_temps = self.lower_args(ctx, args)?;
                 let sel = self.interner.intern(name);
                 let dst = ctx.builder.new_temp();
-                ctx.builder.push(Instr::Send { dst, recv: r, selector: sel, args: arg_temps });
+                ctx.builder.push(Instr::Send {
+                    dst,
+                    recv: r,
+                    selector: sel,
+                    args: arg_temps,
+                });
                 Ok(dst)
             }
-            ast::ExprKind::Call { recv: None, name, args } => {
+            ast::ExprKind::Call {
+                recv: None,
+                name,
+                args,
+            } => {
                 if let Some(builtin) = Builtin::by_name(name) {
                     if args.len() != builtin.arity() {
                         return Err(Diagnostic::error(
@@ -515,24 +612,29 @@ impl Lowerer {
                     }
                     let arg_temps = self.lower_args(ctx, args)?;
                     let dst = ctx.builder.new_temp();
-                    ctx.builder.push(Instr::CallBuiltin { dst, builtin, args: arg_temps });
+                    ctx.builder.push(Instr::CallBuiltin {
+                        dst,
+                        builtin,
+                        args: arg_temps,
+                    });
                     return Ok(dst);
                 }
                 let sym = self.interner.intern(name);
                 // A free call inside a class method may also target a method
                 // of the enclosing class (implicit self), like `area(ur)`.
                 if ctx.in_class != ClassId::new(0)
-                    && self.lookup_method_early(ctx.in_class, sym).is_some() {
-                        let arg_temps = self.lower_args(ctx, args)?;
-                        let dst = ctx.builder.new_temp();
-                        ctx.builder.push(Instr::Send {
-                            dst,
-                            recv: ctx.builder.self_temp(),
-                            selector: sym,
-                            args: arg_temps,
-                        });
-                        return Ok(dst);
-                    }
+                    && self.lookup_method_early(ctx.in_class, sym).is_some()
+                {
+                    let arg_temps = self.lower_args(ctx, args)?;
+                    let dst = ctx.builder.new_temp();
+                    ctx.builder.push(Instr::Send {
+                        dst,
+                        recv: ctx.builder.self_temp(),
+                        selector: sym,
+                        args: arg_temps,
+                    });
+                    return Ok(dst);
+                }
                 let mid = *self.free_fns.get(&sym).ok_or_else(|| {
                     Diagnostic::error(format!("unknown function `{name}`"), e.span)
                 })?;
@@ -549,7 +651,12 @@ impl Lowerer {
                 let arg_temps = self.lower_args(ctx, args)?;
                 let nil = ctx.builder.push_const(ConstValue::Nil);
                 let dst = ctx.builder.new_temp();
-                ctx.builder.push(Instr::CallStatic { dst, method: mid, recv: nil, args: arg_temps });
+                ctx.builder.push(Instr::CallStatic {
+                    dst,
+                    method: mid,
+                    recv: nil,
+                    args: arg_temps,
+                });
                 Ok(dst)
             }
             ast::ExprKind::Unary { op, operand } => {
@@ -562,12 +669,16 @@ impl Lowerer {
                 ctx.builder.push(Instr::Unary { dst, op, src: s });
                 Ok(dst)
             }
-            ast::ExprKind::Binary { op: ast::BinOp::And, lhs, rhs } => {
-                self.lower_short_circuit(ctx, lhs, rhs, true)
-            }
-            ast::ExprKind::Binary { op: ast::BinOp::Or, lhs, rhs } => {
-                self.lower_short_circuit(ctx, lhs, rhs, false)
-            }
+            ast::ExprKind::Binary {
+                op: ast::BinOp::And,
+                lhs,
+                rhs,
+            } => self.lower_short_circuit(ctx, lhs, rhs, true),
+            ast::ExprKind::Binary {
+                op: ast::BinOp::Or,
+                lhs,
+                rhs,
+            } => self.lower_short_circuit(ctx, lhs, rhs, false),
             ast::ExprKind::Binary { op, lhs, rhs } => {
                 let l = self.lower_expr(ctx, lhs)?;
                 let r = self.lower_expr(ctx, rhs)?;
@@ -587,7 +698,12 @@ impl Lowerer {
                     ast::BinOp::Ge => BinOp::Ge,
                     ast::BinOp::And | ast::BinOp::Or => unreachable!("handled above"),
                 };
-                ctx.builder.push(Instr::Binary { dst, op, lhs: l, rhs: r });
+                ctx.builder.push(Instr::Binary {
+                    dst,
+                    op,
+                    lhs: l,
+                    rhs: r,
+                });
                 Ok(dst)
             }
         }
@@ -603,14 +719,28 @@ impl Lowerer {
     ) -> Result<Temp, Diagnostic> {
         let result = ctx.builder.new_temp();
         let l = self.lower_expr(ctx, lhs)?;
-        ctx.builder.push(Instr::Move { dst: result, src: l });
+        ctx.builder.push(Instr::Move {
+            dst: result,
+            src: l,
+        });
         let rhs_bb = ctx.builder.new_block();
         let join_bb = ctx.builder.new_block();
-        let (then_bb, else_bb) = if is_and { (rhs_bb, join_bb) } else { (join_bb, rhs_bb) };
-        ctx.builder.terminate(Terminator::Branch { cond: l, then_bb, else_bb });
+        let (then_bb, else_bb) = if is_and {
+            (rhs_bb, join_bb)
+        } else {
+            (join_bb, rhs_bb)
+        };
+        ctx.builder.terminate(Terminator::Branch {
+            cond: l,
+            then_bb,
+            else_bb,
+        });
         ctx.builder.switch_to(rhs_bb);
         let r = self.lower_expr(ctx, rhs)?;
-        ctx.builder.push(Instr::Move { dst: result, src: r });
+        ctx.builder.push(Instr::Move {
+            dst: result,
+            src: r,
+        });
         ctx.builder.terminate(Terminator::Jump(join_bb));
         ctx.builder.switch_to(join_bb);
         Ok(result)
@@ -712,7 +842,11 @@ mod tests {
     fn while_loop_shapes_cfg() {
         let p = lower_ok("fn main() { var i = 0; while (i < 10) { i = i + 1; } print i; }");
         let m = &p.methods[p.entry];
-        assert!(m.blocks.len() >= 4, "expected head/body/exit blocks, got {}", m.blocks.len());
+        assert!(
+            m.blocks.len() >= 4,
+            "expected head/body/exit blocks, got {}",
+            m.blocks.len()
+        );
     }
 
     #[test]
@@ -798,8 +932,10 @@ mod tests {
     fn array_literal_lowering() {
         let p = lower_ok("fn main() { var a = [1, 2]; print a[0] + a[1]; }");
         let m = &p.methods[p.entry];
-        let sets =
-            m.instrs().filter(|(_, _, i)| matches!(i, Instr::ArraySet { .. })).count();
+        let sets = m
+            .instrs()
+            .filter(|(_, _, i)| matches!(i, Instr::ArraySet { .. }))
+            .count();
         assert_eq!(sets, 2);
     }
 
@@ -810,9 +946,7 @@ mod tests {
 
     #[test]
     fn block_scoping_allows_shadowing() {
-        let p = lower_ok(
-            "fn main() { var x = 1; if (true) { var x = 2; print x; } print x; }",
-        );
+        let p = lower_ok("fn main() { var x = 1; if (true) { var x = 2; print x; } print x; }");
         assert!(p.methods[p.entry].temp_count > 3);
     }
 }

@@ -32,7 +32,11 @@ pub fn print_program(program: &Program) -> String {
     for (cid, class) in program.classes.iter_enumerated() {
         let _ = write!(out, "class {} ", program.interner.resolve(class.name));
         if let Some(p) = class.parent {
-            let _ = write!(out, ": {} ", program.interner.resolve(program.classes[p].name));
+            let _ = write!(
+                out,
+                ": {} ",
+                program.interner.resolve(program.classes[p].name)
+            );
         }
         let fields: Vec<_> = program
             .layout_of(cid)
@@ -45,7 +49,9 @@ pub fn print_program(program: &Program) -> String {
         let _ = writeln!(
             out,
             "{lid}: child={} slots={:?} array={:?}",
-            program.interner.resolve(program.classes[layout.child_class].name),
+            program
+                .interner
+                .resolve(program.classes[layout.child_class].name),
             layout.slots,
             layout.array_kind
         );
@@ -63,13 +69,23 @@ fn print_instr(program: &Program, _method: &Method, instr: &Instr) -> String {
         Instr::Move { dst, src } => format!("{dst} = {src}"),
         Instr::Unary { dst, op, src } => format!("{dst} = {op:?} {src}"),
         Instr::Binary { dst, op, lhs, rhs } => format!("{dst} = {op:?} {lhs}, {rhs}"),
-        Instr::New { dst, class, args, site } => format!(
+        Instr::New {
+            dst,
+            class,
+            args,
+            site,
+        } => format!(
             "{dst} = new {}({}) @{site}",
             name(program.classes[*class].name),
             temps(args)
         ),
         Instr::NewArray { dst, len, site } => format!("{dst} = array({len}) @{site}"),
-        Instr::NewArrayInline { dst, len, layout, site } => {
+        Instr::NewArrayInline {
+            dst,
+            len,
+            layout,
+            site,
+        } => {
             format!("{dst} = array-inline({len}, {layout}) @{site}")
         }
         Instr::GetField { dst, obj, field } => format!("{dst} = {obj}.{}", name(*field)),
@@ -82,10 +98,20 @@ fn print_instr(program: &Program, _method: &Method, instr: &Instr) -> String {
         Instr::SetGlobal { global, src } => {
             format!("global {} = {src}", name(program.globals[*global].name))
         }
-        Instr::Send { dst, recv, selector, args } => {
+        Instr::Send {
+            dst,
+            recv,
+            selector,
+            args,
+        } => {
             format!("{dst} = send {recv}.{}({})", name(*selector), temps(args))
         }
-        Instr::CallStatic { dst, method, recv, args } => format!(
+        Instr::CallStatic {
+            dst,
+            method,
+            recv,
+            args,
+        } => format!(
             "{dst} = call {}({recv}; {})",
             program.method_display(*method),
             temps(args)
@@ -94,7 +120,12 @@ fn print_instr(program: &Program, _method: &Method, instr: &Instr) -> String {
             format!("{dst} = builtin {builtin:?}({})", temps(args))
         }
         Instr::MakeInterior { dst, obj, layout } => format!("{dst} = &{obj}.<{layout}>"),
-        Instr::MakeInteriorElem { dst, arr, idx, layout } => {
+        Instr::MakeInteriorElem {
+            dst,
+            arr,
+            idx,
+            layout,
+        } => {
             format!("{dst} = &{arr}[{idx}].<{layout}>")
         }
         Instr::Print { src } => format!("print {src}"),
@@ -104,7 +135,11 @@ fn print_instr(program: &Program, _method: &Method, instr: &Instr) -> String {
 fn print_term(term: &Terminator) -> String {
     match term {
         Terminator::Jump(bb) => format!("jump {bb}"),
-        Terminator::Branch { cond, then_bb, else_bb } => {
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("branch {cond} ? {then_bb} : {else_bb}")
         }
         Terminator::Return(t) => format!("return {t}"),
@@ -113,7 +148,10 @@ fn print_term(term: &Terminator) -> String {
 }
 
 fn temps(ts: &[crate::program::Temp]) -> String {
-    ts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    ts.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]

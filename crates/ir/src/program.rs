@@ -123,9 +123,13 @@ impl Method {
 
     /// Iterates over `(block, index, instr)` triples.
     pub fn instrs(&self) -> impl Iterator<Item = (BlockId, usize, &Instr)> {
-        self.blocks
-            .iter_enumerated()
-            .flat_map(|(bb, block)| block.instrs.iter().enumerate().map(move |(i, ins)| (bb, i, ins)))
+        self.blocks.iter_enumerated().flat_map(|(bb, block)| {
+            block
+                .instrs
+                .iter()
+                .enumerate()
+                .map(move |(i, ins)| (bb, i, ins))
+        })
     }
 
     /// Total instruction count (terminators excluded).
@@ -216,7 +220,10 @@ impl Program {
     /// Resolves a class by name.
     pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
         let sym = self.interner.get(name)?;
-        self.classes.iter_enumerated().find(|(_, c)| c.name == sym).map(|(id, _)| id)
+        self.classes
+            .iter_enumerated()
+            .find(|(_, c)| c.name == sym)
+            .map(|(id, _)| id)
     }
 
     /// Resolves a method `Class::selector` by names.
@@ -239,7 +246,9 @@ impl Program {
 
     /// Slot index of the field named `field` in `class`'s layout.
     pub fn slot_of(&self, class: ClassId, field: Symbol) -> Option<usize> {
-        self.layout_of(class).iter().position(|&f| self.fields[f].name == field)
+        self.layout_of(class)
+            .iter()
+            .position(|&f| self.fields[f].name == field)
     }
 
     /// The declared [`FieldId`] visible as `field` on `class` (searching up
@@ -247,8 +256,10 @@ impl Program {
     pub fn field_of(&self, class: ClassId, field: Symbol) -> Option<FieldId> {
         let mut cur = Some(class);
         while let Some(c) = cur {
-            if let Some(&fid) =
-                self.classes[c].own_fields.iter().find(|&&f| self.fields[f].name == field)
+            if let Some(&fid) = self.classes[c]
+                .own_fields
+                .iter()
+                .find(|&&f| self.fields[f].name == field)
             {
                 return Some(fid);
             }
@@ -284,7 +295,10 @@ impl Program {
 
     /// All classes that are `class` or inherit from it.
     pub fn subclasses_of(&self, class: ClassId) -> Vec<ClassId> {
-        self.classes.ids().filter(|&c| self.is_subclass(c, class)).collect()
+        self.classes
+            .ids()
+            .filter(|&c| self.is_subclass(c, class))
+            .collect()
     }
 
     /// Human-readable `Class::method` name.
@@ -335,8 +349,16 @@ mod tests {
             own_fields: vec![],
             methods: HashMap::new(),
         });
-        let fa_id = fields.push(Field { name: fa, owner: base_id, annotations: vec![] });
-        let fb_id = fields.push(Field { name: fb, owner: derived_id, annotations: vec![] });
+        let fa_id = fields.push(Field {
+            name: fa,
+            owner: base_id,
+            annotations: vec![],
+        });
+        let fb_id = fields.push(Field {
+            name: fb,
+            owner: derived_id,
+            annotations: vec![],
+        });
         classes[base_id].own_fields.push(fa_id);
         classes[derived_id].own_fields.push(fb_id);
         let mut methods = IdxVec::new();

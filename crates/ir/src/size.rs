@@ -123,7 +123,12 @@ mod tests {
         use crate::program::{MethodId, Temp};
         let mut i = oi_support::Interner::new();
         let sel = i.intern("m");
-        let send = Instr::Send { dst: Temp::new(0), recv: Temp::new(1), selector: sel, args: vec![] };
+        let send = Instr::Send {
+            dst: Temp::new(0),
+            recv: Temp::new(1),
+            selector: sel,
+            args: vec![],
+        };
         let call = Instr::CallStatic {
             dst: Temp::new(0),
             method: MethodId::new(0),
@@ -135,7 +140,11 @@ mod tests {
 
     #[test]
     fn kilobytes_converts() {
-        let r = SizeReport { reachable_methods: 1, total_methods: 1, code_bytes: 2048 };
+        let r = SizeReport {
+            reachable_methods: 1,
+            total_methods: 1,
+            code_bytes: 2048,
+        };
         assert!((r.kilobytes() - 2.0).abs() < 1e-9);
     }
 }

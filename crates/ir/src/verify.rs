@@ -113,10 +113,14 @@ fn verify_method(program: &Program, mid: MethodId, method: &Method, errors: &mut
                 check_temp(u, errors);
             }
             match instr {
-                Instr::New { class, args, site, .. } => {
+                Instr::New {
+                    class, args, site, ..
+                } => {
                     check_class(*class, errors);
                     if site.index() >= program.site_count as usize {
-                        errors.push(err(format!("{name}: allocation site {site:?} out of range")));
+                        errors.push(err(format!(
+                            "{name}: allocation site {site:?} out of range"
+                        )));
                     }
                     if let Some(init_sym) = program.interner.get("init") {
                         if let Some(init) = program.lookup_method(*class, init_sym) {
@@ -133,7 +137,9 @@ fn verify_method(program: &Program, mid: MethodId, method: &Method, errors: &mut
                 }
                 Instr::NewArray { site, .. } | Instr::NewArrayInline { site, .. } => {
                     if site.index() >= program.site_count as usize {
-                        errors.push(err(format!("{name}: allocation site {site:?} out of range")));
+                        errors.push(err(format!(
+                            "{name}: allocation site {site:?} out of range"
+                        )));
                     }
                     if let Instr::NewArrayInline { layout, .. } = instr {
                         if !program.layouts.contains_id(*layout) {
@@ -141,7 +147,11 @@ fn verify_method(program: &Program, mid: MethodId, method: &Method, errors: &mut
                         }
                     }
                 }
-                Instr::CallStatic { method: target, args, .. } => {
+                Instr::CallStatic {
+                    method: target,
+                    args,
+                    ..
+                } => {
                     if !program.methods.contains_id(*target) {
                         errors.push(err(format!("{name}: call target out of bounds")));
                     } else if program.methods[*target].param_count as usize != args.len() {
@@ -152,13 +162,15 @@ fn verify_method(program: &Program, mid: MethodId, method: &Method, errors: &mut
                     }
                 }
                 Instr::GetGlobal { global, .. } | Instr::SetGlobal { global, .. }
-                    if !program.globals.contains_id(*global) => {
-                        errors.push(err(format!("{name}: global {global:?} out of bounds")));
-                    }
+                    if !program.globals.contains_id(*global) =>
+                {
+                    errors.push(err(format!("{name}: global {global:?} out of bounds")));
+                }
                 Instr::MakeInterior { layout, .. } | Instr::MakeInteriorElem { layout, .. }
-                    if !program.layouts.contains_id(*layout) => {
-                        errors.push(err(format!("{name}: layout {layout:?} out of bounds")));
-                    }
+                    if !program.layouts.contains_id(*layout) =>
+                {
+                    errors.push(err(format!("{name}: layout {layout:?} out of bounds")));
+                }
                 _ => {}
             }
         }
@@ -169,7 +181,9 @@ fn verify_method(program: &Program, mid: MethodId, method: &Method, errors: &mut
         }
         for succ in block.term.successors() {
             if !method.blocks.contains_id(succ) {
-                errors.push(err(format!("{name}: {bb:?} jumps to out-of-bounds {succ:?}")));
+                errors.push(err(format!(
+                    "{name}: {bb:?} jumps to out-of-bounds {succ:?}"
+                )));
             }
         }
     }

@@ -3,9 +3,10 @@
 //! elimination, CFG simplification) preserves observable behavior.
 //!
 //! These passes run on *both* sides of every paper comparison, so their
-//! soundness is foundational.
+//! soundness is foundational. Random programs come from the in-repo
+//! seeded PRNG, so every failure reproduces from its printed seed.
 
-use proptest::prelude::*;
+use oi_support::rng::XorShift64;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -21,19 +22,26 @@ enum Op {
     PrintGlobalField,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..3, any::<i8>(), any::<i8>()).prop_map(|(k, a, b)| Op::New(k, a, b)),
-        (0u8..3, any::<i8>()).prop_map(|(k, v)| Op::Mutate(k, v)),
-        (0u8..3).prop_map(Op::PrintField),
-        (0u8..3, 0u8..3).prop_map(|(a, b)| Op::PrintSum(a, b)),
-        (0u8..3, 0u8..3).prop_map(|(a, b)| Op::Store(a, b)),
-        (0u8..3).prop_map(Op::Call),
-        (0u8..3, any::<i8>()).prop_map(|(k, v)| Op::Cond(k, v)),
-        (1u8..5).prop_map(Op::Loop),
-        (0u8..3).prop_map(Op::Global),
-        Just(Op::PrintGlobalField),
-    ]
+fn random_op(rng: &mut XorShift64) -> Op {
+    let k = rng.below(3) as u8;
+    let a = rng.range_i64(-128, 128) as i8;
+    let b = rng.range_i64(-128, 128) as i8;
+    match rng.below(10) {
+        0 => Op::New(k, a, b),
+        1 => Op::Mutate(k, a),
+        2 => Op::PrintField(k),
+        3 => Op::PrintSum(k, rng.below(3) as u8),
+        4 => Op::Store(k, rng.below(3) as u8),
+        5 => Op::Call(k),
+        6 => Op::Cond(k, a),
+        7 => Op::Loop(1 + rng.below(4) as u8),
+        8 => Op::Global(k),
+        _ => Op::PrintGlobalField,
+    }
+}
+
+fn random_ops(rng: &mut XorShift64, max: usize) -> Vec<Op> {
+    (0..rng.below(max)).map(|_| random_op(rng)).collect()
 }
 
 fn render(ops: &[Op]) -> String {
@@ -100,32 +108,43 @@ fn main() {{
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn optimizer_preserves_behavior(ops in proptest::collection::vec(op_strategy(), 0..20)) {
+#[test]
+fn optimizer_preserves_behavior() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let ops = random_ops(&mut rng, 20);
         let source = render(&ops);
-        let program = oi_ir::lower::compile(&source)
-            .unwrap_or_else(|e| panic!("bad generator: {}\n{source}", e.render(&source)));
+        let program = oi_ir::lower::compile(&source).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: bad generator: {}\n{source}",
+                e.render(&source)
+            )
+        });
         let mut optimized = program.clone();
         oi_ir::opt::optimize(&mut optimized, &oi_ir::opt::OptConfig::default());
         oi_ir::verify::verify(&optimized)
-            .unwrap_or_else(|e| panic!("optimizer broke the IR: {e:?}\n{source}"));
+            .unwrap_or_else(|e| panic!("seed {seed}: optimizer broke the IR: {e:?}\n{source}"));
 
         let config = oi_vm::VmConfig::default();
         let before = oi_vm::run(&program, &config).expect("unoptimized runs");
         let after = oi_vm::run(&optimized, &config).expect("optimized runs");
-        prop_assert_eq!(&before.output, &after.output, "optimizer changed output:\n{}", source);
-        prop_assert!(
+        assert_eq!(
+            before.output, after.output,
+            "seed {seed}: optimizer changed output:\n{source}"
+        );
+        assert!(
             after.metrics.instructions <= before.metrics.instructions * 2,
-            "optimizer exploded the instruction count"
+            "seed {seed}: optimizer exploded the instruction count"
         );
     }
+}
 
-    #[test]
-    fn optimizer_is_idempotent_enough(ops in proptest::collection::vec(op_strategy(), 0..12)) {
-        // Running the pipeline twice must still verify and agree.
+#[test]
+fn optimizer_is_idempotent_enough() {
+    // Running the pipeline twice must still verify and agree.
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let ops = random_ops(&mut rng, 12);
         let source = render(&ops);
         let program = oi_ir::lower::compile(&source).unwrap();
         let mut once = program.clone();
@@ -136,6 +155,6 @@ proptest! {
         let config = oi_vm::VmConfig::default();
         let a = oi_vm::run(&once, &config).unwrap();
         let b = oi_vm::run(&twice, &config).unwrap();
-        prop_assert_eq!(a.output, b.output);
+        assert_eq!(a.output, b.output, "seed {seed}");
     }
 }

@@ -182,7 +182,10 @@ impl Expr {
 
     /// Returns `true` if this expression can be assigned to.
     pub fn is_place(&self) -> bool {
-        matches!(self.kind, ExprKind::Var(_) | ExprKind::Field { .. } | ExprKind::Index { .. })
+        matches!(
+            self.kind,
+            ExprKind::Var(_) | ExprKind::Field { .. } | ExprKind::Index { .. }
+        )
     }
 }
 
@@ -311,13 +314,23 @@ mod tests {
         let var = Expr::new(ExprKind::Var("x".into()), sp);
         assert!(var.is_place());
         let field = Expr::new(
-            ExprKind::Field { obj: Box::new(var.clone()), field: "f".into() },
+            ExprKind::Field {
+                obj: Box::new(var.clone()),
+                field: "f".into(),
+            },
             sp,
         );
         assert!(field.is_place());
         let lit = Expr::new(ExprKind::Int(1), sp);
         assert!(!lit.is_place());
-        let call = Expr::new(ExprKind::Call { recv: None, name: "f".into(), args: vec![] }, sp);
+        let call = Expr::new(
+            ExprKind::Call {
+                recv: None,
+                name: "f".into(),
+                args: vec![],
+            },
+            sp,
+        );
         assert!(!call.is_place());
     }
 

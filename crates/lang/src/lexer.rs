@@ -35,7 +35,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Self { src, bytes: src.as_bytes(), pos: 0, tokens: Vec::new() }
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
@@ -74,7 +79,10 @@ impl<'a> Lexer<'a> {
             }
         }
         let end = self.src.len() as u32;
-        self.tokens.push(Token { kind: TokenKind::Eof, span: Span::new(end, end) });
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end),
+        });
         Ok(self.tokens)
     }
 
@@ -121,11 +129,17 @@ impl<'a> Lexer<'a> {
         let text = &self.src[start..self.pos];
         let kind = if is_float {
             TokenKind::Float(text.parse().map_err(|_| {
-                Diagnostic::error(format!("invalid float literal `{text}`"), self.span_from(start))
+                Diagnostic::error(
+                    format!("invalid float literal `{text}`"),
+                    self.span_from(start),
+                )
             })?)
         } else {
             TokenKind::Int(text.parse().map_err(|_| {
-                Diagnostic::error(format!("invalid integer literal `{text}`"), self.span_from(start))
+                Diagnostic::error(
+                    format!("invalid integer literal `{text}`"),
+                    self.span_from(start),
+                )
             })?)
         };
         self.emit(kind, start);
@@ -133,7 +147,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident(&mut self, start: usize) {
-        while matches!(self.peek(0), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(0),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.pos += 1;
         }
         let text = &self.src[start..self.pos];
@@ -147,7 +164,10 @@ impl<'a> Lexer<'a> {
         loop {
             match self.peek(0) {
                 None | Some(b'\n') => {
-                    return Err(Diagnostic::error("unterminated string literal", self.span_from(start)));
+                    return Err(Diagnostic::error(
+                        "unterminated string literal",
+                        self.span_from(start),
+                    ));
                 }
                 Some(b'"') => {
                     self.pos += 1;
@@ -240,49 +260,62 @@ mod tests {
     fn lexes_keywords_and_idents() {
         assert_eq!(
             kinds("class Point field x"),
-            vec![T::Class, T::Ident("Point".into()), T::Field, T::Ident("x".into()), T::Eof]
+            vec![
+                T::Class,
+                T::Ident("Point".into()),
+                T::Field,
+                T::Ident("x".into()),
+                T::Eof
+            ]
         );
     }
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(kinds("42 3.5 1e3 7.0e-2"), vec![
-            T::Int(42),
-            T::Float(3.5),
-            T::Float(1000.0),
-            T::Float(0.07),
-            T::Eof
-        ]);
+        assert_eq!(
+            kinds("42 3.5 1e3 7.0e-2"),
+            vec![
+                T::Int(42),
+                T::Float(3.5),
+                T::Float(1000.0),
+                T::Float(0.07),
+                T::Eof
+            ]
+        );
     }
 
     #[test]
     fn int_dot_method_is_not_float() {
-        assert_eq!(kinds("2.abs"), vec![T::Int(2), T::Dot, T::Ident("abs".into()), T::Eof]);
+        assert_eq!(
+            kinds("2.abs"),
+            vec![T::Int(2), T::Dot, T::Ident("abs".into()), T::Eof]
+        );
     }
 
     #[test]
     fn lexes_multichar_operators() {
-        assert_eq!(kinds("= == === != <= >= && ||"), vec![
-            T::Eq,
-            T::EqEq,
-            T::EqEqEq,
-            T::NotEq,
-            T::Le,
-            T::Ge,
-            T::AndAnd,
-            T::OrOr,
-            T::Eof
-        ]);
+        assert_eq!(
+            kinds("= == === != <= >= && ||"),
+            vec![
+                T::Eq,
+                T::EqEq,
+                T::EqEqEq,
+                T::NotEq,
+                T::Le,
+                T::Ge,
+                T::AndAnd,
+                T::OrOr,
+                T::Eof
+            ]
+        );
     }
 
     #[test]
     fn skips_comments() {
-        assert_eq!(kinds("1 // comment\n 2 /* block\nstill */ 3"), vec![
-            T::Int(1),
-            T::Int(2),
-            T::Int(3),
-            T::Eof
-        ]);
+        assert_eq!(
+            kinds("1 // comment\n 2 /* block\nstill */ 3"),
+            vec![T::Int(1), T::Int(2), T::Int(3), T::Eof]
+        );
     }
 
     #[test]

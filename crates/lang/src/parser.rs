@@ -61,7 +61,11 @@ impl Parser {
             Ok(self.advance())
         } else {
             Err(Diagnostic::error(
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 self.peek_span(),
             ))
         }
@@ -136,7 +140,11 @@ impl Parser {
                         annotations.push(self.expect_ident("annotation")?.0);
                     }
                     self.expect(TokenKind::Semi)?;
-                    fields.push(FieldDecl { name: fname, annotations, span: fspan });
+                    fields.push(FieldDecl {
+                        name: fname,
+                        annotations,
+                        span: fspan,
+                    });
                 }
                 TokenKind::Method => {
                     let mspan = self.peek_span();
@@ -144,17 +152,31 @@ impl Parser {
                     let (mname, _) = self.expect_ident("method")?;
                     let params = self.param_list()?;
                     let body = self.block()?;
-                    methods.push(MethodDecl { name: mname, params, body, span: mspan });
+                    methods.push(MethodDecl {
+                        name: mname,
+                        params,
+                        body,
+                        span: mspan,
+                    });
                 }
                 other => {
                     return Err(Diagnostic::error(
-                        format!("expected `field`, `method` or `}}`, found {}", other.describe()),
+                        format!(
+                            "expected `field`, `method` or `}}`, found {}",
+                            other.describe()
+                        ),
                         self.peek_span(),
                     ));
                 }
             }
         }
-        Ok(ClassDecl { name, parent, fields, methods, span })
+        Ok(ClassDecl {
+            name,
+            parent,
+            fields,
+            methods,
+            span,
+        })
     }
 
     fn fn_decl(&mut self) -> Result<FnDecl, Diagnostic> {
@@ -163,7 +185,12 @@ impl Parser {
         let (name, _) = self.expect_ident("function")?;
         let params = self.param_list()?;
         let body = self.block()?;
-        Ok(FnDecl { name, params, body, span })
+        Ok(FnDecl {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn param_list(&mut self) -> Result<Vec<String>, Diagnostic> {
@@ -216,8 +243,11 @@ impl Parser {
             }
             TokenKind::Return => {
                 self.advance();
-                let value =
-                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span })
             }
@@ -238,7 +268,11 @@ impl Parser {
                     }
                     let value = self.expr()?;
                     self.expect(TokenKind::Semi)?;
-                    Ok(Stmt::Assign { target: e, value, span })
+                    Ok(Stmt::Assign {
+                        target: e,
+                        value,
+                        span,
+                    })
                 } else {
                     self.expect(TokenKind::Semi)?;
                     Ok(Stmt::Expr(e))
@@ -258,14 +292,21 @@ impl Parser {
             if self.peek() == &TokenKind::If {
                 // `else if` chains become a nested single-statement block.
                 let nested = self.if_stmt()?;
-                Some(Block { stmts: vec![nested] })
+                Some(Block {
+                    stmts: vec![nested],
+                })
             } else {
                 Some(self.block()?)
             }
         } else {
             None
         };
-        Ok(Stmt::If { cond, then_block, else_block, span })
+        Ok(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            span,
+        })
     }
 
     fn expr(&mut self) -> Result<Expr, Diagnostic> {
@@ -300,7 +341,11 @@ impl Parser {
             let rhs = self.binary(level + 1)?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -318,7 +363,13 @@ impl Parser {
             self.advance();
             let operand = self.unary()?;
             let span = span.merge(operand.span);
-            return Ok(Expr::new(ExprKind::Unary { op, operand: Box::new(operand) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
         }
         self.postfix()
     }
@@ -334,12 +385,22 @@ impl Parser {
                         let args = self.arg_list()?;
                         let span = e.span.merge(nspan);
                         e = Expr::new(
-                            ExprKind::Call { recv: Some(Box::new(e)), name, args },
+                            ExprKind::Call {
+                                recv: Some(Box::new(e)),
+                                name,
+                                args,
+                            },
                             span,
                         );
                     } else {
                         let span = e.span.merge(nspan);
-                        e = Expr::new(ExprKind::Field { obj: Box::new(e), field: name }, span);
+                        e = Expr::new(
+                            ExprKind::Field {
+                                obj: Box::new(e),
+                                field: name,
+                            },
+                            span,
+                        );
                     }
                 }
                 TokenKind::LBracket => {
@@ -348,7 +409,10 @@ impl Parser {
                     let close = self.expect(TokenKind::RBracket)?;
                     let span = e.span.merge(close.span);
                     e = Expr::new(
-                        ExprKind::Index { arr: Box::new(e), index: Box::new(index) },
+                        ExprKind::Index {
+                            arr: Box::new(e),
+                            index: Box::new(index),
+                        },
                         span,
                     );
                 }
@@ -417,7 +481,10 @@ impl Parser {
                 self.expect(TokenKind::LParen)?;
                 let len = self.expr()?;
                 let close = self.expect(TokenKind::RParen)?;
-                Ok(Expr::new(ExprKind::NewArray { len: Box::new(len) }, span.merge(close.span)))
+                Ok(Expr::new(
+                    ExprKind::NewArray { len: Box::new(len) },
+                    span.merge(close.span),
+                ))
             }
             TokenKind::LBracket => {
                 self.advance();
@@ -444,7 +511,14 @@ impl Parser {
                 self.advance();
                 if self.peek() == &TokenKind::LParen {
                     let args = self.arg_list()?;
-                    Ok(Expr::new(ExprKind::Call { recv: None, name, args }, span))
+                    Ok(Expr::new(
+                        ExprKind::Call {
+                            recv: None,
+                            name,
+                            args,
+                        },
+                        span,
+                    ))
                 } else {
                     Ok(Expr::new(ExprKind::Var(name), span))
                 }
@@ -493,7 +567,12 @@ mod tests {
         let Stmt::Return { value: Some(e), .. } = &p.functions[0].body.stmts[0] else {
             panic!("expected return");
         };
-        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &e.kind else {
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &e.kind
+        else {
             panic!("expected add at top: {e:?}");
         };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
@@ -514,7 +593,9 @@ mod tests {
         let Stmt::Return { value: Some(e), .. } = &p.functions[0].body.stmts[0] else {
             panic!()
         };
-        let ExprKind::Field { obj, field } = &e.kind else { panic!() };
+        let ExprKind::Field { obj, field } = &e.kind else {
+            panic!()
+        };
         assert_eq!(field, "x");
         assert!(matches!(&obj.kind, ExprKind::Field { field, .. } if field == "lower_left"));
     }
@@ -530,8 +611,14 @@ mod tests {
 
     #[test]
     fn else_if_chain() {
-        let p = parse_ok("fn f(a) { if (a) { return 1; } else if (!a) { return 2; } else { return 3; } }");
-        let Stmt::If { else_block: Some(b), .. } = &p.functions[0].body.stmts[0] else {
+        let p = parse_ok(
+            "fn f(a) { if (a) { return 1; } else if (!a) { return 2; } else { return 3; } }",
+        );
+        let Stmt::If {
+            else_block: Some(b),
+            ..
+        } = &p.functions[0].body.stmts[0]
+        else {
             panic!()
         };
         assert!(matches!(b.stmts[0], Stmt::If { .. }));
@@ -562,7 +649,13 @@ mod tests {
         let Stmt::Return { value: Some(e), .. } = &p.functions[0].body.stmts[0] else {
             panic!()
         };
-        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::RefEq, .. }));
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinOp::RefEq,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -77,7 +77,12 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
             print_expr(out, e);
             out.push_str(";\n");
         }
-        Stmt::If { cond, then_block, else_block, .. } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
             out.push_str("if (");
             print_expr(out, cond);
             out.push(')');

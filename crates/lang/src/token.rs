@@ -194,7 +194,11 @@ impl TokenKind {
             TokenKind::Bang => "!",
             TokenKind::AndAnd => "&&",
             TokenKind::OrOr => "||",
-            TokenKind::Ident(_) | TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Str(_) | TokenKind::Eof => {
+            TokenKind::Ident(_)
+            | TokenKind::Int(_)
+            | TokenKind::Float(_)
+            | TokenKind::Str(_)
+            | TokenKind::Eof => {
                 unreachable!("lexeme called on variable token")
             }
         }

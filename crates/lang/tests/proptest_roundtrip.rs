@@ -1,175 +1,263 @@
 //! Property: printing a parsed program and re-parsing it yields the same
 //! structure (print∘parse is idempotent up to spans).
+//!
+//! Random programs come from the in-repo seeded PRNG, so every failure
+//! reproduces from the seed printed in its message.
 
 use oi_lang::ast::*;
 use oi_lang::{parse, printer::print_program};
+use oi_support::rng::XorShift64;
 use oi_support::Span;
-use proptest::prelude::*;
 
-fn ident() -> impl Strategy<Value = String> {
-    // Simple, keyword-free identifiers.
-    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        oi_lang::token::TokenKind::keyword(s).is_none()
-    })
-}
-
-fn literal_expr() -> impl Strategy<Value = Expr> {
-    let sp = Span::dummy();
-    prop_oneof![
-        any::<i32>().prop_map(move |n| Expr::new(ExprKind::Int(n as i64), sp)),
-        // Finite floats only: NaN never round-trips through text.
-        (-1.0e6f64..1.0e6).prop_map(move |x| Expr::new(ExprKind::Float(x), sp)),
-        any::<bool>().prop_map(move |b| Expr::new(ExprKind::Bool(b), sp)),
-        Just(Expr::new(ExprKind::Nil, sp)),
-        "[a-zA-Z0-9 _.!?]{0,12}".prop_map(move |s| Expr::new(ExprKind::Str(s), sp)),
-        ident().prop_map(move |v| Expr::new(ExprKind::Var(v), sp)),
-    ]
-}
-
-fn expr(depth: u32) -> BoxedStrategy<Expr> {
-    let sp = Span::dummy();
-    if depth == 0 {
-        return literal_expr().boxed();
+/// A random simple, keyword-free identifier.
+fn ident(rng: &mut XorShift64) -> String {
+    loop {
+        let id = rng.ident(7);
+        if oi_lang::token::TokenKind::keyword(&id).is_none() {
+            return id;
+        }
     }
-    let sub = expr(depth - 1);
-    prop_oneof![
-        literal_expr(),
-        (sub.clone(), ident()).prop_map(move |(o, f)| Expr::new(
-            ExprKind::Field { obj: Box::new(o), field: f },
-            sp
-        )),
-        (sub.clone(), sub.clone(), prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::Lt),
-            Just(BinOp::RefEq),
-            Just(BinOp::And),
-        ])
-        .prop_map(move |(l, r, op)| Expr::new(
-            ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
-            sp
-        )),
-        (sub.clone(), proptest::collection::vec(sub.clone(), 0..3), ident()).prop_map(
-            move |(r, args, name)| Expr::new(
-                ExprKind::Call { recv: Some(Box::new(r)), name, args },
-                sp
-            )
+}
+
+fn literal_expr(rng: &mut XorShift64) -> Expr {
+    let sp = Span::dummy();
+    match rng.below(6) {
+        0 => Expr::new(
+            ExprKind::Int(rng.range_i64(i32::MIN as i64, i32::MAX as i64)),
+            sp,
         ),
-        (sub.clone(), sub.clone()).prop_map(move |(a, i)| Expr::new(
-            ExprKind::Index { arr: Box::new(a), index: Box::new(i) },
-            sp
-        )),
-        (sub.clone()).prop_map(move |o| Expr::new(
-            ExprKind::Unary { op: UnOp::Neg, operand: Box::new(o) },
-            sp
-        )),
-        proptest::collection::vec(sub, 0..3)
-            .prop_map(move |elems| Expr::new(ExprKind::ArrayLit(elems), sp)),
-    ]
-    .boxed()
-}
-
-fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let sp = Span::dummy();
-    let e = expr(2);
-    if depth == 0 {
-        return prop_oneof![
-            (ident(), e.clone()).prop_map(move |(n, v)| Stmt::Var { name: n, init: v, span: sp }),
-            e.clone().prop_map(move |v| Stmt::Print { value: v, span: sp }),
-            e.clone()
-                .prop_map(move |v| Stmt::Return { value: Some(v), span: sp }),
-        ]
-        .boxed();
+        // Finite floats only: NaN never round-trips through text.
+        1 => {
+            let x = (rng.range_i64(-1_000_000, 1_000_000) as f64) / 16.0;
+            Expr::new(ExprKind::Float(x), sp)
+        }
+        2 => Expr::new(ExprKind::Bool(rng.chance(1, 2)), sp),
+        3 => Expr::new(ExprKind::Nil, sp),
+        4 => {
+            let len = rng.below(13);
+            let s: String = (0..len)
+                .map(|_| *rng.pick(b"abcXYZ019 _.!?") as char)
+                .collect();
+            Expr::new(ExprKind::Str(s), sp)
+        }
+        _ => Expr::new(ExprKind::Var(ident(rng)), sp),
     }
-    let inner = proptest::collection::vec(stmt(depth - 1), 0..4);
-    prop_oneof![
-        (ident(), e.clone()).prop_map(move |(n, v)| Stmt::Var { name: n, init: v, span: sp }),
-        e.clone().prop_map(move |v| Stmt::Print { value: v, span: sp }),
-        (ident(), e.clone()).prop_map(move |(n, v)| Stmt::Assign {
-            target: Expr::new(ExprKind::Var(n), sp),
-            value: v,
-            span: sp
-        }),
-        (e.clone(), inner.clone(), inner.clone()).prop_map(move |(c, t, f)| Stmt::If {
-            cond: c,
-            then_block: Block { stmts: t },
-            else_block: Some(Block { stmts: f }),
-            span: sp
-        }),
-        (e.clone(), inner).prop_map(move |(c, b)| Stmt::While {
-            cond: c,
-            body: Block { stmts: b },
-            span: sp
-        }),
-    ]
-    .boxed()
 }
 
-fn program() -> impl Strategy<Value = Program> {
+fn expr(rng: &mut XorShift64, depth: u32) -> Expr {
     let sp = Span::dummy();
-    let field = (ident(), proptest::collection::vec(ident(), 0..2)).prop_map(
-        move |(name, annotations)| FieldDecl { name, annotations, span: sp },
-    );
-    let method = (ident(), proptest::collection::vec(ident(), 0..3),
-                  proptest::collection::vec(stmt(1), 0..5))
-        .prop_map(move |(name, params, stmts)| MethodDecl {
-            name,
-            params,
-            body: Block { stmts },
+    if depth == 0 || rng.chance(1, 4) {
+        return literal_expr(rng);
+    }
+    match rng.below(6) {
+        0 => Expr::new(
+            ExprKind::Field {
+                obj: Box::new(expr(rng, depth - 1)),
+                field: ident(rng),
+            },
+            sp,
+        ),
+        1 => {
+            let op = *rng.pick(&[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Lt,
+                BinOp::RefEq,
+                BinOp::And,
+            ]);
+            Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(expr(rng, depth - 1)),
+                    rhs: Box::new(expr(rng, depth - 1)),
+                },
+                sp,
+            )
+        }
+        2 => {
+            let args = (0..rng.below(3)).map(|_| expr(rng, depth - 1)).collect();
+            Expr::new(
+                ExprKind::Call {
+                    recv: Some(Box::new(expr(rng, depth - 1))),
+                    name: ident(rng),
+                    args,
+                },
+                sp,
+            )
+        }
+        3 => Expr::new(
+            ExprKind::Index {
+                arr: Box::new(expr(rng, depth - 1)),
+                index: Box::new(expr(rng, depth - 1)),
+            },
+            sp,
+        ),
+        4 => Expr::new(
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(expr(rng, depth - 1)),
+            },
+            sp,
+        ),
+        _ => {
+            let elems = (0..rng.below(3)).map(|_| expr(rng, depth - 1)).collect();
+            Expr::new(ExprKind::ArrayLit(elems), sp)
+        }
+    }
+}
+
+fn stmt(rng: &mut XorShift64, depth: u32) -> Stmt {
+    let sp = Span::dummy();
+    let leaf_arms = 3;
+    let arms = if depth == 0 { leaf_arms } else { 5 };
+    match rng.below(arms) {
+        0 => Stmt::Var {
+            name: ident(rng),
+            init: expr(rng, 2),
             span: sp,
-        });
-    let class = (ident(), proptest::collection::vec(field, 0..4),
-                 proptest::collection::vec(method, 0..3))
-        .prop_map(move |(name, fields, methods)| ClassDecl {
-            name: format!("C{name}"),
-            parent: None,
-            fields,
-            methods,
+        },
+        1 => Stmt::Print {
+            value: expr(rng, 2),
             span: sp,
-        });
-    let function = (ident(), proptest::collection::vec(ident(), 0..3),
-                    proptest::collection::vec(stmt(2), 0..6))
-        .prop_map(move |(name, params, stmts)| FnDecl {
-            name,
-            params,
-            body: Block { stmts },
+        },
+        2 if depth == 0 => Stmt::Return {
+            value: Some(expr(rng, 2)),
             span: sp,
-        });
-    (
-        proptest::collection::vec(class, 0..3),
-        proptest::collection::vec(function, 1..4),
-        proptest::collection::vec(ident(), 0..2),
-    )
-        .prop_map(move |(classes, functions, globals)| Program {
-            classes,
-            functions,
-            globals: globals
-                .into_iter()
-                .map(|g| GlobalDecl { name: format!("G{g}"), span: sp })
-                .collect(),
+        },
+        2 => Stmt::Assign {
+            target: Expr::new(ExprKind::Var(ident(rng)), sp),
+            value: expr(rng, 2),
+            span: sp,
+        },
+        3 => {
+            let then_block = Block {
+                stmts: (0..rng.below(4)).map(|_| stmt(rng, depth - 1)).collect(),
+            };
+            let else_block = Block {
+                stmts: (0..rng.below(4)).map(|_| stmt(rng, depth - 1)).collect(),
+            };
+            Stmt::If {
+                cond: expr(rng, 2),
+                then_block,
+                else_block: Some(else_block),
+                span: sp,
+            }
+        }
+        _ => Stmt::While {
+            cond: expr(rng, 2),
+            body: Block {
+                stmts: (0..rng.below(4)).map(|_| stmt(rng, depth - 1)).collect(),
+            },
+            span: sp,
+        },
+    }
+}
+
+fn program(rng: &mut XorShift64) -> Program {
+    let sp = Span::dummy();
+    let classes = (0..rng.below(3))
+        .map(|_| {
+            let fields = (0..rng.below(4))
+                .map(|_| FieldDecl {
+                    name: ident(rng),
+                    annotations: (0..rng.below(2)).map(|_| ident(rng)).collect(),
+                    span: sp,
+                })
+                .collect();
+            let methods = (0..rng.below(3))
+                .map(|_| MethodDecl {
+                    name: ident(rng),
+                    params: (0..rng.below(3)).map(|_| ident(rng)).collect(),
+                    body: Block {
+                        stmts: (0..rng.below(5)).map(|_| stmt(rng, 1)).collect(),
+                    },
+                    span: sp,
+                })
+                .collect();
+            ClassDecl {
+                name: format!("C{}", ident(rng)),
+                parent: None,
+                fields,
+                methods,
+                span: sp,
+            }
         })
+        .collect();
+    let functions = (0..1 + rng.below(3))
+        .map(|_| FnDecl {
+            name: ident(rng),
+            params: (0..rng.below(3)).map(|_| ident(rng)).collect(),
+            body: Block {
+                stmts: (0..rng.below(6)).map(|_| stmt(rng, 2)).collect(),
+            },
+            span: sp,
+        })
+        .collect();
+    let globals = (0..rng.below(2))
+        .map(|_| GlobalDecl {
+            name: format!("G{}", ident(rng)),
+            span: sp,
+        })
+        .collect();
+    Program {
+        classes,
+        functions,
+        globals,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn print_parse_roundtrip(p in program()) {
+#[test]
+fn print_parse_roundtrip() {
+    for seed in 0..128u64 {
+        let mut rng = XorShift64::new(seed);
+        let p = program(&mut rng);
         let printed = print_program(&p);
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("{}\n--- printed ---\n{printed}", e.render(&printed)));
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: {}\n--- printed ---\n{printed}",
+                e.render(&printed)
+            )
+        });
         let reprinted = print_program(&reparsed);
-        prop_assert_eq!(printed, reprinted);
+        assert_eq!(printed, reprinted, "seed {seed}");
     }
+}
 
-    #[test]
-    fn lexer_never_panics(s in "\\PC{0,100}") {
+/// A random string over a mix of ASCII, operators, and multi-byte chars —
+/// deliberately mostly invalid syntax.
+fn random_soup(rng: &mut XorShift64, max_len: usize) -> String {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| match rng.below(12) {
+            0 => '{',
+            1 => '}',
+            2 => '"',
+            3 => '\\',
+            4 => '\n',
+            5 => '=',
+            6 => '.',
+            7 => 'é',
+            8 => '🦀',
+            _ => (b' ' + rng.below(95) as u8) as char,
+        })
+        .collect()
+}
+
+#[test]
+fn lexer_never_panics() {
+    for seed in 0..256u64 {
+        let mut rng = XorShift64::new(seed);
+        let s = random_soup(&mut rng, 100);
         let _ = oi_lang::lexer::lex(&s);
     }
+}
 
-    #[test]
-    fn parser_never_panics(s in "\\PC{0,200}") {
+#[test]
+fn parser_never_panics() {
+    for seed in 0..256u64 {
+        let mut rng = XorShift64::new(seed);
+        let s = random_soup(&mut rng, 200);
         let _ = parse(&s);
     }
 }

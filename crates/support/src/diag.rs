@@ -53,25 +53,67 @@ impl Span {
 
     /// Smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 
     /// Computes 1-based `(line, column)` of the span start within `source`.
+    ///
+    /// Convenience for one-off lookups; when rendering several
+    /// diagnostics against the same source, build a [`LineIndex`] once
+    /// and use [`LineIndex::line_col`] instead of rescanning per span.
     pub fn line_col(self, source: &str) -> (u32, u32) {
-        let mut line = 1;
-        let mut col = 1;
-        for (idx, ch) in source.char_indices() {
-            if idx as u32 >= self.start {
-                break;
-            }
-            if ch == '\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
+        LineIndex::new(source).line_col(self)
+    }
+}
+
+/// A precomputed line-start table for a source string.
+///
+/// Locating a span is a binary search over line starts plus a scan of one
+/// line to count characters, instead of a scan of the whole file per
+/// lookup. Columns are 1-based and counted in characters (not bytes), so
+/// multi-byte UTF-8 code points each advance the column by one.
+///
+/// # Examples
+///
+/// ```
+/// use oi_support::{LineIndex, Span};
+/// let index = LineIndex::new("ab\ncdé f");
+/// assert_eq!(index.line_col(Span::new(7, 8)), (2, 4)); // after 'é'
+/// ```
+pub struct LineIndex<'a> {
+    source: &'a str,
+    /// Byte offset of the first byte of each line; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl<'a> LineIndex<'a> {
+    /// Scans `source` once, recording where each line begins.
+    pub fn new(source: &'a str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (idx, byte) in source.bytes().enumerate() {
+            if byte == b'\n' {
+                line_starts.push(idx as u32 + 1);
             }
         }
-        (line, col)
+        Self {
+            source,
+            line_starts,
+        }
+    }
+
+    /// 1-based `(line, column)` of the span's start offset. Offsets past
+    /// the end of the source are clamped to the end.
+    pub fn line_col(&self, span: Span) -> (u32, u32) {
+        let offset = (span.start as usize).min(self.source.len()) as u32;
+        // partition_point finds the first line starting *after* offset;
+        // the line containing the offset is the one before it.
+        let line = self.line_starts.partition_point(|&start| start <= offset) - 1;
+        let line_start = self.line_starts[line] as usize;
+        let col = self.source[line_start..offset as usize].chars().count() as u32 + 1;
+        (line as u32 + 1, col)
     }
 }
 
@@ -124,22 +166,42 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Self { severity: Severity::Error, message: message.into(), span }
+        Self {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Self { severity: Severity::Warning, message: message.into(), span }
+        Self {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a note diagnostic.
     pub fn note(message: impl Into<String>, span: Span) -> Self {
-        Self { severity: Severity::Note, message: message.into(), span }
+        Self {
+            severity: Severity::Note,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Renders the diagnostic with line/column information from `source`.
+    ///
+    /// Builds a throwaway [`LineIndex`]; when rendering a batch of
+    /// diagnostics, prefer [`Diagnostic::render_with`].
     pub fn render(&self, source: &str) -> String {
-        let (line, col) = self.span.line_col(source);
+        self.render_with(&LineIndex::new(source))
+    }
+
+    /// Renders the diagnostic using a prebuilt [`LineIndex`].
+    pub fn render_with(&self, index: &LineIndex<'_>) -> String {
+        let (line, col) = index.line_col(self.span);
         format!("{}:{}: {}: {}", line, col, self.severity, self.message)
     }
 }
@@ -171,6 +233,45 @@ mod tests {
         assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
         assert_eq!(Span::new(5, 6).line_col(src), (2, 3));
         assert_eq!(Span::new(7, 8).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn line_index_matches_scan_on_multibyte_sources() {
+        // 'é' is 2 bytes, '—' is 3, '🦀' is 4: byte offsets and char
+        // columns diverge from the second character of each line on.
+        let src = "aé b🦀c\nsecond — line\nплюс";
+        let index = LineIndex::new(src);
+        for (byte_offset, _) in src.char_indices() {
+            let span = Span::new(byte_offset as u32, byte_offset as u32);
+            // Reference implementation: the old linear scan.
+            let mut line = 1u32;
+            let mut col = 1u32;
+            for (idx, ch) in src.char_indices() {
+                if idx >= byte_offset {
+                    break;
+                }
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            assert_eq!(index.line_col(span), (line, col), "offset {byte_offset}");
+        }
+    }
+
+    #[test]
+    fn line_index_clamps_past_end() {
+        let index = LineIndex::new("ab\nc");
+        assert_eq!(index.line_col(Span::new(100, 100)), (2, 2));
+    }
+
+    #[test]
+    fn line_index_handles_empty_and_trailing_newline() {
+        assert_eq!(LineIndex::new("").line_col(Span::new(0, 0)), (1, 1));
+        let index = LineIndex::new("ab\n");
+        assert_eq!(index.line_col(Span::new(3, 3)), (2, 1));
     }
 
     #[test]

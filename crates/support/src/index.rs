@@ -41,12 +41,18 @@ pub struct IdxVec<I: Idx, T> {
 impl<I: Idx, T> IdxVec<I, T> {
     /// Creates an empty vector.
     pub fn new() -> Self {
-        Self { raw: Vec::new(), _marker: PhantomData }
+        Self {
+            raw: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty vector with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { raw: Vec::with_capacity(cap), _marker: PhantomData }
+        Self {
+            raw: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
     }
 
     /// Appends a value, returning its id.
@@ -98,7 +104,10 @@ impl<I: Idx, T> IdxVec<I, T> {
 
     /// Iterates over `(id, &value)` pairs.
     pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> {
-        self.raw.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+        self.raw
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_usize(i), t))
     }
 
     /// Iterates over all valid ids.
@@ -144,7 +153,10 @@ impl<I: Idx, T> IndexMut<I> for IdxVec<I, T> {
 
 impl<I: Idx, T> FromIterator<T> for IdxVec<I, T> {
     fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
-        Self { raw: iter.into_iter().collect(), _marker: PhantomData }
+        Self {
+            raw: iter.into_iter().collect(),
+            _marker: PhantomData,
+        }
     }
 }
 

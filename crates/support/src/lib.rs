@@ -6,7 +6,12 @@
 //!
 //! - [`intern`]: a string interner producing copyable [`intern::Symbol`]s,
 //! - [`index`]: typed index newtypes and the [`index::IdxVec`] arena,
-//! - [`diag`]: source spans and compiler diagnostics.
+//! - [`diag`]: source spans, a line-start index, and compiler diagnostics,
+//! - [`json`]: a dependency-free JSON document model (build, print, parse),
+//! - [`trace`]: the `oi-trace` observability layer (spans, events,
+//!   counters, and pluggable sinks selected via `OIC_TRACE`),
+//! - [`rng`]: a seedable xorshift PRNG for synthetic workloads and
+//!   property tests.
 //!
 //! # Examples
 //!
@@ -23,10 +28,14 @@
 pub mod diag;
 pub mod index;
 pub mod intern;
+pub mod json;
+pub mod rng;
+pub mod trace;
 
-pub use diag::{Diagnostic, Span};
+pub use diag::{Diagnostic, LineIndex, Span};
 pub use index::IdxVec;
 pub use intern::{Interner, Symbol};
+pub use json::Json;
 
 /// Declares a copyable, ordered, hashable index newtype over `u32`.
 ///

@@ -1,85 +1,124 @@
-//! Property tests for the support primitives.
+//! Property tests for the support primitives, driven by the in-repo
+//! seeded PRNG so every failure reproduces from its printed seed.
 
+use oi_support::rng::XorShift64;
 use oi_support::{IdxVec, Interner, Span};
-use proptest::prelude::*;
 
 oi_support::define_idx!(pub struct PropId, "pid");
 
-proptest! {
-    #[test]
-    fn interner_resolves_what_it_interned(words in proptest::collection::vec("\\PC{0,16}", 0..64)) {
+/// A random printable string, possibly with multi-byte characters.
+fn random_word(rng: &mut XorShift64, max_len: usize) -> String {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0 => 'é',
+            1 => '—',
+            2 => '🦀',
+            3 => ' ',
+            _ => (b'a' + rng.below(26) as u8) as char,
+        })
+        .collect()
+}
+
+#[test]
+fn interner_resolves_what_it_interned() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let words: Vec<String> = (0..rng.below(64))
+            .map(|_| random_word(&mut rng, 16))
+            .collect();
         let mut interner = Interner::new();
         let syms: Vec<_> = words.iter().map(|w| interner.intern(w)).collect();
         for (w, s) in words.iter().zip(&syms) {
-            prop_assert_eq!(interner.resolve(*s), w.as_str());
+            assert_eq!(interner.resolve(*s), w.as_str(), "seed {seed}");
         }
         // Interning again returns identical symbols.
         for (w, s) in words.iter().zip(&syms) {
-            prop_assert_eq!(interner.intern(w), *s);
+            assert_eq!(interner.intern(w), *s, "seed {seed}");
         }
         // Distinct strings get distinct symbols.
         let unique: std::collections::HashSet<_> = words.iter().collect();
-        prop_assert_eq!(interner.len(), unique.len());
+        assert_eq!(interner.len(), unique.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn fresh_names_are_always_new(words in proptest::collection::vec("[a-z]{1,6}", 1..32)) {
+#[test]
+fn fresh_names_are_always_new() {
+    for seed in 0..32u64 {
+        let mut rng = XorShift64::new(seed);
         let mut interner = Interner::new();
         let mut seen = std::collections::HashSet::new();
-        for w in &words {
-            let s = interner.fresh(w);
-            prop_assert!(seen.insert(s), "fresh returned an existing symbol");
+        for _ in 0..1 + rng.below(31) {
+            let w = rng.ident(6);
+            let s = interner.fresh(&w);
+            assert!(
+                seen.insert(s),
+                "seed {seed}: fresh returned an existing symbol"
+            );
         }
     }
+}
 
-    #[test]
-    fn span_merge_is_commutative_associative_idempotent(
-        (a1, a2) in (0u32..1000, 0u32..1000),
-        (b1, b2) in (0u32..1000, 0u32..1000),
-        (c1, c2) in (0u32..1000, 0u32..1000),
-    ) {
-        let s = |x: u32, y: u32| Span::new(x.min(y), x.max(y));
-        let (a, b, c) = (s(a1, a2), s(b1, b2), s(c1, c2));
-        prop_assert_eq!(a.merge(b), b.merge(a));
-        prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
-        prop_assert_eq!(a.merge(a), a);
+#[test]
+fn span_merge_is_commutative_associative_idempotent() {
+    let mut rng = XorShift64::new(0xA11CE);
+    for _ in 0..256 {
+        let mut s = || {
+            let x = rng.below(1000) as u32;
+            let y = rng.below(1000) as u32;
+            Span::new(x.min(y), x.max(y))
+        };
+        let (a, b, c) = (s(), s(), s());
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        assert_eq!(a.merge(a), a);
         // The merge covers both inputs.
         let m = a.merge(b);
-        prop_assert!(m.start <= a.start && m.end >= a.end);
-        prop_assert!(m.start <= b.start && m.end >= b.end);
+        assert!(m.start <= a.start && m.end >= a.end);
+        assert!(m.start <= b.start && m.end >= b.end);
     }
+}
 
-    #[test]
-    fn span_line_col_is_monotone(src in "\\PC{0,120}", cut in 0usize..120) {
-        let cut = cut.min(src.len()) as u32;
+#[test]
+fn span_line_col_is_monotone() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let mut src = random_word(&mut rng, 60);
+        if rng.chance(1, 2) {
+            src = src.replace(' ', "\n");
+        }
+        let mut cut = rng.below(src.len() + 1);
         // Snap to a char boundary.
-        let mut cut = cut;
-        while cut > 0 && !src.is_char_boundary(cut as usize) {
+        while cut > 0 && !src.is_char_boundary(cut) {
             cut -= 1;
         }
         let (l1, c1) = Span::new(0, 0).line_col(&src);
-        let (l2, _c2) = Span::new(cut, cut).line_col(&src);
-        prop_assert_eq!((l1, c1), (1, 1));
-        prop_assert!(l2 >= 1);
+        let (l2, _c2) = Span::new(cut as u32, cut as u32).line_col(&src);
+        assert_eq!((l1, c1), (1, 1), "seed {seed}");
+        assert!(l2 >= 1, "seed {seed}");
     }
+}
 
-    #[test]
-    fn idxvec_behaves_like_vec(values in proptest::collection::vec(any::<i64>(), 0..128)) {
+#[test]
+fn idxvec_behaves_like_vec() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let values: Vec<i64> = (0..rng.below(128)).map(|_| rng.next_u64() as i64).collect();
         let mut iv: IdxVec<PropId, i64> = IdxVec::new();
         let mut ids = Vec::new();
         for &v in &values {
             ids.push(iv.push(v));
         }
-        prop_assert_eq!(iv.len(), values.len());
+        assert_eq!(iv.len(), values.len());
         for (id, v) in ids.iter().zip(&values) {
-            prop_assert_eq!(iv[*id], *v);
+            assert_eq!(iv[*id], *v);
         }
         let collected: Vec<i64> = iv.iter().copied().collect();
-        prop_assert_eq!(collected, values.clone());
+        assert_eq!(collected, values);
         // Enumerated ids are dense and ordered.
         for (i, (id, _)) in iv.iter_enumerated().enumerate() {
-            prop_assert_eq!(id.index(), i);
+            assert_eq!(id.index(), i);
         }
-        prop_assert_eq!(iv.into_inner(), values);
+        assert_eq!(iv.into_inner(), values);
     }
 }

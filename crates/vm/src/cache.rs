@@ -19,7 +19,11 @@ pub struct CacheConfig {
 impl Default for CacheConfig {
     /// 32 KiB, 32-byte lines, 2-way — a 90s-workstation-flavored L1.
     fn default() -> Self {
-        Self { size_bytes: 32 * 1024, line_bytes: 32, ways: 2 }
+        Self {
+            size_bytes: 32 * 1024,
+            line_bytes: 32,
+            ways: 2,
+        }
     }
 }
 
@@ -30,10 +34,16 @@ impl CacheConfig {
     ///
     /// Panics if the geometry is degenerate (zero sizes, non-dividing).
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0, "cache must have at least one way");
         let lines = self.size_bytes / self.line_bytes;
-        assert!(lines >= self.ways && lines.is_multiple_of(self.ways), "invalid cache geometry");
+        assert!(
+            lines >= self.ways && lines.is_multiple_of(self.ways),
+            "invalid cache geometry"
+        );
         lines / self.ways
     }
 }
@@ -52,7 +62,12 @@ impl CacheSim {
     /// Creates an empty (all-cold) cache.
     pub fn new(config: CacheConfig) -> Self {
         let sets = vec![Vec::with_capacity(config.ways); config.sets()];
-        Self { config, sets, hits: 0, misses: 0 }
+        Self {
+            config,
+            sets,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Simulates an access to `addr`; returns `true` on hit.
@@ -108,13 +123,25 @@ mod tests {
 
     fn tiny() -> CacheSim {
         // 4 lines of 32 bytes, 2-way => 2 sets.
-        CacheSim::new(CacheConfig { size_bytes: 128, line_bytes: 32, ways: 2 })
+        CacheSim::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 32,
+            ways: 2,
+        })
     }
 
     #[test]
     fn geometry_computes_sets() {
         assert_eq!(CacheConfig::default().sets(), 512);
-        assert_eq!(CacheConfig { size_bytes: 128, line_bytes: 32, ways: 2 }.sets(), 2);
+        assert_eq!(
+            CacheConfig {
+                size_bytes: 128,
+                line_bytes: 32,
+                ways: 2
+            }
+            .sets(),
+            2
+        );
     }
 
     #[test]
@@ -166,6 +193,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid cache geometry")]
     fn degenerate_geometry_panics() {
-        let _ = CacheSim::new(CacheConfig { size_bytes: 32, line_bytes: 32, ways: 2 });
+        let _ = CacheSim::new(CacheConfig {
+            size_bytes: 32,
+            line_bytes: 32,
+            ways: 2,
+        });
     }
 }

@@ -98,7 +98,10 @@ mod tests {
     fn default_orders_overheads_as_the_paper_expects() {
         let c = CostModel::default();
         assert!(c.dyn_dispatch > c.static_call);
-        assert!(c.heap_read > c.lea, "a dereference must cost more than address arithmetic");
+        assert!(
+            c.heap_read > c.lea,
+            "a dereference must cost more than address arithmetic"
+        );
         assert!(c.alloc_base > c.heap_write);
         assert!(c.cache_miss > c.heap_read);
     }

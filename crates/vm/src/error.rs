@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = VmError::NoSuchMethod { class: "Point".into(), selector: "area".into() };
+        let e = VmError::NoSuchMethod {
+            class: "Point".into(),
+            selector: "area".into(),
+        };
         assert_eq!(e.to_string(), "no method `area` on class `Point`");
         let e = VmError::IndexOutOfBounds { index: 7, len: 3 };
         assert!(e.to_string().contains("7"));

@@ -98,7 +98,11 @@ impl Heap {
         let addr = self.next_addr;
         self.next_addr += words * WORD;
         self.words_allocated += words;
-        Ok(self.objects.push(HeapObject { kind, addr, slots: vec![Value::Nil; slot_count] }))
+        Ok(self.objects.push(HeapObject {
+            kind,
+            addr,
+            slots: vec![Value::Nil; slot_count],
+        }))
     }
 
     /// Immutable object access.
@@ -163,7 +167,9 @@ mod tests {
     #[test]
     fn inline_array_len_is_element_count() {
         let mut h = Heap::new(1024, 1);
-        let a = h.alloc(ObjKind::ArrayInline { layout: 0, len: 5 }, 10).unwrap();
+        let a = h
+            .alloc(ObjKind::ArrayInline { layout: 0, len: 5 }, 10)
+            .unwrap();
         assert_eq!(h.get(a).array_len(), Some(5));
         assert_eq!(h.get(a).slots.len(), 10);
     }

@@ -7,8 +7,8 @@ use crate::heap::{Heap, ObjKind};
 use crate::metrics::Metrics;
 use crate::value::{ObjId, Value};
 use oi_ir::{
-    ArrayLayoutKind, BinOp, Builtin, ClassId, ConstValue, Instr, LayoutId, MethodId,
-    Program, Temp, Terminator, UnOp,
+    ArrayLayoutKind, BinOp, Builtin, ClassId, ConstValue, Instr, LayoutId, MethodId, Program,
+    SiteId, Temp, Terminator, UnOp,
 };
 use oi_support::Symbol;
 use std::collections::HashMap;
@@ -29,6 +29,10 @@ pub struct VmConfig {
     pub max_heap_words: u64,
     /// Per-object allocator overhead in words (header + padding).
     pub alloc_header_words: u64,
+    /// Collect a per-method / per-allocation-site execution profile
+    /// ([`RunResult::profile`]). Off by default: attribution adds a check
+    /// to every cycle charge.
+    pub profile: bool,
 }
 
 impl Default for VmConfig {
@@ -40,6 +44,7 @@ impl Default for VmConfig {
             max_depth: 4_096,
             max_heap_words: 1 << 28,
             alloc_header_words: 2,
+            profile: false,
         }
     }
 }
@@ -55,6 +60,8 @@ pub struct RunResult {
     /// sorted by descending count. Arrays appear as `<array>` /
     /// `<array-inline>`.
     pub allocation_census: Vec<(String, u64)>,
+    /// Per-method / per-site profile (`Some` iff [`VmConfig::profile`]).
+    pub profile: Option<crate::profile::Profile>,
 }
 
 impl RunResult {
@@ -82,8 +89,10 @@ pub fn run(program: &Program, config: &VmConfig) -> Result<RunResult, VmError> {
     let mut census: Vec<(String, u64)> = Vec::new();
     for (c, &n) in vm.alloc_census.iter().enumerate() {
         if n > 0 {
-            let name =
-                program.interner.resolve(program.classes[oi_ir::ClassId::new(c)].name).to_owned();
+            let name = program
+                .interner
+                .resolve(program.classes[oi_ir::ClassId::new(c)].name)
+                .to_owned();
             census.push((name, n));
         }
     }
@@ -94,7 +103,89 @@ pub fn run(program: &Program, config: &VmConfig) -> Result<RunResult, VmError> {
         census.push(("<array-inline>".to_owned(), vm.inline_array_census));
     }
     census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    Ok(RunResult { output: vm.output, metrics: vm.metrics, allocation_census: census })
+    let profile = vm
+        .profile
+        .take()
+        .map(|state| build_profile(program, &state));
+    Ok(RunResult {
+        output: vm.output,
+        metrics: vm.metrics,
+        allocation_census: census,
+        profile,
+    })
+}
+
+/// Folds raw per-index counters into a hottest-first [`crate::profile::Profile`],
+/// resolving sites to their containing method and allocated class.
+fn build_profile(program: &Program, state: &ProfileState) -> crate::profile::Profile {
+    use crate::profile::{MethodProfile, Profile, SiteProfile};
+    // Static site → (containing method, allocated class) map.
+    let mut site_info: HashMap<usize, (String, String)> = HashMap::new();
+    for (mid, m) in program.methods.iter_enumerated() {
+        for block in m.blocks.iter() {
+            for instr in &block.instrs {
+                let (site, class) = match instr {
+                    Instr::New { class, site, .. } => (
+                        *site,
+                        program
+                            .interner
+                            .resolve(program.classes[*class].name)
+                            .to_owned(),
+                    ),
+                    Instr::NewArray { site, .. } => (*site, "<array>".to_owned()),
+                    Instr::NewArrayInline { site, .. } => (*site, "<array-inline>".to_owned()),
+                    _ => continue,
+                };
+                site_info.insert(site.index(), (program.method_display(mid), class));
+            }
+        }
+    }
+    let mut methods: Vec<MethodProfile> = program
+        .methods
+        .ids()
+        .filter(|m| state.method_calls[m.index()] > 0)
+        .map(|m| MethodProfile {
+            name: program.method_display(m),
+            calls: state.method_calls[m.index()],
+            cycles: state.method_cycles[m.index()],
+            cache_misses: state.method_misses[m.index()],
+        })
+        .collect();
+    methods.sort_by(|a, b| b.cycles.cmp(&a.cycles).then_with(|| a.name.cmp(&b.name)));
+    let mut sites: Vec<SiteProfile> = state
+        .site_allocs
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(site, &n)| {
+            let (method, class) = site_info
+                .get(&site)
+                .cloned()
+                .unwrap_or_else(|| ("<unknown>".to_owned(), "<unknown>".to_owned()));
+            SiteProfile {
+                site,
+                method,
+                class,
+                allocations: n,
+                words: state.site_words[site],
+            }
+        })
+        .collect();
+    sites.sort_by(|a, b| {
+        b.allocations
+            .cmp(&a.allocations)
+            .then_with(|| a.site.cmp(&b.site))
+    });
+    Profile { methods, sites }
+}
+
+/// Raw profiling counters, indexed by method / site id.
+struct ProfileState {
+    method_calls: Vec<u64>,
+    method_cycles: Vec<u64>,
+    method_misses: Vec<u64>,
+    site_allocs: Vec<u64>,
+    site_words: Vec<u64>,
 }
 
 /// How an inline child's fields map to container slots (VM-resolved form,
@@ -105,7 +196,11 @@ enum Repr {
     Object { slots: Vec<usize> },
     /// Array container: child field `j` of element `i` lives at
     /// `i*width + map[j]` (interleaved) or `map[j]*len + i` (parallel).
-    Array { kind: ArrayLayoutKind, width: usize, map: Vec<usize> },
+    Array {
+        kind: ArrayLayoutKind,
+        width: usize,
+        map: Vec<usize>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -137,6 +232,10 @@ struct Vm<'p> {
     alloc_census: Vec<u64>,
     array_census: u64,
     inline_array_census: u64,
+    /// Raw profiling counters (`Some` iff `config.profile`).
+    profile: Option<ProfileState>,
+    /// Call stack of active methods, maintained only while profiling.
+    mstack: Vec<MethodId>,
 }
 
 impl<'p> Vm<'p> {
@@ -153,8 +252,11 @@ impl<'p> Vm<'p> {
                     .collect()
             })
             .collect();
-        let class_sizes =
-            program.classes.ids().map(|c| program.layout_of(c).len()).collect();
+        let class_sizes = program
+            .classes
+            .ids()
+            .map(|c| program.layout_of(c).len())
+            .collect();
         let layouts = program
             .layouts
             .iter()
@@ -162,7 +264,9 @@ impl<'p> Vm<'p> {
                 child_class: l.child_class,
                 child_fields: l.child_fields.clone(),
                 repr: match l.array_kind {
-                    None => Repr::Object { slots: l.slots.clone() },
+                    None => Repr::Object {
+                        slots: l.slots.clone(),
+                    },
                     Some(kind) => Repr::Array {
                         kind,
                         width: l.child_fields.len(),
@@ -189,6 +293,14 @@ impl<'p> Vm<'p> {
             alloc_census: vec![0; program.classes.len()],
             array_census: 0,
             inline_array_census: 0,
+            profile: config.profile.then(|| ProfileState {
+                method_calls: vec![0; program.methods.len()],
+                method_cycles: vec![0; program.methods.len()],
+                method_misses: vec![0; program.methods.len()],
+                site_allocs: vec![0; program.site_count as usize],
+                site_words: vec![0; program.site_count as usize],
+            }),
+            mstack: Vec::new(),
         }
     }
 
@@ -196,6 +308,20 @@ impl<'p> Vm<'p> {
 
     fn charge(&mut self, cycles: u64) {
         self.metrics.cycles += cycles;
+        if let Some(p) = &mut self.profile {
+            if let Some(&m) = self.mstack.last() {
+                p.method_cycles[m.index()] += cycles;
+            }
+        }
+    }
+
+    /// Attributes one cache miss to the active method (profiling only).
+    fn profile_miss(&mut self) {
+        if let Some(p) = &mut self.profile {
+            if let Some(&m) = self.mstack.last() {
+                p.method_misses[m.index()] += 1;
+            }
+        }
     }
 
     /// A heap read at `addr`: base cost + cache penalty.
@@ -206,6 +332,7 @@ impl<'p> Vm<'p> {
             self.metrics.cache_hits += 1;
         } else {
             self.metrics.cache_misses += 1;
+            self.profile_miss();
             self.charge(self.config.cost.cache_miss);
         }
     }
@@ -218,6 +345,7 @@ impl<'p> Vm<'p> {
             self.metrics.cache_hits += 1;
         } else {
             self.metrics.cache_misses += 1;
+            self.profile_miss();
             self.charge(self.config.cost.cache_miss);
         }
     }
@@ -232,12 +360,15 @@ impl<'p> Vm<'p> {
             return cached;
         }
         let inner_l = &self.program.layouts[inner];
-        debug_assert!(inner_l.array_kind.is_none(), "inner layout must be an object layout");
+        debug_assert!(
+            inner_l.array_kind.is_none(),
+            "inner layout must be an object layout"
+        );
         let outer_l = &self.layouts[outer as usize];
         let repr = match &outer_l.repr {
-            Repr::Object { slots } => {
-                Repr::Object { slots: inner_l.slots.iter().map(|&s| slots[s]).collect() }
-            }
+            Repr::Object { slots } => Repr::Object {
+                slots: inner_l.slots.iter().map(|&s| slots[s]).collect(),
+            },
             Repr::Array { kind, width, map } => Repr::Array {
                 kind: *kind,
                 width: *width,
@@ -256,13 +387,7 @@ impl<'p> Vm<'p> {
     }
 
     /// Container slot index for child field `j` of the interior reference.
-    fn interior_slot(
-        &self,
-        layout: u32,
-        index: u32,
-        j: usize,
-        container_len: usize,
-    ) -> usize {
+    fn interior_slot(&self, layout: u32, index: u32, j: usize, container_len: usize) -> usize {
         match &self.layouts[layout as usize].repr {
             Repr::Object { slots } => slots[j],
             Repr::Array { kind, width, map } => match kind {
@@ -275,7 +400,10 @@ impl<'p> Vm<'p> {
     // -- dynamic typing helpers ---------------------------------------------
 
     fn class_name(&self, c: ClassId) -> String {
-        self.program.interner.resolve(self.program.classes[c].name).to_owned()
+        self.program
+            .interner
+            .resolve(self.program.classes[c].name)
+            .to_owned()
     }
 
     fn class_of(&self, v: Value) -> Option<ClassId> {
@@ -409,13 +537,14 @@ impl<'p> Vm<'p> {
 
     // -- allocation ----------------------------------------------------------
 
-    fn alloc_instance(&mut self, class: ClassId) -> Result<ObjId, VmError> {
+    fn alloc_instance(&mut self, class: ClassId, site: SiteId) -> Result<ObjId, VmError> {
         let size = self.class_sizes[class.index()];
         let id = self.heap.alloc(ObjKind::Instance(class), size)?;
         let overhead = self.config.alloc_header_words;
         self.alloc_census[class.index()] += 1;
         self.metrics.allocations += 1;
         self.metrics.words_allocated += size as u64 + overhead;
+        self.profile_alloc(site, size as u64 + overhead);
         self.charge(
             self.config.cost.alloc_base + self.config.cost.alloc_word * (size as u64 + overhead),
         );
@@ -430,7 +559,18 @@ impl<'p> Vm<'p> {
         Ok(id)
     }
 
-    fn alloc_array(&mut self, kind: ObjKind, slots: usize) -> Result<ObjId, VmError> {
+    /// Attributes one allocation of `words` words to `site` (profiling
+    /// only).
+    fn profile_alloc(&mut self, site: SiteId, words: u64) {
+        if let Some(p) = &mut self.profile {
+            if site.index() < p.site_allocs.len() {
+                p.site_allocs[site.index()] += 1;
+                p.site_words[site.index()] += words;
+            }
+        }
+    }
+
+    fn alloc_array(&mut self, kind: ObjKind, slots: usize, site: SiteId) -> Result<ObjId, VmError> {
         let id = self.heap.alloc(kind, slots)?;
         match kind {
             ObjKind::ArrayInline { .. } => self.inline_array_census += 1,
@@ -439,6 +579,7 @@ impl<'p> Vm<'p> {
         let overhead = self.config.alloc_header_words;
         self.metrics.allocations += 1;
         self.metrics.words_allocated += slots as u64 + overhead;
+        self.profile_alloc(site, slots as u64 + overhead);
         self.charge(
             self.config.cost.alloc_base + self.config.cost.alloc_word * (slots as u64 + overhead),
         );
@@ -452,7 +593,14 @@ impl<'p> Vm<'p> {
             return Err(VmError::StackOverflow);
         }
         self.depth += 1;
+        if let Some(p) = &mut self.profile {
+            p.method_calls[method.index()] += 1;
+            self.mstack.push(method);
+        }
         let result = self.run_frame(method, recv, args);
+        if self.profile.is_some() {
+            self.mstack.pop();
+        }
         self.depth -= 1;
         result
     }
@@ -483,7 +631,11 @@ impl<'p> Vm<'p> {
             self.charge(self.config.cost.branch);
             match block.term {
                 Terminator::Jump(next) => bb = next,
-                Terminator::Branch { cond, then_bb, else_bb } => {
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let c = self.expect_bool(locals[cond.index()], "branch condition")?;
                     bb = if c { then_bb } else { else_bb };
                 }
@@ -521,10 +673,17 @@ impl<'p> Vm<'p> {
                 let r = get(*rhs, locals);
                 locals[dst.index()] = self.eval_binary(*op, l, r)?;
             }
-            Instr::New { dst, class, args, .. } => {
-                let id = self.alloc_instance(*class)?;
+            Instr::New {
+                dst,
+                class,
+                args,
+                site,
+            } => {
+                let id = self.alloc_instance(*class, *site)?;
                 locals[dst.index()] = Value::Obj(id);
-                if let Some(init) = self.init_sym.and_then(|s| self.program.lookup_method(*class, s))
+                if let Some(init) = self
+                    .init_sym
+                    .and_then(|s| self.program.lookup_method(*class, s))
                 {
                     // Raw allocations (constructor explosion) call init
                     // explicitly; skip the implicit call.
@@ -540,7 +699,7 @@ impl<'p> Vm<'p> {
                     self.call(init, Value::Obj(id), &argv)?;
                 }
             }
-            Instr::NewArray { dst, len, .. } => {
+            Instr::NewArray { dst, len, site } => {
                 let n = self.expect_int(get(*len, locals), "array length")?;
                 if n < 0 {
                     return Err(VmError::TypeError {
@@ -548,10 +707,15 @@ impl<'p> Vm<'p> {
                         found: n.to_string(),
                     });
                 }
-                let id = self.alloc_array(ObjKind::Array, n as usize)?;
+                let id = self.alloc_array(ObjKind::Array, n as usize, *site)?;
                 locals[dst.index()] = Value::Obj(id);
             }
-            Instr::NewArrayInline { dst, len, layout, .. } => {
+            Instr::NewArrayInline {
+                dst,
+                len,
+                layout,
+                site,
+            } => {
                 let n = self.expect_int(get(*len, locals), "array length")?;
                 if n < 0 {
                     return Err(VmError::TypeError {
@@ -562,8 +726,12 @@ impl<'p> Vm<'p> {
                 let lid = layout.index() as u32;
                 let width = self.layouts[lid as usize].child_fields.len();
                 let id = self.alloc_array(
-                    ObjKind::ArrayInline { layout: lid, len: n as usize },
+                    ObjKind::ArrayInline {
+                        layout: lid,
+                        len: n as usize,
+                    },
                     n as usize * width,
+                    *site,
                 )?;
                 locals[dst.index()] = Value::Obj(id);
             }
@@ -588,26 +756,28 @@ impl<'p> Vm<'p> {
                 self.mem_write((1 << 40) + global.index() as u64 * crate::heap::WORD);
                 self.globals[global.index()] = get(*src, locals);
             }
-            Instr::Send { dst, recv, selector, args } => {
+            Instr::Send {
+                dst,
+                recv,
+                selector,
+                args,
+            } => {
                 let r = get(*recv, locals);
                 let class = self.class_of(r).ok_or_else(|| match r {
                     Value::Nil => VmError::NilDereference {
-                        context: format!(
-                            "send of `{}`",
-                            self.program.interner.resolve(*selector)
-                        ),
+                        context: format!("send of `{}`", self.program.interner.resolve(*selector)),
                     },
                     other => VmError::TypeError {
                         expected: "object receiver".to_owned(),
                         found: other.type_name().to_owned(),
                     },
                 })?;
-                let target =
-                    self.program.lookup_method(class, *selector).ok_or_else(|| {
-                        VmError::NoSuchMethod {
-                            class: self.class_name(class),
-                            selector: self.program.interner.resolve(*selector).to_owned(),
-                        }
+                let target = self
+                    .program
+                    .lookup_method(class, *selector)
+                    .ok_or_else(|| VmError::NoSuchMethod {
+                        class: self.class_name(class),
+                        selector: self.program.interner.resolve(*selector).to_owned(),
                     })?;
                 let argv: Vec<Value> = args.iter().map(|&a| get(a, locals)).collect();
                 self.metrics.dyn_dispatches += 1;
@@ -616,7 +786,12 @@ impl<'p> Vm<'p> {
                 );
                 locals[dst.index()] = self.call(target, r, &argv)?;
             }
-            Instr::CallStatic { dst, method, recv, args } => {
+            Instr::CallStatic {
+                dst,
+                method,
+                recv,
+                args,
+            } => {
                 let r = get(*recv, locals);
                 let argv: Vec<Value> = args.iter().map(|&a| get(a, locals)).collect();
                 self.metrics.static_calls += 1;
@@ -633,10 +808,22 @@ impl<'p> Vm<'p> {
                 self.metrics.interior_refs += 1;
                 self.charge(self.config.cost.lea);
                 locals[dst.index()] = match get(*obj, locals) {
-                    Value::Obj(o) => Value::Interior { obj: o, index: 0, layout: *layout },
-                    Value::Interior { obj, index, layout: outer } => {
+                    Value::Obj(o) => Value::Interior {
+                        obj: o,
+                        index: 0,
+                        layout: *layout,
+                    },
+                    Value::Interior {
+                        obj,
+                        index,
+                        layout: outer,
+                    } => {
                         let composed = self.compose(outer.index() as u32, *layout);
-                        Value::Interior { obj, index, layout: LayoutId::new(composed as usize) }
+                        Value::Interior {
+                            obj,
+                            index,
+                            layout: LayoutId::new(composed as usize),
+                        }
                     }
                     Value::Nil => {
                         return Err(VmError::NilDereference {
@@ -651,7 +838,12 @@ impl<'p> Vm<'p> {
                     }
                 };
             }
-            Instr::MakeInteriorElem { dst, arr, idx, layout } => {
+            Instr::MakeInteriorElem {
+                dst,
+                arr,
+                idx,
+                layout,
+            } => {
                 self.metrics.interior_refs += 1;
                 self.charge(self.config.cost.lea);
                 let a = get(*arr, locals);
@@ -671,7 +863,11 @@ impl<'p> Vm<'p> {
                 if i < 0 || i as usize >= len {
                     return Err(VmError::IndexOutOfBounds { index: i, len });
                 }
-                locals[dst.index()] = Value::Interior { obj: o, index: i as u32, layout: *layout };
+                locals[dst.index()] = Value::Interior {
+                    obj: o,
+                    index: i as u32,
+                    layout: *layout,
+                };
             }
             Instr::Print { src } => {
                 self.charge(self.config.cost.print);
@@ -689,9 +885,9 @@ impl<'p> Vm<'p> {
         let i = self.expect_int(idx, "array index")?;
         let Value::Obj(o) = arr else {
             return Err(match arr {
-                Value::Nil => {
-                    VmError::NilDereference { context: "array indexing".to_owned() }
-                }
+                Value::Nil => VmError::NilDereference {
+                    context: "array indexing".to_owned(),
+                },
                 other => VmError::TypeError {
                     expected: "array".to_owned(),
                     found: other.type_name().to_owned(),
@@ -733,9 +929,9 @@ impl<'p> Vm<'p> {
         let i = self.expect_int(idx, "array index")?;
         let Value::Obj(o) = arr else {
             return Err(match arr {
-                Value::Nil => {
-                    VmError::NilDereference { context: "array store".to_owned() }
-                }
+                Value::Nil => VmError::NilDereference {
+                    context: "array store".to_owned(),
+                },
                 other => VmError::TypeError {
                     expected: "array".to_owned(),
                     found: other.type_name().to_owned(),
@@ -920,10 +1116,14 @@ impl<'p> Vm<'p> {
                         found: args[0].type_name().to_owned(),
                     });
                 };
-                let len = self.heap.get(o).array_len().ok_or_else(|| VmError::TypeError {
-                    expected: "array for len".to_owned(),
-                    found: "object".to_owned(),
-                })?;
+                let len = self
+                    .heap
+                    .get(o)
+                    .array_len()
+                    .ok_or_else(|| VmError::TypeError {
+                        expected: "array for len".to_owned(),
+                        found: "object".to_owned(),
+                    })?;
                 // Length lives in the header word.
                 let addr = self.heap.get(o).addr;
                 self.mem_read(addr);
@@ -962,7 +1162,10 @@ impl<'p> Vm<'p> {
                 ObjKind::ArrayInline { len, .. } => format!("<array[{len}]>"),
             },
             Value::Interior { layout, .. } => {
-                format!("<{}>", self.class_name(self.layouts[layout.index()].child_class))
+                format!(
+                    "<{}>",
+                    self.class_name(self.layouts[layout.index()].child_class)
+                )
             }
         }
     }
@@ -1083,7 +1286,10 @@ mod tests {
         let err = run(&p, &VmConfig::default()).unwrap_err();
         assert_eq!(
             err,
-            VmError::NoSuchMethod { class: "A".into(), selector: "nope".into() }
+            VmError::NoSuchMethod {
+                class: "A".into(),
+                selector: "nope".into()
+            }
         );
     }
 
@@ -1097,20 +1303,29 @@ mod tests {
     #[test]
     fn division_by_zero_reported() {
         let p = compile("fn main() { print 1 / 0; }").unwrap();
-        assert_eq!(run(&p, &VmConfig::default()).unwrap_err(), VmError::DivisionByZero);
+        assert_eq!(
+            run(&p, &VmConfig::default()).unwrap_err(),
+            VmError::DivisionByZero
+        );
     }
 
     #[test]
     fn instruction_limit_enforced() {
         let p = compile("fn main() { while (true) { } }").unwrap();
-        let config = VmConfig { max_instructions: 10_000, ..Default::default() };
+        let config = VmConfig {
+            max_instructions: 10_000,
+            ..Default::default()
+        };
         assert_eq!(run(&p, &config).unwrap_err(), VmError::InstructionLimit);
     }
 
     #[test]
     fn recursion_depth_limited() {
         let p = compile("fn f(n) { return f(n + 1); } fn main() { print f(0); }").unwrap();
-        let config = VmConfig { max_depth: 64, ..Default::default() };
+        let config = VmConfig {
+            max_depth: 64,
+            ..Default::default()
+        };
         assert_eq!(run(&p, &config).unwrap_err(), VmError::StackOverflow);
     }
 
@@ -1182,5 +1397,45 @@ mod census_tests {
         assert_eq!(r.allocations_of("Nope"), 0);
         // Census is sorted by descending count.
         assert!(r.allocation_census.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn profiling_attributes_every_cycle_and_allocation() {
+        let p = compile(
+            "class P { field x; method init(a) { self.x = a; }
+               method get() { return self.x; }
+             }
+             fn main() {
+               var i = 0;
+               var s = 0;
+               while (i < 10) { var q = new P(i); s = s + q.get(); i = i + 1; }
+               print s;
+             }",
+        )
+        .unwrap();
+        let config = VmConfig {
+            profile: true,
+            ..Default::default()
+        };
+        let r = run(&p, &config).unwrap();
+        let prof = r.profile.expect("profile requested");
+        // Attribution is exhaustive: self cycles and site allocations sum
+        // to the global metrics.
+        let cycles: u64 = prof.methods.iter().map(|m| m.cycles).sum();
+        assert_eq!(cycles, r.metrics.cycles);
+        let misses: u64 = prof.methods.iter().map(|m| m.cache_misses).sum();
+        assert_eq!(misses, r.metrics.cache_misses);
+        let allocs: u64 = prof.sites.iter().map(|s| s.allocations).sum();
+        assert_eq!(allocs, r.metrics.allocations);
+        let hot = prof.sites.first().expect("one hot site");
+        assert_eq!(hot.class, "P");
+        assert_eq!(hot.allocations, 10);
+        assert!(prof
+            .methods
+            .iter()
+            .any(|m| m.name.ends_with("::get") && m.calls == 10));
+        // And the baseline path carries no profile.
+        let r2 = run(&p, &VmConfig::default()).unwrap();
+        assert!(r2.profile.is_none());
     }
 }

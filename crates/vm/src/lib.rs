@@ -33,6 +33,7 @@ pub mod error;
 pub mod heap;
 pub mod interp;
 pub mod metrics;
+pub mod profile;
 pub mod value;
 
 pub use cache::{CacheConfig, CacheSim};

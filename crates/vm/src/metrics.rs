@@ -34,6 +34,25 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Renders every counter as a JSON object with a stable key order
+    /// (the field declaration order, plus the derived hit rate).
+    pub fn to_json(&self) -> oi_support::Json {
+        oi_support::Json::obj(vec![
+            ("cycles", self.cycles.into()),
+            ("instructions", self.instructions.into()),
+            ("heap_reads", self.heap_reads.into()),
+            ("heap_writes", self.heap_writes.into()),
+            ("allocations", self.allocations.into()),
+            ("words_allocated", self.words_allocated.into()),
+            ("dyn_dispatches", self.dyn_dispatches.into()),
+            ("static_calls", self.static_calls.into()),
+            ("interior_refs", self.interior_refs.into()),
+            ("cache_hits", self.cache_hits.into()),
+            ("cache_misses", self.cache_misses.into()),
+            ("cache_hit_rate", self.cache_hit_rate().into()),
+        ])
+    }
+
     /// Cache hit rate in `[0, 1]`; zero if no memory accesses happened.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -83,14 +102,24 @@ mod tests {
     #[test]
     fn hit_rate_handles_zero() {
         assert_eq!(Metrics::default().cache_hit_rate(), 0.0);
-        let m = Metrics { cache_hits: 3, cache_misses: 1, ..Default::default() };
+        let m = Metrics {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Default::default()
+        };
         assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn speedup_is_relative() {
-        let base = Metrics { cycles: 300, ..Default::default() };
-        let fast = Metrics { cycles: 100, ..Default::default() };
+        let base = Metrics {
+            cycles: 300,
+            ..Default::default()
+        };
+        let fast = Metrics {
+            cycles: 100,
+            ..Default::default()
+        };
         assert!((fast.speedup_over(&base) - 3.0).abs() < 1e-12);
         assert_eq!(Metrics::default().speedup_over(&base), 1.0);
     }

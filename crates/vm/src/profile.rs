@@ -1,0 +1,155 @@
+//! Opt-in execution profiling: per-method and per-allocation-site
+//! counters (`oic run --profile`).
+//!
+//! Profiling is off by default ([`crate::VmConfig::profile`]) so the
+//! metered cost model stays the only per-instruction overhead in normal
+//! runs. When enabled, every cycle charge is attributed to the method on
+//! top of the interpreter's call stack (self time, not inclusive), cache
+//! misses likewise, and every allocation to its static allocation site.
+
+use oi_support::Json;
+
+/// Execution counters for one method (self time, excluding callees).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MethodProfile {
+    /// Human-readable `Class::method` name.
+    pub name: String,
+    /// Number of activations.
+    pub calls: u64,
+    /// Cycles charged while this method was on top of the stack.
+    pub cycles: u64,
+    /// Data-cache misses while this method was on top of the stack.
+    pub cache_misses: u64,
+}
+
+/// Execution counters for one static allocation site.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// The site id (stable across a compilation).
+    pub site: usize,
+    /// Method containing the allocation instruction.
+    pub method: String,
+    /// Class allocated (`<array>` / `<array-inline>` for arrays).
+    pub class: String,
+    /// Objects allocated at this site.
+    pub allocations: u64,
+    /// Heap words allocated (including allocator overhead).
+    pub words: u64,
+}
+
+/// A complete execution profile, sorted hottest-first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Methods by descending self cycles (zero-call methods dropped).
+    pub methods: Vec<MethodProfile>,
+    /// Allocation sites by descending allocation count (cold sites
+    /// dropped).
+    pub sites: Vec<SiteProfile>,
+}
+
+impl Profile {
+    /// The profile as schema-stable JSON (`methods` and `sites` arrays).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "methods",
+                Json::Arr(
+                    self.methods
+                        .iter()
+                        .map(|m| {
+                            Json::obj(vec![
+                                ("name", m.name.clone().into()),
+                                ("calls", m.calls.into()),
+                                ("cycles", m.cycles.into()),
+                                ("cache_misses", m.cache_misses.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "sites",
+                Json::Arr(
+                    self.sites
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("site", s.site.into()),
+                                ("method", s.method.clone().into()),
+                                ("class", s.class.clone().into()),
+                                ("allocations", s.allocations.into()),
+                                ("words", s.words.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "--- hot methods (self cycles) ---")?;
+        writeln!(
+            f,
+            "{:>12} {:>10} {:>10}  method",
+            "cycles", "calls", "misses"
+        )?;
+        for m in &self.methods {
+            writeln!(
+                f,
+                "{:>12} {:>10} {:>10}  {}",
+                m.cycles, m.calls, m.cache_misses, m.name
+            )?;
+        }
+        writeln!(f, "--- hot allocation sites ---")?;
+        writeln!(f, "{:>12} {:>10}  site", "allocs", "words")?;
+        for s in &self.sites {
+            writeln!(
+                f,
+                "{:>12} {:>10}  #{} {} in {}",
+                s.allocations, s.words, s.site, s.class, s.method
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_json_is_schema_stable() {
+        let p = Profile {
+            methods: vec![MethodProfile {
+                name: "C::m".into(),
+                calls: 2,
+                cycles: 10,
+                cache_misses: 1,
+            }],
+            sites: vec![SiteProfile {
+                site: 0,
+                method: "C::init".into(),
+                class: "P".into(),
+                allocations: 3,
+                words: 12,
+            }],
+        };
+        let j = p.to_json().to_string();
+        let parsed = Json::parse(&j).unwrap();
+        let m = &parsed.get("methods").unwrap().as_arr().unwrap()[0];
+        assert_eq!(m.get("cycles").and_then(Json::as_i64), Some(10));
+        let s = &parsed.get("sites").unwrap().as_arr().unwrap()[0];
+        assert_eq!(s.get("allocations").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn display_prints_both_tables() {
+        let p = Profile::default();
+        let s = p.to_string();
+        assert!(s.contains("hot methods"));
+        assert!(s.contains("hot allocation sites"));
+    }
+}

@@ -12,8 +12,7 @@ define_idx!(
 /// ([`Value::Obj`]) or *interior references* ([`Value::Interior`]) into
 /// inline-allocated child state — the runtime face of the paper's
 /// transformation.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Value {
     /// 64-bit integer.
     Int(i64),
@@ -60,8 +59,16 @@ impl Value {
         match (self, other) {
             (Value::Obj(a), Value::Obj(b)) => a == b,
             (
-                Value::Interior { obj: a, index: i, layout: l },
-                Value::Interior { obj: b, index: j, layout: m },
+                Value::Interior {
+                    obj: a,
+                    index: i,
+                    layout: l,
+                },
+                Value::Interior {
+                    obj: b,
+                    index: j,
+                    layout: m,
+                },
             ) => a == b && i == j && l == m,
             (Value::Nil, Value::Nil) => true,
             (Value::Int(a), Value::Int(b)) => a == b,
@@ -85,7 +92,6 @@ impl Value {
         }
     }
 }
-
 
 impl From<i64> for Value {
     fn from(n: i64) -> Self {
@@ -120,7 +126,11 @@ mod tests {
 
     #[test]
     fn interior_identity_includes_index_and_layout() {
-        let mk = |i, l| Value::Interior { obj: ObjId::new(0), index: i, layout: LayoutId::new(l) };
+        let mk = |i, l| Value::Interior {
+            obj: ObjId::new(0),
+            index: i,
+            layout: LayoutId::new(l),
+        };
         assert!(mk(1, 0).identical(mk(1, 0)));
         assert!(!mk(1, 0).identical(mk(2, 0)));
         assert!(!mk(1, 0).identical(mk(1, 1)));

@@ -5,8 +5,8 @@
 
 use oi_ir::builder::FunctionBuilder;
 use oi_ir::{
-    ArrayLayoutKind, Class, ClassId, ConstValue, Field, InlineLayout, Instr, Method,
-    Program, Terminator,
+    ArrayLayoutKind, Class, ClassId, ConstValue, Field, InlineLayout, Instr, Method, Program,
+    Terminator,
 };
 use oi_support::{IdxVec, Interner};
 use oi_vm::{run, VmConfig, VmError};
@@ -33,7 +33,12 @@ impl Fixture {
             own_fields: vec![],
             methods: HashMap::new(),
         });
-        Self { interner, classes, fields: IdxVec::new(), layouts: IdxVec::new() }
+        Self {
+            interner,
+            classes,
+            fields: IdxVec::new(),
+            layouts: IdxVec::new(),
+        }
     }
 
     fn add_class(&mut self, name: &str, field_names: &[&str]) -> ClassId {
@@ -46,7 +51,11 @@ impl Fixture {
         });
         for f in field_names {
             let fname = self.interner.intern(f);
-            let fid = self.fields.push(Field { name: fname, owner: id, annotations: vec![] });
+            let fid = self.fields.push(Field {
+                name: fname,
+                owner: id,
+                annotations: vec![],
+            });
             self.classes[id].own_fields.push(fid);
         }
         id
@@ -87,25 +96,59 @@ fn object_layout_reads_and_writes_container_slots() {
     let mname = fx.interner.intern("main");
     let mut b = FunctionBuilder::new(mname, ClassId::new(0), 0);
     let obj = b.new_temp();
-    b.push(Instr::New { dst: obj, class: container, args: vec![], site: oi_ir::SiteId::new(0) });
+    b.push(Instr::New {
+        dst: obj,
+        class: container,
+        args: vec![],
+        site: oi_ir::SiteId::new(0),
+    });
     let interior = b.new_temp();
-    b.push(Instr::MakeInterior { dst: interior, obj, layout });
+    b.push(Instr::MakeInterior {
+        dst: interior,
+        obj,
+        layout,
+    });
     let v1 = b.push_const(ConstValue::Int(41));
-    b.push(Instr::SetField { obj: interior, field: x, src: v1 });
+    b.push(Instr::SetField {
+        obj: interior,
+        field: x,
+        src: v1,
+    });
     let v2 = b.push_const(ConstValue::Int(1));
-    b.push(Instr::SetField { obj: interior, field: y, src: v2 });
+    b.push(Instr::SetField {
+        obj: interior,
+        field: y,
+        src: v2,
+    });
     let rx = b.new_temp();
-    b.push(Instr::GetField { dst: rx, obj: interior, field: x });
+    b.push(Instr::GetField {
+        dst: rx,
+        obj: interior,
+        field: x,
+    });
     let ry = b.new_temp();
-    b.push(Instr::GetField { dst: ry, obj: interior, field: y });
+    b.push(Instr::GetField {
+        dst: ry,
+        obj: interior,
+        field: y,
+    });
     let sum = b.new_temp();
-    b.push(Instr::Binary { dst: sum, op: oi_ir::BinOp::Add, lhs: rx, rhs: ry });
+    b.push(Instr::Binary {
+        dst: sum,
+        op: oi_ir::BinOp::Add,
+        lhs: rx,
+        rhs: ry,
+    });
     b.push(Instr::Print { src: sum });
     // Also read slot s2 through the container's own field name: it must be
     // the child's y.
     let s2 = fx.interner.intern("s2");
     let raw = b.new_temp();
-    b.push(Instr::GetField { dst: raw, obj, field: s2 });
+    b.push(Instr::GetField {
+        dst: raw,
+        obj,
+        field: s2,
+    });
     b.push(Instr::Print { src: raw });
     let r = b.push_const(ConstValue::Nil);
     b.terminate(Terminator::Return(r));
@@ -134,30 +177,71 @@ fn interleaved_and_parallel_arrays_address_identically() {
         let mut b = FunctionBuilder::new(mname, ClassId::new(0), 0);
         let len = b.push_const(ConstValue::Int(4));
         let arr = b.new_temp();
-        b.push(Instr::NewArrayInline { dst: arr, len, layout, site: oi_ir::SiteId::new(0) });
+        b.push(Instr::NewArrayInline {
+            dst: arr,
+            len,
+            layout,
+            site: oi_ir::SiteId::new(0),
+        });
         // Write (i, 10i) into each element, then sum x + y over all.
         for i in 0..4 {
             let idx = b.push_const(ConstValue::Int(i));
             let elem = b.new_temp();
-            b.push(Instr::MakeInteriorElem { dst: elem, arr, idx, layout });
+            b.push(Instr::MakeInteriorElem {
+                dst: elem,
+                arr,
+                idx,
+                layout,
+            });
             let vx = b.push_const(ConstValue::Int(i));
-            b.push(Instr::SetField { obj: elem, field: x, src: vx });
+            b.push(Instr::SetField {
+                obj: elem,
+                field: x,
+                src: vx,
+            });
             let vy = b.push_const(ConstValue::Int(10 * i));
-            b.push(Instr::SetField { obj: elem, field: y, src: vy });
+            b.push(Instr::SetField {
+                obj: elem,
+                field: y,
+                src: vy,
+            });
         }
         let mut acc = b.push_const(ConstValue::Int(0));
         for i in 0..4 {
             let idx = b.push_const(ConstValue::Int(i));
             let elem = b.new_temp();
-            b.push(Instr::MakeInteriorElem { dst: elem, arr, idx, layout });
+            b.push(Instr::MakeInteriorElem {
+                dst: elem,
+                arr,
+                idx,
+                layout,
+            });
             let vx = b.new_temp();
-            b.push(Instr::GetField { dst: vx, obj: elem, field: x });
+            b.push(Instr::GetField {
+                dst: vx,
+                obj: elem,
+                field: x,
+            });
             let vy = b.new_temp();
-            b.push(Instr::GetField { dst: vy, obj: elem, field: y });
+            b.push(Instr::GetField {
+                dst: vy,
+                obj: elem,
+                field: y,
+            });
             let t = b.new_temp();
-            b.push(Instr::Binary { dst: t, op: oi_ir::BinOp::Add, lhs: vx, rhs: vy });
+            b.push(Instr::Binary {
+                dst: t,
+                op: oi_ir::BinOp::Add,
+                lhs: vx,
+                rhs: vy,
+            });
             let t2 = b.new_temp();
-            b.push(Instr::Binary { dst: t2, op: oi_ir::BinOp::Add, lhs: acc, rhs: t });
+            b.push(Instr::Binary {
+                dst: t2,
+                op: oi_ir::BinOp::Add,
+                lhs: acc,
+                rhs: t,
+            });
             acc = t2;
         }
         b.push(Instr::Print { src: acc });
@@ -187,10 +271,20 @@ fn interior_element_index_is_bounds_checked() {
     let mut b = FunctionBuilder::new(mname, ClassId::new(0), 0);
     let len = b.push_const(ConstValue::Int(2));
     let arr = b.new_temp();
-    b.push(Instr::NewArrayInline { dst: arr, len, layout, site: oi_ir::SiteId::new(0) });
+    b.push(Instr::NewArrayInline {
+        dst: arr,
+        len,
+        layout,
+        site: oi_ir::SiteId::new(0),
+    });
     let idx = b.push_const(ConstValue::Int(5));
     let elem = b.new_temp();
-    b.push(Instr::MakeInteriorElem { dst: elem, arr, idx, layout });
+    b.push(Instr::MakeInteriorElem {
+        dst: elem,
+        arr,
+        idx,
+        layout,
+    });
     let r = b.push_const(ConstValue::Nil);
     b.terminate(Terminator::Return(r));
 
@@ -214,7 +308,11 @@ fn make_interior_on_nil_is_a_nil_dereference() {
     let mut b = FunctionBuilder::new(mname, ClassId::new(0), 0);
     let nil = b.push_const(ConstValue::Nil);
     let interior = b.new_temp();
-    b.push(Instr::MakeInterior { dst: interior, obj: nil, layout });
+    b.push(Instr::MakeInterior {
+        dst: interior,
+        obj: nil,
+        layout,
+    });
     let r = b.push_const(ConstValue::Nil);
     b.terminate(Terminator::Return(r));
 
@@ -255,25 +353,55 @@ fn composed_interiors_reach_the_outermost_container() {
     let mut b = FunctionBuilder::new(mname, ClassId::new(0), 0);
     let len = b.push_const(ConstValue::Int(3));
     let arr = b.new_temp();
-    b.push(Instr::NewArrayInline { dst: arr, len, layout: arr_layout, site: oi_ir::SiteId::new(0) });
+    b.push(Instr::NewArrayInline {
+        dst: arr,
+        len,
+        layout: arr_layout,
+        site: oi_ir::SiteId::new(0),
+    });
     // elem 2's nested point: write through the composed interior, read back
     // through the raw element fields.
     let idx = b.push_const(ConstValue::Int(2));
     let elem = b.new_temp();
-    b.push(Instr::MakeInteriorElem { dst: elem, arr, idx, layout: arr_layout });
+    b.push(Instr::MakeInteriorElem {
+        dst: elem,
+        arr,
+        idx,
+        layout: arr_layout,
+    });
     let nested = b.new_temp();
-    b.push(Instr::MakeInterior { dst: nested, obj: elem, layout: pt_layout });
+    b.push(Instr::MakeInterior {
+        dst: nested,
+        obj: elem,
+        layout: pt_layout,
+    });
     let vx = b.push_const(ConstValue::Int(7));
-    b.push(Instr::SetField { obj: nested, field: x, src: vx });
+    b.push(Instr::SetField {
+        obj: nested,
+        field: x,
+        src: vx,
+    });
     let vy = b.push_const(ConstValue::Int(9));
-    b.push(Instr::SetField { obj: nested, field: y, src: vy });
+    b.push(Instr::SetField {
+        obj: nested,
+        field: y,
+        src: vy,
+    });
     // Read back via the element's own field names r0 and r3.
     let r0 = fx.interner.intern("r0");
     let r3 = fx.interner.intern("r3");
     let a0 = b.new_temp();
-    b.push(Instr::GetField { dst: a0, obj: elem, field: r0 });
+    b.push(Instr::GetField {
+        dst: a0,
+        obj: elem,
+        field: r0,
+    });
     let a3 = b.new_temp();
-    b.push(Instr::GetField { dst: a3, obj: elem, field: r3 });
+    b.push(Instr::GetField {
+        dst: a3,
+        obj: elem,
+        field: r3,
+    });
     b.push(Instr::Print { src: a0 });
     b.push(Instr::Print { src: a3 });
     let r = b.push_const(ConstValue::Nil);

@@ -1,52 +1,85 @@
 //! Property tests for the cache simulator — the component whose behavior
 //! the Figure 17 locality claims rest on.
+//!
+//! Random configurations and access streams come from the in-repo seeded
+//! PRNG, so every failure reproduces from its printed seed.
 
+use oi_support::rng::XorShift64;
 use oi_vm::{CacheConfig, CacheSim};
-use proptest::prelude::*;
 
-fn config() -> impl Strategy<Value = CacheConfig> {
-    (1usize..=4, 3u32..=7, 1usize..=4).prop_map(|(sets_log, line_log, ways)| {
-        let line_bytes = 1usize << line_log;
-        let sets = 1usize << sets_log;
-        CacheConfig { size_bytes: sets * ways * line_bytes, line_bytes, ways }
-    })
+fn config(rng: &mut XorShift64) -> CacheConfig {
+    let sets = 1usize << (1 + rng.below(4));
+    let line_bytes = 1usize << (3 + rng.below(5));
+    let ways = 1 + rng.below(4);
+    CacheConfig {
+        size_bytes: sets * ways * line_bytes,
+        line_bytes,
+        ways,
+    }
 }
 
-proptest! {
-    #[test]
-    fn accesses_are_conserved(cfg in config(), addrs in proptest::collection::vec(0u64..65536, 0..512)) {
+fn addrs(rng: &mut XorShift64, max: usize) -> Vec<u64> {
+    (0..rng.below(max))
+        .map(|_| rng.next_u64() % 65536)
+        .collect()
+}
+
+#[test]
+fn accesses_are_conserved() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let cfg = config(&mut rng);
+        let addrs = addrs(&mut rng, 512);
         let mut c = CacheSim::new(cfg);
         for &a in &addrs {
             c.access(a);
         }
-        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        assert_eq!(c.hits() + c.misses(), addrs.len() as u64, "seed {seed}");
         let rate = c.hit_rate();
-        prop_assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&rate), "seed {seed}");
     }
+}
 
-    #[test]
-    fn immediate_reaccess_hits(cfg in config(), addr in 0u64..65536) {
+#[test]
+fn immediate_reaccess_hits() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let cfg = config(&mut rng);
+        let addr = rng.next_u64() % 65536;
         let mut c = CacheSim::new(cfg);
         c.access(addr);
-        prop_assert!(c.access(addr), "just-touched line must be resident");
+        assert!(
+            c.access(addr),
+            "seed {seed}: just-touched line must be resident"
+        );
         // Any address on the same line also hits.
         let line = cfg.line_bytes as u64;
-        prop_assert!(c.access(addr / line * line));
+        assert!(c.access(addr / line * line), "seed {seed}");
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(cfg in config(), addrs in proptest::collection::vec(0u64..65536, 0..256)) {
+#[test]
+fn simulation_is_deterministic() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let cfg = config(&mut rng);
+        let addrs = addrs(&mut rng, 256);
         let mut a = CacheSim::new(cfg);
         let mut b = CacheSim::new(cfg);
         for &x in &addrs {
-            prop_assert_eq!(a.access(x), b.access(x));
+            assert_eq!(a.access(x), b.access(x), "seed {seed}");
         }
-        prop_assert_eq!(a.hits(), b.hits());
-        prop_assert_eq!(a.misses(), b.misses());
+        assert_eq!(a.hits(), b.hits(), "seed {seed}");
+        assert_eq!(a.misses(), b.misses(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn working_set_within_one_set_never_evicts(cfg in config(), reps in 1usize..8) {
+#[test]
+fn working_set_within_one_set_never_evicts() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let cfg = config(&mut rng);
+        let reps = 1 + rng.below(7);
         // Touch exactly `ways` distinct lines mapping to the same set,
         // then loop over them: after the cold pass everything hits.
         let mut c = CacheSim::new(cfg);
@@ -56,23 +89,28 @@ proptest! {
             c.access(l);
         }
         let cold_misses = c.misses();
-        prop_assert_eq!(cold_misses, cfg.ways as u64);
+        assert_eq!(cold_misses, cfg.ways as u64, "seed {seed}");
         for _ in 0..reps {
             for &l in &lines {
-                prop_assert!(c.access(l), "resident working set must hit");
+                assert!(c.access(l), "seed {seed}: resident working set must hit");
             }
         }
     }
+}
 
-    #[test]
-    fn thrashing_set_always_misses(cfg in config(), rounds in 1usize..6) {
+#[test]
+fn thrashing_set_always_misses() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64::new(seed);
+        let cfg = config(&mut rng);
+        let rounds = 1 + rng.below(5);
         // ways+1 lines in one set under LRU: every access misses.
         let mut c = CacheSim::new(cfg);
         let stride = (cfg.sets() * cfg.line_bytes) as u64;
         let lines: Vec<u64> = (0..=cfg.ways as u64).map(|i| i * stride).collect();
         for _ in 0..rounds {
             for &l in &lines {
-                prop_assert!(!c.access(l), "LRU thrash pattern must miss");
+                assert!(!c.access(l), "seed {seed}: LRU thrash pattern must miss");
             }
         }
     }

@@ -26,7 +26,10 @@ fn main() {
             println!("  refused  {} — {}", outcome.name, outcome.reason);
         }
     }
-    println!("  (+ {} array allocation site(s) inlined)", eval.report.array_sites_inlined);
+    println!(
+        "  (+ {} array allocation site(s) inlined)",
+        eval.report.array_sites_inlined
+    );
 
     println!(
         "\nspeedup {:.2}x; allocations {} -> {}; the event list still allocates —",
@@ -40,7 +43,11 @@ fn main() {
     // Show the per-class allocation census of both builds: Queue and Stats
     // vanish; Event and EvCell remain.
     let program = oi_ir::lower::compile(&bench.source).unwrap();
-    let base = oi_vm::run(&baseline(&program, &Default::default()), &VmConfig::default()).unwrap();
+    let base = oi_vm::run(
+        &baseline(&program, &Default::default()),
+        &VmConfig::default(),
+    )
+    .unwrap();
     let inl = oi_vm::run(
         &optimize(&program, &InlineConfig::default()).program,
         &VmConfig::default(),

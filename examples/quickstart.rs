@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = baseline_default(&program);
     let optimized = optimize_default(&program);
 
-    println!("fields inlined automatically: {}", optimized.report.fields_inlined);
+    println!(
+        "fields inlined automatically: {}",
+        optimized.report.fields_inlined
+    );
     for outcome in &optimized.report.outcomes {
         let verdict = if outcome.inlined { "inlined" } else { "kept" };
         let reason = if outcome.reason.is_empty() {
@@ -58,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let before = run_default(&base)?;
     let after = run_default(&optimized.program)?;
-    assert_eq!(before.output, after.output, "inlining must preserve behavior");
+    assert_eq!(
+        before.output, after.output,
+        "inlining must preserve behavior"
+    );
 
     println!("\noutput: {}", before.output.trim());
     println!("\nbaseline metrics:\n{}", before.metrics);

@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for outcome in &optimized.report.outcomes {
         println!(
             "  {} {}",
-            if outcome.inlined { "INLINED " } else { "rejected" },
+            if outcome.inlined {
+                "INLINED "
+            } else {
+                "rejected"
+            },
             outcome.name
         );
         if !outcome.reason.is_empty() {

@@ -1,72 +1,249 @@
 //! `oic` — the object-inlining compiler driver.
 //!
 //! ```text
-//! oic run <file.oi>                 run under the baseline pipeline
-//! oic run --inline <file.oi>        run under the object-inlining pipeline
-//! oic compare <file.oi>             run both, report metrics side by side
-//! oic report <file.oi>              print inlining decisions and reasons
-//! oic dump [--inline] <file.oi>     print the (optimized) IR
+//! oic run [--inline] [--profile] [--json] <file.oi>   execute and print metrics
+//! oic compare [--json] <file.oi>                      run both pipelines, show the delta
+//! oic report [--json] <file.oi>                       per-field inlining decisions
+//! oic explain [--json] <file.oi> <Class.field>        decision provenance for one field
+//! oic dump [--inline] <file.oi>                       print the (optimized) IR
 //! ```
+//!
+//! All commands accept `--trace[=text|json]`; the `OIC_TRACE` environment
+//! variable (`text`, `json`, `off`) does the same without a flag. `--json`
+//! output is schema-stable (`oic.run.v1`, `oic.compare.v1`, `oic.report.v1`,
+//! `oic.explain.v1`) and includes per-phase wall-clock timings.
 
-use object_inlining::{baseline_default, compile, optimize_default, run_default};
+use object_inlining::{baseline_default, compile, optimize_default};
+use oi_support::trace::{self, TraceMode, Tracer};
+use oi_support::Json;
+use oi_vm::{run, RunResult, VmConfig};
 use std::process::ExitCode;
+use std::rc::Rc;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: oic <run|compare|report|dump> [--inline] <file.oi>\n\
-         \n\
-         run      execute the program (baseline pipeline; --inline for the\n\
-         \x20        object-inlining pipeline) and print metrics\n\
-         compare  run both pipelines, check outputs match, show the delta\n\
-         report   print per-field inlining decisions with reasons\n\
-         dump     print the IR (after --inline: the transformed program)"
-    );
+const USAGE: &str =
+    "usage: oic <run|compare|report|explain|dump> [flags] <file.oi> [Class.field]\n\
+    \n\
+    run      execute the program (baseline pipeline; --inline for the\n\
+    \x20        object-inlining pipeline) and print metrics\n\
+    \x20        --profile  collect a per-method / per-site execution profile\n\
+    compare  run both pipelines, check outputs match, show the delta\n\
+    report   print per-field inlining decisions with reasons\n\
+    explain  print the decision provenance chain for one Class.field\n\
+    dump     print the IR (after --inline: the transformed program)\n\
+    \n\
+    --json          machine-readable output (run, compare, report, explain)\n\
+    --trace[=MODE]  stream trace events to stderr (text or json);\n\
+    \x20              the OIC_TRACE environment variable does the same";
+
+struct Cli {
+    command: String,
+    path: String,
+    field: Option<String>,
+    inline: bool,
+    json: bool,
+    profile: bool,
+    trace: Option<TraceMode>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut command: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
+    let mut inline = false;
+    let mut json = false;
+    let mut profile = false;
+    let mut trace_flag: Option<TraceMode> = None;
+    for a in args {
+        if let Some(rest) = a.strip_prefix("--") {
+            match rest {
+                "inline" => inline = true,
+                "json" => json = true,
+                "profile" => profile = true,
+                "trace" => trace_flag = Some(TraceMode::Text),
+                _ => {
+                    if let Some(mode) = rest.strip_prefix("trace=") {
+                        trace_flag = Some(TraceMode::parse(mode).ok_or_else(|| {
+                            format!("unknown trace mode `{mode}` (expected text, json, or off)")
+                        })?);
+                    } else {
+                        return Err(format!("unknown flag `--{rest}`"));
+                    }
+                }
+            }
+        } else if a.starts_with('-') && a.len() > 1 {
+            return Err(format!("unknown flag `{a}`"));
+        } else if command.is_none() {
+            command = Some(a.clone());
+        } else {
+            positionals.push(a.clone());
+        }
+    }
+    let command = command.ok_or("missing command")?;
+    if !matches!(
+        command.as_str(),
+        "run" | "compare" | "report" | "explain" | "dump"
+    ) {
+        return Err(format!("unknown command `{command}`"));
+    }
+    if inline && !matches!(command.as_str(), "run" | "dump") {
+        return Err(format!(
+            "`--inline` does not apply to `{command}` (it always runs the inlining pipeline)"
+        ));
+    }
+    if json && command == "dump" {
+        return Err("`--json` does not apply to `dump`".to_owned());
+    }
+    if profile && command != "run" {
+        return Err("`--profile` only applies to `run`".to_owned());
+    }
+    let (path, field) = match command.as_str() {
+        "explain" => {
+            if positionals.len() != 2 {
+                return Err("`explain` needs <file.oi> and <Class.field>".to_owned());
+            }
+            (positionals[0].clone(), Some(positionals[1].clone()))
+        }
+        _ => {
+            if positionals.len() != 1 {
+                return Err(format!("`{command}` needs exactly one <file.oi>"));
+            }
+            (positionals[0].clone(), None)
+        }
+    };
+    Ok(Cli {
+        command,
+        path,
+        field,
+        inline,
+        json,
+        profile,
+        trace: trace_flag,
+    })
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("oic: {msg}\n\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// The tracer's aggregated per-phase wall-clock table as JSON.
+fn phases_json(tracer: &Tracer) -> Json {
+    Json::Arr(
+        tracer
+            .phase_profile()
+            .into_iter()
+            .map(|(name, st)| {
+                Json::obj(vec![
+                    ("name", name.into()),
+                    ("count", st.count.into()),
+                    ("total_us", st.total_us.into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The tracer's counter totals as a JSON object.
+fn counters_json(tracer: &Tracer) -> Json {
+    Json::Obj(
+        tracer
+            .counters()
+            .into_iter()
+            .map(|(k, v)| (k, Json::Int(v)))
+            .collect(),
+    )
+}
+
+fn census_json(result: &RunResult) -> Json {
+    Json::Arr(
+        result
+            .allocation_census
+            .iter()
+            .map(|(class, n)| {
+                Json::obj(vec![
+                    ("class", class.clone().into()),
+                    ("count", (*n).into()),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut command = None;
-    let mut inline = false;
-    let mut path = None;
-    for a in &args {
-        match a.as_str() {
-            "--inline" => inline = true,
-            "run" | "compare" | "report" | "dump" if command.is_none() => {
-                command = Some(a.clone());
-            }
-            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
-            _ => return usage(),
-        }
-    }
-    let (Some(command), Some(path)) = (command, path) else { return usage() };
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(msg) => return usage_error(&msg),
+    };
+    let mode = cli.trace.unwrap_or_else(TraceMode::from_env);
+    // Install a tracer even when the mode is Off: span aggregation feeds
+    // the per-phase timing tables that `--json` output carries.
+    let tracer = Rc::new(Tracer::for_mode(mode));
+    let _guard = trace::install(tracer.clone());
 
-    let source = match std::fs::read_to_string(&path) {
+    let source = match std::fs::read_to_string(&cli.path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("oic: cannot read {path}: {e}");
+            eprintln!("oic: cannot read {}: {e}", cli.path);
             return ExitCode::FAILURE;
         }
     };
-    let program = match compile(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("oic: {path}: {}", e.render(&source));
-            return ExitCode::FAILURE;
+    let program = {
+        let _s = trace::span("frontend.compile");
+        match compile(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("oic: {}: {}", cli.path, e.render(&source));
+                return ExitCode::FAILURE;
+            }
         }
     };
 
-    match command.as_str() {
+    match cli.command.as_str() {
         "run" => {
-            let built = if inline {
-                optimize_default(&program).program
+            let (built, report) = if cli.inline {
+                let o = optimize_default(&program);
+                (o.program, Some(o.report))
             } else {
-                baseline_default(&program)
+                (baseline_default(&program), None)
             };
-            match run_default(&built) {
-                Ok(result) => {
-                    print!("{}", result.output);
-                    eprintln!("--- metrics ---\n{}", result.metrics);
+            let vm_config = VmConfig {
+                profile: cli.profile,
+                ..Default::default()
+            };
+            let result = {
+                let _s = trace::span("vm.run");
+                run(&built, &vm_config)
+            };
+            match result {
+                Ok(r) => {
+                    if cli.json {
+                        let mut fields = vec![
+                            ("schema", "oic.run.v1".into()),
+                            ("file", cli.path.clone().into()),
+                            (
+                                "pipeline",
+                                if cli.inline { "inline" } else { "baseline" }.into(),
+                            ),
+                            ("output", r.output.clone().into()),
+                            ("metrics", r.metrics.to_json()),
+                            ("allocation_census", census_json(&r)),
+                        ];
+                        if let Some(rep) = &report {
+                            fields.push(("report", rep.to_json()));
+                        }
+                        if let Some(p) = &r.profile {
+                            fields.push(("profile", p.to_json()));
+                        }
+                        fields.push(("phases", phases_json(&tracer)));
+                        fields.push(("counters", counters_json(&tracer)));
+                        println!("{}", Json::obj(fields));
+                    } else {
+                        print!("{}", r.output);
+                        eprintln!("--- metrics ---\n{}", r.metrics);
+                        if let Some(p) = &r.profile {
+                            eprint!("{p}");
+                        }
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -78,14 +255,22 @@ fn main() -> ExitCode {
         "compare" => {
             let base = baseline_default(&program);
             let opt = optimize_default(&program);
-            let base_run = match run_default(&base) {
+            let base_res = {
+                let _s = trace::span("vm.run.baseline");
+                run(&base, &VmConfig::default())
+            };
+            let base_run = match base_res {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("oic: baseline runtime error: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let opt_run = match run_default(&opt.program) {
+            let opt_res = {
+                let _s = trace::span("vm.run.inlined");
+                run(&opt.program, &VmConfig::default())
+            };
+            let opt_run = match opt_res {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("oic: inlined runtime error: {e}");
@@ -96,49 +281,152 @@ fn main() -> ExitCode {
                 eprintln!("oic: OUTPUT MISMATCH — this is a compiler bug");
                 return ExitCode::FAILURE;
             }
-            print!("{}", base_run.output);
-            eprintln!("--- outputs identical ---");
-            eprintln!(
-                "cycles      {:>12} -> {:>12}  ({:.2}x)",
-                base_run.metrics.cycles,
-                opt_run.metrics.cycles,
-                opt_run.metrics.speedup_over(&base_run.metrics)
-            );
-            eprintln!(
-                "allocations {:>12} -> {:>12}",
-                base_run.metrics.allocations, opt_run.metrics.allocations
-            );
-            eprintln!(
-                "heap reads  {:>12} -> {:>12}",
-                base_run.metrics.heap_reads, opt_run.metrics.heap_reads
-            );
-            eprintln!(
-                "cache miss  {:>12} -> {:>12}",
-                base_run.metrics.cache_misses, opt_run.metrics.cache_misses
-            );
-            eprintln!(
-                "fields inlined: {} (+{} array sites)",
-                opt.report.fields_inlined, opt.report.array_sites_inlined
-            );
+            if cli.json {
+                let j = Json::obj(vec![
+                    ("schema", "oic.compare.v1".into()),
+                    ("file", cli.path.clone().into()),
+                    ("output", base_run.output.clone().into()),
+                    ("baseline", base_run.metrics.to_json()),
+                    ("inlined", opt_run.metrics.to_json()),
+                    (
+                        "speedup",
+                        opt_run.metrics.speedup_over(&base_run.metrics).into(),
+                    ),
+                    ("report", opt.report.to_json()),
+                    ("phases", phases_json(&tracer)),
+                    ("counters", counters_json(&tracer)),
+                ]);
+                println!("{j}");
+            } else {
+                print!("{}", base_run.output);
+                eprintln!("--- outputs identical ---");
+                eprintln!(
+                    "cycles      {:>12} -> {:>12}  ({:.2}x)",
+                    base_run.metrics.cycles,
+                    opt_run.metrics.cycles,
+                    opt_run.metrics.speedup_over(&base_run.metrics)
+                );
+                eprintln!(
+                    "allocations {:>12} -> {:>12}",
+                    base_run.metrics.allocations, opt_run.metrics.allocations
+                );
+                eprintln!(
+                    "heap reads  {:>12} -> {:>12}",
+                    base_run.metrics.heap_reads, opt_run.metrics.heap_reads
+                );
+                eprintln!(
+                    "cache miss  {:>12} -> {:>12}",
+                    base_run.metrics.cache_misses, opt_run.metrics.cache_misses
+                );
+                eprintln!(
+                    "fields inlined: {} (+{} array sites)",
+                    opt.report.fields_inlined, opt.report.array_sites_inlined
+                );
+            }
             ExitCode::SUCCESS
         }
         "report" => {
             let opt = optimize_default(&program);
-            println!(
-                "{} field(s) inlined, {} array site(s) inlined",
-                opt.report.fields_inlined, opt.report.array_sites_inlined
-            );
-            for o in &opt.report.outcomes {
-                if o.inlined {
-                    println!("  INLINED  {}", o.name);
-                } else {
-                    println!("  kept     {} — {}", o.name, o.reason);
+            if cli.json {
+                let j = Json::obj(vec![
+                    ("schema", "oic.report.v1".into()),
+                    ("file", cli.path.clone().into()),
+                    ("report", opt.report.to_json()),
+                    ("phases", phases_json(&tracer)),
+                ]);
+                println!("{j}");
+            } else {
+                println!(
+                    "{} field(s) inlined, {} array site(s) inlined",
+                    opt.report.fields_inlined, opt.report.array_sites_inlined
+                );
+                for o in &opt.report.outcomes {
+                    if o.inlined {
+                        println!("  INLINED  {}", o.name);
+                    } else if let Some(rule) = o.rule {
+                        println!(
+                            "  kept     {} — rule {rule} ({}): {}",
+                            o.name, o.code, o.reason
+                        );
+                    } else {
+                        println!("  kept     {} — {}", o.name, o.reason);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            let field = cli.field.expect("parser guarantees a field for explain");
+            let opt = optimize_default(&program);
+            let chain: Vec<_> = opt
+                .report
+                .provenance
+                .iter()
+                .filter(|s| s.field == field)
+                .collect();
+            let outcome = opt.report.outcomes.iter().find(|o| o.name == field);
+            if chain.is_empty() && outcome.is_none() {
+                eprintln!("oic: no decision recorded for `{field}` (not an object-holding field?)");
+                let mut known: Vec<&str> = opt
+                    .report
+                    .outcomes
+                    .iter()
+                    .map(|o| o.name.as_str())
+                    .collect();
+                known.sort_unstable();
+                known.dedup();
+                if !known.is_empty() {
+                    eprintln!("fields with decisions: {}", known.join(", "));
+                }
+                return ExitCode::FAILURE;
+            }
+            let inlined = outcome.map(|o| o.inlined).unwrap_or(false);
+            if cli.json {
+                let j = Json::obj(vec![
+                    ("schema", "oic.explain.v1".into()),
+                    ("file", cli.path.clone().into()),
+                    ("field", field.clone().into()),
+                    ("inlined", inlined.into()),
+                    (
+                        "chain",
+                        Json::Arr(chain.iter().map(|s| s.to_json()).collect()),
+                    ),
+                ]);
+                println!("{j}");
+            } else {
+                println!(
+                    "{field}: {}",
+                    if inlined {
+                        "INLINED"
+                    } else {
+                        "kept out-of-line"
+                    }
+                );
+                for s in &chain {
+                    if s.inlined {
+                        println!("  pass {}: inlined — {}", s.pass, s.detail);
+                    } else {
+                        println!(
+                            "  pass {}: rejected by rule {} ({})",
+                            s.pass,
+                            s.rule.map(|r| r.to_string()).unwrap_or_else(|| "?".into()),
+                            s.code
+                        );
+                        if !s.detail.is_empty() {
+                            println!("          {}", s.detail);
+                        }
+                    }
+                }
+                if let Some(o) = outcome {
+                    if !o.inlined && !o.reason.is_empty() {
+                        println!("  summary: {}", o.reason);
+                    }
                 }
             }
             ExitCode::SUCCESS
         }
         "dump" => {
-            let built = if inline {
+            let built = if cli.inline {
                 optimize_default(&program).program
             } else {
                 baseline_default(&program)
@@ -146,6 +434,6 @@ fn main() -> ExitCode {
             print!("{}", oi_ir::printer::print_program(&built));
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        _ => unreachable!("parser rejects unknown commands"),
     }
 }

@@ -37,10 +37,17 @@ fn disabling_the_check_is_observably_unsound() {
 
     let unsound = optimize(
         &program,
-        &InlineConfig { check_assignments: false, ..Default::default() },
+        &InlineConfig {
+            check_assignments: false,
+            ..Default::default()
+        },
     );
     // The unsound configuration inlines the aliased field...
-    assert_eq!(unsound.report.fields_inlined, 1, "{:#?}", unsound.report.outcomes);
+    assert_eq!(
+        unsound.report.fields_inlined, 1,
+        "{:#?}",
+        unsound.report.outcomes
+    );
     // ...and the copy hides the mutation: the program now prints 1.
     let out = run(&unsound.program, &VmConfig::default()).unwrap();
     assert_eq!(
@@ -64,7 +71,10 @@ fn safe_program_unaffected_by_the_toggle() {
     let safe = optimize(&program, &InlineConfig::default());
     let unchecked = optimize(
         &program,
-        &InlineConfig { check_assignments: false, ..Default::default() },
+        &InlineConfig {
+            check_assignments: false,
+            ..Default::default()
+        },
     );
     let a = run(&safe.program, &VmConfig::default()).unwrap();
     let b = run(&unchecked.program, &VmConfig::default()).unwrap();

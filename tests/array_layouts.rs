@@ -32,7 +32,13 @@ fn column_sweep_source(n: usize) -> String {
 
 fn run_with_layout(source: &str, kind: ArrayLayoutKind) -> (String, oi_vm::Metrics, usize) {
     let program = oi_ir::lower::compile(source).unwrap();
-    let opt = optimize(&program, &InlineConfig { array_layout: kind, ..Default::default() });
+    let opt = optimize(
+        &program,
+        &InlineConfig {
+            array_layout: kind,
+            ..Default::default()
+        },
+    );
     let arrays = opt.report.array_sites_inlined;
     let result = run(&opt.program, &VmConfig::default()).unwrap();
     (result.output, result.metrics, arrays)

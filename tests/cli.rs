@@ -30,16 +30,29 @@ fn main() {
 #[test]
 fn run_executes_and_prints() {
     let path = write_temp("run.oi", PROGRAM);
-    let out = oic().args(["run", path.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = oic()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout), "42\n");
 }
 
 #[test]
 fn run_inline_matches_baseline_output() {
     let path = write_temp("run_inline.oi", PROGRAM);
-    let base = oic().args(["run", path.to_str().unwrap()]).output().unwrap();
-    let inl = oic().args(["run", "--inline", path.to_str().unwrap()]).output().unwrap();
+    let base = oic()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let inl = oic()
+        .args(["run", "--inline", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(inl.status.success());
     assert_eq!(base.stdout, inl.stdout);
 }
@@ -47,7 +60,10 @@ fn run_inline_matches_baseline_output() {
 #[test]
 fn compare_reports_inlined_fields() {
     let path = write_temp("compare.oi", PROGRAM);
-    let out = oic().args(["compare", path.to_str().unwrap()]).output().unwrap();
+    let out = oic()
+        .args(["compare", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("outputs identical"), "{err}");
@@ -57,7 +73,10 @@ fn compare_reports_inlined_fields() {
 #[test]
 fn report_lists_decisions() {
     let path = write_temp("report.oi", PROGRAM);
-    let out = oic().args(["report", path.to_str().unwrap()]).output().unwrap();
+    let out = oic()
+        .args(["report", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("INLINED  Box.p"), "{stdout}");
@@ -66,17 +85,26 @@ fn report_lists_decisions() {
 #[test]
 fn dump_prints_ir() {
     let path = write_temp("dump.oi", PROGRAM);
-    let out = oic().args(["dump", "--inline", path.to_str().unwrap()]).output().unwrap();
+    let out = oic()
+        .args(["dump", "--inline", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("class Box"), "{stdout}");
-    assert!(stdout.contains("layout"), "inlined dump should show layouts: {stdout}");
+    assert!(
+        stdout.contains("layout"),
+        "inlined dump should show layouts: {stdout}"
+    );
 }
 
 #[test]
 fn parse_errors_are_reported_with_position() {
     let path = write_temp("broken.oi", "fn main() { print 1 + ; }");
-    let out = oic().args(["run", path.to_str().unwrap()]).output().unwrap();
+    let out = oic()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error"), "{err}");
@@ -88,4 +116,257 @@ fn unknown_subcommand_shows_usage() {
     let out = oic().args(["bogus", "x.oi"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let path = write_temp("badflag.oi", PROGRAM);
+    let out = oic()
+        .args(["run", "--wat", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--wat`"), "{err}");
+}
+
+#[test]
+fn flag_command_mismatch_is_rejected() {
+    let path = write_temp("mismatch.oi", PROGRAM);
+    for (cmd, flag) in [
+        ("report", "--inline"),
+        ("compare", "--inline"),
+        ("compare", "--profile"),
+        ("dump", "--json"),
+    ] {
+        let out = oic()
+            .args([cmd, flag, path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{cmd} {flag} should exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(flag), "{cmd} {flag}: {err}");
+    }
+}
+
+#[test]
+fn extra_positional_is_rejected() {
+    let out = oic().args(["run", "a.oi", "b.oi"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Pins the `oic.run.v1` schema: any key removal or rename here is a
+/// breaking change for downstream consumers.
+#[test]
+fn run_json_schema_is_stable() {
+    use oi_support::Json;
+    let path = write_temp("run_json.oi", PROGRAM);
+    let out = oic()
+        .args([
+            "run",
+            "--inline",
+            "--profile",
+            "--json",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("oic.run.v1"));
+    assert_eq!(doc.get("pipeline").and_then(Json::as_str), Some("inline"));
+    assert_eq!(doc.get("output").and_then(Json::as_str), Some("42\n"));
+    let metrics = doc.get("metrics").expect("metrics object");
+    for key in [
+        "cycles",
+        "instructions",
+        "heap_reads",
+        "allocations",
+        "cache_hit_rate",
+    ] {
+        assert!(metrics.get(key).is_some(), "metrics.{key} missing");
+    }
+    let census = doc.get("allocation_census").and_then(Json::as_arr).unwrap();
+    assert!(census
+        .iter()
+        .any(|e| e.get("class").and_then(Json::as_str) == Some("Box")));
+    let profile = doc.get("profile").expect("profile present with --profile");
+    assert!(profile.get("methods").and_then(Json::as_arr).is_some());
+    assert!(profile.get("sites").and_then(Json::as_arr).is_some());
+    // Phase timings are present even without OIC_TRACE.
+    let phases = doc.get("phases").and_then(Json::as_arr).unwrap();
+    assert!(
+        phases
+            .iter()
+            .any(|p| p.get("name").and_then(Json::as_str) == Some("vm.run")),
+        "expected a vm.run phase entry"
+    );
+    let report = doc.get("report").expect("report present with --inline");
+    assert!(report.get("decisions").and_then(Json::as_arr).is_some());
+}
+
+/// Pins the `oic.compare.v1` schema, including per-field decisions with
+/// provenance reason codes and per-phase wall-clock timings.
+#[test]
+fn compare_json_schema_is_stable() {
+    use oi_support::Json;
+    let path = write_temp("compare_json.oi", PROGRAM);
+    let out = oic()
+        .args(["compare", "--json", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("oic.compare.v1")
+    );
+    let base = doc.get("baseline").expect("baseline metrics");
+    let inl = doc.get("inlined").expect("inlined metrics");
+    assert!(base.get("cycles").and_then(Json::as_i64).unwrap() > 0);
+    assert!(
+        inl.get("allocations").and_then(Json::as_i64).unwrap()
+            < base.get("allocations").and_then(Json::as_i64).unwrap()
+    );
+    assert!(doc.get("speedup").and_then(Json::as_f64).unwrap() > 1.0);
+    let decisions = doc
+        .get("report")
+        .and_then(|r| r.get("decisions"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    let boxp = decisions
+        .iter()
+        .find(|d| d.get("field").and_then(Json::as_str) == Some("Box.p"))
+        .expect("Box.p decision");
+    assert_eq!(boxp.get("code").and_then(Json::as_str), Some("inlined"));
+    let phases = doc.get("phases").and_then(Json::as_arr).unwrap();
+    let analyze = phases
+        .iter()
+        .find(|p| p.get("name").and_then(Json::as_str) == Some("pipeline.analyze"))
+        .expect("pipeline.analyze phase timing");
+    assert!(analyze.get("total_us").and_then(Json::as_i64).is_some());
+    assert!(analyze.get("count").and_then(Json::as_i64).unwrap() > 0);
+    let counters = doc.get("counters").expect("counters object");
+    assert!(
+        counters
+            .get("analysis.rounds")
+            .and_then(Json::as_i64)
+            .unwrap()
+            > 0
+    );
+}
+
+/// Pins `oic.report.v1` and `oic.explain.v1`.
+#[test]
+fn report_and_explain_json_schemas_are_stable() {
+    use oi_support::Json;
+    let path = write_temp("report_json.oi", PROGRAM);
+    let out = oic()
+        .args(["report", "--json", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("oic.report.v1")
+    );
+    let report = doc.get("report").unwrap();
+    assert!(report
+        .get("total_object_fields")
+        .and_then(Json::as_i64)
+        .is_some());
+    assert!(report.get("provenance").and_then(Json::as_arr).is_some());
+
+    let out = oic()
+        .args(["explain", "--json", path.to_str().unwrap(), "Box.p"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("oic.explain.v1")
+    );
+    assert_eq!(doc.get("inlined"), Some(&Json::Bool(true)));
+    let chain = doc.get("chain").and_then(Json::as_arr).unwrap();
+    assert!(!chain.is_empty());
+    assert_eq!(chain[0].get("code").and_then(Json::as_str), Some("inlined"));
+}
+
+#[test]
+fn explain_unknown_field_fails_and_lists_known() {
+    let path = write_temp("explain_unknown.oi", PROGRAM);
+    let out = oic()
+        .args(["explain", path.to_str().unwrap(), "Box.zzz"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no decision recorded"), "{err}");
+    assert!(
+        err.contains("Box.p"),
+        "should list fields with decisions: {err}"
+    );
+}
+
+#[test]
+fn explain_names_the_rejecting_rule() {
+    // `===` on the stored Pt keeps Box.p out-of-line (DESIGN §4 rule 3).
+    let src = "
+class Pt { field x; method init(a) { self.x = a; } }
+class Box { field p; method init(a) { self.p = new Pt(a); } }
+global KEEP;
+fn main() {
+  var b = new Box(21);
+  KEEP = b;
+  print b.p === b.p;
+  print b.p.x * 2;
+}
+";
+    let path = write_temp("explain_reject.oi", src);
+    let out = oic()
+        .args(["explain", path.to_str().unwrap(), "Box.p"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kept out-of-line"), "{stdout}");
+    assert!(stdout.contains("rule 3"), "{stdout}");
+}
+
+#[test]
+fn trace_json_streams_events_to_stderr() {
+    use oi_support::Json;
+    let path = write_temp("trace.oi", PROGRAM);
+    let out = oic()
+        .args(["run", "--inline", "--trace=json", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    let mut saw_contour = false;
+    for line in err.lines().filter(|l| l.starts_with('{')) {
+        let ev = Json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line}: {e}"));
+        if ev.get("name").and_then(Json::as_str) == Some("contour.new") {
+            saw_contour = true;
+        }
+    }
+    assert!(saw_contour, "expected contour.new events in: {err}");
 }

@@ -18,7 +18,10 @@ fn inlined(report: &oi_core::EffectivenessReport, field: &str) -> bool {
 }
 
 fn rejected(report: &oi_core::EffectivenessReport, field: &str) -> bool {
-    report.outcomes.iter().any(|o| o.name == field && !o.inlined)
+    report
+        .outcomes
+        .iter()
+        .any(|o| o.name == field && !o.inlined)
 }
 
 #[test]

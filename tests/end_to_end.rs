@@ -14,7 +14,10 @@ fn check(source: &str) -> (oi_vm::Metrics, oi_vm::Metrics, usize, usize) {
     let opt = optimize_default(&program);
     let base_run = run_default(&base).expect("baseline runs");
     let opt_run = run_default(&opt.program).expect("inlined runs");
-    assert_eq!(base_run.output, opt_run.output, "object inlining changed output");
+    assert_eq!(
+        base_run.output, opt_run.output,
+        "object inlining changed output"
+    );
     (
         base_run.metrics,
         opt_run.metrics,

@@ -6,9 +6,12 @@
 //! comparisons, loops — so that random combinations hit every decision
 //! path (inline, copy, in-place, reject-for-aliasing, reject-for-identity)
 //! and every rewrite shape.
+//!
+//! Cases are driven by the in-repo seeded PRNG (`oi_support::rng`), so a
+//! failure reproduces exactly from the seed printed in its message.
 
 use object_inlining::{baseline_default, compile, optimize_default, run_default};
-use proptest::prelude::*;
+use oi_support::rng::XorShift64;
 
 /// One statement template for `main`.
 #[derive(Clone, Debug)]
@@ -41,22 +44,25 @@ enum Op {
     Task(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..3, any::<i8>(), any::<i8>()).prop_map(|(k, a, b)| Op::NewPoint(k, a, b)),
-        (0u8..3, any::<i8>()).prop_map(|(k, a)| Op::NewBox(k, a)),
-        (0u8..3, 0u8..3).prop_map(|(k, j)| Op::NewWrap(k, j)),
-        (0u8..3, any::<i8>()).prop_map(|(k, v)| Op::MutatePoint(k, v)),
-        (0u8..3, any::<i8>(), any::<i8>()).prop_map(|(k, a, b)| Op::ReassignBox(k, a, b)),
-        (0u8..3, any::<i8>()).prop_map(|(k, v)| Op::MutateThroughBox(k, v)),
-        (0u8..3).prop_map(Op::PrintPoint),
-        (0u8..3).prop_map(Op::PrintBox),
-        (0u8..3).prop_map(Op::Alias),
-        (0u8..3).prop_map(Op::Identity),
-        (0u8..3, 1u8..6).prop_map(|(k, n)| Op::Loop(k, n)),
-        (0u8..4, any::<i8>(), any::<i8>()).prop_map(|(k, a, b)| Op::ArrayStore(k, a, b)),
-        (0u8..2).prop_map(Op::Task),
-    ]
+fn random_op(rng: &mut XorShift64) -> Op {
+    let k = rng.below(3) as u8;
+    let a = rng.range_i64(-128, 128) as i8;
+    let b = rng.range_i64(-128, 128) as i8;
+    match rng.below(13) {
+        0 => Op::NewPoint(k, a, b),
+        1 => Op::NewBox(k, a),
+        2 => Op::NewWrap(k, rng.below(3) as u8),
+        3 => Op::MutatePoint(k, a),
+        4 => Op::ReassignBox(k, a, b),
+        5 => Op::MutateThroughBox(k, a),
+        6 => Op::PrintPoint(k),
+        7 => Op::PrintBox(k),
+        8 => Op::Alias(k),
+        9 => Op::Identity(k),
+        10 => Op::Loop(k, 1 + rng.below(5) as u8),
+        11 => Op::ArrayStore(rng.below(4) as u8, a, b),
+        _ => Op::Task(rng.below(2) as u8),
+    }
 }
 
 /// Renders the program for a sequence of ops.
@@ -157,17 +163,19 @@ fn main() {{
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn pipeline_preserves_output(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+#[test]
+fn pipeline_preserves_output() {
+    for seed in 0..48u64 {
+        let mut rng = XorShift64::new(seed);
+        let count = 1 + rng.below(23);
+        let ops: Vec<Op> = (0..count).map(|_| random_op(&mut rng)).collect();
         let source = render(&ops);
-        let program = compile(&source)
-            .unwrap_or_else(|e| panic!("generator produced invalid program: {}\n{source}", e.render(&source)));
+        let program = compile(&source).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: generator produced invalid program: {}\n{source}",
+                e.render(&source)
+            )
+        });
         oi_ir::verify::verify(&program).expect("lowered program verifies");
 
         let base = baseline_default(&program);
@@ -176,16 +184,17 @@ proptest! {
 
         let base_run = run_default(&base).expect("baseline runs");
         let opt_run = run_default(&opt.program).expect("optimized runs");
-        prop_assert_eq!(
-            &base_run.output, &opt_run.output,
-            "output diverged for:\n{}", source
+        assert_eq!(
+            base_run.output, opt_run.output,
+            "seed {seed}: output diverged for:\n{source}"
         );
         // The optimizer must never make the cost model worse by more than
         // noise (it can tie when nothing is inlinable).
-        prop_assert!(
+        assert!(
             opt_run.metrics.cycles <= base_run.metrics.cycles + base_run.metrics.cycles / 4,
-            "inlined build much slower: {} vs {}\n{}",
-            opt_run.metrics.cycles, base_run.metrics.cycles, source
+            "seed {seed}: inlined build much slower: {} vs {}\n{source}",
+            opt_run.metrics.cycles,
+            base_run.metrics.cycles,
         );
     }
 }
