@@ -20,4 +20,16 @@ cargo test --workspace -q
 echo "==> cargo test (property tests)"
 cargo test -q --features property-tests --test proptest_pipeline
 
+echo "==> bench-smoke (snapshot + noise-aware regression gate)"
+# Fresh snapshots against the committed baselines. The modeled VM is
+# deterministic, so a loose +/-25% gate only trips on real metric
+# changes (after which the baselines need re-recording; see README
+# "Benchmark snapshots"). Two wall-clock samples keep this step cheap;
+# wall-clock is advisory and never gates.
+cargo build --release -q -p oi-bench --bins
+OI_BENCH_SAMPLES=2 target/release/oi-bench snapshot --size small --out target/bench_smoke_small.json
+target/release/oi-bench compare BENCH_baseline_small.json target/bench_smoke_small.json --threshold-pct 25
+OI_BENCH_SAMPLES=2 target/release/oi-bench snapshot --size default --out target/bench_smoke_default.json
+target/release/oi-bench compare BENCH_baseline.json target/bench_smoke_default.json --threshold-pct 25
+
 echo "CI green."

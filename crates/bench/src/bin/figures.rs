@@ -11,39 +11,49 @@
 
 use oi_bench::{ablations, fig14, fig15, fig16, fig17, fig17_detail, figures_json, parse_size};
 use oi_benchmarks::BenchSize;
+use oi_support::cli::{Arg, ArgScanner};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_owned();
     let mut size = BenchSize::Default;
     let mut json = false;
     let mut out: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--size" => {
-                let v = it.next().map(String::as_str).unwrap_or("");
-                match parse_size(v) {
-                    Some(s) => size = s,
-                    None => {
-                        eprintln!("unknown size `{v}` (small|default|large)");
-                        std::process::exit(2);
+    let mut scanner = ArgScanner::from_env();
+    while let Some(arg) = scanner.next() {
+        let arg = arg.unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        });
+        match arg {
+            Arg::Flag { name, value: None } => match name.as_str() {
+                "size" => {
+                    let v = scanner.value_for("--size").unwrap_or_default();
+                    match parse_size(&v) {
+                        Some(s) => size = s,
+                        None => {
+                            eprintln!("unknown size `{v}` (small|default|large)");
+                            std::process::exit(2);
+                        }
                     }
                 }
-            }
-            "--json" => json = true,
-            "--out" => match it.next() {
-                Some(path) => out = Some(path.clone()),
-                None => {
-                    eprintln!("`--out` needs a file path");
+                "json" => json = true,
+                "out" => match scanner.value_for("--out") {
+                    Ok(path) => out = Some(path),
+                    Err(_) => {
+                        eprintln!("`--out` needs a file path");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("unknown flag `--{other}`");
                     std::process::exit(2);
                 }
             },
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`");
+            Arg::Flag { name, value } => {
+                eprintln!("unknown flag `--{name}={}`", value.unwrap_or_default());
                 std::process::exit(2);
             }
-            other => which = other.to_owned(),
+            Arg::Positional(other) => which = other,
         }
     }
 

@@ -1,0 +1,10 @@
+//! The `oi-bench` binary: benchmark snapshots (`oi.bench.v1`) and the
+//! noise-aware regression gate (`oi.benchdiff.v1`). All logic lives in
+//! [`oi_bench::cli`] so `oic bench` shares it.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(oi_bench::cli::main(&args))
+}

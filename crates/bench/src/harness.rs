@@ -9,53 +9,121 @@
 //! ```text
 //! group/label  min 1.204ms  median 1.311ms  max 1.502ms  (10 samples)
 //! ```
+//!
+//! [`Group::bench`] also *returns* the [`Measurement`] so programmatic
+//! consumers (`oi-bench snapshot`, CI smoke runs) reuse the harness
+//! instead of scraping stdout. The `OI_BENCH_SAMPLES` environment
+//! variable overrides every group's sample count (for cheap CI runs);
+//! [`parse_samples`] parses `--samples N` style values for tools that
+//! take it as a flag.
 
 use std::time::Instant;
+
+/// The sample-count override environment variable read by [`Group::new`].
+pub const SAMPLES_ENV: &str = "OI_BENCH_SAMPLES";
+
+/// One benchmark measurement: sorted per-sample wall-clock nanoseconds
+/// plus the order statistics the text format prints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Measurement {
+    /// Fastest sample, in nanoseconds.
+    pub min: u128,
+    /// Median sample, in nanoseconds.
+    pub median: u128,
+    /// Slowest sample, in nanoseconds.
+    pub max: u128,
+    /// Every timed sample in ascending order, in nanoseconds.
+    pub samples: Vec<u128>,
+}
+
+impl Measurement {
+    /// Builds a measurement from raw sample timings (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(mut samples: Vec<u128>) -> Measurement {
+        assert!(!samples.is_empty(), "a measurement needs >= 1 sample");
+        samples.sort_unstable();
+        Measurement {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            max: samples[samples.len() - 1],
+            samples,
+        }
+    }
+
+    /// The stable one-line text rendering (after a `group/label` prefix).
+    fn render(&self) -> String {
+        format!(
+            "min {}  median {}  max {}  ({} samples)",
+            format_nanos(self.min),
+            format_nanos(self.median),
+            format_nanos(self.max),
+            self.samples.len(),
+        )
+    }
+}
+
+/// Parses a sample-count value (from `--samples N` or the environment);
+/// zero and garbage are rejected.
+pub fn parse_samples(value: &str) -> Option<usize> {
+    value.parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The `OI_BENCH_SAMPLES` override, if set to a positive integer.
+pub fn samples_from_env() -> Option<usize> {
+    std::env::var(SAMPLES_ENV)
+        .ok()
+        .and_then(|v| parse_samples(&v))
+}
 
 /// A named group of benchmark measurements, printed as they complete.
 pub struct Group {
     name: String,
     sample_size: usize,
+    /// When the environment pinned the sample count, per-group defaults
+    /// set in bench sources no longer apply.
+    env_pinned: bool,
 }
 
 impl Group {
-    /// Starts a group. `name` prefixes every printed label.
+    /// Starts a group. `name` prefixes every printed label. If
+    /// `OI_BENCH_SAMPLES` is set it pins the sample count for the whole
+    /// group, overriding later [`Group::sample_size`] calls.
     pub fn new(name: &str) -> Group {
         println!("# {name}");
+        let env = samples_from_env();
         Group {
             name: name.to_string(),
-            sample_size: 10,
+            sample_size: env.unwrap_or(10),
+            env_pinned: env.is_some(),
         }
     }
 
     /// Sets how many timed samples each measurement takes (default 10).
+    /// Ignored when `OI_BENCH_SAMPLES` pinned the count.
     pub fn sample_size(mut self, n: usize) -> Group {
-        self.sample_size = n.max(1);
+        if !self.env_pinned {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
     /// Times `f`: one untimed warm-up, then `sample_size` timed runs.
-    pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) {
+    /// Prints the stable text line and returns the measurement.
+    pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) -> Measurement {
         f();
-        let mut nanos: Vec<u128> = (0..self.sample_size)
+        let nanos: Vec<u128> = (0..self.sample_size)
             .map(|_| {
                 let start = Instant::now();
                 f();
                 start.elapsed().as_nanos()
             })
             .collect();
-        nanos.sort_unstable();
-        let min = nanos[0];
-        let median = nanos[nanos.len() / 2];
-        let max = nanos[nanos.len() - 1];
-        println!(
-            "{}/{label}  min {}  median {}  max {}  ({} samples)",
-            self.name,
-            format_nanos(min),
-            format_nanos(median),
-            format_nanos(max),
-            self.sample_size,
-        );
+        let m = Measurement::from_samples(nanos);
+        println!("{}/{label}  {}", self.name, m.render());
+        m
     }
 }
 
@@ -91,5 +159,28 @@ mod tests {
             .sample_size(5)
             .bench("count", || runs += 1);
         assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn bench_returns_order_statistics() {
+        let m = Group::new("test").sample_size(5).bench("noop", || {});
+        assert_eq!(m.samples.len(), 5);
+        assert!(m.min <= m.median && m.median <= m.max);
+        assert!(m.samples.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn measurement_from_samples_sorts_and_selects() {
+        let m = Measurement::from_samples(vec![30, 10, 20]);
+        assert_eq!((m.min, m.median, m.max), (10, 20, 30));
+        assert_eq!(m.samples, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parse_samples_rejects_zero_and_garbage() {
+        assert_eq!(parse_samples("8"), Some(8));
+        assert_eq!(parse_samples("0"), None);
+        assert_eq!(parse_samples("eight"), None);
+        assert_eq!(parse_samples(""), None);
     }
 }

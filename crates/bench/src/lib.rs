@@ -15,7 +15,9 @@
 //! machine-readable `oi.figures.v1` document); `benches/` time the
 //! underlying pipeline stages with the in-repo [`harness`].
 
+pub mod cli;
 pub mod harness;
+pub mod snapshot;
 pub mod synth;
 
 use oi_benchmarks::{all_benchmarks, evaluate, BenchSize, Evaluation};

@@ -1,0 +1,740 @@
+//! Benchmark observatory: `oi.bench.v1` metric snapshots and the
+//! `oi.benchdiff.v1` noise-aware comparator.
+//!
+//! [`take_snapshot`] runs every benchmark at one size and folds the
+//! whole evaluation into a single schema-stable JSON document:
+//!
+//! - per-benchmark VM metrics for the baseline and inlined builds,
+//! - Figure 14 effectiveness counts,
+//! - analysis cost (contour statistics, worklist rounds, per-phase
+//!   wall-clock from the `oi-trace` layer),
+//! - a heap census per build, plus the derived header-elimination,
+//!   inlining-coverage, and inline-locality figures,
+//! - wall-clock order statistics from the [`crate::harness`], and
+//! - environment provenance (size, sample count, cost model, git rev).
+//!
+//! [`compare`] diffs two snapshots metric by metric. The modeled VM is
+//! deterministic, so the *gated* metrics (cycles, allocation counts,
+//! census words, contour counts, ...) default to exact-match thresholds;
+//! wall-clock timings are inherently noisy and are reported as advisory
+//! deltas that never gate. Each gated metric gets a three-way verdict —
+//! `improved`, `within_noise`, or `regressed` — by comparing the relative
+//! delta (inclusive) against a per-metric threshold.
+
+use crate::harness::Measurement;
+use crate::size_name;
+use oi_benchmarks::BenchSize;
+use oi_support::trace::{self, TraceMode, Tracer};
+use oi_support::Json;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Schema tag of snapshot documents.
+pub const SNAPSHOT_SCHEMA: &str = "oi.bench.v1";
+/// Schema tag of comparison documents.
+pub const DIFF_SCHEMA: &str = "oi.benchdiff.v1";
+
+/// Default number of wall-clock samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 5;
+
+/// Takes a full-suite snapshot. `samples` counts the timed
+/// `evaluate` runs per benchmark (the metric-collecting run is extra and
+/// untimed). `git_rev` is recorded verbatim as provenance.
+pub fn take_snapshot(size: BenchSize, samples: usize, git_rev: &str) -> Json {
+    use oi_benchmarks::{all_benchmarks, evaluate};
+    use oi_core::pipeline::InlineConfig;
+    use oi_vm::VmConfig;
+
+    let vm = VmConfig::default();
+    let inline = InlineConfig::default();
+    let mut rows = Vec::new();
+    for bench in all_benchmarks(size) {
+        // One traced evaluation collects the deterministic metrics and
+        // the analysis-cost aggregates. A fresh tracer per benchmark
+        // keeps the counters benchmark-local.
+        let tracer = Rc::new(Tracer::for_mode(TraceMode::Off));
+        let eval = {
+            let _guard = trace::install(tracer.clone());
+            evaluate(&bench, &vm, &inline)
+        };
+        // The wall-clock samples run untraced so span bookkeeping does
+        // not perturb them.
+        let nanos = (0..samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let timed = evaluate(&bench, &vm, &inline);
+                std::hint::black_box(&timed);
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        let wall = Measurement::from_samples(nanos);
+        rows.push(benchmark_row(&eval, &tracer, &wall));
+    }
+    Json::obj(vec![
+        ("schema", SNAPSHOT_SCHEMA.into()),
+        ("size", size_name(size).into()),
+        ("samples", (samples.max(1) as u64).into()),
+        ("cost_model", "default".into()),
+        ("git_rev", git_rev.into()),
+        ("benchmarks", Json::Arr(rows)),
+    ])
+}
+
+fn benchmark_row(eval: &oi_benchmarks::Evaluation, tracer: &Tracer, wall: &Measurement) -> Json {
+    let (without, with) = &eval.contours;
+    let census = &eval.inlined_census;
+    let base_census = &eval.baseline_census;
+    let base_allocs = eval.baseline.allocations;
+    let inline_coverage = if base_allocs == 0 {
+        0.0
+    } else {
+        (base_allocs - eval.inlined.allocations.min(base_allocs)) as f64 / base_allocs as f64
+    };
+    let counters = Json::Obj(
+        tracer
+            .counters()
+            .into_iter()
+            .map(|(name, value)| (name, Json::Int(value)))
+            .collect(),
+    );
+    let phases = Json::Obj(
+        tracer
+            .phase_profile()
+            .into_iter()
+            .map(|(name, stat)| {
+                (
+                    name,
+                    Json::obj(vec![
+                        ("count", stat.count.into()),
+                        ("total_us", stat.total_us.into()),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("benchmark", eval.name.into()),
+        ("baseline", eval.baseline.to_json()),
+        ("inlined", eval.inlined.to_json()),
+        ("speedup", eval.speedup().into()),
+        ("manual_speedup", eval.manual_speedup().into()),
+        (
+            "effectiveness",
+            Json::obj(vec![
+                (
+                    "total_object_fields",
+                    eval.report.total_object_fields.into(),
+                ),
+                ("ideal", eval.report.ideal.into()),
+                ("cxx", eval.report.cxx.into()),
+                ("fields_inlined", eval.report.fields_inlined.into()),
+                (
+                    "array_sites_inlined",
+                    eval.report.array_sites_inlined.into(),
+                ),
+                (
+                    "auto",
+                    (eval.report.fields_inlined + eval.report.array_sites_inlined).into(),
+                ),
+            ]),
+        ),
+        (
+            "heap_census",
+            Json::obj(vec![
+                ("baseline", base_census.to_json()),
+                ("inlined", census.to_json()),
+                (
+                    "header_words_eliminated",
+                    base_census
+                        .header_words
+                        .saturating_sub(census.header_words)
+                        .into(),
+                ),
+                ("inline_coverage", inline_coverage.into()),
+                (
+                    "inline_locality",
+                    eval.inlined.inline_locality_rate().into(),
+                ),
+            ]),
+        ),
+        (
+            "analysis_cost",
+            Json::obj(vec![
+                (
+                    "contours_per_method_without",
+                    without.contours_per_method.into(),
+                ),
+                ("contours_per_method_with", with.contours_per_method.into()),
+                ("object_contours_without", without.object_contours.into()),
+                ("object_contours_with", with.object_contours.into()),
+                ("clone_groups", eval.clone_groups.into()),
+                ("counters", counters),
+                ("phases", phases),
+            ]),
+        ),
+        (
+            "wall_clock_ns",
+            Json::obj(vec![
+                ("min", (wall.min as u64).into()),
+                ("median", (wall.median as u64).into()),
+                ("max", (wall.max as u64).into()),
+                ("samples", (wall.samples.len() as u64).into()),
+            ]),
+        ),
+    ])
+}
+
+/// Which direction is good for a gated metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Polarity {
+    /// Smaller is better (cycles, misses, words).
+    LowerIsBetter,
+    /// Larger is better (speedup, coverage, locality).
+    HigherIsBetter,
+}
+
+/// One gated metric: where it lives in a benchmark row, its polarity,
+/// and its default noise threshold in percent.
+///
+/// The modeled VM is deterministic, so most defaults are `0.0`: any
+/// change is a real change. A global `--threshold-pct` override loosens
+/// every gate uniformly (CI smoke uses ±25%).
+pub struct GateSpec {
+    /// Dotted path below the benchmark row, e.g. `inlined.cycles`.
+    pub path: &'static str,
+    /// Good direction.
+    pub polarity: Polarity,
+    /// Default threshold, percent, compared inclusively.
+    pub threshold_pct: f64,
+}
+
+/// The gated metric set. Wall-clock fields are deliberately absent —
+/// they are reported in the diff's `advisory` section instead.
+pub const GATES: &[GateSpec] = &[
+    GateSpec {
+        path: "baseline.cycles",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "inlined.cycles",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "speedup",
+        polarity: Polarity::HigherIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "inlined.allocations",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "inlined.words_allocated",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "inlined.cache_misses",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "inlined.inline_locality_rate",
+        polarity: Polarity::HigherIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "effectiveness.auto",
+        polarity: Polarity::HigherIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "heap_census.header_words_eliminated",
+        polarity: Polarity::HigherIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "heap_census.inline_coverage",
+        polarity: Polarity::HigherIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "analysis_cost.counters.analysis.rounds",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        path: "analysis_cost.counters.analysis.mcontours",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+];
+
+/// Advisory (never gating) wall-clock paths.
+const ADVISORY: &[&str] = &["wall_clock_ns.median", "wall_clock_ns.min"];
+
+/// Three-way comparison verdict for one gated metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Moved in the good direction beyond the threshold.
+    Improved,
+    /// |relative delta| within (inclusive) the threshold.
+    WithinNoise,
+    /// Moved in the bad direction beyond the threshold.
+    Regressed,
+}
+
+impl Verdict {
+    /// The verdict's JSON/text name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::WithinNoise => "within_noise",
+            Verdict::Regressed => "regressed",
+        }
+    }
+}
+
+/// Classifies one old/new pair against an inclusive threshold (percent).
+///
+/// Zero baselines have no relative delta: `0 -> 0` is within noise, and
+/// `0 -> x` is judged purely by polarity (something appeared where
+/// nothing was — good or bad depending on the metric's direction).
+pub fn classify(old: f64, new: f64, threshold_pct: f64, polarity: Polarity) -> Verdict {
+    if old == 0.0 {
+        return if new == 0.0 {
+            Verdict::WithinNoise
+        } else {
+            match polarity {
+                Polarity::LowerIsBetter => Verdict::Regressed,
+                Polarity::HigherIsBetter => Verdict::Improved,
+            }
+        };
+    }
+    let delta_pct = (new - old) / old.abs() * 100.0;
+    if delta_pct.abs() <= threshold_pct {
+        return Verdict::WithinNoise;
+    }
+    let got_worse = match polarity {
+        Polarity::LowerIsBetter => delta_pct > 0.0,
+        Polarity::HigherIsBetter => delta_pct < 0.0,
+    };
+    if got_worse {
+        Verdict::Regressed
+    } else {
+        Verdict::Improved
+    }
+}
+
+/// Looks up a dotted path inside a benchmark row. Counter names contain
+/// dots themselves (`analysis.rounds`), so after descending into an
+/// object whose next component does not exist, the remaining components
+/// are retried joined back together.
+fn lookup(row: &Json, path: &str) -> Option<f64> {
+    fn descend<'j>(node: &'j Json, path: &str) -> Option<&'j Json> {
+        if let Some(hit) = node.get(path) {
+            return Some(hit);
+        }
+        let (head, rest) = path.split_once('.')?;
+        descend(node.get(head)?, rest)
+    }
+    descend(row, path).and_then(Json::as_f64)
+}
+
+/// The outcome of [`compare`]: the rendered documents plus the verdict.
+#[derive(Debug)]
+pub struct Comparison {
+    /// The `oi.benchdiff.v1` document.
+    pub diff: Json,
+    /// Human-readable report, one line per noteworthy metric.
+    pub text: String,
+    /// Whether any gated metric (or a missing benchmark) regressed.
+    pub regressed: bool,
+}
+
+/// Compares two snapshot documents. `threshold_override_pct` replaces
+/// every gate's default threshold when given (CI smoke passes 25.0).
+///
+/// # Errors
+///
+/// Returns a message when either document is not an `oi.bench.v1`
+/// snapshot or the two snapshots were taken at different sizes.
+pub fn compare(
+    old: &Json,
+    new: &Json,
+    threshold_override_pct: Option<f64>,
+) -> Result<Comparison, String> {
+    for (doc, which) in [(old, "OLD"), (new, "NEW")] {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SNAPSHOT_SCHEMA) => {}
+            Some(other) => {
+                return Err(format!(
+                    "{which}: expected schema {SNAPSHOT_SCHEMA}, got {other}"
+                ))
+            }
+            None => return Err(format!("{which}: not an {SNAPSHOT_SCHEMA} document")),
+        }
+    }
+    let old_size = old.get("size").and_then(Json::as_str).unwrap_or("?");
+    let new_size = new.get("size").and_then(Json::as_str).unwrap_or("?");
+    if old_size != new_size {
+        return Err(format!(
+            "size mismatch: OLD is --size {old_size}, NEW is --size {new_size}; compare like with like"
+        ));
+    }
+
+    let empty = Vec::new();
+    let old_rows = old
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let new_rows = new
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let row_name = |row: &Json| {
+        row.get("benchmark")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    let find = |rows: &[Json], name: &str| {
+        rows.iter()
+            .find(|r| row_name(r).as_deref() == Some(name))
+            .cloned()
+    };
+
+    let mut bench_docs = Vec::new();
+    let mut text = String::new();
+    let mut regressed = false;
+
+    for old_row in old_rows {
+        let Some(name) = row_name(old_row) else {
+            continue;
+        };
+        let Some(new_row) = find(new_rows, &name) else {
+            regressed = true;
+            text.push_str(&format!(
+                "REGRESSED  {name}: benchmark missing from NEW snapshot\n"
+            ));
+            bench_docs.push(Json::obj(vec![
+                ("benchmark", name.as_str().into()),
+                ("missing", true.into()),
+                ("verdict", Verdict::Regressed.name().into()),
+            ]));
+            continue;
+        };
+
+        let mut metric_docs = Vec::new();
+        let mut worst = Verdict::WithinNoise;
+        for gate in GATES {
+            let threshold = threshold_override_pct.unwrap_or(gate.threshold_pct);
+            let (old_v, new_v) = (lookup(old_row, gate.path), lookup(&new_row, gate.path));
+            let (Some(old_v), Some(new_v)) = (old_v, new_v) else {
+                // A metric absent on either side is skipped, not gated:
+                // older snapshots predate newer metrics.
+                continue;
+            };
+            let verdict = classify(old_v, new_v, threshold, gate.polarity);
+            let delta_pct = if old_v == 0.0 {
+                Json::Null
+            } else {
+                ((new_v - old_v) / old_v.abs() * 100.0).into()
+            };
+            if verdict == Verdict::Regressed {
+                regressed = true;
+                worst = Verdict::Regressed;
+                text.push_str(&format!(
+                    "REGRESSED  {name} {path}: {old_v} -> {new_v} (threshold {threshold}%)\n",
+                    path = gate.path
+                ));
+            } else if verdict == Verdict::Improved {
+                if worst == Verdict::WithinNoise {
+                    worst = Verdict::Improved;
+                }
+                text.push_str(&format!(
+                    "improved   {name} {path}: {old_v} -> {new_v}\n",
+                    path = gate.path
+                ));
+            }
+            metric_docs.push(Json::obj(vec![
+                ("metric", gate.path.into()),
+                ("old", old_v.into()),
+                ("new", new_v.into()),
+                ("delta_pct", delta_pct),
+                ("threshold_pct", threshold.into()),
+                ("verdict", verdict.name().into()),
+            ]));
+        }
+
+        let mut advisory_docs = Vec::new();
+        for path in ADVISORY {
+            let (Some(old_v), Some(new_v)) = (lookup(old_row, path), lookup(&new_row, path)) else {
+                continue;
+            };
+            let delta_pct = if old_v == 0.0 {
+                Json::Null
+            } else {
+                ((new_v - old_v) / old_v.abs() * 100.0).into()
+            };
+            advisory_docs.push(Json::obj(vec![
+                ("metric", (*path).into()),
+                ("old", old_v.into()),
+                ("new", new_v.into()),
+                ("delta_pct", delta_pct),
+            ]));
+        }
+
+        bench_docs.push(Json::obj(vec![
+            ("benchmark", name.as_str().into()),
+            ("verdict", worst.name().into()),
+            ("metrics", Json::Arr(metric_docs)),
+            ("advisory", Json::Arr(advisory_docs)),
+        ]));
+    }
+
+    for new_row in new_rows {
+        let Some(name) = row_name(new_row) else {
+            continue;
+        };
+        if find(old_rows, &name).is_none() {
+            // A benchmark new to NEW is informational, never a failure.
+            text.push_str(&format!("note       {name}: new benchmark, no baseline\n"));
+            bench_docs.push(Json::obj(vec![
+                ("benchmark", name.as_str().into()),
+                ("new", true.into()),
+                ("verdict", Verdict::WithinNoise.name().into()),
+            ]));
+        }
+    }
+
+    text.push_str(if regressed {
+        "verdict: REGRESSED\n"
+    } else {
+        "verdict: ok (all gated metrics improved or within noise)\n"
+    });
+
+    let diff = Json::obj(vec![
+        ("schema", DIFF_SCHEMA.into()),
+        ("size", old_size.into()),
+        ("regressed", regressed.into()),
+        ("benchmarks", Json::Arr(bench_docs)),
+    ]);
+    Ok(Comparison {
+        diff,
+        text,
+        regressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_is_inclusive_exactly_at_threshold() {
+        // +10.0% against a 10% threshold sits exactly on the line: noise.
+        let v = classify(100.0, 110.0, 10.0, Polarity::LowerIsBetter);
+        assert_eq!(v, Verdict::WithinNoise);
+        // A hair past the line regresses.
+        let v = classify(100.0, 110.01, 10.0, Polarity::LowerIsBetter);
+        assert_eq!(v, Verdict::Regressed);
+        // Same magnitude in the good direction improves.
+        let v = classify(100.0, 89.0, 10.0, Polarity::LowerIsBetter);
+        assert_eq!(v, Verdict::Improved);
+    }
+
+    #[test]
+    fn classify_zero_baselines() {
+        assert_eq!(
+            classify(0.0, 0.0, 0.0, Polarity::LowerIsBetter),
+            Verdict::WithinNoise
+        );
+        // Cost appearing from nothing is a regression...
+        assert_eq!(
+            classify(0.0, 5.0, 25.0, Polarity::LowerIsBetter),
+            Verdict::Regressed
+        );
+        // ...benefit appearing from nothing is an improvement.
+        assert_eq!(
+            classify(0.0, 0.5, 25.0, Polarity::HigherIsBetter),
+            Verdict::Improved
+        );
+        // Cost vanishing entirely is an improvement.
+        assert_eq!(
+            classify(7.0, 0.0, 25.0, Polarity::LowerIsBetter),
+            Verdict::Improved
+        );
+    }
+
+    #[test]
+    fn classify_respects_polarity() {
+        assert_eq!(
+            classify(1.0, 2.0, 0.0, Polarity::HigherIsBetter),
+            Verdict::Improved
+        );
+        assert_eq!(
+            classify(2.0, 1.0, 0.0, Polarity::HigherIsBetter),
+            Verdict::Regressed
+        );
+    }
+
+    fn tiny_snapshot(cycles: u64) -> Json {
+        Json::obj(vec![
+            ("schema", SNAPSHOT_SCHEMA.into()),
+            ("size", "small".into()),
+            (
+                "benchmarks",
+                Json::Arr(vec![Json::obj(vec![
+                    ("benchmark", "toy".into()),
+                    ("inlined", Json::obj(vec![("cycles", cycles.into())])),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let snap = tiny_snapshot(1000);
+        let cmp = compare(&snap, &snap, None).unwrap();
+        assert!(!cmp.regressed);
+        assert_eq!(cmp.diff.get("schema").unwrap().as_str(), Some(DIFF_SCHEMA));
+        assert!(cmp.text.contains("verdict: ok"));
+    }
+
+    #[test]
+    fn cycle_bump_regresses_and_names_the_culprit() {
+        let cmp = compare(&tiny_snapshot(1000), &tiny_snapshot(1400), None).unwrap();
+        assert!(cmp.regressed);
+        assert_eq!(cmp.diff.get("regressed").unwrap(), &Json::Bool(true));
+        assert!(
+            cmp.text.contains("toy"),
+            "text must name the benchmark:\n{}",
+            cmp.text
+        );
+        assert!(
+            cmp.text.contains("inlined.cycles"),
+            "text must name the metric:\n{}",
+            cmp.text
+        );
+    }
+
+    #[test]
+    fn threshold_override_loosens_every_gate() {
+        let cmp = compare(&tiny_snapshot(1000), &tiny_snapshot(1200), Some(25.0)).unwrap();
+        assert!(!cmp.regressed, "{}", cmp.text);
+    }
+
+    #[test]
+    fn missing_benchmark_is_a_regression_but_new_one_is_not() {
+        let old = tiny_snapshot(1000);
+        let empty = Json::obj(vec![
+            ("schema", SNAPSHOT_SCHEMA.into()),
+            ("size", "small".into()),
+            ("benchmarks", Json::Arr(vec![])),
+        ]);
+        let cmp = compare(&old, &empty, None).unwrap();
+        assert!(cmp.regressed);
+        assert!(cmp.text.contains("missing from NEW"));
+
+        let cmp = compare(&empty, &old, None).unwrap();
+        assert!(!cmp.regressed);
+        assert!(cmp.text.contains("new benchmark"));
+    }
+
+    #[test]
+    fn size_mismatch_is_an_error() {
+        let mut other = tiny_snapshot(1000);
+        if let Json::Obj(pairs) = &mut other {
+            for (k, v) in pairs.iter_mut() {
+                if k == "size" {
+                    *v = Json::Str("default".into());
+                }
+            }
+        }
+        let err = compare(&tiny_snapshot(1000), &other, None).unwrap_err();
+        assert!(err.contains("size mismatch"), "{err}");
+    }
+
+    #[test]
+    fn non_snapshot_documents_are_rejected() {
+        let bogus = Json::obj(vec![("schema", "oi.figures.v1".into())]);
+        assert!(compare(&bogus, &bogus, None).is_err());
+        assert!(compare(&Json::Null, &Json::Null, None).is_err());
+    }
+
+    #[test]
+    fn lookup_descends_and_rejoins_dotted_counter_names() {
+        let row = Json::obj(vec![(
+            "analysis_cost",
+            Json::obj(vec![(
+                "counters",
+                Json::Obj(vec![("analysis.rounds".to_string(), Json::Int(4))]),
+            )]),
+        )]);
+        assert_eq!(
+            lookup(&row, "analysis_cost.counters.analysis.rounds"),
+            Some(4.0)
+        );
+        assert_eq!(lookup(&row, "analysis_cost.counters.analysis.bogus"), None);
+    }
+
+    #[test]
+    fn snapshot_document_is_schema_stable() {
+        let snap = take_snapshot(BenchSize::Small, 1, "testrev");
+        let parsed = Json::parse(&snap.to_string()).expect("snapshot must be valid JSON");
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some(SNAPSHOT_SCHEMA)
+        );
+        assert_eq!(parsed.get("size").unwrap().as_str(), Some("small"));
+        assert_eq!(parsed.get("git_rev").unwrap().as_str(), Some("testrev"));
+        let rows = parsed.get("benchmarks").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 5, "snapshot covers the whole suite");
+        for row in rows {
+            for key in [
+                "benchmark",
+                "baseline",
+                "inlined",
+                "speedup",
+                "manual_speedup",
+                "effectiveness",
+                "heap_census",
+                "analysis_cost",
+                "wall_clock_ns",
+            ] {
+                assert!(row.get(key).is_some(), "row missing {key}");
+            }
+            let cost = row.get("analysis_cost").unwrap();
+            assert!(lookup(row, "analysis_cost.counters.analysis.rounds").unwrap_or(0.0) > 0.0);
+            assert!(cost
+                .get("phases")
+                .unwrap()
+                .get("pipeline.analyze")
+                .is_some());
+            let census = row.get("heap_census").unwrap();
+            for key in [
+                "baseline",
+                "inlined",
+                "header_words_eliminated",
+                "inline_coverage",
+                "inline_locality",
+            ] {
+                assert!(census.get(key).is_some(), "heap_census missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_self_compare_is_within_noise_on_gated_metrics() {
+        // Two snapshots of the same code: every gated metric is
+        // deterministic, so the diff must be clean even at the exact
+        // (0%) default thresholds. Wall-clock differs but is advisory.
+        let a = take_snapshot(BenchSize::Small, 1, "rev-a");
+        let b = take_snapshot(BenchSize::Small, 1, "rev-b");
+        let cmp = compare(&a, &b, None).unwrap();
+        assert!(!cmp.regressed, "self-compare regressed:\n{}", cmp.text);
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end tests of the `oi-bench` binary: snapshot round-trips,
+//! the regression gate's exit codes, and the `oi.bench.v1` /
+//! `oi.benchdiff.v1` schema pins.
+
+use oi_support::Json;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn oi_bench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oi-bench"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oi-bench-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn snapshot_to(name: &str) -> PathBuf {
+    let path = temp_path(name);
+    let out = oi_bench()
+        .args([
+            "snapshot",
+            "--size",
+            "small",
+            "--samples",
+            "1",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "snapshot failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+/// Pins the `oi.bench.v1` schema: key removals or renames here break
+/// committed baselines and downstream tooling.
+#[test]
+fn snapshot_schema_is_stable() {
+    let path = snapshot_to("schema.json");
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("oi.bench.v1")
+    );
+    assert_eq!(doc.get("size").and_then(Json::as_str), Some("small"));
+    assert!(doc.get("samples").and_then(Json::as_i64).unwrap() >= 1);
+    assert!(doc.get("cost_model").and_then(Json::as_str).is_some());
+    assert!(doc.get("git_rev").and_then(Json::as_str).is_some());
+    let rows = doc.get("benchmarks").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 5, "whole suite snapshotted");
+    for row in rows {
+        for key in [
+            "benchmark",
+            "baseline",
+            "inlined",
+            "speedup",
+            "effectiveness",
+            "heap_census",
+            "analysis_cost",
+            "wall_clock_ns",
+        ] {
+            assert!(row.get(key).is_some(), "row missing {key}");
+        }
+        let census = row.get("heap_census").unwrap();
+        for key in [
+            "header_words_eliminated",
+            "inline_coverage",
+            "inline_locality",
+        ] {
+            assert!(census.get(key).is_some(), "heap_census missing {key}");
+        }
+        let cost = row.get("analysis_cost").unwrap();
+        assert!(cost
+            .get("counters")
+            .and_then(|c| c.get("analysis.rounds"))
+            .is_some());
+        assert!(cost
+            .get("phases")
+            .and_then(|p| p.get("pipeline.analyze"))
+            .is_some());
+    }
+}
+
+#[test]
+fn snapshot_twice_then_self_compare_is_clean() {
+    let a = snapshot_to("clean_a.json");
+    let b = snapshot_to("clean_b.json");
+    let out = oi_bench()
+        .args(["compare", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "self-compare must be clean:\n{text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("verdict: ok"), "{text}");
+}
+
+/// Bumping a cycle count past the threshold must fail the gate and name
+/// both the benchmark and the metric.
+#[test]
+fn edited_cycle_count_fails_the_gate() {
+    let a = snapshot_to("edit_a.json");
+    let mut doc = Json::parse(&std::fs::read_to_string(&a).unwrap()).unwrap();
+
+    // Hand-edit: +40% on the first benchmark's inlined cycle count.
+    let mut victim = String::new();
+    if let Json::Obj(pairs) = &mut doc {
+        let rows = pairs.iter_mut().find(|(k, _)| k == "benchmarks").unwrap();
+        let Json::Arr(rows) = &mut rows.1 else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        victim = row
+            .iter()
+            .find(|(k, _)| k == "benchmark")
+            .and_then(|(_, v)| v.as_str())
+            .unwrap()
+            .to_string();
+        let inlined = row.iter_mut().find(|(k, _)| k == "inlined").unwrap();
+        let Json::Obj(metrics) = &mut inlined.1 else {
+            panic!()
+        };
+        let cycles = metrics.iter_mut().find(|(k, _)| k == "cycles").unwrap();
+        let old = cycles.1.as_f64().unwrap();
+        cycles.1 = Json::UInt((old * 1.4) as u64);
+    }
+    let b = temp_path("edit_b.json");
+    std::fs::write(&b, doc.to_string()).unwrap();
+
+    let out = oi_bench()
+        .args(["compare", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "gate must fail on the edit");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(&victim), "must name the benchmark:\n{text}");
+    assert!(
+        text.contains("inlined.cycles"),
+        "must name the metric:\n{text}"
+    );
+    assert!(text.contains("REGRESSED"), "{text}");
+
+    // A loose enough threshold waves the same edit through.
+    let out = oi_bench()
+        .args([
+            "compare",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--threshold-pct",
+            "50",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+/// Pins the `oi.benchdiff.v1` schema emitted by `compare --json`.
+#[test]
+fn compare_json_schema_is_stable() {
+    let a = snapshot_to("diff_a.json");
+    let out = oi_bench()
+        .args([
+            "compare",
+            "--json",
+            a.to_str().unwrap(),
+            a.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("oi.benchdiff.v1")
+    );
+    assert_eq!(doc.get("size").and_then(Json::as_str), Some("small"));
+    assert_eq!(doc.get("regressed"), Some(&Json::Bool(false)));
+    let rows = doc.get("benchmarks").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 5);
+    for row in rows {
+        assert_eq!(
+            row.get("verdict").and_then(Json::as_str),
+            Some("within_noise")
+        );
+        let metrics = row.get("metrics").and_then(Json::as_arr).unwrap();
+        assert!(!metrics.is_empty());
+        for m in metrics {
+            for key in [
+                "metric",
+                "old",
+                "new",
+                "delta_pct",
+                "threshold_pct",
+                "verdict",
+            ] {
+                assert!(m.get(key).is_some(), "metric entry missing {key}");
+            }
+        }
+        // Wall-clock lives in the advisory section, never the gate.
+        let advisory = row.get("advisory").and_then(Json::as_arr).unwrap();
+        assert!(advisory
+            .iter()
+            .any(|m| m.get("metric").and_then(Json::as_str) == Some("wall_clock_ns.median")));
+        assert!(metrics.iter().all(|m| !m
+            .get("metric")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("wall_clock")));
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = oi_bench().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("snapshot"), "{err}");
+    assert!(err.contains("compare"), "{err}");
+
+    let out = oi_bench().args(["snapshot", "--wat"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag `--wat`"));
+}
+
+#[test]
+fn size_mismatch_is_a_usage_error() {
+    let a = snapshot_to("size_a.json");
+    let mut doc = Json::parse(&std::fs::read_to_string(&a).unwrap()).unwrap();
+    if let Json::Obj(pairs) = &mut doc {
+        let size = pairs.iter_mut().find(|(k, _)| k == "size").unwrap();
+        size.1 = Json::Str("large".to_string());
+    }
+    let b = temp_path("size_b.json");
+    std::fs::write(&b, doc.to_string()).unwrap();
+    let out = oi_bench()
+        .args(["compare", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("size mismatch"));
+}

@@ -3,7 +3,7 @@
 use crate::programs::Benchmark;
 use oi_core::pipeline::{baseline, optimize, InlineConfig};
 use oi_ir::size::SizeReport;
-use oi_vm::{Metrics, VmConfig};
+use oi_vm::{HeapCensusReport, Metrics, VmConfig};
 
 /// Problem sizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +27,10 @@ pub struct Evaluation {
     pub inlined: Metrics,
     /// Metrics of the hand-inlined source (the `G++ -O2` stand-in).
     pub manual: Metrics,
+    /// Heap census of the baseline run.
+    pub baseline_census: HeapCensusReport,
+    /// Heap census of the object-inlined run.
+    pub inlined_census: HeapCensusReport,
     /// Effectiveness counters (Figure 14's measured column).
     pub report: oi_core::EffectivenessReport,
     /// Generated-code size of the baseline build (Figure 15).
@@ -99,6 +103,8 @@ pub fn evaluate(bench: &Benchmark, vm: &VmConfig, inline_config: &InlineConfig) 
         baseline: base_run.metrics,
         inlined: opt_run.metrics,
         manual: manual_run.metrics,
+        baseline_census: base_run.heap_census,
+        inlined_census: opt_run.heap_census,
         report: opt.report,
         baseline_size: oi_ir::size::measure(&base),
         inlined_size: oi_ir::size::measure(&opt.program),
@@ -134,6 +140,46 @@ mod tests {
             let eval = evaluate(&bench, &VmConfig::default(), &InlineConfig::default());
             assert!(!eval.output.is_empty());
         }
+    }
+
+    #[test]
+    fn census_accounting_agrees_with_metrics_on_every_benchmark() {
+        // The heap census and the interpreter's `words_allocated` counter
+        // are independent accountings of the same bump allocator; they must
+        // agree on programs that allocate objects, arrays, and (in the
+        // inlined builds) inline children.
+        let mut saw_inline_children = false;
+        for bench in all_benchmarks(BenchSize::Small) {
+            let eval = evaluate(&bench, &VmConfig::default(), &InlineConfig::default());
+            assert_eq!(
+                eval.baseline.words_allocated, eval.baseline_census.total_words,
+                "{}: baseline metrics vs census drift",
+                bench.name
+            );
+            assert_eq!(
+                eval.inlined.words_allocated, eval.inlined_census.total_words,
+                "{}: inlined metrics vs census drift",
+                bench.name
+            );
+            assert_eq!(
+                eval.baseline.allocations, eval.baseline_census.total_objects,
+                "{}: baseline allocation count vs census drift",
+                bench.name
+            );
+            // Inlining folds children into containers: fewer objects and
+            // fewer header words, never more.
+            assert!(
+                eval.inlined_census.header_words <= eval.baseline_census.header_words,
+                "{}: inlining must not add header words",
+                bench.name
+            );
+            saw_inline_children |=
+                eval.inlined_census.inline_elements > 0 || eval.inlined.inline_child_accesses > 0;
+        }
+        assert!(
+            saw_inline_children,
+            "suite should exercise inline children somewhere"
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!
 //! - [`intern`]: a string interner producing copyable [`intern::Symbol`]s,
 //! - [`index`]: typed index newtypes and the [`index::IdxVec`] arena,
+//! - [`cli`]: the shared command-line argument scanner used by every
+//!   binary (strict flag classification, exit-2 discipline),
 //! - [`diag`]: source spans, a line-start index, and compiler diagnostics,
 //! - [`json`]: a dependency-free JSON document model (build, print, parse),
 //! - [`trace`]: the `oi-trace` observability layer (spans, events,
@@ -25,6 +27,7 @@
 //! assert_eq!(interner.resolve(a), "lower_left");
 //! ```
 
+pub mod cli;
 pub mod diag;
 pub mod index;
 pub mod intern;

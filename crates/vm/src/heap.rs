@@ -58,6 +58,47 @@ impl HeapObject {
     }
 }
 
+/// Count and footprint of one census group.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CensusBucket {
+    /// Objects in the group.
+    pub count: u64,
+    /// Total words the group occupies, headers included.
+    pub words: u64,
+}
+
+impl CensusBucket {
+    fn add(&mut self, slot_words: u64, header_words: u64) {
+        self.count += 1;
+        self.words += slot_words + header_words;
+    }
+}
+
+/// A walk of everything on the heap, grouped by what it is. Because the
+/// heap is an arena (nothing is reclaimed), "live" here means
+/// "ever allocated" — exactly the population the paper's §6 counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HeapCensus {
+    /// Per-class instance buckets, indexed by raw class id, sorted by id.
+    /// Classes that were never instantiated are absent.
+    pub instances: Vec<(ClassId, CensusBucket)>,
+    /// Reference arrays.
+    pub arrays: CensusBucket,
+    /// Inline-allocated arrays of object state.
+    pub inline_arrays: CensusBucket,
+    /// Total elements embedded across all inline arrays (each one a child
+    /// object that never paid for its own allocation).
+    pub inline_elements: u64,
+    /// Total header/padding words paid across every object.
+    pub header_words: u64,
+    /// Every object on the heap.
+    pub total_objects: u64,
+    /// Every word handed out, headers included. Agrees with both
+    /// [`Heap::words_allocated`] and the interpreter's
+    /// `Metrics::words_allocated` by construction.
+    pub total_words: u64,
+}
+
 /// The bump-allocated heap. Memory is never reclaimed (arena discipline, as
 /// in the paper's measurements).
 #[derive(Clone, Debug)]
@@ -124,6 +165,42 @@ impl Heap {
     pub fn words_allocated(&self) -> u64 {
         self.words_allocated
     }
+
+    /// The effective per-object overhead in words. This is the figure the
+    /// heap actually charges — the constructor clamps the configured value
+    /// to at least one word — so metrics accounting must use it rather
+    /// than re-reading the raw configuration.
+    pub fn header_words(&self) -> u64 {
+        self.header_words
+    }
+
+    /// Walks the heap and aggregates a [`HeapCensus`].
+    pub fn census(&self) -> HeapCensus {
+        let mut census = HeapCensus::default();
+        let mut per_class: std::collections::BTreeMap<ClassId, CensusBucket> =
+            std::collections::BTreeMap::new();
+        for obj in self.objects.iter() {
+            let slot_words = obj.slots.len() as u64;
+            match obj.kind {
+                ObjKind::Instance(c) => {
+                    per_class
+                        .entry(c)
+                        .or_default()
+                        .add(slot_words, self.header_words);
+                }
+                ObjKind::Array => census.arrays.add(slot_words, self.header_words),
+                ObjKind::ArrayInline { len, .. } => {
+                    census.inline_arrays.add(slot_words, self.header_words);
+                    census.inline_elements += len as u64;
+                }
+            }
+            census.header_words += self.header_words;
+            census.total_objects += 1;
+            census.total_words += slot_words + self.header_words;
+        }
+        census.instances = per_class.into_iter().collect();
+        census
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +239,57 @@ mod tests {
         let mut h = Heap::new(4, 1);
         assert!(h.alloc(ObjKind::Array, 3).is_ok()); // 4 words with header
         assert_eq!(h.alloc(ObjKind::Array, 1), Err(VmError::OutOfMemory));
+    }
+
+    #[test]
+    fn census_groups_by_kind_and_sums_words() {
+        let mut h = Heap::new(1024, 2);
+        h.alloc(ObjKind::Instance(ClassId::new(0)), 3).unwrap();
+        h.alloc(ObjKind::Instance(ClassId::new(0)), 3).unwrap();
+        h.alloc(ObjKind::Instance(ClassId::new(1)), 1).unwrap();
+        h.alloc(ObjKind::Array, 4).unwrap();
+        h.alloc(ObjKind::ArrayInline { layout: 0, len: 5 }, 10)
+            .unwrap();
+        let c = h.census();
+        assert_eq!(c.total_objects, 5);
+        assert_eq!(c.header_words, 5 * 2);
+        assert_eq!(c.total_words, h.words_allocated());
+        assert_eq!(
+            c.instances,
+            vec![
+                (
+                    ClassId::new(0),
+                    CensusBucket {
+                        count: 2,
+                        words: 10
+                    }
+                ),
+                (ClassId::new(1), CensusBucket { count: 1, words: 3 }),
+            ]
+        );
+        assert_eq!(c.arrays, CensusBucket { count: 1, words: 6 });
+        assert_eq!(
+            c.inline_arrays,
+            CensusBucket {
+                count: 1,
+                words: 12
+            }
+        );
+        assert_eq!(c.inline_elements, 5);
+    }
+
+    #[test]
+    fn header_words_reports_the_clamped_figure() {
+        let h = Heap::new(1024, 0);
+        assert_eq!(h.header_words(), 1, "heap clamps the overhead to >= 1");
+        let h = Heap::new(1024, 3);
+        assert_eq!(h.header_words(), 3);
+    }
+
+    #[test]
+    fn empty_heap_census_is_all_zero() {
+        let h = Heap::new(16, 1);
+        assert_eq!(h.census(), HeapCensus::default());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::cache::{CacheConfig, CacheSim};
 use crate::cost::CostModel;
 use crate::error::VmError;
-use crate::heap::{Heap, ObjKind};
+use crate::heap::{Heap, HeapCensus, ObjKind};
 use crate::metrics::Metrics;
 use crate::value::{ObjId, Value};
 use oi_ir::{
@@ -60,6 +60,9 @@ pub struct RunResult {
     /// sorted by descending count. Arrays appear as `<array>` /
     /// `<array-inline>`.
     pub allocation_census: Vec<(String, u64)>,
+    /// End-of-run heap census with class names resolved: object and word
+    /// footprints per class, header overhead, embedded inline elements.
+    pub heap_census: HeapCensusReport,
     /// Per-method / per-site profile (`Some` iff [`VmConfig::profile`]).
     pub profile: Option<crate::profile::Profile>,
 }
@@ -72,6 +75,103 @@ impl RunResult {
             .find(|(name, _)| name == class)
             .map(|(_, n)| *n)
             .unwrap_or(0)
+    }
+}
+
+/// One row of the name-resolved heap census.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeapCensusEntry {
+    /// Class name, or `<array>` / `<array-inline>` for array groups.
+    pub class: String,
+    /// Objects in the group.
+    pub count: u64,
+    /// Words the group occupies, headers included.
+    pub words: u64,
+}
+
+/// The end-of-run heap census with class ids resolved to names — the
+/// observable "why" behind Figure 17: how many objects existed, how much
+/// of the heap was allocator overhead, and how much child state was folded
+/// into containers instead of being separately allocated.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeapCensusReport {
+    /// Per-group rows, sorted by descending word footprint then name.
+    pub classes: Vec<HeapCensusEntry>,
+    /// Every object on the heap.
+    pub total_objects: u64,
+    /// Every word handed out, headers included. Always equals
+    /// `Metrics::words_allocated` for the same run.
+    pub total_words: u64,
+    /// Total header/padding words paid across every object.
+    pub header_words: u64,
+    /// Elements embedded in inline arrays (children that never paid for
+    /// their own allocation).
+    pub inline_elements: u64,
+}
+
+impl HeapCensusReport {
+    /// Resolves a raw [`HeapCensus`] against the program's class names.
+    fn resolve(census: &HeapCensus, program: &Program) -> Self {
+        let mut classes: Vec<HeapCensusEntry> = census
+            .instances
+            .iter()
+            .map(|(c, b)| HeapCensusEntry {
+                class: program
+                    .interner
+                    .resolve(program.classes[*c].name)
+                    .to_owned(),
+                count: b.count,
+                words: b.words,
+            })
+            .collect();
+        if census.arrays.count > 0 {
+            classes.push(HeapCensusEntry {
+                class: "<array>".to_owned(),
+                count: census.arrays.count,
+                words: census.arrays.words,
+            });
+        }
+        if census.inline_arrays.count > 0 {
+            classes.push(HeapCensusEntry {
+                class: "<array-inline>".to_owned(),
+                count: census.inline_arrays.count,
+                words: census.inline_arrays.words,
+            });
+        }
+        classes.sort_by(|a, b| b.words.cmp(&a.words).then_with(|| a.class.cmp(&b.class)));
+        HeapCensusReport {
+            classes,
+            total_objects: census.total_objects,
+            total_words: census.total_words,
+            header_words: census.header_words,
+            inline_elements: census.inline_elements,
+        }
+    }
+
+    /// The census as schema-stable JSON.
+    pub fn to_json(&self) -> oi_support::Json {
+        use oi_support::Json;
+        Json::obj(vec![
+            (
+                "classes",
+                Json::Arr(
+                    self.classes
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("class", e.class.clone().into()),
+                                ("count", e.count.into()),
+                                ("words", e.words.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total_objects", self.total_objects.into()),
+            ("total_words", self.total_words.into()),
+            ("header_words", self.header_words.into()),
+            ("inline_elements", self.inline_elements.into()),
+        ])
     }
 }
 
@@ -107,10 +207,12 @@ pub fn run(program: &Program, config: &VmConfig) -> Result<RunResult, VmError> {
         .profile
         .take()
         .map(|state| build_profile(program, &state));
+    let heap_census = HeapCensusReport::resolve(&vm.heap.census(), program);
     Ok(RunResult {
         output: vm.output,
         metrics: vm.metrics,
         allocation_census: census,
+        heap_census,
         profile,
     })
 }
@@ -324,29 +426,46 @@ impl<'p> Vm<'p> {
         }
     }
 
-    /// A heap read at `addr`: base cost + cache penalty.
-    fn mem_read(&mut self, addr: u64) {
+    /// A heap read at `addr`: base cost + cache penalty. Returns whether
+    /// the access hit the cache.
+    fn mem_read(&mut self, addr: u64) -> bool {
         self.metrics.heap_reads += 1;
         self.charge(self.config.cost.heap_read);
         if self.cache.access(addr) {
             self.metrics.cache_hits += 1;
+            true
         } else {
             self.metrics.cache_misses += 1;
             self.profile_miss();
             self.charge(self.config.cost.cache_miss);
+            false
         }
     }
 
     /// A heap write at `addr`: base cost + cache penalty (allocate-on-write).
-    fn mem_write(&mut self, addr: u64) {
+    /// Returns whether the access hit the cache.
+    fn mem_write(&mut self, addr: u64) -> bool {
         self.metrics.heap_writes += 1;
         self.charge(self.config.cost.heap_write);
         if self.cache.access(addr) {
             self.metrics.cache_hits += 1;
+            true
         } else {
             self.metrics.cache_misses += 1;
             self.profile_miss();
             self.charge(self.config.cost.cache_miss);
+            false
+        }
+    }
+
+    /// Records an access to inline child state (through an interior
+    /// reference) and whether it was served by the cache — the per-run
+    /// locality evidence that colocated state shares lines with its
+    /// container.
+    fn note_inline_access(&mut self, hit: bool) {
+        self.metrics.inline_child_accesses += 1;
+        if hit {
+            self.metrics.inline_child_hits += 1;
         }
     }
 
@@ -473,7 +592,8 @@ impl<'p> Vm<'p> {
                 let container_len = self.heap.get(obj).array_len().unwrap_or(0);
                 let slot = self.interior_slot(lid, index, j, container_len);
                 let addr = self.heap.get(obj).slot_addr(slot);
-                self.mem_read(addr);
+                let hit = self.mem_read(addr);
+                self.note_inline_access(hit);
                 Ok(self.heap.get(obj).slots[slot])
             }
             Value::Nil => Err(VmError::NilDereference {
@@ -521,7 +641,8 @@ impl<'p> Vm<'p> {
                 let container_len = self.heap.get(obj).array_len().unwrap_or(0);
                 let slot = self.interior_slot(lid, index, j, container_len);
                 let addr = self.heap.get(obj).slot_addr(slot);
-                self.mem_write(addr);
+                let hit = self.mem_write(addr);
+                self.note_inline_access(hit);
                 self.heap.get_mut(obj).slots[slot] = value;
                 Ok(())
             }
@@ -540,7 +661,9 @@ impl<'p> Vm<'p> {
     fn alloc_instance(&mut self, class: ClassId, site: SiteId) -> Result<ObjId, VmError> {
         let size = self.class_sizes[class.index()];
         let id = self.heap.alloc(ObjKind::Instance(class), size)?;
-        let overhead = self.config.alloc_header_words;
+        // Use the heap's effective (clamped) overhead so `words_allocated`
+        // in the metrics agrees with the bump allocator's own accounting.
+        let overhead = self.heap.header_words();
         self.alloc_census[class.index()] += 1;
         self.metrics.allocations += 1;
         self.metrics.words_allocated += size as u64 + overhead;
@@ -576,7 +699,7 @@ impl<'p> Vm<'p> {
             ObjKind::ArrayInline { .. } => self.inline_array_census += 1,
             _ => self.array_census += 1,
         }
-        let overhead = self.config.alloc_header_words;
+        let overhead = self.heap.header_words();
         self.metrics.allocations += 1;
         self.metrics.words_allocated += slots as u64 + overhead;
         self.profile_alloc(site, slots as u64 + overhead);
@@ -961,7 +1084,8 @@ impl<'p> Vm<'p> {
                     let v = self.get_field(value, *f)?;
                     let slot = self.interior_slot(layout, i as u32, j, len);
                     let addr = self.heap.get(o).slot_addr(slot);
-                    self.mem_write(addr);
+                    let hit = self.mem_write(addr);
+                    self.note_inline_access(hit);
                     self.heap.get_mut(o).slots[slot] = v;
                 }
                 Ok(())
@@ -1397,6 +1521,74 @@ mod census_tests {
         assert_eq!(r.allocations_of("Nope"), 0);
         // Census is sorted by descending count.
         assert!(r.allocation_census.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn heap_census_resolves_names_and_matches_metrics() {
+        let p = compile(
+            "class A { field x; } class B { }
+             fn main() {
+               var x = new A(); var y = new A(); var z = new B();
+               var arr = array(3);
+               print 1;
+             }",
+        )
+        .unwrap();
+        let r = run(&p, &VmConfig::default()).unwrap();
+        let census = &r.heap_census;
+        assert_eq!(census.total_objects, 4);
+        assert_eq!(census.total_words, r.metrics.words_allocated);
+        // Default config pays 2 header words per object.
+        assert_eq!(census.header_words, 4 * 2);
+        let a = census.classes.iter().find(|e| e.class == "A").unwrap();
+        assert_eq!(a.count, 2);
+        assert_eq!(a.words, 2 * (1 + 2), "one slot + two header words each");
+        assert!(census.classes.iter().any(|e| e.class == "<array>"));
+        // Sorted by descending word footprint.
+        assert!(census.classes.windows(2).all(|w| w[0].words >= w[1].words));
+    }
+
+    #[test]
+    fn words_allocated_agrees_with_heap_even_with_zero_header_config() {
+        // The heap clamps a configured overhead of 0 up to 1 word; the
+        // metrics must follow the heap's accounting, not the raw config.
+        let p = compile(
+            "class A { field x; }
+             fn main() { var a = new A(); var arr = array(5); print 1; }",
+        )
+        .unwrap();
+        for header in [0, 1, 2, 3] {
+            let config = VmConfig {
+                alloc_header_words: header,
+                ..Default::default()
+            };
+            let r = run(&p, &config).unwrap();
+            assert_eq!(
+                r.metrics.words_allocated, r.heap_census.total_words,
+                "metrics vs heap accounting drifted at alloc_header_words = {header}"
+            );
+        }
+    }
+
+    #[test]
+    fn heap_census_json_is_schema_stable() {
+        use oi_support::Json;
+        let p = compile("class A { } fn main() { var a = new A(); print 1; }").unwrap();
+        let r = run(&p, &VmConfig::default()).unwrap();
+        let doc = Json::parse(&r.heap_census.to_json().to_string()).unwrap();
+        for key in [
+            "classes",
+            "total_objects",
+            "total_words",
+            "header_words",
+            "inline_elements",
+        ] {
+            assert!(doc.get(key).is_some(), "heap_census.{key} missing");
+        }
+        let rows = doc.get("classes").and_then(Json::as_arr).unwrap();
+        assert!(rows
+            .iter()
+            .any(|e| e.get("class").and_then(Json::as_str) == Some("A")));
     }
 
     #[test]

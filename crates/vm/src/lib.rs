@@ -39,6 +39,7 @@ pub mod value;
 pub use cache::{CacheConfig, CacheSim};
 pub use cost::CostModel;
 pub use error::VmError;
-pub use interp::{run, RunResult, VmConfig};
+pub use heap::{CensusBucket, HeapCensus};
+pub use interp::{run, HeapCensusEntry, HeapCensusReport, RunResult, VmConfig};
 pub use metrics::Metrics;
 pub use value::{ObjId, Value};

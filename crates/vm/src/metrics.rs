@@ -31,6 +31,13 @@ pub struct Metrics {
     pub cache_hits: u64,
     /// Data-cache misses.
     pub cache_misses: u64,
+    /// Heap accesses that went through an interior reference, i.e. reads
+    /// and writes of inline-allocated child state.
+    pub inline_child_accesses: u64,
+    /// Of [`Metrics::inline_child_accesses`], how many hit the data cache.
+    /// Inline state lives inside its container, so a high hit rate here is
+    /// the locality the paper's Figure 17 credits to colocation.
+    pub inline_child_hits: u64,
 }
 
 impl Metrics {
@@ -50,6 +57,9 @@ impl Metrics {
             ("cache_hits", self.cache_hits.into()),
             ("cache_misses", self.cache_misses.into()),
             ("cache_hit_rate", self.cache_hit_rate().into()),
+            ("inline_child_accesses", self.inline_child_accesses.into()),
+            ("inline_child_hits", self.inline_child_hits.into()),
+            ("inline_locality_rate", self.inline_locality_rate().into()),
         ])
     }
 
@@ -60,6 +70,16 @@ impl Metrics {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Cache hit rate over inline-child (interior-reference) accesses in
+    /// `[0, 1]`; zero when no inline state was touched.
+    pub fn inline_locality_rate(&self) -> f64 {
+        if self.inline_child_accesses == 0 {
+            0.0
+        } else {
+            self.inline_child_hits as f64 / self.inline_child_accesses as f64
         }
     }
 
@@ -85,12 +105,18 @@ impl fmt::Display for Metrics {
         writeln!(f, "dynamic dispatches{:>14}", self.dyn_dispatches)?;
         writeln!(f, "static calls      {:>14}", self.static_calls)?;
         writeln!(f, "interior refs     {:>14}", self.interior_refs)?;
-        write!(
+        writeln!(
             f,
             "cache             {:>14} hits / {} misses ({:.1}%)",
             self.cache_hits,
             self.cache_misses,
             100.0 * self.cache_hit_rate()
+        )?;
+        write!(
+            f,
+            "inline locality   {:>14} accesses ({:.1}% cached)",
+            self.inline_child_accesses,
+            100.0 * self.inline_locality_rate()
         )
     }
 }
@@ -129,5 +155,17 @@ mod tests {
         let s = Metrics::default().to_string();
         assert!(s.contains("cycles"));
         assert!(s.contains("allocations"));
+        assert!(s.contains("inline locality"));
+    }
+
+    #[test]
+    fn inline_locality_rate_handles_zero() {
+        assert_eq!(Metrics::default().inline_locality_rate(), 0.0);
+        let m = Metrics {
+            inline_child_accesses: 8,
+            inline_child_hits: 6,
+            ..Default::default()
+        };
+        assert!((m.inline_locality_rate() - 0.75).abs() < 1e-12);
     }
 }

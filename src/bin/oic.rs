@@ -14,6 +14,7 @@
 //! `oic.explain.v1`) and includes per-phase wall-clock timings.
 
 use object_inlining::{baseline_default, compile, optimize_default};
+use oi_support::cli::{Arg, ArgScanner};
 use oi_support::trace::{self, TraceMode, Tracer};
 use oi_support::Json;
 use oi_vm::{run, RunResult, VmConfig};
@@ -21,7 +22,7 @@ use std::process::ExitCode;
 use std::rc::Rc;
 
 const USAGE: &str =
-    "usage: oic <run|compare|report|explain|dump> [flags] <file.oi> [Class.field]\n\
+    "usage: oic <run|compare|report|explain|dump|bench> [flags] <file.oi> [Class.field]\n\
     \n\
     run      execute the program (baseline pipeline; --inline for the\n\
     \x20        object-inlining pipeline) and print metrics\n\
@@ -30,6 +31,7 @@ const USAGE: &str =
     report   print per-field inlining decisions with reasons\n\
     explain  print the decision provenance chain for one Class.field\n\
     dump     print the IR (after --inline: the transformed program)\n\
+    bench    benchmark observatory passthrough (oic bench snapshot|compare)\n\
     \n\
     --json          machine-readable output (run, compare, report, explain)\n\
     --trace[=MODE]  stream trace events to stderr (text or json);\n\
@@ -52,29 +54,35 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut json = false;
     let mut profile = false;
     let mut trace_flag: Option<TraceMode> = None;
-    for a in args {
-        if let Some(rest) = a.strip_prefix("--") {
-            match rest {
+    let mut scanner = ArgScanner::new(args.to_vec());
+    while let Some(arg) = scanner.next() {
+        match arg? {
+            Arg::Flag { name, value: None } => match name.as_str() {
                 "inline" => inline = true,
                 "json" => json = true,
                 "profile" => profile = true,
                 "trace" => trace_flag = Some(TraceMode::Text),
-                _ => {
-                    if let Some(mode) = rest.strip_prefix("trace=") {
-                        trace_flag = Some(TraceMode::parse(mode).ok_or_else(|| {
-                            format!("unknown trace mode `{mode}` (expected text, json, or off)")
-                        })?);
-                    } else {
-                        return Err(format!("unknown flag `--{rest}`"));
-                    }
+                _ => return Err(format!("unknown flag `--{name}`")),
+            },
+            Arg::Flag {
+                name,
+                value: Some(mode),
+            } if name == "trace" => {
+                trace_flag = Some(TraceMode::parse(&mode).ok_or_else(|| {
+                    format!("unknown trace mode `{mode}` (expected text, json, or off)")
+                })?);
+            }
+            Arg::Flag {
+                name,
+                value: Some(value),
+            } => return Err(format!("unknown flag `--{name}={value}`")),
+            Arg::Positional(a) => {
+                if command.is_none() {
+                    command = Some(a);
+                } else {
+                    positionals.push(a);
                 }
             }
-        } else if a.starts_with('-') && a.len() > 1 {
-            return Err(format!("unknown flag `{a}`"));
-        } else if command.is_none() {
-            command = Some(a.clone());
-        } else {
-            positionals.push(a.clone());
         }
     }
     let command = command.ok_or("missing command")?;
@@ -170,6 +178,11 @@ fn census_json(result: &RunResult) -> Json {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `oic bench ...` forwards to the benchmark observatory (the `oi-bench`
+    // binary's snapshot/compare machinery) without re-parsing its flags.
+    if args.first().map(String::as_str) == Some("bench") {
+        return ExitCode::from(oi_bench::cli::main(&args[1..]));
+    }
     let cli = match parse_cli(&args) {
         Ok(c) => c,
         Err(msg) => return usage_error(&msg),
@@ -227,6 +240,7 @@ fn main() -> ExitCode {
                             ("output", r.output.clone().into()),
                             ("metrics", r.metrics.to_json()),
                             ("allocation_census", census_json(&r)),
+                            ("heap_census", r.heap_census.to_json()),
                         ];
                         if let Some(rep) = &report {
                             fields.push(("report", rep.to_json()));

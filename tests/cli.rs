@@ -351,6 +351,27 @@ fn main() {
     assert!(stdout.contains("rule 3"), "{stdout}");
 }
 
+/// `oic bench` forwards to the oi-bench CLI: same usage text, same
+/// strict exit-2 discipline.
+#[test]
+fn bench_passthrough_shares_the_oi_bench_cli() {
+    let out = oic().args(["bench"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("snapshot"), "{err}");
+    assert!(err.contains("compare"), "{err}");
+
+    let out = oic().args(["bench", "wat"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown command `wat` (snapshot|compare)")
+    );
+
+    let out = oic().args(["bench", "--help"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("oi.bench.v1"));
+}
+
 #[test]
 fn trace_json_streams_events_to_stderr() {
     use oi_support::Json;
