@@ -32,4 +32,13 @@ target/release/oi-bench compare BENCH_baseline_small.json target/bench_smoke_sma
 OI_BENCH_SAMPLES=2 target/release/oi-bench snapshot --size default --out target/bench_smoke_default.json
 target/release/oi-bench compare BENCH_baseline.json target/bench_smoke_default.json --threshold-pct 25
 
+echo "==> fuzz-smoke (differential oracle, fixed seeds)"
+# Deterministic adversarial fuzzing: every generated program runs under
+# both the baseline and the inlined build and must agree on output,
+# termination status, and total allocations. Fixed seeds keep the corpus
+# stable across runs; bounded runs keep the step cheap. Any divergence
+# or panic exits non-zero and fails CI.
+target/release/oic fuzz --runs 64 --seed 1
+target/release/oic fuzz --runs 64 --seed 97
+
 echo "CI green."

@@ -5,7 +5,7 @@ use crate::result::AnalysisResult;
 use crate::types::{AbstractVal, PathSeg, Tag, TagTable, TypeElem};
 use oi_ir::{BinOp, Builtin, ConstValue, Instr, LayoutId, MethodId, Program, SiteId, Terminator};
 use oi_support::trace::{self, kv};
-use oi_support::{IdxVec, Symbol};
+use oi_support::{IdxVec, OiError, Symbol};
 use std::collections::{BTreeSet, HashMap};
 
 /// Knobs controlling analysis sensitivity.
@@ -58,11 +58,27 @@ impl AnalysisConfig {
 ///
 /// Panics if the fixpoint fails to converge within `config.max_rounds`
 /// rounds (which would indicate a non-monotone transfer function bug, not a
-/// property of the input program).
+/// property of the input program). Callers that must survive hostile
+/// inputs — the fuzz harness, the soundness firewall — use
+/// [`try_analyze`] instead.
 pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisResult {
+    match try_analyze(program, config) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs the analysis to a fixpoint, returning a typed error instead of
+/// panicking when the round budget is exhausted.
+///
+/// # Errors
+///
+/// Returns [`OiError::AnalysisDivergence`] when `config.max_rounds` rounds
+/// pass without reaching a fixpoint.
+pub fn try_analyze(program: &Program, config: &AnalysisConfig) -> Result<AnalysisResult, OiError> {
     let mut engine = Engine::new(program, config);
-    engine.run();
-    engine.into_result()
+    engine.run()?;
+    Ok(engine.into_result())
 }
 
 struct Engine<'p> {
@@ -106,17 +122,17 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn run(&mut self) {
+    fn run(&mut self) -> Result<(), OiError> {
         // Seed the entry contour; `self` of a free function is nil.
         let entry = self.mcontour_for(self.program.entry, vec![AbstractVal::fresh(TypeElem::Nil)]);
         debug_assert_eq!(entry.index(), 0);
 
         for round in 0.. {
-            assert!(
-                round < self.config.max_rounds,
-                "analysis failed to converge in {} rounds",
-                self.config.max_rounds
-            );
+            if round >= self.config.max_rounds {
+                return Err(OiError::AnalysisDivergence {
+                    rounds: self.config.max_rounds,
+                });
+            }
             self.changed = false;
             let mut i = 0;
             // The contour list can grow while we iterate; newly created
@@ -141,6 +157,7 @@ impl<'p> Engine<'p> {
                 break;
             }
         }
+        Ok(())
     }
 
     /// `Class.selector` display name for trace events.
@@ -925,6 +942,23 @@ mod tests {
         // All int calls share one contour anyway, but the cap must hold in
         // general.
         assert!(r.contours_of_method[&id].len() <= 5);
+    }
+
+    #[test]
+    fn try_analyze_reports_divergence_instead_of_panicking() {
+        let p = compile("fn main() { print 1; }").unwrap();
+        let cfg = AnalysisConfig {
+            max_rounds: 0,
+            ..Default::default()
+        };
+        let err = try_analyze(&p, &cfg).expect_err("round budget of 0 cannot converge");
+        assert_eq!(err, OiError::AnalysisDivergence { rounds: 0 });
+        // A sane budget converges and matches the panicking wrapper.
+        let ok = try_analyze(&p, &AnalysisConfig::default()).unwrap();
+        assert_eq!(
+            ok.mcontours.len(),
+            analyze(&p, &Default::default()).mcontours.len()
+        );
     }
 
     #[test]

@@ -136,6 +136,7 @@ fn benchmark_row(eval: &oi_benchmarks::Evaluation, tracer: &Tracer, wall: &Measu
                     "auto",
                     (eval.report.fields_inlined + eval.report.array_sites_inlined).into(),
                 ),
+                ("retracted", eval.report.retractions.into()),
             ]),
         ),
         (
@@ -249,6 +250,14 @@ pub const GATES: &[GateSpec] = &[
     GateSpec {
         path: "effectiveness.auto",
         polarity: Polarity::HigherIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        // Firewall retractions on benchmark programs mean the optimizer
+        // shipped a decision the oracle had to withdraw: zero is the only
+        // healthy value, and any appearance is a regression.
+        path: "effectiveness.retracted",
+        polarity: Polarity::LowerIsBetter,
         threshold_pct: 0.0,
     },
     GateSpec {
@@ -707,6 +716,11 @@ mod tests {
             ] {
                 assert!(row.get(key).is_some(), "row missing {key}");
             }
+            assert_eq!(
+                lookup(row, "effectiveness.retracted"),
+                Some(0.0),
+                "benchmark programs must never need firewall retraction"
+            );
             let cost = row.get("analysis_cost").unwrap();
             assert!(lookup(row, "analysis_cost.counters.analysis.rounds").unwrap_or(0.0) > 0.0);
             assert!(cost

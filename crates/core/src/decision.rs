@@ -15,7 +15,7 @@
 use crate::assignspec::AssignSpec;
 use crate::usespec::{self, RecvInfo};
 use oi_analysis::AnalysisResult;
-use oi_ir::{ArrayLayoutKind, ClassId, LayoutId, Program, SiteId};
+use oi_ir::{ArrayLayoutKind, ClassId, Instr, LayoutId, Program, SiteId, Terminator};
 use oi_support::trace::{self, kv};
 use oi_support::Symbol;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -41,6 +41,10 @@ pub enum ReasonCode {
     /// Rule 4 (no inline recursion): the child's layout changes this
     /// pass; the field is retried on the next pass.
     LayoutInFlux,
+    /// Rule 5 (firewall retraction): the differential oracle or the IR
+    /// verifier rejected a transformed program and bisection blamed this
+    /// decision; it is withdrawn for the rest of the compilation.
+    Retracted,
 }
 
 impl ReasonCode {
@@ -52,6 +56,7 @@ impl ReasonCode {
             ReasonCode::UnsafeAssignment => "unsafe-assignment",
             ReasonCode::IdentityCompared => "identity-compared",
             ReasonCode::LayoutInFlux => "layout-in-flux",
+            ReasonCode::Retracted => "retracted",
         }
     }
 
@@ -62,6 +67,7 @@ impl ReasonCode {
             ReasonCode::AmbiguousUse => 2,
             ReasonCode::UnsafeAssignment | ReasonCode::IdentityCompared => 3,
             ReasonCode::LayoutInFlux => 4,
+            ReasonCode::Retracted => 5,
         }
     }
 
@@ -75,6 +81,9 @@ impl ReasonCode {
             ReasonCode::UnsafeAssignment => "a stored value cannot be passed by value (aliasing)",
             ReasonCode::IdentityCompared => "child objects take part in identity comparisons",
             ReasonCode::LayoutInFlux => "child class layout changes this pass (retry next pass)",
+            ReasonCode::Retracted => {
+                "withdrawn by the soundness firewall after a failed equivalence check"
+            }
         }
     }
 }
@@ -177,8 +186,130 @@ impl Default for DecisionConfig {
     }
 }
 
+/// The stable key naming one inlining decision, used by the soundness
+/// firewall's denylist: `Class.field` for object fields (declaring class)
+/// and `array@siteN` for array-element sites.
+pub fn field_decision_key(program: &Program, declaring: ClassId, field: Symbol) -> String {
+    format!(
+        "{}.{}",
+        program.interner.resolve(program.classes[declaring].name),
+        program.interner.resolve(field)
+    )
+}
+
+/// The denylist key for an array-element inlining site.
+pub fn array_decision_key(site: SiteId) -> String {
+    format!("array@{site:?}")
+}
+
+/// Rule-1 support: `true` when the constructor reached by `new class(..)`
+/// assigns `self.field` on **every** path from entry to return.
+///
+/// The contour field summaries only join the values that stores produce;
+/// they carry no "may be unassigned" element, so a conditional
+/// initialization is indistinguishable from an unconditional one at the
+/// summary level. This syntactic must-assign dataflow closes that gap: a
+/// class with no `init`, or an `init` with an unassigning path, leaves the
+/// field nil at runtime — a state inline storage cannot represent.
+fn ctor_definitely_assigns(program: &Program, class: ClassId, field: Symbol) -> bool {
+    let Some(init) = program.interner.get("init") else {
+        return false;
+    };
+    let Some(mid) = program.lookup_method(class, init) else {
+        return false; // no constructor: the field starts (and may stay) nil
+    };
+    let method = &program.methods[mid];
+
+    // Temps that definitely hold `self`: temp 0 when nothing redefines it,
+    // plus temps all of whose definitions are moves from such temps.
+    let n = method.temp_count as usize;
+    let mut defs: Vec<Vec<&Instr>> = vec![Vec::new(); n];
+    for (_, _, ins) in method.instrs() {
+        if let Some(d) = ins.dst() {
+            defs[d.index()].push(ins);
+        }
+    }
+    let mut selfish = vec![false; n];
+    selfish[method.self_temp().index()] = defs[method.self_temp().index()].is_empty();
+    loop {
+        let mut changed = false;
+        for t in 0..n {
+            if selfish[t] || defs[t].is_empty() {
+                continue;
+            }
+            let all_self_moves = defs[t]
+                .iter()
+                .all(|i| matches!(i, Instr::Move { src, .. } if selfish[src.index()]));
+            if all_self_moves {
+                selfish[t] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Forward must-assign dataflow: a block's entry state is the meet
+    // (conjunction) over its predecessors; a store to the field through a
+    // definite-self temp generates the fact. All instructions precede the
+    // terminator, so a block's exit state is the state at its `Return`.
+    let nb = method.blocks.len();
+    let mut gen = vec![false; nb];
+    for (bb, _, ins) in method.instrs() {
+        if let Instr::SetField { obj, field: f, .. } = ins {
+            if *f == field && selfish[obj.index()] {
+                gen[bb.index()] = true;
+            }
+        }
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for (bb, block) in method.blocks.iter_enumerated() {
+        for s in block.term.successors() {
+            preds[s.index()].push(bb.index());
+        }
+    }
+    let entry = method.entry().index();
+    let mut out = vec![true; nb];
+    out[entry] = gen[entry];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let inb = b != entry && preds[b].iter().all(|&p| out[p]);
+            let o = inb || gen[b];
+            if o != out[b] {
+                out[b] = o;
+                changed = true;
+            }
+        }
+    }
+    method
+        .blocks
+        .iter_enumerated()
+        .all(|(bb, block)| !matches!(block.term, Terminator::Return(_)) || out[bb.index()])
+}
+
 /// Computes the inlining plan for one transformation pass.
 pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfig) -> InlinePlan {
+    decide_denying(program, result, config, &BTreeSet::new())
+}
+
+/// [`decide`], minus an explicit denylist of decision keys (see
+/// [`field_decision_key`] / [`array_decision_key`]).
+///
+/// Denied decisions are filtered out *before* the grouping step and the
+/// demotion fixpoint, so rules that depend on the planned set — use
+/// agreement across a hierarchy, divergent-sibling coverage — see the
+/// retraction and stay sound. Each denied decision that would otherwise
+/// have been considered is recorded as a [`ReasonCode::Retracted`]
+/// rejection for provenance.
+pub fn decide_denying(
+    program: &Program,
+    result: &AnalysisResult,
+    config: &DecisionConfig,
+    denied: &BTreeSet<String>,
+) -> InlinePlan {
     let mut plan = InlinePlan::default();
 
     // ---- gather per-(concrete class, field) child information -------------
@@ -231,6 +362,14 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
                 if stores_objects {
                     object_fields_seen.insert((program.fields[fid].owner, fname));
                 }
+                // Rule 1, definite assignment: the contour summary joins
+                // stored values flow-insensitively, so a store inside a
+                // conditional looks identical to an unconditional one. A
+                // field the constructor may leave unassigned still holds
+                // nil on some path, which inline storage cannot represent.
+                if ok && child.is_some() && !ctor_definitely_assigns(program, class, fname) {
+                    ok = false;
+                }
                 if ok {
                     if let Some(d) = child {
                         if !program.layout_of(d).is_empty() {
@@ -239,6 +378,34 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
                     }
                 }
             }
+        }
+    }
+
+    // ---- firewall denylist -------------------------------------------------
+    // Retractions are applied to the candidate set, before grouping and
+    // the demotion fixpoint, so downstream agreement rules account for
+    // them exactly as they do for any other non-candidate field.
+    if !denied.is_empty() {
+        let mut retracted: BTreeSet<String> = BTreeSet::new();
+        candidate_child.retain(|&(class, fname), _| {
+            let Some(fid) = program.field_of(class, fname) else {
+                return true;
+            };
+            let key = field_decision_key(program, program.fields[fid].owner, fname);
+            if denied.contains(&key) {
+                retracted.insert(key);
+                false
+            } else {
+                true
+            }
+        });
+        for key in retracted {
+            push_rejection(
+                &mut plan.rejected,
+                key,
+                ReasonCode::Retracted,
+                "withdrawn after a failed equivalence or verification check".to_owned(),
+            );
         }
     }
 
@@ -406,6 +573,15 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
                         })
                 });
             if consistent && !program.layout_of(child).is_empty() {
+                if denied.contains(&array_decision_key(site)) {
+                    push_rejection(
+                        &mut plan.rejected,
+                        array_decision_key(site),
+                        ReasonCode::Retracted,
+                        "withdrawn after a failed equivalence or verification check".to_owned(),
+                    );
+                    continue;
+                }
                 plan.array_sites.insert(
                     site,
                     ArrayEntry {
@@ -651,13 +827,19 @@ pub fn decide(program: &Program, result: &AnalysisResult, config: &DecisionConfi
     // name the rule that dropped them.
     for (declaring, fname) in &object_fields_seen {
         if !groups.contains_key(&(*declaring, *fname)) {
+            let key = field_decision_key(program, *declaring, *fname);
+            // Retracted fields already carry rule-5 provenance; do not
+            // overwrite it with a rule-1 verdict.
+            if plan
+                .rejected
+                .iter()
+                .any(|r| r.field == key && r.code == ReasonCode::Retracted)
+            {
+                continue;
+            }
             push_rejection(
                 &mut plan.rejected,
-                format!(
-                    "{}.{}",
-                    program.interner.resolve(program.classes[*declaring].name),
-                    program.interner.resolve(*fname)
-                ),
+                key,
                 ReasonCode::ImpreciseContent,
                 "stores of nil, primitives, or multiple classes reach the field".to_owned(),
             );
@@ -688,11 +870,7 @@ fn push_rejection(out: &mut Vec<Rejection>, field: String, code: ReasonCode, det
 }
 
 fn describe_entry(program: &Program, e: &PlanEntry) -> String {
-    format!(
-        "{}.{}",
-        program.interner.resolve(program.classes[e.declaring].name),
-        program.interner.resolve(e.field)
-    )
+    field_decision_key(program, e.declaring, e.field)
 }
 
 /// Counts, per declared field, whether any object contour ever stores an
@@ -757,6 +935,55 @@ mod tests {
     }
 
     #[test]
+    fn denied_field_is_retracted_with_provenance() {
+        let p = compile(RECT).unwrap();
+        let r = analyze(&p, &AnalysisConfig::default());
+        let denied: BTreeSet<String> = ["Rect.ll".to_owned()].into_iter().collect();
+        let plan = decide_denying(&p, &r, &DecisionConfig::default(), &denied);
+        let rect = p.class_by_name("Rect").unwrap();
+        let ll = p.interner.get("ll").unwrap();
+        assert!(
+            plan.entry_for(rect, ll).is_none(),
+            "denied field must not plan"
+        );
+        assert!(
+            plan.rejected
+                .iter()
+                .any(|r| r.field == "Rect.ll" && r.code == ReasonCode::Retracted),
+            "{:?}",
+            plan.rejected
+        );
+        // The sibling field is unaffected.
+        let ur = p.interner.get("ur").unwrap();
+        assert!(plan.entry_for(rect, ur).is_some(), "{:?}", plan.rejected);
+    }
+
+    #[test]
+    fn denied_array_site_is_retracted() {
+        let src = "class P { field x; field y; method init(a, b) { self.x = a; self.y = b; } }
+             fn main() {
+               var a = array(10);
+               var i = 0;
+               while (i < 10) { a[i] = new P(i, i); i = i + 1; }
+               var s = 0; i = 0;
+               while (i < 10) { s = s + a[i].x; i = i + 1; }
+               print s;
+             }";
+        let p = compile(src).unwrap();
+        let r = analyze(&p, &AnalysisConfig::default());
+        let plan = decide(&p, &r, &DecisionConfig::default());
+        assert_eq!(plan.array_sites.len(), 1);
+        let site = *plan.array_sites.keys().next().unwrap();
+        let denied: BTreeSet<String> = [array_decision_key(site)].into_iter().collect();
+        let plan = decide_denying(&p, &r, &DecisionConfig::default(), &denied);
+        assert!(plan.array_sites.is_empty(), "{:?}", plan.array_sites);
+        assert!(plan
+            .rejected
+            .iter()
+            .any(|r| r.code == ReasonCode::Retracted));
+    }
+
+    #[test]
     fn nilable_field_is_not_planned() {
         let (_, plan) = plan_for(
             "class P { field x; method init(a) { self.x = a; } }
@@ -765,6 +992,66 @@ mod tests {
                var c1 = new C(new P(1));
                var c2 = new C(nil);
                print 1;
+             }",
+        );
+        assert!(plan.entries.is_empty(), "{:?}", plan.entries);
+    }
+
+    #[test]
+    fn conditionally_initialized_field_is_not_planned() {
+        // The store dominates nothing: when the branch is not taken the
+        // field stays nil, which inline storage cannot represent. The
+        // contour summary alone cannot see this (it joins stored values
+        // only), so this exercises the definite-assignment check.
+        let (_, plan) = plan_for(
+            "class P { field x; method init(a) { self.x = a; } }
+             class C { field d;
+               method init(a) { if (a > 0) { self.d = new P(a); } }
+               method read() { if (self.d === nil) { return 0 - 1; } return self.d.x; }
+             }
+             fn main() {
+               print new C(1).read();
+               print new C(0 - 5).read();
+             }",
+        );
+        assert!(plan.entries.is_empty(), "{:?}", plan.entries);
+        assert!(plan
+            .rejected
+            .iter()
+            .any(|r| r.field == "C.d" && r.code == ReasonCode::ImpreciseContent));
+    }
+
+    #[test]
+    fn unconditionally_initialized_field_stays_planned() {
+        // Both arms assign: the meet over paths is "assigned", so the
+        // definite-assignment check must not reject it.
+        let (_, plan) = plan_for(
+            "class P { field x; method init(a) { self.x = a; } }
+             class C { field d;
+               method init(a) {
+                 if (a > 0) { self.d = new P(a); } else { self.d = new P(0 - a); }
+               }
+             }
+             fn main() {
+               var c = new C(3);
+               print c.d.x;
+             }",
+        );
+        assert_eq!(plan.entries.len(), 1, "rejected: {:?}", plan.rejected);
+    }
+
+    #[test]
+    fn field_assigned_only_by_caller_is_not_planned() {
+        // No constructor at all: the object is born with a nil field and
+        // only the caller fills it in afterwards. Definite assignment in
+        // the constructor is the boundary the analysis can certify.
+        let (_, plan) = plan_for(
+            "class P { field x; method init(a) { self.x = a; } }
+             class C { field d; }
+             fn main() {
+               var c = new C();
+               c.d = new P(7);
+               print c.d.x;
              }",
         );
         assert!(plan.entries.is_empty(), "{:?}", plan.entries);

@@ -1,0 +1,545 @@
+//! The soundness firewall: a differential oracle plus graceful
+//! per-decision retraction.
+//!
+//! Dolby's transformation is only legal when use specialization (§4.1) and
+//! assignment specialization (§4.2) jointly prove that inlining cannot
+//! change observable aliasing. This reproduction has no mechanized proof of
+//! those analyses, so the firewall checks each compiled program
+//! *empirically*: it runs the baseline and the inlined build under the
+//! instrumented VM and compares observable behavior — printed output,
+//! termination status, and a layout-independent allocation census. When the
+//! builds disagree (or the transformed IR fails verification), it bisects
+//! over the applied inlining decisions, retracts the culprit with rule-5
+//! ([`ReasonCode::Retracted`]) provenance, re-runs the transformation, and
+//! returns a correct program instead of aborting — precision degrades,
+//! soundness does not.
+//!
+//! [`ReasonCode::Retracted`]: crate::decision::ReasonCode::Retracted
+
+use crate::pipeline::{try_baseline, try_optimize_denying, InlineConfig, Optimized, PipelineError};
+use oi_ir::Program;
+use oi_support::trace::{self, kv};
+use oi_vm::{run, RunResult, VmConfig, VmError};
+use std::collections::BTreeSet;
+
+/// A deliberate miscompilation seam for testing the oracle.
+///
+/// The firewall exists to catch transformation bugs, but a healthy tree
+/// has none to catch — so tests inject one here. The fault is applied to
+/// every rebuilt candidate program (deterministically), exactly as a real
+/// restructuring bug would be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Recompute the first applicable object layout's slots as if the
+    /// child's fields were spliced contiguously from the replacement slot
+    /// — the classic §5.2 bug of using the child's local field offsets
+    /// instead of the container's splice positions. When the true layout
+    /// is non-contiguous (a sibling's storage sits between the spliced
+    /// fields) this makes two children share a container slot, which no
+    /// per-layout consistency check can see but the oracle can.
+    CompactFirstLayoutSlots,
+}
+
+/// Firewall configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FirewallConfig {
+    /// VM limits for the oracle runs. Keep the budgets tight when driving
+    /// the firewall from a fuzzer.
+    pub vm: VmConfig,
+    /// Upper bound on retraction rounds (each round retracts at least one
+    /// decision, so this also bounds pipeline re-runs).
+    pub max_retractions: usize,
+    /// Test-only fault injection; `None` in production.
+    pub fault: Option<Fault>,
+}
+
+impl Default for FirewallConfig {
+    fn default() -> Self {
+        Self {
+            vm: VmConfig::default(),
+            max_retractions: 32,
+            fault: None,
+        }
+    }
+}
+
+/// One observable disagreement between the baseline and inlined builds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Divergence {
+    /// Printed output differs.
+    Output {
+        /// What the baseline printed.
+        baseline: String,
+        /// What the inlined build printed.
+        optimized: String,
+    },
+    /// Termination status differs (ok vs. error, or different errors).
+    Status {
+        /// Baseline status description.
+        baseline: String,
+        /// Inlined-build status description.
+        optimized: String,
+    },
+    /// The inlined build allocated *more* objects in total than the
+    /// baseline — inlining and scalar replacement only ever merge or
+    /// remove allocations, so growth is layout confusion, not
+    /// optimization. (The check is deliberately total, not per-class:
+    /// inlining legally *shifts* allocations between classes — an inlined
+    /// child whose interior escapes can materialize a container the
+    /// baseline scalar-replaced.)
+    Census {
+        /// Always `"<total>"` — kept as a field for schema stability.
+        class: String,
+        /// Baseline total allocation count.
+        baseline: u64,
+        /// Inlined-build total allocation count.
+        optimized: u64,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Output {
+                baseline,
+                optimized,
+            } => write!(
+                f,
+                "output mismatch: baseline {:?} vs inlined {:?}",
+                truncated(baseline),
+                truncated(optimized)
+            ),
+            Divergence::Status {
+                baseline,
+                optimized,
+            } => write!(
+                f,
+                "status mismatch: baseline {baseline} vs inlined {optimized}"
+            ),
+            Divergence::Census {
+                class,
+                baseline,
+                optimized,
+            } => write!(
+                f,
+                "allocation census mismatch for {class}: baseline {baseline} vs inlined {optimized}"
+            ),
+        }
+    }
+}
+
+fn truncated(s: &str) -> String {
+    const LIMIT: usize = 120;
+    if s.len() <= LIMIT {
+        s.to_owned()
+    } else {
+        let cut = (0..=LIMIT)
+            .rev()
+            .find(|&i| s.is_char_boundary(i))
+            .unwrap_or(0);
+        format!("{}…", &s[..cut])
+    }
+}
+
+/// The firewall's verdict on one program.
+#[derive(Clone, Debug)]
+pub struct Guarded {
+    /// The (possibly degraded) optimized build. When every decision had to
+    /// be retracted this is effectively the baseline transformation.
+    pub optimized: Optimized,
+    /// The baseline build the oracle compared against.
+    pub baseline_program: Program,
+    /// The baseline run the oracle compared against.
+    pub baseline_run: Result<RunResult, VmError>,
+    /// Decision keys retracted, in retraction order. Empty on a healthy
+    /// compile.
+    pub retracted: Vec<String>,
+    /// Divergences still observable in the returned program. Non-empty
+    /// only when retraction could not repair the disagreement (a bug
+    /// outside the decision set, e.g. in devirtualization) — the caller
+    /// must fall back to the baseline program.
+    pub divergences: Vec<Divergence>,
+}
+
+impl Guarded {
+    /// `true` when the returned optimized program is observably equivalent
+    /// to the baseline.
+    pub fn is_equivalent(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Compares two runs and lists every observable divergence.
+///
+/// Runs that end in a resource limit (instruction budget, stack depth,
+/// heap words) are indeterminate: a legal transformation shifts resource
+/// use, so hitting a budget on either side proves nothing and yields no
+/// divergence.
+pub fn compare_runs(
+    base: &Result<RunResult, VmError>,
+    opt: &Result<RunResult, VmError>,
+) -> Vec<Divergence> {
+    if matches!(base, Err(e) if e.is_resource_limit())
+        || matches!(opt, Err(e) if e.is_resource_limit())
+    {
+        return Vec::new();
+    }
+    match (base, opt) {
+        (Ok(b), Ok(o)) => {
+            let mut out = Vec::new();
+            if b.output != o.output {
+                out.push(Divergence::Output {
+                    baseline: b.output.clone(),
+                    optimized: o.output.clone(),
+                });
+            }
+            out.extend(compare_census(b, o));
+            out
+        }
+        (Err(b), Err(o)) => {
+            if b == o {
+                Vec::new()
+            } else {
+                vec![Divergence::Status {
+                    baseline: format!("error: {b}"),
+                    optimized: format!("error: {o}"),
+                }]
+            }
+        }
+        (Ok(_), Err(o)) => vec![Divergence::Status {
+            baseline: "ok".to_owned(),
+            optimized: format!("error: {o}"),
+        }],
+        (Err(b), Ok(_)) => vec![Divergence::Status {
+            baseline: format!("error: {b}"),
+            optimized: "ok".to_owned(),
+        }],
+    }
+}
+
+/// Layout-independent census check: the inlined build may never allocate
+/// *more* objects in total than the baseline. Inline allocation and
+/// scalar replacement merge or remove allocations; nothing adds them.
+/// The comparison is total rather than per-class because inlining shifts
+/// allocations between classes legally (see [`Divergence::Census`]).
+fn compare_census(base: &RunResult, opt: &RunResult) -> Vec<Divergence> {
+    let total = |r: &RunResult| r.allocation_census.iter().map(|(_, n)| *n).sum::<u64>();
+    let (b, o) = (total(base), total(opt));
+    if o > b {
+        vec![Divergence::Census {
+            class: "<total>".to_owned(),
+            baseline: b,
+            optimized: o,
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Builds the inlined program under a denylist and applies the configured
+/// fault, if any.
+fn build(
+    program: &Program,
+    config: &InlineConfig,
+    fw: &FirewallConfig,
+    denied: &BTreeSet<String>,
+) -> Result<Optimized, PipelineError> {
+    let mut opt = try_optimize_denying(program, config, denied)?;
+    if let Some(Fault::CompactFirstLayoutSlots) = fw.fault {
+        for layout in opt.program.layouts.iter_mut() {
+            let max = layout.slots.iter().copied().max().unwrap_or(0);
+            let compact: Vec<usize> = (0..layout.slots.len())
+                .map(|i| layout.slots.first().copied().unwrap_or(0) + i)
+                .collect();
+            // Only corrupt a layout where the compacted form is (a) different
+            // — i.e. the true layout is non-contiguous — and (b) still in
+            // bounds for the container (`max` is a known-valid slot).
+            if layout.array_kind.is_none()
+                && layout.slots.len() >= 2
+                && compact != layout.slots
+                && *compact.last().expect("len >= 2") <= max
+            {
+                layout.slots = compact;
+                break;
+            }
+        }
+    }
+    Ok(opt)
+}
+
+/// Applied decisions of a build that are still eligible for retraction.
+fn candidates(opt: &Optimized, denied: &BTreeSet<String>) -> Vec<String> {
+    opt.decisions
+        .iter()
+        .filter(|d| !denied.contains(*d))
+        .cloned()
+        .collect()
+}
+
+/// Runs the full pipeline behind the differential oracle.
+///
+/// On a healthy compile this is `baseline` + `optimize` + two VM runs. On
+/// a divergence (or an IR verification failure in the transformed build),
+/// the firewall bisects the applied decision set to isolate a culprit,
+/// permanently denies it, and rebuilds, repeating until the oracle passes
+/// or the decision set is exhausted.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] only for failures retraction cannot reach: a
+/// diverging analysis, an invalid *baseline* build, or a transformed build
+/// that stays invalid with every decision denied.
+pub fn optimize_guarded(
+    program: &Program,
+    config: &InlineConfig,
+    fw: &FirewallConfig,
+) -> Result<Guarded, PipelineError> {
+    let baseline_program = try_baseline(program, &config.opt)?;
+    let baseline_run = run(&baseline_program, &fw.vm);
+
+    let mut denied: BTreeSet<String> = BTreeSet::new();
+    let mut retracted: Vec<String> = Vec::new();
+
+    // `healthy` = builds, verifies, and the oracle finds no divergence.
+    // Returning the outcome lets the top loop reuse the probe's work.
+    let probe = |denied: &BTreeSet<String>| -> Result<(Optimized, Vec<Divergence>), PipelineError> {
+        let opt = build(program, config, fw, denied)?;
+        let opt_run = run(&opt.program, &fw.vm);
+        let divs = compare_runs(&baseline_run, &opt_run);
+        Ok((opt, divs))
+    };
+
+    // Final (optimized build, remaining divergences) pair for the Guarded
+    // result; `None` means the retraction budget ran out mid-bisection.
+    let mut settled: Option<(Optimized, Vec<Divergence>)> = None;
+    for round in 0..fw.max_retractions.max(1) {
+        // Candidate set for retraction this round: from the build itself
+        // when it runs, or from the InvalidIr error when it does not.
+        let all: Vec<String> = match probe(&denied) {
+            Ok((opt, divs)) => {
+                if divs.is_empty() {
+                    settled = Some((opt, Vec::new()));
+                    break;
+                }
+                let all = candidates(&opt, &denied);
+                if all.is_empty() {
+                    // Divergence with zero retractable decisions: the bug is
+                    // outside the decision set — surface it, don't loop.
+                    settled = Some((opt, divs));
+                    break;
+                }
+                all
+            }
+            Err(PipelineError::InvalidIr {
+                stage,
+                errors,
+                decisions,
+            }) => {
+                let all: Vec<String> = decisions
+                    .iter()
+                    .filter(|d| !denied.contains(*d))
+                    .cloned()
+                    .collect();
+                if all.is_empty() {
+                    // Even the fully-denied build fails verification —
+                    // nothing left to retract; propagate the error.
+                    return Err(PipelineError::InvalidIr {
+                        stage,
+                        errors,
+                        decisions,
+                    });
+                }
+                all
+            }
+            Err(e) => return Err(e),
+        };
+        let mut healthy = |extra: &[String]| -> bool {
+            let mut trial = denied.clone();
+            trial.extend(extra.iter().cloned());
+            matches!(probe(&trial), Ok((_, divs)) if divs.is_empty())
+        };
+        // Precondition for the split search: denying every candidate heals.
+        let culprits: Vec<String> = if healthy(&all) {
+            isolate(&mut healthy, all)
+        } else {
+            // No subset of decisions explains the divergence (the fault is
+            // elsewhere, e.g. devirt). Deny everything; the next round
+            // returns the maximally-degraded program with its divergences.
+            all
+        };
+        for c in &culprits {
+            trace::event(
+                "firewall.retract",
+                vec![kv("decision", c.clone()), kv("round", round)],
+            );
+        }
+        denied.extend(culprits.iter().cloned());
+        retracted.extend(culprits);
+    }
+    let (opt, divergences) = match settled {
+        Some(pair) => pair,
+        // Retraction budget exhausted; return whatever the final denylist
+        // produces, divergences and all.
+        None => probe(&denied)?,
+    };
+    let mut guarded = Guarded {
+        optimized: opt,
+        baseline_program,
+        baseline_run,
+        retracted,
+        divergences,
+    };
+    guarded.optimized.report.retractions = guarded.retracted.len();
+    Ok(guarded)
+}
+
+/// Greedy delta-debugging over the decision set: repeatedly halve,
+/// recursing into whichever half heals the program alone. When neither
+/// half alone heals (multiple interacting culprits), the whole current set
+/// is retracted — coarse, but sound and terminating.
+fn isolate(healthy: &mut impl FnMut(&[String]) -> bool, mut set: Vec<String>) -> Vec<String> {
+    while set.len() > 1 {
+        let mid = set.len() / 2;
+        let (a, b) = (set[..mid].to_vec(), set[mid..].to_vec());
+        if healthy(&a) {
+            set = a;
+        } else if healthy(&b) {
+            set = b;
+        } else {
+            return set;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_ir::lower::compile;
+
+    // The global store keeps the Rect on the heap (otherwise scalar
+    // replacement erases every allocation and the layout table is never
+    // consulted, making layout faults unobservable).
+    const RECT: &str = "
+        global KEEP;
+        class Point { field x; field y;
+          method init(a, b) { self.x = a; self.y = b; }
+        }
+        class Rect { field ll; field ur;
+          method init(a, b) { self.ll = new Point(a, a + 1); self.ur = new Point(b, b + 3); }
+          method span() { return self.ur.x - self.ll.x + self.ur.y - self.ll.y; }
+        }
+        fn main() {
+          var r = new Rect(1, 10);
+          KEEP = r;
+          print KEEP.ll.x;
+          print KEEP.ll.y;
+          print KEEP.span();
+        }";
+
+    #[test]
+    fn healthy_program_passes_without_retraction() {
+        let p = compile(RECT).unwrap();
+        let g = optimize_guarded(&p, &InlineConfig::default(), &FirewallConfig::default()).unwrap();
+        assert!(g.is_equivalent());
+        assert!(g.retracted.is_empty());
+        assert_eq!(g.optimized.report.retractions, 0);
+        assert_eq!(g.optimized.report.fields_inlined, 2);
+    }
+
+    #[test]
+    fn injected_layout_bug_is_caught_and_retracted() {
+        let p = compile(RECT).unwrap();
+        let fw = FirewallConfig {
+            fault: Some(Fault::CompactFirstLayoutSlots),
+            ..Default::default()
+        };
+        let g = optimize_guarded(&p, &InlineConfig::default(), &fw).unwrap();
+        // The oracle caught the miscompilation and the pipeline degraded
+        // instead of aborting: the surviving program is equivalent.
+        assert!(g.is_equivalent(), "divergences: {:?}", g.divergences);
+        assert!(
+            !g.retracted.is_empty(),
+            "the culprit decision must be retracted"
+        );
+        assert_eq!(g.optimized.report.retractions, g.retracted.len());
+        // The final build really runs like the baseline.
+        let base = g.baseline_run.as_ref().unwrap();
+        let opt = run(&g.optimized.program, &VmConfig::default()).unwrap();
+        assert_eq!(base.output, opt.output);
+        // Rule-5 provenance names the retracted decision.
+        assert!(
+            g.optimized
+                .report
+                .provenance
+                .iter()
+                .any(|s| s.code == "retracted" && s.rule == Some(5)),
+            "{:?}",
+            g.optimized.report.provenance
+        );
+    }
+
+    #[test]
+    fn retraction_is_minimal_for_a_single_culprit() {
+        // Two independently inlinable fields; the fault corrupts exactly
+        // one layout, so bisection must retract one decision and keep the
+        // other inlined.
+        let p = compile(RECT).unwrap();
+        let fw = FirewallConfig {
+            fault: Some(Fault::CompactFirstLayoutSlots),
+            ..Default::default()
+        };
+        let g = optimize_guarded(&p, &InlineConfig::default(), &fw).unwrap();
+        assert_eq!(g.retracted.len(), 1, "retracted: {:?}", g.retracted);
+        assert_eq!(
+            g.optimized.report.fields_inlined, 1,
+            "the innocent field stays inlined: {:?}",
+            g.optimized.report.outcomes
+        );
+    }
+
+    #[test]
+    fn oracle_accepts_matching_runtime_errors() {
+        // Both builds fail the same way at runtime; that is equivalence.
+        let p = compile("fn main() { var x = nil; print x.f; }").unwrap();
+        let g = optimize_guarded(&p, &InlineConfig::default(), &FirewallConfig::default()).unwrap();
+        assert!(g.is_equivalent());
+        assert!(g.baseline_run.is_err());
+    }
+
+    #[test]
+    fn census_regression_is_a_divergence() {
+        let mk = |census: Vec<(&str, u64)>| RunResult {
+            output: String::new(),
+            metrics: Default::default(),
+            allocation_census: census.into_iter().map(|(c, n)| (c.to_owned(), n)).collect(),
+            heap_census: Default::default(),
+            profile: None,
+        };
+        let base = Ok(mk(vec![("Point", 2), ("<array>", 1)]));
+        // Fewer or shifted allocations: not a divergence (inlining merges
+        // allocations and can move them between classes).
+        let opt = Ok(mk(vec![("Rect", 1), ("<array-inline>", 1)]));
+        assert_eq!(compare_runs(&base, &opt), vec![]);
+        // More allocations in total than the baseline: layout confusion.
+        let opt = Ok(mk(vec![("Point", 4)]));
+        let divs = compare_runs(&base, &opt);
+        assert!(
+            matches!(&divs[..], [Divergence::Census { class, baseline: 3, optimized: 4 }] if class == "<total>"),
+            "{divs:?}"
+        );
+    }
+
+    #[test]
+    fn resource_limits_are_indeterminate() {
+        let base = Err(VmError::InstructionLimit);
+        let opt = Ok(RunResult {
+            output: "1\n".into(),
+            metrics: Default::default(),
+            allocation_census: vec![],
+            heap_census: Default::default(),
+            profile: None,
+        });
+        assert_eq!(compare_runs(&base, &opt), vec![]);
+    }
+}

@@ -52,6 +52,7 @@
 pub mod assignspec;
 pub mod decision;
 pub mod devirt;
+pub mod firewall;
 pub mod pipeline;
 pub mod report;
 pub mod restructure;
@@ -59,5 +60,6 @@ pub mod rewrite;
 pub mod usespec;
 
 pub use decision::{InlinePlan, PlanEntry};
+pub use firewall::{optimize_guarded, Divergence, FirewallConfig, Guarded};
 pub use pipeline::{baseline, optimize, InlineConfig, Optimized};
 pub use report::EffectivenessReport;

@@ -10,12 +10,48 @@
 //! framework (without tag sensitivity), devirtualization and cleanups, but
 //! no inline allocation. Figure 17 normalizes against it.
 
-use crate::decision::{decide, DecisionConfig, InlinePlan};
+use crate::decision::{
+    array_decision_key, decide_denying, field_decision_key, DecisionConfig, InlinePlan,
+};
 use crate::report::EffectivenessReport;
-use oi_analysis::{analyze, AnalysisConfig};
+use oi_analysis::{try_analyze, AnalysisConfig};
 use oi_ir::opt::{optimize as run_opts, OptConfig};
 use oi_ir::{ArrayLayoutKind, Program};
 use oi_support::trace::{self, kv};
+use oi_support::OiError;
+use std::collections::BTreeSet;
+
+/// A recoverable pipeline failure: the graceful-degradation path used by
+/// the soundness firewall and the fuzz harness instead of panicking.
+#[derive(Clone, Debug)]
+pub enum PipelineError {
+    /// The abstract interpretation did not converge.
+    Analysis(OiError),
+    /// A transformation stage produced IR that fails verification.
+    InvalidIr {
+        /// Stage that produced the bad program (`"transform"`,
+        /// `"finalize"`, `"baseline"`).
+        stage: &'static str,
+        /// Rendered verifier diagnostics.
+        errors: Vec<String>,
+        /// Decision keys applied up to (and including) the failing pass —
+        /// the candidate set the firewall bisects over.
+        decisions: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Analysis(e) => write!(f, "{e}"),
+            PipelineError::InvalidIr { stage, errors, .. } => {
+                write!(f, "{stage} produced invalid IR: {}", errors.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Runs `f` under a timed trace span that records the program's
 /// instruction count before and after the stage.
@@ -74,6 +110,10 @@ pub struct Optimized {
     pub report: EffectivenessReport,
     /// How many passes performed a transformation.
     pub passes: usize,
+    /// Stable keys of every inlining decision that was applied, in
+    /// application order — the set the soundness firewall bisects over
+    /// when the differential oracle rejects this program.
+    pub decisions: Vec<String>,
 }
 
 /// Runs the full object-inlining pipeline on a copy of `program`.
@@ -81,8 +121,40 @@ pub struct Optimized {
 /// # Panics
 ///
 /// Panics if the transformation produces IR that fails verification — a
-/// bug in the transformation, not a property of the input.
+/// bug in the transformation, not a property of the input. Callers that
+/// must survive such bugs (the soundness firewall, the fuzz harness) use
+/// [`try_optimize`] / [`try_optimize_denying`] instead.
 pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
+    match try_optimize(program, config) {
+        Ok(o) => o,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Non-panicking [`optimize`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the analysis diverges or a
+/// transformation pass produces IR that fails verification.
+pub fn try_optimize(program: &Program, config: &InlineConfig) -> Result<Optimized, PipelineError> {
+    try_optimize_denying(program, config, &BTreeSet::new())
+}
+
+/// [`try_optimize`] with a firewall denylist: decisions named in `denied`
+/// (see [`field_decision_key`] / [`array_decision_key`]) are withdrawn
+/// from every pass and recorded as rule-5 retractions in the report.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the analysis diverges or a
+/// transformation pass produces IR that fails verification; the error
+/// carries the decision keys applied so far so the caller can bisect.
+pub fn try_optimize_denying(
+    program: &Program,
+    config: &InlineConfig,
+    denied: &BTreeSet<String>,
+) -> Result<Optimized, PipelineError> {
     let mut p = program.clone();
     let mut report = EffectivenessReport::default();
     let (ideal, cxx) = EffectivenessReport::count_annotations(&p);
@@ -97,20 +169,21 @@ pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
     };
 
     let mut passes = 0;
-    let mut inlined_fields: std::collections::BTreeSet<String> = Default::default();
+    let mut inlined_fields: BTreeSet<String> = Default::default();
+    let mut decisions: Vec<String> = Vec::new();
     let mut first_pass_total = None;
     for pass in 0..config.max_passes.max(1) {
         let _pass_span = trace::span_with("pipeline.pass", vec![kv("pass", pass)]);
         let result = {
             let _s = trace::span("pipeline.analyze");
-            analyze(&p, &config.analysis)
+            try_analyze(&p, &config.analysis).map_err(PipelineError::Analysis)?
         };
         if first_pass_total.is_none() {
             first_pass_total = Some(crate::decision::object_holding_fields(&p, &result).len());
         }
         let mut plan: InlinePlan = {
             let _s = trace::span("pipeline.decide");
-            decide(&p, &result, &decision_config)
+            decide_denying(&p, &result, &decision_config, denied)
         };
         if trace::is_enabled() {
             trace::event(
@@ -143,11 +216,15 @@ pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
             break;
         }
         for e in &plan.entries {
-            inlined_fields.insert(format!(
-                "{}.{}",
-                p.interner.resolve(p.classes[e.declaring].name),
-                p.interner.resolve(e.field)
-            ));
+            let key = field_decision_key(&p, e.declaring, e.field);
+            if inlined_fields.insert(key.clone()) {
+                decisions.push(key);
+            }
+        }
+        for (site, a) in &plan.array_sites {
+            if !a.pre_existing {
+                decisions.push(array_decision_key(*site));
+            }
         }
         report.array_sites_inlined += plan
             .array_sites
@@ -163,9 +240,7 @@ pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
         });
         {
             let _s = trace::span("pipeline.verify");
-            if let Err(errors) = oi_ir::verify::verify(&p) {
-                panic!("object inlining produced invalid IR: {errors:?}");
-            }
+            verified(&p, "transform", &decisions)?;
         }
         staged("pipeline.cleanup", &mut p, |p| run_opts(p, &config.opt));
         passes = pass + 1;
@@ -176,46 +251,81 @@ pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
         let _s = trace::span("pipeline.finalize");
         let result = {
             let _s = trace::span("pipeline.analyze");
-            analyze(&p, &config.analysis)
+            try_analyze(&p, &config.analysis).map_err(PipelineError::Analysis)?
         };
         staged("pipeline.devirt", &mut p, |p| {
             crate::devirt::devirtualize(p, &result)
         });
         staged("pipeline.cleanup", &mut p, |p| run_opts(p, &config.opt));
         let _v = trace::span("pipeline.verify");
-        if let Err(errors) = oi_ir::verify::verify(&p) {
-            panic!("final cleanup produced invalid IR: {errors:?}");
-        }
+        verified(&p, "finalize", &decisions)?;
     }
 
     report.total_object_fields = first_pass_total.unwrap_or(0);
     report.fields_inlined = inlined_fields.len();
-    Optimized {
+    report.retractions = report
+        .provenance
+        .iter()
+        .filter(|s| s.code == "retracted")
+        .map(|s| s.field.as_str())
+        .collect::<BTreeSet<_>>()
+        .len();
+    Ok(Optimized {
         program: p,
         report,
         passes,
+        decisions,
+    })
+}
+
+/// Checks `p` against the IR verifier, turning failures into a
+/// [`PipelineError::InvalidIr`] carrying the decisions applied so far.
+fn verified(p: &Program, stage: &'static str, decisions: &[String]) -> Result<(), PipelineError> {
+    if let Err(errors) = oi_ir::verify::verify(p) {
+        return Err(PipelineError::InvalidIr {
+            stage,
+            errors: errors.into_iter().map(|e| e.message).collect(),
+            decisions: decisions.to_vec(),
+        });
     }
+    Ok(())
 }
 
 /// The comparison configuration: identical analysis framework and cleanups,
 /// no object inlining.
+///
+/// # Panics
+///
+/// Panics if the pipeline produces IR that fails verification; see
+/// [`try_baseline`] for the non-panicking form.
 pub fn baseline(program: &Program, opt: &OptConfig) -> Program {
+    match try_baseline(program, opt) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Non-panicking [`baseline`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the analysis diverges or the cleaned-up
+/// program fails verification.
+pub fn try_baseline(program: &Program, opt: &OptConfig) -> Result<Program, PipelineError> {
     let mut p = program.clone();
     for round in 0..2usize {
         let _s = trace::span_with("pipeline.baseline_round", vec![kv("round", round)]);
         let result = {
             let _s = trace::span("pipeline.analyze");
-            analyze(&p, &AnalysisConfig::without_tags())
+            try_analyze(&p, &AnalysisConfig::without_tags()).map_err(PipelineError::Analysis)?
         };
         staged("pipeline.devirt", &mut p, |p| {
             crate::devirt::devirtualize(p, &result)
         });
         staged("pipeline.cleanup", &mut p, |p| run_opts(p, opt));
     }
-    if let Err(errors) = oi_ir::verify::verify(&p) {
-        panic!("baseline pipeline produced invalid IR: {errors:?}");
-    }
-    p
+    verified(&p, "baseline", &[])?;
+    Ok(p)
 }
 
 fn record_outcomes(p: &Program, plan: &InlinePlan, report: &mut EffectivenessReport, pass: usize) {

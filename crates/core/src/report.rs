@@ -59,6 +59,10 @@ pub struct EffectivenessReport {
     pub fields_inlined: usize,
     /// Array allocation sites whose elements were inlined.
     pub array_sites_inlined: usize,
+    /// Decisions withdrawn by the soundness firewall (rule 5) after a
+    /// failed equivalence or verification check. Zero on the plain
+    /// pipeline; the bench observatory gates on it staying zero.
+    pub retractions: usize,
     /// Per-field details.
     pub outcomes: Vec<FieldOutcome>,
     /// Full decision history across passes, in the order verdicts were
@@ -124,6 +128,7 @@ impl EffectivenessReport {
             ("cxx", self.cxx.into()),
             ("fields_inlined", self.fields_inlined.into()),
             ("array_sites_inlined", self.array_sites_inlined.into()),
+            ("retractions", self.retractions.into()),
             (
                 "decisions",
                 Json::Arr(self.outcomes.iter().map(FieldOutcome::to_json).collect()),
@@ -164,7 +169,8 @@ impl std::fmt::Display for EffectivenessReport {
         writeln!(f, "ideally inlinable     : {}", self.ideal)?;
         writeln!(f, "declared inline (C++) : {}", self.cxx)?;
         writeln!(f, "automatically inlined : {}", self.fields_inlined)?;
-        write!(f, "array sites inlined   : {}", self.array_sites_inlined)
+        writeln!(f, "array sites inlined   : {}", self.array_sites_inlined)?;
+        write!(f, "firewall retractions  : {}", self.retractions)
     }
 }
 
@@ -193,11 +199,13 @@ mod tests {
             cxx: 2,
             fields_inlined: 4,
             array_sites_inlined: 1,
+            retractions: 2,
             outcomes: vec![],
             provenance: vec![],
         };
         let s = r.to_string();
         assert!(s.contains("automatically inlined : 4"));
         assert!(s.contains("array sites inlined   : 1"));
+        assert!(s.contains("firewall retractions  : 2"));
     }
 }

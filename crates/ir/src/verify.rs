@@ -15,6 +15,9 @@ use oi_support::{Diagnostic, Span};
 /// - every method's temps are within `temp_count`, parameters fit,
 /// - every reachable block is terminated and targets are in-bounds,
 /// - call/new/layout references are in-bounds,
+/// - the inline-layout table is well-formed: object layouts map each child
+///   field to a distinct, in-range container slot; array layouts carry no
+///   container slots; interior references agree with their layout's kind,
 /// - the entry method exists and takes no parameters.
 ///
 /// # Errors
@@ -24,6 +27,7 @@ pub fn verify(program: &Program) -> Result<(), Vec<Diagnostic>> {
     let mut errors = Vec::new();
 
     verify_classes(program, &mut errors);
+    verify_layouts(program, &mut errors);
     for (mid, method) in program.methods.iter_enumerated() {
         verify_method(program, mid, method, &mut errors);
     }
@@ -77,6 +81,58 @@ fn verify_classes(program: &Program, errors: &mut Vec<Diagnostic>) {
                     "class `{}` method `{}` out of bounds",
                     program.interner.resolve(class.name),
                     program.interner.resolve(sel)
+                )));
+            }
+        }
+    }
+}
+
+/// Checks the inline-layout table produced by restructuring.
+///
+/// The verifier cannot know which container class a layout will be applied
+/// to (that is only manifest at `MakeInterior` sites whose receiver class
+/// is an analysis fact, not an IR fact), so slot bounds are checked against
+/// the widest class layout in the program: a slot no class can hold is
+/// definitely a restructuring bug.
+fn verify_layouts(program: &Program, errors: &mut Vec<Diagnostic>) {
+    let max_width = program
+        .classes
+        .ids()
+        .map(|c| program.layout_of(c).len())
+        .max()
+        .unwrap_or(0);
+    for (lid, layout) in program.layouts.iter_enumerated() {
+        if !program.classes.contains_id(layout.child_class) {
+            errors.push(err(format!("{lid:?}: child class out of bounds")));
+            continue;
+        }
+        if layout.array_kind.is_some() {
+            // Array element state is addressed by (index, field) per the
+            // layout kind; container slots are meaningless here.
+            if !layout.slots.is_empty() {
+                errors.push(err(format!(
+                    "{lid:?}: array layout must not carry container slots"
+                )));
+            }
+            continue;
+        }
+        if layout.slots.len() != layout.child_fields.len() {
+            errors.push(err(format!(
+                "{lid:?}: slot table has {} entries for {} child fields",
+                layout.slots.len(),
+                layout.child_fields.len()
+            )));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &s in &layout.slots {
+            if s >= max_width {
+                errors.push(err(format!(
+                    "{lid:?}: slot {s} out of range (widest class layout has {max_width} slots)"
+                )));
+            }
+            if !seen.insert(s) {
+                errors.push(err(format!(
+                    "{lid:?}: duplicate container slot {s} (child fields would alias)"
                 )));
             }
         }
@@ -144,6 +200,10 @@ fn verify_method(program: &Program, mid: MethodId, method: &Method, errors: &mut
                     if let Instr::NewArrayInline { layout, .. } = instr {
                         if !program.layouts.contains_id(*layout) {
                             errors.push(err(format!("{name}: layout {layout:?} out of bounds")));
+                        } else if program.layouts[*layout].array_kind.is_none() {
+                            errors.push(err(format!(
+                                "{name}: inline array allocated with object layout {layout:?}"
+                            )));
                         }
                     }
                 }
@@ -166,10 +226,25 @@ fn verify_method(program: &Program, mid: MethodId, method: &Method, errors: &mut
                 {
                     errors.push(err(format!("{name}: global {global:?} out of bounds")));
                 }
-                Instr::MakeInterior { layout, .. } | Instr::MakeInteriorElem { layout, .. }
-                    if !program.layouts.contains_id(*layout) =>
-                {
-                    errors.push(err(format!("{name}: layout {layout:?} out of bounds")));
+                Instr::MakeInterior { layout, .. } => {
+                    if !program.layouts.contains_id(*layout) {
+                        errors.push(err(format!("{name}: layout {layout:?} out of bounds")));
+                    } else if program.layouts[*layout].array_kind.is_some() {
+                        errors.push(err(format!(
+                            "{name}: object interior reference built from array layout \
+                             {layout:?} (type-confused)"
+                        )));
+                    }
+                }
+                Instr::MakeInteriorElem { layout, .. } => {
+                    if !program.layouts.contains_id(*layout) {
+                        errors.push(err(format!("{name}: layout {layout:?} out of bounds")));
+                    } else if program.layouts[*layout].array_kind.is_none() {
+                        errors.push(err(format!(
+                            "{name}: array-element interior reference built from object \
+                             layout {layout:?} (type-confused)"
+                        )));
+                    }
                 }
                 _ => {}
             }
@@ -242,6 +317,121 @@ mod tests {
         p.methods[entry].blocks[bb].term = Terminator::Unterminated;
         let errs = verify(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("unterminated")));
+    }
+
+    /// A two-class program plus a hand-built object layout, the shape
+    /// restructuring produces for `Rect { ll: Point }`.
+    fn program_with_layout() -> (crate::program::Program, crate::program::LayoutId) {
+        let mut p = compile(
+            "class Point { field x; field y;
+               method init(a, b) { self.x = a; self.y = b; }
+             }
+             class Rect { field ll; field ur;
+               method init(a, b) { self.ll = a; self.ur = b; }
+             }
+             fn main() { print 1; }",
+        )
+        .unwrap();
+        let x = p.interner.get("x").unwrap();
+        let y = p.interner.get("y").unwrap();
+        let point = p.class_by_name("Point").unwrap();
+        let lid = p.layouts.push(crate::program::InlineLayout {
+            child_class: point,
+            child_fields: vec![x, y],
+            slots: vec![0, 1],
+            array_kind: None,
+        });
+        (p, lid)
+    }
+
+    #[test]
+    fn well_formed_layout_verifies() {
+        let (p, _) = program_with_layout();
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn detects_dangling_layout_child_class() {
+        let (mut p, lid) = program_with_layout();
+        p.layouts[lid].child_class = ClassId::new(99);
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("child class")));
+    }
+
+    #[test]
+    fn detects_slot_table_width_mismatch() {
+        let (mut p, lid) = program_with_layout();
+        p.layouts[lid].slots.pop(); // 1 slot for 2 child fields
+        let errs = verify(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("entries for 2 child fields")));
+    }
+
+    #[test]
+    fn detects_aliasing_duplicate_slots() {
+        let (mut p, lid) = program_with_layout();
+        p.layouts[lid].slots = vec![1, 1]; // x and y share a word
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate")));
+    }
+
+    #[test]
+    fn detects_out_of_range_slot_after_restructuring() {
+        let (mut p, lid) = program_with_layout();
+        p.layouts[lid].slots = vec![0, 57]; // no class is 58 words wide
+        let errs = verify(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("slot 57 out of range")));
+    }
+
+    #[test]
+    fn detects_slots_on_array_layout() {
+        let (mut p, lid) = program_with_layout();
+        p.layouts[lid].array_kind = Some(crate::program::ArrayLayoutKind::Interleaved);
+        let errs = verify(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("must not carry container slots")));
+    }
+
+    #[test]
+    fn detects_type_confused_interior_references() {
+        // An object interior reference built from an array layout, and an
+        // array-element interior reference built from an object layout.
+        let (mut p, object_layout) = program_with_layout();
+        let x = p.interner.get("x").unwrap();
+        let point = p.class_by_name("Point").unwrap();
+        let array_layout = p.layouts.push(crate::program::InlineLayout {
+            child_class: point,
+            child_fields: vec![x],
+            slots: vec![],
+            array_kind: Some(crate::program::ArrayLayoutKind::Parallel),
+        });
+        let entry = p.entry;
+        let method = &mut p.methods[entry];
+        method.temp_count += 3;
+        let t = |n| Temp::new(n);
+        let bb = method.entry();
+        method.blocks[bb].instrs.push(Instr::MakeInterior {
+            dst: t(1),
+            obj: t(0),
+            layout: array_layout,
+        });
+        method.blocks[bb].instrs.push(Instr::MakeInteriorElem {
+            dst: t(2),
+            arr: t(0),
+            idx: t(3),
+            layout: object_layout,
+        });
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e
+            .message
+            .contains("object interior reference built from array layout")));
+        assert!(errs.iter().any(|e| e
+            .message
+            .contains("array-element interior reference built from object")));
     }
 
     #[test]

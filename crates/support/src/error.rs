@@ -1,0 +1,67 @@
+//! Shared, typed error values for pipeline stages.
+//!
+//! Stages that can fail on hostile input return `Result<_, OiError>` so
+//! callers (the CLI, the fuzz harness, the soundness firewall) degrade
+//! gracefully instead of panicking. Internal-invariant violations stay
+//! panics; everything reachable from user-supplied programs gets a
+//! variant here.
+
+use std::error::Error;
+use std::fmt;
+
+/// A recoverable pipeline failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OiError {
+    /// The abstract interpretation failed to reach a fixpoint within its
+    /// configured round budget.
+    AnalysisDivergence {
+        /// The round bound that was exhausted.
+        rounds: usize,
+    },
+    /// A transformation stage produced IR that fails verification.
+    InvalidIr {
+        /// Which stage produced the program (`"restructure"`,
+        /// `"finalize"`, ...).
+        stage: String,
+        /// Rendered verifier diagnostics.
+        errors: Vec<String>,
+    },
+    /// A catch-all for violated internal invariants surfaced as errors
+    /// rather than panics (e.g. running unverified IR).
+    Internal {
+        /// What went wrong.
+        context: String,
+    },
+}
+
+impl fmt::Display for OiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OiError::AnalysisDivergence { rounds } => {
+                write!(f, "analysis failed to converge in {rounds} rounds")
+            }
+            OiError::InvalidIr { stage, errors } => {
+                write!(f, "{stage} produced invalid IR: {}", errors.join("; "))
+            }
+            OiError::Internal { context } => write!(f, "internal error: {context}"),
+        }
+    }
+}
+
+impl Error for OiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_stage_and_bound() {
+        let e = OiError::AnalysisDivergence { rounds: 12 };
+        assert_eq!(e.to_string(), "analysis failed to converge in 12 rounds");
+        let e = OiError::InvalidIr {
+            stage: "restructure".into(),
+            errors: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(e.to_string(), "restructure produced invalid IR: a; b");
+    }
+}

@@ -9,6 +9,8 @@
 //! - [`cli`]: the shared command-line argument scanner used by every
 //!   binary (strict flag classification, exit-2 discipline),
 //! - [`diag`]: source spans, a line-start index, and compiler diagnostics,
+//! - [`error`]: the shared [`error::OiError`] type for recoverable
+//!   pipeline failures,
 //! - [`json`]: a dependency-free JSON document model (build, print, parse),
 //! - [`trace`]: the `oi-trace` observability layer (spans, events,
 //!   counters, and pluggable sinks selected via `OIC_TRACE`),
@@ -29,6 +31,7 @@
 
 pub mod cli;
 pub mod diag;
+pub mod error;
 pub mod index;
 pub mod intern;
 pub mod json;
@@ -36,6 +39,7 @@ pub mod rng;
 pub mod trace;
 
 pub use diag::{Diagnostic, LineIndex, Span};
+pub use error::OiError;
 pub use index::IdxVec;
 pub use intern::{Interner, Symbol};
 pub use json::Json;

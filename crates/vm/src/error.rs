@@ -48,6 +48,27 @@ pub enum VmError {
     StackOverflow,
     /// The configured heap limit was exceeded.
     OutOfMemory,
+    /// An interpreter invariant was violated — running IR that was never
+    /// verified (or a verifier gap). Reported as an error rather than a
+    /// panic so hostile inputs cannot take down the host process.
+    Internal {
+        /// What was violated.
+        context: String,
+    },
+}
+
+impl VmError {
+    /// `true` for errors that only say a resource budget ran out
+    /// (instructions, stack, heap). These do not indicate a wrong program
+    /// — a differential oracle must treat runs ending in them as
+    /// indeterminate, because a legal transformation may shift resource
+    /// use across the budget line.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self,
+            VmError::InstructionLimit | VmError::StackOverflow | VmError::OutOfMemory
+        )
+    }
 }
 
 impl fmt::Display for VmError {
@@ -70,6 +91,7 @@ impl fmt::Display for VmError {
             VmError::InstructionLimit => f.write_str("instruction limit exceeded"),
             VmError::StackOverflow => f.write_str("call depth limit exceeded"),
             VmError::OutOfMemory => f.write_str("heap limit exceeded"),
+            VmError::Internal { context } => write!(f, "internal interpreter error: {context}"),
         }
     }
 }
@@ -90,5 +112,17 @@ mod tests {
         let e = VmError::IndexOutOfBounds { index: 7, len: 3 };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn resource_limits_are_classified() {
+        assert!(VmError::InstructionLimit.is_resource_limit());
+        assert!(VmError::StackOverflow.is_resource_limit());
+        assert!(VmError::OutOfMemory.is_resource_limit());
+        assert!(!VmError::DivisionByZero.is_resource_limit());
+        assert!(!VmError::Internal {
+            context: "x".into()
+        }
+        .is_resource_limit());
     }
 }

@@ -737,6 +737,17 @@ impl<'p> Vm<'p> {
         let method = &self.program.methods[method_id];
         debug_assert_eq!(args.len(), method.param_count as usize);
         let mut locals = vec![Value::Nil; method.temp_count as usize];
+        // Verified IR guarantees `temp_count >= params + self`; unverified
+        // IR must not be able to panic the host.
+        if locals.len() < args.len() + 1 {
+            return Err(VmError::Internal {
+                context: format!(
+                    "frame of {} temp(s) cannot hold self plus {} argument(s)",
+                    locals.len(),
+                    args.len()
+                ),
+            });
+        }
         locals[0] = recv;
         locals[1..=args.len()].copy_from_slice(args);
 
@@ -764,7 +775,11 @@ impl<'p> Vm<'p> {
                 }
                 Terminator::Return(t) => return Ok(locals[t.index()]),
                 Terminator::Unterminated => {
-                    unreachable!("verifier rejects unterminated reachable blocks")
+                    // The verifier rejects unterminated reachable blocks;
+                    // reaching one means the program was never verified.
+                    return Err(VmError::Internal {
+                        context: "executed an unterminated block".to_owned(),
+                    });
                 }
             }
         }
@@ -1166,7 +1181,11 @@ impl<'p> Vm<'p> {
                         }
                         a.wrapping_rem(b)
                     }
-                    _ => unreachable!(),
+                    op => {
+                        return Err(VmError::Internal {
+                            context: format!("{op:?} dispatched to integer arithmetic"),
+                        })
+                    }
                 }))
             }
             (Value::Float(_), _) | (_, Value::Float(_)) => {
@@ -1179,7 +1198,11 @@ impl<'p> Vm<'p> {
                     Mul => a * b,
                     Div => a / b,
                     Rem => a % b,
-                    _ => unreachable!(),
+                    op => {
+                        return Err(VmError::Internal {
+                            context: format!("{op:?} dispatched to float arithmetic"),
+                        })
+                    }
                 }))
             }
             _ => Err(VmError::TypeError {
@@ -1212,7 +1235,11 @@ impl<'p> Vm<'p> {
             Le => ord.is_le(),
             Gt => ord.is_gt(),
             Ge => ord.is_ge(),
-            _ => unreachable!(),
+            op => {
+                return Err(VmError::Internal {
+                    context: format!("{op:?} dispatched to comparison"),
+                })
+            }
         }))
     }
 
@@ -1228,16 +1255,24 @@ impl<'p> Vm<'p> {
     }
 
     fn eval_builtin(&mut self, builtin: Builtin, args: &[Value]) -> Result<Value, VmError> {
+        // Every builtin is unary; lowering guarantees the arity, but
+        // hand-mutated IR must degrade to an error, not an index panic.
+        let [arg] = args else {
+            return Err(VmError::Internal {
+                context: format!("builtin called with {} argument(s)", args.len()),
+            });
+        };
+        let arg = *arg;
         match builtin {
             Builtin::Sqrt => {
                 self.charge(self.config.cost.sqrt);
-                Ok(Value::Float(self.as_float(args[0])?.sqrt()))
+                Ok(Value::Float(self.as_float(arg)?.sqrt()))
             }
             Builtin::Len => {
-                let Value::Obj(o) = args[0] else {
+                let Value::Obj(o) = arg else {
                     return Err(VmError::TypeError {
                         expected: "array for len".to_owned(),
-                        found: args[0].type_name().to_owned(),
+                        found: arg.type_name().to_owned(),
                     });
                 };
                 let len = self
@@ -1255,11 +1290,11 @@ impl<'p> Vm<'p> {
             }
             Builtin::ToFloat => {
                 self.charge(self.config.cost.arith);
-                Ok(Value::Float(self.as_float(args[0])?))
+                Ok(Value::Float(self.as_float(arg)?))
             }
             Builtin::ToInt => {
                 self.charge(self.config.cost.arith);
-                match args[0] {
+                match arg {
                     Value::Int(n) => Ok(Value::Int(n)),
                     Value::Float(x) => Ok(Value::Int(x as i64)),
                     other => Err(VmError::TypeError {
@@ -1451,6 +1486,40 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(run(&p, &config).unwrap_err(), VmError::StackOverflow);
+    }
+
+    #[test]
+    fn heap_word_limit_enforced() {
+        let p = compile(
+            "class C { field a; field b; }
+             fn main() { var i = 0; while (i < 100) { var c = new C(); i = i + 1; } print i; }",
+        )
+        .unwrap();
+        let config = VmConfig {
+            max_heap_words: 64,
+            ..Default::default()
+        };
+        assert_eq!(run(&p, &config).unwrap_err(), VmError::OutOfMemory);
+    }
+
+    #[test]
+    fn unverified_unterminated_block_errors_instead_of_panicking() {
+        let mut p = compile("fn main() { print 1; }").unwrap();
+        let entry = p.entry;
+        let bb = p.methods[entry].entry();
+        p.methods[entry].blocks[bb].term = oi_ir::Terminator::Unterminated;
+        let err = run(&p, &VmConfig::default()).unwrap_err();
+        assert!(matches!(err, VmError::Internal { .. }), "{err}");
+    }
+
+    #[test]
+    fn unverified_undersized_frame_errors_instead_of_panicking() {
+        let mut p = compile("fn f(a, b) { return a + b; } fn main() { print f(1, 2); }").unwrap();
+        // Shrink the callee's frame below self + params.
+        let f = p.method_by_name("$Main", "f").unwrap();
+        p.methods[f].temp_count = 1;
+        let err = run(&p, &VmConfig::default()).unwrap_err();
+        assert!(matches!(err, VmError::Internal { .. }), "{err}");
     }
 
     #[test]

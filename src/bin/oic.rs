@@ -22,16 +22,19 @@ use std::process::ExitCode;
 use std::rc::Rc;
 
 const USAGE: &str =
-    "usage: oic <run|compare|report|explain|dump|bench> [flags] <file.oi> [Class.field]\n\
+    "usage: oic <run|compare|report|explain|dump|bench|fuzz> [flags] <file.oi> [Class.field]\n\
     \n\
     run      execute the program (baseline pipeline; --inline for the\n\
     \x20        object-inlining pipeline) and print metrics\n\
     \x20        --profile  collect a per-method / per-site execution profile\n\
+    \x20        --max-heap-words N / --max-instructions N / --max-depth N\n\
+    \x20                   override the VM's resource limits\n\
     compare  run both pipelines, check outputs match, show the delta\n\
     report   print per-field inlining decisions with reasons\n\
     explain  print the decision provenance chain for one Class.field\n\
     dump     print the IR (after --inline: the transformed program)\n\
     bench    benchmark observatory passthrough (oic bench snapshot|compare)\n\
+    fuzz     adversarial differential fuzzing (oic fuzz --runs N --seed S)\n\
     \n\
     --json          machine-readable output (run, compare, report, explain)\n\
     --trace[=MODE]  stream trace events to stderr (text or json);\n\
@@ -45,6 +48,9 @@ struct Cli {
     json: bool,
     profile: bool,
     trace: Option<TraceMode>,
+    max_heap_words: Option<u64>,
+    max_instructions: Option<u64>,
+    max_depth: Option<usize>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -54,6 +60,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut json = false;
     let mut profile = false;
     let mut trace_flag: Option<TraceMode> = None;
+    let mut max_heap_words: Option<u64> = None;
+    let mut max_instructions: Option<u64> = None;
+    let mut max_depth: Option<usize> = None;
     let mut scanner = ArgScanner::new(args.to_vec());
     while let Some(arg) = scanner.next() {
         match arg? {
@@ -62,6 +71,15 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 "json" => json = true,
                 "profile" => profile = true,
                 "trace" => trace_flag = Some(TraceMode::Text),
+                "max-heap-words" => {
+                    max_heap_words = Some(parse_limit(&mut scanner, "--max-heap-words")?);
+                }
+                "max-instructions" => {
+                    max_instructions = Some(parse_limit(&mut scanner, "--max-instructions")?);
+                }
+                "max-depth" => {
+                    max_depth = Some(parse_limit(&mut scanner, "--max-depth")? as usize);
+                }
                 _ => return Err(format!("unknown flag `--{name}`")),
             },
             Arg::Flag {
@@ -91,6 +109,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         "run" | "compare" | "report" | "explain" | "dump"
     ) {
         return Err(format!("unknown command `{command}`"));
+    }
+    if (max_heap_words.is_some() || max_instructions.is_some() || max_depth.is_some())
+        && command != "run"
+    {
+        return Err("VM limit flags (`--max-heap-words`, `--max-instructions`, `--max-depth`) only apply to `run`".to_owned());
     }
     if inline && !matches!(command.as_str(), "run" | "dump") {
         return Err(format!(
@@ -125,7 +148,20 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         json,
         profile,
         trace: trace_flag,
+        max_heap_words,
+        max_instructions,
+        max_depth,
     })
+}
+
+/// Parses the value of a `--max-*` resource-limit flag as a positive
+/// integer.
+fn parse_limit(scanner: &mut ArgScanner, flag: &str) -> Result<u64, String> {
+    let v = scanner.value_for(flag).unwrap_or_default();
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("`{flag}` needs a positive integer, got `{v}`")),
+    }
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -183,6 +219,10 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("bench") {
         return ExitCode::from(oi_bench::cli::main(&args[1..]));
     }
+    // `oic fuzz ...` likewise forwards to the adversarial fuzzing driver.
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return ExitCode::from(oi_bench::fuzz::cli_main(&args[1..]));
+    }
     let cli = match parse_cli(&args) {
         Ok(c) => c,
         Err(msg) => return usage_error(&msg),
@@ -219,9 +259,13 @@ fn main() -> ExitCode {
             } else {
                 (baseline_default(&program), None)
             };
+            let defaults = VmConfig::default();
             let vm_config = VmConfig {
                 profile: cli.profile,
-                ..Default::default()
+                max_heap_words: cli.max_heap_words.unwrap_or(defaults.max_heap_words),
+                max_instructions: cli.max_instructions.unwrap_or(defaults.max_instructions),
+                max_depth: cli.max_depth.unwrap_or(defaults.max_depth),
+                ..defaults
             };
             let result = {
                 let _s = trace::span("vm.run");
