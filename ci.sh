@@ -41,4 +41,18 @@ echo "==> fuzz-smoke (differential oracle, fixed seeds)"
 target/release/oic fuzz --runs 64 --seed 1
 target/release/oic fuzz --runs 64 --seed 97
 
+echo "==> batch-smoke (panic-isolated fleet compilation under pressure)"
+# The batch driver compiles the example programs plus a fixed-seed fuzz
+# corpus through the degradation ladder. Unlimited budgets first: every
+# job must land on a tier with zero panics and zero divergences (exit
+# 0). Then a one-round analysis budget: jobs must *degrade* (sound
+# global widening) rather than fail, so the run still exits 0 and the
+# summary must show degraded jobs.
+target/release/oic batch examples --fuzz-corpus 64 --seed 1 --keep-going --json --out target/batch_smoke.json
+target/release/oic batch examples --fuzz-corpus 64 --seed 1 --max-rounds 1 --keep-going --json --out target/batch_tight.json
+if grep -q '"degraded":0,' target/batch_tight.json; then
+    echo "batch-smoke: expected degraded jobs under --max-rounds 1" >&2
+    exit 1
+fi
+
 echo "CI green."

@@ -5,8 +5,14 @@ use crate::result::AnalysisResult;
 use crate::types::{AbstractVal, PathSeg, Tag, TagTable, TypeElem};
 use oi_ir::{BinOp, Builtin, ConstValue, Instr, LayoutId, MethodId, Program, SiteId, Terminator};
 use oi_support::trace::{self, kv};
-use oi_support::{IdxVec, OiError, Symbol};
+use oi_support::{Budget, BudgetDimension, IdxVec, OiError, Symbol};
 use std::collections::{BTreeSet, HashMap};
+
+/// Rounds allowed to finish the fixpoint *after* the engine freezes its
+/// contour set. With creation frozen the abstract domain is finite and
+/// every transfer is a monotone join, so completion always converges;
+/// exceeding this cap indicates a non-monotone transfer-function bug.
+const COMPLETION_ROUNDS: usize = 10_000;
 
 /// Knobs controlling analysis sensitivity.
 ///
@@ -54,13 +60,16 @@ impl AnalysisConfig {
 
 /// Runs the analysis to a fixpoint.
 ///
+/// Exhausting `config.max_rounds` no longer fails: the engine freezes its
+/// contour set (globally widening every later contour request to the
+/// catch-all) and completes the fixpoint over the now-finite domain, so the
+/// result is sound but flagged [`AnalysisResult::degraded`].
+///
 /// # Panics
 ///
-/// Panics if the fixpoint fails to converge within `config.max_rounds`
-/// rounds (which would indicate a non-monotone transfer function bug, not a
-/// property of the input program). Callers that must survive hostile
-/// inputs — the fuzz harness, the soundness firewall — use
-/// [`try_analyze`] instead.
+/// Panics only if the frozen fixpoint itself fails to complete, which
+/// would indicate a non-monotone transfer-function bug, not a property of
+/// the input program.
 pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisResult {
     match try_analyze(program, config) {
         Ok(result) => result,
@@ -68,15 +77,43 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisResult {
     }
 }
 
-/// Runs the analysis to a fixpoint, returning a typed error instead of
-/// panicking when the round budget is exhausted.
+/// Runs the analysis to a fixpoint with an unlimited resource [`Budget`].
 ///
 /// # Errors
 ///
-/// Returns [`OiError::AnalysisDivergence`] when `config.max_rounds` rounds
-/// pass without reaching a fixpoint.
+/// Returns [`OiError::AnalysisDivergence`] only when the frozen fixpoint
+/// fails to complete (a transfer-function bug); round exhaustion degrades
+/// instead of failing — see [`try_analyze_budgeted`].
 pub fn try_analyze(program: &Program, config: &AnalysisConfig) -> Result<AnalysisResult, OiError> {
-    let mut engine = Engine::new(program, config);
+    let budget = Budget::unlimited();
+    try_analyze_budgeted(program, config, &budget)
+}
+
+/// Runs the analysis to a fixpoint under a resource [`Budget`].
+///
+/// The budget is charged per abstract-interpretation step, per fixpoint
+/// round, and per contour creation; its deadline is polled alongside. When
+/// any dimension runs out — or `config.max_rounds` passes — the engine
+/// *freezes*: no new contours are created (every later request lands on
+/// the per-method / per-site catch-all contour, the same widening the
+/// per-method caps already trigger) and the fixpoint completes over the
+/// frozen, finite contour set. The completed result over-approximates the
+/// unbudgeted one, so every downstream consumer (decision rules, devirt,
+/// the verifier) stays sound; it is flagged via
+/// [`AnalysisResult::degraded`] with the exhausted dimension in
+/// [`AnalysisResult::exhausted`] for provenance.
+///
+/// # Errors
+///
+/// Returns [`OiError::AnalysisDivergence`] only when the frozen fixpoint
+/// fails to complete within an internal safety cap, which indicates a
+/// non-monotone transfer-function bug rather than a hostile input.
+pub fn try_analyze_budgeted(
+    program: &Program,
+    config: &AnalysisConfig,
+    budget: &Budget,
+) -> Result<AnalysisResult, OiError> {
+    let mut engine = Engine::new(program, config, budget);
     engine.run()?;
     Ok(engine.into_result())
 }
@@ -84,6 +121,12 @@ pub fn try_analyze(program: &Program, config: &AnalysisConfig) -> Result<Analysi
 struct Engine<'p> {
     program: &'p Program,
     config: &'p AnalysisConfig,
+    budget: &'p Budget,
+    /// Once set, contour creation stops and every request widens; the
+    /// fixpoint then completes over the frozen, finite domain.
+    frozen: bool,
+    /// The budget dimension (or round cap) that forced the freeze.
+    exhausted_dim: Option<BudgetDimension>,
     tags: TagTable,
     mcontours: IdxVec<MCtxId, MContour>,
     mctx_memo: HashMap<(MethodId, CtxKey), MCtxId>,
@@ -102,10 +145,13 @@ struct Engine<'p> {
 }
 
 impl<'p> Engine<'p> {
-    fn new(program: &'p Program, config: &'p AnalysisConfig) -> Self {
+    fn new(program: &'p Program, config: &'p AnalysisConfig, budget: &'p Budget) -> Self {
         Self {
             program,
             config,
+            budget,
+            frozen: false,
+            exhausted_dim: None,
             tags: TagTable::new(),
             mcontours: IdxVec::new(),
             mctx_memo: HashMap::new(),
@@ -127,11 +173,25 @@ impl<'p> Engine<'p> {
         let entry = self.mcontour_for(self.program.entry, vec![AbstractVal::fresh(TypeElem::Nil)]);
         debug_assert_eq!(entry.index(), 0);
 
-        for round in 0.. {
-            if round >= self.config.max_rounds {
-                return Err(OiError::AnalysisDivergence {
-                    rounds: self.config.max_rounds,
-                });
+        let mut round = 0usize;
+        let mut frozen_rounds = 0usize;
+        loop {
+            if !self.frozen {
+                if round >= self.config.max_rounds {
+                    self.freeze(BudgetDimension::Rounds);
+                } else if !self.budget.charge_round() {
+                    self.freeze(
+                        self.budget
+                            .exhausted_dimension()
+                            .unwrap_or(BudgetDimension::Rounds),
+                    );
+                }
+            }
+            if self.frozen {
+                frozen_rounds += 1;
+                if frozen_rounds > COMPLETION_ROUNDS {
+                    return Err(OiError::AnalysisDivergence { rounds: round });
+                }
             }
             self.changed = false;
             let mut i = 0;
@@ -156,8 +216,44 @@ impl<'p> Engine<'p> {
             if !self.changed {
                 break;
             }
+            round += 1;
         }
         Ok(())
+    }
+
+    /// Freezes the contour set: every later contour request widens to the
+    /// catch-all, and the fixpoint completes over the frozen domain.
+    fn freeze(&mut self, dim: BudgetDimension) {
+        if self.frozen {
+            return;
+        }
+        self.frozen = true;
+        self.exhausted_dim = Some(dim);
+        trace::counter("analysis.global_widenings", 1);
+        if trace::is_enabled() {
+            trace::event(
+                "analysis.global_widen",
+                vec![
+                    kv("exhausted", dim.name()),
+                    kv("mcontours", self.mcontours.len()),
+                    kv("ocontours", self.ocontours.len()),
+                ],
+            );
+        }
+    }
+
+    /// Charges one contour creation against the budget; on exhaustion,
+    /// freezes and reports `false` so the caller widens instead.
+    fn charge_contour_or_freeze(&mut self) -> bool {
+        if self.budget.charge_contour() {
+            return true;
+        }
+        self.freeze(
+            self.budget
+                .exhausted_dimension()
+                .unwrap_or(BudgetDimension::Contours),
+        );
+        false
     }
 
     /// `Class.selector` display name for trace events.
@@ -261,6 +357,8 @@ impl<'p> Engine<'p> {
         }
         AnalysisResult {
             track_tags: self.config.track_tags,
+            degraded: self.frozen,
+            exhausted: self.exhausted_dim,
             tags: self.tags,
             mcontours: self.mcontours,
             ocontours: self.ocontours,
@@ -373,11 +471,14 @@ impl<'p> Engine<'p> {
         } else if let Some(&w) = self.widened_mctx.get(&method) {
             w
         } else {
-            let count = self.mctx_count.entry(method).or_insert(0);
+            let count = *self.mctx_count.get(&method).unwrap_or(&0);
             let temp_count = self.program.methods[method].temp_count as usize;
-            if *count < self.config.max_contours_per_method {
-                *count += 1;
-                let nth = *count;
+            if !self.frozen
+                && count < self.config.max_contours_per_method
+                && self.charge_contour_or_freeze()
+            {
+                let nth = count + 1;
+                self.mctx_count.insert(method, nth);
                 let id = self
                     .mcontours
                     .push(MContour::new(method, key.clone(), temp_count, false));
@@ -433,10 +534,13 @@ impl<'p> Engine<'p> {
         if let Some(&w) = self.widened_octx.get(&site) {
             return w;
         }
-        let count = self.octx_count.entry(site).or_insert(0);
-        if *count < self.config.max_ocontours_per_site {
-            *count += 1;
-            let nth = *count;
+        let count = *self.octx_count.get(&site).unwrap_or(&0);
+        if !self.frozen
+            && count < self.config.max_ocontours_per_site
+            && self.charge_contour_or_freeze()
+        {
+            let nth = count + 1;
+            self.octx_count.insert(site, nth);
             let contour = match class {
                 Some(c) => OContour::instance(site, c, Some(creator)),
                 None => OContour::array(site, Some(creator)),
@@ -515,6 +619,16 @@ impl<'p> Engine<'p> {
     }
 
     fn exec(&mut self, mctx: MCtxId, instr: &Instr) {
+        // One budget step per abstract instruction; exhaustion (or a passed
+        // deadline, polled inside) freezes the contour set mid-round. Joins
+        // keep flowing afterwards, so the frozen fixpoint still completes.
+        if !self.frozen && !self.budget.charge_step() {
+            self.freeze(
+                self.budget
+                    .exhausted_dimension()
+                    .unwrap_or(BudgetDimension::Steps),
+            );
+        }
         match instr {
             Instr::Const { dst, value } => {
                 let ty = match value {
@@ -945,20 +1059,101 @@ mod tests {
     }
 
     #[test]
-    fn try_analyze_reports_divergence_instead_of_panicking() {
+    fn exhausted_round_cap_degrades_instead_of_failing() {
         let p = compile("fn main() { print 1; }").unwrap();
         let cfg = AnalysisConfig {
             max_rounds: 0,
             ..Default::default()
         };
-        let err = try_analyze(&p, &cfg).expect_err("round budget of 0 cannot converge");
-        assert_eq!(err, OiError::AnalysisDivergence { rounds: 0 });
-        // A sane budget converges and matches the panicking wrapper.
+        let r = try_analyze(&p, &cfg).expect("round exhaustion freezes, not fails");
+        assert!(r.degraded);
+        assert_eq!(r.exhausted, Some(BudgetDimension::Rounds));
+        // A sane budget converges cleanly and matches the panicking wrapper.
         let ok = try_analyze(&p, &AnalysisConfig::default()).unwrap();
+        assert!(!ok.degraded);
+        assert_eq!(ok.exhausted, None);
         assert_eq!(
             ok.mcontours.len(),
             analyze(&p, &Default::default()).mcontours.len()
         );
+    }
+
+    const POLY_SRC: &str = "class A { method m() { return 1; } }
+         class B { method m() { return 2.0; } }
+         fn id(x) { return x; }
+         fn main() {
+           var a = new A(); var b = new B();
+           print id(a).m(); print id(b).m();
+           print id(1); print id(2.0);
+         }";
+
+    /// A degraded result must still over-approximate the precise one: every
+    /// call target the precise analysis sees must survive global widening.
+    fn assert_overapproximates(p: &Program, coarse: &AnalysisResult) {
+        let precise = analyze(p, &AnalysisConfig::default());
+        let precise_targets: BTreeSet<MethodId> = precise
+            .call_edges
+            .values()
+            .flatten()
+            .map(|&c| precise.mcontours[c].method)
+            .collect();
+        let coarse_targets: BTreeSet<MethodId> = coarse
+            .call_edges
+            .values()
+            .flatten()
+            .map(|&c| coarse.mcontours[c].method)
+            .collect();
+        assert!(
+            precise_targets.is_subset(&coarse_targets),
+            "widened analysis lost call targets: {precise_targets:?} vs {coarse_targets:?}"
+        );
+    }
+
+    #[test]
+    fn zero_contour_budget_widens_everything_soundly() {
+        let p = compile(POLY_SRC).unwrap();
+        let budget = Budget::unlimited().with_contours(0);
+        let r = try_analyze_budgeted(&p, &AnalysisConfig::default(), &budget).unwrap();
+        assert!(r.degraded);
+        assert_eq!(r.exhausted, Some(BudgetDimension::Contours));
+        // Every method contour is the widened catch-all; at most one per
+        // method.
+        assert!(r.mcontours.iter().all(|c| c.widened));
+        let methods: Vec<_> = r.mcontours.iter().map(|c| c.method).collect();
+        let distinct: BTreeSet<_> = methods.iter().copied().collect();
+        assert_eq!(methods.len(), distinct.len());
+        assert_overapproximates(&p, &r);
+    }
+
+    #[test]
+    fn tiny_step_budget_degrades_but_completes() {
+        let p = compile(POLY_SRC).unwrap();
+        let budget = Budget::unlimited().with_steps(5);
+        let r = try_analyze_budgeted(&p, &AnalysisConfig::default(), &budget).unwrap();
+        assert!(r.degraded);
+        assert_eq!(r.exhausted, Some(BudgetDimension::Steps));
+        assert_overapproximates(&p, &r);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_but_completes() {
+        let p = compile(POLY_SRC).unwrap();
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let r = try_analyze_budgeted(&p, &AnalysisConfig::default(), &budget).unwrap();
+        assert!(r.degraded);
+        assert_eq!(r.exhausted, Some(BudgetDimension::Deadline));
+        assert_overapproximates(&p, &r);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_analysis() {
+        let p = compile(POLY_SRC).unwrap();
+        let budget = Budget::unlimited();
+        let r = try_analyze_budgeted(&p, &AnalysisConfig::default(), &budget).unwrap();
+        let plain = analyze(&p, &AnalysisConfig::default());
+        assert!(!r.degraded);
+        assert_eq!(r.mcontours.len(), plain.mcontours.len());
+        assert_eq!(r.ocontours.len(), plain.ocontours.len());
     }
 
     #[test]

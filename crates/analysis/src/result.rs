@@ -3,7 +3,7 @@
 use crate::contour::{MContour, MCtxId, OContour, OCtxId};
 use crate::types::{AbstractVal, TagTable};
 use oi_ir::{BlockId, Instr, MethodId, Program, Temp};
-use oi_support::IdxVec;
+use oi_support::{BudgetDimension, IdxVec};
 use std::collections::{BTreeSet, HashMap};
 
 /// The output of [`crate::engine::analyze`].
@@ -11,6 +11,13 @@ use std::collections::{BTreeSet, HashMap};
 pub struct AnalysisResult {
     /// Whether tags were tracked (object-inlining sensitivity).
     pub track_tags: bool,
+    /// `true` when a resource budget (or the round cap) ran out and the
+    /// engine froze its contour set, completing the fixpoint over globally
+    /// widened contours. The result is sound but coarser than an
+    /// unbudgeted run.
+    pub degraded: bool,
+    /// The budget dimension that forced the freeze, when [`Self::degraded`].
+    pub exhausted: Option<BudgetDimension>,
     /// Interned tag table.
     pub tags: TagTable,
     /// All method contours; index 0 is the entry contour.

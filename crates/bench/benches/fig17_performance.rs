@@ -3,7 +3,7 @@
 
 use oi_bench::harness::Group;
 use oi_benchmarks::{all_benchmarks, BenchSize};
-use oi_core::pipeline::{baseline, optimize, InlineConfig};
+use oi_core::pipeline::{baseline, try_optimize, InlineConfig};
 use oi_vm::VmConfig;
 
 fn main() {
@@ -11,7 +11,9 @@ fn main() {
     for b in all_benchmarks(BenchSize::Small) {
         let program = oi_ir::lower::compile(&b.source).unwrap();
         let base = baseline(&program, &Default::default());
-        let opt = optimize(&program, &InlineConfig::default()).program;
+        let opt = try_optimize(&program, &InlineConfig::default())
+            .expect("pipeline error")
+            .program;
         group.bench(&format!("{}/baseline", b.name), || {
             oi_vm::run(&base, &VmConfig::default()).unwrap();
         });

@@ -4,7 +4,8 @@
 //! construction*, this generator aims programs at the decision rules:
 //! aliasing confluences, children escaping through globals, subclass
 //! layout conflicts, identity comparisons, nilable fields, mixed arrays,
-//! and unbounded recursion — shapes the optimizer must either reject or
+//! unbounded recursion, and deep recursive nesting that saturates the
+//! analysis' contour budgets — shapes the optimizer must either reject or
 //! transform without changing behavior. Every case runs through
 //! [`oi_core::firewall::optimize_guarded`]; a divergence the firewall
 //! cannot repair, or a panic anywhere in the pipeline, is a finding. A
@@ -15,11 +16,11 @@
 
 use oi_core::firewall::{compare_runs, optimize_guarded, FirewallConfig};
 use oi_core::pipeline::{try_baseline, try_optimize, InlineConfig};
+use oi_support::panic::{contained, silence_hook};
 use oi_support::rng::XorShift64;
 use oi_support::Json;
 use oi_vm::{run, VmConfig};
 use std::fmt::Write as _;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Fuzzing-loop parameters.
 #[derive(Clone, Copy, Debug)]
@@ -184,7 +185,7 @@ pub fn generate_adversarial(seed: u64) -> String {
 }
 
 /// Number of distinct scenarios [`emit_scenario`] knows.
-const SCENARIOS: usize = 11;
+const SCENARIOS: usize = 12;
 
 /// Appends scenario `which` (with unique suffix `k`) to the declaration
 /// and main-body accumulators. Every scenario prints something derived
@@ -387,6 +388,29 @@ class L2{k} {{ field b; method init(p) {{ self.b = new L1{k}(p); }} }}"
   print d{k}.b.a.x + DEEP{k}.b.a.x;"
             );
         }
+        // Deep-recursion pressure: each recursive `wrap` call passes a node
+        // allocated in the previous activation's contour, so every nesting
+        // level mints a fresh (contour, ocontour) pair until the analysis
+        // caps kick in and widen. Exercises the budget/widening machinery
+        // on a program that still runs comfortably within VM limits.
+        10 => {
+            let _ = writeln!(
+                decls,
+                "class Node{k} {{ field inner; field d; method init(i, x) {{ self.inner = i; self.d = x; }} }}
+fn wrap{k}(n, depth) {{
+  if (depth < 1) {{ return n; }}
+  return wrap{k}(new Node{k}(n, depth), depth - 1);
+}}
+fn unwind{k}(n) {{ var t = 0; var c = n;
+  while (!(c === nil)) {{ t = t + c.d; c = c.inner; }}
+  return t; }}"
+            );
+            let _ = writeln!(
+                main,
+                "  var base{k} = new Node{k}(nil, {a});
+  print unwind{k}(wrap{k}(base{k}, 28));"
+            );
+        }
         // Polymorphic dispatch through a field whose static class has
         // subclasses with overriding methods.
         _ => {
@@ -421,7 +445,7 @@ enum Badness {
 /// compiling, which the shrinker treats as healthy so it never keeps a
 /// syntactically broken reduction).
 fn classify(src: &str, vm: &VmConfig) -> Option<Badness> {
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
+    let outcome = contained(|| {
         let Ok(p) = oi_ir::lower::compile(src) else {
             return None;
         };
@@ -438,7 +462,7 @@ fn classify(src: &str, vm: &VmConfig) -> Option<Badness> {
         } else {
             Some(Badness::Diverges)
         }
-    }));
+    });
     match outcome {
         Ok(v) => v,
         Err(_) => Some(Badness::Panics),
@@ -488,8 +512,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
     };
     // The default panic hook prints a backtrace per contained panic, which
     // would flood the fuzzing output; silence it for the session.
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
+    let _hook = silence_hook();
     for case in 0..config.runs {
         let seed = case_seed(config.seed, case);
         let src = generate_adversarial(seed);
@@ -501,10 +524,10 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
             vm: config.vm,
             ..FirewallConfig::default()
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let outcome = contained(|| {
             let p = oi_ir::lower::compile(&src).expect("checked above");
             optimize_guarded(&p, &InlineConfig::default(), &fw)
-        }));
+        });
         match outcome {
             Ok(Ok(g)) => {
                 report.retractions += g.retracted.len();
@@ -530,12 +553,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
                     minimized: shrink(&src, &config.vm),
                 });
             }
-            Err(payload) => {
-                let message = payload
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(message) => {
                 report.panics.push(PanicCase {
                     case,
                     seed,
@@ -544,7 +562,6 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
             }
         }
     }
-    std::panic::set_hook(prev_hook);
     report
 }
 

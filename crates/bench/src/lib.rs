@@ -15,6 +15,7 @@
 //! machine-readable `oi.figures.v1` document); `benches/` time the
 //! underlying pipeline stages with the in-repo [`harness`].
 
+pub mod batch;
 pub mod cli;
 pub mod fuzz;
 pub mod harness;

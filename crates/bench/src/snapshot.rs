@@ -48,6 +48,7 @@ pub fn take_snapshot(size: BenchSize, samples: usize, git_rev: &str) -> Json {
     let vm = VmConfig::default();
     let inline = InlineConfig::default();
     let mut rows = Vec::new();
+    let mut tiers: Vec<String> = Vec::new();
     for bench in all_benchmarks(size) {
         // One traced evaluation collects the deterministic metrics and
         // the analysis-cost aggregates. A fresh tracer per benchmark
@@ -68,14 +69,35 @@ pub fn take_snapshot(size: BenchSize, samples: usize, git_rev: &str) -> Json {
             })
             .collect();
         let wall = Measurement::from_samples(nanos);
+        tiers.push(eval.report.tier.clone());
         rows.push(benchmark_row(&eval, &tracer, &wall));
     }
+    // The fleet-level tier distribution mirrors `oic batch`'s
+    // `tier_counts`: on a healthy tree every benchmark compiles at
+    // `guarded-full`, and any other tier appearing here is a regression
+    // the diff gate will catch via `effectiveness.degraded`.
+    let tier_counts = Json::Obj(
+        crate::batch::TIER_NAMES
+            .iter()
+            .map(|&t| {
+                (
+                    t.to_owned(),
+                    tiers
+                        .iter()
+                        .filter(|have| have.as_str() == t)
+                        .count()
+                        .into(),
+                )
+            })
+            .collect(),
+    );
     Json::obj(vec![
         ("schema", SNAPSHOT_SCHEMA.into()),
         ("size", size_name(size).into()),
         ("samples", (samples.max(1) as u64).into()),
         ("cost_model", "default".into()),
         ("git_rev", git_rev.into()),
+        ("batch", Json::obj(vec![("tier_counts", tier_counts)])),
         ("benchmarks", Json::Arr(rows)),
     ])
 }
@@ -137,6 +159,9 @@ fn benchmark_row(eval: &oi_benchmarks::Evaluation, tracer: &Tracer, wall: &Measu
                     (eval.report.fields_inlined + eval.report.array_sites_inlined).into(),
                 ),
                 ("retracted", eval.report.retractions.into()),
+                ("tier", eval.report.tier.as_str().into()),
+                // 0/1 rather than a bool so the numeric diff gate applies.
+                ("degraded", u64::from(eval.report.degraded).into()),
             ]),
         ),
         (
@@ -257,6 +282,14 @@ pub const GATES: &[GateSpec] = &[
         // shipped a decision the oracle had to withdraw: zero is the only
         // healthy value, and any appearance is a regression.
         path: "effectiveness.retracted",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
+        // A benchmark compiling on a degraded (budget-exhausted) analysis
+        // with unlimited budgets means the analysis stopped converging —
+        // zero is the only healthy value.
+        path: "effectiveness.degraded",
         polarity: Polarity::LowerIsBetter,
         threshold_pct: 0.0,
     },
@@ -702,6 +735,12 @@ mod tests {
         assert_eq!(parsed.get("git_rev").unwrap().as_str(), Some("testrev"));
         let rows = parsed.get("benchmarks").and_then(Json::as_arr).unwrap();
         assert_eq!(rows.len(), 5, "snapshot covers the whole suite");
+        let tier_counts = parsed.get("batch").unwrap().get("tier_counts").unwrap();
+        assert_eq!(
+            tier_counts.get("guarded-full").and_then(Json::as_i64),
+            Some(rows.len() as i64),
+            "every benchmark lands on the top tier: {tier_counts}"
+        );
         for row in rows {
             for key in [
                 "benchmark",
@@ -720,6 +759,16 @@ mod tests {
                 lookup(row, "effectiveness.retracted"),
                 Some(0.0),
                 "benchmark programs must never need firewall retraction"
+            );
+            assert_eq!(
+                lookup(row, "effectiveness.degraded"),
+                Some(0.0),
+                "unlimited budgets must never exhaust"
+            );
+            assert_eq!(
+                row.get("effectiveness").unwrap().get("tier").unwrap(),
+                &Json::Str("guarded-full".into()),
+                "benchmarks must compile at full precision"
             );
             let cost = row.get("analysis_cost").unwrap();
             assert!(lookup(row, "analysis_cost.counters.analysis.rounds").unwrap_or(0.0) > 0.0);

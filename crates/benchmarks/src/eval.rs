@@ -1,8 +1,10 @@
 //! The evaluation harness: compile a benchmark three ways and measure.
 
 use crate::programs::Benchmark;
-use oi_core::pipeline::{baseline, optimize, InlineConfig};
+use oi_core::ladder::{optimize_with_ladder, LadderConfig};
+use oi_core::pipeline::{baseline, InlineConfig};
 use oi_ir::size::SizeReport;
+use oi_support::Budget;
 use oi_vm::{HeapCensusReport, Metrics, VmConfig};
 
 /// Problem sizes.
@@ -76,7 +78,15 @@ pub fn evaluate(bench: &Benchmark, vm: &VmConfig, inline_config: &InlineConfig) 
     let clone_groups = oi_analysis::report::clone_groups(&program, &tagged);
 
     let base = baseline(&program, &inline_config.opt);
-    let opt = optimize(&program, inline_config);
+    // The degradation ladder (oracle off: this harness checks outputs
+    // itself below) keeps a pathological configuration from panicking the
+    // whole evaluation; a descent shows up as `report.tier`.
+    let ladder = LadderConfig {
+        inline: *inline_config,
+        oracle: false,
+        ..Default::default()
+    };
+    let opt = optimize_with_ladder(&program, &ladder, &Budget::unlimited()).optimized;
     // The manual variant gets the same baseline cleanups (devirt, method
     // inlining) so the comparison isolates data layout.
     let manual = baseline(&manual_program, &inline_config.opt);

@@ -16,9 +16,12 @@
 //!
 //! [`ReasonCode::Retracted`]: crate::decision::ReasonCode::Retracted
 
-use crate::pipeline::{try_baseline, try_optimize_denying, InlineConfig, Optimized, PipelineError};
+use crate::pipeline::{
+    try_baseline_budgeted, try_optimize_budgeted, InlineConfig, Optimized, PipelineError,
+};
 use oi_ir::Program;
 use oi_support::trace::{self, kv};
+use oi_support::Budget;
 use oi_vm::{run, RunResult, VmConfig, VmError};
 use std::collections::BTreeSet;
 
@@ -47,7 +50,10 @@ pub struct FirewallConfig {
     /// the firewall from a fuzzer.
     pub vm: VmConfig,
     /// Upper bound on retraction rounds (each round retracts at least one
-    /// decision, so this also bounds pipeline re-runs).
+    /// decision, so this also bounds pipeline re-runs). `0` disables
+    /// repair entirely: the oracle still runs, but divergences surface in
+    /// [`Guarded::divergences`] instead of being bisected away — the
+    /// degradation ladder uses this to descend a tier instead.
     pub max_retractions: usize,
     /// Test-only fault injection; `None` in production.
     pub fault: Option<Fault>,
@@ -243,8 +249,9 @@ fn build(
     config: &InlineConfig,
     fw: &FirewallConfig,
     denied: &BTreeSet<String>,
+    budget: &Budget,
 ) -> Result<Optimized, PipelineError> {
-    let mut opt = try_optimize_denying(program, config, denied)?;
+    let mut opt = try_optimize_budgeted(program, config, denied, budget)?;
     if let Some(Fault::CompactFirstLayoutSlots) = fw.fault {
         for layout in opt.program.layouts.iter_mut() {
             let max = layout.slots.iter().copied().max().unwrap_or(0);
@@ -294,7 +301,26 @@ pub fn optimize_guarded(
     config: &InlineConfig,
     fw: &FirewallConfig,
 ) -> Result<Guarded, PipelineError> {
-    let baseline_program = try_baseline(program, &config.opt)?;
+    let budget = Budget::unlimited();
+    optimize_guarded_budgeted(program, config, fw, &budget)
+}
+
+/// [`optimize_guarded`] under a resource [`Budget`] shared by every
+/// analysis pass, including the rebuilds bisection performs. Analysis
+/// exhaustion degrades precision (the result is marked degraded) rather
+/// than failing, so the retraction loop keeps making progress on its
+/// remaining budget.
+///
+/// # Errors
+///
+/// See [`optimize_guarded`].
+pub fn optimize_guarded_budgeted(
+    program: &Program,
+    config: &InlineConfig,
+    fw: &FirewallConfig,
+    budget: &Budget,
+) -> Result<Guarded, PipelineError> {
+    let baseline_program = try_baseline_budgeted(program, &config.opt, budget)?;
     let baseline_run = run(&baseline_program, &fw.vm);
 
     let mut denied: BTreeSet<String> = BTreeSet::new();
@@ -303,7 +329,7 @@ pub fn optimize_guarded(
     // `healthy` = builds, verifies, and the oracle finds no divergence.
     // Returning the outcome lets the top loop reuse the probe's work.
     let probe = |denied: &BTreeSet<String>| -> Result<(Optimized, Vec<Divergence>), PipelineError> {
-        let opt = build(program, config, fw, denied)?;
+        let opt = build(program, config, fw, denied, budget)?;
         let opt_run = run(&opt.program, &fw.vm);
         let divs = compare_runs(&baseline_run, &opt_run);
         Ok((opt, divs))
@@ -312,7 +338,7 @@ pub fn optimize_guarded(
     // Final (optimized build, remaining divergences) pair for the Guarded
     // result; `None` means the retraction budget ran out mid-bisection.
     let mut settled: Option<(Optimized, Vec<Divergence>)> = None;
-    for round in 0..fw.max_retractions.max(1) {
+    for round in 0..fw.max_retractions {
         // Candidate set for retraction this round: from the build itself
         // when it runs, or from the InvalidIr error when it does not.
         let all: Vec<String> = match probe(&denied) {
@@ -496,6 +522,52 @@ mod tests {
             "the innocent field stays inlined: {:?}",
             g.optimized.report.outcomes
         );
+    }
+
+    #[test]
+    fn starved_budget_still_yields_an_oracle_equivalent_program() {
+        // One round and one contour: the analysis freezes almost at once
+        // and completes with globally widened contours. The resulting
+        // program must still run and match the baseline observably.
+        let p = compile(RECT).unwrap();
+        let budget = Budget::unlimited().with_rounds(1).with_contours(1);
+        let g = optimize_guarded_budgeted(
+            &p,
+            &InlineConfig::default(),
+            &FirewallConfig::default(),
+            &budget,
+        )
+        .unwrap();
+        assert!(g.is_equivalent(), "divergences: {:?}", g.divergences);
+        assert!(g.retracted.is_empty());
+        assert!(g.optimized.report.degraded);
+        assert!(
+            g.optimized
+                .report
+                .provenance
+                .iter()
+                .any(|s| s.code == "budget-exhausted"),
+            "{:?}",
+            g.optimized.report.provenance
+        );
+        let opt = run(&g.optimized.program, &VmConfig::default()).unwrap();
+        assert_eq!(g.baseline_run.as_ref().unwrap().output, opt.output);
+    }
+
+    #[test]
+    fn zero_retraction_budget_surfaces_divergences() {
+        let p = compile(RECT).unwrap();
+        let fw = FirewallConfig {
+            fault: Some(Fault::CompactFirstLayoutSlots),
+            max_retractions: 0,
+            ..Default::default()
+        };
+        let g = optimize_guarded(&p, &InlineConfig::default(), &fw).unwrap();
+        assert!(
+            !g.is_equivalent(),
+            "repair is disabled; the fault must show"
+        );
+        assert!(g.retracted.is_empty());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod assignspec;
 pub mod decision;
 pub mod devirt;
 pub mod firewall;
+pub mod ladder;
 pub mod pipeline;
 pub mod report;
 pub mod restructure;
@@ -60,6 +61,9 @@ pub mod rewrite;
 pub mod usespec;
 
 pub use decision::{InlinePlan, PlanEntry};
-pub use firewall::{optimize_guarded, Divergence, FirewallConfig, Guarded};
+pub use firewall::{
+    optimize_guarded, optimize_guarded_budgeted, Divergence, FirewallConfig, Guarded,
+};
+pub use ladder::{optimize_with_ladder, LadderConfig, LadderOutcome, Tier};
 pub use pipeline::{baseline, optimize, InlineConfig, Optimized};
 pub use report::EffectivenessReport;

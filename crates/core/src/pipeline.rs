@@ -14,11 +14,11 @@ use crate::decision::{
     array_decision_key, decide_denying, field_decision_key, DecisionConfig, InlinePlan,
 };
 use crate::report::EffectivenessReport;
-use oi_analysis::{try_analyze, AnalysisConfig};
+use oi_analysis::{try_analyze_budgeted, AnalysisConfig, AnalysisResult};
 use oi_ir::opt::{optimize as run_opts, OptConfig};
 use oi_ir::{ArrayLayoutKind, Program};
 use oi_support::trace::{self, kv};
-use oi_support::OiError;
+use oi_support::{Budget, OiError};
 use std::collections::BTreeSet;
 
 /// A recoverable pipeline failure: the graceful-degradation path used by
@@ -135,8 +135,9 @@ pub fn optimize(program: &Program, config: &InlineConfig) -> Optimized {
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] when the analysis diverges or a
-/// transformation pass produces IR that fails verification.
+/// Returns [`PipelineError`] when a transformation pass produces IR that
+/// fails verification (analysis-resource exhaustion degrades the result
+/// instead of failing — see [`try_optimize_budgeted`]).
 pub fn try_optimize(program: &Program, config: &InlineConfig) -> Result<Optimized, PipelineError> {
     try_optimize_denying(program, config, &BTreeSet::new())
 }
@@ -154,6 +155,27 @@ pub fn try_optimize_denying(
     program: &Program,
     config: &InlineConfig,
     denied: &BTreeSet<String>,
+) -> Result<Optimized, PipelineError> {
+    let budget = Budget::unlimited();
+    try_optimize_budgeted(program, config, denied, &budget)
+}
+
+/// [`try_optimize_denying`] under a resource [`Budget`] shared by every
+/// analysis pass. Budget exhaustion never fails the pipeline: the analysis
+/// freezes and completes with globally widened contours, the result is
+/// marked [`EffectivenessReport::degraded`], and a `budget-exhausted`
+/// provenance step names the exhausted dimension.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when a transformation pass produces IR that
+/// fails verification (carrying the decision keys applied so far for
+/// bisection), or on an internal analysis bug.
+pub fn try_optimize_budgeted(
+    program: &Program,
+    config: &InlineConfig,
+    denied: &BTreeSet<String>,
+    budget: &Budget,
 ) -> Result<Optimized, PipelineError> {
     let mut p = program.clone();
     let mut report = EffectivenessReport::default();
@@ -176,8 +198,9 @@ pub fn try_optimize_denying(
         let _pass_span = trace::span_with("pipeline.pass", vec![kv("pass", pass)]);
         let result = {
             let _s = trace::span("pipeline.analyze");
-            try_analyze(&p, &config.analysis).map_err(PipelineError::Analysis)?
+            try_analyze_budgeted(&p, &config.analysis, budget).map_err(PipelineError::Analysis)?
         };
+        note_degraded(&result, &mut report, pass);
         if first_pass_total.is_none() {
             first_pass_total = Some(crate::decision::object_holding_fields(&p, &result).len());
         }
@@ -251,8 +274,9 @@ pub fn try_optimize_denying(
         let _s = trace::span("pipeline.finalize");
         let result = {
             let _s = trace::span("pipeline.analyze");
-            try_analyze(&p, &config.analysis).map_err(PipelineError::Analysis)?
+            try_analyze_budgeted(&p, &config.analysis, budget).map_err(PipelineError::Analysis)?
         };
+        note_degraded(&result, &mut report, passes);
         staged("pipeline.devirt", &mut p, |p| {
             crate::devirt::devirtualize(p, &result)
         });
@@ -276,6 +300,24 @@ pub fn try_optimize_denying(
         passes,
         decisions,
     })
+}
+
+/// Marks the report degraded (once) when an analysis pass exhausted its
+/// budget, recording the dimension as an explainable provenance step.
+fn note_degraded(result: &AnalysisResult, report: &mut EffectivenessReport, pass: usize) {
+    if !result.degraded || report.degraded {
+        return;
+    }
+    report.degraded = true;
+    let dim = result.exhausted.map_or("rounds", |d| d.name());
+    report.provenance.push(crate::report::ProvenanceStep {
+        pass,
+        field: "<pipeline>".to_owned(),
+        inlined: false,
+        code: "budget-exhausted".to_owned(),
+        rule: None,
+        detail: format!("analysis budget exhausted ({dim}); contours globally widened"),
+    });
 }
 
 /// Checks `p` against the IR verifier, turning failures into a
@@ -312,12 +354,29 @@ pub fn baseline(program: &Program, opt: &OptConfig) -> Program {
 /// Returns [`PipelineError`] when the analysis diverges or the cleaned-up
 /// program fails verification.
 pub fn try_baseline(program: &Program, opt: &OptConfig) -> Result<Program, PipelineError> {
+    let budget = Budget::unlimited();
+    try_baseline_budgeted(program, opt, &budget)
+}
+
+/// [`try_baseline`] under a resource [`Budget`]; exhaustion degrades the
+/// analysis (coarser devirtualization) instead of failing.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the cleaned-up program fails
+/// verification or on an internal analysis bug.
+pub fn try_baseline_budgeted(
+    program: &Program,
+    opt: &OptConfig,
+    budget: &Budget,
+) -> Result<Program, PipelineError> {
     let mut p = program.clone();
     for round in 0..2usize {
         let _s = trace::span_with("pipeline.baseline_round", vec![kv("round", round)]);
         let result = {
             let _s = trace::span("pipeline.analyze");
-            try_analyze(&p, &AnalysisConfig::without_tags()).map_err(PipelineError::Analysis)?
+            try_analyze_budgeted(&p, &AnalysisConfig::without_tags(), budget)
+                .map_err(PipelineError::Analysis)?
         };
         staged("pipeline.devirt", &mut p, |p| {
             crate::devirt::devirtualize(p, &result)

@@ -47,8 +47,15 @@ pub struct ProvenanceStep {
 }
 
 /// The Figure 14 row for one program.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EffectivenessReport {
+    /// The degradation-ladder tier the program was compiled at
+    /// (`"guarded-full"`, `"reduced-precision"`, `"inlining-off"`), or
+    /// `"full"` for direct pipeline runs outside the ladder.
+    pub tier: String,
+    /// `true` when the analysis exhausted a resource budget and completed
+    /// with globally widened contours (sound but coarser).
+    pub degraded: bool,
     /// Fields observed to hold objects.
     pub total_object_fields: usize,
     /// Fields annotated `@inline_ideal`.
@@ -68,6 +75,23 @@ pub struct EffectivenessReport {
     /// Full decision history across passes, in the order verdicts were
     /// reached (a field can be rejected on pass 0 and inlined on pass 1).
     pub provenance: Vec<ProvenanceStep>,
+}
+
+impl Default for EffectivenessReport {
+    fn default() -> Self {
+        Self {
+            tier: "full".to_string(),
+            degraded: false,
+            total_object_fields: 0,
+            ideal: 0,
+            cxx: 0,
+            fields_inlined: 0,
+            array_sites_inlined: 0,
+            retractions: 0,
+            outcomes: Vec::new(),
+            provenance: Vec::new(),
+        }
+    }
 }
 
 impl FieldOutcome {
@@ -123,6 +147,8 @@ impl EffectivenessReport {
     /// chain.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("tier", self.tier.clone().into()),
+            ("degraded", self.degraded.into()),
             ("total_object_fields", self.total_object_fields.into()),
             ("ideal", self.ideal.into()),
             ("cxx", self.cxx.into()),
@@ -165,6 +191,12 @@ impl EffectivenessReport {
 
 impl std::fmt::Display for EffectivenessReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "compilation tier      : {}{}",
+            self.tier,
+            if self.degraded { " (degraded)" } else { "" }
+        )?;
         writeln!(f, "object-holding fields : {}", self.total_object_fields)?;
         writeln!(f, "ideally inlinable     : {}", self.ideal)?;
         writeln!(f, "declared inline (C++) : {}", self.cxx)?;
@@ -200,12 +232,27 @@ mod tests {
             fields_inlined: 4,
             array_sites_inlined: 1,
             retractions: 2,
-            outcomes: vec![],
-            provenance: vec![],
+            ..Default::default()
         };
         let s = r.to_string();
+        assert!(s.contains("compilation tier      : full"));
         assert!(s.contains("automatically inlined : 4"));
         assert!(s.contains("array sites inlined   : 1"));
         assert!(s.contains("firewall retractions  : 2"));
+    }
+
+    #[test]
+    fn degraded_tier_is_marked_in_display_and_json() {
+        let r = EffectivenessReport {
+            tier: "reduced-precision".to_string(),
+            degraded: true,
+            ..Default::default()
+        };
+        assert!(r
+            .to_string()
+            .contains("compilation tier      : reduced-precision (degraded)"));
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"tier\":\"reduced-precision\""));
+        assert!(json.contains("\"degraded\":true"));
     }
 }

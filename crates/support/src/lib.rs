@@ -6,12 +6,16 @@
 //!
 //! - [`intern`]: a string interner producing copyable [`intern::Symbol`]s,
 //! - [`index`]: typed index newtypes and the [`index::IdxVec`] arena,
+//! - [`budget`]: cooperative resource budgets (deadline, steps, rounds,
+//!   contours) behind the analysis governor and the batch driver,
 //! - [`cli`]: the shared command-line argument scanner used by every
 //!   binary (strict flag classification, exit-2 discipline),
 //! - [`diag`]: source spans, a line-start index, and compiler diagnostics,
 //! - [`error`]: the shared [`error::OiError`] type for recoverable
 //!   pipeline failures,
 //! - [`json`]: a dependency-free JSON document model (build, print, parse),
+//! - [`panic`]: panic containment (`catch_unwind` + hook silencing) for
+//!   drivers that survive hostile jobs,
 //! - [`trace`]: the `oi-trace` observability layer (spans, events,
 //!   counters, and pluggable sinks selected via `OIC_TRACE`),
 //! - [`rng`]: a seedable xorshift PRNG for synthetic workloads and
@@ -29,15 +33,18 @@
 //! assert_eq!(interner.resolve(a), "lower_left");
 //! ```
 
+pub mod budget;
 pub mod cli;
 pub mod diag;
 pub mod error;
 pub mod index;
 pub mod intern;
 pub mod json;
+pub mod panic;
 pub mod rng;
 pub mod trace;
 
+pub use budget::{Budget, BudgetDimension};
 pub use diag::{Diagnostic, LineIndex, Span};
 pub use error::OiError;
 pub use index::IdxVec;

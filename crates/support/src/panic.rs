@@ -1,0 +1,86 @@
+//! Panic containment shared by the fuzz harness and the batch driver.
+//!
+//! Both drivers run many untrusted compilations in one process and must
+//! turn a panicking job into a reported finding instead of a dead
+//! process. The pattern is always the same — `catch_unwind` around the
+//! job, panic payload rendered to a string, and the default panic hook
+//! (which prints a backtrace per panic) silenced for the session so a
+//! hostile corpus cannot flood the output. This module centralizes it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f`, converting a panic into an `Err` carrying the payload
+/// rendered as a string.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers hand in
+/// borrows of state they will discard (or only read) after a panic, which
+/// is the contained-job contract.
+///
+/// # Errors
+///
+/// Returns the panic message when `f` panics (`"non-string panic
+/// payload"` when the payload is not a `String` or `&str`).
+pub fn contained<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_else(|| "non-string panic payload".to_owned())
+    })
+}
+
+/// Silences the process-global panic hook until the returned guard drops,
+/// restoring the previous hook afterwards.
+///
+/// Install this once per session *before* spawning contained jobs (the
+/// hook is process-global, so set it from the driver thread, not from
+/// workers). Nesting is safe — each guard restores what it replaced.
+#[must_use = "the hook is restored when the guard drops"]
+pub fn silence_hook() -> HookGuard {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    HookGuard { prev: Some(prev) }
+}
+
+/// A boxed panic hook, as [`std::panic::take_hook`] returns it.
+type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// Restores the previous panic hook on drop; see [`silence_hook`].
+pub struct HookGuard {
+    prev: Option<Hook>,
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contained_passes_values_through() {
+        assert_eq!(contained(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn contained_renders_string_payloads() {
+        let _quiet = silence_hook();
+        let err = contained(|| -> () { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, "boom 7");
+        let err = contained(|| -> () { panic!("plain") }).unwrap_err();
+        assert_eq!(err, "plain");
+    }
+
+    #[test]
+    fn contained_renders_non_string_payloads() {
+        let _quiet = silence_hook();
+        let err = contained(|| -> () { std::panic::panic_any(17_usize) }).unwrap_err();
+        assert_eq!(err, "non-string panic payload");
+    }
+}

@@ -8,7 +8,9 @@
 //! ```
 
 use oi_benchmarks::{evaluate, BenchSize};
-use oi_core::pipeline::{baseline, optimize, InlineConfig};
+use oi_core::ladder::{optimize_with_ladder, LadderConfig};
+use oi_core::pipeline::{baseline, InlineConfig};
+use oi_support::Budget;
 use oi_vm::VmConfig;
 
 fn main() {
@@ -49,7 +51,9 @@ fn main() {
     )
     .unwrap();
     let inl = oi_vm::run(
-        &optimize(&program, &InlineConfig::default()).program,
+        &optimize_with_ladder(&program, &LadderConfig::default(), &Budget::unlimited())
+            .optimized
+            .program,
         &VmConfig::default(),
     )
     .unwrap();

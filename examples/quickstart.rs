@@ -5,7 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use object_inlining::{baseline_default, compile, optimize_default, run_default};
+use object_inlining::support::Budget;
+use object_inlining::{baseline_default, compile, optimize_resilient, run_default};
 
 const SOURCE: &str = "
 class Point {
@@ -43,11 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = compile(SOURCE)?;
 
     let base = baseline_default(&program);
-    let optimized = optimize_default(&program);
+    // The resilient entry point degrades (never panics) on pathological
+    // inputs; a healthy program lands on the `guarded-full` tier.
+    let optimized = optimize_resilient(&program, &Budget::unlimited()).optimized;
 
     println!(
-        "fields inlined automatically: {}",
-        optimized.report.fields_inlined
+        "fields inlined automatically: {} [tier: {}]",
+        optimized.report.fields_inlined, optimized.report.tier
     );
     for outcome in &optimized.report.outcomes {
         let verdict = if outcome.inlined { "inlined" } else { "kept" };

@@ -8,7 +8,8 @@
 //! cargo run --example rectangle_inline
 //! ```
 
-use object_inlining::{compile, optimize_default, run_default};
+use object_inlining::support::Budget;
+use object_inlining::{compile, optimize_resilient, run_default};
 
 /// A direct transliteration of the paper's Figures 1, 3, 4 and 5 (with
 /// `do_rectangle` monomorphised per call through contour analysis, exactly
@@ -66,7 +67,7 @@ fn main() {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = compile(SOURCE)?;
-    let optimized = optimize_default(&program);
+    let optimized = optimize_resilient(&program, &Budget::unlimited()).optimized;
 
     println!("== decisions ==");
     for outcome in &optimized.report.outcomes {

@@ -12,17 +12,27 @@
 //! variable (`text`, `json`, `off`) does the same without a flag. `--json`
 //! output is schema-stable (`oic.run.v1`, `oic.compare.v1`, `oic.report.v1`,
 //! `oic.explain.v1`) and includes per-phase wall-clock timings.
+//!
+//! Every optimizing command compiles through the graceful-degradation
+//! ladder: panics, pipeline errors, and oracle rejections descend a tier
+//! instead of crashing, and `--max-rounds N` / `--deadline-ms N` arm an
+//! analysis budget whose exhaustion soundly widens the analysis (the
+//! report says `degraded`) rather than failing the compile. `oic batch`
+//! applies the same machinery to whole directories with per-job panic
+//! isolation.
 
-use object_inlining::{baseline_default, compile, optimize_default};
+use object_inlining::{baseline_default, compile, optimize_resilient};
+use oi_core::ladder::LadderOutcome;
 use oi_support::cli::{Arg, ArgScanner};
 use oi_support::trace::{self, TraceMode, Tracer};
-use oi_support::Json;
+use oi_support::{Budget, Json};
 use oi_vm::{run, RunResult, VmConfig};
 use std::process::ExitCode;
 use std::rc::Rc;
+use std::time::Duration;
 
 const USAGE: &str =
-    "usage: oic <run|compare|report|explain|dump|bench|fuzz> [flags] <file.oi> [Class.field]\n\
+    "usage: oic <run|compare|report|explain|dump|bench|fuzz|batch> [flags] <file.oi> [Class.field]\n\
     \n\
     run      execute the program (baseline pipeline; --inline for the\n\
     \x20        object-inlining pipeline) and print metrics\n\
@@ -35,8 +45,12 @@ const USAGE: &str =
     dump     print the IR (after --inline: the transformed program)\n\
     bench    benchmark observatory passthrough (oic bench snapshot|compare)\n\
     fuzz     adversarial differential fuzzing (oic fuzz --runs N --seed S)\n\
+    batch    panic-isolated fleet compilation (oic batch <dir> --deadline-ms N)\n\
     \n\
     --json          machine-readable output (run, compare, report, explain)\n\
+    --max-rounds N / --deadline-ms N\n\
+    \x20              analysis resource budget; exhaustion degrades the\n\
+    \x20              analysis (sound, coarser result) instead of failing\n\
     --trace[=MODE]  stream trace events to stderr (text or json);\n\
     \x20              the OIC_TRACE environment variable does the same";
 
@@ -51,6 +65,23 @@ struct Cli {
     max_heap_words: Option<u64>,
     max_instructions: Option<u64>,
     max_depth: Option<usize>,
+    max_rounds: Option<u64>,
+    deadline_ms: Option<u64>,
+}
+
+impl Cli {
+    /// A fresh analysis budget from the `--max-rounds` / `--deadline-ms`
+    /// flags (budgets are single-use: exhaustion is sticky).
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(rounds) = self.max_rounds {
+            b = b.with_rounds(rounds);
+        }
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        b
+    }
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -63,6 +94,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut max_heap_words: Option<u64> = None;
     let mut max_instructions: Option<u64> = None;
     let mut max_depth: Option<usize> = None;
+    let mut max_rounds: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut scanner = ArgScanner::new(args.to_vec());
     while let Some(arg) = scanner.next() {
         match arg? {
@@ -79,6 +112,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 "max-depth" => {
                     max_depth = Some(parse_limit(&mut scanner, "--max-depth")? as usize);
+                }
+                "max-rounds" => {
+                    max_rounds = Some(parse_limit(&mut scanner, "--max-rounds")?);
+                }
+                "deadline-ms" => {
+                    deadline_ms = Some(parse_limit(&mut scanner, "--deadline-ms")?);
                 }
                 _ => return Err(format!("unknown flag `--{name}`")),
             },
@@ -151,6 +190,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         max_heap_words,
         max_instructions,
         max_depth,
+        max_rounds,
+        deadline_ms,
     })
 }
 
@@ -167,6 +208,20 @@ fn parse_limit(scanner: &mut ArgScanner, flag: &str) -> Result<u64, String> {
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("oic: {msg}\n\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// Tells the user (on stderr, so pipelines stay clean) when a compile did
+/// not land on the top tier at full precision.
+fn note_tier(out: &LadderOutcome) {
+    for d in &out.descents {
+        eprintln!("oic: tier descent {} -> {}: {}", d.from, d.to, d.reason);
+    }
+    if out.optimized.report.degraded {
+        eprintln!(
+            "oic: analysis budget exhausted; completed with widened contours on tier `{}`",
+            out.tier_name()
+        );
+    }
 }
 
 /// The tracer's aggregated per-phase wall-clock table as JSON.
@@ -223,6 +278,10 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("fuzz") {
         return ExitCode::from(oi_bench::fuzz::cli_main(&args[1..]));
     }
+    // `oic batch ...` forwards to the panic-isolated batch driver.
+    if args.first().map(String::as_str) == Some("batch") {
+        return ExitCode::from(oi_bench::batch::cli_main(&args[1..]));
+    }
     let cli = match parse_cli(&args) {
         Ok(c) => c,
         Err(msg) => return usage_error(&msg),
@@ -254,8 +313,9 @@ fn main() -> ExitCode {
     match cli.command.as_str() {
         "run" => {
             let (built, report) = if cli.inline {
-                let o = optimize_default(&program);
-                (o.program, Some(o.report))
+                let o = optimize_resilient(&program, &cli.budget());
+                note_tier(&o);
+                (o.optimized.program, Some(o.optimized.report))
             } else {
                 (baseline_default(&program), None)
             };
@@ -312,7 +372,11 @@ fn main() -> ExitCode {
         }
         "compare" => {
             let base = baseline_default(&program);
-            let opt = optimize_default(&program);
+            let opt = {
+                let o = optimize_resilient(&program, &cli.budget());
+                note_tier(&o);
+                o.optimized
+            };
             let base_res = {
                 let _s = trace::span("vm.run.baseline");
                 run(&base, &VmConfig::default())
@@ -384,7 +448,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "report" => {
-            let opt = optimize_default(&program);
+            let opt = {
+                let o = optimize_resilient(&program, &cli.budget());
+                note_tier(&o);
+                o.optimized
+            };
             if cli.json {
                 let j = Json::obj(vec![
                     ("schema", "oic.report.v1".into()),
@@ -395,8 +463,15 @@ fn main() -> ExitCode {
                 println!("{j}");
             } else {
                 println!(
-                    "{} field(s) inlined, {} array site(s) inlined",
-                    opt.report.fields_inlined, opt.report.array_sites_inlined
+                    "{} field(s) inlined, {} array site(s) inlined [tier: {}{}]",
+                    opt.report.fields_inlined,
+                    opt.report.array_sites_inlined,
+                    opt.report.tier,
+                    if opt.report.degraded {
+                        ", degraded"
+                    } else {
+                        ""
+                    }
                 );
                 for o in &opt.report.outcomes {
                     if o.inlined {
@@ -414,8 +489,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "explain" => {
-            let field = cli.field.expect("parser guarantees a field for explain");
-            let opt = optimize_default(&program);
+            let field = cli
+                .field
+                .clone()
+                .expect("parser guarantees a field for explain");
+            let opt = {
+                let o = optimize_resilient(&program, &cli.budget());
+                note_tier(&o);
+                o.optimized
+            };
             let chain: Vec<_> = opt
                 .report
                 .provenance
@@ -485,7 +567,9 @@ fn main() -> ExitCode {
         }
         "dump" => {
             let built = if cli.inline {
-                optimize_default(&program).program
+                let o = optimize_resilient(&program, &cli.budget());
+                note_tier(&o);
+                o.optimized.program
             } else {
                 baseline_default(&program)
             };

@@ -53,9 +53,10 @@ pub use oi_lang as lang;
 pub use oi_support as support;
 pub use oi_vm as vm;
 
+use oi_core::ladder::{optimize_with_ladder, LadderConfig, LadderOutcome};
 use oi_core::pipeline::{InlineConfig, Optimized};
 use oi_ir::Program;
-use oi_support::Diagnostic;
+use oi_support::{Budget, Diagnostic};
 use oi_vm::{RunResult, VmConfig, VmError};
 
 /// Parses and lowers Izzy source to IR.
@@ -68,8 +69,23 @@ pub fn compile(source: &str) -> Result<Program, Diagnostic> {
 }
 
 /// Runs the full object-inlining pipeline with default settings.
+///
+/// Panics if the analysis diverges; resource-constrained or untrusted
+/// inputs should go through [`optimize_resilient`], which degrades
+/// instead of failing.
 pub fn optimize_default(program: &Program) -> Optimized {
     oi_core::pipeline::optimize(program, &InlineConfig::default())
+}
+
+/// Runs the pipeline through the graceful-degradation ladder under a
+/// resource [`Budget`]: never panics, never diverges. An exhausted budget
+/// completes the analysis with globally widened (sound, coarser)
+/// contours and flags the report `degraded`; a tier that panics, errors,
+/// or fails its differential oracle descends one rung
+/// (`guarded-full` → `reduced-precision` → `inlining-off`), recorded as
+/// rule-6 provenance on the report.
+pub fn optimize_resilient(program: &Program, budget: &Budget) -> LadderOutcome {
+    optimize_with_ladder(program, &LadderConfig::default(), budget)
 }
 
 /// The comparison pipeline: devirtualization and cleanups, no inlining.

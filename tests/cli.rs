@@ -372,6 +372,127 @@ fn bench_passthrough_shares_the_oi_bench_cli() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("oi.bench.v1"));
 }
 
+/// A one-round analysis budget exhausts on any real program; the compile
+/// must still land (globally widened, flagged `degraded`) with the
+/// exhaustion recorded as explainable `<pipeline>` provenance.
+#[test]
+fn starved_budget_degrades_with_tier_and_provenance() {
+    use oi_support::Json;
+    let path = write_temp("degraded.oi", PROGRAM);
+    let out = oic()
+        .args([
+            "report",
+            "--json",
+            "--max-rounds",
+            "1",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let report = doc.get("report").unwrap();
+    assert_eq!(report.get("degraded"), Some(&Json::Bool(true)));
+    assert_eq!(
+        report.get("tier").and_then(Json::as_str),
+        Some("guarded-full"),
+        "budget exhaustion degrades in place; it does not descend tiers"
+    );
+    let prov = report.get("provenance").and_then(Json::as_arr).unwrap();
+    assert!(
+        prov.iter().any(|s| {
+            s.get("field").and_then(Json::as_str) == Some("<pipeline>")
+                && s.get("code").and_then(Json::as_str) == Some("budget-exhausted")
+        }),
+        "expected a budget-exhausted provenance step: {prov:?}"
+    );
+    // The pseudo-field is explainable like any other decision subject.
+    let out = oic()
+        .args([
+            "explain",
+            "--max-rounds",
+            "1",
+            path.to_str().unwrap(),
+            "<pipeline>",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("budget-exhausted"), "{stdout}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("budget exhausted"), "{err}");
+}
+
+/// `oic batch` forwards to the panic-isolated batch driver and emits a
+/// schema-stable `oi.batch.v1` document.
+#[test]
+fn batch_compiles_a_directory_and_reports_tiers() {
+    use oi_support::Json;
+    let dir = std::env::temp_dir().join("oi-cli-tests-batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("one.oi"), PROGRAM).unwrap();
+    std::fs::write(dir.join("two.oi"), PROGRAM).unwrap();
+    let out = oic()
+        .args(["batch", "--json", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("oi.batch.v1")
+    );
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        doc.get("tier_counts")
+            .and_then(|t| t.get("guarded-full"))
+            .and_then(Json::as_i64),
+        Some(2)
+    );
+
+    // A starved budget degrades jobs but fails none.
+    let out = oic()
+        .args([
+            "batch",
+            "--json",
+            "--max-rounds",
+            "1",
+            "--keep-going",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert!(doc.get("degraded").and_then(Json::as_i64).unwrap() > 0);
+
+    // Usage errors keep the strict exit-2 discipline.
+    let out = oic().args(["batch"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = oic().args(["batch", "--wat"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn trace_json_streams_events_to_stderr() {
     use oi_support::Json;
