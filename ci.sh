@@ -40,6 +40,17 @@ echo "==> fuzz-smoke (differential oracle, fixed seeds)"
 # or panic exits non-zero and fails CI.
 target/release/oic fuzz --runs 64 --seed 1
 target/release/oic fuzz --runs 64 --seed 97
+# The same corpus with checked execution: the heap sanitizer validates
+# every inline-object invariant during the inlined runs; any finding is
+# an oracle rejection and fails the session.
+target/release/oic fuzz --runs 64 --seed 1 --checked
+
+echo "==> chaos-smoke (fault-injection matrix vs the detection lattice)"
+# Injects every fault class from the systematic matrix into the sentinel
+# corpus. The driver exits non-zero unless every class is detected
+# (sanitizer or oracle), the culprit decision retracted, the repaired
+# output restored baseline-equal, and zero faults escape.
+target/release/oic chaos --json --out target/chaos_smoke.json
 
 echo "==> batch-smoke (panic-isolated fleet compilation under pressure)"
 # The batch driver compiles the example programs plus a fixed-seed fuzz

@@ -80,6 +80,10 @@ pub struct JobResult {
     pub divergences: usize,
     /// Firewall retractions on the landing tier.
     pub retractions: usize,
+    /// Ladder descents whose oracle rejection was a *sanitizer* finding
+    /// (checked execution caught inline-state corruption the output
+    /// comparison alone would have missed). Additive `oi.batch.v1` field.
+    pub sanitizer_rejections: usize,
     /// `true` when the job needed the panic-retry at `inlining-off`.
     pub retried_after_panic: bool,
     /// Wall-clock time spent on the job.
@@ -107,6 +111,7 @@ impl JobResult {
             ("descents", self.descents.into()),
             ("divergences", self.divergences.into()),
             ("retractions", self.retractions.into()),
+            ("sanitizer_rejections", self.sanitizer_rejections.into()),
             ("retried_after_panic", self.retried_after_panic.into()),
             ("fields_inlined", self.fields_inlined.into()),
             ("wall_ms", self.wall_ms.into()),
@@ -154,11 +159,14 @@ impl BatchReport {
     /// The report as a schema-stable `oi.batch.v1` document.
     pub fn to_json(&self) -> Json {
         let degraded = self.results.iter().filter(|r| r.degraded).count();
+        let sanitizer_rejections: usize = self.results.iter().map(|r| r.sanitizer_rejections).sum();
         Json::obj(vec![
             ("schema", "oi.batch.v1".into()),
             ("total", self.results.len().into()),
             ("skipped", self.skipped.into()),
             ("degraded", degraded.into()),
+            // Additive fleet counter: sanitizer-caught oracle rejections.
+            ("sanitizer_rejections", sanitizer_rejections.into()),
             (
                 "tier_counts",
                 Json::Obj(
@@ -203,6 +211,11 @@ fn attempt(source: &str, start: Tier, budget: &Budget) -> Result<JobResult, Stri
         .iter()
         .filter(|d| d.reason.starts_with("oracle rejection"))
         .count();
+    let sanitizer_rejections = out
+        .descents
+        .iter()
+        .filter(|d| d.reason.contains("sanitizer reported"))
+        .count();
     Ok(JobResult {
         name: String::new(),
         tier: out.tier_name().to_owned(),
@@ -210,6 +223,7 @@ fn attempt(source: &str, start: Tier, budget: &Budget) -> Result<JobResult, Stri
         descents: out.descents.len(),
         divergences,
         retractions: out.optimized.report.retractions,
+        sanitizer_rejections,
         retried_after_panic: false,
         wall_ms: 0,
         fields_inlined: out.optimized.report.fields_inlined,
@@ -231,6 +245,7 @@ fn run_job(job: &BatchJob, config: &BatchConfig) -> JobResult {
                 descents: 0,
                 divergences: 0,
                 retractions: 0,
+                sanitizer_rejections: 0,
                 retried_after_panic: false,
                 wall_ms: 0,
                 fields_inlined: 0,
@@ -252,6 +267,7 @@ fn run_job(job: &BatchJob, config: &BatchConfig) -> JobResult {
                         descents: 0,
                         divergences: 0,
                         retractions: 0,
+                        sanitizer_rejections: 0,
                         retried_after_panic: true,
                         wall_ms: 0,
                         fields_inlined: 0,
@@ -264,6 +280,7 @@ fn run_job(job: &BatchJob, config: &BatchConfig) -> JobResult {
                         descents: 0,
                         divergences: 0,
                         retractions: 0,
+                        sanitizer_rejections: 0,
                         retried_after_panic: true,
                         wall_ms: 0,
                         fields_inlined: 0,
@@ -695,9 +712,15 @@ mod tests {
             "descents",
             "divergences",
             "retractions",
+            "sanitizer_rejections",
             "wall_ms",
         ] {
             assert!(jobs[0].get(key).is_some(), "missing jobs[].{key}");
         }
+        assert_eq!(
+            parsed.get("sanitizer_rejections").and_then(Json::as_i64),
+            Some(0),
+            "healthy batch must have no sanitizer-caught rejections"
+        );
     }
 }

@@ -1,0 +1,573 @@
+//! Systematic fault injection: `oic chaos`.
+//!
+//! Runs every [`Fault`] class against a curated sentinel corpus and
+//! reports a detection table: which defense caught each fault
+//! (sanitizer or differential oracle), whether the culprit decision was
+//! retracted, and whether the repaired program's output was restored to
+//! baseline-equal. The corpus is small by design — each sentinel is the
+//! minimal program shape on which a fault class has *purchase* (a fault
+//! that cannot bite a program is recorded as benign there, not escaped):
+//!
+//! - `rect`: non-contiguous inline layouts plus redirected loads — the
+//!   bite surface for `compact-first-layout-slots`, `skip-use-redirect`,
+//!   and `off-by-one-slot-rewrite`;
+//! - `copy`: constructor-argument children stored by value — the bite
+//!   surface for `drop-assign-copy`'s omitted field copy;
+//! - `siblings`: two classes sharing a selector behind a container — the
+//!   bite surface for `wrong-devirt-target`.
+//!
+//! A fault **escapes** when it changed the built program but neither the
+//! sanitizer nor the oracle objected — the one outcome the soundness
+//! story cannot tolerate. Exit 0 requires every fault class detected
+//! somewhere, every detection repaired, and zero escapes anywhere.
+
+use oi_core::firewall::{optimize_guarded, Divergence, FirewallConfig};
+use oi_core::pipeline::{optimize, InlineConfig};
+use oi_core::Fault;
+use oi_support::Json;
+use std::fmt::Write as _;
+
+/// The sentinel corpus: `(name, source)`, one program per bite surface.
+pub const SENTINELS: [(&str, &str); 3] = [
+    (
+        "rect",
+        "global KEEP;
+         class Point { field x; field y;
+           method init(a, b) { self.x = a; self.y = b; }
+         }
+         class Rect { field ll; field ur;
+           method init(a, b) { self.ll = new Point(a, a + 1); self.ur = new Point(b, b + 3); }
+           method span() { return self.ur.x - self.ll.x + self.ur.y - self.ll.y; }
+         }
+         fn main() {
+           var r = new Rect(1, 10);
+           KEEP = r;
+           print KEEP.ll.x;
+           print KEEP.ll.y;
+           print KEEP.span();
+         }",
+    ),
+    (
+        "copy",
+        "global KEEP;
+         class Point { field x; field y;
+           method init(a, b) { self.x = a; self.y = b; }
+         }
+         class Rect { field ll; field ur;
+           method init(a, b) { self.ll = a; self.ur = b; }
+         }
+         fn main() {
+           var r = new Rect(new Point(1, 2), new Point(3, 4));
+           KEEP = r;
+           print KEEP.ll.x;
+           print KEEP.ll.y;
+           print KEEP.ur.x;
+           print KEEP.ur.y;
+         }",
+    ),
+    (
+        "siblings",
+        "global KEEP;
+         class A { field v; method init(a) { self.v = a; } method get() { return self.v; } }
+         class B { field w; method init(a) { self.w = a + 100; } method get() { return self.w; } }
+         class Box { field a; field b;
+           method init(x, y) { self.a = x; self.b = y; }
+         }
+         fn main() {
+           var box = new Box(new A(1), new B(2));
+           KEEP = box;
+           print KEEP.a.get();
+           print KEEP.b.get();
+         }",
+    ),
+];
+
+/// How one `(fault, sentinel)` cell resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Checked execution reported the corruption on the first probe.
+    CaughtSanitizer,
+    /// The differential oracle saw an output/status/census divergence.
+    CaughtOracle,
+    /// The fault had no purchase: the faulted build is identical to the
+    /// clean build, so there was nothing to detect.
+    Benign,
+    /// The faulted build differs from the clean build and nothing
+    /// objected — a hole in the detection lattice.
+    Escaped,
+}
+
+impl Outcome {
+    /// Stable kebab-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::CaughtSanitizer => "caught-sanitizer",
+            Outcome::CaughtOracle => "caught-oracle",
+            Outcome::Benign => "benign",
+            Outcome::Escaped => "escaped",
+        }
+    }
+}
+
+/// One `(fault, sentinel)` cell of the matrix.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Sentinel name from [`SENTINELS`].
+    pub program: String,
+    /// How the cell resolved.
+    pub outcome: Outcome,
+    /// Decision keys the firewall retracted to repair the fault.
+    pub retracted: Vec<String>,
+    /// `true` when the returned program runs baseline-equal (always true
+    /// for benign cells; for caught cells it means repair succeeded).
+    pub restored: bool,
+    /// The first divergence the oracle saw, for the report.
+    pub first_divergence: String,
+}
+
+/// One fault class's row: its cells plus the rollup the exit code uses.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Per-sentinel cells, in [`SENTINELS`] order.
+    pub cases: Vec<Case>,
+}
+
+impl FaultRow {
+    fn count(&self, o: Outcome) -> usize {
+        self.cases.iter().filter(|c| c.outcome == o).count()
+    }
+
+    /// `true` when some sentinel detected this fault.
+    pub fn detected(&self) -> bool {
+        self.count(Outcome::CaughtSanitizer) + self.count(Outcome::CaughtOracle) > 0
+    }
+
+    /// Which defense caught it: `"sanitizer"`, `"oracle"`, or `"none"`.
+    /// The sanitizer takes precedence when both fired on different
+    /// sentinels (it is the earlier layer of the lattice).
+    pub fn detected_by(&self) -> &'static str {
+        if self.count(Outcome::CaughtSanitizer) > 0 {
+            "sanitizer"
+        } else if self.count(Outcome::CaughtOracle) > 0 {
+            "oracle"
+        } else {
+            "none"
+        }
+    }
+
+    /// `true` when the row meets the bar: detected somewhere, zero
+    /// escapes, and every detection was repaired with the culprit
+    /// decision retracted and output restored.
+    pub fn ok(&self) -> bool {
+        self.detected()
+            && self.count(Outcome::Escaped) == 0
+            && self.cases.iter().all(|c| {
+                !matches!(c.outcome, Outcome::CaughtSanitizer | Outcome::CaughtOracle)
+                    || (!c.retracted.is_empty() && c.restored)
+            })
+    }
+
+    /// The row as schema-stable JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("fault", self.fault.name().into()),
+            ("detected", self.detected().into()),
+            ("detected_by", self.detected_by().into()),
+            (
+                "caught_sanitizer",
+                self.count(Outcome::CaughtSanitizer).into(),
+            ),
+            ("caught_oracle", self.count(Outcome::CaughtOracle).into()),
+            ("benign", self.count(Outcome::Benign).into()),
+            ("escaped", self.count(Outcome::Escaped).into()),
+            ("ok", self.ok().into()),
+            (
+                "cases",
+                Json::Arr(
+                    self.cases
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("program", c.program.clone().into()),
+                                ("outcome", c.outcome.name().into()),
+                                ("retracted", c.retracted.len().into()),
+                                ("restored", c.restored.into()),
+                                ("first_divergence", c.first_divergence.clone().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The whole matrix.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// One row per injected fault, in [`Fault::ALL`] order (or the single
+    /// `--fault` row).
+    pub rows: Vec<FaultRow>,
+}
+
+impl ChaosReport {
+    /// `true` when every row meets the bar ([`FaultRow::ok`]).
+    pub fn ok(&self) -> bool {
+        !self.rows.is_empty() && self.rows.iter().all(FaultRow::ok)
+    }
+
+    /// Escapes across the whole matrix.
+    pub fn escapes(&self) -> usize {
+        self.rows.iter().map(|r| r.count(Outcome::Escaped)).sum()
+    }
+
+    /// The report as a schema-stable `oi.chaos.v1` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", "oi.chaos.v1".into()),
+            (
+                "corpus",
+                Json::Arr(SENTINELS.iter().map(|&(n, _)| n.into()).collect()),
+            ),
+            (
+                "faults",
+                Json::Arr(self.rows.iter().map(FaultRow::to_json).collect()),
+            ),
+            (
+                "detected",
+                self.rows.iter().filter(|r| r.detected()).count().into(),
+            ),
+            ("escaped", self.escapes().into()),
+            ("ok", self.ok().into()),
+        ])
+    }
+}
+
+/// Runs one `(fault, sentinel)` cell: inject, probe, classify.
+fn run_case(name: &str, source: &str, fault: Fault) -> Case {
+    let program = oi_ir::lower::compile(source).expect("sentinel programs compile");
+    let inline = InlineConfig::default();
+    let fw = FirewallConfig {
+        fault: Some(fault),
+        ..FirewallConfig::default()
+    };
+    let g = match optimize_guarded(&program, &inline, &fw) {
+        Ok(g) => g,
+        Err(e) => {
+            // The injected fault broke the build itself; the pipeline's
+            // typed error is a detection by construction, but nothing was
+            // retracted or restored, so report it as an unrepaired catch.
+            return Case {
+                program: name.to_owned(),
+                outcome: Outcome::CaughtOracle,
+                retracted: Vec::new(),
+                restored: false,
+                first_divergence: format!("pipeline error: {e}"),
+            };
+        }
+    };
+    let first = g
+        .initial_divergences
+        .first()
+        .map(|d| d.to_string())
+        .unwrap_or_default();
+    if !g.initial_divergences.is_empty() {
+        let sanitizer = g.initial_divergences.iter().any(|d| {
+            matches!(d, Divergence::Sanitizer { .. })
+                || matches!(d, Divergence::Status { optimized, .. }
+                    if optimized.contains("checked execution"))
+        });
+        return Case {
+            program: name.to_owned(),
+            outcome: if sanitizer {
+                Outcome::CaughtSanitizer
+            } else {
+                Outcome::CaughtOracle
+            },
+            retracted: g.retracted.clone(),
+            restored: g.is_equivalent(),
+            first_divergence: first,
+        };
+    }
+    // Nothing objected. Since no retraction ran, `g.optimized` *is* the
+    // faulted build: compare it against a clean build to tell a fault
+    // with no purchase (benign) from one that silently changed the
+    // program (escaped).
+    let clean = optimize(&program, &inline);
+    let escaped = format!("{:?}", g.optimized.program) != format!("{:?}", clean.program);
+    Case {
+        program: name.to_owned(),
+        outcome: if escaped {
+            Outcome::Escaped
+        } else {
+            Outcome::Benign
+        },
+        retracted: g.retracted.clone(),
+        restored: g.is_equivalent(),
+        first_divergence: first,
+    }
+}
+
+/// Runs the matrix: every fault in `faults` against every sentinel.
+pub fn run_chaos(faults: &[Fault]) -> ChaosReport {
+    let mut report = ChaosReport::default();
+    for &fault in faults {
+        let cases = SENTINELS
+            .iter()
+            .map(|&(name, source)| run_case(name, source, fault))
+            .collect();
+        report.rows.push(FaultRow { fault, cases });
+    }
+    report
+}
+
+const USAGE: &str = "usage: oic chaos [flags]
+
+Injects every fault class from the systematic fault matrix into a
+sentinel corpus and reports which defense layer caught each one
+(heap sanitizer or differential oracle), whether the culprit decision
+was retracted, and whether output was restored to baseline-equal.
+Exit 0 only when every fault class is detected and repaired with zero
+escapes; 1 otherwise; 2 on usage errors.
+
+  --fault NAME      run a single fault class (see `--list`)
+  --list            print the fault class names and exit
+  --json            emit a schema-stable oi.chaos.v1 document
+  --out FILE        write the report to FILE instead of stdout
+";
+
+/// Runs the `oic chaos` command-line interface on pre-split arguments and
+/// returns the process exit code.
+pub fn cli_main(args: &[String]) -> u8 {
+    use oi_support::cli::{Arg, ArgScanner};
+    let mut faults: Vec<Fault> = Fault::ALL.to_vec();
+    let mut json_output = false;
+    let mut out: Option<String> = None;
+    let mut scanner = ArgScanner::new(args.to_vec());
+    while let Some(arg) = scanner.next() {
+        let arg = match arg {
+            Ok(arg) => arg,
+            Err(msg) => return usage_error(&msg),
+        };
+        match arg {
+            Arg::Flag { name, value: None } => match name.as_str() {
+                "fault" => {
+                    let v = scanner.value_for("--fault").unwrap_or_default();
+                    match Fault::parse(&v) {
+                        Some(f) => faults = vec![f],
+                        None => {
+                            return usage_error(&format!(
+                                "unknown fault `{v}` (try `oic chaos --list`)"
+                            ))
+                        }
+                    }
+                }
+                "list" => {
+                    for f in Fault::ALL {
+                        println!("{}", f.name());
+                    }
+                    return 0;
+                }
+                "json" => json_output = true,
+                "out" => match scanner.value_for("--out") {
+                    Ok(path) => out = Some(path),
+                    Err(_) => return usage_error("`--out` needs a file path"),
+                },
+                "help" => {
+                    print!("{USAGE}");
+                    return 0;
+                }
+                other => return usage_error(&format!("unknown flag `--{other}`")),
+            },
+            Arg::Flag { name, value } => {
+                return usage_error(&format!(
+                    "unknown flag `--{name}={}`",
+                    value.unwrap_or_default()
+                ));
+            }
+            Arg::Positional(p) => {
+                return usage_error(&format!("unexpected argument `{p}`"));
+            }
+        }
+    }
+    eprintln!(
+        "chaos: {} fault class(es) x {} sentinel(s)...",
+        faults.len(),
+        SENTINELS.len()
+    );
+    let report = run_chaos(&faults);
+    let rendered = if json_output {
+        report.to_json().to_string()
+    } else {
+        render_text(&report)
+    };
+    let code = write_out(&rendered, out.as_deref());
+    if code != 0 {
+        return code;
+    }
+    u8::from(!report.ok())
+}
+
+fn usage_error(msg: &str) -> u8 {
+    eprintln!("{msg}");
+    2
+}
+
+fn render_text(report: &ChaosReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:28} {:10} {:>4} {:>4} {:>4} {:>4}  verdict",
+        "fault", "caught-by", "san", "orcl", "bngn", "esc"
+    );
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:28} {:10} {:>4} {:>4} {:>4} {:>4}  {}",
+            row.fault.name(),
+            row.detected_by(),
+            row.count(Outcome::CaughtSanitizer),
+            row.count(Outcome::CaughtOracle),
+            row.count(Outcome::Benign),
+            row.count(Outcome::Escaped),
+            if row.ok() { "ok" } else { "FAIL" }
+        );
+        for c in &row.cases {
+            if matches!(c.outcome, Outcome::CaughtSanitizer | Outcome::CaughtOracle) {
+                let _ = writeln!(
+                    out,
+                    "  {:9} {} retracted={} restored={}",
+                    c.program,
+                    c.outcome.name(),
+                    c.retracted.len(),
+                    c.restored
+                );
+                if !c.first_divergence.is_empty() {
+                    let _ = writeln!(out, "            {}", c.first_divergence);
+                }
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "{}/{} detected, {} escape(s): {}",
+        report.rows.iter().filter(|r| r.detected()).count(),
+        report.rows.len(),
+        report.escapes(),
+        if report.ok() { "OK" } else { "FINDINGS" }
+    );
+    out
+}
+
+/// Writes `doc` to `path` (with a trailing newline) or stdout.
+fn write_out(doc: &str, path: Option<&str>) -> u8 {
+    match path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!("wrote {path}");
+            0
+        }
+        None => {
+            println!("{doc}");
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fault_class_is_detected_and_repaired_with_zero_escapes() {
+        let report = run_chaos(&Fault::ALL);
+        assert_eq!(report.rows.len(), Fault::ALL.len());
+        for row in &report.rows {
+            assert!(
+                row.detected(),
+                "{} escaped every sentinel: {:?}",
+                row.fault.name(),
+                row.cases
+            );
+            assert_eq!(
+                row.count(Outcome::Escaped),
+                0,
+                "{} escaped on some sentinel: {:?}",
+                row.fault.name(),
+                row.cases
+            );
+            assert!(row.ok(), "{} row not ok: {:?}", row.fault.name(), row.cases);
+        }
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn sanitizer_owned_faults_are_credited_to_the_sanitizer() {
+        // These two corruptions are invisible to output comparison on at
+        // least one sentinel and exist precisely to exercise checked
+        // execution; the detection table must credit the sanitizer.
+        for fault in [Fault::OffByOneSlotRewrite, Fault::DropAssignCopy] {
+            let report = run_chaos(&[fault]);
+            assert_eq!(
+                report.rows[0].detected_by(),
+                "sanitizer",
+                "{}: {:?}",
+                fault.name(),
+                report.rows[0].cases
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_sentinels_are_benign_under_no_fault_purchase() {
+        // WrongDevirtTarget has no purchase on `copy` (no sibling
+        // selectors), so that cell must classify as benign, not escaped.
+        let report = run_chaos(&[Fault::WrongDevirtTarget]);
+        let copy = report.rows[0]
+            .cases
+            .iter()
+            .find(|c| c.program == "copy")
+            .unwrap();
+        assert_eq!(copy.outcome, Outcome::Benign, "{copy:?}");
+    }
+
+    #[test]
+    fn json_document_is_schema_stable() {
+        let report = run_chaos(&[Fault::SkipUseRedirect]);
+        let doc = report.to_json().to_string();
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some("oi.chaos.v1"));
+        for key in ["corpus", "faults", "detected", "escaped", "ok"] {
+            assert!(parsed.get(key).is_some(), "missing {key}");
+        }
+        let rows = parsed.get("faults").unwrap().as_arr().unwrap();
+        for key in [
+            "fault",
+            "detected",
+            "detected_by",
+            "caught_sanitizer",
+            "caught_oracle",
+            "benign",
+            "escaped",
+            "ok",
+            "cases",
+        ] {
+            assert!(rows[0].get(key).is_some(), "missing faults[].{key}");
+        }
+        let cases = rows[0].get("cases").unwrap().as_arr().unwrap();
+        for key in [
+            "program",
+            "outcome",
+            "retracted",
+            "restored",
+            "first_divergence",
+        ] {
+            assert!(cases[0].get(key).is_some(), "missing cases[].{key}");
+        }
+    }
+}

@@ -14,12 +14,12 @@
 //! The driver is exposed as `oic fuzz --runs N --seed S [--json]`,
 //! emitting a schema-stable `oi.fuzz.v1` document.
 
-use oi_core::firewall::{compare_runs, optimize_guarded, FirewallConfig};
+use oi_core::firewall::{compare_runs, optimize_guarded, Divergence, FirewallConfig};
 use oi_core::pipeline::{try_baseline, try_optimize, InlineConfig};
 use oi_support::panic::{contained, silence_hook};
 use oi_support::rng::XorShift64;
 use oi_support::Json;
-use oi_vm::{run, VmConfig};
+use oi_vm::{run, CheckLevel, VmConfig};
 use std::fmt::Write as _;
 
 /// Fuzzing-loop parameters.
@@ -33,6 +33,10 @@ pub struct FuzzConfig {
     /// — adversarial programs recurse and loop, and a resource-limited run
     /// is treated as indeterminate by the oracle, not as a divergence.
     pub vm: VmConfig,
+    /// Run each case's inlined build under `Full` sanitizer checking
+    /// (`oic fuzz --checked`). Off by default: checking roughly doubles
+    /// per-case cost, and the unchecked oracle is the baseline contract.
+    pub checked: bool,
 }
 
 impl Default for FuzzConfig {
@@ -41,6 +45,7 @@ impl Default for FuzzConfig {
             runs: 100,
             seed: 1,
             vm: fuzz_vm_config(),
+            checked: false,
         }
     }
 }
@@ -97,6 +102,10 @@ pub struct FuzzReport {
     pub retractions: usize,
     /// Cases where retraction repaired an initially-diverging build.
     pub repaired: usize,
+    /// Total sanitizer findings the checked oracle probes reported
+    /// (additive `oi.fuzz.v1` field; always 0 in unchecked sessions, and
+    /// expected 0 in checked sessions of a healthy tree).
+    pub sanitizer_findings: u64,
 }
 
 impl FuzzReport {
@@ -152,6 +161,9 @@ impl FuzzReport {
             ("retractions", self.retractions.into()),
             ("repaired", self.repaired.into()),
             ("ok", self.ok().into()),
+            // Additive (v1-compatible) field: present since the checked
+            // execution PR, ignored by older consumers.
+            ("sanitizer_findings", self.sanitizer_findings.into()),
         ])
     }
 }
@@ -522,6 +534,11 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
         report.compiled += 1;
         let fw = FirewallConfig {
             vm: config.vm,
+            checked: if config.checked {
+                CheckLevel::Full
+            } else {
+                CheckLevel::Off
+            },
             ..FirewallConfig::default()
         };
         let outcome = contained(|| {
@@ -531,6 +548,14 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
         match outcome {
             Ok(Ok(g)) => {
                 report.retractions += g.retracted.len();
+                report.sanitizer_findings += g
+                    .initial_divergences
+                    .iter()
+                    .filter_map(|d| match d {
+                        Divergence::Sanitizer { count, .. } => Some(*count),
+                        _ => None,
+                    })
+                    .sum::<u64>();
                 if !g.retracted.is_empty() && g.is_equivalent() {
                     report.repaired += 1;
                 }
@@ -565,12 +590,14 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
     report
 }
 
-const USAGE: &str = "usage: oic fuzz [--runs N] [--seed S] [--json] [--out FILE]
+const USAGE: &str = "usage: oic fuzz [--runs N] [--seed S] [--checked] [--json] [--out FILE]
 
 Generates adversarial programs, runs each under the soundness firewall's
 differential oracle, and reports divergences, panics, and retractions.
-Exit 0 when the session is clean, 1 when any finding survives, 2 on
-usage errors. --json emits a schema-stable oi.fuzz.v1 document.
+--checked additionally runs every inlined build under the Full heap
+sanitizer; findings count as oracle rejections and are totaled in the
+report. Exit 0 when the session is clean, 1 when any finding survives,
+2 on usage errors. --json emits a schema-stable oi.fuzz.v1 document.
 ";
 
 /// Runs the `oic fuzz` command-line interface on pre-split arguments and
@@ -607,6 +634,7 @@ pub fn cli_main(args: &[String]) -> u8 {
                     }
                 }
                 "json" => json_output = true,
+                "checked" => config.checked = true,
                 "out" => match scanner.value_for("--out") {
                     Ok(path) => out = Some(path),
                     Err(_) => return usage_error("`--out` needs a file path"),
@@ -659,6 +687,7 @@ fn render_text(report: &FuzzReport) -> String {
     let _ = writeln!(out, "  panics      : {}", report.panics.len());
     let _ = writeln!(out, "  retractions : {}", report.retractions);
     let _ = writeln!(out, "  repaired    : {}", report.repaired);
+    let _ = writeln!(out, "  sanitizer   : {}", report.sanitizer_findings);
     for d in &report.divergent {
         let _ = writeln!(
             out,
@@ -750,6 +779,7 @@ mod tests {
             runs: 12,
             seed: 1,
             vm: fuzz_vm_config(),
+            checked: false,
         });
         assert!(report.compiled > 0);
         assert!(
@@ -758,13 +788,45 @@ mod tests {
             report.divergent,
             report.panics
         );
+        assert_eq!(report.sanitizer_findings, 0, "unchecked session");
         let doc = report.to_json().to_string();
         let parsed = Json::parse(&doc).unwrap();
         assert_eq!(parsed.get("schema").unwrap().as_str(), Some("oi.fuzz.v1"));
         assert_eq!(parsed.get("ok").unwrap(), &Json::Bool(true));
-        for key in ["runs", "seed", "compiled", "retractions", "repaired"] {
+        for key in [
+            "runs",
+            "seed",
+            "compiled",
+            "retractions",
+            "repaired",
+            "sanitizer_findings",
+        ] {
             assert!(parsed.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn checked_session_is_clean() {
+        // The same corpus under Full checking: no sanitizer finding, no
+        // divergence, no panic — the transformation honors the invariants
+        // the sanitizer enforces.
+        let report = run_fuzz(&FuzzConfig {
+            runs: 12,
+            seed: 1,
+            vm: fuzz_vm_config(),
+            checked: true,
+        });
+        assert!(report.compiled > 0);
+        assert!(
+            report.ok(),
+            "divergent: {:?} panics: {:?}",
+            report.divergent,
+            report.panics
+        );
+        assert_eq!(
+            report.sanitizer_findings, 0,
+            "checked fuzzing must stay finding-free"
+        );
     }
 
     #[test]

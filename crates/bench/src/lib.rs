@@ -16,6 +16,7 @@
 //! underlying pipeline stages with the in-repo [`harness`].
 
 pub mod batch;
+pub mod chaos;
 pub mod cli;
 pub mod fuzz;
 pub mod harness;

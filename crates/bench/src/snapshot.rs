@@ -69,8 +69,14 @@ pub fn take_snapshot(size: BenchSize, samples: usize, git_rev: &str) -> Json {
             })
             .collect();
         let wall = Measurement::from_samples(nanos);
+        // Checked-execution cross-run: the inlined build must be
+        // finding-free under the Full sanitizer. The measured metrics
+        // above stay unchecked (`CheckLevel::Off`) so they are unaffected;
+        // the checked run contributes a 0-pinned `sanitizer.findings`
+        // gate and an advisory wall-clock overhead figure.
+        let sanitizer = checked_cross_run(&bench, &inline);
         tiers.push(eval.report.tier.clone());
-        rows.push(benchmark_row(&eval, &tracer, &wall));
+        rows.push(benchmark_row(&eval, &tracer, &wall, &sanitizer));
     }
     // The fleet-level tier distribution mirrors `oic batch`'s
     // `tier_counts`: on a healthy tree every benchmark compiles at
@@ -102,7 +108,39 @@ pub fn take_snapshot(size: BenchSize, samples: usize, git_rev: &str) -> Json {
     ])
 }
 
-fn benchmark_row(eval: &oi_benchmarks::Evaluation, tracer: &Tracer, wall: &Measurement) -> Json {
+/// One checked (`Full`) run of a benchmark's inlined build: sanitizer
+/// findings (0 on a healthy tree) and the checked run's wall-clock.
+struct CheckedCrossRun {
+    findings: u64,
+    wall_ns: u64,
+}
+
+fn checked_cross_run(
+    bench: &oi_benchmarks::Benchmark,
+    inline: &oi_core::pipeline::InlineConfig,
+) -> CheckedCrossRun {
+    let program = oi_ir::lower::compile(&bench.source)
+        .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(&bench.source)));
+    let opt = oi_core::pipeline::optimize(&program, inline);
+    let checked = oi_vm::VmConfig {
+        checked: oi_vm::CheckLevel::Full,
+        ..oi_vm::VmConfig::default()
+    };
+    let start = Instant::now();
+    let run = oi_vm::run(&opt.program, &checked)
+        .unwrap_or_else(|e| panic!("{} checked: {e}", bench.name));
+    CheckedCrossRun {
+        findings: run.sanitizer.map_or(0, |s| s.total_findings),
+        wall_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+fn benchmark_row(
+    eval: &oi_benchmarks::Evaluation,
+    tracer: &Tracer,
+    wall: &Measurement,
+    sanitizer: &CheckedCrossRun,
+) -> Json {
     let (without, with) = &eval.contours;
     let census = &eval.inlined_census;
     let base_census = &eval.baseline_census;
@@ -207,6 +245,17 @@ fn benchmark_row(eval: &oi_benchmarks::Evaluation, tracer: &Tracer, wall: &Measu
                 ("samples", (wall.samples.len() as u64).into()),
             ]),
         ),
+        (
+            // Additive section (older snapshots lack it; the comparator
+            // skips absent metrics). `findings` is 0-pinned by the gate;
+            // the checked wall-clock is advisory overhead only.
+            "sanitizer",
+            Json::obj(vec![
+                ("level", "full".into()),
+                ("findings", sanitizer.findings.into()),
+                ("checked_wall_ns", sanitizer.wall_ns.into()),
+            ]),
+        ),
     ])
 }
 
@@ -304,6 +353,14 @@ pub const GATES: &[GateSpec] = &[
         threshold_pct: 0.0,
     },
     GateSpec {
+        // Checked execution on the inlined build: zero findings is the
+        // only healthy value, so this gate pins the metric at 0 — any
+        // appearance means a transformation bug reached a benchmark.
+        path: "sanitizer.findings",
+        polarity: Polarity::LowerIsBetter,
+        threshold_pct: 0.0,
+    },
+    GateSpec {
         path: "analysis_cost.counters.analysis.rounds",
         polarity: Polarity::LowerIsBetter,
         threshold_pct: 0.0,
@@ -315,8 +372,13 @@ pub const GATES: &[GateSpec] = &[
     },
 ];
 
-/// Advisory (never gating) wall-clock paths.
-const ADVISORY: &[&str] = &["wall_clock_ns.median", "wall_clock_ns.min"];
+/// Advisory (never gating) wall-clock paths. The checked-run overhead is
+/// wall-clock too, so it reports but never gates.
+const ADVISORY: &[&str] = &[
+    "wall_clock_ns.median",
+    "wall_clock_ns.min",
+    "sanitizer.checked_wall_ns",
+];
 
 /// Three-way comparison verdict for one gated metric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -752,9 +814,15 @@ mod tests {
                 "heap_census",
                 "analysis_cost",
                 "wall_clock_ns",
+                "sanitizer",
             ] {
                 assert!(row.get(key).is_some(), "row missing {key}");
             }
+            assert_eq!(
+                lookup(row, "sanitizer.findings"),
+                Some(0.0),
+                "checked execution must be finding-free on benchmarks"
+            );
             assert_eq!(
                 lookup(row, "effectiveness.retracted"),
                 Some(0.0),

@@ -22,26 +22,10 @@ use crate::pipeline::{
 use oi_ir::Program;
 use oi_support::trace::{self, kv};
 use oi_support::Budget;
-use oi_vm::{run, RunResult, VmConfig, VmError};
+use oi_vm::{run, CheckLevel, RunResult, VmConfig, VmError};
 use std::collections::BTreeSet;
 
-/// A deliberate miscompilation seam for testing the oracle.
-///
-/// The firewall exists to catch transformation bugs, but a healthy tree
-/// has none to catch — so tests inject one here. The fault is applied to
-/// every rebuilt candidate program (deterministically), exactly as a real
-/// restructuring bug would be.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Fault {
-    /// Recompute the first applicable object layout's slots as if the
-    /// child's fields were spliced contiguously from the replacement slot
-    /// — the classic §5.2 bug of using the child's local field offsets
-    /// instead of the container's splice positions. When the true layout
-    /// is non-contiguous (a sibling's storage sits between the spliced
-    /// fields) this makes two children share a container slot, which no
-    /// per-layout consistency check can see but the oracle can.
-    CompactFirstLayoutSlots,
-}
+pub use crate::fault::Fault;
 
 /// Firewall configuration.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +41,12 @@ pub struct FirewallConfig {
     pub max_retractions: usize,
     /// Test-only fault injection; `None` in production.
     pub fault: Option<Fault>,
+    /// Sanitizer level for the *inlined* oracle run. The baseline run is
+    /// never checked (its heap has no inline regions to validate). Any
+    /// sanitizer finding is an oracle rejection ([`Divergence::Sanitizer`])
+    /// and is bisected/retracted like an output mismatch, so bugs that
+    /// corrupt inline state without changing printed output cannot escape.
+    pub checked: CheckLevel,
 }
 
 impl Default for FirewallConfig {
@@ -65,6 +55,7 @@ impl Default for FirewallConfig {
             vm: VmConfig::default(),
             max_retractions: 32,
             fault: None,
+            checked: CheckLevel::Full,
         }
     }
 }
@@ -101,6 +92,15 @@ pub enum Divergence {
         /// Inlined-build total allocation count.
         optimized: u64,
     },
+    /// The checked VM reported sanitizer findings in the inlined run —
+    /// an inline-object invariant was violated even if the printed output
+    /// happened to match.
+    Sanitizer {
+        /// Total findings (including those past the report cap).
+        count: u64,
+        /// Rendered first finding, for diagnostics.
+        first: String,
+    },
 }
 
 impl std::fmt::Display for Divergence {
@@ -130,6 +130,9 @@ impl std::fmt::Display for Divergence {
                 f,
                 "allocation census mismatch for {class}: baseline {baseline} vs inlined {optimized}"
             ),
+            Divergence::Sanitizer { count, first } => {
+                write!(f, "sanitizer reported {count} finding(s): {first}")
+            }
         }
     }
 }
@@ -165,6 +168,13 @@ pub struct Guarded {
     /// outside the decision set, e.g. in devirtualization) — the caller
     /// must fall back to the baseline program.
     pub divergences: Vec<Divergence>,
+    /// What the oracle saw on the *first* probe, before any retraction —
+    /// how the bug announced itself (a verification failure is synthesized
+    /// into a status divergence). Empty on a healthy compile. The chaos
+    /// driver classifies detections from this: the repaired program's
+    /// [`Guarded::divergences`] are empty precisely when retraction
+    /// succeeded.
+    pub initial_divergences: Vec<Divergence>,
 }
 
 impl Guarded {
@@ -193,6 +203,18 @@ pub fn compare_runs(
     match (base, opt) {
         (Ok(b), Ok(o)) => {
             let mut out = Vec::new();
+            if let Some(san) = &o.sanitizer {
+                if !san.is_clean() {
+                    out.push(Divergence::Sanitizer {
+                        count: san.total_findings,
+                        first: san
+                            .findings
+                            .first()
+                            .map(|f| f.to_string())
+                            .unwrap_or_default(),
+                    });
+                }
+            }
             if b.output != o.output {
                 out.push(Divergence::Output {
                     baseline: b.output.clone(),
@@ -243,7 +265,9 @@ fn compare_census(base: &RunResult, opt: &RunResult) -> Vec<Divergence> {
 }
 
 /// Builds the inlined program under a denylist and applies the configured
-/// fault, if any.
+/// fault, if any. Rewrite-pass faults ([`Fault::SkipUseRedirect`],
+/// [`Fault::DropAssignCopy`]) are threaded into the pipeline itself; the
+/// rest corrupt the built program post-hoc.
 fn build(
     program: &Program,
     config: &InlineConfig,
@@ -251,25 +275,48 @@ fn build(
     denied: &BTreeSet<String>,
     budget: &Budget,
 ) -> Result<Optimized, PipelineError> {
-    let mut opt = try_optimize_budgeted(program, config, denied, budget)?;
-    if let Some(Fault::CompactFirstLayoutSlots) = fw.fault {
-        for layout in opt.program.layouts.iter_mut() {
-            let max = layout.slots.iter().copied().max().unwrap_or(0);
-            let compact: Vec<usize> = (0..layout.slots.len())
-                .map(|i| layout.slots.first().copied().unwrap_or(0) + i)
-                .collect();
-            // Only corrupt a layout where the compacted form is (a) different
-            // — i.e. the true layout is non-contiguous — and (b) still in
-            // bounds for the container (`max` is a known-valid slot).
-            if layout.array_kind.is_none()
-                && layout.slots.len() >= 2
-                && compact != layout.slots
-                && *compact.last().expect("len >= 2") <= max
-            {
-                layout.slots = compact;
-                break;
+    let mut cfg = *config;
+    cfg.fault = fw.fault.filter(|f| f.is_pipeline_fault());
+    let mut opt = try_optimize_budgeted(program, &cfg, denied, budget)?;
+    match fw.fault {
+        Some(Fault::CompactFirstLayoutSlots) => {
+            for layout in opt.program.layouts.iter_mut() {
+                let max = layout.slots.iter().copied().max().unwrap_or(0);
+                let compact: Vec<usize> = (0..layout.slots.len())
+                    .map(|i| layout.slots.first().copied().unwrap_or(0) + i)
+                    .collect();
+                // Only corrupt a layout where the compacted form is (a) different
+                // — i.e. the true layout is non-contiguous — and (b) still in
+                // bounds for the container (`max` is a known-valid slot).
+                if layout.array_kind.is_none()
+                    && layout.slots.len() >= 2
+                    && compact != layout.slots
+                    && *compact.last().expect("len >= 2") <= max
+                {
+                    layout.slots = compact;
+                    break;
+                }
             }
         }
+        Some(Fault::OffByOneSlotRewrite) => {
+            // Shift one slot of the first applicable object layout down by
+            // one. The target slot is chosen so it stays in bounds and does
+            // not collide with another slot of the *same* layout, so the
+            // program keeps running — reads just resolve one word off.
+            'layouts: for layout in opt.program.layouts.iter_mut() {
+                if layout.array_kind.is_some() {
+                    continue;
+                }
+                for j in 0..layout.slots.len() {
+                    let s = layout.slots[j];
+                    if s >= 1 && !layout.slots.contains(&(s - 1)) {
+                        layout.slots[j] = s - 1;
+                        break 'layouts;
+                    }
+                }
+            }
+        }
+        _ => {}
     }
     Ok(opt)
 }
@@ -326,11 +373,19 @@ pub fn optimize_guarded_budgeted(
     let mut denied: BTreeSet<String> = BTreeSet::new();
     let mut retracted: Vec<String> = Vec::new();
 
+    // The inlined probe runs under the configured sanitizer level; the
+    // baseline stays unchecked (nothing inline to validate, and keeping it
+    // plain preserves its metrics for callers that report them).
+    let checked_vm = VmConfig {
+        checked: fw.checked,
+        ..fw.vm
+    };
+
     // `healthy` = builds, verifies, and the oracle finds no divergence.
     // Returning the outcome lets the top loop reuse the probe's work.
     let probe = |denied: &BTreeSet<String>| -> Result<(Optimized, Vec<Divergence>), PipelineError> {
         let opt = build(program, config, fw, denied, budget)?;
-        let opt_run = run(&opt.program, &fw.vm);
+        let opt_run = run(&opt.program, &checked_vm);
         let divs = compare_runs(&baseline_run, &opt_run);
         Ok((opt, divs))
     };
@@ -338,11 +393,17 @@ pub fn optimize_guarded_budgeted(
     // Final (optimized build, remaining divergences) pair for the Guarded
     // result; `None` means the retraction budget ran out mid-bisection.
     let mut settled: Option<(Optimized, Vec<Divergence>)> = None;
+    // First-probe divergences, before any retraction (for provenance and
+    // the chaos detection table).
+    let mut initial: Option<Vec<Divergence>> = None;
     for round in 0..fw.max_retractions {
         // Candidate set for retraction this round: from the build itself
         // when it runs, or from the InvalidIr error when it does not.
         let all: Vec<String> = match probe(&denied) {
             Ok((opt, divs)) => {
+                if initial.is_none() {
+                    initial = Some(divs.clone());
+                }
                 if divs.is_empty() {
                     settled = Some((opt, Vec::new()));
                     break;
@@ -361,6 +422,12 @@ pub fn optimize_guarded_budgeted(
                 errors,
                 decisions,
             }) => {
+                if initial.is_none() {
+                    initial = Some(vec![Divergence::Status {
+                        baseline: "ok".to_owned(),
+                        optimized: format!("invalid IR at {stage}: {}", errors.join("; ")),
+                    }]);
+                }
                 let all: Vec<String> = decisions
                     .iter()
                     .filter(|d| !denied.contains(*d))
@@ -404,9 +471,15 @@ pub fn optimize_guarded_budgeted(
     }
     let (opt, divergences) = match settled {
         Some(pair) => pair,
-        // Retraction budget exhausted; return whatever the final denylist
-        // produces, divergences and all.
-        None => probe(&denied)?,
+        // Retraction budget exhausted (or zero); return whatever the final
+        // denylist produces, divergences and all.
+        None => {
+            let (opt, divs) = probe(&denied)?;
+            if initial.is_none() {
+                initial = Some(divs.clone());
+            }
+            (opt, divs)
+        }
     };
     let mut guarded = Guarded {
         optimized: opt,
@@ -414,6 +487,7 @@ pub fn optimize_guarded_budgeted(
         baseline_run,
         retracted,
         divergences,
+        initial_divergences: initial.unwrap_or_default(),
     };
     guarded.optimized.report.retractions = guarded.retracted.len();
     Ok(guarded)
@@ -587,6 +661,7 @@ mod tests {
             allocation_census: census.into_iter().map(|(c, n)| (c.to_owned(), n)).collect(),
             heap_census: Default::default(),
             profile: None,
+            sanitizer: None,
         };
         let base = Ok(mk(vec![("Point", 2), ("<array>", 1)]));
         // Fewer or shifted allocations: not a divergence (inlining merges
@@ -611,7 +686,211 @@ mod tests {
             allocation_census: vec![],
             heap_census: Default::default(),
             profile: None,
+            sanitizer: None,
         });
         assert_eq!(compare_runs(&base, &opt), vec![]);
+    }
+
+    // A Rect whose children arrive as constructor *arguments*: the stores
+    // take the §5.4 pass-by-value copy path (no in-place construction),
+    // which is where `Fault::DropAssignCopy` bites. Every child field is
+    // read back so a dropped copy is observable.
+    const COPY: &str = "
+        global KEEP;
+        class Point { field x; field y;
+          method init(a, b) { self.x = a; self.y = b; }
+        }
+        class Rect { field ll; field ur;
+          method init(a, b) { self.ll = a; self.ur = b; }
+        }
+        fn main() {
+          var r = new Rect(new Point(1, 2), new Point(3, 4));
+          KEEP = r;
+          print KEEP.ll.x;
+          print KEEP.ll.y;
+          print KEEP.ur.x;
+          print KEEP.ur.y;
+        }";
+
+    /// Injects `fault`, asserts the combined sanitizer+oracle net catches
+    /// it on the first probe, that retraction repairs the program, and
+    /// that the repaired build runs baseline-equal. Returns the verdict
+    /// for fault-specific assertions.
+    fn catch_and_repair(src: &str, fault: Fault) -> Guarded {
+        let p = compile(src).unwrap();
+        let fw = FirewallConfig {
+            fault: Some(fault),
+            ..Default::default()
+        };
+        let g = optimize_guarded(&p, &InlineConfig::default(), &fw).unwrap();
+        assert!(
+            !g.initial_divergences.is_empty(),
+            "{fault:?} escaped the oracle entirely"
+        );
+        assert!(
+            g.is_equivalent(),
+            "{fault:?} not repaired: {:?}",
+            g.divergences
+        );
+        assert!(!g.retracted.is_empty(), "{fault:?}: no culprit retracted");
+        let base = g.baseline_run.as_ref().unwrap();
+        let opt = run(&g.optimized.program, &VmConfig::default()).unwrap();
+        assert_eq!(
+            base.output, opt.output,
+            "{fault:?}: repair not baseline-equal"
+        );
+        g
+    }
+
+    #[test]
+    fn skip_use_redirect_fault_is_caught_and_repaired() {
+        // The stale load names a field restructuring removed, so the
+        // faulted build dies at runtime: a status divergence.
+        let g = catch_and_repair(RECT, Fault::SkipUseRedirect);
+        assert!(
+            g.initial_divergences
+                .iter()
+                .any(|d| matches!(d, Divergence::Status { .. })),
+            "{:?}",
+            g.initial_divergences
+        );
+    }
+
+    #[test]
+    fn off_by_one_slot_fault_is_caught_by_the_sanitizer() {
+        // The shifted slot stays inside the container, so the canary
+        // check — not a crash — is what notices the wrong offset.
+        let g = catch_and_repair(RECT, Fault::OffByOneSlotRewrite);
+        assert!(
+            g.initial_divergences
+                .iter()
+                .any(|d| matches!(d, Divergence::Sanitizer { .. })),
+            "expected a sanitizer finding, got {:?}",
+            g.initial_divergences
+        );
+    }
+
+    #[test]
+    fn drop_assign_copy_fault_is_caught_by_poison_tracking() {
+        // The uncopied slot reads back as nil, which diverges — but the
+        // sanitizer additionally flags the read of a never-initialized
+        // inline slot as poison, which would hold even if the output
+        // happened to match.
+        let g = catch_and_repair(COPY, Fault::DropAssignCopy);
+        assert!(
+            g.initial_divergences
+                .iter()
+                .any(|d| matches!(d, Divergence::Sanitizer { .. })),
+            "expected a poison finding, got {:?}",
+            g.initial_divergences
+        );
+    }
+
+    // Two classes answering the same selector: the shape where a wrong
+    // devirtualization target is expressible (retargeting `A::get` to
+    // `B::get` reads a field the receiver's class does not have).
+    const SIBLINGS: &str = "
+        global KEEP;
+        class A { field v; method init(a) { self.v = a; } method get() { return self.v; } }
+        class B { field w; method init(a) { self.w = a + 100; } method get() { return self.w; } }
+        class Box { field a; field b;
+          method init(x, y) { self.a = x; self.b = y; }
+        }
+        fn main() {
+          var box = new Box(new A(1), new B(2));
+          KEEP = box;
+          print KEEP.a.get();
+          print KEEP.b.get();
+        }";
+
+    #[test]
+    fn wrong_devirt_target_fault_is_caught_and_repaired() {
+        catch_and_repair(SIBLINGS, Fault::WrongDevirtTarget);
+    }
+
+    #[test]
+    fn checked_probe_finds_no_fault_in_healthy_compiles() {
+        // The default firewall now probes under Full checking; a healthy
+        // compile of both fixtures must stay finding-free.
+        for src in [RECT, COPY] {
+            let p = compile(src).unwrap();
+            let g =
+                optimize_guarded(&p, &InlineConfig::default(), &FirewallConfig::default()).unwrap();
+            assert!(g.is_equivalent(), "{:?}", g.divergences);
+            assert!(
+                g.initial_divergences.is_empty(),
+                "{:?}",
+                g.initial_divergences
+            );
+            assert!(g.retracted.is_empty());
+        }
+    }
+
+    #[test]
+    fn resource_limits_in_checked_mode_stay_indeterminate() {
+        // Starve the oracle runs of instructions under Full checking: both
+        // builds hit the limit, the oracle calls it indeterminate, and no
+        // spurious sanitizer finding surfaces as a divergence.
+        let p = compile(RECT).unwrap();
+        let fw = FirewallConfig {
+            vm: VmConfig {
+                max_instructions: 10,
+                ..VmConfig::default()
+            },
+            ..Default::default()
+        };
+        let g = optimize_guarded(&p, &InlineConfig::default(), &fw).unwrap();
+        assert!(matches!(g.baseline_run, Err(VmError::InstructionLimit)));
+        assert!(g.is_equivalent(), "{:?}", g.divergences);
+        assert!(g.initial_divergences.is_empty());
+        assert!(g.retracted.is_empty());
+    }
+
+    #[test]
+    fn depth_and_heap_limits_in_checked_mode_stay_indeterminate() {
+        // Same interplay through the two other resource axes: a recursion
+        // that overflows the depth budget and an allocation loop that
+        // overflows the heap budget, each compared under Full checking.
+        let deep = "fn f(n) { return f(n + 1); } fn main() { print f(0); }";
+        let hungry = "
+            global KEEP;
+            class P { field x; method init(a) { self.x = a; } }
+            fn main() {
+              var i = 0;
+              while (i < 100000) { KEEP = new P(i); i = i + 1; }
+              print KEEP.x;
+            }";
+        for (src, cfg) in [
+            (
+                deep,
+                VmConfig {
+                    max_depth: 16,
+                    ..VmConfig::default()
+                },
+            ),
+            (
+                hungry,
+                VmConfig {
+                    max_heap_words: 64,
+                    ..VmConfig::default()
+                },
+            ),
+        ] {
+            let p = compile(src).unwrap();
+            let fw = FirewallConfig {
+                vm: cfg,
+                ..Default::default()
+            };
+            let g = optimize_guarded(&p, &InlineConfig::default(), &fw).unwrap();
+            assert!(
+                g.baseline_run
+                    .as_ref()
+                    .is_err_and(|e| e.is_resource_limit()),
+                "{:?}",
+                g.baseline_run
+            );
+            assert!(g.is_equivalent(), "{:?}", g.divergences);
+            assert!(g.initial_divergences.is_empty());
+        }
     }
 }

@@ -52,6 +52,7 @@
 pub mod assignspec;
 pub mod decision;
 pub mod devirt;
+pub mod fault;
 pub mod firewall;
 pub mod ladder;
 pub mod pipeline;
@@ -61,6 +62,7 @@ pub mod rewrite;
 pub mod usespec;
 
 pub use decision::{InlinePlan, PlanEntry};
+pub use fault::Fault;
 pub use firewall::{
     optimize_guarded, optimize_guarded_budgeted, Divergence, FirewallConfig, Guarded,
 };

@@ -85,6 +85,12 @@ pub struct InlineConfig {
     pub opt: OptConfig,
     /// Analysis sensitivity knobs.
     pub analysis: AnalysisConfig,
+    /// Rewrite-pass fault injection (`None` in production): applied inside
+    /// [`crate::rewrite::apply`] so the injected bug lives exactly where a
+    /// real use-redirection or assignment-specialization bug would. The
+    /// firewall sets this from its own fault knob; see
+    /// [`crate::fault::Fault`].
+    pub fault: Option<crate::fault::Fault>,
 }
 
 impl Default for InlineConfig {
@@ -97,6 +103,7 @@ impl Default for InlineConfig {
             max_passes: 3,
             opt: OptConfig::default(),
             analysis: AnalysisConfig::default(),
+            fault: None,
         }
     }
 }
@@ -194,6 +201,7 @@ pub fn try_optimize_budgeted(
     let mut inlined_fields: BTreeSet<String> = Default::default();
     let mut decisions: Vec<String> = Vec::new();
     let mut first_pass_total = None;
+    let mut devirt_faulted = false;
     for pass in 0..config.max_passes.max(1) {
         let _pass_span = trace::span_with("pipeline.pass", vec![kv("pass", pass)]);
         let result = {
@@ -259,8 +267,20 @@ pub fn try_optimize_budgeted(
             crate::restructure::apply(p, &mut plan)
         });
         staged("pipeline.rewrite", &mut p, |p| {
-            crate::rewrite::apply(p, &result, &plan)
+            crate::rewrite::apply(p, &result, &plan, config.fault)
         });
+        // The devirt fault fires here — after the pass produced static
+        // calls (devirtualized sends and in-place constructor calls),
+        // before cleanup can inline them away — and only on a pass that
+        // inlines something, modeling a devirt bug triggered by
+        // inline-exposed monomorphism (denying every decision therefore
+        // heals it).
+        if matches!(config.fault, Some(crate::fault::Fault::WrongDevirtTarget))
+            && !devirt_faulted
+            && !plan.entries.is_empty()
+        {
+            devirt_faulted = crate::fault::wrong_devirt_target(&mut p);
+        }
         {
             let _s = trace::span("pipeline.verify");
             verified(&p, "transform", &decisions)?;

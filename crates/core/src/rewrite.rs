@@ -15,6 +15,7 @@
 //!   the interior reference as §5.3 describes).
 
 use crate::decision::InlinePlan;
+use crate::fault::Fault;
 use crate::usespec;
 use oi_analysis::AnalysisResult;
 use oi_ir::{Instr, MethodId, Program, Temp};
@@ -33,15 +34,39 @@ pub struct RewriteStats {
 }
 
 /// Rewrites every method against the (already restructured) plan.
-pub fn apply(program: &mut Program, result: &AnalysisResult, plan: &InlinePlan) -> RewriteStats {
+///
+/// `fault` is the rewrite-pass slice of the fault-injection matrix
+/// ([`Fault::SkipUseRedirect`], [`Fault::DropAssignCopy`]); other variants
+/// (and `None`) leave the rewrite untouched. Each fault fires at the first
+/// applicable site only — a single injected miscompilation, like the real
+/// bug it models.
+pub fn apply(
+    program: &mut Program,
+    result: &AnalysisResult,
+    plan: &InlinePlan,
+    fault: Option<Fault>,
+) -> RewriteStats {
     let mut stats = RewriteStats::default();
     let init_sym = program.interner.get("init");
+    let mut seams = FaultSeams {
+        skip_redirect: matches!(fault, Some(Fault::SkipUseRedirect)),
+        drop_copy: matches!(fault, Some(Fault::DropAssignCopy)),
+    };
     for mid in program.methods.ids().collect::<Vec<_>>() {
-        rewrite_method(program, result, plan, mid, init_sym, &mut stats);
+        rewrite_method(program, result, plan, mid, init_sym, &mut stats, &mut seams);
     }
     stats
 }
 
+/// One-shot fault triggers, consumed at the first applicable site.
+struct FaultSeams {
+    /// Leave the next redirectable load un-redirected.
+    skip_redirect: bool,
+    /// Omit the final field copy of the next store expansion.
+    drop_copy: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rewrite_method(
     program: &mut Program,
     result: &AnalysisResult,
@@ -49,6 +74,7 @@ fn rewrite_method(
     mid: MethodId,
     init_sym: Option<oi_support::Symbol>,
     stats: &mut RewriteStats,
+    seams: &mut FaultSeams,
 ) {
     let block_ids: Vec<_> = program.methods[mid].blocks.ids().collect();
     for bb in block_ids {
@@ -100,12 +126,20 @@ fn rewrite_method(
                 Instr::GetField { dst, obj, field } => {
                     match lookup_layout(program, result, plan, mid, bb, i, *obj, *field) {
                         Some(layout) => {
-                            stats.loads_redirected += 1;
-                            new_instrs.push(Instr::MakeInterior {
-                                dst: *dst,
-                                obj: *obj,
-                                layout,
-                            });
+                            if seams.skip_redirect {
+                                // Injected §5.3 bug: this access keeps its
+                                // original form against a field
+                                // restructuring has removed.
+                                seams.skip_redirect = false;
+                                new_instrs.push(instr.clone());
+                            } else {
+                                stats.loads_redirected += 1;
+                                new_instrs.push(Instr::MakeInterior {
+                                    dst: *dst,
+                                    obj: *obj,
+                                    layout,
+                                });
+                            }
                         }
                         None => new_instrs.push(instr.clone()),
                     }
@@ -121,7 +155,7 @@ fn rewrite_method(
                     match lookup_layout(program, result, plan, mid, bb, i, *obj, *field) {
                         Some(layout) => {
                             stats.stores_copied += 1;
-                            emit_copy(program, mid, &mut new_instrs, *obj, *src, layout);
+                            emit_copy(program, mid, &mut new_instrs, *obj, *src, layout, seams);
                         }
                         None => new_instrs.push(instr.clone()),
                     }
@@ -374,6 +408,7 @@ fn emit_copy(
     obj: Temp,
     src: Temp,
     layout: oi_ir::LayoutId,
+    seams: &mut FaultSeams,
 ) {
     let interior = fresh_temp(program, mid);
     out.push(Instr::MakeInterior {
@@ -382,7 +417,15 @@ fn emit_copy(
         layout,
     });
     let child_fields = program.layouts[layout].child_fields.clone();
-    for g in child_fields {
+    let last = child_fields.len().saturating_sub(1);
+    for (k, g) in child_fields.into_iter().enumerate() {
+        if k == last && seams.drop_copy {
+            // Injected §5.4 bug: the final field of this pass-by-value
+            // copy is silently dropped, leaving its inline slot
+            // uninitialized (poison under checked execution).
+            seams.drop_copy = false;
+            continue;
+        }
         let tmp = fresh_temp(program, mid);
         out.push(Instr::GetField {
             dst: tmp,
@@ -415,7 +458,7 @@ mod tests {
         let r = analyze(&p, &AnalysisConfig::default());
         let mut plan = decide(&p, &r, &DecisionConfig::default());
         crate::restructure::apply(&mut p, &mut plan);
-        let stats = apply(&mut p, &r, &plan);
+        let stats = apply(&mut p, &r, &plan, None);
         oi_ir::verify::verify(&p).unwrap();
         (p, stats)
     }

@@ -55,6 +55,17 @@ pub enum VmError {
         /// What was violated.
         context: String,
     },
+    /// Checked execution caught an interior access resolving outside its
+    /// container's slot array — the one sanitizer condition the unchecked
+    /// interpreter could not survive either (it would be an index panic),
+    /// so the run halts with a typed error instead of continuing. Not a
+    /// resource limit: the oracle must treat it as a hard rejection.
+    CheckedAccessViolation {
+        /// The resolved (out-of-range) container slot.
+        slot: usize,
+        /// The container's slot count.
+        len: usize,
+    },
 }
 
 impl VmError {
@@ -92,6 +103,11 @@ impl fmt::Display for VmError {
             VmError::StackOverflow => f.write_str("call depth limit exceeded"),
             VmError::OutOfMemory => f.write_str("heap limit exceeded"),
             VmError::Internal { context } => write!(f, "internal interpreter error: {context}"),
+            VmError::CheckedAccessViolation { slot, len } => write!(
+                f,
+                "checked execution: interior access resolved to slot {slot} \
+                 outside container of {len} slot(s)"
+            ),
         }
     }
 }
@@ -124,5 +140,6 @@ mod tests {
             context: "x".into()
         }
         .is_resource_limit());
+        assert!(!VmError::CheckedAccessViolation { slot: 5, len: 2 }.is_resource_limit());
     }
 }

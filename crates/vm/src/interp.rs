@@ -5,6 +5,7 @@ use crate::cost::CostModel;
 use crate::error::VmError;
 use crate::heap::{Heap, HeapCensus, ObjKind};
 use crate::metrics::Metrics;
+use crate::sanitizer::{CheckLevel, Sanitizer, SanitizerReport};
 use crate::value::{ObjId, Value};
 use oi_ir::{
     ArrayLayoutKind, BinOp, Builtin, ClassId, ConstValue, Instr, LayoutId, MethodId, Program,
@@ -33,6 +34,11 @@ pub struct VmConfig {
     /// ([`RunResult::profile`]). Off by default: attribution adds a check
     /// to every cycle charge.
     pub profile: bool,
+    /// Checked execution: validate inline-object invariants against a
+    /// shadow heap map ([`RunResult::sanitizer`]). Off by default; checking
+    /// never perturbs [`Metrics`] — a clean checked run reports the same
+    /// counters as an unchecked one.
+    pub checked: CheckLevel,
 }
 
 impl Default for VmConfig {
@@ -45,6 +51,7 @@ impl Default for VmConfig {
             max_heap_words: 1 << 28,
             alloc_header_words: 2,
             profile: false,
+            checked: CheckLevel::Off,
         }
     }
 }
@@ -65,6 +72,8 @@ pub struct RunResult {
     pub heap_census: HeapCensusReport,
     /// Per-method / per-site profile (`Some` iff [`VmConfig::profile`]).
     pub profile: Option<crate::profile::Profile>,
+    /// Sanitizer report (`Some` iff [`VmConfig::checked`] is not `Off`).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl RunResult {
@@ -208,12 +217,14 @@ pub fn run(program: &Program, config: &VmConfig) -> Result<RunResult, VmError> {
         .take()
         .map(|state| build_profile(program, &state));
     let heap_census = HeapCensusReport::resolve(&vm.heap.census(), program);
+    let sanitizer = vm.sanitizer.take().map(Sanitizer::into_report);
     Ok(RunResult {
         output: vm.output,
         metrics: vm.metrics,
         allocation_census: census,
         heap_census,
         profile,
+        sanitizer,
     })
 }
 
@@ -293,7 +304,7 @@ struct ProfileState {
 /// How an inline child's fields map to container slots (VM-resolved form,
 /// closed under composition for nested inlining).
 #[derive(Clone, Debug)]
-enum Repr {
+pub(crate) enum Repr {
     /// Object container: child field `j` lives at container slot `slots[j]`.
     Object { slots: Vec<usize> },
     /// Array container: child field `j` of element `i` lives at
@@ -306,10 +317,10 @@ enum Repr {
 }
 
 #[derive(Clone, Debug)]
-struct ResolvedLayout {
-    child_class: ClassId,
-    child_fields: Vec<Symbol>,
-    repr: Repr,
+pub(crate) struct ResolvedLayout {
+    pub(crate) child_class: ClassId,
+    pub(crate) child_fields: Vec<Symbol>,
+    pub(crate) repr: Repr,
 }
 
 struct Vm<'p> {
@@ -336,7 +347,10 @@ struct Vm<'p> {
     inline_array_census: u64,
     /// Raw profiling counters (`Some` iff `config.profile`).
     profile: Option<ProfileState>,
-    /// Call stack of active methods, maintained only while profiling.
+    /// Shadow-heap sanitizer (`Some` iff `config.checked` is not `Off`).
+    sanitizer: Option<Sanitizer>,
+    /// Call stack of active methods, maintained while profiling or
+    /// checking (the sanitizer attributes findings to the active method).
     mstack: Vec<MethodId>,
 }
 
@@ -402,6 +416,7 @@ impl<'p> Vm<'p> {
                 site_allocs: vec![0; program.site_count as usize],
                 site_words: vec![0; program.site_count as usize],
             }),
+            sanitizer: Sanitizer::new(config.checked),
             mstack: Vec::new(),
         }
     }
@@ -516,6 +531,101 @@ impl<'p> Vm<'p> {
         }
     }
 
+    // -- checked execution --------------------------------------------------
+
+    /// Validates the establishment of an interior reference (checked mode).
+    fn sanitize_interior(
+        &mut self,
+        obj: ObjId,
+        index: u32,
+        layout: u32,
+        instruction: &'static str,
+    ) {
+        let method = self.mstack.last().copied();
+        if let Some(san) = &mut self.sanitizer {
+            san.on_interior(
+                self.program,
+                &self.heap,
+                &self.layouts,
+                method,
+                instruction,
+                obj,
+                index,
+                layout,
+            );
+        }
+    }
+
+    /// Validates one resolved interior access (checked mode). Errors when
+    /// the access resolves outside the container — the one condition the
+    /// unchecked interpreter could not survive either.
+    #[allow(clippy::too_many_arguments)]
+    fn checked_access(
+        &mut self,
+        obj: ObjId,
+        index: u32,
+        layout: u32,
+        j: usize,
+        slot: usize,
+        is_read: bool,
+        instruction: &'static str,
+    ) -> Result<(), VmError> {
+        let method = self.mstack.last().copied();
+        if let Some(san) = &mut self.sanitizer {
+            san.on_access(
+                self.program,
+                &self.heap,
+                &self.layouts,
+                method,
+                instruction,
+                obj,
+                index,
+                layout,
+                j,
+                slot,
+                is_read,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Cross-checks identity when `l === r` (or `==` on references) was
+    /// false: two interior references into the same container designating
+    /// the same region must compare identical (checked mode).
+    fn sanitize_identity(&mut self, l: Value, r: Value) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        if let (
+            Value::Interior {
+                obj: lo,
+                index: li,
+                layout: ll,
+            },
+            Value::Interior {
+                obj: ro,
+                index: ri,
+                layout: rl,
+            },
+        ) = (l, r)
+        {
+            if lo == ro {
+                let method = self.mstack.last().copied();
+                if let Some(san) = &mut self.sanitizer {
+                    san.on_identity(
+                        self.program,
+                        &self.heap,
+                        &self.layouts,
+                        method,
+                        lo,
+                        (ll.index() as u32, li),
+                        (rl.index() as u32, ri),
+                    );
+                }
+            }
+        }
+    }
+
     // -- dynamic typing helpers ---------------------------------------------
 
     fn class_name(&self, c: ClassId) -> String {
@@ -591,6 +701,9 @@ impl<'p> Vm<'p> {
                     })?;
                 let container_len = self.heap.get(obj).array_len().unwrap_or(0);
                 let slot = self.interior_slot(lid, index, j, container_len);
+                if self.sanitizer.is_some() {
+                    self.checked_access(obj, index, lid, j, slot, true, "GetField")?;
+                }
                 let addr = self.heap.get(obj).slot_addr(slot);
                 let hit = self.mem_read(addr);
                 self.note_inline_access(hit);
@@ -625,6 +738,10 @@ impl<'p> Vm<'p> {
                 let addr = self.heap.get(o).slot_addr(slot);
                 self.mem_write(addr);
                 self.heap.get_mut(o).slots[slot] = value;
+                if let Some(san) = &mut self.sanitizer {
+                    let len = self.heap.get(o).slots.len();
+                    san.on_direct_write(o, slot, len);
+                }
                 Ok(())
             }
             Value::Interior { obj, index, layout } => {
@@ -640,6 +757,9 @@ impl<'p> Vm<'p> {
                     })?;
                 let container_len = self.heap.get(obj).array_len().unwrap_or(0);
                 let slot = self.interior_slot(lid, index, j, container_len);
+                if self.sanitizer.is_some() {
+                    self.checked_access(obj, index, lid, j, slot, false, "SetField")?;
+                }
                 let addr = self.heap.get(obj).slot_addr(slot);
                 let hit = self.mem_write(addr);
                 self.note_inline_access(hit);
@@ -718,10 +838,32 @@ impl<'p> Vm<'p> {
         self.depth += 1;
         if let Some(p) = &mut self.profile {
             p.method_calls[method.index()] += 1;
+        }
+        let track = self.profile.is_some() || self.sanitizer.is_some();
+        if track {
             self.mstack.push(method);
         }
+        // A child constructor starting on an interior receiver marks its
+        // region constructed: from this point the child object exists in
+        // baseline semantics (`new` allocates before `init` runs), so its
+        // unset fields read as legal nil, not poison.
+        if self.sanitizer.is_some() {
+            if let Value::Interior { obj, index, layout } = recv {
+                let lid = layout.index() as u32;
+                let child = self.layouts[lid as usize].child_class;
+                if self
+                    .init_sym
+                    .and_then(|s| self.program.lookup_method(child, s))
+                    == Some(method)
+                {
+                    if let Some(san) = &mut self.sanitizer {
+                        san.on_ctor_enter(&self.layouts, &self.heap, obj, index, lid);
+                    }
+                }
+            }
+        }
         let result = self.run_frame(method, recv, args);
-        if self.profile.is_some() {
+        if track {
             self.mstack.pop();
         }
         self.depth -= 1;
@@ -945,7 +1087,7 @@ impl<'p> Vm<'p> {
             Instr::MakeInterior { dst, obj, layout } => {
                 self.metrics.interior_refs += 1;
                 self.charge(self.config.cost.lea);
-                locals[dst.index()] = match get(*obj, locals) {
+                let v = match get(*obj, locals) {
                     Value::Obj(o) => Value::Interior {
                         obj: o,
                         index: 0,
@@ -975,6 +1117,12 @@ impl<'p> Vm<'p> {
                         });
                     }
                 };
+                locals[dst.index()] = v;
+                if self.sanitizer.is_some() {
+                    if let Value::Interior { obj, index, layout } = v {
+                        self.sanitize_interior(obj, index, layout.index() as u32, "MakeInterior");
+                    }
+                }
             }
             Instr::MakeInteriorElem {
                 dst,
@@ -1006,6 +1154,9 @@ impl<'p> Vm<'p> {
                     index: i as u32,
                     layout: *layout,
                 };
+                if self.sanitizer.is_some() {
+                    self.sanitize_interior(o, i as u32, layout.index() as u32, "MakeInteriorElem");
+                }
             }
             Instr::Print { src } => {
                 self.charge(self.config.cost.print);
@@ -1050,6 +1201,9 @@ impl<'p> Vm<'p> {
                 // to an interior reference (address arithmetic).
                 self.metrics.interior_refs += 1;
                 self.charge(self.config.cost.lea);
+                if self.sanitizer.is_some() {
+                    self.sanitize_interior(o, i as u32, layout, "ArrayGet");
+                }
                 Ok(Value::Interior {
                     obj: o,
                     index: i as u32,
@@ -1094,10 +1248,16 @@ impl<'p> Vm<'p> {
                 // Whole-element store: copy the child's fields into the
                 // element's inline state (assignment specialization's
                 // runtime meaning — paper §5.4).
+                if self.sanitizer.is_some() {
+                    self.sanitize_interior(o, i as u32, layout, "ArraySet");
+                }
                 let fields = self.layouts[layout as usize].child_fields.clone();
                 for (j, f) in fields.iter().enumerate() {
                     let v = self.get_field(value, *f)?;
                     let slot = self.interior_slot(layout, i as u32, j, len);
+                    if self.sanitizer.is_some() {
+                        self.checked_access(o, i as u32, layout, j, slot, false, "ArraySet")?;
+                    }
                     let addr = self.heap.get(o).slot_addr(slot);
                     let hit = self.mem_write(addr);
                     self.note_inline_access(hit);
@@ -1151,11 +1311,18 @@ impl<'p> Vm<'p> {
                     }
                     _ => l.identical(r),
                 };
+                if !same && self.sanitizer.is_some() {
+                    self.sanitize_identity(l, r);
+                }
                 Ok(Value::Bool(if op == Eq { same } else { !same }))
             }
             RefEq => {
                 self.charge(self.config.cost.arith);
-                Ok(Value::Bool(l.identical(r)))
+                let same = l.identical(r);
+                if !same && self.sanitizer.is_some() {
+                    self.sanitize_identity(l, r);
+                }
+                Ok(Value::Bool(same))
             }
         }
     }

@@ -34,6 +34,7 @@ pub mod heap;
 pub mod interp;
 pub mod metrics;
 pub mod profile;
+pub mod sanitizer;
 pub mod value;
 
 pub use cache::{CacheConfig, CacheSim};
@@ -42,4 +43,5 @@ pub use error::VmError;
 pub use heap::{CensusBucket, HeapCensus};
 pub use interp::{run, HeapCensusEntry, HeapCensusReport, RunResult, VmConfig};
 pub use metrics::Metrics;
+pub use sanitizer::{CheckLevel, Finding, FindingKind, SanitizerReport};
 pub use value::{ObjId, Value};

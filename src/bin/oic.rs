@@ -26,17 +26,20 @@ use oi_core::ladder::LadderOutcome;
 use oi_support::cli::{Arg, ArgScanner};
 use oi_support::trace::{self, TraceMode, Tracer};
 use oi_support::{Budget, Json};
-use oi_vm::{run, RunResult, VmConfig};
+use oi_vm::{run, CheckLevel, RunResult, VmConfig};
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: oic <run|compare|report|explain|dump|bench|fuzz|batch> [flags] <file.oi> [Class.field]\n\
+    "usage: oic <run|compare|report|explain|dump|bench|fuzz|batch|chaos> [flags] <file.oi> [Class.field]\n\
     \n\
     run      execute the program (baseline pipeline; --inline for the\n\
     \x20        object-inlining pipeline) and print metrics\n\
     \x20        --profile  collect a per-method / per-site execution profile\n\
+    \x20        --checked[=basic|full]\n\
+    \x20                   checked execution: validate inline-heap invariants\n\
+    \x20                   (findings go to stderr; any finding exits 1)\n\
     \x20        --max-heap-words N / --max-instructions N / --max-depth N\n\
     \x20                   override the VM's resource limits\n\
     compare  run both pipelines, check outputs match, show the delta\n\
@@ -46,6 +49,7 @@ const USAGE: &str =
     bench    benchmark observatory passthrough (oic bench snapshot|compare)\n\
     fuzz     adversarial differential fuzzing (oic fuzz --runs N --seed S)\n\
     batch    panic-isolated fleet compilation (oic batch <dir> --deadline-ms N)\n\
+    chaos    systematic fault injection against the detection lattice\n\
     \n\
     --json          machine-readable output (run, compare, report, explain)\n\
     --max-rounds N / --deadline-ms N\n\
@@ -61,6 +65,7 @@ struct Cli {
     inline: bool,
     json: bool,
     profile: bool,
+    checked: Option<CheckLevel>,
     trace: Option<TraceMode>,
     max_heap_words: Option<u64>,
     max_instructions: Option<u64>,
@@ -90,6 +95,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut inline = false;
     let mut json = false;
     let mut profile = false;
+    let mut checked: Option<CheckLevel> = None;
     let mut trace_flag: Option<TraceMode> = None;
     let mut max_heap_words: Option<u64> = None;
     let mut max_instructions: Option<u64> = None;
@@ -103,6 +109,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 "inline" => inline = true,
                 "json" => json = true,
                 "profile" => profile = true,
+                "checked" => checked = Some(CheckLevel::Full),
                 "trace" => trace_flag = Some(TraceMode::Text),
                 "max-heap-words" => {
                     max_heap_words = Some(parse_limit(&mut scanner, "--max-heap-words")?);
@@ -121,6 +128,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 _ => return Err(format!("unknown flag `--{name}`")),
             },
+            Arg::Flag {
+                name,
+                value: Some(level),
+            } if name == "checked" => {
+                checked = Some(CheckLevel::parse(&level).ok_or_else(|| {
+                    format!("unknown check level `{level}` (expected basic or full)")
+                })?);
+            }
             Arg::Flag {
                 name,
                 value: Some(mode),
@@ -165,6 +180,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if profile && command != "run" {
         return Err("`--profile` only applies to `run`".to_owned());
     }
+    if checked.is_some() && command != "run" {
+        return Err(
+            "`--checked` only applies to `run` (the oracle's probes are always checked)".to_owned(),
+        );
+    }
     let (path, field) = match command.as_str() {
         "explain" => {
             if positionals.len() != 2 {
@@ -186,6 +206,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         inline,
         json,
         profile,
+        checked,
         trace: trace_flag,
         max_heap_words,
         max_instructions,
@@ -208,6 +229,35 @@ fn parse_limit(scanner: &mut ArgScanner, flag: &str) -> Result<u64, String> {
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("oic: {msg}\n\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// Reads a source file defensively, classifying the ways an argument can
+/// be unusable before the compiler ever sees it: an empty path, a
+/// directory, an unreadable file, or bytes that are not UTF-8. Each gets
+/// a distinct diagnostic (the caller exits 2 — these are argument
+/// problems, not compile or runtime failures).
+fn load_source(path: &str) -> Result<String, String> {
+    if path.is_empty() {
+        return Err("empty file path (expected a .oi source file)".to_owned());
+    }
+    match std::fs::metadata(path) {
+        Ok(meta) if meta.is_dir() => {
+            return Err(format!(
+                "{path}: is a directory (expected a .oi source file; \
+                 directories are for `oic batch`)"
+            ));
+        }
+        Ok(_) => {}
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    }
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    String::from_utf8(bytes).map_err(|e| {
+        format!(
+            "{path}: not valid UTF-8 (invalid byte at offset {}); \
+             is this a binary file?",
+            e.utf8_error().valid_up_to()
+        )
+    })
 }
 
 /// Tells the user (on stderr, so pipelines stay clean) when a compile did
@@ -282,6 +332,10 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("batch") {
         return ExitCode::from(oi_bench::batch::cli_main(&args[1..]));
     }
+    // `oic chaos ...` forwards to the fault-injection matrix driver.
+    if args.first().map(String::as_str) == Some("chaos") {
+        return ExitCode::from(oi_bench::chaos::cli_main(&args[1..]));
+    }
     let cli = match parse_cli(&args) {
         Ok(c) => c,
         Err(msg) => return usage_error(&msg),
@@ -292,11 +346,13 @@ fn main() -> ExitCode {
     let tracer = Rc::new(Tracer::for_mode(mode));
     let _guard = trace::install(tracer.clone());
 
-    let source = match std::fs::read_to_string(&cli.path) {
+    let source = match load_source(&cli.path) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("oic: cannot read {}: {e}", cli.path);
-            return ExitCode::FAILURE;
+        Err(msg) => {
+            // Unusable inputs are *usage* errors (exit 2), with a typed
+            // diagnostic naming what was wrong rather than a raw OS error.
+            eprintln!("oic: {msg}");
+            return ExitCode::from(2);
         }
     };
     let program = {
@@ -322,6 +378,7 @@ fn main() -> ExitCode {
             let defaults = VmConfig::default();
             let vm_config = VmConfig {
                 profile: cli.profile,
+                checked: cli.checked.unwrap_or(defaults.checked),
                 max_heap_words: cli.max_heap_words.unwrap_or(defaults.max_heap_words),
                 max_instructions: cli.max_instructions.unwrap_or(defaults.max_instructions),
                 max_depth: cli.max_depth.unwrap_or(defaults.max_depth),
@@ -352,6 +409,9 @@ fn main() -> ExitCode {
                         if let Some(p) = &r.profile {
                             fields.push(("profile", p.to_json()));
                         }
+                        if let Some(san) = &r.sanitizer {
+                            fields.push(("sanitizer", san.to_json()));
+                        }
                         fields.push(("phases", phases_json(&tracer)));
                         fields.push(("counters", counters_json(&tracer)));
                         println!("{}", Json::obj(fields));
@@ -360,6 +420,29 @@ fn main() -> ExitCode {
                         eprintln!("--- metrics ---\n{}", r.metrics);
                         if let Some(p) = &r.profile {
                             eprint!("{p}");
+                        }
+                    }
+                    // Checked execution: findings are a failed run even
+                    // though execution completed — corrupted inline state
+                    // must not exit 0.
+                    if let Some(san) = &r.sanitizer {
+                        if !san.is_clean() {
+                            for f in &san.findings {
+                                eprintln!("oic: sanitizer: {f}");
+                            }
+                            eprintln!(
+                                "oic: checked execution ({}) reported {} finding(s)",
+                                san.level.name(),
+                                san.total_findings
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        if !cli.json {
+                            eprintln!(
+                                "--- checked execution ({}) clean: {} check(s) ---",
+                                san.level.name(),
+                                san.checks
+                            );
                         }
                     }
                     ExitCode::SUCCESS

@@ -493,6 +493,148 @@ fn batch_compiles_a_directory_and_reports_tiers() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// Unusable input arguments are usage errors (exit 2) with typed
+/// diagnostics, not raw OS errors or panics.
+#[test]
+fn unusable_inputs_get_typed_exit_2_diagnostics() {
+    // A directory where a file is expected.
+    let dir = std::env::temp_dir().join("oi-cli-tests-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = oic().args(["run", dir.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("is a directory"), "{err}");
+    assert!(err.contains("oic batch"), "should point at batch: {err}");
+
+    // An empty path argument.
+    let out = oic().args(["run", ""]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("empty file path"), "{err}");
+
+    // A file that is not UTF-8.
+    let path = std::env::temp_dir().join("oi-cli-tests-bin.oi");
+    std::fs::write(&path, b"fn main\xff\xfe() {}").unwrap();
+    let out = oic()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not valid UTF-8"), "{err}");
+    assert!(err.contains("offset"), "should locate the bad byte: {err}");
+
+    // A missing file stays a typed diagnostic too.
+    let out = oic().args(["run", "no-such-file.oi"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+/// `oic run --checked` validates inline-heap invariants; a clean checked
+/// run exits 0, reports its check count, and the `--json` document grows
+/// an additive `sanitizer` field.
+#[test]
+fn run_checked_reports_clean_execution() {
+    use oi_support::Json;
+    let path = write_temp("checked.oi", PROGRAM);
+    let out = oic()
+        .args(["run", "--inline", "--checked", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "42\n");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checked execution (full) clean"), "{err}");
+
+    let out = oic()
+        .args([
+            "run",
+            "--inline",
+            "--checked=basic",
+            "--json",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let san = doc
+        .get("sanitizer")
+        .expect("sanitizer field with --checked");
+    assert_eq!(san.get("level").and_then(Json::as_str), Some("basic"));
+    assert_eq!(san.get("total_findings").and_then(Json::as_i64), Some(0));
+    assert_eq!(
+        san.get("findings").and_then(Json::as_arr).map(|a| a.len()),
+        Some(0)
+    );
+
+    // Unchecked runs keep the schema unchanged: no sanitizer field.
+    let out = oic()
+        .args(["run", "--inline", "--json", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert!(doc.get("sanitizer").is_none());
+
+    // Flag discipline: a bad level and a non-run command both exit 2.
+    let out = oic()
+        .args(["run", "--checked=bogus", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown check level"));
+    let out = oic()
+        .args(["compare", "--checked", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checked"));
+}
+
+/// `oic chaos` forwards to the fault-injection driver: a single-fault
+/// run detects and repairs it, emitting a schema-stable `oi.chaos.v1`
+/// document, and usage errors keep the exit-2 discipline.
+#[test]
+fn chaos_passthrough_detects_an_injected_fault() {
+    use oi_support::Json;
+    let out = oic()
+        .args(["chaos", "--fault", "skip-use-redirect", "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("oi.chaos.v1")
+    );
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("escaped").and_then(Json::as_i64), Some(0));
+    let rows = doc.get("faults").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get("detected"), Some(&Json::Bool(true)));
+
+    let out = oic().args(["chaos", "--list"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 5, "{stdout}");
+    assert!(stdout.contains("wrong-devirt-target"), "{stdout}");
+
+    let out = oic().args(["chaos", "--fault", "wat"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown fault"));
+    let out = oic().args(["chaos", "extra.oi"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn trace_json_streams_events_to_stderr() {
     use oi_support::Json;
