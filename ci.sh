@@ -24,13 +24,39 @@ echo "==> bench-smoke (snapshot + noise-aware regression gate)"
 # Fresh snapshots against the committed baselines. The modeled VM is
 # deterministic, so a loose +/-25% gate only trips on real metric
 # changes (after which the baselines need re-recording; see README
-# "Benchmark snapshots"). Two wall-clock samples keep this step cheap;
-# wall-clock is advisory and never gates.
+# "Benchmark snapshots"). Two wall-clock samples keep this step cheap.
+# The committed baselines were recorded on a different machine, where
+# wall-clock deltas mean nothing — so these compares disarm the
+# statistical wall gate with --wall-advisory. The same-machine gate is
+# exercised by the wall-stability step below.
 cargo build --release -q -p oi-bench --bins
 OI_BENCH_SAMPLES=2 target/release/oi-bench snapshot --size small --out target/bench_smoke_small.json
-target/release/oi-bench compare BENCH_baseline_small.json target/bench_smoke_small.json --threshold-pct 25
+target/release/oi-bench compare BENCH_baseline_small.json target/bench_smoke_small.json --threshold-pct 25 --wall-advisory
 OI_BENCH_SAMPLES=2 target/release/oi-bench snapshot --size default --out target/bench_smoke_default.json
-target/release/oi-bench compare BENCH_baseline.json target/bench_smoke_default.json --threshold-pct 25
+target/release/oi-bench compare BENCH_baseline.json target/bench_smoke_default.json --threshold-pct 25 --wall-advisory
+
+echo "==> prof-smoke (hierarchical profiler end to end)"
+# `oic prof` on the example program: the oi.prof.v1 document and the
+# collapsed-stack export must both come out well-formed, and bad flags
+# must keep the exit-2 usage discipline.
+target/release/oic prof examples/rectangle_inline.oi --json --out target/prof_smoke.json
+grep -q '"schema":"oi.prof.v1"' target/prof_smoke.json
+target/release/oic prof examples/rectangle_inline.oi --collapse --out target/prof_smoke.collapsed
+grep -q '^compile' target/prof_smoke.collapsed
+grep -q '^vm\.inlined;' target/prof_smoke.collapsed
+if target/release/oic prof --bogus-flag examples/rectangle_inline.oi 2>/dev/null; then
+    echo "prof-smoke: bad flag should exit non-zero" >&2
+    exit 1
+fi
+
+echo "==> wall-stability (statistically gated wall-clock, same tree)"
+# Two back-to-back snapshots of the identical build must compare clean
+# with the full wall-clock gate armed: the noise-calibrated threshold
+# has to absorb same-machine run-to-run jitter. A regression here means
+# the noise model is underestimating the floor.
+target/release/oi-bench snapshot --size small --samples 5 --out target/wall_a.json
+target/release/oi-bench snapshot --size small --samples 5 --out target/wall_b.json
+target/release/oi-bench compare target/wall_a.json target/wall_b.json
 
 echo "==> fuzz-smoke (differential oracle, fixed seeds)"
 # Deterministic adversarial fuzzing: every generated program runs under

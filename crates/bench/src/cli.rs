@@ -7,7 +7,7 @@
 //! usage error.
 
 use crate::harness;
-use crate::snapshot::{compare, take_snapshot, DEFAULT_SAMPLES};
+use crate::snapshot::{compare, take_snapshot_with, SnapshotOptions, DEFAULT_SAMPLES};
 use crate::{parse_size, size_name};
 use oi_benchmarks::BenchSize;
 use oi_support::cli::{Arg, ArgScanner};
@@ -16,11 +16,17 @@ use oi_support::Json;
 const USAGE: &str = "usage: oi-bench <command>
 
 commands:
-  snapshot [--size small|default|large] [--samples N] [--out FILE]
+  snapshot [--size small|default|large] [--samples N] [--profile]
+           [--out FILE]
       run every benchmark and write one oi.bench.v1 JSON document
-      (stdout by default); OI_BENCH_SAMPLES also sets the sample count
-  compare OLD.json NEW.json [--threshold-pct P] [--json] [--out FILE]
-      diff two snapshots; exit 1 when a gated metric regressed
+      (stdout by default); OI_BENCH_SAMPLES also sets the sample count;
+      --profile embeds a truncated top-N execution profile per row
+  compare OLD.json NEW.json [--threshold-pct P] [--wall-advisory]
+          [--json] [--out FILE]
+      diff two snapshots; exit 1 when a gated metric regressed.
+      wall-clock gates statistically (calibrated noise floors) when both
+      snapshots carry >= 2 samples; --wall-advisory disarms that gate
+      for cross-machine comparisons
 ";
 
 /// Runs the CLI on pre-split arguments and returns the process exit
@@ -54,6 +60,7 @@ fn snapshot_cmd(args: &[String]) -> u8 {
     let mut size = BenchSize::Default;
     let mut samples: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut profile = false;
     let mut scanner = ArgScanner::new(args.to_vec());
     while let Some(arg) = scanner.next() {
         let arg = match arg {
@@ -84,6 +91,7 @@ fn snapshot_cmd(args: &[String]) -> u8 {
                         }
                     }
                 }
+                "profile" => profile = true,
                 "out" => match scanner.value_for("--out") {
                     Ok(path) => out = Some(path),
                     Err(_) => return usage_error("`--out` needs a file path"),
@@ -111,13 +119,18 @@ fn snapshot_cmd(args: &[String]) -> u8 {
         "snapshotting {} suite ({samples} wall-clock samples per benchmark)...",
         size_name(size)
     );
-    let doc = take_snapshot(size, samples, &git_rev()).to_string();
+    let opts = SnapshotOptions {
+        profile,
+        ..SnapshotOptions::default()
+    };
+    let doc = take_snapshot_with(size, samples, &git_rev(), &opts).to_string();
     write_out(&doc, out.as_deref())
 }
 
 fn compare_cmd(args: &[String]) -> u8 {
     let mut threshold: Option<f64> = None;
     let mut json_output = false;
+    let mut wall_advisory = false;
     let mut out: Option<String> = None;
     let mut files = Vec::new();
     let mut scanner = ArgScanner::new(args.to_vec());
@@ -140,6 +153,7 @@ fn compare_cmd(args: &[String]) -> u8 {
                     }
                 }
                 "json" => json_output = true,
+                "wall-advisory" => wall_advisory = true,
                 "out" => match scanner.value_for("--out") {
                     Ok(path) => out = Some(path),
                     Err(_) => return usage_error("`--out` needs a file path"),
@@ -177,7 +191,7 @@ fn compare_cmd(args: &[String]) -> u8 {
         }
     }
 
-    let cmp = match compare(&docs[0], &docs[1], threshold) {
+    let cmp = match compare(&docs[0], &docs[1], threshold, wall_advisory) {
         Ok(cmp) => cmp,
         Err(msg) => return usage_error(&msg),
     };

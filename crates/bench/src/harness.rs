@@ -37,13 +37,18 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Builds a measurement from raw sample timings (any order).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `samples` is empty.
+    /// Builds a measurement from raw sample timings (any order). Empty
+    /// input yields the all-zero measurement with no samples — callers
+    /// render "0 samples" rather than crashing the tool.
     pub fn from_samples(mut samples: Vec<u128>) -> Measurement {
-        assert!(!samples.is_empty(), "a measurement needs >= 1 sample");
+        if samples.is_empty() {
+            return Measurement {
+                min: 0,
+                median: 0,
+                max: 0,
+                samples,
+            };
+        }
         samples.sort_unstable();
         Measurement {
             min: samples[0],
@@ -51,6 +56,12 @@ impl Measurement {
             max: samples[samples.len() - 1],
             samples,
         }
+    }
+
+    /// The robust summary of this measurement's samples (IQR rejection,
+    /// median/MAD) from [`oi_support::stats`].
+    pub fn stats(&self) -> oi_support::stats::TimingStats {
+        oi_support::stats::TimingStats::from_nanos(self.samples.clone())
     }
 
     /// The stable one-line text rendering (after a `group/label` prefix).
@@ -63,6 +74,32 @@ impl Measurement {
             self.samples.len(),
         )
     }
+}
+
+/// Times `f` once, returning its value plus a one-sample
+/// [`Measurement`]. The shared clock path for one-shot durations — tools
+/// report these instead of reading `Instant` directly, so every duration
+/// carries its sample metadata.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Measurement) {
+    let start = Instant::now();
+    let value = f();
+    let nanos = start.elapsed().as_nanos();
+    (value, Measurement::from_samples(vec![nanos]))
+}
+
+/// Times `f` `samples.max(1)` times with no warm-up, returning the
+/// sorted [`Measurement`] plus the samples in **arrival order** —
+/// noise-floor calibration ([`oi_support::stats::ab_split_floor_pct`])
+/// interleaves the arrival sequence, which sorting destroys.
+pub fn measure<F: FnMut()>(samples: usize, mut f: F) -> (Measurement, Vec<u128>) {
+    let arrival: Vec<u128> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    (Measurement::from_samples(arrival.clone()), arrival)
 }
 
 /// Parses a sample-count value (from `--samples N` or the environment);
@@ -110,18 +147,12 @@ impl Group {
         self
     }
 
-    /// Times `f`: one untimed warm-up, then `sample_size` timed runs.
-    /// Prints the stable text line and returns the measurement.
+    /// Times `f`: one untimed warm-up, then `sample_size` timed runs
+    /// through the shared [`measure`] path. Prints the stable text line
+    /// and returns the measurement.
     pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) -> Measurement {
         f();
-        let nanos: Vec<u128> = (0..self.sample_size)
-            .map(|_| {
-                let start = Instant::now();
-                f();
-                start.elapsed().as_nanos()
-            })
-            .collect();
-        let m = Measurement::from_samples(nanos);
+        let (m, _arrival) = measure(self.sample_size, f);
         println!("{}/{label}  {}", self.name, m.render());
         m
     }
@@ -174,6 +205,62 @@ mod tests {
         let m = Measurement::from_samples(vec![30, 10, 20]);
         assert_eq!((m.min, m.median, m.max), (10, 20, 30));
         assert_eq!(m.samples, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn measurement_from_empty_samples_is_zeroed_not_panicking() {
+        let m = Measurement::from_samples(Vec::new());
+        assert_eq!((m.min, m.median, m.max), (0, 0, 0));
+        assert!(m.samples.is_empty());
+        let s = m.stats();
+        assert_eq!((s.n, s.median, s.mad), (0, 0, 0));
+    }
+
+    #[test]
+    fn measurement_from_single_sample() {
+        let m = Measurement::from_samples(vec![42]);
+        assert_eq!((m.min, m.median, m.max), (42, 42, 42));
+        assert_eq!(m.stats().rel_mad_pct, 0.0);
+    }
+
+    #[test]
+    fn measurement_from_identical_samples_has_zero_spread() {
+        let m = Measurement::from_samples(vec![7; 6]);
+        assert_eq!((m.min, m.median, m.max), (7, 7, 7));
+        let s = m.stats();
+        assert_eq!((s.mad, s.rejected), (0, 0));
+    }
+
+    #[test]
+    fn measurement_stats_reject_outliers_the_raw_view_keeps() {
+        let m = Measurement::from_samples(vec![100, 101, 99, 102, 98, 100, 101, 5000]);
+        assert_eq!(m.max, 5000, "raw order statistics keep the outlier");
+        let s = m.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.max, 102, "robust summary drops it");
+    }
+
+    #[test]
+    fn time_once_returns_the_value_and_one_sample() {
+        let (value, m) = time_once(|| 40 + 2);
+        assert_eq!(value, 42);
+        assert_eq!(m.samples.len(), 1);
+        assert_eq!(m.min, m.median);
+    }
+
+    #[test]
+    fn measure_preserves_arrival_order_alongside_sorted_samples() {
+        let mut n = 0u32;
+        let (m, arrival) = measure(4, || n += 1);
+        assert_eq!(n, 4, "no warm-up run");
+        assert_eq!(arrival.len(), 4);
+        assert_eq!(m.samples.len(), 4);
+        let mut sorted = arrival.clone();
+        sorted.sort_unstable();
+        assert_eq!(m.samples, sorted);
+        // Zero samples are clamped up to one: every measurement measures.
+        let (m, arrival) = measure(0, || {});
+        assert_eq!((m.samples.len(), arrival.len()), (1, 1));
     }
 
     #[test]

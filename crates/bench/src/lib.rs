@@ -20,6 +20,7 @@ pub mod chaos;
 pub mod cli;
 pub mod fuzz;
 pub mod harness;
+pub mod prof;
 pub mod snapshot;
 pub mod synth;
 

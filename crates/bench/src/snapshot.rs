@@ -15,19 +15,28 @@
 //!
 //! [`compare`] diffs two snapshots metric by metric. The modeled VM is
 //! deterministic, so the *gated* metrics (cycles, allocation counts,
-//! census words, contour counts, ...) default to exact-match thresholds;
-//! wall-clock timings are inherently noisy and are reported as advisory
-//! deltas that never gate. Each gated metric gets a three-way verdict —
-//! `improved`, `within_noise`, or `regressed` — by comparing the relative
-//! delta (inclusive) against a per-metric threshold.
+//! census words, contour counts, ...) default to exact-match thresholds.
+//! Each gated metric gets a three-way verdict — `improved`,
+//! `within_noise`, or `regressed` — by comparing the relative delta
+//! (inclusive) against a per-metric threshold.
+//!
+//! Wall-clock is noisy but still gated, with a threshold the snapshot
+//! itself calibrates (see [`oi_support::stats`]): each row records the
+//! noise floor measured from its own interleaved same-binary samples, and
+//! the comparator regresses `wall_clock_ns.median` only when the paired
+//! delta clears a multiple of both rows' floors (never less than
+//! [`WALL_GATE_MIN_PCT`]) *and* the minimum corroborates the shift. Rows
+//! without calibration (a single sample, or snapshots predating the
+//! floor) fall back to the advisory report, as does every wall metric
+//! when the caller opts out for cross-host compares (`--wall-advisory`).
 
-use crate::harness::Measurement;
+use crate::harness;
 use crate::size_name;
 use oi_benchmarks::BenchSize;
+use oi_support::stats;
 use oi_support::trace::{self, TraceMode, Tracer};
 use oi_support::Json;
 use std::rc::Rc;
-use std::time::Instant;
 
 /// Schema tag of snapshot documents.
 pub const SNAPSHOT_SCHEMA: &str = "oi.bench.v1";
@@ -37,15 +46,41 @@ pub const DIFF_SCHEMA: &str = "oi.benchdiff.v1";
 /// Default number of wall-clock samples per benchmark.
 pub const DEFAULT_SAMPLES: usize = 5;
 
-/// Takes a full-suite snapshot. `samples` counts the timed
-/// `evaluate` runs per benchmark (the metric-collecting run is extra and
-/// untimed). `git_rev` is recorded verbatim as provenance.
+/// Entries kept per profile table when `--profile` embeds a truncated
+/// execution profile in each benchmark row.
+pub const PROFILE_TOP_N: usize = 3;
+
+/// Options for [`take_snapshot_with`] beyond size and sample count.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotOptions {
+    /// VM configuration for every run. Tests inject
+    /// `test_spin_per_instr` here to fake a slowed interpreter and prove
+    /// the wall gate catches it.
+    pub vm: oi_vm::VmConfig,
+    /// Embed a truncated (top-[`PROFILE_TOP_N`]) execution profile per
+    /// benchmark row (`oic bench snapshot --profile`). Additive to the
+    /// `oi.bench.v1` schema: absent unless requested.
+    pub profile: bool,
+}
+
+/// Takes a full-suite snapshot with default options. `samples` counts the
+/// timed `evaluate` runs per benchmark (the metric-collecting run is
+/// extra and untimed). `git_rev` is recorded verbatim as provenance.
 pub fn take_snapshot(size: BenchSize, samples: usize, git_rev: &str) -> Json {
+    take_snapshot_with(size, samples, git_rev, &SnapshotOptions::default())
+}
+
+/// Takes a full-suite snapshot under explicit [`SnapshotOptions`].
+pub fn take_snapshot_with(
+    size: BenchSize,
+    samples: usize,
+    git_rev: &str,
+    opts: &SnapshotOptions,
+) -> Json {
     use oi_benchmarks::{all_benchmarks, evaluate};
     use oi_core::pipeline::InlineConfig;
-    use oi_vm::VmConfig;
 
-    let vm = VmConfig::default();
+    let vm = &opts.vm;
     let inline = InlineConfig::default();
     let mut rows = Vec::new();
     let mut tiers: Vec<String> = Vec::new();
@@ -56,27 +91,33 @@ pub fn take_snapshot(size: BenchSize, samples: usize, git_rev: &str) -> Json {
         let tracer = Rc::new(Tracer::for_mode(TraceMode::Off));
         let eval = {
             let _guard = trace::install(tracer.clone());
-            evaluate(&bench, &vm, &inline)
+            evaluate(&bench, vm, &inline)
         };
         // The wall-clock samples run untraced so span bookkeeping does
-        // not perturb them.
-        let nanos = (0..samples.max(1))
-            .map(|_| {
-                let start = Instant::now();
-                let timed = evaluate(&bench, &vm, &inline);
-                std::hint::black_box(&timed);
-                start.elapsed().as_nanos()
-            })
-            .collect();
-        let wall = Measurement::from_samples(nanos);
+        // not perturb them. `harness::measure` is the shared clock path;
+        // the arrival-order samples feed the noise-floor calibration.
+        let (_measurement, arrival) = harness::measure(samples.max(1), || {
+            let timed = evaluate(&bench, vm, &inline);
+            std::hint::black_box(&timed);
+        });
+        let noise_floor_pct = stats::noise_floor_pct(&arrival);
+        let wall = stats::TimingStats::from_nanos(arrival);
         // Checked-execution cross-run: the inlined build must be
         // finding-free under the Full sanitizer. The measured metrics
         // above stay unchecked (`CheckLevel::Off`) so they are unaffected;
         // the checked run contributes a 0-pinned `sanitizer.findings`
         // gate and an advisory wall-clock overhead figure.
-        let sanitizer = checked_cross_run(&bench, &inline);
+        let sanitizer = checked_cross_run(&bench, &inline, vm);
+        let profile = opts.profile.then(|| profile_section(&bench, &inline, vm));
         tiers.push(eval.report.tier.clone());
-        rows.push(benchmark_row(&eval, &tracer, &wall, &sanitizer));
+        rows.push(benchmark_row(
+            &eval,
+            &tracer,
+            &wall,
+            noise_floor_pct,
+            &sanitizer,
+            profile,
+        ));
     }
     // The fleet-level tier distribution mirrors `oic batch`'s
     // `tier_counts`: on a healthy tree every benchmark compiles at
@@ -118,28 +159,75 @@ struct CheckedCrossRun {
 fn checked_cross_run(
     bench: &oi_benchmarks::Benchmark,
     inline: &oi_core::pipeline::InlineConfig,
+    vm: &oi_vm::VmConfig,
 ) -> CheckedCrossRun {
     let program = oi_ir::lower::compile(&bench.source)
         .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(&bench.source)));
     let opt = oi_core::pipeline::optimize(&program, inline);
     let checked = oi_vm::VmConfig {
         checked: oi_vm::CheckLevel::Full,
-        ..oi_vm::VmConfig::default()
+        ..*vm
     };
-    let start = Instant::now();
-    let run = oi_vm::run(&opt.program, &checked)
-        .unwrap_or_else(|e| panic!("{} checked: {e}", bench.name));
+    let (run, wall) = harness::time_once(|| oi_vm::run(&opt.program, &checked));
+    let run = run.unwrap_or_else(|e| panic!("{} checked: {e}", bench.name));
     CheckedCrossRun {
         findings: run.sanitizer.map_or(0, |s| s.total_findings),
-        wall_ns: start.elapsed().as_nanos() as u64,
+        wall_ns: wall.median as u64,
+    }
+}
+
+/// The `--profile` row section: top-[`PROFILE_TOP_N`] method, opcode, and
+/// access-site tables for the baseline and inlined builds. Tables are
+/// sorted hottest-first by the VM, so truncation keeps the head.
+fn profile_section(
+    bench: &oi_benchmarks::Benchmark,
+    inline: &oi_core::pipeline::InlineConfig,
+    vm: &oi_vm::VmConfig,
+) -> Json {
+    let program = oi_ir::lower::compile(&bench.source)
+        .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(&bench.source)));
+    let base = oi_core::pipeline::baseline(&program, &inline.opt);
+    let opt = oi_core::pipeline::optimize(&program, inline);
+    let profiled = oi_vm::VmConfig {
+        profile: true,
+        ..*vm
+    };
+    let tables = |p, what: &str| {
+        let run = oi_vm::run(p, &profiled).unwrap_or_else(|e| panic!("{} {what}: {e}", bench.name));
+        let profile = run.profile.expect("profiling was enabled");
+        truncate_tables(profile.to_json(), PROFILE_TOP_N)
+    };
+    Json::obj(vec![
+        ("top_n", (PROFILE_TOP_N as u64).into()),
+        ("baseline", tables(&base, "profiled baseline")),
+        ("inlined", tables(&opt.program, "profiled inlined")),
+    ])
+}
+
+/// Truncates every array value in a JSON object to its first `n`
+/// entries (profile tables are hottest-first, so this keeps the top-N).
+fn truncate_tables(doc: Json, n: usize) -> Json {
+    match doc {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match v {
+                    Json::Arr(items) => (k, Json::Arr(items.into_iter().take(n).collect())),
+                    other => (k, other),
+                })
+                .collect(),
+        ),
+        other => other,
     }
 }
 
 fn benchmark_row(
     eval: &oi_benchmarks::Evaluation,
     tracer: &Tracer,
-    wall: &Measurement,
+    wall: &stats::TimingStats,
+    noise_floor_pct: f64,
     sanitizer: &CheckedCrossRun,
+    profile: Option<Json>,
 ) -> Json {
     let (without, with) = &eval.contours;
     let census = &eval.inlined_census;
@@ -172,7 +260,7 @@ fn benchmark_row(
             })
             .collect(),
     );
-    Json::obj(vec![
+    let mut row = Json::obj(vec![
         ("benchmark", eval.name.into()),
         ("baseline", eval.baseline.to_json()),
         ("inlined", eval.inlined.to_json()),
@@ -237,12 +325,21 @@ fn benchmark_row(
             ]),
         ),
         (
+            // Order statistics are post-IQR-rejection; `samples` counts
+            // what was taken, `rejected` what the fences dropped.
+            // `noise_floor_pct` is the row's own calibration (interleaved
+            // A/B split vs relative MAD, whichever is larger) and is what
+            // arms the comparator's wall-clock gate.
             "wall_clock_ns",
             Json::obj(vec![
                 ("min", (wall.min as u64).into()),
                 ("median", (wall.median as u64).into()),
                 ("max", (wall.max as u64).into()),
-                ("samples", (wall.samples.len() as u64).into()),
+                ("samples", (wall.n as u64).into()),
+                ("rejected", (wall.rejected as u64).into()),
+                ("mad", (wall.mad as u64).into()),
+                ("rel_mad_pct", wall.rel_mad_pct.into()),
+                ("noise_floor_pct", noise_floor_pct.into()),
             ]),
         ),
         (
@@ -256,7 +353,15 @@ fn benchmark_row(
                 ("checked_wall_ns", sanitizer.wall_ns.into()),
             ]),
         ),
-    ])
+    ]);
+    // `--profile` rows carry a truncated execution profile; the key is
+    // absent otherwise, keeping plain snapshots byte-compatible.
+    if let Some(profile) = profile {
+        if let Json::Obj(pairs) = &mut row {
+            pairs.push(("profile".to_string(), profile));
+        }
+    }
+    row
 }
 
 /// Which direction is good for a gated metric.
@@ -372,13 +477,75 @@ pub const GATES: &[GateSpec] = &[
     },
 ];
 
-/// Advisory (never gating) wall-clock paths. The checked-run overhead is
-/// wall-clock too, so it reports but never gates.
+/// Advisory wall-clock paths. `wall_clock_ns.median` is listed here for
+/// the *fallback* report: when the statistical gate applies to a row pair
+/// (both sides calibrated, gating not disabled) the median is judged by
+/// the gate instead and skipped here. The checked-run overhead and the
+/// raw minimum always stay advisory.
 const ADVISORY: &[&str] = &[
     "wall_clock_ns.median",
     "wall_clock_ns.min",
     "sanitizer.checked_wall_ns",
 ];
+
+/// The smallest threshold the wall-clock gate ever uses, in percent.
+/// Below this, scheduler jitter on a shared machine outruns any
+/// calibration the harness can do in a handful of samples.
+pub const WALL_GATE_MIN_PCT: f64 = 10.0;
+
+/// Headroom multiplier applied to the measured noise floors: the gate
+/// demands a delta this many times the worse floor before it believes a
+/// wall-clock shift (capped at 100% — a 2x slowdown always regresses).
+const WALL_GATE_FLOOR_MULT: f64 = 4.0;
+
+/// One armed wall-clock gate decision for a row pair.
+struct WallGate {
+    old_v: f64,
+    new_v: f64,
+    threshold_pct: f64,
+    verdict: Verdict,
+}
+
+/// Arms and evaluates the wall-clock gate for one old/new row pair, or
+/// returns `None` when either side lacks calibration: fewer than two
+/// samples (no interleaved split exists) or no recorded noise floor
+/// (snapshot predates it). Uncalibrated rows fall back to the advisory
+/// report. The noise model owns this threshold — the global
+/// `--threshold-pct` override deliberately does not apply.
+fn wall_gate(old_row: &Json, new_row: &Json) -> Option<WallGate> {
+    let old_v = lookup(old_row, "wall_clock_ns.median")?;
+    let new_v = lookup(new_row, "wall_clock_ns.median")?;
+    let old_floor = lookup(old_row, "wall_clock_ns.noise_floor_pct")?;
+    let new_floor = lookup(new_row, "wall_clock_ns.noise_floor_pct")?;
+    if lookup(old_row, "wall_clock_ns.samples")? < 2.0
+        || lookup(new_row, "wall_clock_ns.samples")? < 2.0
+    {
+        return None;
+    }
+    let threshold_pct =
+        (WALL_GATE_FLOOR_MULT * old_floor.max(new_floor)).clamp(WALL_GATE_MIN_PCT, 100.0);
+    let mut verdict = classify(old_v, new_v, threshold_pct, Polarity::LowerIsBetter);
+    // Corroboration: a genuine change moves the whole distribution, so
+    // the minimum must agree with the median before a verdict leaves the
+    // noise band. Noise is one-sided (preemption only adds time), which
+    // makes the min the most stable location estimate available.
+    if verdict != Verdict::WithinNoise {
+        if let (Some(old_min), Some(new_min)) = (
+            lookup(old_row, "wall_clock_ns.min"),
+            lookup(new_row, "wall_clock_ns.min"),
+        ) {
+            if classify(old_min, new_min, threshold_pct, Polarity::LowerIsBetter) != verdict {
+                verdict = Verdict::WithinNoise;
+            }
+        }
+    }
+    Some(WallGate {
+        old_v,
+        new_v,
+        threshold_pct,
+        verdict,
+    })
+}
 
 /// Three-way comparison verdict for one gated metric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -460,7 +627,12 @@ pub struct Comparison {
 }
 
 /// Compares two snapshot documents. `threshold_override_pct` replaces
-/// every gate's default threshold when given (CI smoke passes 25.0).
+/// every *deterministic* gate's default threshold when given (CI smoke
+/// passes 25.0); the wall-clock gate's threshold comes from the rows' own
+/// noise calibration and is never overridden. `wall_advisory` disarms the
+/// wall-clock gate entirely (`--wall-advisory`) — the right mode when the
+/// two snapshots came from different machines, where wall-clock deltas
+/// mean nothing.
 ///
 /// # Errors
 ///
@@ -470,6 +642,7 @@ pub fn compare(
     old: &Json,
     new: &Json,
     threshold_override_pct: Option<f64>,
+    wall_advisory: bool,
 ) -> Result<Comparison, String> {
     for (doc, which) in [(old, "OLD"), (new, "NEW")] {
         match doc.get("schema").and_then(Json::as_str) {
@@ -573,8 +746,52 @@ pub fn compare(
             ]));
         }
 
+        // The statistical wall-clock gate: armed only when both rows are
+        // calibrated and the caller did not opt out.
+        let armed = (!wall_advisory)
+            .then(|| wall_gate(old_row, &new_row))
+            .flatten();
+        if let Some(gate) = &armed {
+            let delta_pct = if gate.old_v == 0.0 {
+                Json::Null
+            } else {
+                ((gate.new_v - gate.old_v) / gate.old_v.abs() * 100.0).into()
+            };
+            if gate.verdict == Verdict::Regressed {
+                regressed = true;
+                worst = Verdict::Regressed;
+                text.push_str(&format!(
+                    "REGRESSED  {name} wall_clock_ns.median: {old_v} -> {new_v} (noise-derived threshold {threshold:.1}%)\n",
+                    old_v = gate.old_v,
+                    new_v = gate.new_v,
+                    threshold = gate.threshold_pct
+                ));
+            } else if gate.verdict == Verdict::Improved {
+                if worst == Verdict::WithinNoise {
+                    worst = Verdict::Improved;
+                }
+                text.push_str(&format!(
+                    "improved   {name} wall_clock_ns.median: {old_v} -> {new_v}\n",
+                    old_v = gate.old_v,
+                    new_v = gate.new_v
+                ));
+            }
+            metric_docs.push(Json::obj(vec![
+                ("metric", "wall_clock_ns.median".into()),
+                ("old", gate.old_v.into()),
+                ("new", gate.new_v.into()),
+                ("delta_pct", delta_pct),
+                ("threshold_pct", gate.threshold_pct.into()),
+                ("verdict", gate.verdict.name().into()),
+            ]));
+        }
+
         let mut advisory_docs = Vec::new();
         for path in ADVISORY {
+            if armed.is_some() && *path == "wall_clock_ns.median" {
+                // Already judged by the gate; don't double-report.
+                continue;
+            }
             let (Some(old_v), Some(new_v)) = (lookup(old_row, path), lookup(&new_row, path)) else {
                 continue;
             };
@@ -702,7 +919,7 @@ mod tests {
     #[test]
     fn self_compare_is_clean() {
         let snap = tiny_snapshot(1000);
-        let cmp = compare(&snap, &snap, None).unwrap();
+        let cmp = compare(&snap, &snap, None, false).unwrap();
         assert!(!cmp.regressed);
         assert_eq!(cmp.diff.get("schema").unwrap().as_str(), Some(DIFF_SCHEMA));
         assert!(cmp.text.contains("verdict: ok"));
@@ -710,7 +927,7 @@ mod tests {
 
     #[test]
     fn cycle_bump_regresses_and_names_the_culprit() {
-        let cmp = compare(&tiny_snapshot(1000), &tiny_snapshot(1400), None).unwrap();
+        let cmp = compare(&tiny_snapshot(1000), &tiny_snapshot(1400), None, false).unwrap();
         assert!(cmp.regressed);
         assert_eq!(cmp.diff.get("regressed").unwrap(), &Json::Bool(true));
         assert!(
@@ -727,7 +944,13 @@ mod tests {
 
     #[test]
     fn threshold_override_loosens_every_gate() {
-        let cmp = compare(&tiny_snapshot(1000), &tiny_snapshot(1200), Some(25.0)).unwrap();
+        let cmp = compare(
+            &tiny_snapshot(1000),
+            &tiny_snapshot(1200),
+            Some(25.0),
+            false,
+        )
+        .unwrap();
         assert!(!cmp.regressed, "{}", cmp.text);
     }
 
@@ -739,11 +962,11 @@ mod tests {
             ("size", "small".into()),
             ("benchmarks", Json::Arr(vec![])),
         ]);
-        let cmp = compare(&old, &empty, None).unwrap();
+        let cmp = compare(&old, &empty, None, false).unwrap();
         assert!(cmp.regressed);
         assert!(cmp.text.contains("missing from NEW"));
 
-        let cmp = compare(&empty, &old, None).unwrap();
+        let cmp = compare(&empty, &old, None, false).unwrap();
         assert!(!cmp.regressed);
         assert!(cmp.text.contains("new benchmark"));
     }
@@ -758,15 +981,15 @@ mod tests {
                 }
             }
         }
-        let err = compare(&tiny_snapshot(1000), &other, None).unwrap_err();
+        let err = compare(&tiny_snapshot(1000), &other, None, false).unwrap_err();
         assert!(err.contains("size mismatch"), "{err}");
     }
 
     #[test]
     fn non_snapshot_documents_are_rejected() {
         let bogus = Json::obj(vec![("schema", "oi.figures.v1".into())]);
-        assert!(compare(&bogus, &bogus, None).is_err());
-        assert!(compare(&Json::Null, &Json::Null, None).is_err());
+        assert!(compare(&bogus, &bogus, None, false).is_err());
+        assert!(compare(&Json::Null, &Json::Null, None, false).is_err());
     }
 
     #[test]
@@ -862,10 +1085,174 @@ mod tests {
     fn snapshot_self_compare_is_within_noise_on_gated_metrics() {
         // Two snapshots of the same code: every gated metric is
         // deterministic, so the diff must be clean even at the exact
-        // (0%) default thresholds. Wall-clock differs but is advisory.
+        // (0%) default thresholds. Wall-clock is single-sampled here, so
+        // the wall gate stays disarmed (no calibration exists).
         let a = take_snapshot(BenchSize::Small, 1, "rev-a");
         let b = take_snapshot(BenchSize::Small, 1, "rev-b");
-        let cmp = compare(&a, &b, None).unwrap();
+        let cmp = compare(&a, &b, None, false).unwrap();
         assert!(!cmp.regressed, "self-compare regressed:\n{}", cmp.text);
+    }
+
+    /// A snapshot row carrying only calibrated wall-clock data.
+    fn wall_snapshot(median: u64, min: u64, samples: u64, floor_pct: f64) -> Json {
+        Json::obj(vec![
+            ("schema", SNAPSHOT_SCHEMA.into()),
+            ("size", "small".into()),
+            (
+                "benchmarks",
+                Json::Arr(vec![Json::obj(vec![
+                    ("benchmark", "toy".into()),
+                    (
+                        "wall_clock_ns",
+                        Json::obj(vec![
+                            ("min", min.into()),
+                            ("median", median.into()),
+                            ("max", (median * 2).into()),
+                            ("samples", samples.into()),
+                            ("noise_floor_pct", floor_pct.into()),
+                        ]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn wall_gate_flags_a_clear_slowdown() {
+        let old = wall_snapshot(100_000, 95_000, 5, 2.0);
+        let new = wall_snapshot(200_000, 190_000, 5, 2.0);
+        let cmp = compare(&old, &new, None, false).unwrap();
+        assert!(cmp.regressed, "{}", cmp.text);
+        assert!(
+            cmp.text.contains("wall_clock_ns.median"),
+            "text must name the wall metric:\n{}",
+            cmp.text
+        );
+    }
+
+    #[test]
+    fn wall_gate_tolerates_deltas_under_the_calibrated_threshold() {
+        // floor 2% -> threshold max(10, 4*2) = 10%; a 9% drift is noise.
+        let old = wall_snapshot(100_000, 95_000, 5, 2.0);
+        let new = wall_snapshot(109_000, 103_000, 5, 2.0);
+        let cmp = compare(&old, &new, None, false).unwrap();
+        assert!(!cmp.regressed, "{}", cmp.text);
+    }
+
+    #[test]
+    fn wall_gate_scales_its_threshold_with_the_noise_floor() {
+        // floor 20% on one side -> threshold 4*20 = 80%: a 50% delta that
+        // would regress on a quiet machine is noise on a loud one.
+        let old = wall_snapshot(100_000, 95_000, 5, 20.0);
+        let new = wall_snapshot(150_000, 145_000, 5, 2.0);
+        let cmp = compare(&old, &new, None, false).unwrap();
+        assert!(!cmp.regressed, "{}", cmp.text);
+    }
+
+    #[test]
+    fn wall_gate_requires_the_min_to_corroborate_the_median() {
+        // Median doubled but the fastest run is unchanged: one-sided
+        // scheduler noise, not a real slowdown.
+        let old = wall_snapshot(100_000, 95_000, 5, 2.0);
+        let new = wall_snapshot(200_000, 95_500, 5, 2.0);
+        let cmp = compare(&old, &new, None, false).unwrap();
+        assert!(!cmp.regressed, "{}", cmp.text);
+    }
+
+    #[test]
+    fn wall_gate_stays_disarmed_without_calibration() {
+        // Single-sample rows have no interleaved split to calibrate from:
+        // a huge delta must fall back to the advisory report.
+        let old = wall_snapshot(100_000, 100_000, 1, 0.0);
+        let new = wall_snapshot(300_000, 300_000, 1, 0.0);
+        let cmp = compare(&old, &new, None, false).unwrap();
+        assert!(!cmp.regressed, "{}", cmp.text);
+
+        // Rows predating the floor field (legacy snapshots) likewise.
+        let legacy = tiny_snapshot(1000);
+        let cmp = compare(&legacy, &legacy, None, false).unwrap();
+        assert!(!cmp.regressed, "{}", cmp.text);
+    }
+
+    #[test]
+    fn wall_advisory_mode_never_gates_wall_clock() {
+        let old = wall_snapshot(100_000, 95_000, 5, 2.0);
+        let new = wall_snapshot(400_000, 390_000, 5, 2.0);
+        let cmp = compare(&old, &new, None, true).unwrap();
+        assert!(!cmp.regressed, "{}", cmp.text);
+    }
+
+    #[test]
+    fn threshold_override_does_not_loosen_the_wall_gate() {
+        // --threshold-pct loosens deterministic gates only: the wall
+        // gate's threshold belongs to the noise model.
+        let old = wall_snapshot(100_000, 95_000, 5, 2.0);
+        let new = wall_snapshot(200_000, 190_000, 5, 2.0);
+        let cmp = compare(&old, &new, Some(1000.0), false).unwrap();
+        assert!(cmp.regressed, "{}", cmp.text);
+    }
+
+    #[test]
+    fn slowed_interpreter_is_flagged_by_the_wall_gate() {
+        // The acceptance experiment in miniature: same tree, but the new
+        // snapshot runs on an interpreter with a per-instruction spin.
+        // Gated VM metrics are modeled and must stay identical; the wall
+        // gate alone must catch the slowdown.
+        let a = take_snapshot(BenchSize::Small, 3, "rev-a");
+        let slowed = SnapshotOptions {
+            vm: oi_vm::VmConfig {
+                test_spin_per_instr: 2_000,
+                ..oi_vm::VmConfig::default()
+            },
+            profile: false,
+        };
+        let b = take_snapshot_with(BenchSize::Small, 3, "rev-b", &slowed);
+        let cmp = compare(&a, &b, None, false).unwrap();
+        assert!(cmp.regressed, "spin went unnoticed:\n{}", cmp.text);
+        assert!(
+            cmp.text.contains("wall_clock_ns.median"),
+            "the wall gate must be what fired:\n{}",
+            cmp.text
+        );
+        // ...and nothing else: every deterministic gate stays clean.
+        for line in cmp.text.lines() {
+            if line.starts_with("REGRESSED") {
+                assert!(
+                    line.contains("wall_clock_ns.median"),
+                    "non-wall gate fired on identical code:\n{}",
+                    cmp.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_with_profile_embeds_truncated_tables() {
+        let opts = SnapshotOptions {
+            profile: true,
+            ..SnapshotOptions::default()
+        };
+        let snap = take_snapshot_with(BenchSize::Small, 1, "rev", &opts);
+        let rows = snap.get("benchmarks").and_then(Json::as_arr).unwrap();
+        for row in rows {
+            let profile = row.get("profile").expect("row missing profile section");
+            assert_eq!(
+                profile.get("top_n").and_then(Json::as_i64),
+                Some(PROFILE_TOP_N as i64)
+            );
+            for build in ["baseline", "inlined"] {
+                let tables = profile.get(build).unwrap();
+                let methods = tables.get("methods").and_then(Json::as_arr).unwrap();
+                assert!(!methods.is_empty(), "{build} profile has no methods");
+                for table in ["methods", "sites", "opcodes", "accesses"] {
+                    let len = tables.get(table).and_then(Json::as_arr).unwrap().len();
+                    assert!(len <= PROFILE_TOP_N, "{build}.{table} not truncated");
+                }
+            }
+        }
+        // Plain snapshots must not carry the section.
+        let plain = take_snapshot(BenchSize::Small, 1, "rev");
+        let rows = plain.get("benchmarks").and_then(Json::as_arr).unwrap();
+        assert!(rows.iter().all(|r| r.get("profile").is_none()));
     }
 }

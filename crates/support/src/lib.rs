@@ -19,7 +19,9 @@
 //! - [`trace`]: the `oi-trace` observability layer (spans, events,
 //!   counters, and pluggable sinks selected via `OIC_TRACE`),
 //! - [`rng`]: a seedable xorshift PRNG for synthetic workloads and
-//!   property tests.
+//!   property tests,
+//! - [`stats`]: robust timing statistics (median/MAD, IQR outlier
+//!   rejection, calibrated noise floors) behind every wall-clock verdict.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub mod intern;
 pub mod json;
 pub mod panic;
 pub mod rng;
+pub mod stats;
 pub mod trace;
 
 pub use budget::{Budget, BudgetDimension};

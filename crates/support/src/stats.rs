@@ -1,0 +1,294 @@
+//! Robust statistics for wall-clock timing samples.
+//!
+//! Modeled metrics (cycles, allocations) are deterministic and gate at a
+//! 0% threshold; wall-clock is not. Judging a duration therefore needs a
+//! noise model, and this module is the one place it lives: every tool
+//! that reports or compares a wall time ([`crate::trace`] consumers,
+//! `oi-bench` snapshots, `oic prof`) goes through these functions.
+//!
+//! The model is deliberately order-statistic-based — median and MAD, not
+//! mean and standard deviation — because timing samples on a shared
+//! machine are heavy-tailed: one scheduler preemption produces an outlier
+//! that would dominate a mean. The pieces:
+//!
+//! - [`median`] / [`mad`]: location and scale estimators with a 50%
+//!   breakdown point.
+//! - [`reject_outliers_iqr`]: Tukey-fence rejection (1.5×IQR beyond the
+//!   quartiles) applied before a sample set is summarized.
+//! - [`TimingStats::from_nanos`]: the one-stop summary — rejection, then
+//!   order statistics, then a relative-spread figure.
+//! - [`ab_split_floor_pct`]: the calibrated noise floor. Samples taken in
+//!   arrival order are split into interleaved A/B halves (A = even
+//!   positions, B = odd); both halves ran the *same binary*, so any
+//!   difference between their medians is pure measurement noise. The
+//!   relative A/B delta is the smallest change the harness could possibly
+//!   resolve — a real regression must clear it.
+
+use crate::json::Json;
+
+/// Median of a **sorted** slice: the midpoint average for even lengths,
+/// the middle element for odd. Zero on empty input.
+pub fn median(sorted: &[u128]) -> u128 {
+    match sorted.len() {
+        0 => 0,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2,
+    }
+}
+
+/// Median absolute deviation from `center`. Zero on empty input and for
+/// all-identical samples (any order accepted).
+pub fn mad(samples: &[u128], center: u128) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut devs: Vec<u128> = samples.iter().map(|&s| s.abs_diff(center)).collect();
+    devs.sort_unstable();
+    median(&devs)
+}
+
+/// First and third quartiles of a **sorted** slice (nearest-rank, so the
+/// values are always actual samples). `(0, 0)` on empty input.
+pub fn quartiles(sorted: &[u128]) -> (u128, u128) {
+    match sorted.len() {
+        0 => (0, 0),
+        n => (sorted[n / 4], sorted[(3 * n) / 4].min(sorted[n - 1])),
+    }
+}
+
+/// Drops samples outside the Tukey fences `[q1 - 1.5*IQR, q3 + 1.5*IQR]`
+/// and reports how many were rejected. Sets of fewer than four samples
+/// pass through untouched — quartiles are meaningless there.
+pub fn reject_outliers_iqr(mut samples: Vec<u128>) -> (Vec<u128>, usize) {
+    if samples.len() < 4 {
+        return (samples, 0);
+    }
+    samples.sort_unstable();
+    let (q1, q3) = quartiles(&samples);
+    let iqr = q3 - q1;
+    let lo = q1.saturating_sub(iqr + iqr / 2);
+    let hi = q3 + iqr + iqr / 2;
+    let before = samples.len();
+    samples.retain(|&s| (lo..=hi).contains(&s));
+    let rejected = before - samples.len();
+    (samples, rejected)
+}
+
+/// The robust summary of one timing-sample set, in nanoseconds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimingStats {
+    /// Samples provided (before outlier rejection).
+    pub n: usize,
+    /// Samples rejected by the IQR fences.
+    pub rejected: usize,
+    /// Fastest kept sample.
+    pub min: u128,
+    /// Median of the kept samples.
+    pub median: u128,
+    /// Slowest kept sample.
+    pub max: u128,
+    /// Median absolute deviation of the kept samples.
+    pub mad: u128,
+    /// `100 * mad / median` — the relative spread, in percent. Zero when
+    /// the median is zero.
+    pub rel_mad_pct: f64,
+}
+
+impl TimingStats {
+    /// Summarizes raw nanosecond samples (any order): IQR rejection, then
+    /// order statistics on what survives. Empty input yields the zeroed
+    /// summary rather than panicking — callers report "no samples", they
+    /// don't crash.
+    pub fn from_nanos(samples: Vec<u128>) -> TimingStats {
+        let n = samples.len();
+        let (kept, rejected) = reject_outliers_iqr(samples);
+        if kept.is_empty() {
+            return TimingStats {
+                n,
+                rejected,
+                ..TimingStats::default()
+            };
+        }
+        let med = median(&kept);
+        let mad = mad(&kept, med);
+        TimingStats {
+            n,
+            rejected,
+            min: kept[0],
+            median: med,
+            max: kept[kept.len() - 1],
+            mad,
+            rel_mad_pct: if med == 0 {
+                0.0
+            } else {
+                100.0 * mad as f64 / med as f64
+            },
+        }
+    }
+
+    /// The summary as a JSON object with a stable key order (embedded in
+    /// `oi.bench.v1` rows and `oi.prof.v1` documents).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("n", (self.n as u64).into()),
+            ("rejected", (self.rejected as u64).into()),
+            ("min", (self.min as u64).into()),
+            ("median", (self.median as u64).into()),
+            ("max", (self.max as u64).into()),
+            ("mad", (self.mad as u64).into()),
+            ("rel_mad_pct", self.rel_mad_pct.into()),
+        ])
+    }
+}
+
+/// The calibrated noise floor from repeated same-binary runs, in percent.
+///
+/// `ordered` must be in **arrival order** (the order the runs actually
+/// happened). It is split into interleaved halves — even positions form
+/// group A, odd positions group B — so both groups sample the same
+/// machine conditions over the same wall-clock window. Both groups ran
+/// identical work, so `|median(A) - median(B)| / median(all)` measures
+/// the harness's own resolution: a cross-build delta below this figure is
+/// indistinguishable from noise. Returns zero when fewer than two samples
+/// exist or the overall median is zero.
+pub fn ab_split_floor_pct(ordered: &[u128]) -> f64 {
+    if ordered.len() < 2 {
+        return 0.0;
+    }
+    let mut a: Vec<u128> = ordered.iter().step_by(2).copied().collect();
+    let mut b: Vec<u128> = ordered.iter().skip(1).step_by(2).copied().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    let mut all: Vec<u128> = ordered.to_vec();
+    all.sort_unstable();
+    let overall = median(&all);
+    if overall == 0 {
+        return 0.0;
+    }
+    let delta = median(&a).abs_diff(median(&b));
+    100.0 * delta as f64 / overall as f64
+}
+
+/// The noise floor for one sample set: the larger of the interleaved A/B
+/// split delta and the relative MAD. Both are needed — the A/B split
+/// catches drift over the sampling window (thermal ramp, background
+/// load), the MAD catches per-run jitter.
+pub fn noise_floor_pct(ordered: &[u128]) -> f64 {
+    let stats = TimingStats::from_nanos(ordered.to_vec());
+    ab_split_floor_pct(ordered).max(stats.rel_mad_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_empty_single_even_odd() {
+        assert_eq!(median(&[]), 0);
+        assert_eq!(median(&[7]), 7);
+        assert_eq!(median(&[1, 3]), 2);
+        assert_eq!(median(&[1, 3, 5]), 3);
+        assert_eq!(median(&[1, 3, 5, 100]), 4);
+    }
+
+    #[test]
+    fn mad_is_zero_for_identical_and_empty() {
+        assert_eq!(mad(&[], 0), 0);
+        assert_eq!(mad(&[5, 5, 5, 5], 5), 0);
+        // {1, 2, 9}, center 2 -> deviations {1, 0, 7} -> median 1.
+        assert_eq!(mad(&[1, 2, 9], 2), 1);
+    }
+
+    #[test]
+    fn iqr_rejects_constructed_outliers() {
+        // Tight cluster plus one wild point: the fence drops exactly it.
+        let samples = vec![100, 101, 99, 102, 98, 100, 101, 5000];
+        let (kept, rejected) = reject_outliers_iqr(samples);
+        assert_eq!(rejected, 1);
+        assert!(!kept.contains(&5000));
+        assert_eq!(kept.len(), 7);
+    }
+
+    #[test]
+    fn iqr_passes_small_sets_through() {
+        let (kept, rejected) = reject_outliers_iqr(vec![1, 1_000_000, 2]);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn timing_stats_on_empty_input_is_zeroed() {
+        let s = TimingStats::from_nanos(vec![]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.median, 0);
+        assert_eq!(s.rel_mad_pct, 0.0);
+    }
+
+    #[test]
+    fn timing_stats_on_single_sample() {
+        let s = TimingStats::from_nanos(vec![42]);
+        assert_eq!((s.n, s.min, s.median, s.max, s.mad), (1, 42, 42, 42, 0));
+        assert_eq!(s.rejected, 0);
+    }
+
+    #[test]
+    fn timing_stats_on_identical_samples_has_zero_spread() {
+        let s = TimingStats::from_nanos(vec![10; 8]);
+        assert_eq!(s.median, 10);
+        assert_eq!(s.mad, 0);
+        assert_eq!(s.rel_mad_pct, 0.0);
+        assert_eq!(s.rejected, 0);
+    }
+
+    #[test]
+    fn timing_stats_rejects_outliers_before_summarizing() {
+        let s = TimingStats::from_nanos(vec![100, 101, 99, 102, 98, 100, 101, 5000]);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.max, 102);
+        assert!(s.median >= 98 && s.median <= 102);
+    }
+
+    #[test]
+    fn ab_split_floor_is_zero_for_stable_samples() {
+        assert_eq!(ab_split_floor_pct(&[100; 10]), 0.0);
+        assert_eq!(ab_split_floor_pct(&[100]), 0.0);
+        assert_eq!(ab_split_floor_pct(&[]), 0.0);
+    }
+
+    #[test]
+    fn ab_split_floor_sees_drift() {
+        // First half fast, second half slow: the interleaved split keeps
+        // both groups exposed to the drift, but an alternating pattern
+        // (A always fast, B always slow) is fully resolved.
+        let alternating = [100, 120, 100, 120, 100, 120];
+        let floor = ab_split_floor_pct(&alternating);
+        assert!(floor > 15.0, "floor {floor} should expose the A/B gap");
+    }
+
+    #[test]
+    fn noise_floor_combines_split_and_mad() {
+        let noisy = [100, 140, 90, 150, 95, 160];
+        assert!(noise_floor_pct(&noisy) > 0.0);
+        assert_eq!(noise_floor_pct(&[50; 6]), 0.0);
+    }
+
+    #[test]
+    fn timing_stats_json_is_schema_stable() {
+        let j = TimingStats::from_nanos(vec![10, 20, 30])
+            .to_json()
+            .to_string();
+        let parsed = Json::parse(&j).unwrap();
+        for key in [
+            "n",
+            "rejected",
+            "min",
+            "median",
+            "max",
+            "mad",
+            "rel_mad_pct",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(parsed.get("median").and_then(Json::as_i64), Some(20));
+    }
+}

@@ -39,6 +39,11 @@ pub struct VmConfig {
     /// never perturbs [`Metrics`] — a clean checked run reports the same
     /// counters as an unchecked one.
     pub checked: CheckLevel,
+    /// Test-only wall-clock slowdown: busy-spin this many iterations per
+    /// executed instruction. Exists so the benchmark observatory's gated
+    /// wall-clock can prove it flags a genuinely slower interpreter;
+    /// never perturbs modeled [`Metrics`]. Zero (off) by default.
+    pub test_spin_per_instr: u64,
 }
 
 impl Default for VmConfig {
@@ -52,6 +57,7 @@ impl Default for VmConfig {
             alloc_header_words: 2,
             profile: false,
             checked: CheckLevel::Off,
+            test_spin_per_instr: 0,
         }
     }
 }
@@ -231,7 +237,7 @@ pub fn run(program: &Program, config: &VmConfig) -> Result<RunResult, VmError> {
 /// Folds raw per-index counters into a hottest-first [`crate::profile::Profile`],
 /// resolving sites to their containing method and allocated class.
 fn build_profile(program: &Program, state: &ProfileState) -> crate::profile::Profile {
-    use crate::profile::{MethodProfile, Profile, SiteProfile};
+    use crate::profile::{AccessSiteProfile, MethodProfile, OpcodeProfile, Profile, SiteProfile};
     // Static site → (containing method, allocated class) map.
     let mut site_info: HashMap<usize, (String, String)> = HashMap::new();
     for (mid, m) in program.methods.iter_enumerated() {
@@ -289,7 +295,117 @@ fn build_profile(program: &Program, state: &ProfileState) -> crate::profile::Pro
             .cmp(&a.allocations)
             .then_with(|| a.site.cmp(&b.site))
     });
-    Profile { methods, sites }
+    let mut opcodes: Vec<OpcodeProfile> = OPCODE_NAMES
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| state.opcode_counts[i] > 0 || state.opcode_cycles[i] > 0)
+        .map(|(i, &name)| OpcodeProfile {
+            name: name.to_owned(),
+            count: state.opcode_counts[i],
+            cycles: state.opcode_cycles[i],
+        })
+        .collect();
+    opcodes.sort_by(|a, b| {
+        b.cycles
+            .cmp(&a.cycles)
+            .then_with(|| b.count.cmp(&a.count))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let mut accesses: Vec<AccessSiteProfile> = state
+        .accesses
+        .iter()
+        .map(|(&(class, field, interior), counters)| AccessSiteProfile {
+            class: program
+                .interner
+                .resolve(program.classes[class].name)
+                .to_owned(),
+            field: program.interner.resolve(field).to_owned(),
+            interior,
+            reads: counters.reads,
+            writes: counters.writes,
+            cycles: counters.cycles,
+        })
+        .collect();
+    accesses.sort_by(|a, b| {
+        b.cycles
+            .cmp(&a.cycles)
+            .then_with(|| (b.reads + b.writes).cmp(&(a.reads + a.writes)))
+            .then_with(|| a.class.cmp(&b.class))
+            .then_with(|| a.field.cmp(&b.field))
+            .then_with(|| a.interior.cmp(&b.interior))
+    });
+    Profile {
+        methods,
+        sites,
+        opcodes,
+        accesses,
+    }
+}
+
+/// Names for the per-opcode dispatch histogram, indexed by
+/// [`opcode_index`]. The last two are pseudo-opcodes: `branch` receives
+/// block-terminator charges, `other` any charge issued outside an
+/// instruction dispatch (e.g. frame entry before the first opcode).
+const OPCODE_NAMES: [&str; 21] = [
+    "const",
+    "move",
+    "unary",
+    "binary",
+    "new",
+    "new_array",
+    "new_array_inline",
+    "get_field",
+    "set_field",
+    "array_get",
+    "array_set",
+    "get_global",
+    "set_global",
+    "send",
+    "call_static",
+    "call_builtin",
+    "make_interior",
+    "make_interior_elem",
+    "print",
+    "branch",
+    "other",
+];
+/// Pseudo-opcode index for block-terminator (branch) charges.
+const OP_BRANCH: usize = 19;
+/// Pseudo-opcode index for charges outside any dispatch.
+const OP_OTHER: usize = 20;
+
+/// The histogram slot for an instruction (see [`OPCODE_NAMES`]).
+fn opcode_index(instr: &Instr) -> usize {
+    match instr {
+        Instr::Const { .. } => 0,
+        Instr::Move { .. } => 1,
+        Instr::Unary { .. } => 2,
+        Instr::Binary { .. } => 3,
+        Instr::New { .. } => 4,
+        Instr::NewArray { .. } => 5,
+        Instr::NewArrayInline { .. } => 6,
+        Instr::GetField { .. } => 7,
+        Instr::SetField { .. } => 8,
+        Instr::ArrayGet { .. } => 9,
+        Instr::ArraySet { .. } => 10,
+        Instr::GetGlobal { .. } => 11,
+        Instr::SetGlobal { .. } => 12,
+        Instr::Send { .. } => 13,
+        Instr::CallStatic { .. } => 14,
+        Instr::CallBuiltin { .. } => 15,
+        Instr::MakeInterior { .. } => 16,
+        Instr::MakeInteriorElem { .. } => 17,
+        Instr::Print { .. } => 18,
+    }
+}
+
+/// Per-access-site raw counters (see
+/// [`crate::profile::AccessSiteProfile`]).
+#[derive(Default)]
+struct AccessCounters {
+    reads: u64,
+    writes: u64,
+    cycles: u64,
 }
 
 /// Raw profiling counters, indexed by method / site id.
@@ -299,6 +415,13 @@ struct ProfileState {
     method_misses: Vec<u64>,
     site_allocs: Vec<u64>,
     site_words: Vec<u64>,
+    /// Dispatch counts per [`OPCODE_NAMES`] slot.
+    opcode_counts: Vec<u64>,
+    /// Self cycles per [`OPCODE_NAMES`] slot (a call opcode's callee
+    /// attributes to the callee's own opcodes).
+    opcode_cycles: Vec<u64>,
+    /// Field-access counters keyed by `(class, field, interior?)`.
+    accesses: HashMap<(ClassId, Symbol, bool), AccessCounters>,
 }
 
 /// How an inline child's fields map to container slots (VM-resolved form,
@@ -352,6 +475,9 @@ struct Vm<'p> {
     /// Call stack of active methods, maintained while profiling or
     /// checking (the sanitizer attributes findings to the active method).
     mstack: Vec<MethodId>,
+    /// Histogram slot of the opcode currently dispatching, maintained
+    /// only while profiling ([`OP_OTHER`] outside any dispatch).
+    cur_op: usize,
 }
 
 impl<'p> Vm<'p> {
@@ -415,9 +541,13 @@ impl<'p> Vm<'p> {
                 method_misses: vec![0; program.methods.len()],
                 site_allocs: vec![0; program.site_count as usize],
                 site_words: vec![0; program.site_count as usize],
+                opcode_counts: vec![0; OPCODE_NAMES.len()],
+                opcode_cycles: vec![0; OPCODE_NAMES.len()],
+                accesses: HashMap::new(),
             }),
             sanitizer: Sanitizer::new(config.checked),
             mstack: Vec::new(),
+            cur_op: OP_OTHER,
         }
     }
 
@@ -429,6 +559,7 @@ impl<'p> Vm<'p> {
             if let Some(&m) = self.mstack.last() {
                 p.method_cycles[m.index()] += cycles;
             }
+            p.opcode_cycles[self.cur_op] += cycles;
         }
     }
 
@@ -685,18 +816,20 @@ impl<'p> Vm<'p> {
                     }
                 })?;
                 let addr = self.heap.get(o).slot_addr(slot);
-                self.mem_read(addr);
+                let hit = self.mem_read(addr);
+                self.profile_access(c, field, false, false, hit);
                 Ok(self.heap.get(o).slots[slot])
             }
             Value::Interior { obj, index, layout } => {
                 let lid = layout.index() as u32;
                 let resolved = &self.layouts[lid as usize];
+                let child = resolved.child_class;
                 let j = resolved
                     .child_fields
                     .iter()
                     .position(|&f| f == field)
                     .ok_or_else(|| VmError::NoSuchField {
-                        class: self.class_name(resolved.child_class),
+                        class: self.class_name(child),
                         field: self.program.interner.resolve(field).to_owned(),
                     })?;
                 let container_len = self.heap.get(obj).array_len().unwrap_or(0);
@@ -707,6 +840,7 @@ impl<'p> Vm<'p> {
                 let addr = self.heap.get(obj).slot_addr(slot);
                 let hit = self.mem_read(addr);
                 self.note_inline_access(hit);
+                self.profile_access(child, field, true, false, hit);
                 Ok(self.heap.get(obj).slots[slot])
             }
             Value::Nil => Err(VmError::NilDereference {
@@ -736,7 +870,8 @@ impl<'p> Vm<'p> {
                     }
                 })?;
                 let addr = self.heap.get(o).slot_addr(slot);
-                self.mem_write(addr);
+                let hit = self.mem_write(addr);
+                self.profile_access(c, field, false, true, hit);
                 self.heap.get_mut(o).slots[slot] = value;
                 if let Some(san) = &mut self.sanitizer {
                     let len = self.heap.get(o).slots.len();
@@ -747,12 +882,13 @@ impl<'p> Vm<'p> {
             Value::Interior { obj, index, layout } => {
                 let lid = layout.index() as u32;
                 let resolved = &self.layouts[lid as usize];
+                let child = resolved.child_class;
                 let j = resolved
                     .child_fields
                     .iter()
                     .position(|&f| f == field)
                     .ok_or_else(|| VmError::NoSuchField {
-                        class: self.class_name(resolved.child_class),
+                        class: self.class_name(child),
                         field: self.program.interner.resolve(field).to_owned(),
                     })?;
                 let container_len = self.heap.get(obj).array_len().unwrap_or(0);
@@ -763,6 +899,7 @@ impl<'p> Vm<'p> {
                 let addr = self.heap.get(obj).slot_addr(slot);
                 let hit = self.mem_write(addr);
                 self.note_inline_access(hit);
+                self.profile_access(child, field, true, true, hit);
                 self.heap.get_mut(obj).slots[slot] = value;
                 Ok(())
             }
@@ -800,6 +937,31 @@ impl<'p> Vm<'p> {
             a += line;
         }
         Ok(id)
+    }
+
+    /// Attributes one field access at `(class, field, interior?)` to its
+    /// access site with its modeled cost — the base read/write charge
+    /// plus the cache penalty it actually paid (profiling only).
+    fn profile_access(
+        &mut self,
+        class: ClassId,
+        field: Symbol,
+        interior: bool,
+        is_write: bool,
+        hit: bool,
+    ) {
+        let cost = self.config.cost;
+        if let Some(p) = &mut self.profile {
+            let entry = p.accesses.entry((class, field, interior)).or_default();
+            let base = if is_write {
+                entry.writes += 1;
+                cost.heap_write
+            } else {
+                entry.reads += 1;
+                cost.heap_read
+            };
+            entry.cycles += base + if hit { 0 } else { cost.cache_miss };
+        }
     }
 
     /// Attributes one allocation of `words` words to `site` (profiling
@@ -902,7 +1064,21 @@ impl<'p> Vm<'p> {
                 }
                 self.instr_budget -= 1;
                 self.metrics.instructions += 1;
+                if self.config.test_spin_per_instr > 0 {
+                    for i in 0..self.config.test_spin_per_instr {
+                        std::hint::black_box(i);
+                    }
+                }
+                if let Some(p) = &mut self.profile {
+                    let op = opcode_index(instr);
+                    p.opcode_counts[op] += 1;
+                    self.cur_op = op;
+                }
                 self.exec(instr, &mut locals)?;
+            }
+            if let Some(p) = &mut self.profile {
+                p.opcode_counts[OP_BRANCH] += 1;
+                self.cur_op = OP_BRANCH;
             }
             self.charge(self.config.cost.branch);
             match block.term {
@@ -1862,8 +2038,52 @@ mod census_tests {
             .methods
             .iter()
             .any(|m| m.name.ends_with("::get") && m.calls == 10));
+        // The opcode histogram is exhaustive too: every executed
+        // instruction lands in a real opcode bucket, every charged cycle
+        // in some bucket (real or pseudo).
+        let op_count: u64 = prof
+            .opcodes
+            .iter()
+            .filter(|o| o.name != "branch" && o.name != "other")
+            .map(|o| o.count)
+            .sum();
+        assert_eq!(op_count, r.metrics.instructions);
+        let op_cycles: u64 = prof.opcodes.iter().map(|o| o.cycles).sum();
+        assert_eq!(op_cycles, r.metrics.cycles);
+        // Access sites attribute the field traffic: `P.x` is read by
+        // `get()` ten times and written by `init()` ten times.
+        let px = prof
+            .accesses
+            .iter()
+            .find(|a| a.class == "P" && a.field == "x" && !a.interior)
+            .expect("P.x access site");
+        assert_eq!((px.reads, px.writes), (10, 10));
+        assert!(px.cycles > 0);
         // And the baseline path carries no profile.
         let r2 = run(&p, &VmConfig::default()).unwrap();
         assert!(r2.profile.is_none());
+    }
+
+    #[test]
+    fn test_spin_never_perturbs_metrics() {
+        let p = compile(
+            "class P { field x; method init(a) { self.x = a; } }
+             fn main() {
+               var i = 0;
+               while (i < 5) { var q = new P(i); print q.x; i = i + 1; }
+             }",
+        )
+        .unwrap();
+        let plain = run(&p, &VmConfig::default()).unwrap();
+        let slowed = run(
+            &p,
+            &VmConfig {
+                test_spin_per_instr: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.metrics, slowed.metrics);
+        assert_eq!(plain.output, slowed.output);
     }
 }

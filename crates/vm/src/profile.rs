@@ -1,11 +1,16 @@
-//! Opt-in execution profiling: per-method and per-allocation-site
-//! counters (`oic run --profile`).
+//! Opt-in execution profiling: per-method, per-allocation-site,
+//! per-opcode, and per-access-site counters (`oic run --profile`,
+//! `oic prof`).
 //!
 //! Profiling is off by default ([`crate::VmConfig::profile`]) so the
 //! metered cost model stays the only per-instruction overhead in normal
 //! runs. When enabled, every cycle charge is attributed to the method on
 //! top of the interpreter's call stack (self time, not inclusive), cache
-//! misses likewise, and every allocation to its static allocation site.
+//! misses likewise, every allocation to its static allocation site, every
+//! executed instruction to its opcode ([`OpcodeProfile`]), and every
+//! field access to its access site ([`AccessSiteProfile`]) — the
+//! `(class, field, direct-or-interior)` triple that names *where* heap
+//! traffic comes from and whether it goes through inline child state.
 
 use oi_support::Json;
 
@@ -37,6 +42,53 @@ pub struct SiteProfile {
     pub words: u64,
 }
 
+/// The dispatch histogram entry for one opcode.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpcodeProfile {
+    /// Opcode name (`get_field`, `send`, ...; `branch` is the pseudo-op
+    /// charged for block terminators).
+    pub name: String,
+    /// Times the opcode was dispatched.
+    pub count: u64,
+    /// Cycles charged while this opcode was executing (self time — a
+    /// call opcode's callee attributes to the callee's own opcodes).
+    pub cycles: u64,
+}
+
+/// Dynamic counters for one field-access site: a `(class, field,
+/// access path)` triple. `interior` distinguishes accesses through an
+/// interior reference — reads and writes of inline-allocated child state
+/// — from direct object-slot accesses; ranking these by modeled cycles
+/// names the paper's hot sites (the accesses inlining is supposed to
+/// make cheap).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessSiteProfile {
+    /// Class owning the accessed field (for interior accesses, the
+    /// inlined child's class).
+    pub class: String,
+    /// Accessed field name.
+    pub field: String,
+    /// Whether the access went through an interior reference.
+    pub interior: bool,
+    /// Dynamic read count.
+    pub reads: u64,
+    /// Dynamic write count.
+    pub writes: u64,
+    /// Modeled cycles across all accesses (base cost + cache penalties).
+    pub cycles: u64,
+}
+
+impl AccessSiteProfile {
+    /// The stable `Class.field` / `Class.field (inline)` site label.
+    pub fn label(&self) -> String {
+        if self.interior {
+            format!("{}.{} (inline)", self.class, self.field)
+        } else {
+            format!("{}.{}", self.class, self.field)
+        }
+    }
+}
+
 /// A complete execution profile, sorted hottest-first.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Profile {
@@ -45,6 +97,12 @@ pub struct Profile {
     /// Allocation sites by descending allocation count (cold sites
     /// dropped).
     pub sites: Vec<SiteProfile>,
+    /// Opcode dispatch histogram by descending cycles (never-dispatched
+    /// opcodes dropped).
+    pub opcodes: Vec<OpcodeProfile>,
+    /// Field-access sites by descending modeled cycles (untouched sites
+    /// dropped).
+    pub accesses: Vec<AccessSiteProfile>,
 }
 
 impl Profile {
@@ -84,6 +142,39 @@ impl Profile {
                         .collect(),
                 ),
             ),
+            (
+                "opcodes",
+                Json::Arr(
+                    self.opcodes
+                        .iter()
+                        .map(|o| {
+                            Json::obj(vec![
+                                ("name", o.name.clone().into()),
+                                ("count", o.count.into()),
+                                ("cycles", o.cycles.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "accesses",
+                Json::Arr(
+                    self.accesses
+                        .iter()
+                        .map(|a| {
+                            Json::obj(vec![
+                                ("class", a.class.clone().into()),
+                                ("field", a.field.clone().into()),
+                                ("interior", a.interior.into()),
+                                ("reads", a.reads.into()),
+                                ("writes", a.writes.into()),
+                                ("cycles", a.cycles.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -112,6 +203,27 @@ impl std::fmt::Display for Profile {
                 s.allocations, s.words, s.site, s.class, s.method
             )?;
         }
+        if !self.opcodes.is_empty() {
+            writeln!(f, "--- opcode dispatch histogram ---")?;
+            writeln!(f, "{:>12} {:>10}  opcode", "cycles", "count")?;
+            for o in &self.opcodes {
+                writeln!(f, "{:>12} {:>10}  {}", o.cycles, o.count, o.name)?;
+            }
+        }
+        if !self.accesses.is_empty() {
+            writeln!(f, "--- hot field-access sites ---")?;
+            writeln!(f, "{:>12} {:>10} {:>10}  site", "cycles", "reads", "writes")?;
+            for a in &self.accesses {
+                writeln!(
+                    f,
+                    "{:>12} {:>10} {:>10}  {}",
+                    a.cycles,
+                    a.reads,
+                    a.writes,
+                    a.label()
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -136,6 +248,19 @@ mod tests {
                 allocations: 3,
                 words: 12,
             }],
+            opcodes: vec![OpcodeProfile {
+                name: "get_field".into(),
+                count: 4,
+                cycles: 20,
+            }],
+            accesses: vec![AccessSiteProfile {
+                class: "P".into(),
+                field: "x".into(),
+                interior: true,
+                reads: 4,
+                writes: 0,
+                cycles: 20,
+            }],
         };
         let j = p.to_json().to_string();
         let parsed = Json::parse(&j).unwrap();
@@ -143,6 +268,26 @@ mod tests {
         assert_eq!(m.get("cycles").and_then(Json::as_i64), Some(10));
         let s = &parsed.get("sites").unwrap().as_arr().unwrap()[0];
         assert_eq!(s.get("allocations").and_then(Json::as_i64), Some(3));
+        let o = &parsed.get("opcodes").unwrap().as_arr().unwrap()[0];
+        assert_eq!(o.get("count").and_then(Json::as_i64), Some(4));
+        let a = &parsed.get("accesses").unwrap().as_arr().unwrap()[0];
+        assert_eq!(a.get("interior").and_then(Json::as_bool), Some(true));
+        assert_eq!(a.get("cycles").and_then(Json::as_i64), Some(20));
+    }
+
+    #[test]
+    fn access_site_labels_mark_inline_paths() {
+        let direct = AccessSiteProfile {
+            class: "Rect".into(),
+            field: "ll".into(),
+            ..Default::default()
+        };
+        let inline = AccessSiteProfile {
+            interior: true,
+            ..direct.clone()
+        };
+        assert_eq!(direct.label(), "Rect.ll");
+        assert_eq!(inline.label(), "Rect.ll (inline)");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! oic report [--json] <file.oi>                       per-field inlining decisions
 //! oic explain [--json] <file.oi> <Class.field>        decision provenance for one field
 //! oic dump [--inline] <file.oi>                       print the (optimized) IR
+//! oic prof [--json|--collapse] <file.oi>              hierarchical performance profile
 //! ```
 //!
 //! All commands accept `--trace[=text|json]`; the `OIC_TRACE` environment
@@ -32,7 +33,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: oic <run|compare|report|explain|dump|bench|fuzz|batch|chaos> [flags] <file.oi> [Class.field]\n\
+    "usage: oic <run|compare|report|explain|dump|bench|prof|fuzz|batch|chaos> [flags] <file.oi> [Class.field]\n\
     \n\
     run      execute the program (baseline pipeline; --inline for the\n\
     \x20        object-inlining pipeline) and print metrics\n\
@@ -47,6 +48,8 @@ const USAGE: &str =
     explain  print the decision provenance chain for one Class.field\n\
     dump     print the IR (after --inline: the transformed program)\n\
     bench    benchmark observatory passthrough (oic bench snapshot|compare)\n\
+    prof     hierarchical profiler: compile-stage self/total times plus\n\
+    \x20        baseline-vs-inlined VM profiles (--json | --collapse)\n\
     fuzz     adversarial differential fuzzing (oic fuzz --runs N --seed S)\n\
     batch    panic-isolated fleet compilation (oic batch <dir> --deadline-ms N)\n\
     chaos    systematic fault injection against the detection lattice\n\
@@ -335,6 +338,10 @@ fn main() -> ExitCode {
     // `oic chaos ...` forwards to the fault-injection matrix driver.
     if args.first().map(String::as_str) == Some("chaos") {
         return ExitCode::from(oi_bench::chaos::cli_main(&args[1..]));
+    }
+    // `oic prof ...` forwards to the performance observatory profiler.
+    if args.first().map(String::as_str) == Some("prof") {
+        return ExitCode::from(oi_bench::prof::cli_main(&args[1..]));
     }
     let cli = match parse_cli(&args) {
         Ok(c) => c,

@@ -654,3 +654,116 @@ fn trace_json_streams_events_to_stderr() {
     }
     assert!(saw_contour, "expected contour.new events in: {err}");
 }
+
+/// `oic prof` golden tests: the `oi.prof.v1` document (hierarchical
+/// compile stages whose self times sum to the total, plus per-build VM
+/// profiles), the collapsed-stack export, and the exit-2 flag discipline.
+#[test]
+fn prof_json_document_is_schema_stable_and_accounts_for_all_time() {
+    use oi_support::Json;
+    let path = write_temp("prof.oi", PROGRAM);
+    let out = oic()
+        .args(["prof", "--json", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("oi.prof.v1"));
+
+    // Stage accounting: self_sum_us is computed over the whole tree and
+    // must land within rounding distance of the measured total.
+    let compile = doc.get("compile").unwrap();
+    let total = compile.get("total_us").and_then(Json::as_i64).unwrap();
+    let self_sum = compile.get("self_sum_us").and_then(Json::as_i64).unwrap();
+    fn count_nodes(stage: &Json) -> i64 {
+        1 + stage
+            .get("children")
+            .and_then(Json::as_arr)
+            .map(|c| c.iter().map(count_nodes).sum())
+            .unwrap_or(0)
+    }
+    let stages = compile.get("stages").and_then(Json::as_arr).unwrap();
+    let root = &stages[0];
+    assert_eq!(root.get("name").and_then(Json::as_str), Some("compile"));
+    let tolerance = count_nodes(root);
+    assert!(
+        (total - self_sum).abs() <= tolerance,
+        "self/total leak: total {total}us, self-sum {self_sum}us (tolerance {tolerance}us)"
+    );
+    for key in ["count", "total_us", "self_us", "children"] {
+        assert!(root.get(key).is_some(), "stage node missing {key}");
+    }
+
+    // Both builds ship metrics and the full profile tables.
+    for build in ["baseline", "inlined"] {
+        let side = doc.get("vm").unwrap().get(build).unwrap();
+        assert!(side.get("wall_ns").and_then(Json::as_i64).is_some());
+        assert!(side.get("metrics").unwrap().get("cycles").is_some());
+        let profile = side.get("profile").unwrap();
+        for table in ["methods", "sites", "opcodes", "accesses"] {
+            assert!(profile.get(table).is_some(), "{build} missing {table}");
+        }
+        assert!(!profile
+            .get("opcodes")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+    }
+    assert!(doc.get("vm").unwrap().get("speedup").is_some());
+}
+
+#[test]
+fn prof_collapse_emits_flamegraph_ready_stacks() {
+    let path = write_temp("prof_collapse.oi", PROGRAM);
+    let out = oic()
+        .args(["prof", "--collapse", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.trim().is_empty());
+    for line in stdout.lines() {
+        // `frame;frame;... value` — exactly what flamegraph.pl takes.
+        let (stack, value) = line.rsplit_once(' ').expect("stack + value");
+        assert!(!stack.is_empty(), "empty stack in {line}");
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("non-numeric value in {line}"));
+    }
+    assert!(stdout.lines().any(|l| l.starts_with("compile")), "{stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("vm.baseline;")),
+        "{stdout}"
+    );
+    assert!(
+        stdout.lines().any(|l| l.starts_with("vm.inlined;")),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn prof_rejects_bad_usage_with_exit_2() {
+    let out = oic().args(["prof"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = oic().args(["prof", "--wat", "x.oi"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let path = write_temp("prof_usage.oi", PROGRAM);
+    let out = oic()
+        .args(["prof", "--json", "--collapse", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+
+    // Runtime failures (unreadable file) are exit 1, not usage errors.
+    let out = oic().args(["prof", "/no/such/file.oi"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
