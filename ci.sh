@@ -92,4 +92,35 @@ if grep -q '"degraded":0,' target/batch_tight.json; then
     exit 1
 fi
 
+echo "==> serve-smoke (compile server protocol end to end)"
+# A real piped session against `oic serve`: compile a program (miss),
+# compile the same bytes again (hit), ask for the metrics registry, and
+# shut down cleanly. The responses must carry the oi.serve.v1 envelope,
+# the repeat must be served from the artifact cache, and the stats
+# payload must be the oi.metrics.v1 export.
+printf '%s\n' \
+    '{"id": 1, "op": "compile", "path": "examples/rectangle_inline.oi"}' \
+    '{"id": 2, "op": "compile", "path": "examples/rectangle_inline.oi"}' \
+    '{"id": 3, "op": "stats"}' \
+    '{"id": 4, "op": "shutdown"}' \
+    | target/release/oic serve > target/serve_smoke.jsonl
+test "$(wc -l < target/serve_smoke.jsonl)" -eq 4
+grep -q '"schema":"oi.serve.v1"' target/serve_smoke.jsonl
+if grep -q '"ok":false' target/serve_smoke.jsonl; then
+    echo "serve-smoke: a request failed" >&2
+    exit 1
+fi
+sed -n 2p target/serve_smoke.jsonl | grep -q '"cache":"hit"'
+sed -n 3p target/serve_smoke.jsonl | grep -q '"schema":"oi.metrics.v1"'
+
+echo "==> loadgen-smoke (replayed compile load against the server)"
+# A seeded Zipf-skewed replay against an in-process server. The driver
+# exits non-zero unless the run is error-free, the hit rate clears the
+# structural floor, and the oi.metrics.v1 counters reconcile exactly
+# with the driver's own tallies.
+target/release/oic bench loadgen --requests 500 --sources 10 --seed 1 \
+    --json --out target/loadgen_smoke.json
+grep -q '"schema":"oi.load.v1"' target/loadgen_smoke.json
+grep -q '"reconciled":true' target/loadgen_smoke.json
+
 echo "CI green."

@@ -21,12 +21,14 @@
 //! real tier, 1 when any finding survived (a panicked or non-compiling
 //! job), 2 on usage errors.
 
-use oi_core::ladder::{optimize_with_ladder, LadderConfig, Tier};
+use crate::harness::time_once;
+use oi_core::cache::{config_fingerprint, Artifact, ArtifactCache, CacheKey};
+use oi_core::ladder::{optimize_with_ladder, LadderConfig, LadderOutcome, Tier};
 use oi_support::panic::{contained, silence_hook};
 use oi_support::{Budget, Json};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Batch-driver parameters.
 #[derive(Clone, Debug)]
@@ -86,7 +88,13 @@ pub struct JobResult {
     pub sanitizer_rejections: usize,
     /// `true` when the job needed the panic-retry at `inlining-off`.
     pub retried_after_panic: bool,
-    /// Wall-clock time spent on the job.
+    /// `true` when the job's artifact came from the batch-wide
+    /// content-addressed cache (a duplicate corpus file compiled earlier
+    /// in this invocation). Additive `oi.batch.v1` field.
+    pub cache_hit: bool,
+    /// Wall-clock time spent on the job (measured through
+    /// [`crate::harness::time_once`], like every wall sample in this
+    /// workspace).
     pub wall_ms: u64,
     /// Fields inlined on the landing tier.
     pub fields_inlined: usize,
@@ -113,6 +121,7 @@ impl JobResult {
             ("retractions", self.retractions.into()),
             ("sanitizer_rejections", self.sanitizer_rejections.into()),
             ("retried_after_panic", self.retried_after_panic.into()),
+            ("cache_hit", self.cache_hit.into()),
             ("fields_inlined", self.fields_inlined.into()),
             ("wall_ms", self.wall_ms.into()),
             ("error", self.error.clone().into()),
@@ -160,6 +169,7 @@ impl BatchReport {
     pub fn to_json(&self) -> Json {
         let degraded = self.results.iter().filter(|r| r.degraded).count();
         let sanitizer_rejections: usize = self.results.iter().map(|r| r.sanitizer_rejections).sum();
+        let cache_hits = self.results.iter().filter(|r| r.cache_hit).count();
         Json::obj(vec![
             ("schema", "oi.batch.v1".into()),
             ("total", self.results.len().into()),
@@ -167,6 +177,9 @@ impl BatchReport {
             ("degraded", degraded.into()),
             // Additive fleet counter: sanitizer-caught oracle rejections.
             ("sanitizer_rejections", sanitizer_rejections.into()),
+            // Additive fleet counter: jobs served from the artifact cache
+            // (duplicate corpus files compile once per invocation).
+            ("cache_hits", cache_hits.into()),
             (
                 "tier_counts",
                 Json::Obj(
@@ -185,6 +198,11 @@ impl BatchReport {
     }
 }
 
+/// LRU byte budget for the per-invocation artifact cache. Generous:
+/// batch corpora are small programs, so this effectively means "every
+/// distinct source compiles once".
+const BATCH_CACHE_BYTES: usize = 64 << 20;
+
 /// The per-job budget dictated by the batch flags.
 fn job_budget(config: &BatchConfig) -> Budget {
     let mut b = Budget::unlimited();
@@ -197,15 +215,8 @@ fn job_budget(config: &BatchConfig) -> Budget {
     b
 }
 
-/// Compiles and ladders one source, starting at `start`. `Err` carries a
-/// compile diagnostic; panics are the *caller's* to contain.
-fn attempt(source: &str, start: Tier, budget: &Budget) -> Result<JobResult, String> {
-    let program = oi_ir::lower::compile(source).map_err(|e| e.render(source))?;
-    let ladder = LadderConfig {
-        start,
-        ..Default::default()
-    };
-    let out = optimize_with_ladder(&program, &ladder, budget);
+/// A job verdict derived from a ladder outcome (cached or fresh).
+fn result_from_outcome(out: &LadderOutcome, cache_hit: bool) -> JobResult {
     let divergences = out
         .descents
         .iter()
@@ -216,7 +227,7 @@ fn attempt(source: &str, start: Tier, budget: &Budget) -> Result<JobResult, Stri
         .iter()
         .filter(|d| d.reason.contains("sanitizer reported"))
         .count();
-    Ok(JobResult {
+    JobResult {
         name: String::new(),
         tier: out.tier_name().to_owned(),
         degraded: out.optimized.report.degraded,
@@ -225,72 +236,90 @@ fn attempt(source: &str, start: Tier, budget: &Budget) -> Result<JobResult, Stri
         retractions: out.optimized.report.retractions,
         sanitizer_rejections,
         retried_after_panic: false,
+        cache_hit,
         wall_ms: 0,
         fields_inlined: out.optimized.report.fields_inlined,
         error: String::new(),
-    })
+    }
+}
+
+/// A failure verdict (`"compile-error"` / `"panicked"`).
+fn failed_result(tier: &str, retried: bool, error: String) -> JobResult {
+    JobResult {
+        name: String::new(),
+        tier: tier.to_owned(),
+        degraded: false,
+        descents: 0,
+        divergences: 0,
+        retractions: 0,
+        sanitizer_rejections: 0,
+        retried_after_panic: retried,
+        cache_hit: false,
+        wall_ms: 0,
+        fields_inlined: 0,
+        error,
+    }
+}
+
+/// Compiles and ladders one source, starting at `start`, through the
+/// batch-wide artifact cache: a byte-identical source under an identical
+/// configuration (start tier and budget knobs included) reuses the
+/// earlier job's artifact. `Err` carries a compile diagnostic; panics are
+/// the *caller's* to contain.
+fn attempt(
+    source: &str,
+    start: Tier,
+    config: &BatchConfig,
+    cache: &ArtifactCache,
+) -> Result<JobResult, String> {
+    let ladder = LadderConfig {
+        start,
+        ..Default::default()
+    };
+    let key = CacheKey::whole_program(
+        source,
+        config_fingerprint(&ladder, config.max_rounds, config.deadline_ms),
+    );
+    if let Some(artifact) = cache.get(&key) {
+        return Ok(result_from_outcome(&artifact.outcome, true));
+    }
+    let program = oi_ir::lower::compile(source).map_err(|e| e.render(source))?;
+    let out = optimize_with_ladder(&program, &ladder, &job_budget(config));
+    let result = result_from_outcome(&out, false);
+    cache.insert(key, Artifact::new(out));
+    Ok(result)
 }
 
 /// Runs one job with panic containment and the one-shot retry at
 /// `inlining-off`.
-fn run_job(job: &BatchJob, config: &BatchConfig) -> JobResult {
-    let started = Instant::now();
-    let mut result =
-        match contained(|| attempt(&job.source, Tier::GuardedFull, &job_budget(config))) {
+fn run_job(job: &BatchJob, config: &BatchConfig, cache: &ArtifactCache) -> JobResult {
+    // One timing path for every wall sample in the workspace: the whole
+    // attempt (retry included) is measured through the bench harness.
+    let (mut result, wall) = time_once(|| {
+        match contained(|| attempt(&job.source, Tier::GuardedFull, config, cache)) {
             Ok(Ok(r)) => r,
-            Ok(Err(diag)) => JobResult {
-                name: String::new(),
-                tier: "compile-error".to_owned(),
-                degraded: false,
-                descents: 0,
-                divergences: 0,
-                retractions: 0,
-                sanitizer_rejections: 0,
-                retried_after_panic: false,
-                wall_ms: 0,
-                fields_inlined: 0,
-                error: diag,
-            },
+            Ok(Err(diag)) => failed_result("compile-error", false, diag),
             Err(panic_msg) => {
                 // The ladder contains per-tier panics itself, so reaching this
                 // arm means the driver machinery panicked. Retry once from the
                 // bottom rung before giving up on the job.
-                match contained(|| attempt(&job.source, Tier::InliningOff, &job_budget(config))) {
+                match contained(|| attempt(&job.source, Tier::InliningOff, config, cache)) {
                     Ok(Ok(mut r)) => {
                         r.retried_after_panic = true;
                         r
                     }
-                    Ok(Err(diag)) => JobResult {
-                        name: String::new(),
-                        tier: "compile-error".to_owned(),
-                        degraded: false,
-                        descents: 0,
-                        divergences: 0,
-                        retractions: 0,
-                        sanitizer_rejections: 0,
-                        retried_after_panic: true,
-                        wall_ms: 0,
-                        fields_inlined: 0,
-                        error: diag,
-                    },
-                    Err(second) => JobResult {
-                        name: String::new(),
-                        tier: "panicked".to_owned(),
-                        degraded: false,
-                        descents: 0,
-                        divergences: 0,
-                        retractions: 0,
-                        sanitizer_rejections: 0,
-                        retried_after_panic: true,
-                        wall_ms: 0,
-                        fields_inlined: 0,
-                        error: format!("first: {panic_msg}; retry: {second}"),
-                    },
+                    Ok(Err(diag)) => failed_result("compile-error", true, diag),
+                    Err(second) => failed_result(
+                        "panicked",
+                        true,
+                        format!("first: {panic_msg}; retry: {second}"),
+                    ),
                 }
             }
-        };
+        }
+    });
     result.name = job.name.clone();
-    result.wall_ms = started.elapsed().as_millis() as u64;
+    result.wall_ms = (wall.median / 1_000_000) as u64;
     result
 }
 
@@ -299,6 +328,9 @@ fn run_job(job: &BatchJob, config: &BatchConfig) -> JobResult {
 pub fn run_batch(jobs: &[BatchJob], config: &BatchConfig) -> BatchReport {
     // Contained panics would otherwise print a backtrace per job.
     let _hook = silence_hook();
+    // One artifact cache per invocation, shared across workers: duplicate
+    // corpus files compile once, later copies are cache hits.
+    let cache = ArtifactCache::new(BATCH_CACHE_BYTES);
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let workers = config.jobs.max(1).min(jobs.len().max(1));
@@ -312,7 +344,7 @@ pub fn run_batch(jobs: &[BatchJob], config: &BatchConfig) -> BatchReport {
         (i < jobs.len()).then_some(i)
     };
     let work = |i: usize| -> JobResult {
-        let r = run_job(&jobs[i], config);
+        let r = run_job(&jobs[i], config, &cache);
         if !r.ok() {
             stop.store(true, Ordering::SeqCst);
         }
@@ -713,6 +745,7 @@ mod tests {
             "divergences",
             "retractions",
             "sanitizer_rejections",
+            "cache_hit",
             "wall_ms",
         ] {
             assert!(jobs[0].get(key).is_some(), "missing jobs[].{key}");
@@ -722,5 +755,71 @@ mod tests {
             Some(0),
             "healthy batch must have no sanitizer-caught rejections"
         );
+        assert_eq!(
+            parsed.get("cache_hits").and_then(Json::as_i64),
+            Some(0),
+            "a single-job batch has nothing to hit"
+        );
+    }
+
+    #[test]
+    fn duplicate_jobs_compile_once_and_hit_the_cache() {
+        let report = run_batch(
+            &[job("a", HEALTHY), job("b", HEALTHY), job("c", HEALTHY)],
+            &BatchConfig::default(),
+        );
+        assert!(report.ok());
+        let hits: Vec<bool> = report.results.iter().map(|r| r.cache_hit).collect();
+        assert_eq!(hits, [false, true, true], "first compiles, copies hit");
+        // Cached jobs report the same verdict as the compile they reused.
+        assert!(report.results.iter().all(|r| r.tier == "guarded-full"));
+        let inlined: Vec<usize> = report.results.iter().map(|r| r.fields_inlined).collect();
+        assert_eq!(inlined[0], inlined[1]);
+        assert_eq!(
+            report.to_json().get("cache_hits").and_then(Json::as_i64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn cache_hits_survive_parallel_workers() {
+        let jobs: Vec<BatchJob> = (0..8).map(|i| job(&format!("j{i}"), HEALTHY)).collect();
+        let report = run_batch(
+            &jobs,
+            &BatchConfig {
+                jobs: 4,
+                keep_going: true,
+                ..Default::default()
+            },
+        );
+        assert!(report.ok());
+        // At least one worker must have reused another's artifact; exact
+        // counts depend on scheduling (several workers can miss the same
+        // key concurrently and each compile it).
+        assert!(
+            report.results.iter().any(|r| r.cache_hit),
+            "8 identical jobs over 4 workers must produce cache hits"
+        );
+        assert!(report.results.iter().all(|r| r.tier == "guarded-full"));
+    }
+
+    #[test]
+    fn budget_knobs_partition_the_cache() {
+        // The same source under a different round budget must not reuse
+        // the unbudgeted artifact (it may be degraded).
+        let unbudgeted = run_batch(&[job("a", HEALTHY)], &BatchConfig::default());
+        assert!(!unbudgeted.results[0].cache_hit);
+        let budgeted = run_batch(
+            &[job("a", HEALTHY), job("b", HEALTHY)],
+            &BatchConfig {
+                max_rounds: Some(1),
+                keep_going: true,
+                ..Default::default()
+            },
+        );
+        // Fresh invocation, fresh cache: first job misses even though an
+        // earlier invocation compiled identical bytes.
+        assert!(!budgeted.results[0].cache_hit);
+        assert!(budgeted.results[1].cache_hit);
     }
 }

@@ -123,6 +123,10 @@ pub struct Case {
     pub restored: bool,
     /// The first divergence the oracle saw, for the report.
     pub first_divergence: String,
+    /// Wall-clock spent on the whole cell (inject, probe, classify), in
+    /// milliseconds, via the bench harness clock. Additive `oi.chaos.v1`
+    /// field.
+    pub wall_ms: u64,
 }
 
 /// One fault class's row: its cells plus the rollup the exit code uses.
@@ -195,6 +199,7 @@ impl FaultRow {
                                 ("retracted", c.retracted.len().into()),
                                 ("restored", c.restored.into()),
                                 ("first_divergence", c.first_divergence.clone().into()),
+                                ("wall_ms", c.wall_ms.into()),
                             ])
                         })
                         .collect(),
@@ -265,6 +270,7 @@ fn run_case(name: &str, source: &str, fault: Fault) -> Case {
                 retracted: Vec::new(),
                 restored: false,
                 first_divergence: format!("pipeline error: {e}"),
+                wall_ms: 0,
             };
         }
     };
@@ -289,6 +295,7 @@ fn run_case(name: &str, source: &str, fault: Fault) -> Case {
             retracted: g.retracted.clone(),
             restored: g.is_equivalent(),
             first_divergence: first,
+            wall_ms: 0,
         };
     }
     // Nothing objected. Since no retraction ran, `g.optimized` *is* the
@@ -307,6 +314,7 @@ fn run_case(name: &str, source: &str, fault: Fault) -> Case {
         retracted: g.retracted.clone(),
         restored: g.is_equivalent(),
         first_divergence: first,
+        wall_ms: 0,
     }
 }
 
@@ -316,7 +324,11 @@ pub fn run_chaos(faults: &[Fault]) -> ChaosReport {
     for &fault in faults {
         let cases = SENTINELS
             .iter()
-            .map(|&(name, source)| run_case(name, source, fault))
+            .map(|&(name, source)| {
+                let (mut case, wall) = crate::harness::time_once(|| run_case(name, source, fault));
+                case.wall_ms = (wall.median / 1_000_000) as u64;
+                case
+            })
             .collect();
         report.rows.push(FaultRow { fault, cases });
     }
@@ -566,6 +578,7 @@ mod tests {
             "retracted",
             "restored",
             "first_divergence",
+            "wall_ms",
         ] {
             assert!(cases[0].get(key).is_some(), "missing cases[].{key}");
         }

@@ -27,6 +27,10 @@ commands:
       wall-clock gates statistically (calibrated noise floors) when both
       snapshots carry >= 2 samples; --wall-advisory disarms that gate
       for cross-machine comparisons
+  loadgen [--requests N] [--sources K] [--seed S] [--zipf-s X]
+          [--cache-bytes B] [--json] [--out FILE]
+      replay a seeded Zipf-skewed compile trace against an in-process
+      compile server and emit oi.load.v1; exit 1 when the gate fails
 ";
 
 /// Runs the CLI on pre-split arguments and returns the process exit
@@ -36,12 +40,13 @@ pub fn main(args: &[String]) -> u8 {
     match args.first().map(String::as_str) {
         Some("snapshot") => snapshot_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
+        Some("loadgen") => crate::loadgen::cli_main(&args[1..]),
         Some("--help") | Some("help") => {
             print!("{USAGE}");
             0
         }
         Some(other) => {
-            eprintln!("unknown command `{other}` (snapshot|compare)");
+            eprintln!("unknown command `{other}` (snapshot|compare|loadgen)");
             2
         }
         None => {

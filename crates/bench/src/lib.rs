@@ -20,7 +20,9 @@ pub mod chaos;
 pub mod cli;
 pub mod fuzz;
 pub mod harness;
+pub mod loadgen;
 pub mod prof;
+pub mod serve;
 pub mod snapshot;
 pub mod synth;
 

@@ -1,0 +1,533 @@
+//! `oic bench loadgen` — deterministic replayed load against an
+//! in-process compile server.
+//!
+//! The harness synthesizes `N` distinct compilable sources, replays a
+//! seeded Zipf-skewed request trace over them against an in-process
+//! [`crate::serve::Server`], and emits a schema-stable `oi.load.v1`
+//! document with the achieved cache hit rate and p50/p99 service
+//! latencies split by cache outcome.
+//!
+//! Everything is deterministic: the trace is drawn from
+//! [`oi_support::rng::XorShift64`] with a fixed seed, so two runs with
+//! the same flags replay byte-identical request sequences. The document
+//! carries its own verdict (`ok`) so ci.sh can gate on it:
+//!
+//! - zero errored requests,
+//! - hit rate at or above the trace's theoretical floor
+//!   (`(requests - distinct sources sampled) / requests` — every distinct
+//!   source must miss exactly once, nothing else may),
+//! - hit latency distribution well-formed (p99 present and finite),
+//! - the server's `oi.metrics.v1` counters reconcile exactly with the
+//!   harness's own request/hit/miss/error tallies.
+
+use crate::harness::time_once;
+use crate::serve::{Handled, ServeConfig, Server};
+use oi_support::cli::{Arg, ArgScanner};
+use oi_support::rng::XorShift64;
+use oi_support::stats::{percentile, TimingStats};
+use oi_support::Json;
+use std::collections::BTreeSet;
+
+/// Loadgen knobs (flags of `oic bench loadgen`).
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Requests to replay.
+    pub requests: u64,
+    /// Distinct synthetic sources the trace draws from.
+    pub sources: u64,
+    /// PRNG seed for the Zipf draw.
+    pub seed: u64,
+    /// Zipf skew exponent (`1.0` is the classic heavy head).
+    pub zipf_s: f64,
+    /// Server cache budget in bytes.
+    pub cache_bytes: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 10_000,
+            sources: 50,
+            seed: 1,
+            zipf_s: 1.0,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The replay's outcome — everything `oi.load.v1` carries.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// The configuration replayed.
+    pub config: LoadgenConfig,
+    /// Distinct source indices the trace actually touched.
+    pub sampled_sources: u64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that compiled fresh.
+    pub misses: u64,
+    /// Requests answered `ok:false`.
+    pub errors: u64,
+    /// `hits / requests`.
+    pub hit_rate: f64,
+    /// The theoretical floor: `(requests - sampled_sources) / requests`.
+    pub floor_hit_rate: f64,
+    /// Robust summary of hit latencies (ns).
+    pub hit_ns: TimingStats,
+    /// Robust summary of miss (cold-compile) latencies (ns).
+    pub miss_ns: TimingStats,
+    /// Nearest-rank p50 of hit latencies (ns).
+    pub hit_p50_ns: u128,
+    /// Nearest-rank p99 of hit latencies (ns).
+    pub hit_p99_ns: u128,
+    /// Nearest-rank p50 of miss latencies (ns).
+    pub miss_p50_ns: u128,
+    /// Nearest-rank p99 of miss latencies (ns).
+    pub miss_p99_ns: u128,
+    /// `miss_p50 / hit_p99` — how much faster the *worst* typical hit is
+    /// than the *median* cold compile.
+    pub speedup_hit_p99_vs_miss_p50: f64,
+    /// Whether the server's metrics counters match the harness tallies
+    /// exactly.
+    pub reconciled: bool,
+    /// The server's final `oi.metrics.v1` document.
+    pub metrics: Json,
+    /// The gate verdict (see module docs).
+    pub ok: bool,
+}
+
+impl LoadReport {
+    /// The report as a schema-stable `oi.load.v1` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", "oi.load.v1".into()),
+            ("requests", self.config.requests.into()),
+            ("distinct_sources", self.config.sources.into()),
+            ("sampled_sources", self.sampled_sources.into()),
+            ("seed", self.config.seed.into()),
+            ("zipf_s", self.config.zipf_s.into()),
+            ("cache_bytes", (self.config.cache_bytes as u64).into()),
+            ("hits", self.hits.into()),
+            ("misses", self.misses.into()),
+            ("errors", self.errors.into()),
+            ("hit_rate", self.hit_rate.into()),
+            ("floor_hit_rate", self.floor_hit_rate.into()),
+            ("hit_ns", self.hit_ns.to_json()),
+            ("miss_ns", self.miss_ns.to_json()),
+            ("hit_p50_ns", (self.hit_p50_ns as u64).into()),
+            ("hit_p99_ns", (self.hit_p99_ns as u64).into()),
+            ("miss_p50_ns", (self.miss_p50_ns as u64).into()),
+            ("miss_p99_ns", (self.miss_p99_ns as u64).into()),
+            (
+                "speedup_hit_p99_vs_miss_p50",
+                self.speedup_hit_p99_vs_miss_p50.into(),
+            ),
+            ("reconciled", self.reconciled.into()),
+            ("metrics", self.metrics.clone()),
+            ("ok", self.ok.into()),
+        ])
+    }
+}
+
+/// One distinct, deterministically generated compilable source. Index
+/// `i` varies class names and constants, so every source is
+/// byte-distinct (distinct cache key) but lands on the same tier.
+pub fn synthetic_source(i: u64) -> String {
+    format!(
+        "
+        global KEEP;
+        class Point{i} {{ field x; field y;
+          method init(a, b) {{ self.x = a; self.y = b; }}
+        }}
+        class Rect{i} {{ field ll; field ur;
+          method init(a, b) {{ self.ll = new Point{i}(a, a + {off}); self.ur = new Point{i}(b, b + 3); }}
+          method span() {{ return self.ur.x - self.ll.x + self.ur.y - self.ll.y; }}
+        }}
+        fn main() {{
+          var r = new Rect{i}({lo}, {hi});
+          KEEP = r;
+          print KEEP.span();
+        }}",
+        off = i % 5 + 1,
+        lo = i % 7 + 1,
+        hi = i % 11 + 10,
+    )
+}
+
+/// A seeded Zipf(s) sampler over `{0, .., n-1}`: rank `k` is drawn with
+/// probability proportional to `1 / (k + 1)^s`.
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` ranks with skew `s`.
+    pub fn new(n: u64, s: f64) -> ZipfSampler {
+        let mut cumulative = Vec::with_capacity(n.max(1) as usize);
+        let mut total = 0.0;
+        for k in 0..n.max(1) {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative, total }
+    }
+
+    /// Draws one rank using `rng`.
+    pub fn sample(&self, rng: &mut XorShift64) -> u64 {
+        let u = (rng.next_u64() as f64 / u64::MAX as f64) * self.total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.cumulative.len() as u64 - 1),
+        }
+    }
+}
+
+/// Replays the configured trace against a fresh in-process server and
+/// returns the full report.
+pub fn run_loadgen(config: &LoadgenConfig) -> LoadReport {
+    let server = Server::new(ServeConfig {
+        cache_bytes: config.cache_bytes,
+        ..ServeConfig::default()
+    });
+    let sources: Vec<String> = (0..config.sources).map(synthetic_source).collect();
+    let sampler = ZipfSampler::new(config.sources, config.zipf_s);
+    let mut rng = XorShift64::new(config.seed);
+
+    let mut sampled: BTreeSet<u64> = BTreeSet::new();
+    let (mut hits, mut misses, mut errors) = (0u64, 0u64, 0u64);
+    let mut hit_samples: Vec<u128> = Vec::new();
+    let mut miss_samples: Vec<u128> = Vec::new();
+
+    for request_id in 0..config.requests {
+        let rank = sampler.sample(&mut rng);
+        sampled.insert(rank);
+        let line = Json::obj(vec![
+            ("id", request_id.into()),
+            ("op", "compile".into()),
+            ("source", sources[rank as usize].as_str().into()),
+        ])
+        .to_string();
+        let (handled, wall): (Handled, _) = time_once(|| server.handle_line(&line));
+        let cache_state = handled
+            .response
+            .get("cache")
+            .and_then(Json::as_str)
+            .unwrap_or("none")
+            .to_string();
+        server.observe_total(&cache_state, wall.median);
+        let ok = handled
+            .response
+            .get("ok")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        if !ok {
+            errors += 1;
+            continue;
+        }
+        match cache_state.as_str() {
+            "hit" => {
+                hits += 1;
+                hit_samples.push(wall.median);
+            }
+            _ => {
+                misses += 1;
+                miss_samples.push(wall.median);
+            }
+        }
+    }
+
+    hit_samples.sort_unstable();
+    miss_samples.sort_unstable();
+    let hit_p50_ns = percentile(&hit_samples, 50.0);
+    let hit_p99_ns = percentile(&hit_samples, 99.0);
+    let miss_p50_ns = percentile(&miss_samples, 50.0);
+    let miss_p99_ns = percentile(&miss_samples, 99.0);
+
+    let metrics = server.metrics().to_json();
+    let metric = |name: &str| {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_i64)
+            .unwrap_or(0) as u64
+    };
+    // Exact reconciliation: the server's own counters must agree with
+    // the harness's independent tallies, request for request.
+    let reconciled = metric("cache.hits") == hits
+        && metric("cache.misses") == misses
+        && metric("serve.requests") == config.requests
+        && metric("serve.errors") == errors;
+
+    let hit_rate = if config.requests == 0 {
+        0.0
+    } else {
+        hits as f64 / config.requests as f64
+    };
+    let floor_hit_rate = if config.requests == 0 {
+        0.0
+    } else {
+        (config.requests - sampled.len() as u64) as f64 / config.requests as f64
+    };
+    let ok =
+        errors == 0 && hit_rate >= floor_hit_rate && (hits == 0 || hit_p99_ns > 0) && reconciled;
+
+    LoadReport {
+        config: config.clone(),
+        sampled_sources: sampled.len() as u64,
+        hits,
+        misses,
+        errors,
+        hit_rate,
+        floor_hit_rate,
+        hit_ns: TimingStats::from_nanos(hit_samples),
+        miss_ns: TimingStats::from_nanos(miss_samples),
+        hit_p50_ns,
+        hit_p99_ns,
+        miss_p50_ns,
+        miss_p99_ns,
+        speedup_hit_p99_vs_miss_p50: if hit_p99_ns == 0 {
+            0.0
+        } else {
+            miss_p50_ns as f64 / hit_p99_ns as f64
+        },
+        reconciled,
+        metrics,
+        ok,
+    }
+}
+
+const USAGE: &str = "usage: oic bench loadgen [--requests N] [--sources K] [--seed S] \
+     [--zipf-s X] [--cache-bytes B] [--json] [--out FILE]\n\
+     \n\
+     Replays a seeded Zipf-skewed compile trace against an in-process\n\
+     server and emits oi.load.v1. Exits 1 when the gate fails (errored\n\
+     requests, hit rate under the trace's floor, or counters that do not\n\
+     reconcile).";
+
+fn usage_error(msg: &str) -> u8 {
+    eprintln!("oic bench loadgen: {msg}\n\n{USAGE}");
+    2
+}
+
+/// Entry point for `oic bench loadgen`. Returns the process exit code.
+pub fn cli_main(args: &[String]) -> u8 {
+    let mut config = LoadgenConfig::default();
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut scanner = ArgScanner::new(args.to_vec());
+    while let Some(arg) = scanner.next() {
+        let arg = match arg {
+            Ok(a) => a,
+            Err(e) => return usage_error(&e),
+        };
+        match arg {
+            Arg::Flag { name, value: None } => match name.as_str() {
+                "json" => json = true,
+                "requests" => match flag_u64(&mut scanner, "--requests") {
+                    Ok(n) => config.requests = n,
+                    Err(e) => return usage_error(&e),
+                },
+                "sources" => match flag_u64(&mut scanner, "--sources") {
+                    Ok(n) => config.sources = n,
+                    Err(e) => return usage_error(&e),
+                },
+                "seed" => match flag_u64(&mut scanner, "--seed") {
+                    Ok(n) => config.seed = n,
+                    Err(e) => return usage_error(&e),
+                },
+                "cache-bytes" => match flag_u64(&mut scanner, "--cache-bytes") {
+                    Ok(n) => config.cache_bytes = n as usize,
+                    Err(e) => return usage_error(&e),
+                },
+                "zipf-s" => {
+                    let v = scanner.value_for("--zipf-s").unwrap_or_default();
+                    match v.parse::<f64>() {
+                        Ok(s) if s.is_finite() && s >= 0.0 => config.zipf_s = s,
+                        _ => {
+                            return usage_error(&format!(
+                                "`--zipf-s` needs a non-negative number, got `{v}`"
+                            ))
+                        }
+                    }
+                }
+                "out" => match scanner.value_for("--out") {
+                    Ok(path) if !path.is_empty() => out = Some(path),
+                    _ => return usage_error("`--out` needs a file path"),
+                },
+                _ => return usage_error(&format!("unknown flag `--{name}`")),
+            },
+            Arg::Flag {
+                name,
+                value: Some(value),
+            } => return usage_error(&format!("unknown flag `--{name}={value}`")),
+            Arg::Positional(p) => {
+                return usage_error(&format!("unexpected positional argument `{p}`"))
+            }
+        }
+    }
+
+    let report = run_loadgen(&config);
+    let doc = report.to_json();
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("oic bench loadgen: cannot write {path}: {e}");
+            return 1;
+        }
+    }
+    if json {
+        println!("{doc}");
+    } else {
+        println!(
+            "loadgen: {} requests over {} sources (seed {}, zipf {}): \
+             {} hits / {} misses / {} errors, hit rate {:.4} (floor {:.4})",
+            report.config.requests,
+            report.config.sources,
+            report.config.seed,
+            report.config.zipf_s,
+            report.hits,
+            report.misses,
+            report.errors,
+            report.hit_rate,
+            report.floor_hit_rate,
+        );
+        println!(
+            "  hit  p50 {} ns, p99 {} ns\n  miss p50 {} ns, p99 {} ns  \
+             (hit p99 is {:.1}x under miss p50)",
+            report.hit_p50_ns,
+            report.hit_p99_ns,
+            report.miss_p50_ns,
+            report.miss_p99_ns,
+            report.speedup_hit_p99_vs_miss_p50,
+        );
+        println!(
+            "  counters reconciled: {}; gate: {}",
+            report.reconciled,
+            if report.ok { "ok" } else { "FAILED" }
+        );
+    }
+    if report.ok {
+        0
+    } else {
+        eprintln!("oic bench loadgen: gate failed (see report)");
+        1
+    }
+}
+
+/// Parses the positive-integer value of `flag`.
+fn flag_u64(scanner: &mut ArgScanner, flag: &str) -> Result<u64, String> {
+    let v = scanner.value_for(flag).unwrap_or_default();
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("`{flag}` needs a positive integer, got `{v}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_sources_are_distinct_and_compile() {
+        let mut seen = BTreeSet::new();
+        for i in 0..50 {
+            let src = synthetic_source(i);
+            assert!(seen.insert(src.clone()), "source {i} not distinct");
+            oi_ir::lower::compile(&src).unwrap_or_else(|e| {
+                panic!("source {i} must compile: {}", e.render(&src));
+            });
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_is_deterministic_and_skewed() {
+        let sampler = ZipfSampler::new(50, 1.0);
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut rng = XorShift64::new(seed);
+            (0..1000).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(1), draw(1), "same seed, same trace");
+        assert_ne!(draw(1), draw(2), "different seed, different trace");
+        let trace = draw(1);
+        assert!(trace.iter().all(|&r| r < 50));
+        let head = trace.iter().filter(|&&r| r == 0).count();
+        let tail = trace.iter().filter(|&&r| r == 49).count();
+        assert!(
+            head > tail,
+            "rank 0 ({head}) should dominate rank 49 ({tail})"
+        );
+    }
+
+    #[test]
+    fn small_replay_meets_the_gate() {
+        let config = LoadgenConfig {
+            requests: 200,
+            sources: 5,
+            seed: 7,
+            ..LoadgenConfig::default()
+        };
+        let report = run_loadgen(&config);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.hits + report.misses, 200);
+        assert_eq!(report.misses, report.sampled_sources, "one miss per source");
+        assert!(report.hit_rate >= report.floor_hit_rate);
+        assert!(report.reconciled, "metrics must reconcile with tallies");
+        assert!(report.ok);
+        let doc = report.to_json();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("oi.load.v1"));
+        assert_eq!(
+            doc.get("metrics")
+                .and_then(|m| m.get("schema"))
+                .and_then(Json::as_str),
+            Some("oi.metrics.v1")
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_in_shape() {
+        let config = LoadgenConfig {
+            requests: 100,
+            sources: 4,
+            seed: 3,
+            ..LoadgenConfig::default()
+        };
+        let a = run_loadgen(&config);
+        let b = run_loadgen(&config);
+        assert_eq!(
+            (a.hits, a.misses, a.errors, a.sampled_sources),
+            (b.hits, b.misses, b.errors, b.sampled_sources)
+        );
+    }
+
+    /// The acceptance-criteria replay: 10k requests, Zipf over 50
+    /// sources — hit rate ≥ 0.9, hits ≥ 10x faster at p99 than the cold
+    /// p50, zero errors, exact counter reconciliation.
+    #[test]
+    fn acceptance_ten_thousand_request_replay() {
+        let report = run_loadgen(&LoadgenConfig::default());
+        assert_eq!(report.errors, 0, "zero errored requests");
+        assert!(
+            report.hit_rate >= 0.9,
+            "hit rate {} under 0.9",
+            report.hit_rate
+        );
+        assert!(
+            report.hit_rate >= report.floor_hit_rate,
+            "hit rate {} under floor {}",
+            report.hit_rate,
+            report.floor_hit_rate
+        );
+        assert!(report.hit_p99_ns > 0, "p99 must be a real latency");
+        assert!(
+            report.speedup_hit_p99_vs_miss_p50 >= 10.0,
+            "cache hits must be >= 10x faster (p99 {} ns vs cold p50 {} ns)",
+            report.hit_p99_ns,
+            report.miss_p50_ns
+        );
+        assert!(report.reconciled, "metrics counters must reconcile exactly");
+        assert!(report.ok);
+    }
+}

@@ -1,0 +1,722 @@
+//! `oic serve` — a long-lived compile server over a JSON-lines protocol.
+//!
+//! The server reads one JSON request per stdin line and writes one JSON
+//! response per stdout line, wrapped in a schema-stable `oi.serve.v1`
+//! envelope. Compiles are fronted by the content-addressed artifact cache
+//! ([`oi_core::cache`]): byte-identical source under an identical
+//! configuration is served from memory without re-running the pipeline.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id": 1, "op": "compile", "source": "fn main() { ... }"}
+//! {"id": 2, "op": "run", "path": "tests/progs/rect.oi"}
+//! {"id": 3, "op": "compile", "source": "...", "config": {"max_rounds": 64}}
+//! {"id": 4, "op": "stats"}
+//! {"id": 5, "op": "shutdown"}
+//! ```
+//!
+//! `op` defaults to `"compile"`. Responses reuse the existing CLI payloads
+//! (`oic.report.v1`-shaped for `compile`, `oic.run.v1`-shaped for `run`,
+//! `oi.metrics.v1` for `stats`) inside the envelope:
+//!
+//! ```text
+//! {"schema":"oi.serve.v1","id":1,"ok":true,"op":"compile",
+//!  "cache":"miss","wall_us":1234,"payload":{...}}
+//! ```
+//!
+//! Every service stage is instrumented through an [`oi_support::metrics`]
+//! registry — requests/errors, in-flight gauge, cache hit/miss/eviction
+//! counters and byte/entry gauges, per-stage latency histograms
+//! (parse/analyze/optimize/execute/total) — served over the protocol as a
+//! `stats` request and optionally dumped to `--metrics-out FILE` after
+//! every request. Traces correlate with the metrics via a per-request
+//! `request_id` field stamped on the `serve.*` spans.
+
+use crate::harness::time_once;
+use oi_core::cache::{config_fingerprint, Artifact, ArtifactCache, CacheKey};
+use oi_core::ladder::{optimize_with_ladder, LadderConfig};
+use oi_support::cli::{Arg, ArgScanner};
+use oi_support::metrics::Registry;
+use oi_support::trace::{self, kv, TraceMode, Tracer};
+use oi_support::{Budget, Json};
+use std::io::{BufRead, Write};
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Serve-time configuration (flags of `oic serve`).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// LRU byte budget for the artifact cache (`--cache-bytes`).
+    pub cache_bytes: usize,
+    /// Default per-request analysis round budget (`--max-rounds`).
+    pub max_rounds: Option<u64>,
+    /// Default per-request analysis deadline (`--deadline-ms`).
+    pub deadline_ms: Option<u64>,
+    /// Rewrite this file with the `oi.metrics.v1` document after every
+    /// request (`--metrics-out`).
+    pub metrics_out: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_bytes: 64 << 20,
+            max_rounds: None,
+            deadline_ms: None,
+            metrics_out: None,
+        }
+    }
+}
+
+/// The outcome of handling one request line.
+#[derive(Clone, Debug)]
+pub struct Handled {
+    /// The JSON response to write back (one line).
+    pub response: Json,
+    /// `true` when the request asked the server to stop.
+    pub shutdown: bool,
+}
+
+/// One in-process compile server: artifact cache + metrics registry +
+/// the base ladder configuration requests are compiled under.
+pub struct Server {
+    cache: ArtifactCache,
+    metrics: Registry,
+    ladder: LadderConfig,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// A server with an empty cache and zeroed metrics.
+    pub fn new(config: ServeConfig) -> Server {
+        Server {
+            cache: ArtifactCache::new(config.cache_bytes),
+            metrics: Registry::new(),
+            ladder: LadderConfig::default(),
+            config,
+        }
+    }
+
+    /// The server's metrics registry (loadgen reconciles against it).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The server's artifact cache.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Handles one request line and returns the response line. Never
+    /// panics on malformed input — every failure mode is an `ok:false`
+    /// response.
+    pub fn handle_line(&self, line: &str) -> Handled {
+        let (handled, wall) = time_once(|| self.dispatch(line));
+        self.mirror_cache_stats();
+        let mut handled = handled;
+        if let Json::Obj(fields) = &mut handled.response {
+            for (k, v) in fields.iter_mut() {
+                if k == "wall_us" {
+                    *v = Json::from((wall.median / 1_000).min(u128::from(u64::MAX)) as u64);
+                }
+            }
+        }
+        if let Some(path) = &self.config.metrics_out {
+            let _ = std::fs::write(path, format!("{}\n", self.metrics.to_json()));
+        }
+        handled
+    }
+
+    fn dispatch(&self, line: &str) -> Handled {
+        self.metrics.add("serve.requests", 1);
+        self.metrics.gauge_add("serve.in_flight", 1);
+        let handled = self.dispatch_inner(line);
+        self.metrics.gauge_add("serve.in_flight", -1);
+        if handled
+            .response
+            .get("ok")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+        {
+            handled
+        } else {
+            self.metrics.add("serve.errors", 1);
+            handled
+        }
+    }
+
+    fn dispatch_inner(&self, line: &str) -> Handled {
+        let request = match Json::parse(line) {
+            Ok(r) => r,
+            Err(e) => return self.error(Json::Null, &format!("malformed request: {e}")),
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .unwrap_or("compile")
+            .to_string();
+        let _span = trace::span_with(
+            "serve.request",
+            vec![kv("request_id", id_label(&id)), kv("op", op.as_str())],
+        );
+        match op.as_str() {
+            "compile" | "run" => self.serve_compile(&request, id, &op),
+            "stats" => Handled {
+                response: self.envelope(id, &op, "none", self.metrics.to_json()),
+                shutdown: false,
+            },
+            "shutdown" => Handled {
+                response: self.envelope(id, &op, "none", Json::Null),
+                shutdown: true,
+            },
+            other => self.error(id, &format!("unknown op `{other}`")),
+        }
+    }
+
+    fn serve_compile(&self, request: &Json, id: Json, op: &str) -> Handled {
+        let source = match request_source(request) {
+            Ok(s) => s,
+            Err(e) => return self.error(id, &e),
+        };
+        // Per-request budget overrides fold into the cache key: an
+        // artifact compiled under a tighter budget may be degraded, so it
+        // must not alias an unbudgeted compile of the same bytes.
+        let max_rounds = request
+            .get("config")
+            .and_then(|c| c.get("max_rounds"))
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .or(self.config.max_rounds);
+        let deadline_ms = request
+            .get("config")
+            .and_then(|c| c.get("deadline_ms"))
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .or(self.config.deadline_ms);
+        let key = CacheKey::whole_program(
+            &source,
+            config_fingerprint(&self.ladder, max_rounds, deadline_ms),
+        );
+
+        let (artifact, cache_state) = match self.cache.get(&key) {
+            Some(hit) => (hit, "hit"),
+            None => match self.compile_fresh(&source, &id, max_rounds, deadline_ms) {
+                Ok(built) => (self.cache.insert(key, built), "miss"),
+                Err(e) => return self.error(id, &e),
+            },
+        };
+
+        let payload = if op == "run" {
+            let (result, execute) = {
+                let _s = trace::span_with("serve.execute", vec![kv("request_id", id_label(&id))]);
+                time_once(|| oi_vm::run(&artifact.outcome.optimized.program, &Default::default()))
+            };
+            self.metrics.observe_ns("serve.execute_ns", execute.median);
+            match result {
+                Ok(r) => run_payload(&r, &artifact.outcome),
+                Err(e) => return self.error(id, &format!("runtime error: {e}")),
+            }
+        } else {
+            Json::obj(vec![
+                ("schema", "oic.report.v1".into()),
+                ("tier", artifact.outcome.tier_name().into()),
+                ("report", artifact.outcome.optimized.report.to_json()),
+            ])
+        };
+        Handled {
+            response: self.envelope(id, op, cache_state, payload),
+            shutdown: false,
+        }
+    }
+
+    /// A cold compile: parse + ladder, with per-stage latency recorded.
+    /// Stage histograms only see cold compiles — a hit does no parse or
+    /// analyze work, and zero-padding them would bury the real latencies.
+    fn compile_fresh(
+        &self,
+        source: &str,
+        id: &Json,
+        max_rounds: Option<u64>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Artifact, String> {
+        let (parsed, parse) = {
+            let _s = trace::span_with("serve.parse", vec![kv("request_id", id_label(id))]);
+            time_once(|| oi_ir::lower::compile(source))
+        };
+        self.metrics.observe_ns("serve.parse_ns", parse.median);
+        let program = parsed.map_err(|e| format!("compile error: {}", e.render(source)))?;
+
+        let mut budget = Budget::unlimited();
+        if let Some(rounds) = max_rounds {
+            budget = budget.with_rounds(rounds);
+        }
+        if let Some(ms) = deadline_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        // The analyze share of the ladder comes from the tracer's phase
+        // aggregation (the pipeline's own `pipeline.analyze` spans), so
+        // the histogram agrees with `--json` phase tables to the µs.
+        let analyze_before = analyze_total_us();
+        let (outcome, optimize) = {
+            let _s = trace::span_with("serve.optimize", vec![kv("request_id", id_label(id))]);
+            time_once(|| optimize_with_ladder(&program, &self.ladder, &budget))
+        };
+        self.metrics
+            .observe_ns("serve.optimize_ns", optimize.median);
+        self.metrics.observe_ns(
+            "serve.analyze_ns",
+            (analyze_total_us() - analyze_before) * 1_000,
+        );
+        self.metrics
+            .add(&format!("serve.tier.{}", outcome.tier_name()), 1);
+        if outcome.optimized.report.degraded {
+            self.metrics.add("serve.degraded", 1);
+        }
+        Ok(Artifact::new(outcome))
+    }
+
+    fn envelope(&self, id: Json, op: &str, cache: &str, payload: Json) -> Json {
+        Json::obj(vec![
+            ("schema", "oi.serve.v1".into()),
+            ("id", id),
+            ("ok", true.into()),
+            ("op", op.into()),
+            ("cache", cache.into()),
+            ("wall_us", 0u64.into()), // patched by handle_line
+            ("payload", payload),
+        ])
+    }
+
+    fn error(&self, id: Json, message: &str) -> Handled {
+        Handled {
+            response: Json::obj(vec![
+                ("schema", "oi.serve.v1".into()),
+                ("id", id),
+                ("ok", false.into()),
+                ("error", message.into()),
+            ]),
+            shutdown: false,
+        }
+    }
+
+    /// Mirrors the cache's own counters into the registry so one
+    /// `oi.metrics.v1` document carries the whole service state.
+    fn mirror_cache_stats(&self) {
+        let stats = self.cache.stats();
+        self.metrics.set_counter("cache.hits", stats.hits);
+        self.metrics.set_counter("cache.misses", stats.misses);
+        self.metrics.set_counter("cache.evictions", stats.evictions);
+        self.metrics
+            .set_counter("cache.insertions", stats.insertions);
+        self.metrics.gauge_set("cache.bytes", stats.bytes as i64);
+        self.metrics
+            .gauge_set("cache.entries", stats.entries as i64);
+        self.metrics
+            .gauge_set("cache.max_bytes", stats.max_bytes as i64);
+    }
+
+    /// Records the end-to-end service latency of one already-handled
+    /// request (split by cache outcome). Kept separate from
+    /// [`Server::handle_line`] so the total includes response
+    /// serialization when the caller wants it to.
+    pub fn observe_total(&self, cache_state: &str, ns: u128) {
+        self.metrics.observe_ns("serve.total_ns", ns);
+        match cache_state {
+            "hit" => self.metrics.observe_ns("serve.hit_ns", ns),
+            "miss" => self.metrics.observe_ns("serve.miss_ns", ns),
+            _ => {}
+        }
+    }
+}
+
+/// The `pipeline.analyze` phase total (µs) aggregated by the installed
+/// tracer, or zero when no tracer is installed.
+fn analyze_total_us() -> u128 {
+    trace::current().map_or(0, |t| {
+        t.phase_profile()
+            .iter()
+            .find(|(name, _)| name == "pipeline.analyze")
+            .map_or(0, |(_, st)| u128::from(st.total_us))
+    })
+}
+
+/// Extracts the request's source text: inline `source` wins, else `path`
+/// is read from disk.
+fn request_source(request: &Json) -> Result<String, String> {
+    if let Some(source) = request.get("source").and_then(Json::as_str) {
+        return Ok(source.to_string());
+    }
+    match request.get("path").and_then(Json::as_str) {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
+        None => Err("request needs `source` or `path`".to_string()),
+    }
+}
+
+/// A human-readable request id for trace span fields (string ids stay
+/// bare, everything else renders as compact JSON).
+fn id_label(id: &Json) -> String {
+    match id.as_str() {
+        Some(s) => s.to_string(),
+        None => id.to_string(),
+    }
+}
+
+/// The `oic.run.v1`-shaped payload of a served `run` request.
+fn run_payload(result: &oi_vm::RunResult, outcome: &oi_core::ladder::LadderOutcome) -> Json {
+    Json::obj(vec![
+        ("schema", "oic.run.v1".into()),
+        ("pipeline", "inline".into()),
+        ("output", result.output.clone().into()),
+        ("metrics", result.metrics.to_json()),
+        (
+            "allocation_census",
+            Json::Arr(
+                result
+                    .allocation_census
+                    .iter()
+                    .map(|(class, n)| {
+                        Json::obj(vec![
+                            ("class", class.clone().into()),
+                            ("count", (*n).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("heap_census", result.heap_census.to_json()),
+        ("report", outcome.optimized.report.to_json()),
+    ])
+}
+
+const USAGE: &str = "usage: oic serve [--cache-bytes N] [--max-rounds N] [--deadline-ms N] \
+     [--metrics-out FILE] [--trace[=MODE]]\n\
+     \n\
+     Long-lived compile server: one JSON request per stdin line, one JSON\n\
+     response per stdout line (`oi.serve.v1`). Ops: compile (default), run,\n\
+     stats, shutdown. Compiles are cached content-addressed under an LRU\n\
+     byte budget (--cache-bytes, default 64 MiB).";
+
+fn usage_error(msg: &str) -> u8 {
+    eprintln!("oic serve: {msg}\n\n{USAGE}");
+    2
+}
+
+/// Entry point for `oic serve`: parses flags, then pumps the JSON-lines
+/// protocol until `shutdown` or EOF. Returns the process exit code.
+pub fn cli_main(args: &[String]) -> u8 {
+    let mut config = ServeConfig::default();
+    let mut trace_flag: Option<TraceMode> = None;
+    let mut scanner = ArgScanner::new(args.to_vec());
+    while let Some(arg) = scanner.next() {
+        let arg = match arg {
+            Ok(a) => a,
+            Err(e) => return usage_error(&e),
+        };
+        match arg {
+            Arg::Flag { name, value: None } => match name.as_str() {
+                "cache-bytes" => match flag_u64(&mut scanner, "--cache-bytes") {
+                    Ok(n) => config.cache_bytes = n as usize,
+                    Err(e) => return usage_error(&e),
+                },
+                "max-rounds" => match flag_u64(&mut scanner, "--max-rounds") {
+                    Ok(n) => config.max_rounds = Some(n),
+                    Err(e) => return usage_error(&e),
+                },
+                "deadline-ms" => match flag_u64(&mut scanner, "--deadline-ms") {
+                    Ok(n) => config.deadline_ms = Some(n),
+                    Err(e) => return usage_error(&e),
+                },
+                "metrics-out" => match scanner.value_for("--metrics-out") {
+                    Ok(path) if !path.is_empty() => config.metrics_out = Some(path),
+                    _ => return usage_error("`--metrics-out` needs a file path"),
+                },
+                "trace" => trace_flag = Some(TraceMode::Text),
+                _ => return usage_error(&format!("unknown flag `--{name}`")),
+            },
+            Arg::Flag {
+                name,
+                value: Some(mode),
+            } if name == "trace" => match TraceMode::parse(&mode) {
+                Some(m) => trace_flag = Some(m),
+                None => {
+                    return usage_error(&format!(
+                        "unknown trace mode `{mode}` (expected text, json, or off)"
+                    ))
+                }
+            },
+            Arg::Flag {
+                name,
+                value: Some(value),
+            } => return usage_error(&format!("unknown flag `--{name}={value}`")),
+            Arg::Positional(p) => {
+                return usage_error(&format!("unexpected positional argument `{p}`"))
+            }
+        }
+    }
+
+    let mode = trace_flag.unwrap_or_else(TraceMode::from_env);
+    let tracer = Rc::new(Tracer::for_mode(mode));
+    let _guard = trace::install(tracer);
+
+    let server = Server::new(config);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("oic serve: stdin error: {e}");
+                return 1;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (handled, wall) = time_once(|| server.handle_line(&line));
+        let cache_state = handled
+            .response
+            .get("cache")
+            .and_then(Json::as_str)
+            .unwrap_or("none")
+            .to_string();
+        server.observe_total(&cache_state, wall.median);
+        if writeln!(out, "{}", handled.response)
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            // Client hung up; there is no one left to serve.
+            return 0;
+        }
+        if handled.shutdown {
+            break;
+        }
+    }
+    0
+}
+
+/// Parses the positive-integer value of `flag`.
+fn flag_u64(scanner: &mut ArgScanner, flag: &str) -> Result<u64, String> {
+    let v = scanner.value_for(flag).unwrap_or_default();
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("`{flag}` needs a positive integer, got `{v}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oi_support::trace::{EventKind, MemorySink};
+
+    const SOURCE: &str = "
+        global KEEP;
+        class Point { field x; field y;
+          method init(a, b) { self.x = a; self.y = b; }
+        }
+        class Rect { field ll; field ur;
+          method init(a, b) { self.ll = new Point(a, a + 1); self.ur = new Point(b, b + 3); }
+          method span() { return self.ur.x - self.ll.x + self.ur.y - self.ll.y; }
+        }
+        fn main() {
+          var r = new Rect(1, 10);
+          KEEP = r;
+          print KEEP.span();
+        }";
+
+    fn request(id: u64, op: &str, source: Option<&str>) -> String {
+        let mut fields = vec![("id", Json::from(id)), ("op", op.into())];
+        if let Some(s) = source {
+            fields.push(("source", s.into()));
+        }
+        Json::obj(fields).to_string()
+    }
+
+    #[test]
+    fn repeated_compile_hits_the_cache() {
+        let server = Server::new(ServeConfig::default());
+        let first = server.handle_line(&request(1, "compile", Some(SOURCE)));
+        let second = server.handle_line(&request(2, "compile", Some(SOURCE)));
+        for (handled, expected) in [(&first, "miss"), (&second, "hit")] {
+            let r = &handled.response;
+            assert_eq!(r.get("schema").and_then(Json::as_str), Some("oi.serve.v1"));
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(r.get("cache").and_then(Json::as_str), Some(expected));
+            assert!(!handled.shutdown);
+            let payload = r.get("payload").expect("payload");
+            assert_eq!(
+                payload.get("schema").and_then(Json::as_str),
+                Some("oic.report.v1")
+            );
+            assert_eq!(
+                payload.get("tier").and_then(Json::as_str),
+                Some("guarded-full")
+            );
+        }
+        assert_eq!(first.response.get("id").and_then(Json::as_i64), Some(1));
+        assert_eq!(server.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn run_op_executes_and_reports() {
+        let server = Server::new(ServeConfig::default());
+        let handled = server.handle_line(&request(7, "run", Some(SOURCE)));
+        let payload = handled.response.get("payload").expect("payload");
+        assert_eq!(
+            payload.get("schema").and_then(Json::as_str),
+            Some("oic.run.v1")
+        );
+        assert_eq!(payload.get("output").and_then(Json::as_str), Some("20\n"));
+        assert!(payload.get("metrics").is_some());
+        assert!(payload.get("report").is_some());
+        // A second run hits the artifact cache but still executes.
+        let again = server.handle_line(&request(8, "run", Some(SOURCE)));
+        assert_eq!(
+            again.response.get("cache").and_then(Json::as_str),
+            Some("hit")
+        );
+        assert_eq!(
+            again
+                .response
+                .get("payload")
+                .and_then(|p| p.get("output"))
+                .and_then(Json::as_str),
+            Some("20\n")
+        );
+    }
+
+    #[test]
+    fn stats_op_returns_reconciled_metrics() {
+        let server = Server::new(ServeConfig::default());
+        server.handle_line(&request(1, "compile", Some(SOURCE)));
+        server.handle_line(&request(2, "compile", Some(SOURCE)));
+        let handled = server.handle_line(&request(3, "stats", None));
+        let payload = handled.response.get("payload").expect("payload");
+        assert_eq!(
+            payload.get("schema").and_then(Json::as_str),
+            Some("oi.metrics.v1")
+        );
+        let counter = |name: &str| {
+            payload
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_i64)
+        };
+        assert_eq!(counter("serve.requests"), Some(3));
+        assert_eq!(counter("cache.hits"), Some(1));
+        assert_eq!(counter("cache.misses"), Some(1));
+        assert_eq!(counter("serve.tier.guarded-full"), Some(1));
+        assert_eq!(counter("serve.errors").unwrap_or(0), 0);
+        assert_eq!(server.metrics().gauge("serve.in_flight"), 0);
+    }
+
+    #[test]
+    fn failure_modes_are_ok_false_responses() {
+        let server = Server::new(ServeConfig::default());
+        let bad_json = server.handle_line("{not json");
+        assert_eq!(
+            bad_json.response.get("ok").and_then(Json::as_bool),
+            Some(false)
+        );
+        let no_source = server.handle_line(&request(1, "compile", None));
+        assert!(no_source
+            .response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("source"));
+        let bad_op = server.handle_line(&request(2, "launder", None));
+        assert!(bad_op
+            .response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown op"));
+        let bad_program = server.handle_line(&request(3, "compile", Some("fn main( {")));
+        assert_eq!(
+            bad_program.response.get("ok").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(server.metrics().counter("serve.errors"), 4);
+        assert_eq!(server.metrics().counter("serve.requests"), 4);
+        assert_eq!(server.metrics().gauge("serve.in_flight"), 0);
+    }
+
+    #[test]
+    fn shutdown_sets_the_flag() {
+        let server = Server::new(ServeConfig::default());
+        let handled = server.handle_line(&request(9, "shutdown", None));
+        assert!(handled.shutdown);
+        assert_eq!(
+            handled.response.get("ok").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn per_request_budget_config_changes_the_cache_key() {
+        let server = Server::new(ServeConfig::default());
+        server.handle_line(&request(1, "compile", Some(SOURCE)));
+        let budgeted = format!(
+            "{}",
+            Json::obj(vec![
+                ("id", 2u64.into()),
+                ("op", "compile".into()),
+                ("source", SOURCE.into()),
+                ("config", Json::obj(vec![("max_rounds", 64u64.into())])),
+            ])
+        );
+        let handled = server.handle_line(&budgeted);
+        assert_eq!(
+            handled.response.get("cache").and_then(Json::as_str),
+            Some("miss"),
+            "a budget override must not alias the unbudgeted artifact"
+        );
+    }
+
+    #[test]
+    fn request_id_is_stamped_on_served_spans() {
+        let sink = Rc::new(MemorySink::default());
+        let tracer = Rc::new(Tracer::new(vec![sink.clone()]));
+        let _guard = trace::install(tracer);
+        let server = Server::new(ServeConfig::default());
+        server.handle_line(&request(42, "compile", Some(SOURCE)));
+        let events = sink.snapshot();
+        let span_with_id = |name: &str| {
+            events.iter().any(|e| {
+                e.kind == EventKind::SpanStart
+                    && e.name == name
+                    && e.fields
+                        .iter()
+                        .any(|(k, v)| k == "request_id" && v.as_str() == Some("42"))
+            })
+        };
+        assert!(span_with_id("serve.request"), "request span carries the id");
+        assert!(span_with_id("serve.parse"), "parse span carries the id");
+        assert!(
+            span_with_id("serve.optimize"),
+            "optimize span carries the id"
+        );
+    }
+
+    #[test]
+    fn metrics_out_dumps_after_every_request() {
+        let dir = std::env::temp_dir().join("oi-serve-test-metrics");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("metrics.json");
+        let server = Server::new(ServeConfig {
+            metrics_out: Some(path.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        });
+        server.handle_line(&request(1, "compile", Some(SOURCE)));
+        let dumped = std::fs::read_to_string(&path).expect("metrics dump exists");
+        let doc = Json::parse(dumped.trim()).expect("dump parses");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("oi.metrics.v1")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,491 @@
+//! Content-addressed artifact cache for the compile service.
+//!
+//! The compile server (`oic serve`) and the batch driver address optimized
+//! artifacts by [`CacheKey`] — a pair of [`Fingerprint`]s: the raw *source
+//! bytes* and the full *configuration/cost-model* the ladder would compile
+//! them under. Two requests share an artifact only when both match, so a
+//! changed inline threshold, analysis cap, VM cost constant, or start tier
+//! can never serve a stale artifact, while byte-identical re-submissions
+//! always hit.
+//!
+//! Keying is deliberately **byte**-addressed, not token-addressed: a
+//! whitespace-only edit changes the source fingerprint and misses. That is
+//! the conservative end of the design space — a miss costs one recompile,
+//! a wrong hit costs a wrong program.
+//!
+//! The key anticipates per-method granularity: [`CacheKey::scoped`]
+//! derives a method-level key from the whole-program key, the hook a
+//! future Hybrid-Inlining-style incremental summary cache (PAPERS.md,
+//! arXiv 2210.14436) will use to cache per-method analysis summaries
+//! under the same addressing scheme. This PR caches whole artifacts only.
+//!
+//! Eviction is least-recently-used under a byte budget: each [`Artifact`]
+//! carries a modeled byte footprint (the optimized program's code bytes
+//! plus fixed per-entry overhead), and inserting past the budget evicts
+//! the stalest entries first. Artifacts are handed out as
+//! [`std::sync::Arc`] clones — a hit never deep-copies the program, so
+//! concurrent batch workers and the server share one allocation.
+
+use crate::ladder::LadderConfig;
+use crate::ladder::LadderOutcome;
+use oi_support::hash::{Fingerprint, Hasher};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The content address of one compiled artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the raw source bytes.
+    pub source: Fingerprint,
+    /// Fingerprint of the complete compile configuration (ladder knobs,
+    /// analysis caps, optimizer thresholds, VM cost model) — see
+    /// [`config_fingerprint`].
+    pub config: Fingerprint,
+}
+
+impl CacheKey {
+    /// The whole-program key for `source` compiled under `config`.
+    pub fn whole_program(source: &str, config: Fingerprint) -> CacheKey {
+        CacheKey {
+            source: oi_support::hash::fingerprint(source.as_bytes()),
+            config,
+        }
+    }
+
+    /// Derives a per-method key from this whole-program key — the
+    /// granularity hook for future incremental summary caching. Not used
+    /// for artifact addressing yet.
+    pub fn scoped(&self, method: &str) -> CacheKey {
+        CacheKey {
+            source: self.source.scoped(method),
+            config: self.config,
+        }
+    }
+}
+
+/// Fingerprints every configuration knob that can change the optimized
+/// artifact: the inline/opt/analysis configs, ladder oracle + start tier,
+/// firewall retraction budget and sanitizer level, and the VM cost model
+/// and cache geometry (the cost model steers devirtualization and
+/// explosion decisions, so it is part of the artifact's identity).
+///
+/// Extra service-level knobs that bound the compile (`max_rounds`,
+/// `deadline_ms` analysis budgets) are folded in too: a compile that ran
+/// under a tighter budget may have degraded, so it must not alias an
+/// unbudgeted one.
+pub fn config_fingerprint(
+    ladder: &LadderConfig,
+    max_rounds: Option<u64>,
+    deadline_ms: Option<u64>,
+) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.write_str("oi.cache.config.v1"); // domain-separates future revisions
+
+    let inline = &ladder.inline;
+    h.write_bool(inline.object_fields);
+    h.write_bool(inline.array_elements);
+    h.write_str(&format!("{:?}", inline.array_layout));
+    h.write_bool(inline.check_assignments);
+    h.write_u64(inline.max_passes as u64);
+    h.write_str(&format!("{:?}", inline.fault));
+
+    let opt = &inline.opt;
+    h.write_u64(opt.inline_threshold as u64);
+    h.write_u64(opt.max_inline_rounds as u64);
+    h.write_bool(opt.enable_inlining);
+    h.write_bool(opt.enable_dead_alloc_removal);
+    h.write_bool(opt.enable_ctor_explosion);
+    h.write_u64(opt.explode_threshold as u64);
+
+    let an = &inline.analysis;
+    h.write_bool(an.track_tags);
+    h.write_u64(an.max_contours_per_method as u64);
+    h.write_u64(an.max_ocontours_per_site as u64);
+    h.write_u64(an.max_tag_path as u64);
+    h.write_u64(an.max_tags_per_value as u64);
+    h.write_u64(an.max_rounds as u64);
+
+    h.write_bool(ladder.oracle);
+    h.write_str(ladder.start.name());
+    h.write_u64(ladder.firewall.max_retractions as u64);
+    h.write_str(&format!("{:?}", ladder.firewall.fault));
+    h.write_str(&format!("{:?}", ladder.firewall.checked));
+
+    let vm = &ladder.firewall.vm;
+    let c = &vm.cost;
+    for v in [
+        c.arith,
+        c.float_arith,
+        c.sqrt,
+        c.mov,
+        c.heap_read,
+        c.heap_write,
+        c.cache_miss,
+        c.alloc_base,
+        c.alloc_word,
+        c.dyn_dispatch,
+        c.static_call,
+        c.call_arg,
+        c.branch,
+        c.lea,
+        c.print,
+    ] {
+        h.write_u64(v);
+    }
+    h.write_u64(vm.cache.size_bytes as u64);
+    h.write_u64(vm.cache.line_bytes as u64);
+    h.write_u64(vm.cache.ways as u64);
+    h.write_u64(vm.max_instructions);
+    h.write_u64(vm.max_depth as u64);
+    h.write_u64(vm.max_heap_words);
+    h.write_u64(vm.alloc_header_words);
+
+    h.write_u64(max_rounds.unwrap_or(0));
+    h.write_bool(max_rounds.is_some());
+    h.write_u64(deadline_ms.unwrap_or(0));
+    h.write_bool(deadline_ms.is_some());
+    h.finish()
+}
+
+/// Fixed modeled per-entry overhead in bytes (key, metadata, report), so
+/// even an empty program charges something against the budget.
+const ENTRY_OVERHEAD_BYTES: usize = 1024;
+
+/// One cached compile result: the full ladder outcome plus its modeled
+/// byte footprint.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// The ladder's result for this key (program + effectiveness report +
+    /// tier/descent record).
+    pub outcome: LadderOutcome,
+    /// Modeled bytes charged against the cache budget.
+    pub bytes: usize,
+}
+
+impl Artifact {
+    /// Wraps a ladder outcome, deriving its budget footprint from the
+    /// optimized program's modeled code size.
+    pub fn new(outcome: LadderOutcome) -> Artifact {
+        let size = oi_ir::size::measure(&outcome.optimized.program);
+        Artifact {
+            outcome,
+            bytes: size.code_bytes + ENTRY_OVERHEAD_BYTES,
+        }
+    }
+}
+
+/// Point-in-time cache counters (monotonic except `entries`/`bytes`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an artifact.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Artifacts inserted.
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Modeled bytes currently resident.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub max_bytes: usize,
+}
+
+struct Entry {
+    artifact: Arc<Artifact>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: BTreeMap<CacheKey, Entry>,
+    clock: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+/// A thread-safe LRU artifact cache under a byte budget.
+pub struct ArtifactCache {
+    inner: Mutex<CacheInner>,
+    max_bytes: usize,
+}
+
+impl ArtifactCache {
+    /// An empty cache bounded to `max_bytes` of modeled artifact bytes.
+    pub fn new(max_bytes: usize) -> ArtifactCache {
+        ArtifactCache {
+            inner: Mutex::new(CacheInner {
+                entries: BTreeMap::new(),
+                clock: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                insertions: 0,
+            }),
+            max_bytes,
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // Batch workers contain panics per job; a panic while holding the
+        // lock must not poison the cache for the rest of the fleet.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `key`, bumping its recency on a hit. The returned `Arc`
+    /// shares the resident artifact — no clone of the program.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Artifact>> {
+        let mut inner = self.locked();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                inner.hits += 1;
+                Some(Arc::clone(&inner.entries[key].artifact))
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an artifact under `key`, evicting least-recently-used
+    /// entries until the byte budget holds, and returns the shared handle.
+    /// The just-inserted entry is never evicted, so a single artifact
+    /// larger than the whole budget still caches (alone).
+    pub fn insert(&self, key: CacheKey, artifact: Artifact) -> Arc<Artifact> {
+        let shared = Arc::new(artifact);
+        let mut inner = self.locked();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.bytes -= old.artifact.bytes;
+        }
+        inner.bytes += shared.bytes;
+        inner.insertions += 1;
+        inner.entries.insert(
+            key,
+            Entry {
+                artifact: Arc::clone(&shared),
+                last_used: clock,
+            },
+        );
+        while inner.bytes > self.max_bytes && inner.entries.len() > 1 {
+            let stalest = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match stalest {
+                Some(victim) => {
+                    let gone = inner.entries.remove(&victim).expect("victim resident");
+                    inner.bytes -= gone.artifact.bytes;
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        shared
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.locked();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            insertions: inner.insertions,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+            max_bytes: self.max_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::{optimize_with_ladder, LadderConfig};
+    use oi_support::Budget;
+
+    const SOURCE: &str = "
+        global KEEP;
+        class Point { field x; field y;
+          method init(a, b) { self.x = a; self.y = b; }
+        }
+        class Rect { field ll; field ur;
+          method init(a, b) { self.ll = new Point(a, a + 1); self.ur = new Point(b, b + 3); }
+          method span() { return self.ur.x - self.ll.x + self.ur.y - self.ll.y; }
+        }
+        fn main() {
+          var r = new Rect(1, 10);
+          KEEP = r;
+          print KEEP.span();
+        }";
+
+    fn compile(source: &str) -> LadderOutcome {
+        let program = oi_ir::lower::compile(source).expect("test source compiles");
+        optimize_with_ladder(&program, &LadderConfig::default(), &Budget::unlimited())
+    }
+
+    fn artifact_sized(bytes: usize) -> Artifact {
+        let mut artifact = Artifact::new(compile(SOURCE));
+        artifact.bytes = bytes;
+        artifact
+    }
+
+    #[test]
+    fn key_is_stable_for_identical_source_and_config() {
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let a = CacheKey::whole_program(SOURCE, fp);
+        let b = CacheKey::whole_program(SOURCE, fp);
+        assert_eq!(a, b);
+        let cache = ArtifactCache::new(1 << 20);
+        cache.insert(a, Artifact::new(compile(SOURCE)));
+        assert!(cache.get(&b).is_some(), "same source+config must hit");
+    }
+
+    #[test]
+    fn byte_different_whitespace_misses() {
+        // Token-identical but byte-different: an extra space. The cache is
+        // byte-addressed, so this must miss.
+        let respaced = SOURCE.replace("field x;", "field  x;");
+        assert_ne!(SOURCE, respaced);
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let cache = ArtifactCache::new(1 << 20);
+        cache.insert(
+            CacheKey::whole_program(SOURCE, fp),
+            Artifact::new(compile(SOURCE)),
+        );
+        assert!(
+            cache.get(&CacheKey::whole_program(&respaced, fp)).is_none(),
+            "byte-different source must miss"
+        );
+    }
+
+    #[test]
+    fn config_fingerprint_sees_every_knob_family() {
+        let base = LadderConfig::default();
+        let fp = config_fingerprint(&base, None, None);
+
+        let mut threshold = base;
+        threshold.inline.opt.inline_threshold += 1;
+        assert_ne!(fp, config_fingerprint(&threshold, None, None));
+
+        let mut analysis = base;
+        analysis.inline.analysis.max_contours_per_method -= 1;
+        assert_ne!(fp, config_fingerprint(&analysis, None, None));
+
+        let mut cost = base;
+        cost.firewall.vm.cost.cache_miss += 1;
+        assert_ne!(fp, config_fingerprint(&cost, None, None));
+
+        let mut tier = base;
+        tier.start = crate::ladder::Tier::InliningOff;
+        assert_ne!(fp, config_fingerprint(&tier, None, None));
+
+        let mut oracle = base;
+        oracle.oracle = false;
+        assert_ne!(fp, config_fingerprint(&oracle, None, None));
+
+        // Budget knobs are part of the identity, and None != Some(0).
+        assert_ne!(fp, config_fingerprint(&base, Some(0), None));
+        assert_ne!(fp, config_fingerprint(&base, None, Some(500)));
+        assert_eq!(fp, config_fingerprint(&base, None, None));
+    }
+
+    #[test]
+    fn lru_evicts_stalest_at_byte_budget() {
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let key = |i: u32| CacheKey::whole_program(&format!("src-{i}"), fp);
+        let cache = ArtifactCache::new(3_000);
+        cache.insert(key(0), artifact_sized(1_000));
+        cache.insert(key(1), artifact_sized(1_000));
+        cache.insert(key(2), artifact_sized(1_000));
+        assert_eq!(cache.stats().entries, 3);
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(cache.get(&key(0)).is_some());
+        cache.insert(key(3), artifact_sized(1_000));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 3);
+        assert!(stats.bytes <= 3_000);
+        assert!(cache.get(&key(1)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn oversized_single_artifact_still_caches_alone() {
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let key = CacheKey::whole_program("big", fp);
+        let cache = ArtifactCache::new(100);
+        cache.insert(key, artifact_sized(10_000));
+        assert!(cache.get(&key).is_some(), "never evicts the just-inserted");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn hit_shares_the_arc_no_artifact_clone() {
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let key = CacheKey::whole_program(SOURCE, fp);
+        let cache = ArtifactCache::new(1 << 20);
+        let inserted = cache.insert(key, Artifact::new(compile(SOURCE)));
+        let hit_a = cache.get(&key).expect("hit");
+        let hit_b = cache.get(&key).expect("hit");
+        assert!(
+            Arc::ptr_eq(&inserted, &hit_a),
+            "hit returns the same allocation"
+        );
+        assert!(Arc::ptr_eq(&hit_a, &hit_b));
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_accounts_bytes() {
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let key = CacheKey::whole_program(SOURCE, fp);
+        let cache = ArtifactCache::new(1 << 20);
+        cache.insert(key, artifact_sized(1_000));
+        cache.insert(key, artifact_sized(2_000));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, 2_000);
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn scoped_keys_differ_per_method_but_share_config() {
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let whole = CacheKey::whole_program(SOURCE, fp);
+        let a = whole.scoped("Rect.area");
+        let b = whole.scoped("Rect.perimeter");
+        assert_ne!(a, b);
+        assert_ne!(a, whole);
+        assert_eq!(a, whole.scoped("Rect.area"), "scoped keys are stable");
+        assert_eq!(a.config, whole.config);
+    }
+
+    #[test]
+    fn stats_reconcile_with_operations() {
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let cache = ArtifactCache::new(1 << 20);
+        let key = CacheKey::whole_program(SOURCE, fp);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, Artifact::new(compile(SOURCE)));
+        assert!(cache.get(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+}

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod assignspec;
+pub mod cache;
 pub mod decision;
 pub mod devirt;
 pub mod fault;
@@ -61,6 +62,7 @@ pub mod restructure;
 pub mod rewrite;
 pub mod usespec;
 
+pub use cache::{config_fingerprint, Artifact, ArtifactCache, CacheKey, CacheStats};
 pub use decision::{InlinePlan, PlanEntry};
 pub use fault::Fault;
 pub use firewall::{

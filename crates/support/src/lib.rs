@@ -13,7 +13,11 @@
 //! - [`diag`]: source spans, a line-start index, and compiler diagnostics,
 //! - [`error`]: the shared [`error::OiError`] type for recoverable
 //!   pipeline failures,
+//! - [`hash`]: a dependency-free blake-style 128-bit content hash behind
+//!   the compile server's artifact-cache keys,
 //! - [`json`]: a dependency-free JSON document model (build, print, parse),
+//! - [`metrics`]: a service-metrics registry (counters, gauges, latency
+//!   histograms) exported as schema-stable `oi.metrics.v1`,
 //! - [`panic`]: panic containment (`catch_unwind` + hook silencing) for
 //!   drivers that survive hostile jobs,
 //! - [`trace`]: the `oi-trace` observability layer (spans, events,
@@ -39,9 +43,11 @@ pub mod budget;
 pub mod cli;
 pub mod diag;
 pub mod error;
+pub mod hash;
 pub mod index;
 pub mod intern;
 pub mod json;
+pub mod metrics;
 pub mod panic;
 pub mod rng;
 pub mod stats;

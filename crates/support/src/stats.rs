@@ -47,6 +47,19 @@ pub fn mad(samples: &[u128], center: u128) -> u128 {
     median(&devs)
 }
 
+/// Nearest-rank percentile of a **sorted** slice: the smallest sample
+/// such that at least `pct` percent of the set is at or below it, so the
+/// result is always an actual sample. `pct` is clamped to `[0, 100]`;
+/// zero on empty input. `percentile(s, 50.0)` equals [`median`] for odd
+/// lengths (nearest-rank never interpolates).
+pub fn percentile(sorted: &[u128], pct: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// First and third quartiles of a **sorted** slice (nearest-rank, so the
 /// values are always actual samples). `(0, 0)` on empty input.
 pub fn quartiles(sorted: &[u128]) -> (u128, u128) {
@@ -189,6 +202,20 @@ mod tests {
         assert_eq!(median(&[1, 3]), 2);
         assert_eq!(median(&[1, 3, 5]), 3);
         assert_eq!(median(&[1, 3, 5, 100]), 4);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        let s: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 99.0), 99);
+        assert_eq!(percentile(&s, 100.0), 100);
+        assert_eq!(percentile(&s, 0.0), 1);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        // Odd lengths: p50 coincides with the median.
+        let odd = [1, 3, 5];
+        assert_eq!(percentile(&odd, 50.0), median(&odd));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: oic <run|compare|report|explain|dump|bench|prof|fuzz|batch|chaos> [flags] <file.oi> [Class.field]\n\
+    "usage: oic <run|compare|report|explain|dump|bench|prof|fuzz|batch|chaos|serve> [flags] <file.oi> [Class.field]\n\
     \n\
     run      execute the program (baseline pipeline; --inline for the\n\
     \x20        object-inlining pipeline) and print metrics\n\
@@ -53,6 +53,9 @@ const USAGE: &str =
     fuzz     adversarial differential fuzzing (oic fuzz --runs N --seed S)\n\
     batch    panic-isolated fleet compilation (oic batch <dir> --deadline-ms N)\n\
     chaos    systematic fault injection against the detection lattice\n\
+    serve    long-lived compile server over a stdin/stdout JSON-lines\n\
+    \x20        protocol with a content-addressed artifact cache\n\
+    \x20        (oic serve --cache-bytes N --metrics-out FILE)\n\
     \n\
     --json          machine-readable output (run, compare, report, explain)\n\
     --max-rounds N / --deadline-ms N\n\
@@ -342,6 +345,10 @@ fn main() -> ExitCode {
     // `oic prof ...` forwards to the performance observatory profiler.
     if args.first().map(String::as_str) == Some("prof") {
         return ExitCode::from(oi_bench::prof::cli_main(&args[1..]));
+    }
+    // `oic serve ...` forwards to the long-lived compile server.
+    if args.first().map(String::as_str) == Some("serve") {
+        return ExitCode::from(oi_bench::serve::cli_main(&args[1..]));
     }
     let cli = match parse_cli(&args) {
         Ok(c) => c,

@@ -363,9 +363,8 @@ fn bench_passthrough_shares_the_oi_bench_cli() {
 
     let out = oic().args(["bench", "wat"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    assert!(
-        String::from_utf8_lossy(&out.stderr).contains("unknown command `wat` (snapshot|compare)")
-    );
+    assert!(String::from_utf8_lossy(&out.stderr)
+        .contains("unknown command `wat` (snapshot|compare|loadgen)"));
 
     let out = oic().args(["bench", "--help"]).output().unwrap();
     assert_eq!(out.status.code(), Some(0));
@@ -744,6 +743,184 @@ fn prof_collapse_emits_flamegraph_ready_stacks() {
         stdout.lines().any(|l| l.starts_with("vm.inlined;")),
         "{stdout}"
     );
+}
+
+/// `oic serve` golden test: pins the `oi.serve.v1` envelope and the
+/// `oi.metrics.v1` stats payload over a real piped session — compile
+/// (miss), run of the same bytes (hit), stats, shutdown.
+#[test]
+fn serve_session_pins_envelope_and_metrics_schemas() {
+    use oi_support::Json;
+    use std::process::Stdio;
+    let path = write_temp("serve_cli.oi", PROGRAM);
+    let p = path.to_str().unwrap();
+    let mut child = oic()
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for line in [
+            format!("{{\"id\": 1, \"op\": \"compile\", \"path\": \"{p}\"}}"),
+            format!("{{\"id\": 2, \"op\": \"run\", \"path\": \"{p}\"}}"),
+            "{\"id\": 3, \"op\": \"stats\"}".to_string(),
+            "{\"id\": 4, \"op\": \"shutdown\"}".to_string(),
+        ] {
+            writeln!(stdin, "{line}").unwrap();
+        }
+    }
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let responses: Vec<Json> = stdout
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad response line {l}: {e}")))
+        .collect();
+    assert_eq!(responses.len(), 4, "{stdout}");
+    for (r, (id, op, cache)) in responses.iter().zip([
+        (1, "compile", "miss"),
+        (2, "run", "hit"),
+        (3, "stats", "none"),
+        (4, "shutdown", "none"),
+    ]) {
+        assert_eq!(r.get("schema").and_then(Json::as_str), Some("oi.serve.v1"));
+        assert_eq!(r.get("id").and_then(Json::as_i64), Some(id));
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("op").and_then(Json::as_str), Some(op));
+        assert_eq!(r.get("cache").and_then(Json::as_str), Some(cache));
+        assert!(r.get("wall_us").and_then(Json::as_i64).is_some());
+        assert!(r.get("payload").is_some());
+    }
+    // The compile payload is oic.report.v1-shaped; the run payload is
+    // oic.run.v1-shaped and executed the cached artifact.
+    let compile = responses[0].get("payload").unwrap();
+    assert_eq!(
+        compile.get("schema").and_then(Json::as_str),
+        Some("oic.report.v1")
+    );
+    assert!(compile
+        .get("report")
+        .and_then(|r| r.get("decisions"))
+        .is_some());
+    let run = responses[1].get("payload").unwrap();
+    assert_eq!(run.get("schema").and_then(Json::as_str), Some("oic.run.v1"));
+    assert_eq!(run.get("output").and_then(Json::as_str), Some("42\n"));
+    assert!(run.get("metrics").and_then(|m| m.get("cycles")).is_some());
+    // The stats payload is the oi.metrics.v1 registry export, and its
+    // counters reflect the session so far: one miss, one hit.
+    let metrics = responses[2].get("payload").unwrap();
+    assert_eq!(
+        metrics.get("schema").and_then(Json::as_str),
+        Some("oi.metrics.v1")
+    );
+    let counters = metrics.get("counters").expect("counters object");
+    assert_eq!(counters.get("cache.hits").and_then(Json::as_i64), Some(1));
+    assert_eq!(counters.get("cache.misses").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        counters.get("serve.requests").and_then(Json::as_i64),
+        Some(3)
+    );
+    assert!(metrics.get("gauges").is_some());
+    let hists = metrics.get("histograms").expect("histograms object");
+    let parse = hists.get("serve.parse_ns").expect("parse histogram");
+    for key in ["count", "sum_ns", "p50_ns", "p90_ns", "p99_ns", "buckets"] {
+        assert!(parse.get(key).is_some(), "histogram missing {key}");
+    }
+}
+
+/// `oic bench loadgen` golden test: pins the `oi.load.v1` document on a
+/// small deterministic replay and checks the gate passes (exit 0).
+#[test]
+fn loadgen_json_document_is_schema_stable() {
+    use oi_support::Json;
+    let out = oic()
+        .args([
+            "bench",
+            "loadgen",
+            "--requests",
+            "60",
+            "--sources",
+            "5",
+            "--seed",
+            "7",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("oi.load.v1"));
+    for key in [
+        "requests",
+        "distinct_sources",
+        "sampled_sources",
+        "seed",
+        "zipf_s",
+        "cache_bytes",
+        "hits",
+        "misses",
+        "errors",
+        "hit_rate",
+        "floor_hit_rate",
+        "hit_ns",
+        "miss_ns",
+        "hit_p50_ns",
+        "hit_p99_ns",
+        "miss_p50_ns",
+        "miss_p99_ns",
+        "speedup_hit_p99_vs_miss_p50",
+        "reconciled",
+        "metrics",
+        "ok",
+    ] {
+        assert!(doc.get(key).is_some(), "oi.load.v1 missing {key}");
+    }
+    assert_eq!(doc.get("requests").and_then(Json::as_i64), Some(60));
+    assert_eq!(doc.get("errors").and_then(Json::as_i64), Some(0));
+    assert_eq!(doc.get("reconciled"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    // Every replayed request either hit or missed; misses equal the
+    // distinct sources the trace actually touched.
+    let hits = doc.get("hits").and_then(Json::as_i64).unwrap();
+    let misses = doc.get("misses").and_then(Json::as_i64).unwrap();
+    assert_eq!(hits + misses, 60);
+    assert_eq!(
+        Some(misses),
+        doc.get("sampled_sources").and_then(Json::as_i64)
+    );
+    // The embedded registry export reconciles with the tallies.
+    let metrics = doc.get("metrics").unwrap();
+    assert_eq!(
+        metrics.get("schema").and_then(Json::as_str),
+        Some("oi.metrics.v1")
+    );
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("cache.hits"))
+            .and_then(Json::as_i64),
+        Some(hits)
+    );
+
+    // Flag discipline: bad values exit 2.
+    let out = oic()
+        .args(["bench", "loadgen", "--requests", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = oic()
+        .args(["bench", "loadgen", "--zipf-s", "-1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
