@@ -75,8 +75,17 @@ echo "==> chaos-smoke (fault-injection matrix vs the detection lattice)"
 # Injects every fault class from the systematic matrix into the sentinel
 # corpus. The driver exits non-zero unless every class is detected
 # (sanitizer or oracle), the culprit decision retracted, the repaired
-# output restored baseline-equal, and zero faults escape.
+# output restored baseline-equal, and zero faults escape. The run also
+# covers the service-layer matrix (request-never-yields,
+# fuel-exhaustion-storm, mid-request-panic) against the multi-tenant
+# scheduler and serve pump; the document must carry all three rows and
+# report zero escapes overall.
 target/release/oic chaos --json --out target/chaos_smoke.json
+grep -q '"service_faults":' target/chaos_smoke.json
+for f in request-never-yields fuel-exhaustion-storm mid-request-panic; do
+    grep -q "\"fault\":\"$f\"" target/chaos_smoke.json
+done
+grep -q '"escaped":0,"ok":true' target/chaos_smoke.json
 
 echo "==> batch-smoke (panic-isolated fleet compilation under pressure)"
 # The batch driver compiles the example programs plus a fixed-seed fuzz
@@ -122,5 +131,31 @@ target/release/oic bench loadgen --requests 500 --sources 10 --seed 1 \
     --json --out target/loadgen_smoke.json
 grep -q '"schema":"oi.load.v1"' target/loadgen_smoke.json
 grep -q '"reconciled":true' target/loadgen_smoke.json
+
+echo "==> tenant-smoke (metered multi-tenant execution end to end)"
+# A scaled-down tenantload burst through the fuel-sliced fair
+# scheduler: the gate exits non-zero on any panic, any cross-tenant
+# kill, fuel non-reconciliation, a throughput miss, or a starved
+# tenant. The throughput floor is dropped to 1 job/s so this step
+# measures integrity, not machine speed.
+target/release/oic bench tenantload --requests 1000 --tenants 50 --hogs 2 \
+    --min-throughput 1 --json --out target/tenant_smoke.json
+grep -q '"schema":"oi.tenantload.v1"' target/tenant_smoke.json
+grep -q '"cross_tenant_kills":0' target/tenant_smoke.json
+grep -q '"panics":0' target/tenant_smoke.json
+grep -q '"reconciled":true' target/tenant_smoke.json
+# A piped serve session under a tight instruction quota: the hostile
+# tenant's run must die with a typed kill naming that tenant, while the
+# well-behaved neighbor and the shutdown drain still answer in order.
+printf '%s\n' \
+    '{"id": 1, "op": "run", "tenant": "mallory", "source": "fn main() { var i = 0; var acc = 0; while (i < 50000) { acc = acc + i; i = i + 1; } print acc; }"}' \
+    '{"id": 2, "op": "run", "tenant": "alice", "source": "fn main() { print 1 + 1; }"}' \
+    '{"id": 3, "op": "shutdown"}' \
+    | target/release/oic serve --max-instructions 1000 > target/tenant_serve_smoke.jsonl
+test "$(wc -l < target/tenant_serve_smoke.jsonl)" -eq 3
+sed -n 1p target/tenant_serve_smoke.jsonl | grep -q '"error_kind":"quota-exceeded"'
+sed -n 1p target/tenant_serve_smoke.jsonl | grep -q 'mallory'
+sed -n 2p target/tenant_serve_smoke.jsonl | grep -q '"ok":true'
+sed -n 3p target/tenant_serve_smoke.jsonl | grep -q '"ok":true'
 
 echo "CI green."

@@ -26,6 +26,7 @@ use oi_core::pipeline::{optimize, InlineConfig};
 use oi_core::Fault;
 use oi_support::Json;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// The sentinel corpus: `(name, source)`, one program per bite surface.
 pub const SENTINELS: [(&str, &str); 3] = [
@@ -209,23 +210,109 @@ impl FaultRow {
     }
 }
 
+/// A service-layer fault class injected into the multi-tenant execution
+/// path (scheduler + `oic serve` pump) rather than the compiler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// A hostile request whose program never terminates on its own; the
+    /// fuel-sliced scheduler must preempt it and its instruction quota
+    /// must kill it, with co-scheduled neighbors untouched.
+    RequestNeverYields,
+    /// A burst of requests that all bust their instruction quota at
+    /// once; every one must die with a typed per-tenant kill through the
+    /// full serve pipeline while well-behaved neighbors complete.
+    FuelExhaustionStorm,
+    /// A guest panic injected mid-execution (between fuel slices) of a
+    /// served request; it must be contained to that one response.
+    MidRequestPanic,
+}
+
+impl ServiceFault {
+    /// Every service-layer fault class, in report order.
+    pub const ALL: [ServiceFault; 3] = [
+        ServiceFault::RequestNeverYields,
+        ServiceFault::FuelExhaustionStorm,
+        ServiceFault::MidRequestPanic,
+    ];
+
+    /// Stable kebab-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceFault::RequestNeverYields => "request-never-yields",
+            ServiceFault::FuelExhaustionStorm => "fuel-exhaustion-storm",
+            ServiceFault::MidRequestPanic => "mid-request-panic",
+        }
+    }
+}
+
+/// One service-layer fault row: containment is binary — the fault either
+/// resolved into its typed verdict with neighbors unharmed and fuel
+/// accounting exact, or it escaped.
+#[derive(Clone, Debug)]
+pub struct ServiceRow {
+    /// The injected fault.
+    pub fault: ServiceFault,
+    /// The fault resolved into its expected typed verdict.
+    pub detected: bool,
+    /// Co-scheduled well-behaved work finished normally.
+    pub neighbors_ok: bool,
+    /// Per-tenant fuel tallies reconciled exactly (scheduler-direct
+    /// rows) / service counters matched (serve rows).
+    pub reconciled: bool,
+    /// Human-readable evidence for the report.
+    pub detail: String,
+    /// Wall-clock spent on the row, in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl ServiceRow {
+    /// `true` when the fault was fully contained.
+    pub fn ok(&self) -> bool {
+        self.detected && self.neighbors_ok && self.reconciled
+    }
+
+    /// The row as schema-stable JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("fault", self.fault.name().into()),
+            ("detected", self.detected.into()),
+            ("neighbors_ok", self.neighbors_ok.into()),
+            ("reconciled", self.reconciled.into()),
+            ("escaped", (!self.ok()).into()),
+            ("ok", self.ok().into()),
+            ("detail", self.detail.clone().into()),
+            ("wall_ms", self.wall_ms.into()),
+        ])
+    }
+}
+
 /// The whole matrix.
 #[derive(Clone, Debug, Default)]
 pub struct ChaosReport {
     /// One row per injected fault, in [`Fault::ALL`] order (or the single
     /// `--fault` row).
     pub rows: Vec<FaultRow>,
+    /// Service-layer fault rows, in [`ServiceFault::ALL`] order (empty
+    /// when a `--fault` filter restricted the run to one compiler fault).
+    pub service_rows: Vec<ServiceRow>,
 }
 
 impl ChaosReport {
-    /// `true` when every row meets the bar ([`FaultRow::ok`]).
+    /// `true` when every row meets the bar ([`FaultRow::ok`],
+    /// [`ServiceRow::ok`]).
     pub fn ok(&self) -> bool {
-        !self.rows.is_empty() && self.rows.iter().all(FaultRow::ok)
+        !self.rows.is_empty()
+            && self.rows.iter().all(FaultRow::ok)
+            && self.service_rows.iter().all(ServiceRow::ok)
     }
 
-    /// Escapes across the whole matrix.
+    /// Escapes across the whole matrix, service rows included.
     pub fn escapes(&self) -> usize {
-        self.rows.iter().map(|r| r.count(Outcome::Escaped)).sum()
+        self.rows
+            .iter()
+            .map(|r| r.count(Outcome::Escaped))
+            .sum::<usize>()
+            + self.service_rows.iter().filter(|r| !r.ok()).count()
     }
 
     /// The report as a schema-stable `oi.chaos.v1` document.
@@ -239,6 +326,10 @@ impl ChaosReport {
             (
                 "faults",
                 Json::Arr(self.rows.iter().map(FaultRow::to_json).collect()),
+            ),
+            (
+                "service_faults",
+                Json::Arr(self.service_rows.iter().map(ServiceRow::to_json).collect()),
             ),
             (
                 "detected",
@@ -335,12 +426,266 @@ pub fn run_chaos(faults: &[Fault]) -> ChaosReport {
     report
 }
 
+/// Runs every [`ServiceFault`] against the multi-tenant execution path.
+pub fn run_service_chaos() -> Vec<ServiceRow> {
+    ServiceFault::ALL
+        .iter()
+        .map(|&fault| {
+            let (mut row, wall) = crate::harness::time_once(|| match fault {
+                ServiceFault::RequestNeverYields => service_never_yields(),
+                ServiceFault::FuelExhaustionStorm => service_fuel_storm(),
+                ServiceFault::MidRequestPanic => service_mid_request_panic(),
+            });
+            row.wall_ms = (wall.median / 1_000_000) as u64;
+            row
+        })
+        .collect()
+}
+
+/// A non-terminating request against the fuel-sliced scheduler: it must
+/// be preempted across slices, die on its instruction quota, and leave a
+/// co-scheduled neighbor's completion untouched. Drives the scheduler
+/// directly — a program with no exit cannot pass through `serve`'s
+/// compile path, whose firewall runs candidates empirically.
+fn service_never_yields() -> ServiceRow {
+    use crate::sched::{JobSpec, ProgramRef, SchedConfig, Scheduler, TenantQuota};
+    let hostile = Arc::new(
+        oi_ir::lower::compile("fn main() { var i = 0; while (0 < 1) { i = i + 1; } print i; }")
+            .expect("hostile sentinel compiles"),
+    );
+    let neighbor = Arc::new(
+        oi_ir::lower::compile(
+            "fn main() { var i = 0; var acc = 0; while (i < 200) \
+             { acc = acc + i; i = i + 1; } print acc; }",
+        )
+        .expect("neighbor sentinel compiles"),
+    );
+    let (tx, rx) = std::sync::mpsc::channel();
+    drop(rx);
+    let sched = Scheduler::new(
+        SchedConfig {
+            fuel_slice: 1_000,
+            max_queue: 8,
+        },
+        tx,
+    );
+    let quota = |max_instructions: u64| TenantQuota {
+        max_instructions,
+        ..TenantQuota::default()
+    };
+    let _ = sched.submit(JobSpec {
+        tenant: "hostile".into(),
+        program: ProgramRef::Bare(hostile),
+        quota: quota(5_000),
+        fault: None,
+    });
+    let _ = sched.submit(JobSpec {
+        tenant: "neighbor".into(),
+        program: ProgramRef::Bare(neighbor),
+        quota: quota(1 << 20),
+        fault: None,
+    });
+    sched.close();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| sched.worker_loop());
+        }
+    });
+    let summaries = sched.tenant_summaries();
+    let find = |name: &str| summaries.iter().find(|s| s.tenant == name);
+    let hostile_s = find("hostile");
+    let neighbor_s = find("neighbor");
+    let detected = hostile_s.is_some_and(|s| {
+        s.quota_kills.instructions == 1 && s.completed == 0 && s.panicked == 0 && s.slices > 1
+    });
+    let neighbors_ok = neighbor_s.is_some_and(|s| s.completed == 1 && s.quota_kills.total() == 0);
+    let reconciled = summaries.iter().all(|s| s.reconciled());
+    ServiceRow {
+        fault: ServiceFault::RequestNeverYields,
+        detected,
+        neighbors_ok,
+        reconciled,
+        detail: format!(
+            "hostile: {} slices before instruction-quota kill; neighbor completed: {}",
+            hostile_s.map_or(0, |s| s.slices),
+            neighbors_ok,
+        ),
+        wall_ms: 0,
+    }
+}
+
+/// Drives one full serve session over an in-memory transcript and
+/// returns the parsed responses plus the server's final counters.
+fn serve_session(
+    config: crate::serve::ServeConfig,
+    requests: &[String],
+) -> (Vec<Json>, Json, bool) {
+    let server = crate::serve::Server::new(config);
+    let input = std::io::Cursor::new(requests.join("\n").into_bytes());
+    let mut out: Vec<u8> = Vec::new();
+    let code = crate::serve::run_serve(&server, input, &mut out);
+    let responses = String::from_utf8_lossy(&out)
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or(Json::Null))
+        .collect();
+    let clean_exit = code == 0 && server.metrics().gauge("serve.in_flight") == 0;
+    (responses, server.metrics().to_json(), clean_exit)
+}
+
+fn counter_of(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+}
+
+/// A quota-exhaustion storm through the full serve pipeline: a burst of
+/// requests that all bust a tight instruction quota, interleaved across
+/// tenants, with two well-behaved neighbors riding along.
+fn service_fuel_storm() -> ServiceRow {
+    const STORM: usize = 24;
+    let storm_source = "fn main() { var i = 0; var acc = 0; while (i < 50000) \
+                        { acc = acc + i; i = i + 1; } print acc; }";
+    let mut requests: Vec<String> = (0..STORM)
+        .map(|i| {
+            Json::obj(vec![
+                ("id", Json::from(i as u64 + 1)),
+                ("op", "run".into()),
+                ("source", storm_source.into()),
+                ("tenant", format!("storm{}", i % 6).into()),
+            ])
+            .to_string()
+        })
+        .collect();
+    for (i, tenant) in ["calm0", "calm1"].iter().enumerate() {
+        requests.push(
+            Json::obj(vec![
+                ("id", Json::from(100 + i as u64)),
+                ("op", "run".into()),
+                ("source", "fn main() { print 1 + 1; }".into()),
+                ("tenant", (*tenant).into()),
+            ])
+            .to_string(),
+        );
+    }
+    let (responses, metrics, clean_exit) = serve_session(
+        crate::serve::ServeConfig {
+            jobs: 2,
+            max_instructions: Some(1_000),
+            ..crate::serve::ServeConfig::default()
+        },
+        &requests,
+    );
+    let killed = responses
+        .iter()
+        .take(STORM)
+        .filter(|r| {
+            r.get("error_kind").and_then(Json::as_str) == Some("quota-exceeded")
+                && r.get("error")
+                    .and_then(Json::as_str)
+                    .is_some_and(|e| e.contains("storm") && e.contains("instructions"))
+        })
+        .count();
+    let calm_ok = responses
+        .iter()
+        .skip(STORM)
+        .filter(|r| {
+            r.get("ok").and_then(Json::as_bool) == Some(true)
+                && r.get("payload")
+                    .and_then(|p| p.get("output"))
+                    .and_then(Json::as_str)
+                    == Some("2\n")
+        })
+        .count();
+    let detected = responses.len() == STORM + 2 && killed == STORM;
+    let neighbors_ok = calm_ok == 2;
+    let reconciled = clean_exit && counter_of(&metrics, "serve.quota_kills_total") == STORM as i64;
+    ServiceRow {
+        fault: ServiceFault::FuelExhaustionStorm,
+        detected,
+        neighbors_ok,
+        reconciled,
+        detail: format!(
+            "{killed}/{STORM} storm requests died with typed per-tenant kills; \
+             {calm_ok}/2 neighbors served"
+        ),
+        wall_ms: 0,
+    }
+}
+
+/// A panic injected between fuel slices of a served request (the serve
+/// chaos seam, `chaos.panic_at_slice`): the blast radius must be exactly
+/// one `ok:false panic` response.
+fn service_mid_request_panic() -> ServiceRow {
+    let _quiet = oi_support::panic::silence_hook();
+    let source = "fn main() { var i = 0; var acc = 0; while (i < 5000) \
+                  { acc = acc + i; i = i + 1; } print acc; }";
+    let requests = vec![
+        Json::obj(vec![
+            ("id", Json::from(1u64)),
+            ("op", "run".into()),
+            ("source", source.into()),
+            ("tenant", "victim".into()),
+            (
+                "chaos",
+                Json::obj(vec![("panic_at_slice", Json::from(1u64))]),
+            ),
+        ])
+        .to_string(),
+        Json::obj(vec![
+            ("id", Json::from(2u64)),
+            ("op", "run".into()),
+            ("source", source.into()),
+            ("tenant", "bystander".into()),
+        ])
+        .to_string(),
+    ];
+    let (responses, metrics, clean_exit) = serve_session(
+        crate::serve::ServeConfig {
+            allow_chaos_faults: true,
+            fuel_slice: 1_000,
+            ..crate::serve::ServeConfig::default()
+        },
+        &requests,
+    );
+    let detected = responses.len() == 2
+        && responses[0].get("ok").and_then(Json::as_bool) == Some(false)
+        && responses[0].get("error_kind").and_then(Json::as_str) == Some("panic");
+    let neighbors_ok = responses.len() == 2
+        && responses[1].get("ok").and_then(Json::as_bool) == Some(true)
+        && responses[1]
+            .get("payload")
+            .and_then(|p| p.get("output"))
+            .and_then(Json::as_str)
+            .is_some();
+    let reconciled = clean_exit && counter_of(&metrics, "serve.errors") == 1;
+    ServiceRow {
+        fault: ServiceFault::MidRequestPanic,
+        detected,
+        neighbors_ok,
+        reconciled,
+        detail: format!(
+            "victim response: {}; bystander served afterwards: {neighbors_ok}",
+            responses
+                .first()
+                .and_then(|r| r.get("error"))
+                .and_then(Json::as_str)
+                .unwrap_or("<missing>"),
+        ),
+        wall_ms: 0,
+    }
+}
+
 const USAGE: &str = "usage: oic chaos [flags]
 
 Injects every fault class from the systematic fault matrix into a
 sentinel corpus and reports which defense layer caught each one
 (heap sanitizer or differential oracle), whether the culprit decision
 was retracted, and whether output was restored to baseline-equal.
+Also runs the service-layer matrix (request-never-yields,
+fuel-exhaustion-storm, mid-request-panic) against the multi-tenant
+scheduler and serve pump, unless `--fault` restricts the run.
 Exit 0 only when every fault class is detected and repaired with zero
 escapes; 1 otherwise; 2 on usage errors.
 
@@ -355,6 +700,7 @@ escapes; 1 otherwise; 2 on usage errors.
 pub fn cli_main(args: &[String]) -> u8 {
     use oi_support::cli::{Arg, ArgScanner};
     let mut faults: Vec<Fault> = Fault::ALL.to_vec();
+    let mut filtered = false;
     let mut json_output = false;
     let mut out: Option<String> = None;
     let mut scanner = ArgScanner::new(args.to_vec());
@@ -368,7 +714,10 @@ pub fn cli_main(args: &[String]) -> u8 {
                 "fault" => {
                     let v = scanner.value_for("--fault").unwrap_or_default();
                     match Fault::parse(&v) {
-                        Some(f) => faults = vec![f],
+                        Some(f) => {
+                            faults = vec![f];
+                            filtered = true;
+                        }
                         None => {
                             return usage_error(&format!(
                                 "unknown fault `{v}` (try `oic chaos --list`)"
@@ -405,11 +754,19 @@ pub fn cli_main(args: &[String]) -> u8 {
         }
     }
     eprintln!(
-        "chaos: {} fault class(es) x {} sentinel(s)...",
+        "chaos: {} fault class(es) x {} sentinel(s){}...",
         faults.len(),
-        SENTINELS.len()
+        SENTINELS.len(),
+        if filtered {
+            ""
+        } else {
+            ", plus the service-layer matrix"
+        }
     );
-    let report = run_chaos(&faults);
+    let mut report = run_chaos(&faults);
+    if !filtered {
+        report.service_rows = run_service_chaos();
+    }
     let rendered = if json_output {
         report.to_json().to_string()
     } else {
@@ -462,11 +819,27 @@ fn render_text(report: &ChaosReport) -> String {
             }
         }
     }
+    for row in &report.service_rows {
+        let _ = writeln!(
+            out,
+            "{:28} {:10} {:>19}  {}",
+            row.fault.name(),
+            "service",
+            format!(
+                "detected={} nbrs={}",
+                u8::from(row.detected),
+                u8::from(row.neighbors_ok)
+            ),
+            if row.ok() { "ok" } else { "FAIL" }
+        );
+        let _ = writeln!(out, "            {}", row.detail);
+    }
     let _ = write!(
         out,
         "{}/{} detected, {} escape(s): {}",
-        report.rows.iter().filter(|r| r.detected()).count(),
-        report.rows.len(),
+        report.rows.iter().filter(|r| r.detected()).count()
+            + report.service_rows.iter().filter(|r| r.detected).count(),
+        report.rows.len() + report.service_rows.len(),
         report.escapes(),
         if report.ok() { "OK" } else { "FINDINGS" }
     );
@@ -549,12 +922,83 @@ mod tests {
     }
 
     #[test]
+    fn service_faults_are_all_contained_with_zero_escapes() {
+        let rows = run_service_chaos();
+        assert_eq!(rows.len(), ServiceFault::ALL.len());
+        for row in &rows {
+            assert!(
+                row.detected,
+                "{} not detected: {}",
+                row.fault.name(),
+                row.detail
+            );
+            assert!(
+                row.neighbors_ok,
+                "{} hurt neighbors: {}",
+                row.fault.name(),
+                row.detail
+            );
+            assert!(
+                row.reconciled,
+                "{} did not reconcile: {}",
+                row.fault.name(),
+                row.detail
+            );
+            assert!(row.ok(), "{} escaped: {}", row.fault.name(), row.detail);
+        }
+        let mut report = run_chaos(&[Fault::SkipUseRedirect]);
+        report.service_rows = rows;
+        let doc = report.to_json();
+        assert_eq!(doc.get("escaped").and_then(Json::as_i64), Some(0));
+        let service = doc.get("service_faults").unwrap().as_arr().unwrap();
+        assert_eq!(service.len(), 3);
+        for key in [
+            "fault",
+            "detected",
+            "neighbors_ok",
+            "reconciled",
+            "escaped",
+            "ok",
+            "detail",
+            "wall_ms",
+        ] {
+            assert!(
+                service[0].get(key).is_some(),
+                "missing service_faults[].{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_failing_service_row_fails_the_whole_report() {
+        let mut report = run_chaos(&[Fault::SkipUseRedirect]);
+        assert!(report.ok());
+        report.service_rows.push(ServiceRow {
+            fault: ServiceFault::MidRequestPanic,
+            detected: false,
+            neighbors_ok: true,
+            reconciled: true,
+            detail: "synthetic escape".into(),
+            wall_ms: 0,
+        });
+        assert!(!report.ok());
+        assert_eq!(report.escapes(), 1);
+    }
+
+    #[test]
     fn json_document_is_schema_stable() {
         let report = run_chaos(&[Fault::SkipUseRedirect]);
         let doc = report.to_json().to_string();
         let parsed = Json::parse(&doc).unwrap();
         assert_eq!(parsed.get("schema").unwrap().as_str(), Some("oi.chaos.v1"));
-        for key in ["corpus", "faults", "detected", "escaped", "ok"] {
+        for key in [
+            "corpus",
+            "faults",
+            "service_faults",
+            "detected",
+            "escaped",
+            "ok",
+        ] {
             assert!(parsed.get(key).is_some(), "missing {key}");
         }
         let rows = parsed.get("faults").unwrap().as_arr().unwrap();

@@ -31,6 +31,12 @@ commands:
           [--cache-bytes B] [--json] [--out FILE]
       replay a seeded Zipf-skewed compile trace against an in-process
       compile server and emit oi.load.v1; exit 1 when the gate fails
+  tenantload [--requests N] [--tenants T] [--hogs H] [--workers W]
+             [--fuel-slice F] [--seed S] [--zipf-s X]
+             [--min-throughput J] [--json] [--out FILE]
+      submit a Zipf-skewed burst of small programs across T tenants
+      (H rigged quota-busters) to the fair scheduler and emit
+      oi.tenantload.v1; exit 1 when the fairness/robustness gate fails
 ";
 
 /// Runs the CLI on pre-split arguments and returns the process exit
@@ -41,12 +47,13 @@ pub fn main(args: &[String]) -> u8 {
         Some("snapshot") => snapshot_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
         Some("loadgen") => crate::loadgen::cli_main(&args[1..]),
+        Some("tenantload") => crate::tenantload::cli_main(&args[1..]),
         Some("--help") | Some("help") => {
             print!("{USAGE}");
             0
         }
         Some(other) => {
-            eprintln!("unknown command `{other}` (snapshot|compare|loadgen)");
+            eprintln!("unknown command `{other}` (snapshot|compare|loadgen|tenantload)");
             2
         }
         None => {

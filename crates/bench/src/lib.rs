@@ -22,9 +22,11 @@ pub mod fuzz;
 pub mod harness;
 pub mod loadgen;
 pub mod prof;
+pub mod sched;
 pub mod serve;
 pub mod snapshot;
 pub mod synth;
+pub mod tenantload;
 
 use oi_benchmarks::{all_benchmarks, evaluate, BenchSize, Evaluation};
 use oi_core::pipeline::InlineConfig;

@@ -34,15 +34,23 @@
 //! `request_id` field stamped on the `serve.*` spans.
 
 use crate::harness::time_once;
+use crate::sched::{
+    Completion, JobFault, JobSpec, ProgramRef, SchedConfig, Scheduler, TenantQuota, Verdict,
+};
 use oi_core::cache::{config_fingerprint, Artifact, ArtifactCache, CacheKey};
 use oi_core::ladder::{optimize_with_ladder, LadderConfig};
 use oi_support::cli::{Arg, ArgScanner};
 use oi_support::metrics::Registry;
+use oi_support::panic::contained;
 use oi_support::trace::{self, kv, TraceMode, Tracer};
 use oi_support::{Budget, Json};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::rc::Rc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Serve-time configuration (flags of `oic serve`).
 #[derive(Clone, Debug)]
@@ -56,6 +64,36 @@ pub struct ServeConfig {
     /// Rewrite this file with the `oi.metrics.v1` document after every
     /// request (`--metrics-out`).
     pub metrics_out: Option<String>,
+    /// Worker threads driving the request pump (`--jobs`).
+    pub jobs: usize,
+    /// Bounded request-queue depth; lines beyond it are shed with a
+    /// typed `overloaded` rejection (`--queue`).
+    pub queue: usize,
+    /// Instructions per fuel slice for scheduled `run` requests
+    /// (`--fuel-slice`).
+    pub fuel_slice: u64,
+    /// Maximum request line length in bytes; longer lines get a typed
+    /// `request-too-large` rejection instead of unbounded buffering
+    /// (`--max-line-bytes`).
+    pub max_line_bytes: usize,
+    /// Per-request instruction quota for `run` execution
+    /// (`--max-instructions`; VM default when unset).
+    pub max_instructions: Option<u64>,
+    /// Per-request heap-words quota for `run` execution
+    /// (`--max-heap-words`; VM default when unset).
+    pub max_heap_words: Option<u64>,
+    /// Per-request call-depth quota for `run` execution (`--max-depth`;
+    /// VM default when unset).
+    pub max_depth: Option<usize>,
+    /// Concurrent in-flight `run` requests allowed per tenant
+    /// (`--tenant-concurrent`).
+    pub tenant_concurrent: usize,
+    /// Wall-clock deadline for `run` execution, measured per request
+    /// from admission (`--run-deadline-ms`).
+    pub run_deadline_ms: Option<u64>,
+    /// Honor `chaos` fault fields on requests. Never set from the CLI;
+    /// only the chaos harness builds servers with injection enabled.
+    pub allow_chaos_faults: bool,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +103,16 @@ impl Default for ServeConfig {
             max_rounds: None,
             deadline_ms: None,
             metrics_out: None,
+            jobs: 1,
+            queue: 128,
+            fuel_slice: 10_000,
+            max_line_bytes: 4 << 20,
+            max_instructions: None,
+            max_heap_words: None,
+            max_depth: None,
+            tenant_concurrent: 64,
+            run_deadline_ms: None,
+            allow_chaos_faults: false,
         }
     }
 }
@@ -175,11 +223,15 @@ impl Server {
         }
     }
 
-    fn serve_compile(&self, request: &Json, id: Json, op: &str) -> Handled {
-        let source = match request_source(request) {
-            Ok(s) => s,
-            Err(e) => return self.error(id, &e),
-        };
+    /// Resolves a request to its compile artifact: cache hit or fresh
+    /// compile (folding per-request budget overrides into the key).
+    /// Shared by the synchronous path and the scheduled `run` path.
+    fn artifact_for(
+        &self,
+        request: &Json,
+        id: &Json,
+    ) -> Result<(std::sync::Arc<Artifact>, &'static str), String> {
+        let source = request_source(request)?;
         // Per-request budget overrides fold into the cache key: an
         // artifact compiled under a tighter budget may be degraded, so it
         // must not alias an unbudgeted compile of the same bytes.
@@ -199,13 +251,19 @@ impl Server {
             &source,
             config_fingerprint(&self.ladder, max_rounds, deadline_ms),
         );
+        match self.cache.get(&key) {
+            Some(hit) => Ok((hit, "hit")),
+            None => {
+                let built = self.compile_fresh(&source, id, max_rounds, deadline_ms)?;
+                Ok((self.cache.insert(key, built), "miss"))
+            }
+        }
+    }
 
-        let (artifact, cache_state) = match self.cache.get(&key) {
-            Some(hit) => (hit, "hit"),
-            None => match self.compile_fresh(&source, &id, max_rounds, deadline_ms) {
-                Ok(built) => (self.cache.insert(key, built), "miss"),
-                Err(e) => return self.error(id, &e),
-            },
+    fn serve_compile(&self, request: &Json, id: Json, op: &str) -> Handled {
+        let (artifact, cache_state) = match self.artifact_for(request, &id) {
+            Ok(pair) => pair,
+            Err(e) => return self.error(id, &e),
         };
 
         let payload = if op == "run" {
@@ -301,6 +359,22 @@ impl Server {
         }
     }
 
+    /// An `ok:false` response carrying a machine-readable `error_kind`
+    /// (`overloaded`, `shedding`, `request-too-large`, `quota-exceeded`,
+    /// `tenant-over-concurrency`, `panic`) alongside the human message.
+    fn error_typed(&self, id: Json, kind: &str, message: &str) -> Handled {
+        Handled {
+            response: Json::obj(vec![
+                ("schema", "oi.serve.v1".into()),
+                ("id", id),
+                ("ok", false.into()),
+                ("error_kind", kind.into()),
+                ("error", message.into()),
+            ]),
+            shutdown: false,
+        }
+    }
+
     /// Mirrors the cache's own counters into the registry so one
     /// `oi.metrics.v1` document carries the whole service state.
     fn mirror_cache_stats(&self) {
@@ -390,13 +464,650 @@ fn run_payload(result: &oi_vm::RunResult, outcome: &oi_core::ladder::LadderOutco
     ])
 }
 
+/// One request line admitted to the bounded queue.
+struct QueuedReq {
+    seq: u64,
+    line: String,
+    at: Instant,
+}
+
+/// Queue state guarded by one lock so admission, pops, and the worker
+/// exit check all observe a consistent picture.
+struct PumpQueue {
+    q: VecDeque<QueuedReq>,
+    /// Requests popped and currently being processed by a worker.
+    busy: usize,
+}
+
+/// Shared coordination state of the request pump. `Arc`-held because the
+/// reader thread is detached (it may stay blocked on a client that sends
+/// `shutdown` but never closes stdin).
+struct Pump {
+    queue: Mutex<PumpQueue>,
+    cv: Condvar,
+    draining: AtomicBool,
+    reader_done: AtomicBool,
+    input_error: AtomicBool,
+    cap: usize,
+    max_line_bytes: usize,
+}
+
+impl Pump {
+    fn new(cap: usize, max_line_bytes: usize) -> Pump {
+        Pump {
+            queue: Mutex::new(PumpQueue {
+                q: VecDeque::new(),
+                busy: 0,
+            }),
+            cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            reader_done: AtomicBool::new(false),
+            input_error: AtomicBool::new(false),
+            cap: cap.max(1),
+            max_line_bytes,
+        }
+    }
+
+    fn lockq(&self) -> std::sync::MutexGuard<'_, PumpQueue> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A response (or reader-side rejection) on its way to the writer.
+enum Emit {
+    /// A finished response for request `seq`.
+    Response { seq: u64, response: Json },
+    /// A reader-side rejection; the writer builds the response and
+    /// counts the metrics (the reader has no access to the server).
+    Shed {
+        seq: u64,
+        kind: &'static str,
+        message: String,
+    },
+    /// End of stream: all producers have finished.
+    Done,
+}
+
+/// Context for a `run` request whose execution is in the scheduler.
+struct PendingRun {
+    seq: u64,
+    id: Json,
+    cache_state: &'static str,
+    artifact: Arc<Artifact>,
+    tenant: String,
+    received: Instant,
+}
+
+/// The concurrent request pump: bounded admission, fuel-sliced fair
+/// execution of `run` requests via [`Scheduler`], ordered responses, and
+/// graceful drain. See DESIGN §15 for the protocol.
+struct ServeLoop<'a> {
+    server: &'a Server,
+    sched: Scheduler,
+    pending: Mutex<HashMap<u64, PendingRun>>,
+    pump: Arc<Pump>,
+}
+
+impl<'a> ServeLoop<'a> {
+    /// Marks the pump as draining: admission stops, queued-unstarted
+    /// requests are flushed with `shedding` responses, and in-flight work
+    /// (including scheduled `run` jobs) finishes normally.
+    fn start_drain(&self) {
+        self.pump.draining.store(true, Ordering::SeqCst);
+        self.pump.cv.notify_all();
+    }
+
+    /// Worker body: prefer admitting queued requests (FIFO start order),
+    /// otherwise advance one fuel slice of scheduled work, otherwise
+    /// idle. Exits when no request can ever arrive again and all work is
+    /// done; the first worker out seals the scheduler so the completion
+    /// forwarder observes end-of-stream.
+    fn worker(&self, tx: &Sender<Emit>) {
+        loop {
+            let popped = {
+                let mut q = self.pump.lockq();
+                match q.q.pop_front() {
+                    Some(req) => {
+                        q.busy += 1;
+                        Some(req)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(req) = popped {
+                self.process_request(req, tx);
+                self.pump.lockq().busy -= 1;
+                self.pump.cv.notify_all();
+                continue;
+            }
+            if self.sched.try_run_slice() {
+                continue;
+            }
+            let q = self.pump.lockq();
+            let no_more_input = self.pump.reader_done.load(Ordering::SeqCst)
+                || self.pump.draining.load(Ordering::SeqCst);
+            if q.q.is_empty() && q.busy == 0 && no_more_input && self.sched.live() == 0 {
+                break;
+            }
+            // Re-check after a short nap: scheduled jobs may become
+            // runnable again (they re-queue without signaling this cv).
+            let _ = self.pump.cv.wait_timeout(q, Duration::from_millis(1));
+        }
+        self.sched.seal();
+    }
+
+    fn send(&self, tx: &Sender<Emit>, seq: u64, response: Json) {
+        let _ = tx.send(Emit::Response { seq, response });
+    }
+
+    fn process_request(&self, req: QueuedReq, tx: &Sender<Emit>) {
+        let m = self.server.metrics();
+        m.observe_ns("serve.queue_wait_ns", req.at.elapsed().as_nanos());
+        let parsed = Json::parse(&req.line);
+        let id = parsed
+            .as_ref()
+            .ok()
+            .and_then(|r| r.get("id").cloned())
+            .unwrap_or(Json::Null);
+        if self.pump.draining.load(Ordering::SeqCst) {
+            m.add("serve.shed_total", 1);
+            let resp = self
+                .server
+                .error_typed(id, "shedding", "server is draining");
+            self.send(tx, req.seq, resp.response);
+            return;
+        }
+        let is_run = parsed
+            .as_ref()
+            .ok()
+            .and_then(|r| r.get("op"))
+            .and_then(Json::as_str)
+            == Some("run");
+        if !is_run {
+            // Synchronous ops (compile, stats, shutdown, malformed input)
+            // reuse the single-threaded path wholesale.
+            let line = &req.line;
+            let outcome = contained(|| {
+                let (handled, wall) = time_once(|| self.server.handle_line(line));
+                let cache_state = handled
+                    .response
+                    .get("cache")
+                    .and_then(Json::as_str)
+                    .unwrap_or("none")
+                    .to_string();
+                self.server.observe_total(&cache_state, wall.median);
+                handled
+            });
+            match outcome {
+                Ok(handled) => {
+                    if handled.shutdown {
+                        self.start_drain();
+                    }
+                    self.send(tx, req.seq, handled.response);
+                }
+                Err(msg) => {
+                    m.add("serve.errors", 1);
+                    let resp =
+                        self.server
+                            .error_typed(id, "panic", &format!("contained panic: {msg}"));
+                    self.send(tx, req.seq, resp.response);
+                }
+            }
+            return;
+        }
+        let request = parsed.expect("is_run implies parsed");
+        match contained(|| self.begin_run(&request, &id, req.seq)) {
+            Ok(None) => {} // submitted; the completion forwarder responds
+            Ok(Some(handled)) => self.send(tx, req.seq, handled.response),
+            Err(msg) => {
+                m.add("serve.errors", 1);
+                let resp = self
+                    .server
+                    .error_typed(id, "panic", &format!("contained panic: {msg}"));
+                self.send(tx, req.seq, resp.response);
+            }
+        }
+    }
+
+    /// Effective quota for a `run` request: server-level limits, with a
+    /// per-request `config.run_deadline_ms` override for the deadline.
+    fn run_quota(&self, request: &Json) -> TenantQuota {
+        let c = &self.server.config;
+        let d = TenantQuota::default();
+        let deadline_ms = request
+            .get("config")
+            .and_then(|c| c.get("run_deadline_ms"))
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .or(c.run_deadline_ms);
+        TenantQuota {
+            max_instructions: c.max_instructions.unwrap_or(d.max_instructions),
+            max_heap_words: c.max_heap_words.unwrap_or(d.max_heap_words),
+            max_depth: c.max_depth.unwrap_or(d.max_depth),
+            max_concurrent: c.tenant_concurrent,
+            deadline: deadline_ms.map(Duration::from_millis),
+        }
+    }
+
+    /// Compiles (or cache-hits) a `run` request and submits its execution
+    /// to the scheduler. Returns an immediate error response for compile
+    /// failures and typed admission rejections, `None` once submitted.
+    fn begin_run(&self, request: &Json, id: &Json, seq: u64) -> Option<Handled> {
+        let m = self.server.metrics();
+        m.add("serve.requests", 1);
+        m.gauge_add("serve.in_flight", 1);
+        let refuse = |handled: Handled| {
+            m.add("serve.errors", 1);
+            m.gauge_add("serve.in_flight", -1);
+            Some(handled)
+        };
+        let tenant = request
+            .get("tenant")
+            .and_then(Json::as_str)
+            .unwrap_or("anon")
+            .to_string();
+        let received = Instant::now();
+        let (artifact, cache_state) = match self.server.artifact_for(request, id) {
+            Ok(pair) => pair,
+            Err(e) => return refuse(self.server.error(id.clone(), &e)),
+        };
+        self.server.mirror_cache_stats();
+        let fault = if self.server.config.allow_chaos_faults {
+            request
+                .get("chaos")
+                .and_then(|c| c.get("panic_at_slice"))
+                .and_then(Json::as_i64)
+                .map(|n| JobFault::PanicAtSlice(n.max(0) as u64))
+        } else {
+            None
+        };
+        let spec = JobSpec {
+            tenant: tenant.clone(),
+            program: ProgramRef::Artifact(artifact.clone()),
+            quota: self.run_quota(request),
+            fault,
+        };
+        // Hold the pending lock across submit so the completion
+        // forwarder cannot observe the job finishing before its context
+        // is registered.
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        match self.sched.submit(spec) {
+            Ok(job_seq) => {
+                pending.insert(
+                    job_seq,
+                    PendingRun {
+                        seq,
+                        id: id.clone(),
+                        cache_state,
+                        artifact,
+                        tenant,
+                        received,
+                    },
+                );
+                None
+            }
+            Err(e) => {
+                drop(pending);
+                m.add("serve.shed_total", 1);
+                let msg = match &e {
+                    crate::sched::SubmitError::Overloaded { live } => {
+                        format!("scheduler queue is full ({live} jobs live)")
+                    }
+                    crate::sched::SubmitError::TenantBusy { active } => format!(
+                        "tenant `{tenant}` is at its concurrency quota ({active} in flight)"
+                    ),
+                    crate::sched::SubmitError::Draining => "server is draining".to_string(),
+                };
+                refuse(self.server.error_typed(id.clone(), e.name(), &msg))
+            }
+        }
+    }
+
+    /// Converts scheduler completions into ordered responses with
+    /// per-tenant accounting. Runs until the scheduler is sealed.
+    fn forward_completions(&self, rx: Receiver<Completion>, tx: &Sender<Emit>) {
+        for c in rx {
+            let ctx = self
+                .pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&c.seq);
+            let Some(ctx) = ctx else {
+                self.server.metrics().add("serve.orphan_completions", 1);
+                continue;
+            };
+            let m = self.server.metrics();
+            let (mut response, ok) = match (c.verdict, c.result) {
+                (Verdict::Done, Some(result)) => {
+                    let payload = run_payload(&result, &ctx.artifact.outcome);
+                    (
+                        self.server
+                            .envelope(ctx.id, "run", ctx.cache_state, payload),
+                        true,
+                    )
+                }
+                (Verdict::Done, None) => (
+                    self.server
+                        .error(ctx.id, "internal: completed run lost its result")
+                        .response,
+                    false,
+                ),
+                (Verdict::Quota(kind), _) => {
+                    m.add("serve.quota_kills_total", 1);
+                    (
+                        self.server
+                            .error_typed(
+                                ctx.id,
+                                "quota-exceeded",
+                                &format!(
+                                    "tenant `{}` exceeded its {} quota",
+                                    ctx.tenant,
+                                    kind.name()
+                                ),
+                            )
+                            .response,
+                        false,
+                    )
+                }
+                (Verdict::RuntimeError(e), _) => (
+                    self.server
+                        .error(ctx.id, &format!("runtime error: {e}"))
+                        .response,
+                    false,
+                ),
+                (Verdict::Panicked(msg), _) => (
+                    self.server
+                        .error_typed(
+                            ctx.id,
+                            "panic",
+                            &format!("contained panic during execution: {msg}"),
+                        )
+                        .response,
+                    false,
+                ),
+                (Verdict::Shed, _) => {
+                    m.add("serve.shed_total", 1);
+                    (
+                        self.server
+                            .error_typed(ctx.id, "shedding", "cancelled by shutdown drain")
+                            .response,
+                        false,
+                    )
+                }
+            };
+            let wall_ns = ctx.received.elapsed().as_nanos();
+            patch_wall(
+                &mut response,
+                (wall_ns / 1_000).min(u128::from(u64::MAX)) as u64,
+            );
+            m.observe_ns("serve.execute_ns", c.run_time.as_nanos());
+            if !ok {
+                m.add("serve.errors", 1);
+            }
+            m.gauge_add("serve.in_flight", -1);
+            self.server.observe_total(ctx.cache_state, wall_ns);
+            self.server.mirror_cache_stats();
+            if let Some(path) = &self.server.config.metrics_out {
+                let _ = std::fs::write(path, format!("{}\n", m.to_json()));
+            }
+            let _ = tx.send(Emit::Response {
+                seq: ctx.seq,
+                response,
+            });
+        }
+    }
+
+    /// Emits responses in request order (a reorder buffer over the
+    /// out-of-order completion stream). On a client hangup, keeps
+    /// consuming so the pump can drain, but cancels scheduled work.
+    fn writer_loop<W: Write>(&self, rx: Receiver<Emit>, output: &mut W) {
+        let mut next = 0u64;
+        let mut hold: BTreeMap<u64, Json> = BTreeMap::new();
+        let mut hungup = false;
+        for emit in rx {
+            let (seq, response) = match emit {
+                Emit::Done => break,
+                Emit::Response { seq, response } => (seq, response),
+                Emit::Shed { seq, kind, message } => {
+                    let m = self.server.metrics();
+                    if kind == "request-too-large" {
+                        m.add("serve.requests", 1);
+                        m.add("serve.errors", 1);
+                    } else {
+                        m.add("serve.shed_total", 1);
+                    }
+                    (
+                        seq,
+                        self.server.error_typed(Json::Null, kind, &message).response,
+                    )
+                }
+            };
+            hold.insert(seq, response);
+            while let Some(resp) = hold.remove(&next) {
+                next += 1;
+                if hungup {
+                    continue;
+                }
+                if writeln!(output, "{resp}")
+                    .and_then(|()| output.flush())
+                    .is_err()
+                {
+                    // Client hung up: no one is left to serve. Cancel
+                    // queued work and let the pump drain.
+                    hungup = true;
+                    self.start_drain();
+                    self.sched.begin_drain();
+                }
+            }
+        }
+        // Best-effort flush of any out-of-order stragglers.
+        if !hungup {
+            for (_, resp) in hold {
+                let _ = writeln!(output, "{resp}").and_then(|()| output.flush());
+            }
+        }
+    }
+}
+
+/// Reads request lines with a hard length bound and feeds the pump.
+/// Detached from the serve scopes: a client that sends `shutdown` without
+/// closing stdin leaves this thread blocked in `read`, and the server
+/// must still exit cleanly.
+fn reader_loop<R: BufRead>(mut input: R, pump: Arc<Pump>, tx: Sender<Emit>) {
+    let mut seq = 0u64;
+    loop {
+        if pump.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_bounded_line(&mut input, pump.max_line_bytes) {
+            Err(e) => {
+                eprintln!("oic serve: stdin error: {e}");
+                pump.input_error.store(true, Ordering::SeqCst);
+                break;
+            }
+            Ok(None) => break,
+            Ok(Some(BoundedLine::TooLong)) => {
+                let _ = tx.send(Emit::Shed {
+                    seq,
+                    kind: "request-too-large",
+                    message: format!(
+                        "request line exceeds --max-line-bytes ({} bytes)",
+                        pump.max_line_bytes
+                    ),
+                });
+                seq += 1;
+            }
+            Ok(Some(BoundedLine::Full(line))) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let mut q = pump.lockq();
+                if pump.draining.load(Ordering::SeqCst) {
+                    drop(q);
+                    let _ = tx.send(Emit::Shed {
+                        seq,
+                        kind: "shedding",
+                        message: "server is draining".to_string(),
+                    });
+                } else if q.q.len() >= pump.cap {
+                    drop(q);
+                    let _ = tx.send(Emit::Shed {
+                        seq,
+                        kind: "overloaded",
+                        message: format!("request queue is full ({} queued)", pump.cap),
+                    });
+                } else {
+                    q.q.push_back(QueuedReq {
+                        seq,
+                        line,
+                        at: Instant::now(),
+                    });
+                    drop(q);
+                    pump.cv.notify_one();
+                }
+                seq += 1;
+            }
+        }
+    }
+    pump.reader_done.store(true, Ordering::SeqCst);
+    pump.cv.notify_all();
+}
+
+/// One bounded line of input.
+enum BoundedLine {
+    /// A complete line (newline stripped), within the bound.
+    Full(String),
+    /// The line exceeded the bound; its bytes were discarded, the stream
+    /// is positioned after its newline.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than `max`
+/// bytes: an over-long line is discarded as it streams past and reported
+/// as [`BoundedLine::TooLong`]. `Ok(None)` is end of input.
+fn read_bounded_line<R: BufRead>(
+    input: &mut R,
+    max: usize,
+) -> std::io::Result<Option<BoundedLine>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut too_long = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(match (buf.is_empty(), too_long) {
+                (true, false) => None,
+                (_, true) => Some(BoundedLine::TooLong),
+                _ => Some(BoundedLine::Full(finish_line(buf))),
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if !too_long {
+                    buf.extend_from_slice(&chunk[..i]);
+                    if buf.len() > max {
+                        too_long = true;
+                    }
+                }
+                input.consume(i + 1);
+                return Ok(Some(if too_long {
+                    BoundedLine::TooLong
+                } else {
+                    BoundedLine::Full(finish_line(buf))
+                }));
+            }
+            None => {
+                let len = chunk.len();
+                if !too_long {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > max {
+                        too_long = true;
+                        buf = Vec::new();
+                    }
+                }
+                input.consume(len);
+            }
+        }
+    }
+}
+
+fn finish_line(mut bytes: Vec<u8>) -> String {
+    if bytes.last() == Some(&b'\r') {
+        bytes.pop();
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Overwrites the `wall_us` field of a response, when present.
+fn patch_wall(response: &mut Json, wall_us: u64) {
+    if let Json::Obj(fields) = response {
+        for (k, v) in fields.iter_mut() {
+            if k == "wall_us" {
+                *v = Json::from(wall_us);
+            }
+        }
+    }
+}
+
+/// Runs the full serve pipeline over `input`/`output`: bounded admission,
+/// `--jobs` pump workers interleaving request starts with fuel slices of
+/// scheduled `run` executions, ordered responses, graceful drain on
+/// `shutdown`/EOF/hangup. Returns the process exit code.
+pub fn run_serve<R, W>(server: &Server, input: R, output: &mut W) -> u8
+where
+    R: BufRead + Send + 'static,
+    W: Write + Send,
+{
+    let cfg = &server.config;
+    let pump = Arc::new(Pump::new(cfg.queue, cfg.max_line_bytes));
+    let (emit_tx, emit_rx) = mpsc::channel::<Emit>();
+    let (comp_tx, comp_rx) = mpsc::channel::<Completion>();
+    let serve_loop = ServeLoop {
+        server,
+        sched: Scheduler::new(
+            SchedConfig {
+                fuel_slice: cfg.fuel_slice.max(1),
+                max_queue: cfg.queue.max(1),
+            },
+            comp_tx,
+        ),
+        pending: Mutex::new(HashMap::new()),
+        pump: Arc::clone(&pump),
+    };
+    let reader_tx = emit_tx.clone();
+    let reader_pump = Arc::clone(&pump);
+    std::thread::spawn(move || reader_loop(input, reader_pump, reader_tx));
+    std::thread::scope(|outer| {
+        let serve_loop = &serve_loop;
+        let writer = outer.spawn(move || serve_loop.writer_loop(emit_rx, output));
+        std::thread::scope(|inner| {
+            for _ in 0..cfg.jobs.max(1) {
+                let tx = emit_tx.clone();
+                inner.spawn(move || serve_loop.worker(&tx));
+            }
+            let ftx = emit_tx.clone();
+            inner.spawn(move || serve_loop.forward_completions(comp_rx, &ftx));
+        });
+        // All response producers have finished; release the writer.
+        let _ = emit_tx.send(Emit::Done);
+        let _ = writer;
+    });
+    u8::from(pump.input_error.load(Ordering::SeqCst))
+}
+
 const USAGE: &str = "usage: oic serve [--cache-bytes N] [--max-rounds N] [--deadline-ms N] \
-     [--metrics-out FILE] [--trace[=MODE]]\n\
+     [--metrics-out FILE] [--jobs N] [--queue N] [--fuel-slice N] [--max-line-bytes N] \
+     [--max-instructions N] [--max-heap-words N] [--max-depth N] [--tenant-concurrent N] \
+     [--run-deadline-ms N] [--trace[=MODE]]\n\
      \n\
      Long-lived compile server: one JSON request per stdin line, one JSON\n\
      response per stdout line (`oi.serve.v1`). Ops: compile (default), run,\n\
      stats, shutdown. Compiles are cached content-addressed under an LRU\n\
-     byte budget (--cache-bytes, default 64 MiB).";
+     byte budget (--cache-bytes, default 64 MiB). Requests flow through a\n\
+     bounded queue (--queue, shed with ok:false `overloaded` when full) and\n\
+     `run` execution is fuel-sliced (--fuel-slice) and fairly scheduled\n\
+     across tenants (request field `tenant`), each boxed by per-request\n\
+     quotas (--max-instructions / --max-heap-words / --max-depth /\n\
+     --tenant-concurrent / --run-deadline-ms).";
 
 fn usage_error(msg: &str) -> u8 {
     eprintln!("oic serve: {msg}\n\n{USAGE}");
@@ -432,6 +1143,42 @@ pub fn cli_main(args: &[String]) -> u8 {
                     Ok(path) if !path.is_empty() => config.metrics_out = Some(path),
                     _ => return usage_error("`--metrics-out` needs a file path"),
                 },
+                "jobs" => match flag_u64(&mut scanner, "--jobs") {
+                    Ok(n) => config.jobs = n as usize,
+                    Err(e) => return usage_error(&e),
+                },
+                "queue" => match flag_u64(&mut scanner, "--queue") {
+                    Ok(n) => config.queue = n as usize,
+                    Err(e) => return usage_error(&e),
+                },
+                "fuel-slice" => match flag_u64(&mut scanner, "--fuel-slice") {
+                    Ok(n) => config.fuel_slice = n,
+                    Err(e) => return usage_error(&e),
+                },
+                "max-line-bytes" => match flag_u64(&mut scanner, "--max-line-bytes") {
+                    Ok(n) => config.max_line_bytes = n as usize,
+                    Err(e) => return usage_error(&e),
+                },
+                "max-instructions" => match flag_u64(&mut scanner, "--max-instructions") {
+                    Ok(n) => config.max_instructions = Some(n),
+                    Err(e) => return usage_error(&e),
+                },
+                "max-heap-words" => match flag_u64(&mut scanner, "--max-heap-words") {
+                    Ok(n) => config.max_heap_words = Some(n),
+                    Err(e) => return usage_error(&e),
+                },
+                "max-depth" => match flag_u64(&mut scanner, "--max-depth") {
+                    Ok(n) => config.max_depth = Some(n as usize),
+                    Err(e) => return usage_error(&e),
+                },
+                "tenant-concurrent" => match flag_u64(&mut scanner, "--tenant-concurrent") {
+                    Ok(n) => config.tenant_concurrent = n as usize,
+                    Err(e) => return usage_error(&e),
+                },
+                "run-deadline-ms" => match flag_u64(&mut scanner, "--run-deadline-ms") {
+                    Ok(n) => config.run_deadline_ms = Some(n),
+                    Err(e) => return usage_error(&e),
+                },
                 "trace" => trace_flag = Some(TraceMode::Text),
                 _ => return usage_error(&format!("unknown flag `--{name}`")),
             },
@@ -461,40 +1208,11 @@ pub fn cli_main(args: &[String]) -> u8 {
     let _guard = trace::install(tracer);
 
     let server = Server::new(config);
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("oic serve: stdin error: {e}");
-                return 1;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (handled, wall) = time_once(|| server.handle_line(&line));
-        let cache_state = handled
-            .response
-            .get("cache")
-            .and_then(Json::as_str)
-            .unwrap_or("none")
-            .to_string();
-        server.observe_total(&cache_state, wall.median);
-        if writeln!(out, "{}", handled.response)
-            .and_then(|()| out.flush())
-            .is_err()
-        {
-            // Client hung up; there is no one left to serve.
-            return 0;
-        }
-        if handled.shutdown {
-            break;
-        }
-    }
-    0
+    // Stdin/Stdout (not their locks) are Send, which the pump's reader
+    // and writer threads require.
+    let input = std::io::BufReader::new(std::io::stdin());
+    let mut out = std::io::stdout();
+    run_serve(&server, input, &mut out)
 }
 
 /// Parses the positive-integer value of `flag`.
@@ -718,5 +1436,198 @@ mod tests {
             Some("oi.metrics.v1")
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A finite but quota-busting loop (never pass a non-terminating
+    /// program through serve: the ladder's firewall runs it empirically).
+    const LONG_SOURCE: &str = "
+        fn main() {
+          var i = 0;
+          var acc = 0;
+          while (i < 50000) { acc = acc + i; i = i + 1; }
+          print acc;
+        }";
+
+    fn run_request(id: u64, source: &str, tenant: &str) -> String {
+        Json::obj(vec![
+            ("id", Json::from(id)),
+            ("op", "run".into()),
+            ("source", source.into()),
+            ("tenant", tenant.into()),
+        ])
+        .to_string()
+    }
+
+    /// Drives a full `run_serve` session over an in-memory transcript and
+    /// returns the parsed response lines, in emission order.
+    fn pump_session(server: &Server, requests: &[String]) -> Vec<Json> {
+        let input = std::io::Cursor::new(requests.join("\n").into_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        let code = run_serve(server, input, &mut out);
+        assert_eq!(code, 0, "serve exit code");
+        String::from_utf8(out)
+            .expect("utf8 output")
+            .lines()
+            .map(|l| Json::parse(l).expect("response json"))
+            .collect()
+    }
+
+    fn output_of(resp: &Json) -> Option<&str> {
+        resp.get("payload")
+            .and_then(|p| p.get("output"))
+            .and_then(Json::as_str)
+    }
+
+    #[test]
+    fn concurrent_pump_preserves_protocol_order_and_results() {
+        let server = Server::new(ServeConfig {
+            jobs: 2,
+            ..ServeConfig::default()
+        });
+        let responses = pump_session(
+            &server,
+            &[
+                request(1, "compile", Some(SOURCE)),
+                request(2, "run", Some(SOURCE)),
+                request(3, "run", Some(SOURCE)),
+                request(4, "stats", None),
+            ],
+        );
+        assert_eq!(responses.len(), 4);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(
+                resp.get("id").and_then(Json::as_i64),
+                Some(i as i64 + 1),
+                "responses must come back in request order: {resp}"
+            );
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "unexpected failure: {resp}"
+            );
+        }
+        assert_eq!(output_of(&responses[1]), Some("20\n"));
+        assert_eq!(output_of(&responses[2]), Some("20\n"));
+        assert_eq!(server.metrics().gauge("serve.in_flight"), 0);
+        assert_eq!(server.metrics().counter("serve.shed_total"), 0);
+        assert!(server.metrics().quantile_ns("serve.queue_wait_ns", 50.0) > 0);
+    }
+
+    #[test]
+    fn request_too_large_is_typed_and_survivable() {
+        let server = Server::new(ServeConfig {
+            max_line_bytes: 1024,
+            ..ServeConfig::default()
+        });
+        let huge = format!("{{\"id\": 1, \"junk\": \"{}\"}}", "x".repeat(4096));
+        let responses = pump_session(&server, &[huge, request(2, "compile", Some(SOURCE))]);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            responses[0].get("error_kind").and_then(Json::as_str),
+            Some("request-too-large")
+        );
+        assert_eq!(
+            responses[1].get("ok").and_then(Json::as_bool),
+            Some(true),
+            "server must survive an oversized line: {}",
+            responses[1]
+        );
+        assert_eq!(server.metrics().counter("serve.errors"), 1);
+    }
+
+    #[test]
+    fn run_quota_kill_names_tenant_and_spares_neighbors() {
+        let server = Server::new(ServeConfig {
+            max_instructions: Some(1_000),
+            ..ServeConfig::default()
+        });
+        let responses = pump_session(
+            &server,
+            &[
+                run_request(1, LONG_SOURCE, "mallory"),
+                run_request(2, "fn main() { print 1 + 1; }", "alice"),
+            ],
+        );
+        assert_eq!(responses.len(), 2);
+        let killed = &responses[0];
+        assert_eq!(killed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            killed.get("error_kind").and_then(Json::as_str),
+            Some("quota-exceeded")
+        );
+        let msg = killed.get("error").and_then(Json::as_str).unwrap();
+        assert!(
+            msg.contains("mallory") && msg.contains("instructions"),
+            "quota kill must name the guilty tenant and quota: {msg}"
+        );
+        assert_eq!(
+            output_of(&responses[1]),
+            Some("2\n"),
+            "neighbor must be unaffected: {}",
+            responses[1]
+        );
+        assert_eq!(server.metrics().counter("serve.quota_kills_total"), 1);
+        assert_eq!(server.metrics().gauge("serve.in_flight"), 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_backpressure() {
+        let server = Server::new(ServeConfig {
+            jobs: 1,
+            queue: 2,
+            ..ServeConfig::default()
+        });
+        let requests: Vec<String> = (0..9)
+            .map(|i| run_request(i + 1, SOURCE, "burst"))
+            .collect();
+        let responses = pump_session(&server, &requests);
+        assert_eq!(responses.len(), 9);
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        for resp in &responses {
+            if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                assert_eq!(output_of(resp), Some("20\n"));
+                served += 1;
+            } else {
+                assert_eq!(
+                    resp.get("error_kind").and_then(Json::as_str),
+                    Some("overloaded"),
+                    "sheds must be typed: {resp}"
+                );
+                shed += 1;
+            }
+        }
+        assert!(served >= 1, "some requests must be served");
+        assert!(shed >= 1, "a 9-deep burst into a 2-deep queue must shed");
+        assert_eq!(server.metrics().counter("serve.shed_total"), shed);
+        assert_eq!(server.metrics().gauge("serve.in_flight"), 0);
+    }
+
+    #[test]
+    fn drain_on_shutdown_finishes_in_flight_runs() {
+        let server = Server::new(ServeConfig {
+            jobs: 1,
+            fuel_slice: 100,
+            ..ServeConfig::default()
+        });
+        let responses = pump_session(
+            &server,
+            &[
+                run_request(1, SOURCE, "steady"),
+                request(2, "shutdown", None),
+            ],
+        );
+        assert_eq!(responses.len(), 2);
+        assert_eq!(
+            responses[0].get("ok").and_then(Json::as_bool),
+            Some(true),
+            "an admitted run must finish during drain: {}",
+            responses[0]
+        );
+        assert_eq!(output_of(&responses[0]), Some("20\n"));
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(server.metrics().counter("serve.shed_total"), 0);
+        assert_eq!(server.metrics().gauge("serve.in_flight"), 0);
     }
 }

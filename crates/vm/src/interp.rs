@@ -8,8 +8,8 @@ use crate::metrics::Metrics;
 use crate::sanitizer::{CheckLevel, Sanitizer, SanitizerReport};
 use crate::value::{ObjId, Value};
 use oi_ir::{
-    ArrayLayoutKind, BinOp, Builtin, ClassId, ConstValue, Instr, LayoutId, MethodId, Program,
-    SiteId, Temp, Terminator, UnOp,
+    ArrayLayoutKind, BinOp, BlockId, Builtin, ClassId, ConstValue, Instr, LayoutId, MethodId,
+    Program, SiteId, Temp, Terminator, UnOp,
 };
 use oi_support::Symbol;
 use std::collections::HashMap;
@@ -198,40 +198,147 @@ impl HeapCensusReport {
 /// method/field, bad index, type confusion) or when a configured limit is
 /// exceeded.
 pub fn run(program: &Program, config: &VmConfig) -> Result<RunResult, VmError> {
-    let mut vm = Vm::new(program, config);
-    let entry = program.entry;
-    vm.call(entry, Value::Nil, &[])?;
-    let mut census: Vec<(String, u64)> = Vec::new();
-    for (c, &n) in vm.alloc_census.iter().enumerate() {
-        if n > 0 {
-            let name = program
-                .interner
-                .resolve(program.classes[oi_ir::ClassId::new(c)].name)
-                .to_owned();
-            census.push((name, n));
+    let mut session = VmSession::new(program, config)?;
+    match session.run_fuel(program, u64::MAX) {
+        FuelOutcome::Done { result, .. } => Ok(*result),
+        FuelOutcome::Trapped { error, .. } => Err(error),
+        // `run_fuel(u64::MAX)` meters against the remaining instruction
+        // budget only, so the slice cannot end before the program does.
+        FuelOutcome::Yielded { .. } => Err(VmError::Internal {
+            context: "unbounded fuel slice yielded".to_owned(),
+        }),
+    }
+}
+
+/// Progress of one fuel slice (see [`VmSession::run_fuel`]).
+#[derive(Debug)]
+pub enum FuelOutcome {
+    /// The fuel slice was exhausted with work remaining; resume with
+    /// another [`VmSession::run_fuel`] call.
+    Yielded {
+        /// Instructions executed during this slice.
+        fuel_spent: u64,
+    },
+    /// The program ran to completion during this slice.
+    Done {
+        /// Instructions executed during this slice.
+        fuel_spent: u64,
+        /// The completed run, identical to what [`run`] returns.
+        result: Box<RunResult>,
+    },
+    /// The program failed during this slice; the session is finished.
+    /// Resource-limit errors ([`VmError::is_resource_limit`]) are the
+    /// typed quota-exceeded terminations a scheduler acts on.
+    Trapped {
+        /// Instructions executed during this slice.
+        fuel_spent: u64,
+        /// The failure, identical to what [`run`] returns.
+        error: VmError,
+    },
+}
+
+/// A resumable, fuel-metered interpreter session.
+///
+/// Owns every piece of interpreter state — the explicit frame stack, heap,
+/// cache simulation and counters — so execution can suspend between any
+/// two instructions and resume later: the substrate for preemptive
+/// multi-tenant scheduling. The program is passed back in on every slice
+/// (the session holds no borrows while suspended); it must be the same
+/// object the session was created over, enforced by address.
+///
+/// Metering costs nothing beyond the interpreter's pre-existing
+/// instruction-budget checkpoint: each dispatch decrements one fused
+/// counter seeded with `min(slice, remaining max_instructions)`, so an
+/// unmetered [`run`] — a single `u64::MAX` slice — performs identical
+/// per-instruction work.
+pub struct VmSession {
+    /// Owned interpreter state; `None` once finished (done or trapped).
+    state: Option<VmState>,
+    config: VmConfig,
+    /// Address of the program this session was created over.
+    program_tag: usize,
+    /// Instructions executed across all slices so far.
+    executed: u64,
+}
+
+impl VmSession {
+    /// Creates a suspended session positioned at `program`'s entry point.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the entry frame itself violates a limit (a `max_depth`
+    /// of zero) or the entry method's frame shape is malformed.
+    pub fn new(program: &Program, config: &VmConfig) -> Result<Self, VmError> {
+        let mut vm = Vm::new(program, config);
+        vm.push_frame(program.entry, Value::Nil, &[], None)?;
+        Ok(VmSession {
+            state: Some(vm.into_state()),
+            config: *config,
+            program_tag: program as *const Program as usize,
+            executed: 0,
+        })
+    }
+
+    /// Runs at most `fuel` instructions, suspending the session when the
+    /// slice is exhausted. Never panics on misuse: resuming a finished
+    /// session or passing a different program traps with
+    /// [`VmError::Internal`].
+    pub fn run_fuel(&mut self, program: &Program, fuel: u64) -> FuelOutcome {
+        if program as *const Program as usize != self.program_tag {
+            return FuelOutcome::Trapped {
+                fuel_spent: 0,
+                error: VmError::Internal {
+                    context: "session resumed against a different program".to_owned(),
+                },
+            };
+        }
+        let Some(state) = self.state.take() else {
+            return FuelOutcome::Trapped {
+                fuel_spent: 0,
+                error: VmError::Internal {
+                    context: "fuel slice on a finished session".to_owned(),
+                },
+            };
+        };
+        let budget = state.instr_budget;
+        let mut quota = fuel.min(budget);
+        let before = state.metrics.instructions;
+        let mut vm = Vm::from_state(program, &self.config, state);
+        let end = vm.drive(&mut quota);
+        let fuel_spent = vm.metrics.instructions - before;
+        vm.instr_budget = budget - fuel_spent;
+        self.executed += fuel_spent;
+        match end {
+            Ok(StepEnd::Done) => FuelOutcome::Done {
+                fuel_spent,
+                result: Box::new(vm.finish()),
+            },
+            Ok(StepEnd::OutOfFuel) => {
+                if vm.instr_budget == 0 {
+                    FuelOutcome::Trapped {
+                        fuel_spent,
+                        error: VmError::InstructionLimit,
+                    }
+                } else {
+                    self.state = Some(vm.into_state());
+                    FuelOutcome::Yielded { fuel_spent }
+                }
+            }
+            Err(error) => FuelOutcome::Trapped { fuel_spent, error },
         }
     }
-    if vm.array_census > 0 {
-        census.push(("<array>".to_owned(), vm.array_census));
+
+    /// Total instructions executed across every slice so far — the
+    /// VM-side half of a scheduler's fuel reconciliation. Valid in every
+    /// state, including after a trap.
+    pub fn instructions_executed(&self) -> u64 {
+        self.executed
     }
-    if vm.inline_array_census > 0 {
-        census.push(("<array-inline>".to_owned(), vm.inline_array_census));
+
+    /// Whether the session has finished (done or trapped).
+    pub fn is_finished(&self) -> bool {
+        self.state.is_none()
     }
-    census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    let profile = vm
-        .profile
-        .take()
-        .map(|state| build_profile(program, &state));
-    let heap_census = HeapCensusReport::resolve(&vm.heap.census(), program);
-    let sanitizer = vm.sanitizer.take().map(Sanitizer::into_report);
-    Ok(RunResult {
-        output: vm.output,
-        metrics: vm.metrics,
-        allocation_census: census,
-        heap_census,
-        profile,
-        sanitizer,
-    })
 }
 
 /// Folds raw per-index counters into a hottest-first [`crate::profile::Profile`],
@@ -446,6 +553,67 @@ pub(crate) struct ResolvedLayout {
     pub(crate) repr: Repr,
 }
 
+/// One activation record on the explicit call stack. Frames replace host
+/// recursion so the interpreter can suspend mid-call-stack: a parked frame
+/// holds plain ids and owned values, never borrows.
+struct Frame {
+    method: MethodId,
+    /// Block the frame is executing.
+    bb: BlockId,
+    /// Index of the next instruction to dispatch within `bb`.
+    ip: usize,
+    locals: Vec<Value>,
+    /// Caller temp receiving the return value (`None` discards it — the
+    /// implicit constructor call from `New`, and the entry frame).
+    ret: Option<Temp>,
+}
+
+/// What a dispatched instruction asked the drive loop to do next.
+enum Flow {
+    /// Fall through to the next instruction.
+    Continue,
+    /// Push a callee frame; the current frame resumes after it returns.
+    Call {
+        method: MethodId,
+        recv: Value,
+        argv: Vec<Value>,
+        ret: Option<Temp>,
+    },
+}
+
+/// Why [`Vm::drive`] stopped without an error.
+enum StepEnd {
+    /// Frame stack drained: the program completed.
+    Done,
+    /// Quota hit zero with frames still live.
+    OutOfFuel,
+}
+
+/// The owned half of the interpreter — everything except the borrowed
+/// program and config — parked between fuel slices. Field-for-field the
+/// owned fields of [`Vm`]; conversion is a move in each direction.
+struct VmState {
+    heap: Heap,
+    cache: CacheSim,
+    metrics: Metrics,
+    output: String,
+    globals: Vec<Value>,
+    field_slots: Vec<HashMap<Symbol, usize>>,
+    class_sizes: Vec<usize>,
+    layouts: Vec<ResolvedLayout>,
+    compose_cache: HashMap<(u32, u32), u32>,
+    frames: Vec<Frame>,
+    instr_budget: u64,
+    init_sym: Option<Symbol>,
+    alloc_census: Vec<u64>,
+    array_census: u64,
+    inline_array_census: u64,
+    profile: Option<ProfileState>,
+    sanitizer: Option<Sanitizer>,
+    mstack: Vec<MethodId>,
+    cur_op: usize,
+}
+
 struct Vm<'p> {
     program: &'p Program,
     config: &'p VmConfig,
@@ -462,7 +630,8 @@ struct Vm<'p> {
     /// program table, later entries are runtime-composed.
     layouts: Vec<ResolvedLayout>,
     compose_cache: HashMap<(u32, u32), u32>,
-    depth: usize,
+    /// Explicit call stack; its length is the interpreter call depth.
+    frames: Vec<Frame>,
     instr_budget: u64,
     init_sym: Option<Symbol>,
     alloc_census: Vec<u64>,
@@ -529,7 +698,7 @@ impl<'p> Vm<'p> {
             class_sizes,
             layouts,
             compose_cache: HashMap::new(),
-            depth: 0,
+            frames: Vec::new(),
             instr_budget: config.max_instructions,
             init_sym: program.interner.get("init"),
             alloc_census: vec![0; program.classes.len()],
@@ -548,6 +717,98 @@ impl<'p> Vm<'p> {
             sanitizer: Sanitizer::new(config.checked),
             mstack: Vec::new(),
             cur_op: OP_OTHER,
+        }
+    }
+
+    // -- suspend / resume ---------------------------------------------------
+
+    /// Rehydrates an interpreter over parked state. Every field move is a
+    /// pointer-sized copy, so a resume costs nothing proportional to heap
+    /// or stack size.
+    fn from_state(program: &'p Program, config: &'p VmConfig, st: VmState) -> Self {
+        Vm {
+            program,
+            config,
+            heap: st.heap,
+            cache: st.cache,
+            metrics: st.metrics,
+            output: st.output,
+            globals: st.globals,
+            field_slots: st.field_slots,
+            class_sizes: st.class_sizes,
+            layouts: st.layouts,
+            compose_cache: st.compose_cache,
+            frames: st.frames,
+            instr_budget: st.instr_budget,
+            init_sym: st.init_sym,
+            alloc_census: st.alloc_census,
+            array_census: st.array_census,
+            inline_array_census: st.inline_array_census,
+            profile: st.profile,
+            sanitizer: st.sanitizer,
+            mstack: st.mstack,
+            cur_op: st.cur_op,
+        }
+    }
+
+    /// Parks the interpreter's owned state, dropping the program borrow.
+    fn into_state(self) -> VmState {
+        VmState {
+            heap: self.heap,
+            cache: self.cache,
+            metrics: self.metrics,
+            output: self.output,
+            globals: self.globals,
+            field_slots: self.field_slots,
+            class_sizes: self.class_sizes,
+            layouts: self.layouts,
+            compose_cache: self.compose_cache,
+            frames: self.frames,
+            instr_budget: self.instr_budget,
+            init_sym: self.init_sym,
+            alloc_census: self.alloc_census,
+            array_census: self.array_census,
+            inline_array_census: self.inline_array_census,
+            profile: self.profile,
+            sanitizer: self.sanitizer,
+            mstack: self.mstack,
+            cur_op: self.cur_op,
+        }
+    }
+
+    /// Consumes a completed interpreter into its [`RunResult`].
+    fn finish(mut self) -> RunResult {
+        let program = self.program;
+        let mut census: Vec<(String, u64)> = Vec::new();
+        for (c, &n) in self.alloc_census.iter().enumerate() {
+            if n > 0 {
+                let name = program
+                    .interner
+                    .resolve(program.classes[oi_ir::ClassId::new(c)].name)
+                    .to_owned();
+                census.push((name, n));
+            }
+        }
+        if self.array_census > 0 {
+            census.push(("<array>".to_owned(), self.array_census));
+        }
+        if self.inline_array_census > 0 {
+            census.push(("<array-inline>".to_owned(), self.inline_array_census));
+        }
+        census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let profile = self
+            .profile
+            .take()
+            .map(|state| build_profile(program, &state));
+        let heap_census = HeapCensusReport::resolve(&self.heap.census(), program);
+        let sanitizer = self.sanitizer.take().map(Sanitizer::into_report);
+        RunResult {
+            output: self.output,
+            metrics: self.metrics,
+            allocation_census: census,
+            heap_census,
+            profile,
+            sanitizer,
         }
     }
 
@@ -993,16 +1254,42 @@ impl<'p> Vm<'p> {
 
     // -- calls ----------------------------------------------------------------
 
-    fn call(&mut self, method: MethodId, recv: Value, args: &[Value]) -> Result<Value, VmError> {
-        if self.depth >= self.config.max_depth {
+    /// Pushes a callee activation record: the limit check, profiling and
+    /// sanitizer entry hooks formerly spread across the recursive
+    /// `call`/`run_frame` pair. `max_depth` is enforced here — the single
+    /// frame-push site — as a typed [`VmError::StackOverflow`], and the
+    /// explicit stack means a hostile guest can never exhaust the host
+    /// thread's stack.
+    fn push_frame(
+        &mut self,
+        method: MethodId,
+        recv: Value,
+        args: &[Value],
+        ret: Option<Temp>,
+    ) -> Result<(), VmError> {
+        if self.frames.len() >= self.config.max_depth {
             return Err(VmError::StackOverflow);
         }
-        self.depth += 1;
+        let m = &self.program.methods[method];
+        debug_assert_eq!(args.len(), m.param_count as usize);
+        let mut locals = vec![Value::Nil; m.temp_count as usize];
+        // Verified IR guarantees `temp_count >= params + self`; unverified
+        // IR must not be able to panic the host.
+        if locals.len() < args.len() + 1 {
+            return Err(VmError::Internal {
+                context: format!(
+                    "frame of {} temp(s) cannot hold self plus {} argument(s)",
+                    locals.len(),
+                    args.len()
+                ),
+            });
+        }
+        locals[0] = recv;
+        locals[1..=args.len()].copy_from_slice(args);
         if let Some(p) = &mut self.profile {
             p.method_calls[method.index()] += 1;
         }
-        let track = self.profile.is_some() || self.sanitizer.is_some();
-        if track {
+        if self.profile.is_some() || self.sanitizer.is_some() {
             self.mstack.push(method);
         }
         // A child constructor starting on an interior receiver marks its
@@ -1024,86 +1311,126 @@ impl<'p> Vm<'p> {
                 }
             }
         }
-        let result = self.run_frame(method, recv, args);
-        if track {
-            self.mstack.pop();
-        }
-        self.depth -= 1;
-        result
+        self.frames.push(Frame {
+            method,
+            bb: m.entry(),
+            ip: 0,
+            locals,
+            ret,
+        });
+        Ok(())
     }
 
-    fn run_frame(
-        &mut self,
-        method_id: MethodId,
-        recv: Value,
-        args: &[Value],
-    ) -> Result<Value, VmError> {
-        let method = &self.program.methods[method_id];
-        debug_assert_eq!(args.len(), method.param_count as usize);
-        let mut locals = vec![Value::Nil; method.temp_count as usize];
-        // Verified IR guarantees `temp_count >= params + self`; unverified
-        // IR must not be able to panic the host.
-        if locals.len() < args.len() + 1 {
-            return Err(VmError::Internal {
-                context: format!(
-                    "frame of {} temp(s) cannot hold self plus {} argument(s)",
-                    locals.len(),
-                    args.len()
-                ),
-            });
-        }
-        locals[0] = recv;
-        locals[1..=args.len()].copy_from_slice(args);
-
-        let mut bb = method.entry();
-        loop {
-            let block = &method.blocks[bb];
-            for instr in &block.instrs {
-                if self.instr_budget == 0 {
-                    return Err(VmError::InstructionLimit);
-                }
-                self.instr_budget -= 1;
-                self.metrics.instructions += 1;
-                if self.config.test_spin_per_instr > 0 {
-                    for i in 0..self.config.test_spin_per_instr {
-                        std::hint::black_box(i);
+    /// Drives the frame stack until the program finishes, traps, or
+    /// `quota` instructions have been dispatched.
+    ///
+    /// This loop is the single fuel/limit checkpoint: every dispatch
+    /// decrements `quota` exactly once (the caller fuses the fuel slice
+    /// with the remaining `max_instructions` budget), `max_depth` is
+    /// enforced at the one frame-push site and `max_heap_words` at the one
+    /// allocation site — there are no other limit branches.
+    fn drive(&mut self, quota: &mut u64) -> Result<StepEnd, VmError> {
+        'outer: while !self.frames.is_empty() {
+            let top = self.frames.len() - 1;
+            let (mid, mut bb, mut ip) = {
+                let f = &self.frames[top];
+                (f.method, f.bb, f.ip)
+            };
+            // Locals move out of the parked frame for the duration of the
+            // activation so dispatch can borrow them alongside `self`.
+            let mut locals = std::mem::take(&mut self.frames[top].locals);
+            let method = &self.program.methods[mid];
+            loop {
+                let block = &method.blocks[bb];
+                while ip < block.instrs.len() {
+                    if *quota == 0 {
+                        let f = &mut self.frames[top];
+                        f.bb = bb;
+                        f.ip = ip;
+                        f.locals = locals;
+                        return Ok(StepEnd::OutOfFuel);
+                    }
+                    *quota -= 1;
+                    self.metrics.instructions += 1;
+                    if self.config.test_spin_per_instr > 0 {
+                        for i in 0..self.config.test_spin_per_instr {
+                            std::hint::black_box(i);
+                        }
+                    }
+                    let instr = &block.instrs[ip];
+                    if let Some(p) = &mut self.profile {
+                        let op = opcode_index(instr);
+                        p.opcode_counts[op] += 1;
+                        self.cur_op = op;
+                    }
+                    ip += 1;
+                    match self.exec(instr, &mut locals)? {
+                        Flow::Continue => {}
+                        Flow::Call {
+                            method,
+                            recv,
+                            argv,
+                            ret,
+                        } => {
+                            let f = &mut self.frames[top];
+                            f.bb = bb;
+                            f.ip = ip;
+                            f.locals = locals;
+                            self.push_frame(method, recv, &argv, ret)?;
+                            continue 'outer;
+                        }
                     }
                 }
                 if let Some(p) = &mut self.profile {
-                    let op = opcode_index(instr);
-                    p.opcode_counts[op] += 1;
-                    self.cur_op = op;
+                    p.opcode_counts[OP_BRANCH] += 1;
+                    self.cur_op = OP_BRANCH;
                 }
-                self.exec(instr, &mut locals)?;
-            }
-            if let Some(p) = &mut self.profile {
-                p.opcode_counts[OP_BRANCH] += 1;
-                self.cur_op = OP_BRANCH;
-            }
-            self.charge(self.config.cost.branch);
-            match block.term {
-                Terminator::Jump(next) => bb = next,
-                Terminator::Branch {
-                    cond,
-                    then_bb,
-                    else_bb,
-                } => {
-                    let c = self.expect_bool(locals[cond.index()], "branch condition")?;
-                    bb = if c { then_bb } else { else_bb };
-                }
-                Terminator::Return(t) => return Ok(locals[t.index()]),
-                Terminator::Unterminated => {
-                    // The verifier rejects unterminated reachable blocks;
-                    // reaching one means the program was never verified.
-                    return Err(VmError::Internal {
-                        context: "executed an unterminated block".to_owned(),
-                    });
+                self.charge(self.config.cost.branch);
+                match block.term {
+                    Terminator::Jump(next) => {
+                        bb = next;
+                        ip = 0;
+                    }
+                    Terminator::Branch {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let c = self.expect_bool(locals[cond.index()], "branch condition")?;
+                        bb = if c { then_bb } else { else_bb };
+                        ip = 0;
+                    }
+                    Terminator::Return(t) => {
+                        let v = locals[t.index()];
+                        let ret = self.frames.pop().and_then(|f| f.ret);
+                        if self.profile.is_some() || self.sanitizer.is_some() {
+                            self.mstack.pop();
+                        }
+                        match self.frames.last_mut() {
+                            Some(parent) => {
+                                if let Some(dst) = ret {
+                                    parent.locals[dst.index()] = v;
+                                }
+                            }
+                            None => return Ok(StepEnd::Done),
+                        }
+                        continue 'outer;
+                    }
+                    Terminator::Unterminated => {
+                        // The verifier rejects unterminated reachable
+                        // blocks; reaching one means the program was never
+                        // verified.
+                        return Err(VmError::Internal {
+                            context: "executed an unterminated block".to_owned(),
+                        });
+                    }
                 }
             }
         }
+        Ok(StepEnd::Done)
     }
 
-    fn exec(&mut self, instr: &Instr, locals: &mut [Value]) -> Result<(), VmError> {
+    fn exec(&mut self, instr: &Instr, locals: &mut [Value]) -> Result<Flow, VmError> {
         let get = |t: Temp, locals: &[Value]| locals[t.index()];
         match instr {
             Instr::Const { dst, value } => {
@@ -1144,7 +1471,7 @@ impl<'p> Vm<'p> {
                     // Raw allocations (constructor explosion) call init
                     // explicitly; skip the implicit call.
                     if self.program.methods[init].param_count as usize != args.len() {
-                        return Ok(());
+                        return Ok(Flow::Continue);
                     }
                     let argv: Vec<Value> = args.iter().map(|&a| get(a, locals)).collect();
                     self.metrics.static_calls += 1;
@@ -1152,7 +1479,12 @@ impl<'p> Vm<'p> {
                         self.config.cost.static_call
                             + self.config.cost.call_arg * argv.len() as u64,
                     );
-                    self.call(init, Value::Obj(id), &argv)?;
+                    return Ok(Flow::Call {
+                        method: init,
+                        recv: Value::Obj(id),
+                        argv,
+                        ret: None,
+                    });
                 }
             }
             Instr::NewArray { dst, len, site } => {
@@ -1240,7 +1572,12 @@ impl<'p> Vm<'p> {
                 self.charge(
                     self.config.cost.dyn_dispatch + self.config.cost.call_arg * argv.len() as u64,
                 );
-                locals[dst.index()] = self.call(target, r, &argv)?;
+                return Ok(Flow::Call {
+                    method: target,
+                    recv: r,
+                    argv,
+                    ret: Some(*dst),
+                });
             }
             Instr::CallStatic {
                 dst,
@@ -1254,7 +1591,12 @@ impl<'p> Vm<'p> {
                 self.charge(
                     self.config.cost.static_call + self.config.cost.call_arg * argv.len() as u64,
                 );
-                locals[dst.index()] = self.call(*method, r, &argv)?;
+                return Ok(Flow::Call {
+                    method: *method,
+                    recv: r,
+                    argv,
+                    ret: Some(*dst),
+                });
             }
             Instr::CallBuiltin { dst, builtin, args } => {
                 let argv: Vec<Value> = args.iter().map(|&a| get(a, locals)).collect();
@@ -1341,7 +1683,7 @@ impl<'p> Vm<'p> {
                 self.output.push('\n');
             }
         }
-        Ok(())
+        Ok(Flow::Continue)
     }
 
     // -- arrays ---------------------------------------------------------------
@@ -2085,5 +2427,148 @@ mod census_tests {
         .unwrap();
         assert_eq!(plain.metrics, slowed.metrics);
         assert_eq!(plain.output, slowed.output);
+    }
+
+    /// Drives a session to completion in fixed fuel slices, returning the
+    /// result plus the number of yields and the summed per-slice fuel.
+    fn run_sliced(p: &Program, config: &VmConfig, slice: u64) -> (RunResult, u64, u64) {
+        let mut session = VmSession::new(p, config).unwrap();
+        let (mut yields, mut fuel) = (0u64, 0u64);
+        loop {
+            match session.run_fuel(p, slice) {
+                FuelOutcome::Yielded { fuel_spent } => {
+                    assert!(fuel_spent <= slice);
+                    yields += 1;
+                    fuel += fuel_spent;
+                }
+                FuelOutcome::Done { fuel_spent, result } => {
+                    fuel += fuel_spent;
+                    assert!(session.is_finished());
+                    assert_eq!(session.instructions_executed(), fuel);
+                    return (*result, yields, fuel);
+                }
+                FuelOutcome::Trapped { error, .. } => panic!("trapped: {error}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_slicing_is_observationally_identical_to_one_shot() {
+        let p = compile(
+            "class P { field x; field y;
+               method init(a, b) { self.x = a; self.y = b; }
+               method sum() { return self.x + self.y; } }
+             fn main() {
+               var i = 0; var acc = 0;
+               while (i < 40) { var q = new P(i, i * 2); acc = acc + q.sum(); i = i + 1; }
+               print acc;
+             }",
+        )
+        .unwrap();
+        let config = VmConfig::default();
+        let oneshot = run(&p, &config).unwrap();
+        for slice in [1, 7, 64] {
+            let (sliced, yields, fuel) = run_sliced(&p, &config, slice);
+            assert_eq!(sliced.output, oneshot.output, "slice {slice}");
+            assert_eq!(sliced.metrics, oneshot.metrics, "slice {slice}");
+            assert_eq!(sliced.allocation_census, oneshot.allocation_census);
+            assert_eq!(fuel, oneshot.metrics.instructions, "fuel reconciles");
+            assert!(yields > 0, "slice {slice} should preempt at least once");
+        }
+    }
+
+    #[test]
+    fn fuel_slicing_preserves_checked_and_profiled_runs() {
+        let p = compile(
+            "class P { field x; method init(a) { self.x = a; } }
+             fn main() {
+               var i = 0;
+               while (i < 6) { var q = new P(i); print q.x; i = i + 1; }
+             }",
+        )
+        .unwrap();
+        let config = VmConfig {
+            profile: true,
+            checked: CheckLevel::Full,
+            ..Default::default()
+        };
+        let oneshot = run(&p, &config).unwrap();
+        let (sliced, _, _) = run_sliced(&p, &config, 5);
+        assert_eq!(sliced.metrics, oneshot.metrics);
+        assert_eq!(sliced.output, oneshot.output);
+        let (a, b) = (sliced.sanitizer.unwrap(), oneshot.sanitizer.unwrap());
+        assert_eq!(a.findings.len(), b.findings.len());
+        let (pa, pb) = (sliced.profile.unwrap(), oneshot.profile.unwrap());
+        assert_eq!(pa.methods.len(), pb.methods.len());
+        assert_eq!(pa.opcodes.len(), pb.opcodes.len());
+    }
+
+    #[test]
+    fn fuel_exhaustion_of_hard_budget_traps_typed() {
+        let p = compile("fn main() { var i = 0; while (i >= 0) { i = i + 1; } }").unwrap();
+        let config = VmConfig {
+            max_instructions: 1_000,
+            ..Default::default()
+        };
+        let mut session = VmSession::new(&p, &config).unwrap();
+        let mut fuel = 0;
+        let error = loop {
+            match session.run_fuel(&p, 64) {
+                FuelOutcome::Yielded { fuel_spent } => fuel += fuel_spent,
+                FuelOutcome::Trapped { fuel_spent, error } => {
+                    fuel += fuel_spent;
+                    break error;
+                }
+                FuelOutcome::Done { .. } => panic!("infinite loop finished"),
+            }
+        };
+        assert_eq!(error, VmError::InstructionLimit);
+        assert!(error.is_resource_limit());
+        assert_eq!(fuel, 1_000, "trap lands exactly on the budget");
+        assert_eq!(session.instructions_executed(), 1_000);
+    }
+
+    #[test]
+    fn fuel_session_misuse_traps_instead_of_panicking() {
+        let p = compile("fn main() { print 1; }").unwrap();
+        let config = VmConfig::default();
+        // Resuming a finished session.
+        let mut session = VmSession::new(&p, &config).unwrap();
+        assert!(matches!(
+            session.run_fuel(&p, u64::MAX),
+            FuelOutcome::Done { .. }
+        ));
+        assert!(matches!(
+            session.run_fuel(&p, 1),
+            FuelOutcome::Trapped {
+                error: VmError::Internal { .. },
+                ..
+            }
+        ));
+        // Resuming against a different program.
+        let other = compile("fn main() { print 2; }").unwrap();
+        let mut session = VmSession::new(&p, &config).unwrap();
+        assert!(matches!(
+            session.run_fuel(&other, 1),
+            FuelOutcome::Trapped {
+                error: VmError::Internal { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_fuel_slice_yields_without_progress() {
+        let p = compile("fn main() { print 1; }").unwrap();
+        let config = VmConfig::default();
+        let mut session = VmSession::new(&p, &config).unwrap();
+        match session.run_fuel(&p, 0) {
+            FuelOutcome::Yielded { fuel_spent } => assert_eq!(fuel_spent, 0),
+            other => panic!("expected yield, got {other:?}"),
+        }
+        assert!(matches!(
+            session.run_fuel(&p, u64::MAX),
+            FuelOutcome::Done { .. }
+        ));
     }
 }

@@ -41,7 +41,9 @@ pub use cache::{CacheConfig, CacheSim};
 pub use cost::CostModel;
 pub use error::VmError;
 pub use heap::{CensusBucket, HeapCensus};
-pub use interp::{run, HeapCensusEntry, HeapCensusReport, RunResult, VmConfig};
+pub use interp::{
+    run, FuelOutcome, HeapCensusEntry, HeapCensusReport, RunResult, VmConfig, VmSession,
+};
 pub use metrics::Metrics;
 pub use sanitizer::{CheckLevel, Finding, FindingKind, SanitizerReport};
 pub use value::{ObjId, Value};

@@ -47,15 +47,19 @@ const USAGE: &str =
     report   print per-field inlining decisions with reasons\n\
     explain  print the decision provenance chain for one Class.field\n\
     dump     print the IR (after --inline: the transformed program)\n\
-    bench    benchmark observatory passthrough (oic bench snapshot|compare)\n\
+    bench    benchmark observatory passthrough\n\
+    \x20        (oic bench snapshot|compare|loadgen|tenantload)\n\
     prof     hierarchical profiler: compile-stage self/total times plus\n\
     \x20        baseline-vs-inlined VM profiles (--json | --collapse)\n\
     fuzz     adversarial differential fuzzing (oic fuzz --runs N --seed S)\n\
     batch    panic-isolated fleet compilation (oic batch <dir> --deadline-ms N)\n\
     chaos    systematic fault injection against the detection lattice\n\
+    \x20        (compiler faults plus the service-layer matrix)\n\
     serve    long-lived compile server over a stdin/stdout JSON-lines\n\
-    \x20        protocol with a content-addressed artifact cache\n\
-    \x20        (oic serve --cache-bytes N --metrics-out FILE)\n\
+    \x20        protocol with a content-addressed artifact cache and\n\
+    \x20        fuel-sliced, quota-metered multi-tenant execution\n\
+    \x20        (oic serve --jobs N --queue N --fuel-slice N\n\
+    \x20         --max-instructions N --tenant-concurrent N ...)\n\
     \n\
     --json          machine-readable output (run, compare, report, explain)\n\
     --max-rounds N / --deadline-ms N\n\

@@ -364,7 +364,7 @@ fn bench_passthrough_shares_the_oi_bench_cli() {
     let out = oic().args(["bench", "wat"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr)
-        .contains("unknown command `wat` (snapshot|compare|loadgen)"));
+        .contains("unknown command `wat` (snapshot|compare|loadgen|tenantload)"));
 
     let out = oic().args(["bench", "--help"]).output().unwrap();
     assert_eq!(out.status.code(), Some(0));
