@@ -1,0 +1,23 @@
+use std::sync::{mpsc, Arc};
+#[test]
+fn empty_loop_via_ladder() {
+    let p = oi_ir::lower::compile("fn main() { var c = 0 < 1; while (c) { } }").unwrap();
+    let out = oi_core::ladder::optimize_with_ladder(&p, &Default::default(), &oi_support::Budget::unlimited());
+    let prog = Arc::new(out.optimized.program);
+    let m = &prog.methods[prog.entry];
+    for (i, b) in m.blocks.iter().enumerate() {
+        eprintln!("block {}: {} instrs, term {:?}", i, b.instrs.len(), b.term);
+    }
+    let cfg = oi_vm::VmConfig { max_instructions: 1000, ..Default::default() };
+    let mut sess = oi_vm::VmSession::new(&prog, &cfg).unwrap();
+    let (tx, rx) = mpsc::channel();
+    let p2 = Arc::clone(&prog);
+    std::thread::spawn(move || {
+        let r = sess.run_fuel(&p2, 100);
+        let _ = tx.send(format!("{r:?}"));
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(5)) {
+        Ok(s) => eprintln!("outcome: {s}"),
+        Err(_) => eprintln!("HANG: ladder-optimized program escaped fuel metering"),
+    }
+}
