@@ -78,11 +78,19 @@ echo "==> chaos-smoke (fault-injection matrix vs the detection lattice)"
 # output restored baseline-equal, and zero faults escape. The run also
 # covers the service-layer matrix (request-never-yields,
 # fuel-exhaustion-storm, mid-request-panic) against the multi-tenant
-# scheduler and serve pump; the document must carry all three rows and
-# report zero escapes overall.
+# scheduler and serve pump, and the storage I/O fault matrix (torn
+# writes, bit flips, torn journal tails, version skew, ...) against the
+# persistent artifact tier: every I/O class must be detected and
+# quarantined with zero corrupt artifacts served. The document must
+# carry every row and report zero escapes overall.
 target/release/oic chaos --json --out target/chaos_smoke.json
 grep -q '"service_faults":' target/chaos_smoke.json
 for f in request-never-yields fuel-exhaustion-storm mid-request-panic; do
+    grep -q "\"fault\":\"$f\"" target/chaos_smoke.json
+done
+grep -q '"io_faults":' target/chaos_smoke.json
+for f in torn-write truncated-journal-tail bit-flip-body bit-flip-header \
+         stale-manifest-record enospc-mid-write version-skew; do
     grep -q "\"fault\":\"$f\"" target/chaos_smoke.json
 done
 grep -q '"escaped":0,"ok":true' target/chaos_smoke.json
@@ -131,6 +139,46 @@ target/release/oic bench loadgen --requests 500 --sources 10 --seed 1 \
     --json --out target/loadgen_smoke.json
 grep -q '"schema":"oi.load.v1"' target/loadgen_smoke.json
 grep -q '"reconciled":true' target/loadgen_smoke.json
+
+echo "==> persist-smoke (crash-safe artifact store across restarts)"
+# Two piped serve sessions over the same --cache-dir: session one
+# compiles (miss) and persists write-behind through the shutdown drain;
+# session two is a fresh process that must answer the same bytes from
+# the verified disk tier ("disk", not "miss") and serve the repeat from
+# memory ("hit").
+rm -rf target/persist_smoke_store
+printf '%s\n' \
+    '{"id": 1, "op": "compile", "path": "examples/rectangle_inline.oi"}' \
+    '{"id": 2, "op": "shutdown"}' \
+    | target/release/oic serve --cache-dir target/persist_smoke_store \
+    > target/persist_smoke_a.jsonl
+sed -n 1p target/persist_smoke_a.jsonl | grep -q '"cache":"miss"'
+printf '%s\n' \
+    '{"id": 1, "op": "compile", "path": "examples/rectangle_inline.oi"}' \
+    '{"id": 2, "op": "compile", "path": "examples/rectangle_inline.oi"}' \
+    '{"id": 3, "op": "shutdown"}' \
+    | target/release/oic serve --cache-dir target/persist_smoke_store \
+    > target/persist_smoke_b.jsonl
+sed -n 1p target/persist_smoke_b.jsonl | grep -q '"cache":"disk"'
+sed -n 2p target/persist_smoke_b.jsonl | grep -q '"cache":"hit"'
+if grep -q '"ok":false' target/persist_smoke_b.jsonl; then
+    echo "persist-smoke: a request failed after restart" >&2
+    exit 1
+fi
+rm -rf target/persist_smoke_store
+
+echo "==> restart-smoke (unclean kills against the persistent tier)"
+# A scaled-down restartload replay: the trace is killed uncleanly twice
+# (torn journal tail, no compaction) and restarted over the same store.
+# The driver exits non-zero on any corrupt serve, any reconciliation
+# mismatch, a restart without recovery evidence, or a warm hit rate
+# under 0.8x the pre-kill steady state.
+target/release/oic bench restartload --requests 300 --sources 10 --seed 1 \
+    --json --out target/restart_smoke.json
+grep -q '"schema":"oi.restart.v1"' target/restart_smoke.json
+grep -q '"corrupt_total":0' target/restart_smoke.json
+grep -q '"recovered":true' target/restart_smoke.json
+grep -q '"reconciled":true' target/restart_smoke.json
 
 echo "==> tenant-smoke (metered multi-tenant execution end to end)"
 # A scaled-down tenantload burst through the fuel-sliced fair

@@ -21,9 +21,10 @@
 //! story cannot tolerate. Exit 0 requires every fault class detected
 //! somewhere, every detection repaired, and zero escapes anywhere.
 
+use oi_core::cache::store::DiskStore;
 use oi_core::firewall::{optimize_guarded, Divergence, FirewallConfig};
 use oi_core::pipeline::{optimize, InlineConfig};
-use oi_core::Fault;
+use oi_core::{Fault, IoFault};
 use oi_support::Json;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -286,6 +287,55 @@ impl ServiceRow {
     }
 }
 
+/// One I/O fault class's row — the storage half of the chaos matrix,
+/// injected against a persistent artifact store between two serve
+/// sessions. The bar: the damage is *detected* by recovery, *quarantined*
+/// (sidelined or dropped, never resident), the restarted server reaches a
+/// *serving state*, and **zero** corrupt artifacts are served.
+#[derive(Clone, Debug)]
+pub struct IoRow {
+    /// The injected storage fault.
+    pub fault: IoFault,
+    /// Recovery's counters show the damage was noticed.
+    pub detected: bool,
+    /// The damage was isolated: files sidelined to `quarantine/`, torn
+    /// journal tails truncated, stale records dropped.
+    pub quarantined: bool,
+    /// The restarted server reached a serving state and answered every
+    /// request `ok:true` — corruption degraded the cache, never the
+    /// service.
+    pub recovered: bool,
+    /// Served payloads that differed from the pre-fault payloads. Must be
+    /// zero: a corrupt artifact is recompiled, never served.
+    pub corrupt_served: usize,
+    /// Human-readable evidence for the report.
+    pub detail: String,
+    /// Wall-clock spent on the row, in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl IoRow {
+    /// `true` when the fault was fully contained.
+    pub fn ok(&self) -> bool {
+        self.detected && self.quarantined && self.recovered && self.corrupt_served == 0
+    }
+
+    /// The row as schema-stable JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("fault", self.fault.name().into()),
+            ("detected", self.detected.into()),
+            ("quarantined", self.quarantined.into()),
+            ("recovered", self.recovered.into()),
+            ("corrupt_served", self.corrupt_served.into()),
+            ("escaped", (!self.ok()).into()),
+            ("ok", self.ok().into()),
+            ("detail", self.detail.clone().into()),
+            ("wall_ms", self.wall_ms.into()),
+        ])
+    }
+}
+
 /// The whole matrix.
 #[derive(Clone, Debug, Default)]
 pub struct ChaosReport {
@@ -295,24 +345,30 @@ pub struct ChaosReport {
     /// Service-layer fault rows, in [`ServiceFault::ALL`] order (empty
     /// when a `--fault` filter restricted the run to one compiler fault).
     pub service_rows: Vec<ServiceRow>,
+    /// Storage fault rows, in [`IoFault::ALL`] order (empty when a
+    /// `--fault` filter restricted the run to a compiler fault, and the
+    /// only rows when it named an I/O fault).
+    pub io_rows: Vec<IoRow>,
 }
 
 impl ChaosReport {
     /// `true` when every row meets the bar ([`FaultRow::ok`],
-    /// [`ServiceRow::ok`]).
+    /// [`ServiceRow::ok`], [`IoRow::ok`]).
     pub fn ok(&self) -> bool {
-        !self.rows.is_empty()
+        (!self.rows.is_empty() || !self.io_rows.is_empty())
             && self.rows.iter().all(FaultRow::ok)
             && self.service_rows.iter().all(ServiceRow::ok)
+            && self.io_rows.iter().all(IoRow::ok)
     }
 
-    /// Escapes across the whole matrix, service rows included.
+    /// Escapes across the whole matrix, service and I/O rows included.
     pub fn escapes(&self) -> usize {
         self.rows
             .iter()
             .map(|r| r.count(Outcome::Escaped))
             .sum::<usize>()
             + self.service_rows.iter().filter(|r| !r.ok()).count()
+            + self.io_rows.iter().filter(|r| !r.ok()).count()
     }
 
     /// The report as a schema-stable `oi.chaos.v1` document.
@@ -330,6 +386,10 @@ impl ChaosReport {
             (
                 "service_faults",
                 Json::Arr(self.service_rows.iter().map(ServiceRow::to_json).collect()),
+            ),
+            (
+                "io_faults",
+                Json::Arr(self.io_rows.iter().map(IoRow::to_json).collect()),
             ),
             (
                 "detected",
@@ -677,6 +737,162 @@ fn service_mid_request_panic() -> ServiceRow {
     }
 }
 
+/// Runs every [`IoFault`] against the persistent artifact store: seed a
+/// store through a real serve session, kill it cleanly, corrupt the
+/// directory, restart, and require detected + quarantined + serving state
+/// + zero corrupt serves.
+pub fn run_io_chaos() -> Vec<IoRow> {
+    IoFault::ALL
+        .iter()
+        .map(|&fault| {
+            let (mut row, wall) = crate::harness::time_once(|| run_io_case(fault));
+            row.wall_ms = (wall.median / 1_000_000) as u64;
+            row
+        })
+        .collect()
+}
+
+/// A fresh per-case store directory under the system temp dir.
+fn io_case_dir(fault: IoFault) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "oi-chaos-io-{}-{}-{n}",
+        std::process::id(),
+        fault.name()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One I/O fault cell: seed, inject, restart, classify.
+fn run_io_case(fault: IoFault) -> IoRow {
+    let dir = io_case_dir(fault);
+    let config = || crate::serve::ServeConfig {
+        cache_dir: Some(dir.to_string_lossy().into_owned()),
+        ..crate::serve::ServeConfig::default()
+    };
+    // The same transcript drives both sessions: compile two sentinels,
+    // then shut down (which drains the write-behind persister and
+    // compacts the journal — the clean store the fault corrupts).
+    let requests: Vec<String> = SENTINELS
+        .iter()
+        .take(2)
+        .enumerate()
+        .map(|(i, &(_, source))| {
+            Json::obj(vec![
+                ("id", Json::from(i as u64 + 1)),
+                ("op", "compile".into()),
+                ("source", source.into()),
+            ])
+            .to_string()
+        })
+        .chain(std::iter::once(
+            Json::obj(vec![("id", 99u64.into()), ("op", "shutdown".into())]).to_string(),
+        ))
+        .collect();
+    let (seeded, _, seed_clean) = serve_session(config(), &requests);
+    let expected: Vec<String> = seeded
+        .iter()
+        .take(2)
+        .map(|r| r.get("payload").map(Json::to_string).unwrap_or_default())
+        .collect();
+
+    let injected = match DiskStore::inject_io_fault(&dir, fault) {
+        Ok(desc) => desc,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return IoRow {
+                fault,
+                detected: false,
+                quarantined: false,
+                recovered: false,
+                corrupt_served: 0,
+                detail: format!("injection failed: {e}"),
+                wall_ms: 0,
+            };
+        }
+    };
+
+    let (responses, metrics, clean_exit) = serve_session(config(), &requests);
+    let all_ok = responses.len() == requests.len()
+        && responses
+            .iter()
+            .all(|r| r.get("ok").and_then(Json::as_bool) == Some(true));
+    let recovered = seed_clean && clean_exit && all_ok;
+    // Zero corrupt serves: every compile answer must carry the exact
+    // pre-fault payload, whether it came from disk or a recompile.
+    let corrupt_served = responses
+        .iter()
+        .take(2)
+        .zip(&expected)
+        .filter(|(r, want)| r.get("payload").map(Json::to_string).as_deref() != Some(want.as_str()))
+        .count();
+    let served_states: Vec<&str> = responses
+        .iter()
+        .take(2)
+        .map(|r| r.get("cache").and_then(Json::as_str).unwrap_or("?"))
+        .collect();
+
+    let c = |name: &str| counter_of(&metrics, name);
+    let quarantine_files = std::fs::read_dir(dir.join("quarantine"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    let (detected, quarantined, evidence) = match fault {
+        IoFault::TornWrite
+        | IoFault::BitFlipBody
+        | IoFault::BitFlipHeader
+        | IoFault::VersionSkew => {
+            let n = c("serve.recovery_quarantined");
+            (
+                n >= 1,
+                quarantine_files >= 1,
+                format!("recovery quarantined {n} entry(s), {quarantine_files} file(s) sidelined"),
+            )
+        }
+        IoFault::TruncatedJournalTail => {
+            let torn = c("serve.recovery_journal_truncated") == 1;
+            let adopted = c("serve.recovery_orphans_adopted");
+            (
+                torn,
+                torn,
+                format!("torn tail truncated, {adopted} orphan(s) re-adopted"),
+            )
+        }
+        IoFault::StaleManifestRecord => {
+            let stale = c("serve.recovery_stale_records");
+            let dup = c("serve.recovery_duplicate_records");
+            (
+                stale >= 1,
+                stale >= 1 && dup >= 1,
+                format!("{stale} stale + {dup} duplicate record(s) dropped"),
+            )
+        }
+        IoFault::EnospcMidWrite => {
+            let temps = c("serve.recovery_torn_temps");
+            (
+                temps >= 1,
+                quarantine_files >= 1,
+                format!("{temps} orphan temp(s) sidelined"),
+            )
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    IoRow {
+        fault,
+        detected,
+        quarantined,
+        recovered,
+        corrupt_served,
+        detail: format!(
+            "{injected}; {evidence}; restart served [{}]",
+            served_states.join(", ")
+        ),
+        wall_ms: 0,
+    }
+}
+
 const USAGE: &str = "usage: oic chaos [flags]
 
 Injects every fault class from the systematic fault matrix into a
@@ -685,11 +901,16 @@ sentinel corpus and reports which defense layer caught each one
 was retracted, and whether output was restored to baseline-equal.
 Also runs the service-layer matrix (request-never-yields,
 fuel-exhaustion-storm, mid-request-panic) against the multi-tenant
-scheduler and serve pump, unless `--fault` restricts the run.
-Exit 0 only when every fault class is detected and repaired with zero
-escapes; 1 otherwise; 2 on usage errors.
+scheduler and serve pump, and the storage matrix (torn writes, torn
+journal tails, bit flips, stale manifest records, device-full writes,
+version skew) against the persistent artifact store across a
+kill-and-restart, unless `--fault` restricts the run.
+Exit 0 only when every fault class is detected and contained with zero
+escapes and zero corrupt artifacts served; 1 otherwise; 2 on usage
+errors.
 
-  --fault NAME      run a single fault class (see `--list`)
+  --fault NAME      run a single fault class, compiler or I/O
+                    (see `--list`)
   --list            print the fault class names and exit
   --json            emit a schema-stable oi.chaos.v1 document
   --out FILE        write the report to FILE instead of stdout
@@ -700,6 +921,7 @@ escapes; 1 otherwise; 2 on usage errors.
 pub fn cli_main(args: &[String]) -> u8 {
     use oi_support::cli::{Arg, ArgScanner};
     let mut faults: Vec<Fault> = Fault::ALL.to_vec();
+    let mut io_only: Option<IoFault> = None;
     let mut filtered = false;
     let mut json_output = false;
     let mut out: Option<String> = None;
@@ -713,12 +935,17 @@ pub fn cli_main(args: &[String]) -> u8 {
             Arg::Flag { name, value: None } => match name.as_str() {
                 "fault" => {
                     let v = scanner.value_for("--fault").unwrap_or_default();
-                    match Fault::parse(&v) {
-                        Some(f) => {
+                    match (Fault::parse(&v), IoFault::parse(&v)) {
+                        (Some(f), _) => {
                             faults = vec![f];
                             filtered = true;
                         }
-                        None => {
+                        (None, Some(f)) => {
+                            faults = Vec::new();
+                            io_only = Some(f);
+                            filtered = true;
+                        }
+                        (None, None) => {
                             return usage_error(&format!(
                                 "unknown fault `{v}` (try `oic chaos --list`)"
                             ))
@@ -727,6 +954,9 @@ pub fn cli_main(args: &[String]) -> u8 {
                 }
                 "list" => {
                     for f in Fault::ALL {
+                        println!("{}", f.name());
+                    }
+                    for f in IoFault::ALL {
                         println!("{}", f.name());
                     }
                     return 0;
@@ -755,17 +985,22 @@ pub fn cli_main(args: &[String]) -> u8 {
     }
     eprintln!(
         "chaos: {} fault class(es) x {} sentinel(s){}...",
-        faults.len(),
+        faults.len() + usize::from(io_only.is_some()),
         SENTINELS.len(),
         if filtered {
             ""
         } else {
-            ", plus the service-layer matrix"
+            ", plus the service-layer and storage matrices"
         }
     );
     let mut report = run_chaos(&faults);
     if !filtered {
         report.service_rows = run_service_chaos();
+        report.io_rows = run_io_chaos();
+    } else if let Some(fault) = io_only {
+        let (mut row, wall) = crate::harness::time_once(|| run_io_case(fault));
+        row.wall_ms = (wall.median / 1_000_000) as u64;
+        report.io_rows = vec![row];
     }
     let rendered = if json_output {
         report.to_json().to_string()
@@ -834,12 +1069,29 @@ fn render_text(report: &ChaosReport) -> String {
         );
         let _ = writeln!(out, "            {}", row.detail);
     }
+    for row in &report.io_rows {
+        let _ = writeln!(
+            out,
+            "{:28} {:10} {:>19}  {}",
+            row.fault.name(),
+            "storage",
+            format!(
+                "detected={} quar={} corrupt={}",
+                u8::from(row.detected),
+                u8::from(row.quarantined),
+                row.corrupt_served
+            ),
+            if row.ok() { "ok" } else { "FAIL" }
+        );
+        let _ = writeln!(out, "            {}", row.detail);
+    }
     let _ = write!(
         out,
         "{}/{} detected, {} escape(s): {}",
         report.rows.iter().filter(|r| r.detected()).count()
-            + report.service_rows.iter().filter(|r| r.detected).count(),
-        report.rows.len() + report.service_rows.len(),
+            + report.service_rows.iter().filter(|r| r.detected).count()
+            + report.io_rows.iter().filter(|r| r.detected).count(),
+        report.rows.len() + report.service_rows.len() + report.io_rows.len(),
         report.escapes(),
         if report.ok() { "OK" } else { "FINDINGS" }
     );
@@ -967,6 +1219,78 @@ mod tests {
                 "missing service_faults[].{key}"
             );
         }
+    }
+
+    #[test]
+    fn io_fault_matrix_detects_quarantines_and_serves_zero_corrupt() {
+        let rows = run_io_chaos();
+        assert_eq!(rows.len(), IoFault::ALL.len());
+        for row in &rows {
+            assert!(
+                row.detected,
+                "{} not detected: {}",
+                row.fault.name(),
+                row.detail
+            );
+            assert!(
+                row.quarantined,
+                "{} not quarantined: {}",
+                row.fault.name(),
+                row.detail
+            );
+            assert!(
+                row.recovered,
+                "{} did not reach a serving state: {}",
+                row.fault.name(),
+                row.detail
+            );
+            assert_eq!(
+                row.corrupt_served,
+                0,
+                "{} served corrupt artifacts: {}",
+                row.fault.name(),
+                row.detail
+            );
+            assert!(row.ok(), "{} escaped: {}", row.fault.name(), row.detail);
+        }
+        // The io rows slot into the document additively.
+        let mut report = run_chaos(&[Fault::SkipUseRedirect]);
+        report.io_rows = rows;
+        let doc = report.to_json();
+        assert!(report.ok());
+        assert_eq!(doc.get("escaped").and_then(Json::as_i64), Some(0));
+        let io = doc.get("io_faults").unwrap().as_arr().unwrap();
+        assert_eq!(io.len(), IoFault::ALL.len());
+        for key in [
+            "fault",
+            "detected",
+            "quarantined",
+            "recovered",
+            "corrupt_served",
+            "escaped",
+            "ok",
+            "detail",
+            "wall_ms",
+        ] {
+            assert!(io[0].get(key).is_some(), "missing io_faults[].{key}");
+        }
+    }
+
+    #[test]
+    fn a_failing_io_row_fails_the_whole_report() {
+        let mut report = run_chaos(&[Fault::SkipUseRedirect]);
+        assert!(report.ok());
+        report.io_rows.push(IoRow {
+            fault: IoFault::TornWrite,
+            detected: true,
+            quarantined: true,
+            recovered: true,
+            corrupt_served: 1,
+            detail: "synthetic corrupt serve".into(),
+            wall_ms: 0,
+        });
+        assert!(!report.ok());
+        assert_eq!(report.escapes(), 1);
     }
 
     #[test]

@@ -37,6 +37,13 @@ commands:
       submit a Zipf-skewed burst of small programs across T tenants
       (H rigged quota-busters) to the fair scheduler and emit
       oi.tenantload.v1; exit 1 when the fairness/robustness gate fails
+  restartload [--requests N] [--sources K] [--seed S] [--zipf-s X]
+              [--kills M] [--cache-bytes B] [--disk-bytes B]
+              [--cache-dir DIR] [--json] [--out FILE]
+      replay a seeded compile trace against a --cache-dir server,
+      killing it uncleanly M times and restarting over the same store;
+      emit oi.restart.v1; exit 1 on any corrupt serve, reconciliation
+      mismatch, missed recovery, or a warm hit rate under 0.8x cold
 ";
 
 /// Runs the CLI on pre-split arguments and returns the process exit
@@ -48,12 +55,15 @@ pub fn main(args: &[String]) -> u8 {
         Some("compare") => compare_cmd(&args[1..]),
         Some("loadgen") => crate::loadgen::cli_main(&args[1..]),
         Some("tenantload") => crate::tenantload::cli_main(&args[1..]),
+        Some("restartload") => crate::restartload::cli_main(&args[1..]),
         Some("--help") | Some("help") => {
             print!("{USAGE}");
             0
         }
         Some(other) => {
-            eprintln!("unknown command `{other}` (snapshot|compare|loadgen|tenantload)");
+            eprintln!(
+                "unknown command `{other}` (snapshot|compare|loadgen|tenantload|restartload)"
+            );
             2
         }
         None => {

@@ -22,6 +22,7 @@ pub mod fuzz;
 pub mod harness;
 pub mod loadgen;
 pub mod prof;
+pub mod restartload;
 pub mod sched;
 pub mod serve;
 pub mod snapshot;

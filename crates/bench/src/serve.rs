@@ -37,6 +37,7 @@ use crate::harness::time_once;
 use crate::sched::{
     Completion, JobFault, JobSpec, ProgramRef, SchedConfig, Scheduler, TenantQuota, Verdict,
 };
+use oi_core::cache::store::DiskStore;
 use oi_core::cache::{config_fingerprint, Artifact, ArtifactCache, CacheKey};
 use oi_core::ladder::{optimize_with_ladder, LadderConfig};
 use oi_support::cli::{Arg, ArgScanner};
@@ -94,6 +95,12 @@ pub struct ServeConfig {
     /// Honor `chaos` fault fields on requests. Never set from the CLI;
     /// only the chaos harness builds servers with injection enabled.
     pub allow_chaos_faults: bool,
+    /// Directory of the persistent artifact tier (`--cache-dir`). When
+    /// set, compiles are persisted write-behind and a restarted server
+    /// warm-starts from verified on-disk artifacts.
+    pub cache_dir: Option<String>,
+    /// Byte budget of the persistent tier (`--disk-bytes`).
+    pub disk_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +120,8 @@ impl Default for ServeConfig {
             tenant_concurrent: 64,
             run_deadline_ms: None,
             allow_chaos_faults: false,
+            cache_dir: None,
+            disk_bytes: 256 << 20,
         }
     }
 }
@@ -126,21 +135,84 @@ pub struct Handled {
     pub shutdown: bool,
 }
 
+/// One unit of write-behind work: a keyed artifact bound for disk.
+type PersistJob = (CacheKey, Arc<Artifact>);
+
+/// The persistent tier attached to a server: the store plus the
+/// write-behind persister keeping disk writes off the request path.
+struct DiskTier {
+    store: Arc<DiskStore>,
+    /// Sender into the persister; `None` once flushed.
+    tx: Mutex<Option<Sender<PersistJob>>>,
+    /// The persister thread; joined by [`Server::flush_disk`].
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Set by [`Server::simulate_kill`]: suppresses the clean-shutdown
+    /// journal compaction so the on-disk state stays exactly what an
+    /// abrupt process death would leave behind.
+    killed: AtomicBool,
+}
+
 /// One in-process compile server: artifact cache + metrics registry +
 /// the base ladder configuration requests are compiled under.
 pub struct Server {
     cache: ArtifactCache,
+    disk: Option<DiskTier>,
     metrics: Registry,
     ladder: LadderConfig,
     config: ServeConfig,
 }
 
 impl Server {
-    /// A server with an empty cache and zeroed metrics.
+    /// A server with an empty cache and zeroed metrics. When
+    /// [`ServeConfig::cache_dir`] is set, the persistent tier is opened
+    /// through crash recovery first; an unopenable directory degrades to
+    /// memory-only serving (never a refusal to start), and whatever
+    /// recovery found is exported as `serve.recovery_*` metrics.
     pub fn new(config: ServeConfig) -> Server {
+        let metrics = Registry::new();
+        let disk = config.cache_dir.as_ref().and_then(|dir| {
+            match DiskStore::open(std::path::Path::new(dir), config.disk_bytes) {
+                Ok(store) => {
+                    let store = Arc::new(store);
+                    let report = store.recovery();
+                    metrics.set_counter("serve.recovery_entries_kept", report.entries_kept);
+                    metrics.set_counter("serve.recovery_quarantined", report.quarantined);
+                    metrics.set_counter("serve.recovery_stale_records", report.stale_records);
+                    metrics
+                        .set_counter("serve.recovery_duplicate_records", report.duplicate_records);
+                    metrics.set_counter("serve.recovery_orphans_adopted", report.orphans_adopted);
+                    metrics.set_counter("serve.recovery_torn_temps", report.torn_temps);
+                    metrics.set_counter(
+                        "serve.recovery_journal_truncated",
+                        u64::from(report.journal_truncated),
+                    );
+                    let (tx, rx) = mpsc::channel::<(CacheKey, Arc<Artifact>)>();
+                    let persister = Arc::clone(&store);
+                    let worker = std::thread::spawn(move || {
+                        for (key, artifact) in rx {
+                            // Failures are counted in the store's stats and
+                            // mirrored; the service keeps serving from memory.
+                            let _ = persister.persist(&key, &artifact);
+                        }
+                    });
+                    Some(DiskTier {
+                        store,
+                        tx: Mutex::new(Some(tx)),
+                        worker: Mutex::new(Some(worker)),
+                        killed: AtomicBool::new(false),
+                    })
+                }
+                Err(e) => {
+                    eprintln!("oic serve: cannot open --cache-dir {dir}: {e}; serving memory-only");
+                    metrics.add("serve.disk_open_failures", 1);
+                    None
+                }
+            }
+        });
         Server {
             cache: ArtifactCache::new(config.cache_bytes),
-            metrics: Registry::new(),
+            disk,
+            metrics,
             ladder: LadderConfig::default(),
             config,
         }
@@ -154,6 +226,75 @@ impl Server {
     /// The server's artifact cache.
     pub fn cache(&self) -> &ArtifactCache {
         &self.cache
+    }
+
+    /// The persistent tier, when one is attached.
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.disk.as_ref().map(|d| &*d.store)
+    }
+
+    /// Flushes the persistent tier: stops admission to the write-behind
+    /// persister, drains its queue, and rewrites the journal compacted —
+    /// the disk half of the graceful-shutdown drain. Idempotent; also run
+    /// on drop so unit-style servers flush too.
+    pub fn flush_disk(&self) {
+        let Some(disk) = &self.disk else { return };
+        if disk.killed.load(Ordering::SeqCst) {
+            return;
+        }
+        let tx = disk
+            .tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        drop(tx); // closes the channel; the persister drains and exits
+        let worker = disk
+            .worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(worker) = worker {
+            let _ = worker.join();
+        }
+        let _ = disk.store.compact();
+        self.mirror_cache_stats();
+    }
+
+    /// Simulates an abrupt process death for crash-recovery harnesses
+    /// (`oic bench restartload`): the write-behind persister is drained
+    /// and stopped, but the journal is **not** compacted — the next open
+    /// of the same directory must recover from the append-only state an
+    /// unclean exit leaves behind. After this, [`Server::flush_disk`]
+    /// (including the one run on drop) is a no-op on the tier.
+    pub fn simulate_kill(&self) {
+        let Some(disk) = &self.disk else { return };
+        disk.killed.store(true, Ordering::SeqCst);
+        let tx = disk
+            .tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        drop(tx);
+        let worker = disk
+            .worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(worker) = worker {
+            let _ = worker.join();
+        }
+    }
+
+    /// Hands an artifact to the write-behind persister. A full or closed
+    /// channel silently drops the persist — the artifact stays served
+    /// from memory and simply misses the disk tier later.
+    fn persist_behind(&self, key: CacheKey, artifact: Arc<Artifact>) {
+        if let Some(disk) = &self.disk {
+            let tx = disk.tx.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(tx) = tx.as_ref() {
+                let _ = tx.send((key, artifact));
+            }
+        }
     }
 
     /// Handles one request line and returns the response line. Never
@@ -254,8 +395,18 @@ impl Server {
         match self.cache.get(&key) {
             Some(hit) => Ok((hit, "hit")),
             None => {
+                // Between the memory miss and a cold compile sits the
+                // persistent tier: a verified disk artifact is promoted
+                // into memory and served as `disk`.
+                if let Some(disk) = &self.disk {
+                    if let Some(artifact) = disk.store.load(&key) {
+                        return Ok((self.cache.insert(key, artifact), "disk"));
+                    }
+                }
                 let built = self.compile_fresh(&source, id, max_rounds, deadline_ms)?;
-                Ok((self.cache.insert(key, built), "miss"))
+                let shared = self.cache.insert(key, built);
+                self.persist_behind(key, Arc::clone(&shared));
+                Ok((shared, "miss"))
             }
         }
     }
@@ -389,6 +540,20 @@ impl Server {
             .gauge_set("cache.entries", stats.entries as i64);
         self.metrics
             .gauge_set("cache.max_bytes", stats.max_bytes as i64);
+        if let Some(disk) = &self.disk {
+            let d = disk.store.stats();
+            self.metrics.set_counter("disk.load_hits", d.load_hits);
+            self.metrics.set_counter("disk.load_misses", d.load_misses);
+            self.metrics.set_counter("disk.persists", d.persists);
+            self.metrics
+                .set_counter("disk.persist_failures", d.persist_failures);
+            self.metrics.set_counter("disk.evictions", d.evictions);
+            self.metrics
+                .set_counter("serve.corrupt_quarantined_total", d.corrupt_quarantined);
+            self.metrics.gauge_set("disk.bytes", d.bytes as i64);
+            self.metrics.gauge_set("disk.entries", d.entries as i64);
+            self.metrics.gauge_set("disk.max_bytes", d.max_bytes as i64);
+        }
     }
 
     /// Records the end-to-end service latency of one already-handled
@@ -400,8 +565,18 @@ impl Server {
         match cache_state {
             "hit" => self.metrics.observe_ns("serve.hit_ns", ns),
             "miss" => self.metrics.observe_ns("serve.miss_ns", ns),
+            "disk" => self.metrics.observe_ns("serve.disk_ns", ns),
             _ => {}
         }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Unit-style servers (tests, one-shot embedders) flush the
+        // persistent tier too; `flush_disk` is idempotent, so servers
+        // already drained by `run_serve` do nothing here.
+        self.flush_disk();
     }
 }
 
@@ -1091,10 +1266,14 @@ where
         let _ = emit_tx.send(Emit::Done);
         let _ = writer;
     });
+    // Workers and writer are done: drain the write-behind persister and
+    // compact the journal — the disk half of the graceful shutdown.
+    server.flush_disk();
     u8::from(pump.input_error.load(Ordering::SeqCst))
 }
 
-const USAGE: &str = "usage: oic serve [--cache-bytes N] [--max-rounds N] [--deadline-ms N] \
+const USAGE: &str = "usage: oic serve [--cache-bytes N] [--cache-dir DIR] [--disk-bytes N] \
+     [--max-rounds N] [--deadline-ms N] \
      [--metrics-out FILE] [--jobs N] [--queue N] [--fuel-slice N] [--max-line-bytes N] \
      [--max-instructions N] [--max-heap-words N] [--max-depth N] [--tenant-concurrent N] \
      [--run-deadline-ms N] [--trace[=MODE]]\n\
@@ -1102,7 +1281,12 @@ const USAGE: &str = "usage: oic serve [--cache-bytes N] [--max-rounds N] [--dead
      Long-lived compile server: one JSON request per stdin line, one JSON\n\
      response per stdout line (`oi.serve.v1`). Ops: compile (default), run,\n\
      stats, shutdown. Compiles are cached content-addressed under an LRU\n\
-     byte budget (--cache-bytes, default 64 MiB). Requests flow through a\n\
+     byte budget (--cache-bytes, default 64 MiB). With --cache-dir, artifacts\n\
+     also persist to a crash-consistent disk tier (checksummed `oi.artifact.v1`\n\
+     envelopes under --disk-bytes, default 256 MiB): a restarted server\n\
+     recovers the store (quarantining anything corrupt, never serving it)\n\
+     and answers repeats as `cache:\"disk\"` instead of recompiling.\n\
+     Requests flow through a\n\
      bounded queue (--queue, shed with ok:false `overloaded` when full) and\n\
      `run` execution is fuel-sliced (--fuel-slice) and fairly scheduled\n\
      across tenants (request field `tenant`), each boxed by per-request\n\
@@ -1129,6 +1313,14 @@ pub fn cli_main(args: &[String]) -> u8 {
             Arg::Flag { name, value: None } => match name.as_str() {
                 "cache-bytes" => match flag_u64(&mut scanner, "--cache-bytes") {
                     Ok(n) => config.cache_bytes = n as usize,
+                    Err(e) => return usage_error(&e),
+                },
+                "cache-dir" => match scanner.value_for("--cache-dir") {
+                    Ok(dir) if !dir.is_empty() => config.cache_dir = Some(dir),
+                    _ => return usage_error("`--cache-dir` needs a directory path"),
+                },
+                "disk-bytes" => match flag_u64(&mut scanner, "--disk-bytes") {
+                    Ok(n) => config.disk_bytes = n,
                     Err(e) => return usage_error(&e),
                 },
                 "max-rounds" => match flag_u64(&mut scanner, "--max-rounds") {
@@ -1629,5 +1821,160 @@ mod tests {
         assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(server.metrics().counter("serve.shed_total"), 0);
         assert_eq!(server.metrics().gauge("serve.in_flight"), 0);
+    }
+
+    fn disk_config(dir: &std::path::Path) -> ServeConfig {
+        ServeConfig {
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("oi-serve-disk-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn restart_serves_from_the_disk_tier() {
+        let dir = temp_dir("restart");
+        {
+            let server = Server::new(disk_config(&dir));
+            let first = server.handle_line(&request(1, "compile", Some(SOURCE)));
+            assert_eq!(
+                first.response.get("cache").and_then(Json::as_str),
+                Some("miss")
+            );
+            server.flush_disk();
+        }
+        // A "restarted" server: fresh memory cache, same directory.
+        let server = Server::new(disk_config(&dir));
+        assert_eq!(server.metrics().counter("serve.recovery_entries_kept"), 1);
+        let warm = server.handle_line(&request(2, "compile", Some(SOURCE)));
+        assert_eq!(
+            warm.response.get("cache").and_then(Json::as_str),
+            Some("disk"),
+            "a restart must warm-start from disk: {}",
+            warm.response
+        );
+        // Promotion: the next repeat is a plain memory hit.
+        let hot = server.handle_line(&request(3, "compile", Some(SOURCE)));
+        assert_eq!(
+            hot.response.get("cache").and_then(Json::as_str),
+            Some("hit")
+        );
+        assert_eq!(server.metrics().counter("disk.load_hits"), 1);
+        assert!(server.metrics().counter("disk.persists") <= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_quarantined_and_recompiled() {
+        use oi_core::IoFault;
+        let dir = temp_dir("corrupt");
+        {
+            let server = Server::new(disk_config(&dir));
+            server.handle_line(&request(1, "compile", Some(SOURCE)));
+        } // Drop flushes the persister and compacts.
+        let server = Server::new(disk_config(&dir));
+        // Corrupt the entry *after* recovery verified it: the load path
+        // itself must catch it.
+        DiskStore::inject_io_fault(&dir, IoFault::BitFlipBody).unwrap();
+        let handled = server.handle_line(&request(2, "compile", Some(SOURCE)));
+        assert_eq!(
+            handled.response.get("cache").and_then(Json::as_str),
+            Some("miss"),
+            "a corrupt entry must be recompiled, never served: {}",
+            handled.response
+        );
+        assert_eq!(
+            handled.response.get("ok").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            server.metrics().counter("serve.corrupt_quarantined_total"),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unclean_kill_mid_session_still_recovers() {
+        let dir = temp_dir("kill");
+        {
+            let server = Server::new(disk_config(&dir));
+            server.handle_line(&request(1, "compile", Some(SOURCE)));
+            // Simulate a kill: flush the persister so the artifact is on
+            // disk, but skip compaction by leaking the tier's compact step
+            // — here, the closest faithful stand-in is injecting a torn
+            // journal tail after a clean flush.
+            server.flush_disk();
+        }
+        use oi_core::IoFault;
+        DiskStore::inject_io_fault(&dir, IoFault::TruncatedJournalTail).unwrap();
+        let server = Server::new(disk_config(&dir));
+        // Recovery truncated the tail and re-adopted the orphan entry.
+        assert_eq!(
+            server.metrics().counter("serve.recovery_journal_truncated"),
+            1
+        );
+        let warm = server.handle_line(&request(2, "compile", Some(SOURCE)));
+        assert_eq!(
+            warm.response.get("cache").and_then(Json::as_str),
+            Some("disk")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unopenable_cache_dir_degrades_to_memory_only() {
+        // A file where the directory should be: open fails, the server
+        // must still serve.
+        let dir = temp_dir("degrade");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("not-a-dir");
+        std::fs::write(&blocker, b"x").unwrap();
+        let server = Server::new(disk_config(&blocker));
+        assert_eq!(server.metrics().counter("serve.disk_open_failures"), 1);
+        let handled = server.handle_line(&request(1, "compile", Some(SOURCE)));
+        assert_eq!(
+            handled.response.get("ok").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            handled.response.get("cache").and_then(Json::as_str),
+            Some("miss")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pump_session_with_disk_tier_flushes_on_drain() {
+        let dir = temp_dir("pump");
+        {
+            let server = Server::new(disk_config(&dir));
+            let responses = pump_session(
+                &server,
+                &[
+                    request(1, "compile", Some(SOURCE)),
+                    request(2, "shutdown", None),
+                ],
+            );
+            assert_eq!(responses.len(), 2);
+            assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+        }
+        let server = Server::new(disk_config(&dir));
+        assert!(
+            !server.disk().unwrap().recovery().found_damage(),
+            "drain must leave a clean store: {:?}",
+            server.disk().unwrap().recovery()
+        );
+        assert_eq!(server.metrics().counter("serve.recovery_entries_kept"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

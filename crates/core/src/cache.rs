@@ -25,6 +25,13 @@
 //! the stalest entries first. Artifacts are handed out as
 //! [`std::sync::Arc`] clones — a hit never deep-copies the program, so
 //! concurrent batch workers and the server share one allocation.
+//!
+//! The [`store`] submodule adds the persistent tier: a crash-consistent
+//! on-disk store of checksummed artifact envelopes behind the same
+//! [`CacheKey`] addressing, so a restarted service warm-starts instead of
+//! recompiling its working set.
+
+pub mod store;
 
 use crate::ladder::LadderConfig;
 use crate::ladder::LadderOutcome;
@@ -185,6 +192,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Artifacts inserted.
     pub insertions: u64,
+    /// Cumulative modeled bytes across all insertions (monotonic; pairs
+    /// with `evictions` to characterize churn under the budget).
+    pub inserted_bytes: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Modeled bytes currently resident.
@@ -206,6 +216,7 @@ struct CacheInner {
     misses: u64,
     evictions: u64,
     insertions: u64,
+    inserted_bytes: u64,
 }
 
 /// A thread-safe LRU artifact cache under a byte budget.
@@ -226,6 +237,7 @@ impl ArtifactCache {
                 misses: 0,
                 evictions: 0,
                 insertions: 0,
+                inserted_bytes: 0,
             }),
             max_bytes,
         }
@@ -270,6 +282,7 @@ impl ArtifactCache {
         }
         inner.bytes += shared.bytes;
         inner.insertions += 1;
+        inner.inserted_bytes += shared.bytes as u64;
         inner.entries.insert(
             key,
             Entry {
@@ -304,6 +317,7 @@ impl ArtifactCache {
             misses: inner.misses,
             evictions: inner.evictions,
             insertions: inner.insertions,
+            inserted_bytes: inner.inserted_bytes,
             entries: inner.entries.len(),
             bytes: inner.bytes,
             max_bytes: self.max_bytes,
@@ -433,6 +447,42 @@ mod tests {
         cache.insert(key, artifact_sized(10_000));
         assert!(cache.get(&key).is_some(), "never evicts the just-inserted");
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn oversized_artifact_is_pinned_only_until_the_next_insert() {
+        // The pinning contract: an over-budget entry is admitted and
+        // served (a compile is never wasted), but it is the first LRU
+        // victim once anything else arrives — the budget reasserts itself
+        // instead of one whale squatting in the cache forever.
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let whale = CacheKey::whole_program("whale", fp);
+        let minnow = CacheKey::whole_program("minnow", fp);
+        let cache = ArtifactCache::new(100);
+        cache.insert(whale, artifact_sized(10_000));
+        assert!(cache.get(&whale).is_some(), "oversized entry is served");
+        cache.insert(minnow, artifact_sized(50));
+        let stats = cache.stats();
+        assert!(cache.get(&whale).is_none(), "whale evicted on next insert");
+        assert!(cache.get(&minnow).is_some());
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= 100, "budget holds again: {}", stats.bytes);
+    }
+
+    #[test]
+    fn inserted_bytes_accumulates_across_evictions_and_replacements() {
+        let fp = config_fingerprint(&LadderConfig::default(), None, None);
+        let key = |i: u32| CacheKey::whole_program(&format!("src-{i}"), fp);
+        let cache = ArtifactCache::new(1_500);
+        cache.insert(key(0), artifact_sized(1_000));
+        cache.insert(key(1), artifact_sized(1_000)); // evicts key(0)
+        cache.insert(key(1), artifact_sized(200)); // replaces in place
+        let stats = cache.stats();
+        assert_eq!(stats.inserted_bytes, 2_200, "monotonic, counts churn");
+        assert_eq!(stats.bytes, 200, "resident bytes reflect the survivor");
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.insertions, 3);
     }
 
     #[test]

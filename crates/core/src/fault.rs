@@ -84,6 +84,71 @@ impl Fault {
     }
 }
 
+/// A storage-corruption or crash class injected against the persistent
+/// artifact store (`crate::cache::store`).
+///
+/// Where [`Fault`] models transformation bugs caught by the firewall,
+/// these model what a disk, filesystem, or interrupted process can do to
+/// the on-disk artifact tier. The chaos driver injects each class into a
+/// freshly written store directory and requires recovery to detect it,
+/// quarantine the damage, and reach a serving state without ever serving
+/// a corrupt artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// Crash after rename but before the entry's data hit disk: the final
+    /// `.art` file exists at its content address but is truncated.
+    TornWrite,
+    /// Crash mid-append to the manifest journal: the last record is cut
+    /// off, leaving a partial frame at the tail.
+    TruncatedJournalTail,
+    /// Silent single-bit corruption inside an entry's payload (the
+    /// serialized program bytes), past the envelope header.
+    BitFlipBody,
+    /// Silent single-bit corruption inside an entry's envelope header
+    /// (magic, version, key, length, or stored checksum).
+    BitFlipHeader,
+    /// A manifest record referencing an entry file that no longer exists
+    /// (stale), alongside a duplicate insert for a surviving key.
+    StaleManifestRecord,
+    /// Device-full while streaming a new entry: the write aborts partway,
+    /// leaving an orphan temp file and no manifest record.
+    EnospcMidWrite,
+    /// An entry written by a different (future) format version: the
+    /// envelope is internally consistent but its version tag is skewed.
+    VersionSkew,
+}
+
+impl IoFault {
+    /// Every I/O fault class — the storage half of the chaos matrix.
+    pub const ALL: [IoFault; 7] = [
+        IoFault::TornWrite,
+        IoFault::TruncatedJournalTail,
+        IoFault::BitFlipBody,
+        IoFault::BitFlipHeader,
+        IoFault::StaleManifestRecord,
+        IoFault::EnospcMidWrite,
+        IoFault::VersionSkew,
+    ];
+
+    /// Stable kebab-case name: the CLI argument and report key.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFault::TornWrite => "torn-write",
+            IoFault::TruncatedJournalTail => "truncated-journal-tail",
+            IoFault::BitFlipBody => "bit-flip-body",
+            IoFault::BitFlipHeader => "bit-flip-header",
+            IoFault::StaleManifestRecord => "stale-manifest-record",
+            IoFault::EnospcMidWrite => "enospc-mid-write",
+            IoFault::VersionSkew => "version-skew",
+        }
+    }
+
+    /// Parses an [`IoFault::name`] back into the variant.
+    pub fn parse(s: &str) -> Option<IoFault> {
+        IoFault::ALL.iter().copied().find(|f| f.name() == s)
+    }
+}
+
 /// Retargets the first static call whose callee has a same-selector,
 /// same-arity sibling on another class — the [`Fault::WrongDevirtTarget`]
 /// injection, run right after a transformation pass produced static calls
@@ -137,6 +202,18 @@ mod tests {
             assert_eq!(Fault::parse(f.name()), Some(f), "{f:?}");
         }
         assert_eq!(Fault::parse("no-such-fault"), None);
+    }
+
+    #[test]
+    fn io_fault_names_round_trip() {
+        for f in IoFault::ALL {
+            assert_eq!(IoFault::parse(f.name()), Some(f), "{f:?}");
+        }
+        assert_eq!(IoFault::parse("no-such-fault"), None);
+        let mut names: Vec<_> = IoFault::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), IoFault::ALL.len());
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod usespec;
 
 pub use cache::{config_fingerprint, Artifact, ArtifactCache, CacheKey, CacheStats};
 pub use decision::{InlinePlan, PlanEntry};
-pub use fault::Fault;
+pub use fault::{Fault, IoFault};
 pub use firewall::{
     optimize_guarded, optimize_guarded_budgeted, Divergence, FirewallConfig, Guarded,
 };

@@ -23,6 +23,8 @@
 //! - [`mod@cfg`]: control-flow utilities,
 //! - [`verify`]: structural validity checking,
 //! - [`printer`]: human-readable dumps,
+//! - [`serial`]: deterministic binary program encoding for the persistent
+//!   artifact store (panic-free decoding of untrusted bytes),
 //! - [`size`]: the generated-code-size model (paper Figure 15),
 //! - [`opt`]: post-devirtualization cleanups (method inlining, copy
 //!   propagation, dead-code elimination, CFG simplification).
@@ -43,6 +45,7 @@ pub mod lower;
 pub mod opt;
 pub mod printer;
 pub mod program;
+pub mod serial;
 pub mod size;
 pub mod verify;
 

@@ -1,0 +1,847 @@
+//! Binary serialization of [`Program`] for the persistent artifact store.
+//!
+//! The compile service persists optimized programs to disk
+//! (`oi_core::cache::store`) so a restart can serve warm artifacts instead
+//! of recompiling. This module is the IR half of that: a deterministic,
+//! dependency-free binary encoding of every IR structure, built on
+//! [`oi_support::codec`].
+//!
+//! Determinism matters because the on-disk envelope checksums the encoded
+//! bytes: the same `Program` value must always produce the same byte
+//! string. The only iteration-order hazard is `Class::methods` (a
+//! `HashMap`), which is sorted by raw symbol index before encoding.
+//!
+//! Symbols are encoded as their raw `u32` indices, and the interner as its
+//! string table in symbol order; decoding re-interns the strings in order,
+//! which reproduces identical symbols (interning is sequential and the
+//! table is deduplicated by construction). Table sizes are written in a
+//! header before any table so every cross-reference (class, method, field,
+//! global, layout, block ids) can be range-checked as it is read.
+//!
+//! Decoding is panic-free on arbitrary bytes: all reads are bounds-checked
+//! by the codec, and a corrupt artifact becomes a [`DecodeError`], never
+//! an out-of-bounds index at use time.
+//!
+//! # Examples
+//!
+//! ```
+//! let program = oi_ir::lower::compile("fn main() { print 2 + 3; }")?;
+//! let bytes = oi_ir::serial::encode_program(&program);
+//! let back = oi_ir::serial::decode_program(&bytes).unwrap();
+//! assert_eq!(oi_ir::printer::print_program(&back), oi_ir::printer::print_program(&program));
+//! # Ok::<(), oi_support::Diagnostic>(())
+//! ```
+
+use crate::instr::{BinOp, Builtin, ConstValue, Instr, Terminator, UnOp};
+use crate::program::{
+    ArrayLayoutKind, Block, BlockId, Class, ClassId, Field, FieldId, Global, GlobalId,
+    InlineLayout, LayoutId, Method, MethodId, Program, SiteId, Temp,
+};
+use oi_support::codec::{DecodeError, Reader, Writer};
+use oi_support::{Interner, Symbol};
+use std::collections::HashMap;
+
+/// Encodes a program to a deterministic byte string.
+pub fn encode_program(p: &Program) -> Vec<u8> {
+    let mut w = Writer::new();
+    // Header: table sizes, so the decoder can range-check forward
+    // references (e.g. an instruction naming a global before the global
+    // table has been read).
+    w.usize(p.interner.len());
+    w.usize(p.classes.as_slice().len());
+    w.usize(p.methods.as_slice().len());
+    w.usize(p.fields.as_slice().len());
+    w.usize(p.globals.as_slice().len());
+    w.usize(p.layouts.as_slice().len());
+    // Interner: string table in symbol order.
+    for s in p.interner.strings() {
+        w.str(s);
+    }
+    // Classes.
+    for c in p.classes.iter() {
+        w.u32(c.name.raw());
+        match c.parent {
+            Some(id) => {
+                w.bool(true);
+                w.u32(id.index() as u32);
+            }
+            None => w.bool(false),
+        }
+        w.usize(c.own_fields.len());
+        for f in &c.own_fields {
+            w.u32(f.index() as u32);
+        }
+        // HashMap: sort by raw symbol so identical values encode identically.
+        let mut methods: Vec<(u32, u32)> = c
+            .methods
+            .iter()
+            .map(|(sym, m)| (sym.raw(), m.index() as u32))
+            .collect();
+        methods.sort_unstable();
+        w.usize(methods.len());
+        for (sym, m) in methods {
+            w.u32(sym);
+            w.u32(m);
+        }
+    }
+    // Methods.
+    for m in p.methods.iter() {
+        w.u32(m.name.raw());
+        w.u32(m.class.index() as u32);
+        w.u32(m.param_count);
+        w.u32(m.temp_count);
+        w.usize(m.blocks.as_slice().len());
+        for b in m.blocks.iter() {
+            w.usize(b.instrs.len());
+            for i in &b.instrs {
+                encode_instr(&mut w, i);
+            }
+            encode_terminator(&mut w, &b.term);
+        }
+    }
+    // Fields.
+    for f in p.fields.iter() {
+        w.u32(f.name.raw());
+        w.u32(f.owner.index() as u32);
+        w.usize(f.annotations.len());
+        for a in &f.annotations {
+            w.u32(a.raw());
+        }
+    }
+    // Globals.
+    for g in p.globals.iter() {
+        w.u32(g.name.raw());
+    }
+    // Inline layouts.
+    for l in p.layouts.iter() {
+        w.u32(l.child_class.index() as u32);
+        w.usize(l.child_fields.len());
+        for s in &l.child_fields {
+            w.u32(s.raw());
+        }
+        w.usize(l.slots.len());
+        for s in &l.slots {
+            w.usize(*s);
+        }
+        w.u8(match l.array_kind {
+            None => 0,
+            Some(ArrayLayoutKind::Interleaved) => 1,
+            Some(ArrayLayoutKind::Parallel) => 2,
+        });
+    }
+    w.u32(p.site_count);
+    w.u32(p.entry.index() as u32);
+    w.into_bytes()
+}
+
+/// Decodes a program from bytes produced by [`encode_program`].
+///
+/// Returns a [`DecodeError`] (never panics) on truncated, malformed, or
+/// internally inconsistent input.
+pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let d = Decoder::header(&mut r)?;
+    let interner = d.interner(&mut r)?;
+
+    let mut classes = Vec::with_capacity(d.n_classes);
+    for _ in 0..d.n_classes {
+        classes.push(d.class(&mut r)?);
+    }
+    let mut methods = Vec::with_capacity(d.n_methods);
+    for _ in 0..d.n_methods {
+        methods.push(d.method(&mut r)?);
+    }
+    let mut fields = Vec::with_capacity(d.n_fields);
+    for _ in 0..d.n_fields {
+        fields.push(d.field(&mut r)?);
+    }
+    let mut globals = Vec::with_capacity(d.n_globals);
+    for _ in 0..d.n_globals {
+        globals.push(Global {
+            name: d.symbol(&mut r)?,
+        });
+    }
+    let mut layouts = Vec::with_capacity(d.n_layouts);
+    for _ in 0..d.n_layouts {
+        layouts.push(d.layout(&mut r)?);
+    }
+    let site_count = r.u32()?;
+    let entry = d.method_id(&mut r)?;
+    if !r.is_done() {
+        return Err(err(&r, "trailing bytes after program"));
+    }
+    Ok(Program {
+        interner,
+        classes: classes.into_iter().collect(),
+        methods: methods.into_iter().collect(),
+        fields: fields.into_iter().collect(),
+        globals: globals.into_iter().collect(),
+        layouts: layouts.into_iter().collect(),
+        site_count,
+        entry,
+    })
+}
+
+fn err(r: &Reader<'_>, what: &'static str) -> DecodeError {
+    DecodeError {
+        at: r.position(),
+        what,
+    }
+}
+
+/// Table sizes from the header; every cross-reference is checked against
+/// them as it decodes.
+struct Decoder {
+    n_symbols: usize,
+    n_classes: usize,
+    n_methods: usize,
+    n_fields: usize,
+    n_globals: usize,
+    n_layouts: usize,
+}
+
+impl Decoder {
+    fn header(r: &mut Reader<'_>) -> Result<Decoder, DecodeError> {
+        // `seq_len` bounds each count by the remaining input, so a corrupt
+        // header cannot demand a multi-gigabyte allocation up front.
+        Ok(Decoder {
+            n_symbols: r.seq_len()?,
+            n_classes: r.seq_len()?,
+            n_methods: r.seq_len()?,
+            n_fields: r.seq_len()?,
+            n_globals: r.seq_len()?,
+            n_layouts: r.seq_len()?,
+        })
+    }
+
+    fn interner(&self, r: &mut Reader<'_>) -> Result<Interner, DecodeError> {
+        let mut interner = Interner::new();
+        for i in 0..self.n_symbols {
+            let s = r.str()?;
+            let sym = interner.intern(&s);
+            if sym.raw() as usize != i {
+                return Err(err(r, "duplicate string in interner table"));
+            }
+        }
+        Ok(interner)
+    }
+
+    fn symbol(&self, r: &mut Reader<'_>) -> Result<Symbol, DecodeError> {
+        let raw = r.u32()? as usize;
+        if raw >= self.n_symbols {
+            return Err(err(r, "symbol out of range"));
+        }
+        // Symbols are re-created by index position; the interner built in
+        // `interner()` from the same table assigns exactly these ids.
+        Ok(Symbol::from_raw(raw as u32))
+    }
+
+    fn idx(r: &mut Reader<'_>, bound: usize, what: &'static str) -> Result<usize, DecodeError> {
+        let raw = r.u32()? as usize;
+        if raw >= bound {
+            return Err(err(r, what));
+        }
+        Ok(raw)
+    }
+
+    fn class_id(&self, r: &mut Reader<'_>) -> Result<ClassId, DecodeError> {
+        Self::idx(r, self.n_classes, "class id out of range").map(ClassId::new)
+    }
+
+    fn method_id(&self, r: &mut Reader<'_>) -> Result<MethodId, DecodeError> {
+        Self::idx(r, self.n_methods, "method id out of range").map(MethodId::new)
+    }
+
+    fn field_id(&self, r: &mut Reader<'_>) -> Result<FieldId, DecodeError> {
+        Self::idx(r, self.n_fields, "field id out of range").map(FieldId::new)
+    }
+
+    fn global_id(&self, r: &mut Reader<'_>) -> Result<GlobalId, DecodeError> {
+        Self::idx(r, self.n_globals, "global id out of range").map(GlobalId::new)
+    }
+
+    fn layout_id(&self, r: &mut Reader<'_>) -> Result<LayoutId, DecodeError> {
+        Self::idx(r, self.n_layouts, "layout id out of range").map(LayoutId::new)
+    }
+
+    fn class(&self, r: &mut Reader<'_>) -> Result<Class, DecodeError> {
+        let name = self.symbol(r)?;
+        let parent = if r.bool()? {
+            Some(self.class_id(r)?)
+        } else {
+            None
+        };
+        let nf = r.seq_len()?;
+        let mut own_fields = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            own_fields.push(self.field_id(r)?);
+        }
+        let nm = r.seq_len()?;
+        let mut methods = HashMap::with_capacity(nm);
+        for _ in 0..nm {
+            let sym = self.symbol(r)?;
+            methods.insert(sym, self.method_id(r)?);
+        }
+        Ok(Class {
+            name,
+            parent,
+            own_fields,
+            methods,
+        })
+    }
+
+    fn method(&self, r: &mut Reader<'_>) -> Result<Method, DecodeError> {
+        let name = self.symbol(r)?;
+        let class = self.class_id(r)?;
+        let param_count = r.u32()?;
+        let temp_count = r.u32()?;
+        let nb = r.seq_len()?;
+        let mut blocks = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            let ni = r.seq_len()?;
+            let mut instrs = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                instrs.push(self.instr(r)?);
+            }
+            let term = self.terminator(r, nb)?;
+            blocks.push(Block { instrs, term });
+        }
+        Ok(Method {
+            name,
+            class,
+            param_count,
+            temp_count,
+            blocks: blocks.into_iter().collect(),
+        })
+    }
+
+    fn field(&self, r: &mut Reader<'_>) -> Result<Field, DecodeError> {
+        let name = self.symbol(r)?;
+        let owner = self.class_id(r)?;
+        let na = r.seq_len()?;
+        let mut annotations = Vec::with_capacity(na);
+        for _ in 0..na {
+            annotations.push(self.symbol(r)?);
+        }
+        Ok(Field {
+            name,
+            owner,
+            annotations,
+        })
+    }
+
+    fn layout(&self, r: &mut Reader<'_>) -> Result<InlineLayout, DecodeError> {
+        let child_class = self.class_id(r)?;
+        let nf = r.seq_len()?;
+        let mut child_fields = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            child_fields.push(self.symbol(r)?);
+        }
+        let ns = r.seq_len()?;
+        let mut slots = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            slots.push(r.usize()?);
+        }
+        let array_kind = match r.u8()? {
+            0 => None,
+            1 => Some(ArrayLayoutKind::Interleaved),
+            2 => Some(ArrayLayoutKind::Parallel),
+            _ => return Err(err(r, "array layout kind out of range")),
+        };
+        Ok(InlineLayout {
+            child_class,
+            child_fields,
+            slots,
+            array_kind,
+        })
+    }
+
+    fn temp(&self, r: &mut Reader<'_>) -> Result<Temp, DecodeError> {
+        Ok(Temp::new(r.u32()? as usize))
+    }
+
+    fn temps(&self, r: &mut Reader<'_>) -> Result<Vec<Temp>, DecodeError> {
+        let n = r.seq_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.temp(r)?);
+        }
+        Ok(out)
+    }
+
+    fn site(&self, r: &mut Reader<'_>) -> Result<SiteId, DecodeError> {
+        Ok(SiteId::new(r.u32()? as usize))
+    }
+
+    fn instr(&self, r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
+        Ok(match r.u8()? {
+            0 => Instr::Const {
+                dst: self.temp(r)?,
+                value: self.const_value(r)?,
+            },
+            1 => Instr::Move {
+                dst: self.temp(r)?,
+                src: self.temp(r)?,
+            },
+            2 => Instr::Unary {
+                dst: self.temp(r)?,
+                op: match r.u8()? {
+                    0 => UnOp::Neg,
+                    1 => UnOp::Not,
+                    _ => return Err(err(r, "unary op out of range")),
+                },
+                src: self.temp(r)?,
+            },
+            3 => Instr::Binary {
+                dst: self.temp(r)?,
+                op: decode_binop(r)?,
+                lhs: self.temp(r)?,
+                rhs: self.temp(r)?,
+            },
+            4 => Instr::New {
+                dst: self.temp(r)?,
+                class: self.class_id(r)?,
+                args: self.temps(r)?,
+                site: self.site(r)?,
+            },
+            5 => Instr::NewArray {
+                dst: self.temp(r)?,
+                len: self.temp(r)?,
+                site: self.site(r)?,
+            },
+            6 => Instr::NewArrayInline {
+                dst: self.temp(r)?,
+                len: self.temp(r)?,
+                layout: self.layout_id(r)?,
+                site: self.site(r)?,
+            },
+            7 => Instr::GetField {
+                dst: self.temp(r)?,
+                obj: self.temp(r)?,
+                field: self.symbol(r)?,
+            },
+            8 => Instr::SetField {
+                obj: self.temp(r)?,
+                field: self.symbol(r)?,
+                src: self.temp(r)?,
+            },
+            9 => Instr::ArrayGet {
+                dst: self.temp(r)?,
+                arr: self.temp(r)?,
+                idx: self.temp(r)?,
+            },
+            10 => Instr::ArraySet {
+                arr: self.temp(r)?,
+                idx: self.temp(r)?,
+                src: self.temp(r)?,
+            },
+            11 => Instr::GetGlobal {
+                dst: self.temp(r)?,
+                global: self.global_id(r)?,
+            },
+            12 => Instr::SetGlobal {
+                global: self.global_id(r)?,
+                src: self.temp(r)?,
+            },
+            13 => Instr::Send {
+                dst: self.temp(r)?,
+                recv: self.temp(r)?,
+                selector: self.symbol(r)?,
+                args: self.temps(r)?,
+            },
+            14 => Instr::CallStatic {
+                dst: self.temp(r)?,
+                method: self.method_id(r)?,
+                recv: self.temp(r)?,
+                args: self.temps(r)?,
+            },
+            15 => Instr::CallBuiltin {
+                dst: self.temp(r)?,
+                builtin: match r.u8()? {
+                    0 => Builtin::Sqrt,
+                    1 => Builtin::Len,
+                    2 => Builtin::ToFloat,
+                    3 => Builtin::ToInt,
+                    _ => return Err(err(r, "builtin out of range")),
+                },
+                args: self.temps(r)?,
+            },
+            16 => Instr::MakeInterior {
+                dst: self.temp(r)?,
+                obj: self.temp(r)?,
+                layout: self.layout_id(r)?,
+            },
+            17 => Instr::MakeInteriorElem {
+                dst: self.temp(r)?,
+                arr: self.temp(r)?,
+                idx: self.temp(r)?,
+                layout: self.layout_id(r)?,
+            },
+            18 => Instr::Print { src: self.temp(r)? },
+            _ => return Err(err(r, "instruction tag out of range")),
+        })
+    }
+
+    fn const_value(&self, r: &mut Reader<'_>) -> Result<ConstValue, DecodeError> {
+        Ok(match r.u8()? {
+            0 => ConstValue::Int(r.i64()?),
+            1 => ConstValue::Float(r.f64()?),
+            2 => ConstValue::Bool(r.bool()?),
+            3 => ConstValue::Nil,
+            4 => ConstValue::Str(self.symbol(r)?),
+            _ => return Err(err(r, "constant tag out of range")),
+        })
+    }
+
+    fn terminator(&self, r: &mut Reader<'_>, n_blocks: usize) -> Result<Terminator, DecodeError> {
+        let block = |r: &mut Reader<'_>| -> Result<BlockId, DecodeError> {
+            Self::idx(r, n_blocks, "block id out of range").map(BlockId::new)
+        };
+        Ok(match r.u8()? {
+            0 => Terminator::Jump(block(r)?),
+            1 => Terminator::Branch {
+                cond: self.temp(r)?,
+                then_bb: block(r)?,
+                else_bb: block(r)?,
+            },
+            2 => Terminator::Return(self.temp(r)?),
+            3 => Terminator::Unterminated,
+            _ => return Err(err(r, "terminator tag out of range")),
+        })
+    }
+}
+
+fn encode_instr(w: &mut Writer, i: &Instr) {
+    let temp = |w: &mut Writer, t: Temp| w.u32(t.index() as u32);
+    let temps = |w: &mut Writer, ts: &[Temp]| {
+        w.usize(ts.len());
+        for t in ts {
+            w.u32(t.index() as u32);
+        }
+    };
+    match *i {
+        Instr::Const { dst, value } => {
+            w.u8(0);
+            temp(w, dst);
+            match value {
+                ConstValue::Int(v) => {
+                    w.u8(0);
+                    w.i64(v);
+                }
+                ConstValue::Float(v) => {
+                    w.u8(1);
+                    w.f64(v);
+                }
+                ConstValue::Bool(v) => {
+                    w.u8(2);
+                    w.bool(v);
+                }
+                ConstValue::Nil => w.u8(3),
+                ConstValue::Str(s) => {
+                    w.u8(4);
+                    w.u32(s.raw());
+                }
+            }
+        }
+        Instr::Move { dst, src } => {
+            w.u8(1);
+            temp(w, dst);
+            temp(w, src);
+        }
+        Instr::Unary { dst, op, src } => {
+            w.u8(2);
+            temp(w, dst);
+            w.u8(match op {
+                UnOp::Neg => 0,
+                UnOp::Not => 1,
+            });
+            temp(w, src);
+        }
+        Instr::Binary { dst, op, lhs, rhs } => {
+            w.u8(3);
+            temp(w, dst);
+            w.u8(encode_binop(op));
+            temp(w, lhs);
+            temp(w, rhs);
+        }
+        Instr::New {
+            dst,
+            class,
+            ref args,
+            site,
+        } => {
+            w.u8(4);
+            temp(w, dst);
+            w.u32(class.index() as u32);
+            temps(w, args);
+            w.u32(site.index() as u32);
+        }
+        Instr::NewArray { dst, len, site } => {
+            w.u8(5);
+            temp(w, dst);
+            temp(w, len);
+            w.u32(site.index() as u32);
+        }
+        Instr::NewArrayInline {
+            dst,
+            len,
+            layout,
+            site,
+        } => {
+            w.u8(6);
+            temp(w, dst);
+            temp(w, len);
+            w.u32(layout.index() as u32);
+            w.u32(site.index() as u32);
+        }
+        Instr::GetField { dst, obj, field } => {
+            w.u8(7);
+            temp(w, dst);
+            temp(w, obj);
+            w.u32(field.raw());
+        }
+        Instr::SetField { obj, field, src } => {
+            w.u8(8);
+            temp(w, obj);
+            w.u32(field.raw());
+            temp(w, src);
+        }
+        Instr::ArrayGet { dst, arr, idx } => {
+            w.u8(9);
+            temp(w, dst);
+            temp(w, arr);
+            temp(w, idx);
+        }
+        Instr::ArraySet { arr, idx, src } => {
+            w.u8(10);
+            temp(w, arr);
+            temp(w, idx);
+            temp(w, src);
+        }
+        Instr::GetGlobal { dst, global } => {
+            w.u8(11);
+            temp(w, dst);
+            w.u32(global.index() as u32);
+        }
+        Instr::SetGlobal { global, src } => {
+            w.u8(12);
+            w.u32(global.index() as u32);
+            temp(w, src);
+        }
+        Instr::Send {
+            dst,
+            recv,
+            selector,
+            ref args,
+        } => {
+            w.u8(13);
+            temp(w, dst);
+            temp(w, recv);
+            w.u32(selector.raw());
+            temps(w, args);
+        }
+        Instr::CallStatic {
+            dst,
+            method,
+            recv,
+            ref args,
+        } => {
+            w.u8(14);
+            temp(w, dst);
+            w.u32(method.index() as u32);
+            temp(w, recv);
+            temps(w, args);
+        }
+        Instr::CallBuiltin {
+            dst,
+            builtin,
+            ref args,
+        } => {
+            w.u8(15);
+            temp(w, dst);
+            w.u8(match builtin {
+                Builtin::Sqrt => 0,
+                Builtin::Len => 1,
+                Builtin::ToFloat => 2,
+                Builtin::ToInt => 3,
+            });
+            temps(w, args);
+        }
+        Instr::MakeInterior { dst, obj, layout } => {
+            w.u8(16);
+            temp(w, dst);
+            temp(w, obj);
+            w.u32(layout.index() as u32);
+        }
+        Instr::MakeInteriorElem {
+            dst,
+            arr,
+            idx,
+            layout,
+        } => {
+            w.u8(17);
+            temp(w, dst);
+            temp(w, arr);
+            temp(w, idx);
+            w.u32(layout.index() as u32);
+        }
+        Instr::Print { src } => {
+            w.u8(18);
+            temp(w, src);
+        }
+    }
+}
+
+fn encode_terminator(w: &mut Writer, t: &Terminator) {
+    match *t {
+        Terminator::Jump(bb) => {
+            w.u8(0);
+            w.u32(bb.index() as u32);
+        }
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            w.u8(1);
+            w.u32(cond.index() as u32);
+            w.u32(then_bb.index() as u32);
+            w.u32(else_bb.index() as u32);
+        }
+        Terminator::Return(t) => {
+            w.u8(2);
+            w.u32(t.index() as u32);
+        }
+        Terminator::Unterminated => w.u8(3),
+    }
+}
+
+fn encode_binop(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::RefEq => 7,
+        BinOp::Lt => 8,
+        BinOp::Le => 9,
+        BinOp::Gt => 10,
+        BinOp::Ge => 11,
+    }
+}
+
+fn decode_binop(r: &mut Reader<'_>) -> Result<BinOp, DecodeError> {
+    Ok(match r.u8()? {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::RefEq,
+        8 => BinOp::Lt,
+        9 => BinOp::Le,
+        10 => BinOp::Gt,
+        11 => BinOp::Ge,
+        _ => {
+            return Err(DecodeError {
+                at: r.position(),
+                what: "binary op out of range",
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = "class Point { field x; field y;
+           method init(a, b) { self.x = a; self.y = b; }
+           method sum() { return self.x + self.y; }
+         }
+         class Rect { field ll @inline_cxx; field ur;
+           method init(a, b) { self.ll = a; self.ur = b; }
+         }
+         fn main() {
+           var r = new Rect(new Point(1.0, 2.0), new Point(3.0, 4.0));
+           print r.ll.x + r.ur.y;
+         }";
+
+    fn lowered_program() -> Program {
+        crate::lower::compile(SOURCE).unwrap()
+    }
+
+    #[test]
+    fn lowered_program_round_trips_exactly() {
+        let p = lowered_program();
+        let bytes = encode_program(&p);
+        let back = decode_program(&bytes).unwrap();
+        assert_eq!(
+            crate::printer::print_program(&back),
+            crate::printer::print_program(&p)
+        );
+        assert_eq!(back.site_count, p.site_count);
+        assert_eq!(back.entry, p.entry);
+        assert_eq!(back.interner.len(), p.interner.len());
+        crate::verify::verify(&back).expect("decoded program is well-formed");
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_clones() {
+        // Class::methods is a HashMap; the sort on encode must make byte
+        // strings identical even when map iteration order differs.
+        let p = lowered_program();
+        let a = encode_program(&p);
+        let b = encode_program(&p.clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symbols_survive_the_round_trip_by_index() {
+        let p = lowered_program();
+        let back = decode_program(&encode_program(&p)).unwrap();
+        for (a, b) in p.interner.strings().zip(back.interner.strings()) {
+            assert_eq!(a, b);
+        }
+        for (ca, cb) in p.classes.iter().zip(back.classes.iter()) {
+            assert_eq!(ca.name, cb.name);
+            assert_eq!(ca.methods.len(), cb.methods.len());
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let p = lowered_program();
+        let bytes = encode_program(&p);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_program(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic_the_decoder() {
+        let p = lowered_program();
+        let bytes = encode_program(&p);
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            let _ = decode_program(&corrupt); // must not panic; may error
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let p = lowered_program();
+        let mut bytes = encode_program(&p);
+        bytes.push(0);
+        assert!(decode_program(&bytes).is_err());
+    }
+}

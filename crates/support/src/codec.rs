@@ -1,0 +1,329 @@
+//! Dependency-free binary encoding for on-disk artifacts.
+//!
+//! The persistent artifact store (`oi_core::cache::store`) serializes
+//! compiled programs to disk. The workspace has no external dependencies,
+//! so this module provides the minimal substrate: a [`Writer`] that appends
+//! fixed-width little-endian primitives and length-prefixed strings to a
+//! byte buffer, and a bounds-checked [`Reader`] that decodes them back.
+//!
+//! Every multi-byte integer is little-endian. Strings and sequences are
+//! length-prefixed with a `u64`. Floats travel as IEEE-754 bit patterns
+//! ([`f64::to_bits`]) so round-trips are exact, including NaN payloads.
+//!
+//! Decoding never panics on malformed input: every read is bounds-checked
+//! and returns a [`DecodeError`] carrying the offset and a description, so
+//! callers (the crash-recovery scan) can quarantine a corrupt artifact
+//! instead of taking down the service.
+//!
+//! # Examples
+//!
+//! ```
+//! use oi_support::codec::{Reader, Writer};
+//! let mut w = Writer::new();
+//! w.u32(7);
+//! w.str("area");
+//! w.f64(1.5);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = Reader::new(&bytes);
+//! assert_eq!(r.u32().unwrap(), 7);
+//! assert_eq!(r.str().unwrap(), "area");
+//! assert_eq!(r.f64().unwrap(), 1.5);
+//! assert!(r.is_done());
+//! ```
+
+use std::fmt;
+
+/// A decoding failure: the input was truncated, oversized, or malformed.
+///
+/// Carries the byte offset at which decoding failed and a static
+/// description of what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset into the input at which the failure was detected.
+    pub at: usize,
+    /// What the decoder was trying to read.
+    pub what: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An append-only binary encoder over a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes with no length prefix (caller owns framing).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (stable across platforms).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends a `u64`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.raw(s.as_bytes());
+    }
+
+    /// Appends a `u64`-length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.raw(b);
+    }
+}
+
+/// A bounds-checked binary decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn err(&self, what: &'static str) -> DecodeError {
+        DecodeError { at: self.pos, what }
+    }
+
+    /// Consumes exactly `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(self.err("unexpected end of input"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a `u64` and converts it to `usize`, failing on overflow.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| self.err("usize overflow"))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a boolean byte; any value other than 0 or 1 is malformed.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(self.err("boolean out of range")),
+        }
+    }
+
+    /// Reads a sequence length, rejecting lengths the remaining input
+    /// cannot possibly hold (each element needs at least one byte). This
+    /// bounds allocations on corrupt input before any element decodes.
+    pub fn seq_len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(self.err("sequence length exceeds input"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a `u64`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.seq_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8"))
+    }
+
+    /// Reads a `u64`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.seq_len()?;
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u32(u32::MAX);
+        w.u64(u64::MAX - 1);
+        w.usize(12345);
+        w.i64(-42);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.bool(false);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), u32::MAX);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut w = Writer::new();
+        w.u64(7);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        let e = r.u64().unwrap_err();
+        assert_eq!(e.at, 0);
+        assert!(e.to_string().contains("unexpected end"));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocating() {
+        // A string claiming u64::MAX bytes must fail on the length check,
+        // not attempt the allocation.
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn malformed_bool_and_utf8_are_decode_errors() {
+        let mut r = Reader::new(&[2]);
+        assert!(r.bool().is_err());
+
+        let mut w = Writer::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn offsets_in_errors_point_at_the_failure() {
+        let mut w = Writer::new();
+        w.u32(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.u32().unwrap();
+        let e = r.u8().unwrap_err();
+        assert_eq!(e.at, 4);
+    }
+}

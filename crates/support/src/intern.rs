@@ -30,6 +30,19 @@ impl Symbol {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Reconstructs a symbol from a raw interner slot.
+    ///
+    /// This is the deserialization escape hatch: the on-disk artifact
+    /// codec stores symbols as raw indices and rebuilds the interner by
+    /// re-interning its string table in order ([`Interner::strings`]).
+    /// The caller is responsible for range-checking `raw` against the
+    /// interner that will resolve it — a fabricated symbol is memory safe
+    /// but panics on [`Interner::resolve`].
+    #[inline]
+    pub fn from_raw(raw: u32) -> Symbol {
+        Symbol(raw)
+    }
 }
 
 impl fmt::Debug for Symbol {
@@ -83,6 +96,15 @@ impl Interner {
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
         self.strings.len()
+    }
+
+    /// Iterates the interned strings in symbol order (symbol 0 first).
+    ///
+    /// Re-`intern`ing the yielded strings into a fresh interner, in order,
+    /// reproduces identical symbols — the property the on-disk artifact
+    /// codec relies on to round-trip raw symbol indices.
+    pub fn strings(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(String::as_str)
     }
 
     /// Returns `true` if nothing has been interned.

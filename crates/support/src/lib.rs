@@ -10,6 +10,8 @@
 //!   contours) behind the analysis governor and the batch driver,
 //! - [`cli`]: the shared command-line argument scanner used by every
 //!   binary (strict flag classification, exit-2 discipline),
+//! - [`codec`]: dependency-free binary encoding (bounds-checked,
+//!   panic-free decoding) behind the persistent artifact store,
 //! - [`diag`]: source spans, a line-start index, and compiler diagnostics,
 //! - [`error`]: the shared [`error::OiError`] type for recoverable
 //!   pipeline failures,
@@ -41,6 +43,7 @@
 
 pub mod budget;
 pub mod cli;
+pub mod codec;
 pub mod diag;
 pub mod error;
 pub mod hash;

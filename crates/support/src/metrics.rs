@@ -462,4 +462,46 @@ mod tests {
         assert_eq!(r.counter("n"), 400);
         assert_eq!(r.quantile_ns("t", 50.0), 10);
     }
+
+    /// A contained job that dies while recording poisons the registry
+    /// mutex. The serve loop exports metrics after every request, so a
+    /// poisoned registry must keep recording and exporting — a panicking
+    /// reader must never take the metrics endpoint (or the server) down
+    /// with it.
+    #[test]
+    fn poisoned_registry_keeps_recording_and_exporting() {
+        let _quiet = crate::panic::silence_hook();
+        let r = std::sync::Arc::new(Registry::new());
+        r.add("serve.requests", 3);
+        r.observe_ns("serve.total_ns", 1_000);
+
+        let poisoner = r.clone();
+        let worker = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().expect("first lock is clean");
+            panic!("reader dies while holding the registry lock");
+        });
+        assert!(worker.join().is_err(), "the poisoner must panic");
+        assert!(r.inner.lock().is_err(), "the mutex must be poisoned");
+
+        // Export must not panic — and must still see the pre-poison data.
+        let doc = crate::panic::contained(|| r.to_json()).expect("export must not panic");
+        assert_eq!(
+            doc.get("schema").and_then(crate::Json::as_str),
+            Some("oi.metrics.v1")
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(crate::Json::as_i64),
+            Some(3)
+        );
+
+        // And the registry keeps accepting writes afterwards.
+        r.add("serve.requests", 1);
+        r.gauge_set("serve.in_flight", 2);
+        r.observe_ns("serve.total_ns", 2_000);
+        assert_eq!(r.counter("serve.requests"), 4);
+        assert_eq!(r.gauge("serve.in_flight"), 2);
+        assert!(r.quantile_ns("serve.total_ns", 99.0) >= 1_000);
+    }
 }

@@ -302,10 +302,14 @@ impl VmSession {
         };
         let budget = state.instr_budget;
         let mut quota = fuel.min(budget);
-        let before = state.metrics.instructions;
+        let granted = quota;
         let mut vm = Vm::from_state(program, &self.config, state);
         let end = vm.drive(&mut quota);
-        let fuel_spent = vm.metrics.instructions - before;
+        // Fuel is the quota delta, not `metrics.instructions`: the drive
+        // loop meters block terminators too (an empty-loop cycle must not
+        // spin for free), while the instructions metric stays a pure
+        // instruction count.
+        let fuel_spent = granted - quota;
         vm.instr_budget = budget - fuel_spent;
         self.executed += fuel_spent;
         match end {
@@ -328,9 +332,10 @@ impl VmSession {
         }
     }
 
-    /// Total instructions executed across every slice so far — the
-    /// VM-side half of a scheduler's fuel reconciliation. Valid in every
-    /// state, including after a trap.
+    /// Total fuel spent across every slice so far — dispatches, i.e.
+    /// instructions plus block terminators — the VM-side half of a
+    /// scheduler's fuel reconciliation. Valid in every state, including
+    /// after a trap.
     pub fn instructions_executed(&self) -> u64 {
         self.executed
     }
@@ -1322,13 +1327,17 @@ impl<'p> Vm<'p> {
     }
 
     /// Drives the frame stack until the program finishes, traps, or
-    /// `quota` instructions have been dispatched.
+    /// `quota` dispatches have been spent.
     ///
-    /// This loop is the single fuel/limit checkpoint: every dispatch
-    /// decrements `quota` exactly once (the caller fuses the fuel slice
-    /// with the remaining `max_instructions` budget), `max_depth` is
-    /// enforced at the one frame-push site and `max_heap_words` at the one
-    /// allocation site — there are no other limit branches.
+    /// This loop is the fuel/limit checkpoint: every dispatch — each
+    /// instruction *and* each block terminator — decrements `quota`
+    /// exactly once (the caller fuses the fuel slice with the remaining
+    /// `max_instructions` budget), `max_depth` is enforced at the one
+    /// frame-push site and `max_heap_words` at the one allocation site —
+    /// there are no other limit branches. Terminators must be metered:
+    /// a cycle of empty blocks (jump/branch only, zero instructions)
+    /// would otherwise spin forever without ever touching the quota,
+    /// escaping both `max_instructions` and fuel slicing.
     fn drive(&mut self, quota: &mut u64) -> Result<StepEnd, VmError> {
         'outer: while !self.frames.is_empty() {
             let top = self.frames.len() - 1;
@@ -1381,6 +1390,14 @@ impl<'p> Vm<'p> {
                         }
                     }
                 }
+                if *quota == 0 {
+                    let f = &mut self.frames[top];
+                    f.bb = bb;
+                    f.ip = ip;
+                    f.locals = locals;
+                    return Ok(StepEnd::OutOfFuel);
+                }
+                *quota -= 1;
                 if let Some(p) = &mut self.profile {
                     p.opcode_counts[OP_BRANCH] += 1;
                     self.cur_op = OP_BRANCH;
@@ -2467,12 +2484,26 @@ mod census_tests {
         .unwrap();
         let config = VmConfig::default();
         let oneshot = run(&p, &config).unwrap();
+        // The one-shot fuel total: dispatches (instructions plus block
+        // terminators), which is what every sliced run must reconcile to.
+        let mut one = VmSession::new(&p, &config).unwrap();
+        let FuelOutcome::Done {
+            fuel_spent: oneshot_fuel,
+            ..
+        } = one.run_fuel(&p, u64::MAX)
+        else {
+            panic!("one-shot session must complete");
+        };
+        assert!(
+            oneshot_fuel > oneshot.metrics.instructions,
+            "fuel counts terminators on top of instructions"
+        );
         for slice in [1, 7, 64] {
             let (sliced, yields, fuel) = run_sliced(&p, &config, slice);
             assert_eq!(sliced.output, oneshot.output, "slice {slice}");
             assert_eq!(sliced.metrics, oneshot.metrics, "slice {slice}");
             assert_eq!(sliced.allocation_census, oneshot.allocation_census);
-            assert_eq!(fuel, oneshot.metrics.instructions, "fuel reconciles");
+            assert_eq!(fuel, oneshot_fuel, "fuel reconciles");
             assert!(yields > 0, "slice {slice} should preempt at least once");
         }
     }

@@ -48,18 +48,22 @@ const USAGE: &str =
     explain  print the decision provenance chain for one Class.field\n\
     dump     print the IR (after --inline: the transformed program)\n\
     bench    benchmark observatory passthrough\n\
-    \x20        (oic bench snapshot|compare|loadgen|tenantload)\n\
+    \x20        (oic bench snapshot|compare|loadgen|tenantload|restartload)\n\
     prof     hierarchical profiler: compile-stage self/total times plus\n\
     \x20        baseline-vs-inlined VM profiles (--json | --collapse)\n\
     fuzz     adversarial differential fuzzing (oic fuzz --runs N --seed S)\n\
     batch    panic-isolated fleet compilation (oic batch <dir> --deadline-ms N)\n\
     chaos    systematic fault injection against the detection lattice\n\
-    \x20        (compiler faults plus the service-layer matrix)\n\
+    \x20        (compiler faults, the service-layer matrix, and the\n\
+    \x20         storage I/O fault matrix)\n\
     serve    long-lived compile server over a stdin/stdout JSON-lines\n\
     \x20        protocol with a content-addressed artifact cache and\n\
     \x20        fuel-sliced, quota-metered multi-tenant execution\n\
     \x20        (oic serve --jobs N --queue N --fuel-slice N\n\
-    \x20         --max-instructions N --tenant-concurrent N ...)\n\
+    \x20         --max-instructions N --tenant-concurrent N\n\
+    \x20         --cache-dir DIR --disk-bytes N ...; --cache-dir adds a\n\
+    \x20         crash-safe persistent artifact tier with warm-restart\n\
+    \x20         recovery)\n\
     \n\
     --json          machine-readable output (run, compare, report, explain)\n\
     --max-rounds N / --deadline-ms N\n\

@@ -364,7 +364,7 @@ fn bench_passthrough_shares_the_oi_bench_cli() {
     let out = oic().args(["bench", "wat"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr)
-        .contains("unknown command `wat` (snapshot|compare|loadgen|tenantload)"));
+        .contains("unknown command `wat` (snapshot|compare|loadgen|tenantload|restartload)"));
 
     let out = oic().args(["bench", "--help"]).output().unwrap();
     assert_eq!(out.status.code(), Some(0));
@@ -624,14 +624,134 @@ fn chaos_passthrough_detects_an_injected_fault() {
     let out = oic().args(["chaos", "--list"]).output().unwrap();
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(stdout.lines().count(), 5, "{stdout}");
+    // 5 compiler fault classes plus the 7 storage I/O fault classes.
+    assert_eq!(stdout.lines().count(), 12, "{stdout}");
     assert!(stdout.contains("wrong-devirt-target"), "{stdout}");
+    assert!(stdout.contains("truncated-journal-tail"), "{stdout}");
+    assert!(stdout.contains("torn-write"), "{stdout}");
 
     let out = oic().args(["chaos", "--fault", "wat"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown fault"));
     let out = oic().args(["chaos", "extra.oi"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+}
+
+/// A single storage I/O fault through `oic chaos`: the corrupted store
+/// must be detected, quarantined, and re-served with zero corrupt
+/// responses, reported under the additive `io_faults` key.
+#[test]
+fn chaos_single_io_fault_is_detected_and_quarantined() {
+    use oi_support::Json;
+    let out = oic()
+        .args(["chaos", "--fault", "bit-flip-body", "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    let rows = doc.get("io_faults").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(
+        rows[0].get("fault").and_then(Json::as_str),
+        Some("bit-flip-body")
+    );
+    assert_eq!(rows[0].get("detected"), Some(&Json::Bool(true)));
+    assert_eq!(rows[0].get("quarantined"), Some(&Json::Bool(true)));
+    assert_eq!(
+        rows[0].get("corrupt_served").and_then(Json::as_i64),
+        Some(0)
+    );
+}
+
+/// `oic serve --cache-dir`: a second server process over the same
+/// directory must answer the same source from the verified disk tier.
+#[test]
+fn serve_cache_dir_survives_a_restart() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let dir = std::env::temp_dir().join(format!("oic-cli-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let session = |requests: &str| -> String {
+        let mut child = oic()
+            .args(["serve", "--cache-dir", dir.to_str().unwrap()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(requests.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let compile = r#"{"id": 1, "op": "compile", "source": "fn main() { print 6 * 7; }"}
+{"id": 2, "op": "shutdown"}
+"#;
+    let first = session(compile);
+    assert!(first.contains("\"cache\":\"miss\""), "{first}");
+    let second = session(compile);
+    assert!(second.contains("\"cache\":\"disk\""), "{second}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `oic bench restartload`: usage errors keep the exit-2 discipline and
+/// a scaled-down replay with one unclean kill meets its own gate.
+#[test]
+fn bench_restartload_gate_and_usage() {
+    use oi_support::Json;
+    let out = oic()
+        .args(["bench", "restartload", "--wat"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: oic bench restartload"));
+
+    let out = oic()
+        .args([
+            "bench",
+            "restartload",
+            "--requests",
+            "60",
+            "--sources",
+            "4",
+            "--kills",
+            "1",
+            "--seed",
+            "5",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("oi.restart.v1")
+    );
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("corrupt_total").and_then(Json::as_i64), Some(0));
+    assert_eq!(doc.get("recovered"), Some(&Json::Bool(true)));
 }
 
 #[test]
