@@ -77,15 +77,18 @@ echo "==> chaos-smoke (fault-injection matrix vs the detection lattice)"
 # (sanitizer or oracle), the culprit decision retracted, the repaired
 # output restored baseline-equal, and zero faults escape. The run also
 # covers the service-layer matrix (request-never-yields,
-# fuel-exhaustion-storm, mid-request-panic) against the multi-tenant
-# scheduler and serve pump, and the storage I/O fault matrix (torn
+# fuel-exhaustion-storm, mid-request-panic, wedged-worker, compile-spin,
+# retry-storm, persister-backlog) against the multi-tenant scheduler,
+# the serve pump and its watchdog/breaker self-healing, and the storage
+# I/O fault matrix (torn
 # writes, bit flips, torn journal tails, version skew, ...) against the
 # persistent artifact tier: every I/O class must be detected and
 # quarantined with zero corrupt artifacts served. The document must
 # carry every row and report zero escapes overall.
 target/release/oic chaos --json --out target/chaos_smoke.json
 grep -q '"service_faults":' target/chaos_smoke.json
-for f in request-never-yields fuel-exhaustion-storm mid-request-panic; do
+for f in request-never-yields fuel-exhaustion-storm mid-request-panic \
+         wedged-worker compile-spin retry-storm persister-backlog; do
     grep -q "\"fault\":\"$f\"" target/chaos_smoke.json
 done
 grep -q '"io_faults":' target/chaos_smoke.json
@@ -179,6 +182,25 @@ grep -q '"schema":"oi.restart.v1"' target/restart_smoke.json
 grep -q '"corrupt_total":0' target/restart_smoke.json
 grep -q '"recovered":true' target/restart_smoke.json
 grep -q '"reconciled":true' target/restart_smoke.json
+
+echo "==> brownout-smoke (adaptive overload control end to end)"
+# A seeded cold-compile burst against a brownout-enabled serve session:
+# the controller must descend at least one rung under the burst, every
+# shed must converge through the typed retry_after_ms contract with
+# zero give-ups, queue-wait p99 while degraded must stay under twice
+# the target, the ladder must unwind fully, and the driver's client-side
+# tallies must reconcile exactly with the server's shed/request
+# counters. The driver exits non-zero on any gate failure.
+target/release/oic bench brownoutload --seed 1 \
+    --json --out target/brownout_smoke.json
+grep -q '"schema":"oi.brownout.v1"' target/brownout_smoke.json
+grep -q '"give_ups":0' target/brownout_smoke.json
+grep -q '"final_tier":"guarded-full"' target/brownout_smoke.json
+if grep -q '"brownout_descend_total":0' target/brownout_smoke.json; then
+    echo "brownout-smoke: the burst never forced a brownout descend" >&2
+    exit 1
+fi
+grep -q '"passed":true' target/brownout_smoke.json
 
 echo "==> tenant-smoke (metered multi-tenant execution end to end)"
 # A scaled-down tenantload burst through the fuel-sliced fair

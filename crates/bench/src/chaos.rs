@@ -226,14 +226,40 @@ pub enum ServiceFault {
     /// A guest panic injected mid-execution (between fuel slices) of a
     /// served request; it must be contained to that one response.
     MidRequestPanic,
+    /// A repeat-offender source wedges the only worker twice (the serve
+    /// chaos seam, `chaos.wedge_compile_ms`): the watchdog must answer
+    /// each victim `watchdog-killed`, replace the worker both times, and
+    /// the circuit breaker must quarantine the fingerprint on the second
+    /// strike — while interleaved neighbors are served by the
+    /// replacements.
+    WedgedWorker,
+    /// A single transient compile spin on one of two workers: the
+    /// watchdog kills it once, the sibling worker serves every neighbor
+    /// during the wedge, and one strike must NOT open the breaker — a
+    /// transient spin is not a repeat offender.
+    CompileSpin,
+    /// A pipelined flood against a tiny admission queue: every shed must
+    /// carry a typed `retry_after_ms` hint, a backoff-honoring client
+    /// must converge with zero give-ups, and the shed/request counters
+    /// must reconcile exactly against what the client observed.
+    RetryStorm,
+    /// The write-behind persister slowed to a crawl (the serve chaos
+    /// seam, `chaos_persist_delay_ms`): the backlog must build without
+    /// ever blocking a response, drain to zero on graceful shutdown, and
+    /// a restart over the same store must warm-start every artifact.
+    PersisterBacklog,
 }
 
 impl ServiceFault {
     /// Every service-layer fault class, in report order.
-    pub const ALL: [ServiceFault; 3] = [
+    pub const ALL: [ServiceFault; 7] = [
         ServiceFault::RequestNeverYields,
         ServiceFault::FuelExhaustionStorm,
         ServiceFault::MidRequestPanic,
+        ServiceFault::WedgedWorker,
+        ServiceFault::CompileSpin,
+        ServiceFault::RetryStorm,
+        ServiceFault::PersisterBacklog,
     ];
 
     /// Stable kebab-case name for reports.
@@ -242,6 +268,10 @@ impl ServiceFault {
             ServiceFault::RequestNeverYields => "request-never-yields",
             ServiceFault::FuelExhaustionStorm => "fuel-exhaustion-storm",
             ServiceFault::MidRequestPanic => "mid-request-panic",
+            ServiceFault::WedgedWorker => "wedged-worker",
+            ServiceFault::CompileSpin => "compile-spin",
+            ServiceFault::RetryStorm => "retry-storm",
+            ServiceFault::PersisterBacklog => "persister-backlog",
         }
     }
 }
@@ -495,6 +525,10 @@ pub fn run_service_chaos() -> Vec<ServiceRow> {
                 ServiceFault::RequestNeverYields => service_never_yields(),
                 ServiceFault::FuelExhaustionStorm => service_fuel_storm(),
                 ServiceFault::MidRequestPanic => service_mid_request_panic(),
+                ServiceFault::WedgedWorker => service_wedged_worker(),
+                ServiceFault::CompileSpin => service_compile_spin(),
+                ServiceFault::RetryStorm => service_retry_storm(),
+                ServiceFault::PersisterBacklog => service_persister_backlog(),
             });
             row.wall_ms = (wall.median / 1_000_000) as u64;
             row
@@ -737,6 +771,348 @@ fn service_mid_request_panic() -> ServiceRow {
     }
 }
 
+fn gauge_of(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .get("gauges")
+        .and_then(|g| g.get(name))
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+}
+
+fn chaos_compile(id: u64, source: &str) -> String {
+    Json::obj(vec![
+        ("id", Json::from(id)),
+        ("op", "compile".into()),
+        ("source", source.into()),
+    ])
+    .to_string()
+}
+
+fn chaos_wedge(id: u64, source: &str, wedge_ms: u64) -> String {
+    Json::obj(vec![
+        ("id", Json::from(id)),
+        ("op", "compile".into()),
+        ("source", source.into()),
+        (
+            "chaos",
+            Json::obj(vec![("wedge_compile_ms", wedge_ms.into())]),
+        ),
+    ])
+    .to_string()
+}
+
+/// A repeat-offender source wedges the single worker twice: each victim
+/// must be answered `watchdog-killed` by the watchdog (not the worker),
+/// the worker must be replaced both times so interleaved neighbors keep
+/// getting served, and the second strike must trip the circuit breaker —
+/// the third submission of the same source is refused `quarantined` with
+/// a `retry_after_ms` probe hint instead of wedging a third worker.
+fn service_wedged_worker() -> ServiceRow {
+    let offender = "class W { field a; method init(x) { self.a = x; } } \
+                    fn main() { var w = new W(7); print w.a; }";
+    let requests = vec![
+        chaos_wedge(1, offender, 200),
+        chaos_compile(2, "fn main() { print 1 + 1; }"),
+        chaos_wedge(3, offender, 200),
+        chaos_compile(4, offender),
+        chaos_compile(5, "fn main() { print 2 + 2; }"),
+    ];
+    let (responses, metrics, clean_exit) = serve_session(
+        crate::serve::ServeConfig {
+            jobs: 1,
+            allow_chaos_faults: true,
+            watchdog_ms: Some(25),
+            watchdog_strikes: 2,
+            quarantine_cooldown_ms: 60_000,
+            ..crate::serve::ServeConfig::default()
+        },
+        &requests,
+    );
+    let kind = |i: usize| {
+        responses
+            .get(i)
+            .and_then(|r| r.get("error_kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("")
+    };
+    let served = |i: usize| {
+        responses
+            .get(i)
+            .and_then(|r| r.get("ok"))
+            .and_then(Json::as_bool)
+            == Some(true)
+    };
+    let hint = responses
+        .get(3)
+        .and_then(|r| r.get("retry_after_ms"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    let kills = counter_of(&metrics, "serve.watchdog_kills_total");
+    let replacements = counter_of(&metrics, "serve.worker_replacements_total");
+    let detected = responses.len() == 5
+        && kind(0) == "watchdog-killed"
+        && kind(2) == "watchdog-killed"
+        && kind(3) == "quarantined"
+        && hint > 0;
+    let neighbors_ok = served(1) && served(4);
+    let reconciled = clean_exit
+        && kills == 2
+        && replacements == 2
+        && counter_of(&metrics, "serve.breaker_opened_total") == 1
+        && counter_of(&metrics, "serve.quarantined_total") == 1;
+    ServiceRow {
+        fault: ServiceFault::WedgedWorker,
+        detected,
+        neighbors_ok,
+        reconciled,
+        detail: format!(
+            "victims: [{}, {}]; strike-2 verdict: {} (probe in {hint}ms); \
+             kills/replacements: {kills}/{replacements}",
+            kind(0),
+            kind(2),
+            kind(3),
+        ),
+        wall_ms: 0,
+    }
+}
+
+/// One transient compile spin on one of two workers: the watchdog kills
+/// it once and a replacement joins, the sibling worker serves every
+/// neighbor during the wedge, one strike must NOT open the breaker, and
+/// the wedged worker's late return is suppressed and accounted exactly
+/// once (`serve.errors == 1`).
+fn service_compile_spin() -> ServiceRow {
+    let spinner = "class S { field a; method init(x) { self.a = x; } } \
+                   fn main() { var s = new S(3); print s.a; }";
+    let requests = vec![
+        chaos_wedge(1, spinner, 250),
+        chaos_compile(2, "fn main() { print 10 + 1; }"),
+        chaos_compile(3, "fn main() { print 10 + 2; }"),
+        chaos_compile(4, "fn main() { print 10 + 3; }"),
+    ];
+    let (responses, metrics, clean_exit) = serve_session(
+        crate::serve::ServeConfig {
+            jobs: 2,
+            allow_chaos_faults: true,
+            watchdog_ms: Some(30),
+            watchdog_strikes: 10,
+            ..crate::serve::ServeConfig::default()
+        },
+        &requests,
+    );
+    let victim_kind = responses
+        .first()
+        .and_then(|r| r.get("error_kind"))
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    let neighbors = responses
+        .iter()
+        .skip(1)
+        .filter(|r| r.get("ok").and_then(Json::as_bool) == Some(true))
+        .count();
+    let detected = responses.len() == 4 && victim_kind == "watchdog-killed";
+    let neighbors_ok = neighbors == 3;
+    let reconciled = clean_exit
+        && counter_of(&metrics, "serve.watchdog_kills_total") == 1
+        && counter_of(&metrics, "serve.worker_replacements_total") == 1
+        && counter_of(&metrics, "serve.breaker_opened_total") == 0
+        && counter_of(&metrics, "serve.quarantined_total") == 0
+        && counter_of(&metrics, "serve.errors") == 1;
+    ServiceRow {
+        fault: ServiceFault::CompileSpin,
+        detected,
+        neighbors_ok,
+        reconciled,
+        detail: format!(
+            "victim verdict: {victim_kind}; {neighbors}/3 neighbors served during the \
+             wedge; one strike left the breaker closed: {}",
+            counter_of(&metrics, "serve.breaker_opened_total") == 0,
+        ),
+        wall_ms: 0,
+    }
+}
+
+/// A pipelined flood against a two-slot admission queue: every shed in
+/// the first wave must carry a typed `retry_after_ms` hint, a
+/// backoff-honoring client must converge every shed with zero give-ups,
+/// and the shed/request counters must reconcile exactly against what the
+/// client observed (sheds answered at the reader are id-less and never
+/// reach dispatch).
+fn service_retry_storm() -> ServiceRow {
+    use crate::client::{request_with_retries, with_pump_client, RETRYABLE_KINDS};
+    use crate::overload::{RetryPolicy, RetrySession};
+    const FLOOD: usize = 24;
+    let source = |i: usize| {
+        let n = i % 6;
+        format!(
+            "class R{n} {{ field a; field b; \
+               method init(x) {{ self.a = x; self.b = x + {n}; }} }} \
+             fn main() {{ var r = new R{n}(5); print r.a + r.b; }}"
+        )
+    };
+    let lines: Vec<String> = (0..FLOOD)
+        .map(|i| chaos_compile(i as u64 + 1, &source(i)))
+        .collect();
+    let server = crate::serve::Server::new(crate::serve::ServeConfig {
+        queue: 2,
+        jobs: 1,
+        ..crate::serve::ServeConfig::default()
+    });
+    let mut attempts = 0u64;
+    let mut reader_sheds = 0u64;
+    let mut shed_responses = 0u64;
+    let mut hinted = 0u64;
+    let mut first_wave_sheds = 0u64;
+    let mut completed = 0u64;
+    let mut give_ups = 0u64;
+    let mut protocol_errors = 0u64;
+    with_pump_client(&server, |client| {
+        for line in &lines {
+            client.send_line(line);
+        }
+        let mut needs_retry: Vec<usize> = Vec::new();
+        for i in 0..FLOOD {
+            attempts += 1;
+            let Some(resp) = client.recv_line() else {
+                protocol_errors += 1;
+                continue;
+            };
+            let kind = resp
+                .get("error_kind")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                completed += 1;
+            } else if RETRYABLE_KINDS.contains(&kind.as_str()) {
+                shed_responses += 1;
+                first_wave_sheds += 1;
+                if resp
+                    .get("retry_after_ms")
+                    .and_then(Json::as_i64)
+                    .unwrap_or(0)
+                    > 0
+                {
+                    hinted += 1;
+                }
+                if resp.get("id").is_none_or(|id| *id == Json::Null) {
+                    reader_sheds += 1;
+                }
+                needs_retry.push(i);
+            } else {
+                protocol_errors += 1;
+            }
+        }
+        // Lock-step retries: one request in flight at a time, so retry
+        // traffic can never itself overflow the two-slot queue (no
+        // id-less reader sheds past the first wave).
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_ms: 5,
+            cap_ms: 50,
+            budget_ms: 2_000,
+        };
+        for &i in &needs_retry {
+            let mut session = RetrySession::new(policy, 7 ^ (i as u64).wrapping_mul(0x9e37_79b9));
+            let outcome = request_with_retries(client, &lines[i], &mut session);
+            attempts += u64::from(outcome.attempts);
+            let final_retryable = outcome
+                .response
+                .as_ref()
+                .map(|r| {
+                    RETRYABLE_KINDS
+                        .contains(&r.get("error_kind").and_then(Json::as_str).unwrap_or(""))
+                })
+                .unwrap_or(false);
+            shed_responses +=
+                u64::from(outcome.attempts.saturating_sub(1)) + u64::from(final_retryable);
+            match &outcome.response {
+                None => protocol_errors += 1,
+                Some(resp) if resp.get("ok").and_then(Json::as_bool) == Some(true) => {
+                    completed += 1;
+                }
+                Some(_) if final_retryable => give_ups += 1,
+                Some(_) => protocol_errors += 1,
+            }
+        }
+    });
+    let m = server.metrics();
+    let detected = first_wave_sheds >= 1 && hinted == first_wave_sheds;
+    let neighbors_ok = completed == FLOOD as u64 && give_ups == 0 && protocol_errors == 0;
+    let reconciled = m.counter("serve.requests") == attempts - reader_sheds
+        && m.counter("serve.shed_total") == shed_responses
+        && m.gauge("serve.in_flight") == 0;
+    ServiceRow {
+        fault: ServiceFault::RetryStorm,
+        detected,
+        neighbors_ok,
+        reconciled,
+        detail: format!(
+            "{first_wave_sheds} first-wave sheds ({hinted} hinted, {reader_sheds} at the \
+             reader); {completed}/{FLOOD} converged in {attempts} attempts, {give_ups} give-ups"
+        ),
+        wall_ms: 0,
+    }
+}
+
+/// The write-behind persister slowed to a crawl: the backlog must build
+/// (proof the requests did not wait for disk), drain to zero on graceful
+/// shutdown with every artifact persisted, and a restart over the same
+/// store must warm-start all of them from disk.
+fn service_persister_backlog() -> ServiceRow {
+    const FLEET: usize = 12;
+    let dir =
+        std::env::temp_dir().join(format!("oi-chaos-persister-backlog-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let source = |i: usize| {
+        format!(
+            "class P{i} {{ field a; method init(x) {{ self.a = x + {i}; }} }} \
+             fn main() {{ var p = new P{i}(1); print p.a; }}"
+        )
+    };
+    let config = |delay: Option<u64>| crate::serve::ServeConfig {
+        cache_dir: Some(dir.to_string_lossy().into_owned()),
+        chaos_persist_delay_ms: delay,
+        ..crate::serve::ServeConfig::default()
+    };
+    let cold_requests: Vec<String> = (0..FLEET)
+        .map(|i| chaos_compile(i as u64 + 1, &source(i)))
+        .collect();
+    let (cold, cold_metrics, cold_clean) = serve_session(config(Some(5)), &cold_requests);
+    let warm_requests: Vec<String> = (0..FLEET)
+        .map(|i| chaos_compile(i as u64 + 101, &source(i)))
+        .collect();
+    let (warm, warm_metrics, warm_clean) = serve_session(config(None), &warm_requests);
+    let _ = std::fs::remove_dir_all(&dir);
+    let ok_count = |rs: &[Json]| {
+        rs.iter()
+            .filter(|r| r.get("ok").and_then(Json::as_bool) == Some(true))
+            .count()
+    };
+    let peak = counter_of(&cold_metrics, "serve.persist_backlog_peak");
+    let residual = gauge_of(&cold_metrics, "serve.persist_backlog");
+    let persisted = counter_of(&cold_metrics, "disk.persists");
+    let warm_disk_hits = counter_of(&warm_metrics, "disk.load_hits");
+    let (cold_ok, warm_ok) = (ok_count(&cold), ok_count(&warm));
+    let detected = peak >= 2 && residual == 0 && persisted == FLEET as i64;
+    let neighbors_ok = cold_ok == FLEET && warm_ok == FLEET;
+    let reconciled = cold_clean
+        && warm_clean
+        && counter_of(&cold_metrics, "disk.persist_failures") == 0
+        && warm_disk_hits == FLEET as i64;
+    ServiceRow {
+        fault: ServiceFault::PersisterBacklog,
+        detected,
+        neighbors_ok,
+        reconciled,
+        detail: format!(
+            "backlog peaked at {peak} and drained to {residual}; {persisted}/{FLEET} \
+             persisted; warm restart served {warm_ok}/{FLEET} ({warm_disk_hits} from disk)"
+        ),
+        wall_ms: 0,
+    }
+}
+
 /// Runs every [`IoFault`] against the persistent artifact store: seed a
 /// store through a real serve session, kill it cleanly, corrupt the
 /// directory, restart, and require detected + quarantined + serving state
@@ -900,8 +1276,10 @@ sentinel corpus and reports which defense layer caught each one
 (heap sanitizer or differential oracle), whether the culprit decision
 was retracted, and whether output was restored to baseline-equal.
 Also runs the service-layer matrix (request-never-yields,
-fuel-exhaustion-storm, mid-request-panic) against the multi-tenant
-scheduler and serve pump, and the storage matrix (torn writes, torn
+fuel-exhaustion-storm, mid-request-panic, wedged-worker, compile-spin,
+retry-storm, persister-backlog) against the multi-tenant scheduler,
+the serve pump, its watchdog/breaker self-healing and overload-control
+paths, and the storage matrix (torn writes, torn
 journal tails, bit flips, stale manifest records, device-full writes,
 version skew) against the persistent artifact store across a
 kill-and-restart, unless `--fault` restricts the run.
@@ -1203,7 +1581,7 @@ mod tests {
         let doc = report.to_json();
         assert_eq!(doc.get("escaped").and_then(Json::as_i64), Some(0));
         let service = doc.get("service_faults").unwrap().as_arr().unwrap();
-        assert_eq!(service.len(), 3);
+        assert_eq!(service.len(), ServiceFault::ALL.len());
         for key in [
             "fault",
             "detected",

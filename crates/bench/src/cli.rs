@@ -44,6 +44,13 @@ commands:
       killing it uncleanly M times and restarting over the same store;
       emit oi.restart.v1; exit 1 on any corrupt serve, reconciliation
       mismatch, missed recovery, or a warm hit rate under 0.8x cold
+  brownoutload [--burst N] [--sources K] [--seed S] [--target-ms N]
+               [--queue N] [--jobs N] [--retries N] [--json] [--out FILE]
+      pipeline a cold-compile burst at a brownout-enabled serve session,
+      retry every shed through the typed retry_after_ms contract, and
+      wait for recovery; emit oi.brownout.v1; exit 1 when the overload
+      gate fails (no descend, give-ups, unbounded p99, missed recovery,
+      or a shed/request reconciliation mismatch)
 ";
 
 /// Runs the CLI on pre-split arguments and returns the process exit
@@ -56,13 +63,14 @@ pub fn main(args: &[String]) -> u8 {
         Some("loadgen") => crate::loadgen::cli_main(&args[1..]),
         Some("tenantload") => crate::tenantload::cli_main(&args[1..]),
         Some("restartload") => crate::restartload::cli_main(&args[1..]),
+        Some("brownoutload") => crate::brownoutload::cli_main(&args[1..]),
         Some("--help") | Some("help") => {
             print!("{USAGE}");
             0
         }
         Some(other) => {
             eprintln!(
-                "unknown command `{other}` (snapshot|compare|loadgen|tenantload|restartload)"
+                "unknown command `{other}` (snapshot|compare|loadgen|tenantload|restartload|brownoutload)"
             );
             2
         }

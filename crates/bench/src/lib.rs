@@ -16,11 +16,14 @@
 //! underlying pipeline stages with the in-repo [`harness`].
 
 pub mod batch;
+pub mod brownoutload;
 pub mod chaos;
 pub mod cli;
+pub mod client;
 pub mod fuzz;
 pub mod harness;
 pub mod loadgen;
+pub mod overload;
 pub mod prof;
 pub mod restartload;
 pub mod sched;

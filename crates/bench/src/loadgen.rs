@@ -20,13 +20,14 @@
 //! - the server's `oi.metrics.v1` counters reconcile exactly with the
 //!   harness's own request/hit/miss/error tallies.
 
+use crate::client::RETRYABLE_KINDS;
 use crate::harness::time_once;
 use crate::serve::{Handled, ServeConfig, Server};
 use oi_support::cli::{Arg, ArgScanner};
 use oi_support::rng::XorShift64;
 use oi_support::stats::{percentile, TimingStats};
 use oi_support::Json;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Loadgen knobs (flags of `oic bench loadgen`).
 #[derive(Clone, Debug)]
@@ -41,6 +42,11 @@ pub struct LoadgenConfig {
     pub zipf_s: f64,
     /// Server cache budget in bytes.
     pub cache_bytes: usize,
+    /// Immediate re-attempts allowed per request when the server answers
+    /// a typed retryable refusal (brownout sheds, quarantine). The
+    /// synchronous replay never sleeps — this records retry *outcomes*,
+    /// the paced backoff contract lives in `oic client`.
+    pub retries: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -51,6 +57,7 @@ impl Default for LoadgenConfig {
             seed: 1,
             zipf_s: 1.0,
             cache_bytes: 64 << 20,
+            retries: 0,
         }
     }
 }
@@ -68,6 +75,15 @@ pub struct LoadReport {
     pub misses: u64,
     /// Requests answered `ok:false`.
     pub errors: u64,
+    /// Requests that needed at least one re-attempt.
+    pub retried_requests: u64,
+    /// Re-attempts beyond each request's first try, summed.
+    pub retry_attempts: u64,
+    /// Requests whose final answer was still a retryable refusal after
+    /// the retry allowance ran out (each also counts in `errors`).
+    pub give_ups: u64,
+    /// `attempts -> requests that needed exactly that many attempts`.
+    pub attempts_histogram: BTreeMap<u32, u64>,
     /// `hits / requests`.
     pub hit_rate: f64,
     /// The theoretical floor: `(requests - sampled_sources) / requests`.
@@ -110,6 +126,18 @@ impl LoadReport {
             ("hits", self.hits.into()),
             ("misses", self.misses.into()),
             ("errors", self.errors.into()),
+            ("retried_requests", self.retried_requests.into()),
+            ("retry_attempts", self.retry_attempts.into()),
+            ("give_ups", self.give_ups.into()),
+            (
+                "attempts_histogram",
+                Json::Obj(
+                    self.attempts_histogram
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
             ("hit_rate", self.hit_rate.into()),
             ("floor_hit_rate", self.floor_hit_rate.into()),
             ("hit_ns", self.hit_ns.to_json()),
@@ -193,12 +221,23 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadReport {
         cache_bytes: config.cache_bytes,
         ..ServeConfig::default()
     });
+    run_loadgen_on(&server, config)
+}
+
+/// Replays the trace against a caller-provided server — the seam that
+/// lets harnesses pre-condition the server (force a brownout tier, warm
+/// the cache) before the replay.
+pub fn run_loadgen_on(server: &Server, config: &LoadgenConfig) -> LoadReport {
     let sources: Vec<String> = (0..config.sources).map(synthetic_source).collect();
     let sampler = ZipfSampler::new(config.sources, config.zipf_s);
     let mut rng = XorShift64::new(config.seed);
 
     let mut sampled: BTreeSet<u64> = BTreeSet::new();
     let (mut hits, mut misses, mut errors) = (0u64, 0u64, 0u64);
+    let mut retried_requests = 0u64;
+    let mut retry_attempts = 0u64;
+    let mut give_ups = 0u64;
+    let mut attempts_histogram: BTreeMap<u32, u64> = BTreeMap::new();
     let mut hit_samples: Vec<u128> = Vec::new();
     let mut miss_samples: Vec<u128> = Vec::new();
 
@@ -211,7 +250,26 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadReport {
             ("source", sources[rank as usize].as_str().into()),
         ])
         .to_string();
-        let (handled, wall): (Handled, _) = time_once(|| server.handle_line(&line));
+        let mut attempts = 0u32;
+        let (handled, wall) = loop {
+            let (handled, wall): (Handled, _) = time_once(|| server.handle_line(&line));
+            attempts += 1;
+            let retryable = RETRYABLE_KINDS.contains(
+                &handled
+                    .response
+                    .get("error_kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or(""),
+            );
+            if !retryable || attempts > config.retries {
+                break (handled, wall);
+            }
+        };
+        *attempts_histogram.entry(attempts).or_insert(0) += 1;
+        if attempts > 1 {
+            retried_requests += 1;
+            retry_attempts += u64::from(attempts - 1);
+        }
         let cache_state = handled
             .response
             .get("cache")
@@ -226,6 +284,16 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadReport {
             .unwrap_or(false);
         if !ok {
             errors += 1;
+            let still_retryable = RETRYABLE_KINDS.contains(
+                &handled
+                    .response
+                    .get("error_kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or(""),
+            );
+            if still_retryable {
+                give_ups += 1;
+            }
             continue;
         }
         match cache_state.as_str() {
@@ -256,11 +324,13 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadReport {
             .unwrap_or(0) as u64
     };
     // Exact reconciliation: the server's own counters must agree with
-    // the harness's independent tallies, request for request.
+    // the harness's independent tallies, request for request. Every
+    // re-attempt is its own server-side request, and every attempt
+    // before a re-attempt was a refusal the server counted as an error.
     let reconciled = metric("cache.hits") == hits
         && metric("cache.misses") == misses
-        && metric("serve.requests") == config.requests
-        && metric("serve.errors") == errors;
+        && metric("serve.requests") == config.requests + retry_attempts
+        && metric("serve.errors") == errors + retry_attempts;
 
     let hit_rate = if config.requests == 0 {
         0.0
@@ -281,6 +351,10 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadReport {
         hits,
         misses,
         errors,
+        retried_requests,
+        retry_attempts,
+        give_ups,
+        attempts_histogram,
         hit_rate,
         floor_hit_rate,
         hit_ns: TimingStats::from_nanos(hit_samples),
@@ -301,11 +375,13 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadReport {
 }
 
 const USAGE: &str = "usage: oic bench loadgen [--requests N] [--sources K] [--seed S] \
-     [--zipf-s X] [--cache-bytes B] [--json] [--out FILE]\n\
+     [--zipf-s X] [--cache-bytes B] [--retries N] [--json] [--out FILE]\n\
      \n\
      Replays a seeded Zipf-skewed compile trace against an in-process\n\
-     server and emits oi.load.v1. Exits 1 when the gate fails (errored\n\
-     requests, hit rate under the trace's floor, or counters that do not\n\
+     server and emits oi.load.v1. --retries N re-attempts typed retryable\n\
+     refusals up to N times per request and records the outcome (attempts\n\
+     histogram, give-ups). Exits 1 when the gate fails (errored requests,\n\
+     hit rate under the trace's floor, or counters that do not\n\
      reconcile).";
 
 fn usage_error(msg: &str) -> u8 {
@@ -341,6 +417,10 @@ pub fn cli_main(args: &[String]) -> u8 {
                 },
                 "cache-bytes" => match flag_u64(&mut scanner, "--cache-bytes") {
                     Ok(n) => config.cache_bytes = n as usize,
+                    Err(e) => return usage_error(&e),
+                },
+                "retries" => match flag_u64(&mut scanner, "--retries") {
+                    Ok(n) => config.retries = n.min(u64::from(u32::MAX)) as u32,
                     Err(e) => return usage_error(&e),
                 },
                 "zipf-s" => {
@@ -403,6 +483,12 @@ pub fn cli_main(args: &[String]) -> u8 {
             report.miss_p99_ns,
             report.speedup_hit_p99_vs_miss_p50,
         );
+        if report.config.retries > 0 {
+            println!(
+                "  retried {} request(s) ({} re-attempts), {} give-up(s)",
+                report.retried_requests, report.retry_attempts, report.give_ups,
+            );
+        }
         println!(
             "  counters reconciled: {}; gate: {}",
             report.reconciled,
@@ -500,6 +586,58 @@ mod tests {
             (a.hits, a.misses, a.errors, a.sampled_sources),
             (b.hits, b.misses, b.errors, b.sampled_sources)
         );
+    }
+
+    /// Retry outcome recording: a server pinned to cache-only sheds
+    /// every cold compile, so each request burns its full retry
+    /// allowance and gives up — the histogram, give-up tally, and gate
+    /// must all say so.
+    #[test]
+    fn forced_brownout_retries_record_outcomes() {
+        let server = Server::new(ServeConfig {
+            brownout_target_ms: Some(10_000),
+            ..ServeConfig::default()
+        });
+        server.force_brownout(oi_core::BrownoutLevel::CacheOnly);
+        let config = LoadgenConfig {
+            requests: 6,
+            sources: 2,
+            seed: 5,
+            retries: 2,
+            ..LoadgenConfig::default()
+        };
+        let report = run_loadgen_on(&server, &config);
+        assert_eq!(report.errors, 6, "cold cache-only sheds everything");
+        assert_eq!(report.give_ups, 6);
+        assert_eq!(report.retried_requests, 6);
+        assert_eq!(report.retry_attempts, 12, "two re-attempts per request");
+        assert_eq!(report.attempts_histogram.get(&3), Some(&6));
+        assert!(!report.ok, "a run that gave up must fail the gate");
+        let doc = report.to_json();
+        assert_eq!(doc.get("give_ups").and_then(Json::as_i64), Some(6));
+        assert_eq!(
+            doc.get("attempts_histogram")
+                .and_then(|h| h.get("3"))
+                .and_then(Json::as_i64),
+            Some(6)
+        );
+    }
+
+    /// With no retry allowance the new fields are inert zeros and the
+    /// default gate is untouched.
+    #[test]
+    fn zero_retries_leaves_the_report_shape_inert() {
+        let report = run_loadgen(&LoadgenConfig {
+            requests: 50,
+            sources: 3,
+            seed: 2,
+            ..LoadgenConfig::default()
+        });
+        assert_eq!(report.retried_requests, 0);
+        assert_eq!(report.retry_attempts, 0);
+        assert_eq!(report.give_ups, 0);
+        assert_eq!(report.attempts_histogram.get(&1), Some(&50));
+        assert!(report.ok);
     }
 
     /// The acceptance-criteria replay: 10k requests, Zipf over 50

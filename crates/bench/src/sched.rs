@@ -1150,4 +1150,133 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.evictions > 0, "tiny budget must actually evict");
     }
+
+    /// Submitters racing a concurrent `begin_drain`: whatever interleaving
+    /// the scheduler lands on, every admitted job must resolve to exactly
+    /// one completion (natural verdict or typed `Shed`), late submitters
+    /// must see `SubmitError::Draining`, and the per-tenant fuel books
+    /// must still balance.
+    #[test]
+    fn racing_submitters_against_a_drain_lose_no_completions() {
+        let (tx, rx) = mpsc::channel();
+        let sched = Scheduler::new(
+            SchedConfig {
+                fuel_slice: 200,
+                max_queue: 32,
+            },
+            tx,
+        );
+        let program = compiled(&loop_source(5_000));
+        let accepted = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| sched.worker_loop());
+            }
+            for t in 0..4u64 {
+                let program = Arc::clone(&program);
+                let (sched, accepted, rejected) = (&sched, &accepted, &rejected);
+                scope.spawn(move || {
+                    for _ in 0..30 {
+                        match sched.submit(spec(
+                            &format!("tenant{t}"),
+                            Arc::clone(&program),
+                            TenantQuota::default(),
+                        )) {
+                            Ok(_) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(3));
+                sched.begin_drain();
+            });
+        });
+        assert!(
+            matches!(
+                sched.submit(spec("late", Arc::clone(&program), TenantQuota::default())),
+                Err(SubmitError::Draining)
+            ),
+            "post-drain admission must be refused typed"
+        );
+        let done: Vec<Completion> = rx.try_iter().collect();
+        let admitted = accepted.load(Ordering::Relaxed);
+        assert_eq!(
+            done.len() as u64,
+            admitted,
+            "every admitted job resolves exactly once ({} rejected)",
+            rejected.load(Ordering::Relaxed)
+        );
+        let mut seqs: Vec<u64> = done.iter().map(|c| c.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), done.len(), "no duplicated completions");
+        assert!(
+            done.iter()
+                .all(|c| matches!(c.verdict, Verdict::Done | Verdict::Shed)),
+            "a drain race may shed or finish, never anything else"
+        );
+        assert_eq!(sched.live(), 0);
+        let summaries = sched.tenant_summaries();
+        assert!(summaries.iter().all(TenantSummary::reconciled));
+        assert_eq!(
+            summaries.iter().map(TenantSummary::finished).sum::<u64>(),
+            admitted
+        );
+    }
+
+    /// A drain with no workers running yet flushes the entire queue with
+    /// typed `Shed` completions — one per admitted job, none lost, none
+    /// executed — and workers arriving afterwards find nothing to do.
+    #[test]
+    fn drain_flushes_unstarted_jobs_with_typed_sheds() {
+        let (tx, rx) = mpsc::channel();
+        let sched = Scheduler::new(
+            SchedConfig {
+                fuel_slice: 100,
+                max_queue: 16,
+            },
+            tx,
+        );
+        let program = compiled(&loop_source(100));
+        let seqs: Vec<u64> = (0..8)
+            .map(|i| {
+                sched
+                    .submit(spec(
+                        &format!("t{}", i % 2),
+                        Arc::clone(&program),
+                        TenantQuota::default(),
+                    ))
+                    .expect("admitted")
+            })
+            .collect();
+        sched.begin_drain();
+        assert!(matches!(
+            sched.submit(spec("late", Arc::clone(&program), TenantQuota::default())),
+            Err(SubmitError::Draining)
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| sched.worker_loop());
+            }
+        });
+        let done: Vec<Completion> = rx.try_iter().collect();
+        assert_eq!(done.len(), 8);
+        assert!(done.iter().all(|c| matches!(c.verdict, Verdict::Shed)));
+        let mut got: Vec<u64> = done.iter().map(|c| c.seq).collect();
+        got.sort_unstable();
+        assert_eq!(got, seqs, "exactly the admitted jobs were flushed");
+        assert_eq!(sched.live(), 0);
+        let summaries = sched.tenant_summaries();
+        assert!(summaries
+            .iter()
+            .all(|s| s.reconciled() && s.shed == s.finished()));
+    }
 }

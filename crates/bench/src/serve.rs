@@ -34,12 +34,15 @@
 //! `request_id` field stamped on the `serve.*` spans.
 
 use crate::harness::time_once;
+use crate::overload::{
+    Admission, BreakerConfig, Brownout, BrownoutConfig, CircuitBreaker, Transition,
+};
 use crate::sched::{
     Completion, JobFault, JobSpec, ProgramRef, SchedConfig, Scheduler, TenantQuota, Verdict,
 };
 use oi_core::cache::store::DiskStore;
 use oi_core::cache::{config_fingerprint, Artifact, ArtifactCache, CacheKey};
-use oi_core::ladder::{optimize_with_ladder, LadderConfig};
+use oi_core::ladder::{optimize_with_ladder, BrownoutLevel, LadderConfig};
 use oi_support::cli::{Arg, ArgScanner};
 use oi_support::metrics::Registry;
 use oi_support::panic::contained;
@@ -48,7 +51,7 @@ use oi_support::{Budget, Json};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -101,6 +104,25 @@ pub struct ServeConfig {
     pub cache_dir: Option<String>,
     /// Byte budget of the persistent tier (`--disk-bytes`).
     pub disk_bytes: u64,
+    /// Queue-wait p99 target steering the brownout controller
+    /// (`--brownout-target-ms`). `None` disables adaptive brownout.
+    pub brownout_target_ms: Option<u64>,
+    /// Minimum time between brownout tier transitions
+    /// (`--brownout-dwell-ms`) — the anti-flap dwell.
+    pub brownout_dwell_ms: u64,
+    /// Compile-phase wedge deadline (`--watchdog-ms`). `None` disables
+    /// the worker watchdog.
+    pub watchdog_ms: Option<u64>,
+    /// Watchdog kills of one source fingerprint before its circuit
+    /// breaker opens (`--watchdog-strikes`).
+    pub watchdog_strikes: u32,
+    /// How long an open (quarantined) fingerprint refuses compiles
+    /// before one half-open probe is admitted
+    /// (`--quarantine-cooldown-ms`).
+    pub quarantine_cooldown_ms: u64,
+    /// Chaos seam: per-artifact delay injected into the write-behind
+    /// persister so its backlog builds. Never set from the CLI.
+    pub chaos_persist_delay_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +144,12 @@ impl Default for ServeConfig {
             allow_chaos_faults: false,
             cache_dir: None,
             disk_bytes: 256 << 20,
+            brownout_target_ms: None,
+            brownout_dwell_ms: 250,
+            watchdog_ms: None,
+            watchdog_strikes: 3,
+            quarantine_cooldown_ms: 1_000,
+            chaos_persist_delay_ms: None,
         }
     }
 }
@@ -150,6 +178,12 @@ struct DiskTier {
     /// journal compaction so the on-disk state stays exactly what an
     /// abrupt process death would leave behind.
     killed: AtomicBool,
+    /// Artifacts handed to the persister and not yet written — the
+    /// write-behind backlog (`serve.persist_backlog` gauge).
+    pending: Arc<AtomicU64>,
+    /// High-water mark of [`Self::pending`]
+    /// (`serve.persist_backlog_peak`).
+    peak: Arc<AtomicU64>,
 }
 
 /// One in-process compile server: artifact cache + metrics registry +
@@ -160,6 +194,11 @@ pub struct Server {
     metrics: Registry,
     ladder: LadderConfig,
     config: ServeConfig,
+    /// The adaptive brownout controller; `None` when
+    /// [`ServeConfig::brownout_target_ms`] is unset.
+    brownout: Option<Brownout>,
+    /// Per-source-fingerprint circuit breaker fed by watchdog strikes.
+    breaker: CircuitBreaker,
 }
 
 impl Server {
@@ -188,11 +227,21 @@ impl Server {
                     );
                     let (tx, rx) = mpsc::channel::<(CacheKey, Arc<Artifact>)>();
                     let persister = Arc::clone(&store);
+                    let pending = Arc::new(AtomicU64::new(0));
+                    let peak = Arc::new(AtomicU64::new(0));
+                    let drain_pending = Arc::clone(&pending);
+                    let delay = config.chaos_persist_delay_ms.map(Duration::from_millis);
                     let worker = std::thread::spawn(move || {
                         for (key, artifact) in rx {
+                            // Chaos seam: a slow disk builds write-behind
+                            // backlog without ever blocking a request.
+                            if let Some(d) = delay {
+                                std::thread::sleep(d);
+                            }
                             // Failures are counted in the store's stats and
                             // mirrored; the service keeps serving from memory.
                             let _ = persister.persist(&key, &artifact);
+                            drain_pending.fetch_sub(1, Ordering::SeqCst);
                         }
                     });
                     Some(DiskTier {
@@ -200,6 +249,8 @@ impl Server {
                         tx: Mutex::new(Some(tx)),
                         worker: Mutex::new(Some(worker)),
                         killed: AtomicBool::new(false),
+                        pending,
+                        peak,
                     })
                 }
                 Err(e) => {
@@ -209,12 +260,71 @@ impl Server {
                 }
             }
         });
+        let brownout = config.brownout_target_ms.map(|target_ms| {
+            let mut bc = BrownoutConfig::for_target_ms(target_ms, config.queue);
+            bc.dwell = Duration::from_millis(config.brownout_dwell_ms);
+            Brownout::new(bc)
+        });
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            strikes: config.watchdog_strikes.max(1),
+            cooldown: Duration::from_millis(config.quarantine_cooldown_ms),
+        });
+        metrics.gauge_set("serve.brownout_tier", 0);
         Server {
             cache: ArtifactCache::new(config.cache_bytes),
             disk,
             metrics,
             ladder: LadderConfig::default(),
             config,
+            brownout,
+            breaker,
+        }
+    }
+
+    /// The current brownout level (`guarded-full` when adaptive brownout
+    /// is disabled).
+    pub fn brownout_level(&self) -> BrownoutLevel {
+        self.brownout
+            .as_ref()
+            .map_or(BrownoutLevel::GuardedFull, Brownout::level)
+    }
+
+    /// Pins the brownout controller to `level` (harness hook; a no-op
+    /// when brownout is disabled). `loadgen --retries` and the chaos
+    /// matrix use it to exercise degraded paths deterministically.
+    pub fn force_brownout(&self, level: BrownoutLevel) {
+        if let Some(b) = &self.brownout {
+            b.force(level);
+            self.metrics
+                .gauge_set("serve.brownout_tier", level.index() as i64);
+        }
+    }
+
+    /// Feeds one dequeue observation `(queue depth, queue wait)` to the
+    /// brownout controller and exports any resulting transition.
+    fn brownout_note(&self, queue_depth: usize, wait_ns: u128) {
+        let Some(b) = &self.brownout else { return };
+        // Waits observed while degraded are the gate's "p99 during
+        // brownout" signal — sampled before the transition decision, so
+        // the sample that *triggers* a descend still counts as
+        // guarded-full service.
+        if b.level() != BrownoutLevel::GuardedFull {
+            self.metrics
+                .observe_ns("serve.brownout_queue_wait_ns", wait_ns);
+        }
+        match b.note(queue_depth, wait_ns) {
+            Some(Transition::Descend(level)) => {
+                self.metrics.add("serve.brownout_descend_total", 1);
+                self.metrics
+                    .gauge_set("serve.brownout_tier", level.index() as i64);
+                trace::counter("serve.brownout_descends", 1);
+            }
+            Some(Transition::Recover(level)) => {
+                self.metrics.add("serve.brownout_recover_total", 1);
+                self.metrics
+                    .gauge_set("serve.brownout_tier", level.index() as i64);
+            }
+            None => {}
         }
     }
 
@@ -292,7 +402,10 @@ impl Server {
         if let Some(disk) = &self.disk {
             let tx = disk.tx.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(tx) = tx.as_ref() {
-                let _ = tx.send((key, artifact));
+                if tx.send((key, artifact)).is_ok() {
+                    let now = disk.pending.fetch_add(1, Ordering::SeqCst) + 1;
+                    disk.peak.fetch_max(now, Ordering::SeqCst);
+                }
             }
         }
     }
@@ -356,6 +469,23 @@ impl Server {
                 response: self.envelope(id, &op, "none", self.metrics.to_json()),
                 shutdown: false,
             },
+            // Liveness probes: cheap, never queued behind compile work
+            // once admitted, and they carry the overload-control state a
+            // retrying client steers by.
+            "health" | "ping" => Handled {
+                response: self.envelope(
+                    id,
+                    &op,
+                    "none",
+                    Json::obj(vec![
+                        ("status", "ok".into()),
+                        ("brownout_tier", self.brownout_level().name().into()),
+                        ("breaker_open", (self.breaker.open_count() as u64).into()),
+                        ("in_flight", self.metrics.gauge("serve.in_flight").into()),
+                    ]),
+                ),
+                shutdown: false,
+            },
             "shutdown" => Handled {
                 response: self.envelope(id, &op, "none", Json::Null),
                 shutdown: true,
@@ -367,12 +497,19 @@ impl Server {
     /// Resolves a request to its compile artifact: cache hit or fresh
     /// compile (folding per-request budget overrides into the key).
     /// Shared by the synchronous path and the scheduled `run` path.
+    ///
+    /// The brownout level shapes the answer: degraded levels start the
+    /// compile ladder lower (under a *distinct* cache key — the start
+    /// tier is part of [`config_fingerprint`], so degraded artifacts
+    /// never alias full-tier ones), and `cache-only` serves hits but
+    /// sheds misses. A quarantined source fingerprint is refused before
+    /// any compile work is spent on it.
     fn artifact_for(
         &self,
         request: &Json,
         id: &Json,
-    ) -> Result<(std::sync::Arc<Artifact>, &'static str), String> {
-        let source = request_source(request)?;
+    ) -> Result<(std::sync::Arc<Artifact>, &'static str), ServeRefusal> {
+        let source = request_source(request).map_err(ServeRefusal::Error)?;
         // Per-request budget overrides fold into the cache key: an
         // artifact compiled under a tighter budget may be degraded, so it
         // must not alias an unbudgeted compile of the same bytes.
@@ -388,33 +525,106 @@ impl Server {
             .and_then(Json::as_i64)
             .map(|n| n.max(0) as u64)
             .or(self.config.deadline_ms);
-        let key = CacheKey::whole_program(
-            &source,
-            config_fingerprint(&self.ladder, max_rounds, deadline_ms),
-        );
-        match self.cache.get(&key) {
-            Some(hit) => Ok((hit, "hit")),
-            None => {
-                // Between the memory miss and a cold compile sits the
-                // persistent tier: a verified disk artifact is promoted
-                // into memory and served as `disk`.
-                if let Some(disk) = &self.disk {
-                    if let Some(artifact) = disk.store.load(&key) {
-                        return Ok((self.cache.insert(key, artifact), "disk"));
-                    }
-                }
-                let built = self.compile_fresh(&source, id, max_rounds, deadline_ms)?;
-                let shared = self.cache.insert(key, built);
-                self.persist_behind(key, Arc::clone(&shared));
-                Ok((shared, "miss"))
+        let level = self.brownout_level();
+        // Any start tier at or above the brownout level is acceptable —
+        // a cached guarded-full artifact is never worse than what a
+        // degraded tier would compile — so probe keys best-first. At
+        // guarded-full this is exactly one probe (the historical
+        // behavior).
+        let keys: Vec<CacheKey> = (0..=level.index().min(2))
+            .filter_map(|i| BrownoutLevel::from_index(i).start_tier())
+            .map(|start| {
+                let mut ladder = self.ladder;
+                ladder.start = start;
+                CacheKey::whole_program(
+                    &source,
+                    config_fingerprint(&ladder, max_rounds, deadline_ms),
+                )
+            })
+            .collect();
+        for key in &keys {
+            if let Some(hit) = self.cache.get(key) {
+                return Ok((hit, "hit"));
             }
         }
+        // Between the memory miss and a cold compile sits the
+        // persistent tier: a verified disk artifact is promoted
+        // into memory and served as `disk`.
+        if let Some(disk) = &self.disk {
+            for key in &keys {
+                if let Some(artifact) = disk.store.load(key) {
+                    return Ok((self.cache.insert(*key, artifact), "disk"));
+                }
+            }
+        }
+        let Some(start) = level.start_tier() else {
+            // cache-only brownout: the service survives on what it has.
+            self.metrics.add("serve.shed_total", 1);
+            self.metrics.add("serve.brownout_shed_total", 1);
+            return Err(ServeRefusal::Typed {
+                kind: "shedding",
+                message: "brownout cache-only: compile shed, retry later".to_string(),
+            });
+        };
+        let fp = source_fingerprint(&source);
+        let admission = self.breaker.admit(fp);
+        if let Admission::Refuse { retry_after_ms } = admission {
+            self.metrics.add("serve.quarantined_total", 1);
+            return Err(ServeRefusal::Typed {
+                kind: "quarantined",
+                message: format!(
+                    "source quarantined after repeated watchdog kills; probe in {retry_after_ms}ms"
+                ),
+            });
+        }
+        // Chaos seam: a compile-phase fixpoint that ignores its budget.
+        // The sleep sits inside the worker's `compile` heartbeat stage,
+        // so the watchdog sees exactly what a real wedge looks like; the
+        // error afterwards models the artifact never materializing.
+        if self.config.allow_chaos_faults {
+            if let Some(ms) = request
+                .get("chaos")
+                .and_then(|c| c.get("wedge_compile_ms"))
+                .and_then(Json::as_i64)
+            {
+                std::thread::sleep(Duration::from_millis(ms.max(0) as u64));
+                return Err(ServeRefusal::Error(
+                    "chaos: compile wedged past its budget".to_string(),
+                ));
+            }
+        }
+        let mut ladder = self.ladder;
+        ladder.start = start;
+        let built = self
+            .compile_fresh(&source, id, max_rounds, deadline_ms, &ladder)
+            .map_err(ServeRefusal::Error);
+        // Any compile that *returned* (success or clean failure) did not
+        // wedge: a half-open probe closes its circuit. A probe the
+        // watchdog killed mid-compile was already re-opened by its
+        // strike, which `success` leaves untouched.
+        if admission == Admission::Probe {
+            self.breaker.success(fp);
+        }
+        let built = built?;
+        let key = CacheKey::whole_program(
+            &source,
+            config_fingerprint(&ladder, max_rounds, deadline_ms),
+        );
+        let shared = self.cache.insert(key, built);
+        self.persist_behind(key, Arc::clone(&shared));
+        if level != BrownoutLevel::GuardedFull {
+            self.metrics.add("serve.brownout_degraded_compiles", 1);
+        }
+        Ok((shared, "miss"))
     }
 
     fn serve_compile(&self, request: &Json, id: Json, op: &str) -> Handled {
         let (artifact, cache_state) = match self.artifact_for(request, &id) {
             Ok(pair) => pair,
-            Err(e) => return self.error(id, &e),
+            Err(ServeRefusal::Error(e)) => return self.error(id, &e),
+            Err(ServeRefusal::Typed { kind, message }) => {
+                return self.error_typed(id, kind, &message)
+            }
         };
 
         let payload = if op == "run" {
@@ -449,6 +659,7 @@ impl Server {
         id: &Json,
         max_rounds: Option<u64>,
         deadline_ms: Option<u64>,
+        ladder: &LadderConfig,
     ) -> Result<Artifact, String> {
         let (parsed, parse) = {
             let _s = trace::span_with("serve.parse", vec![kv("request_id", id_label(id))]);
@@ -470,7 +681,7 @@ impl Server {
         let analyze_before = analyze_total_us();
         let (outcome, optimize) = {
             let _s = trace::span_with("serve.optimize", vec![kv("request_id", id_label(id))]);
-            time_once(|| optimize_with_ladder(&program, &self.ladder, &budget))
+            time_once(|| optimize_with_ladder(&program, ladder, &budget))
         };
         self.metrics
             .observe_ns("serve.optimize_ns", optimize.median);
@@ -493,6 +704,10 @@ impl Server {
             ("ok", true.into()),
             ("op", op.into()),
             ("cache", cache.into()),
+            // Provenance: the service's brownout level when this
+            // response was built — clients see degraded service without
+            // digging through the payload.
+            ("brownout_tier", self.brownout_level().name().into()),
             ("wall_us", 0u64.into()), // patched by handle_line
             ("payload", payload),
         ])
@@ -510,18 +725,37 @@ impl Server {
         }
     }
 
+    /// The `retry_after_ms` hint stamped on backpressure responses: the
+    /// retry contract (DESIGN §17). Deeper brownout doubles the hint per
+    /// rung so retries thin out exactly when the service needs air.
+    fn retry_hint_ms(&self, kind: &str) -> Option<u64> {
+        let base: u64 = match kind {
+            "overloaded" | "tenant-over-concurrency" => 25,
+            "shedding" => 50,
+            "quarantined" => 250,
+            _ => return None,
+        };
+        Some(base << self.brownout_level().index().min(3))
+    }
+
     /// An `ok:false` response carrying a machine-readable `error_kind`
     /// (`overloaded`, `shedding`, `request-too-large`, `quota-exceeded`,
-    /// `tenant-over-concurrency`, `panic`) alongside the human message.
+    /// `tenant-over-concurrency`, `panic`, `watchdog-killed`,
+    /// `quarantined`) alongside the human message. Backpressure kinds
+    /// additionally carry a typed `retry_after_ms` hint.
     fn error_typed(&self, id: Json, kind: &str, message: &str) -> Handled {
+        let mut fields = vec![
+            ("schema", Json::from("oi.serve.v1")),
+            ("id", id),
+            ("ok", false.into()),
+            ("error_kind", kind.into()),
+            ("error", message.into()),
+        ];
+        if let Some(ms) = self.retry_hint_ms(kind) {
+            fields.push(("retry_after_ms", ms.into()));
+        }
         Handled {
-            response: Json::obj(vec![
-                ("schema", "oi.serve.v1".into()),
-                ("id", id),
-                ("ok", false.into()),
-                ("error_kind", kind.into()),
-                ("error", message.into()),
-            ]),
+            response: Json::obj(fields),
             shutdown: false,
         }
     }
@@ -553,7 +787,17 @@ impl Server {
             self.metrics.gauge_set("disk.bytes", d.bytes as i64);
             self.metrics.gauge_set("disk.entries", d.entries as i64);
             self.metrics.gauge_set("disk.max_bytes", d.max_bytes as i64);
+            self.metrics.gauge_set(
+                "serve.persist_backlog",
+                disk.pending.load(Ordering::SeqCst) as i64,
+            );
+            self.metrics.set_counter(
+                "serve.persist_backlog_peak",
+                disk.peak.load(Ordering::SeqCst),
+            );
         }
+        self.metrics
+            .gauge_set("serve.breaker_open", self.breaker.open_count() as i64);
     }
 
     /// Records the end-to-end service latency of one already-handled
@@ -589,6 +833,23 @@ fn analyze_total_us() -> u128 {
             .find(|(name, _)| name == "pipeline.analyze")
             .map_or(0, |(_, st)| u128::from(st.total_us))
     })
+}
+
+/// Why [`Server::artifact_for`] refused to produce an artifact.
+enum ServeRefusal {
+    /// A plain failure (`ok:false` with `error` only).
+    Error(String),
+    /// A typed refusal (`ok:false` with `error_kind` and, for
+    /// backpressure kinds, `retry_after_ms`).
+    Typed { kind: &'static str, message: String },
+}
+
+/// The circuit-breaker key of a source text: both fingerprint lanes
+/// folded to one word (the breaker needs identity, not collision-proof
+/// addressing — the cache keeps the full fingerprint).
+fn source_fingerprint(source: &str) -> u64 {
+    let f = oi_support::hash::fingerprint(source.as_bytes());
+    f.0 ^ f.1
 }
 
 /// Extracts the request's source text: inline `source` wins, else `path`
@@ -713,6 +974,50 @@ struct PendingRun {
     received: Instant,
 }
 
+/// What a worker is doing right now, stamped for the watchdog. Only the
+/// compile phase is killable: VM execution is already fuel-sliced and
+/// deadline-boxed by the scheduler, but a wedged compile holds a worker
+/// hostage with no quota watching it.
+struct ActiveStage {
+    stage: &'static str,
+    seq: u64,
+    id: Json,
+    /// Source fingerprint for the circuit breaker (0 = unknown source).
+    fp: u64,
+    started: Instant,
+    /// Single-answer gate for this request: whoever swaps it to `true`
+    /// first (worker or watchdog) owns the response.
+    answered: Arc<AtomicBool>,
+}
+
+/// Supervision record for one pump worker.
+#[derive(Default)]
+struct WorkerSlot {
+    /// The stage the worker is in, `None` while idle or in non-killable
+    /// work. Guarded by a mutex so kill and stage-clear are atomic.
+    active: Mutex<Option<ActiveStage>>,
+    /// Set by the watchdog when it answers this worker's request on its
+    /// behalf: the worker must exit after its current request (its
+    /// replacement is already running), and must not answer again.
+    killed: AtomicBool,
+}
+
+impl WorkerSlot {
+    fn lock_active(&self) -> std::sync::MutexGuard<'_, Option<ActiveStage>> {
+        self.active.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The outcome of starting a `run` request.
+enum RunStart {
+    /// Submitted to the scheduler; the completion forwarder answers.
+    Submitted,
+    /// An immediate response (refusal or compile failure) to send now.
+    Respond(Handled),
+    /// The watchdog already answered this request; nothing left to send.
+    Suppressed,
+}
+
 /// The concurrent request pump: bounded admission, fuel-sliced fair
 /// execution of `run` requests via [`Scheduler`], ordered responses, and
 /// graceful drain. See DESIGN §15 for the protocol.
@@ -721,6 +1026,9 @@ struct ServeLoop<'a> {
     sched: Scheduler,
     pending: Mutex<HashMap<u64, PendingRun>>,
     pump: Arc<Pump>,
+    /// One supervision slot per live worker (the watchdog's scan list;
+    /// grows when replacements are spawned, dead slots stay marked).
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
 }
 
 impl<'a> ServeLoop<'a> {
@@ -737,8 +1045,16 @@ impl<'a> ServeLoop<'a> {
     /// idle. Exits when no request can ever arrive again and all work is
     /// done; the first worker out seals the scheduler so the completion
     /// forwarder observes end-of-stream.
-    fn worker(&self, tx: &Sender<Emit>) {
+    fn worker(&self, tx: &Sender<Emit>, slot: &WorkerSlot) {
         loop {
+            // A watchdog-killed worker retires as soon as it regains
+            // control: its replacement already owns its share of the
+            // pool, and retiring here keeps the worker count stable.
+            if slot.killed.load(Ordering::SeqCst) {
+                // No seal: the replacement (or another live worker)
+                // observes the real end of work and seals then.
+                return;
+            }
             let popped = {
                 let mut q = self.pump.lockq();
                 match q.q.pop_front() {
@@ -750,7 +1066,7 @@ impl<'a> ServeLoop<'a> {
                 }
             };
             if let Some(req) = popped {
-                self.process_request(req, tx);
+                self.process_request(req, tx, slot);
                 self.pump.lockq().busy -= 1;
                 self.pump.cv.notify_all();
                 continue;
@@ -775,9 +1091,14 @@ impl<'a> ServeLoop<'a> {
         let _ = tx.send(Emit::Response { seq, response });
     }
 
-    fn process_request(&self, req: QueuedReq, tx: &Sender<Emit>) {
+    fn process_request(&self, req: QueuedReq, tx: &Sender<Emit>, slot: &WorkerSlot) {
         let m = self.server.metrics();
-        m.observe_ns("serve.queue_wait_ns", req.at.elapsed().as_nanos());
+        let wait_ns = req.at.elapsed().as_nanos();
+        m.observe_ns("serve.queue_wait_ns", wait_ns);
+        // One brownout observation per dequeue: the depth left behind and
+        // the wait this request just paid.
+        self.server
+            .brownout_note(self.pump.lockq().q.len(), wait_ns);
         let parsed = Json::parse(&req.line);
         let id = parsed
             .as_ref()
@@ -792,12 +1113,34 @@ impl<'a> ServeLoop<'a> {
             self.send(tx, req.seq, resp.response);
             return;
         }
-        let is_run = parsed
+        let op = parsed
             .as_ref()
             .ok()
             .and_then(|r| r.get("op"))
             .and_then(Json::as_str)
-            == Some("run");
+            .unwrap_or("compile");
+        let is_run = op == "run";
+        // Stamp the compile stage for ops that can wedge in the compiler
+        // so the watchdog can answer on our behalf and replace us. The
+        // `answered` flag gates every response for this seq: whoever
+        // swaps it first owns the answer.
+        let answered = Arc::new(AtomicBool::new(false));
+        if matches!(op, "run" | "compile") && self.server.config.watchdog_ms.is_some() {
+            let fp = parsed
+                .as_ref()
+                .ok()
+                .and_then(|r| request_source(r).ok())
+                .map(|s| source_fingerprint(&s))
+                .unwrap_or(0);
+            *slot.lock_active() = Some(ActiveStage {
+                stage: "compile",
+                seq: req.seq,
+                id: id.clone(),
+                fp,
+                started: Instant::now(),
+                answered: Arc::clone(&answered),
+            });
+        }
         if !is_run {
             // Synchronous ops (compile, stats, shutdown, malformed input)
             // reuse the single-threaded path wholesale.
@@ -813,33 +1156,57 @@ impl<'a> ServeLoop<'a> {
                 self.server.observe_total(&cache_state, wall.median);
                 handled
             });
+            *slot.lock_active() = None;
             match outcome {
                 Ok(handled) => {
                     if handled.shutdown {
                         self.start_drain();
                     }
-                    self.send(tx, req.seq, handled.response);
+                    if !answered.swap(true, Ordering::SeqCst) {
+                        self.send(tx, req.seq, handled.response);
+                    }
                 }
                 Err(msg) => {
                     m.add("serve.errors", 1);
+                    if !answered.swap(true, Ordering::SeqCst) {
+                        let resp = self.server.error_typed(
+                            id,
+                            "panic",
+                            &format!("contained panic: {msg}"),
+                        );
+                        self.send(tx, req.seq, resp.response);
+                    }
+                }
+            }
+            return;
+        }
+        let Ok(request) = parsed else {
+            // `is_run` can only be true when the line parsed, but a panic
+            // here would take a worker down with it — answer instead.
+            *slot.lock_active() = None;
+            m.add("serve.errors", 1);
+            if !answered.swap(true, Ordering::SeqCst) {
+                let resp = self
+                    .server
+                    .error_typed(id, "bad-request", "malformed run request");
+                self.send(tx, req.seq, resp.response);
+            }
+            return;
+        };
+        match contained(|| self.begin_run(&request, &id, req.seq, slot, &answered)) {
+            // Submitted: the completion forwarder responds. Suppressed:
+            // the watchdog already did.
+            Ok(RunStart::Submitted) | Ok(RunStart::Suppressed) => {}
+            Ok(RunStart::Respond(handled)) => self.send(tx, req.seq, handled.response),
+            Err(msg) => {
+                *slot.lock_active() = None;
+                m.add("serve.errors", 1);
+                if !answered.swap(true, Ordering::SeqCst) {
                     let resp =
                         self.server
                             .error_typed(id, "panic", &format!("contained panic: {msg}"));
                     self.send(tx, req.seq, resp.response);
                 }
-            }
-            return;
-        }
-        let request = parsed.expect("is_run implies parsed");
-        match contained(|| self.begin_run(&request, &id, req.seq)) {
-            Ok(None) => {} // submitted; the completion forwarder responds
-            Ok(Some(handled)) => self.send(tx, req.seq, handled.response),
-            Err(msg) => {
-                m.add("serve.errors", 1);
-                let resp = self
-                    .server
-                    .error_typed(id, "panic", &format!("contained panic: {msg}"));
-                self.send(tx, req.seq, resp.response);
             }
         }
     }
@@ -866,15 +1233,32 @@ impl<'a> ServeLoop<'a> {
 
     /// Compiles (or cache-hits) a `run` request and submits its execution
     /// to the scheduler. Returns an immediate error response for compile
-    /// failures and typed admission rejections, `None` once submitted.
-    fn begin_run(&self, request: &Json, id: &Json, seq: u64) -> Option<Handled> {
+    /// failures and typed admission rejections, [`RunStart::Submitted`]
+    /// once the scheduler owns the job, and [`RunStart::Suppressed`] when
+    /// the watchdog answered the request while its compile was wedged.
+    fn begin_run(
+        &self,
+        request: &Json,
+        id: &Json,
+        seq: u64,
+        slot: &WorkerSlot,
+        answered: &Arc<AtomicBool>,
+    ) -> RunStart {
         let m = self.server.metrics();
         m.add("serve.requests", 1);
         m.gauge_add("serve.in_flight", 1);
+        // Refusals race the watchdog: the loser's response is dropped,
+        // but the accounting (one error, one in-flight exit) is ours
+        // either way — the watchdog only counts its kill.
         let refuse = |handled: Handled| {
+            *slot.lock_active() = None;
             m.add("serve.errors", 1);
             m.gauge_add("serve.in_flight", -1);
-            Some(handled)
+            if answered.swap(true, Ordering::SeqCst) {
+                RunStart::Suppressed
+            } else {
+                RunStart::Respond(handled)
+            }
         };
         let tenant = request
             .get("tenant")
@@ -884,9 +1268,23 @@ impl<'a> ServeLoop<'a> {
         let received = Instant::now();
         let (artifact, cache_state) = match self.server.artifact_for(request, id) {
             Ok(pair) => pair,
-            Err(e) => return refuse(self.server.error(id.clone(), &e)),
+            Err(ServeRefusal::Error(e)) => return refuse(self.server.error(id.clone(), &e)),
+            Err(ServeRefusal::Typed { kind, message }) => {
+                return refuse(self.server.error_typed(id.clone(), kind, &message))
+            }
         };
         self.server.mirror_cache_stats();
+        // Compile done: leave the watchdog's killable window (stage-clear
+        // and kill are atomic under the slot lock), then claim the
+        // answer. Losing the claim means the watchdog answered while the
+        // compile was wedged — the artifact stays cached for future
+        // requests, but this run must not execute.
+        *slot.lock_active() = None;
+        if answered.swap(true, Ordering::SeqCst) {
+            m.add("serve.errors", 1);
+            m.gauge_add("serve.in_flight", -1);
+            return RunStart::Suppressed;
+        }
         let fault = if self.server.config.allow_chaos_faults {
             request
                 .get("chaos")
@@ -919,7 +1317,7 @@ impl<'a> ServeLoop<'a> {
                         received,
                     },
                 );
-                None
+                RunStart::Submitted
             }
             Err(e) => {
                 drop(pending);
@@ -933,8 +1331,115 @@ impl<'a> ServeLoop<'a> {
                     ),
                     crate::sched::SubmitError::Draining => "server is draining".to_string(),
                 };
-                refuse(self.server.error_typed(id.clone(), e.name(), &msg))
+                // The answer is already claimed above — respond directly
+                // (not through `refuse`, which would treat the earlier
+                // claim as a watchdog kill and drop this response).
+                m.add("serve.errors", 1);
+                m.gauge_add("serve.in_flight", -1);
+                RunStart::Respond(self.server.error_typed(id.clone(), e.name(), &msg))
             }
+        }
+    }
+
+    fn lock_slots(&self) -> std::sync::MutexGuard<'_, Vec<Arc<WorkerSlot>>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Supervisor body: scans worker slots for compiles wedged past the
+    /// watchdog budget; answers the victim `watchdog-killed`, strikes
+    /// its source fingerprint on the circuit breaker, and spawns a
+    /// replacement worker so no pool slot is permanently lost. Only a
+    /// *bounded* wedge frees the underlying thread (the chaos faults are
+    /// bounded by construction); a truly unbounded wedge keeps its
+    /// thread until process exit — but its requests get answered and its
+    /// pool share is replaced either way.
+    fn watchdog_loop<'scope>(
+        &'scope self,
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        tx: &Sender<Emit>,
+    ) {
+        let Some(ms) = self.server.config.watchdog_ms else {
+            return;
+        };
+        let budget = Duration::from_millis(ms.max(1));
+        let tick = budget
+            .min(Duration::from_millis(5))
+            .max(Duration::from_millis(1));
+        loop {
+            {
+                let q = self.pump.lockq();
+                let no_more_input = self.pump.reader_done.load(Ordering::SeqCst)
+                    || self.pump.draining.load(Ordering::SeqCst);
+                if q.q.is_empty() && q.busy == 0 && no_more_input && self.sched.live() == 0 {
+                    return;
+                }
+            }
+            self.kill_wedged(scope, tx, budget);
+            std::thread::sleep(tick);
+        }
+    }
+
+    /// One watchdog scan: kill every worker wedged in a compile past
+    /// `budget` and replace it.
+    fn kill_wedged<'scope>(
+        &'scope self,
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        tx: &Sender<Emit>,
+        budget: Duration,
+    ) {
+        let slots: Vec<Arc<WorkerSlot>> = self.lock_slots().clone();
+        for slot in slots {
+            if slot.killed.load(Ordering::SeqCst) {
+                continue;
+            }
+            let victim = {
+                let mut active = slot.lock_active();
+                // Taking the stage under the slot lock closes the
+                // worker's killable window atomically with the kill
+                // decision: the worker clears the stage under the same
+                // lock before claiming its answer.
+                match active.as_ref() {
+                    Some(st) if st.stage == "compile" && st.started.elapsed() >= budget => {
+                        active.take()
+                    }
+                    _ => None,
+                }
+            };
+            let Some(st) = victim else { continue };
+            if st.answered.swap(true, Ordering::SeqCst) {
+                continue; // the worker answered at the last instant
+            }
+            slot.killed.store(true, Ordering::SeqCst);
+            let m = self.server.metrics();
+            m.add("serve.watchdog_kills_total", 1);
+            let resp = self.server.error_typed(
+                st.id,
+                "watchdog-killed",
+                &format!(
+                    "compile wedged past its {} ms watchdog budget; worker replaced",
+                    budget.as_millis()
+                ),
+            );
+            let _ = tx.send(Emit::Response {
+                seq: st.seq,
+                response: resp.response,
+            });
+            if st.fp != 0 {
+                if self.server.breaker.strike(st.fp) {
+                    m.add("serve.breaker_opened_total", 1);
+                }
+                m.gauge_set(
+                    "serve.breaker_open",
+                    self.server.breaker.open_count() as i64,
+                );
+            }
+            // The wedged thread still holds its busy token; a fresh
+            // worker takes over its share of the pool.
+            m.add("serve.worker_replacements_total", 1);
+            let fresh = Arc::new(WorkerSlot::default());
+            self.lock_slots().push(Arc::clone(&fresh));
+            let wtx = tx.clone();
+            scope.spawn(move || self.worker(&wtx, &fresh));
         }
     }
 
@@ -1247,6 +1752,7 @@ where
         ),
         pending: Mutex::new(HashMap::new()),
         pump: Arc::clone(&pump),
+        slots: Mutex::new(Vec::new()),
     };
     let reader_tx = emit_tx.clone();
     let reader_pump = Arc::clone(&pump);
@@ -1257,7 +1763,13 @@ where
         std::thread::scope(|inner| {
             for _ in 0..cfg.jobs.max(1) {
                 let tx = emit_tx.clone();
-                inner.spawn(move || serve_loop.worker(&tx));
+                let slot = Arc::new(WorkerSlot::default());
+                serve_loop.lock_slots().push(Arc::clone(&slot));
+                inner.spawn(move || serve_loop.worker(&tx, &slot));
+            }
+            if cfg.watchdog_ms.is_some() {
+                let wtx = emit_tx.clone();
+                inner.spawn(move || serve_loop.watchdog_loop(inner, &wtx));
             }
             let ftx = emit_tx.clone();
             inner.spawn(move || serve_loop.forward_completions(comp_rx, &ftx));
@@ -1276,7 +1788,8 @@ const USAGE: &str = "usage: oic serve [--cache-bytes N] [--cache-dir DIR] [--dis
      [--max-rounds N] [--deadline-ms N] \
      [--metrics-out FILE] [--jobs N] [--queue N] [--fuel-slice N] [--max-line-bytes N] \
      [--max-instructions N] [--max-heap-words N] [--max-depth N] [--tenant-concurrent N] \
-     [--run-deadline-ms N] [--trace[=MODE]]\n\
+     [--run-deadline-ms N] [--brownout-target-ms N] [--brownout-dwell-ms N] \
+     [--watchdog-ms N] [--watchdog-strikes N] [--quarantine-cooldown-ms N] [--trace[=MODE]]\n\
      \n\
      Long-lived compile server: one JSON request per stdin line, one JSON\n\
      response per stdout line (`oi.serve.v1`). Ops: compile (default), run,\n\
@@ -1291,7 +1804,16 @@ const USAGE: &str = "usage: oic serve [--cache-bytes N] [--cache-dir DIR] [--dis
      `run` execution is fuel-sliced (--fuel-slice) and fairly scheduled\n\
      across tenants (request field `tenant`), each boxed by per-request\n\
      quotas (--max-instructions / --max-heap-words / --max-depth /\n\
-     --tenant-concurrent / --run-deadline-ms).";
+     --tenant-concurrent / --run-deadline-ms).\n\
+     \n\
+     Overload control: --brownout-target-ms enables the adaptive brownout\n\
+     ladder (guarded-full -> reduced-precision -> inlining-off -> cache-only;\n\
+     hysteresis dwell --brownout-dwell-ms, default 250). --watchdog-ms arms\n\
+     the worker watchdog: compiles wedged past the budget are answered\n\
+     ok:false `watchdog-killed`, the worker is replaced, and the offending\n\
+     source fingerprint is quarantined after --watchdog-strikes kills\n\
+     (default 3) for --quarantine-cooldown-ms (default 1000), then probed\n\
+     half-open. Backpressure refusals carry a typed `retry_after_ms` hint.";
 
 fn usage_error(msg: &str) -> u8 {
     eprintln!("oic serve: {msg}\n\n{USAGE}");
@@ -1371,6 +1893,28 @@ pub fn cli_main(args: &[String]) -> u8 {
                     Ok(n) => config.run_deadline_ms = Some(n),
                     Err(e) => return usage_error(&e),
                 },
+                "brownout-target-ms" => match flag_u64(&mut scanner, "--brownout-target-ms") {
+                    Ok(n) => config.brownout_target_ms = Some(n),
+                    Err(e) => return usage_error(&e),
+                },
+                "brownout-dwell-ms" => match flag_u64(&mut scanner, "--brownout-dwell-ms") {
+                    Ok(n) => config.brownout_dwell_ms = n,
+                    Err(e) => return usage_error(&e),
+                },
+                "watchdog-ms" => match flag_u64(&mut scanner, "--watchdog-ms") {
+                    Ok(n) => config.watchdog_ms = Some(n),
+                    Err(e) => return usage_error(&e),
+                },
+                "watchdog-strikes" => match flag_u64(&mut scanner, "--watchdog-strikes") {
+                    Ok(n) => config.watchdog_strikes = n.min(u64::from(u32::MAX)) as u32,
+                    Err(e) => return usage_error(&e),
+                },
+                "quarantine-cooldown-ms" => {
+                    match flag_u64(&mut scanner, "--quarantine-cooldown-ms") {
+                        Ok(n) => config.quarantine_cooldown_ms = n,
+                        Err(e) => return usage_error(&e),
+                    }
+                }
                 "trace" => trace_flag = Some(TraceMode::Text),
                 _ => return usage_error(&format!("unknown flag `--{name}`")),
             },
@@ -1976,5 +2520,254 @@ mod tests {
         );
         assert_eq!(server.metrics().counter("serve.recovery_entries_kept"), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A compile request carrying the bounded wedge chaos fault.
+    fn wedge_request(id: u64, source: &str, wedge_ms: u64) -> String {
+        Json::obj(vec![
+            ("id", Json::from(id)),
+            ("op", "compile".into()),
+            ("source", source.into()),
+            (
+                "chaos",
+                Json::obj(vec![("wedge_compile_ms", wedge_ms.into())]),
+            ),
+        ])
+        .to_string()
+    }
+
+    #[test]
+    fn health_op_reports_overload_state() {
+        let server = Server::new(ServeConfig::default());
+        let handled = server.handle_line(&request(1, "health", None));
+        let r = &handled.response;
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            r.get("brownout_tier").and_then(Json::as_str),
+            Some("guarded-full")
+        );
+        let p = r.get("payload").expect("payload");
+        assert_eq!(p.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            p.get("brownout_tier").and_then(Json::as_str),
+            Some("guarded-full")
+        );
+        assert_eq!(p.get("breaker_open").and_then(Json::as_i64), Some(0));
+        assert_eq!(p.get("in_flight").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn cache_only_brownout_serves_hits_and_sheds_misses() {
+        let server = Server::new(ServeConfig {
+            brownout_target_ms: Some(1_000),
+            ..ServeConfig::default()
+        });
+        // Warm the cache at full service, then force the deepest rung.
+        let warm = server.handle_line(&request(1, "compile", Some(SOURCE)));
+        assert_eq!(warm.response.get("ok").and_then(Json::as_bool), Some(true));
+        server.force_brownout(BrownoutLevel::CacheOnly);
+        let hit = server.handle_line(&request(2, "compile", Some(SOURCE)));
+        assert_eq!(
+            hit.response.get("cache").and_then(Json::as_str),
+            Some("hit"),
+            "cache-only still serves hits: {}",
+            hit.response
+        );
+        assert_eq!(
+            hit.response.get("brownout_tier").and_then(Json::as_str),
+            Some("cache-only")
+        );
+        let cold = server.handle_line(&request(3, "compile", Some("fn main() { print 1; }")));
+        let r = &cold.response;
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(r.get("error_kind").and_then(Json::as_str), Some("shedding"));
+        // shedding base 50ms, doubled per rung: 50 << 3 at cache-only.
+        assert_eq!(r.get("retry_after_ms").and_then(Json::as_i64), Some(400));
+        assert_eq!(server.metrics().counter("serve.brownout_shed_total"), 1);
+        // Recovery restores compiles.
+        server.force_brownout(BrownoutLevel::GuardedFull);
+        let again = server.handle_line(&request(4, "compile", Some("fn main() { print 1; }")));
+        assert_eq!(again.response.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn degraded_brownout_compiles_under_a_distinct_cache_key() {
+        let server = Server::new(ServeConfig {
+            brownout_target_ms: Some(1_000),
+            ..ServeConfig::default()
+        });
+        server.force_brownout(BrownoutLevel::InliningOff);
+        let degraded = server.handle_line(&request(1, "compile", Some(SOURCE)));
+        assert_eq!(
+            degraded
+                .response
+                .get("payload")
+                .and_then(|p| p.get("tier"))
+                .and_then(Json::as_str),
+            Some("inlining-off"),
+            "brownout must start the ladder lower: {}",
+            degraded.response
+        );
+        assert_eq!(
+            server.metrics().counter("serve.brownout_degraded_compiles"),
+            1
+        );
+        // Back at full service the same source recompiles at full tier —
+        // the degraded artifact must not alias the full-tier key. The
+        // degraded artifact remains a valid hit *while degraded*.
+        server.force_brownout(BrownoutLevel::GuardedFull);
+        let full = server.handle_line(&request(2, "compile", Some(SOURCE)));
+        assert_eq!(
+            full.response
+                .get("payload")
+                .and_then(|p| p.get("tier"))
+                .and_then(Json::as_str),
+            Some("guarded-full")
+        );
+        assert_eq!(
+            full.response.get("cache").and_then(Json::as_str),
+            Some("miss"),
+            "degraded artifact must not serve full-tier requests"
+        );
+        // Degraded levels prefer the best available artifact: the
+        // guarded-full artifact now outranks the inlining-off one.
+        server.force_brownout(BrownoutLevel::InliningOff);
+        let best = server.handle_line(&request(3, "compile", Some(SOURCE)));
+        assert_eq!(
+            best.response.get("cache").and_then(Json::as_str),
+            Some("hit")
+        );
+        assert_eq!(
+            best.response
+                .get("payload")
+                .and_then(|p| p.get("tier"))
+                .and_then(Json::as_str),
+            Some("guarded-full")
+        );
+    }
+
+    #[test]
+    fn watchdog_kills_wedged_compile_and_replaces_the_worker() {
+        let server = Server::new(ServeConfig {
+            jobs: 2,
+            allow_chaos_faults: true,
+            watchdog_ms: Some(25),
+            watchdog_strikes: 10, // no quarantine in this test
+            ..ServeConfig::default()
+        });
+        let responses = pump_session(
+            &server,
+            &[
+                wedge_request(1, SOURCE, 300),
+                request(2, "compile", Some(SOURCE)),
+            ],
+        );
+        assert_eq!(responses.len(), 2);
+        let killed = &responses[0];
+        assert_eq!(killed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            killed.get("error_kind").and_then(Json::as_str),
+            Some("watchdog-killed"),
+            "wedged compile must be answered by the watchdog: {killed}"
+        );
+        // The neighbor rode the replacement (or the second worker) to a
+        // normal answer.
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+        let m = server.metrics();
+        assert_eq!(m.counter("serve.watchdog_kills_total"), 1);
+        assert_eq!(
+            m.counter("serve.worker_replacements_total"),
+            m.counter("serve.watchdog_kills_total"),
+            "every kill must replace its worker slot"
+        );
+        assert_eq!(m.gauge("serve.in_flight"), 0);
+    }
+
+    #[test]
+    fn repeated_wedges_quarantine_the_fingerprint_until_a_clean_probe() {
+        let server = Server::new(ServeConfig {
+            jobs: 1,
+            allow_chaos_faults: true,
+            watchdog_ms: Some(25),
+            watchdog_strikes: 2,
+            quarantine_cooldown_ms: 60_000,
+            ..ServeConfig::default()
+        });
+        let responses = pump_session(
+            &server,
+            &[
+                wedge_request(1, SOURCE, 300),
+                wedge_request(2, SOURCE, 300),
+                // Same source, no chaos: the fingerprint is quarantined,
+                // so this is refused *before* any compile work.
+                request(3, "compile", Some(SOURCE)),
+                // A different source is unaffected.
+                request(4, "compile", Some("fn main() { print 7; }")),
+            ],
+        );
+        assert_eq!(responses.len(), 4);
+        for killed in &responses[..2] {
+            assert_eq!(
+                killed.get("error_kind").and_then(Json::as_str),
+                Some("watchdog-killed"),
+                "unexpected: {killed}"
+            );
+        }
+        let quarantined = &responses[2];
+        assert_eq!(
+            quarantined.get("error_kind").and_then(Json::as_str),
+            Some("quarantined"),
+            "K strikes must stop recompiling the fingerprint: {quarantined}"
+        );
+        assert!(
+            quarantined
+                .get("retry_after_ms")
+                .and_then(Json::as_i64)
+                .unwrap_or(0)
+                >= 1,
+            "quarantine carries a typed retry hint: {quarantined}"
+        );
+        assert_eq!(responses[3].get("ok").and_then(Json::as_bool), Some(true));
+        let m = server.metrics();
+        assert_eq!(m.counter("serve.watchdog_kills_total"), 2);
+        assert_eq!(m.counter("serve.worker_replacements_total"), 2);
+        assert_eq!(m.counter("serve.breaker_opened_total"), 1);
+        assert_eq!(m.counter("serve.quarantined_total"), 1);
+        assert_eq!(m.gauge("serve.breaker_open"), 1);
+        assert_eq!(m.gauge("serve.in_flight"), 0);
+    }
+
+    #[test]
+    fn quarantine_cooldown_admits_a_clean_probe_that_closes_the_circuit() {
+        let server = Server::new(ServeConfig {
+            jobs: 1,
+            allow_chaos_faults: true,
+            watchdog_ms: Some(20),
+            watchdog_strikes: 1,
+            quarantine_cooldown_ms: 50,
+            ..ServeConfig::default()
+        });
+        let responses = pump_session(&server, &[wedge_request(1, SOURCE, 200)]);
+        assert_eq!(
+            responses[0].get("error_kind").and_then(Json::as_str),
+            Some("watchdog-killed")
+        );
+        assert_eq!(server.metrics().gauge("serve.breaker_open"), 1);
+        std::thread::sleep(Duration::from_millis(60));
+        // Cooldown elapsed: one probe is admitted; it compiles cleanly
+        // (no chaos field) and closes the circuit.
+        let probe = server.handle_line(&request(2, "compile", Some(SOURCE)));
+        assert_eq!(
+            probe.response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "clean probe must be admitted: {}",
+            probe.response
+        );
+        assert_eq!(server.metrics().gauge("serve.breaker_open"), 0);
+        let again = server.handle_line(&request(3, "compile", Some(SOURCE)));
+        assert_eq!(
+            again.response.get("cache").and_then(Json::as_str),
+            Some("hit")
+        );
     }
 }

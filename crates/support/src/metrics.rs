@@ -325,6 +325,78 @@ impl Registry {
     }
 }
 
+/// A fixed-capacity sliding window of nanosecond samples with exact
+/// order-statistics quantiles over the *recent* past only.
+///
+/// [`Histogram`] quantiles are cumulative over the whole run — right for
+/// end-of-run verdicts, wrong for a feedback controller, which must see
+/// latency *fall* once its own mitigation takes effect. `Window` keeps the
+/// last `capacity` samples in a ring and forgets the rest, so the brownout
+/// controller's p99 tracks current conditions and recovery is observable.
+#[derive(Clone, Debug)]
+pub struct Window {
+    ring: Vec<u128>,
+    capacity: usize,
+    next: usize,
+    filled: bool,
+}
+
+impl Window {
+    /// An empty window retaining the last `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Window {
+        Window {
+            ring: Vec::new(),
+            capacity: capacity.max(1),
+            next: 0,
+            filled: false,
+        }
+    }
+
+    /// Records one sample, evicting the oldest once at capacity.
+    pub fn record(&mut self, ns: u128) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(ns);
+        } else {
+            self.ring[self.next] = ns;
+            self.filled = true;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Samples currently held (saturates at the capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` until the first sample lands.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// `true` once the window has wrapped at least once.
+    pub fn is_saturated(&self) -> bool {
+        self.filled
+    }
+
+    /// The `pct` percentile (nearest-rank, [`crate::stats::percentile`])
+    /// of the samples currently in the window; zero when empty.
+    pub fn quantile_ns(&self, pct: f64) -> u128 {
+        if self.ring.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.ring.clone();
+        sorted.sort_unstable();
+        percentile(&sorted, pct)
+    }
+
+    /// Forgets every sample (capacity is kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.next = 0;
+        self.filled = false;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +533,36 @@ mod tests {
         });
         assert_eq!(r.counter("n"), 400);
         assert_eq!(r.quantile_ns("t", 50.0), 10);
+    }
+
+    #[test]
+    fn window_quantiles_track_only_recent_samples() {
+        let mut w = Window::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.quantile_ns(99.0), 0);
+        for ns in [1_000u128, 2_000, 3_000, 4_000] {
+            w.record(ns);
+        }
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_saturated());
+        assert_eq!(w.quantile_ns(50.0), 2_000);
+        assert_eq!(w.quantile_ns(100.0), 4_000);
+        // Four cheap samples evict the expensive past entirely: the p99
+        // falls, which is exactly what a cumulative histogram cannot do.
+        for _ in 0..4 {
+            w.record(10);
+        }
+        assert!(w.is_saturated());
+        assert_eq!(w.quantile_ns(99.0), 10);
+        w.clear();
+        assert!(w.is_empty());
+        assert!(!w.is_saturated());
+        // Capacity is floored at one and keeps only the latest sample.
+        let mut tiny = Window::new(0);
+        tiny.record(5);
+        tiny.record(7);
+        assert_eq!(tiny.len(), 1);
+        assert_eq!(tiny.quantile_ns(50.0), 7);
     }
 
     /// A contained job that dies while recording poisons the registry

@@ -33,7 +33,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: oic <run|compare|report|explain|dump|bench|prof|fuzz|batch|chaos|serve> [flags] <file.oi> [Class.field]\n\
+    "usage: oic <run|compare|report|explain|dump|bench|prof|fuzz|batch|chaos|serve|client> [flags] <file.oi> [Class.field]\n\
     \n\
     run      execute the program (baseline pipeline; --inline for the\n\
     \x20        object-inlining pipeline) and print metrics\n\
@@ -48,7 +48,8 @@ const USAGE: &str =
     explain  print the decision provenance chain for one Class.field\n\
     dump     print the IR (after --inline: the transformed program)\n\
     bench    benchmark observatory passthrough\n\
-    \x20        (oic bench snapshot|compare|loadgen|tenantload|restartload)\n\
+    \x20        (oic bench snapshot|compare|loadgen|tenantload|restartload|\n\
+    \x20         brownoutload)\n\
     prof     hierarchical profiler: compile-stage self/total times plus\n\
     \x20        baseline-vs-inlined VM profiles (--json | --collapse)\n\
     fuzz     adversarial differential fuzzing (oic fuzz --runs N --seed S)\n\
@@ -63,7 +64,12 @@ const USAGE: &str =
     \x20         --max-instructions N --tenant-concurrent N\n\
     \x20         --cache-dir DIR --disk-bytes N ...; --cache-dir adds a\n\
     \x20         crash-safe persistent artifact tier with warm-restart\n\
-    \x20         recovery)\n\
+    \x20         recovery; --brownout-target-ms / --watchdog-ms enable\n\
+    \x20         adaptive overload control and wedge self-healing)\n\
+    client   retrying JSON-lines client for a spawned serve child\n\
+    \x20        (oic client --retries N --budget-ms N --serve-args \"...\";\n\
+    \x20         request lines on stdin, honors typed retry_after_ms\n\
+    \x20         hints with jittered exponential backoff)\n\
     \n\
     --json          machine-readable output (run, compare, report, explain)\n\
     --max-rounds N / --deadline-ms N\n\
@@ -357,6 +363,10 @@ fn main() -> ExitCode {
     // `oic serve ...` forwards to the long-lived compile server.
     if args.first().map(String::as_str) == Some("serve") {
         return ExitCode::from(oi_bench::serve::cli_main(&args[1..]));
+    }
+    // `oic client ...` forwards to the retrying serve client.
+    if args.first().map(String::as_str) == Some("client") {
+        return ExitCode::from(oi_bench::client::cli_main(&args[1..]));
     }
     let cli = match parse_cli(&args) {
         Ok(c) => c,

@@ -363,8 +363,9 @@ fn bench_passthrough_shares_the_oi_bench_cli() {
 
     let out = oic().args(["bench", "wat"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr)
-        .contains("unknown command `wat` (snapshot|compare|loadgen|tenantload|restartload)"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains(
+        "unknown command `wat` (snapshot|compare|loadgen|tenantload|restartload|brownoutload)"
+    ));
 
     let out = oic().args(["bench", "--help"]).output().unwrap();
     assert_eq!(out.status.code(), Some(0));
@@ -911,6 +912,11 @@ fn serve_session_pins_envelope_and_metrics_schemas() {
         assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(r.get("op").and_then(Json::as_str), Some(op));
         assert_eq!(r.get("cache").and_then(Json::as_str), Some(cache));
+        assert_eq!(
+            r.get("brownout_tier").and_then(Json::as_str),
+            Some("guarded-full"),
+            "an unstressed server serves every response at full tier"
+        );
         assert!(r.get("wall_us").and_then(Json::as_i64).is_some());
         assert!(r.get("payload").is_some());
     }
@@ -949,6 +955,91 @@ fn serve_session_pins_envelope_and_metrics_schemas() {
     for key in ["count", "sum_ns", "p50_ns", "p90_ns", "p99_ns", "buckets"] {
         assert!(parse.get(key).is_some(), "histogram missing {key}");
     }
+}
+
+/// Overload-control golden test: pins the `health` op payload and the
+/// typed `retry_after_ms` hint on shed responses, over a real piped
+/// session that floods a one-slot admission queue with a single worker.
+#[test]
+fn serve_overload_pins_health_op_and_retry_hints() {
+    use oi_support::Json;
+    use std::process::Stdio;
+    const FLOOD: i64 = 16;
+    let mut child = oic()
+        .args([
+            "serve",
+            "--jobs",
+            "1",
+            "--queue",
+            "1",
+            "--brownout-target-ms",
+            "10000",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for i in 0..FLOOD {
+            writeln!(
+                stdin,
+                "{{\"id\": {i}, \"op\": \"compile\", \
+                 \"source\": \"fn main() {{ print {i} + 1; }}\"}}"
+            )
+            .unwrap();
+        }
+        // Let the queue drain before probing: the reader sheds *any*
+        // line while the queue is full, health probes included.
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        writeln!(stdin, "{{\"id\": 99, \"op\": \"health\"}}").unwrap();
+    }
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let responses: Vec<Json> = stdout
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad response line {l}: {e}")))
+        .collect();
+    assert_eq!(responses.len(), FLOOD as usize + 1, "{stdout}");
+    // The flood: every line is answered exactly once, as a compile or a
+    // typed shed carrying the retry contract. With a one-slot queue and
+    // sixteen requests written in one burst, at least one must shed.
+    let mut served = 0;
+    let mut shed = 0;
+    for r in &responses[..FLOOD as usize] {
+        assert_eq!(r.get("schema").and_then(Json::as_str), Some("oi.serve.v1"));
+        if r.get("ok").and_then(Json::as_bool) == Some(true) {
+            served += 1;
+            continue;
+        }
+        shed += 1;
+        let kind = r.get("error_kind").and_then(Json::as_str).unwrap_or("");
+        assert_eq!(kind, "overloaded", "queue-full sheds are typed: {r}");
+        // Reader-level sheds never reached dispatch, so they are id-less.
+        assert_eq!(r.get("id"), Some(&Json::Null), "{r}");
+        // The retry contract: at guarded-full, `overloaded` hints 25ms.
+        assert_eq!(r.get("retry_after_ms").and_then(Json::as_i64), Some(25));
+    }
+    assert_eq!(served + shed, FLOOD);
+    assert!(
+        shed >= 1,
+        "a one-slot queue must shed under a 16-line burst"
+    );
+    // The health probe: liveness without queueing semantics, pinned.
+    let health = responses.last().unwrap();
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(health.get("op").and_then(Json::as_str), Some("health"));
+    assert_eq!(health.get("id").and_then(Json::as_i64), Some(99));
+    let payload = health.get("payload").expect("health payload");
+    assert_eq!(payload.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        payload.get("brownout_tier").and_then(Json::as_str),
+        Some("guarded-full")
+    );
+    assert_eq!(payload.get("breaker_open").and_then(Json::as_i64), Some(0));
+    assert!(payload.get("in_flight").and_then(Json::as_i64).is_some());
 }
 
 /// `oic bench loadgen` golden test: pins the `oi.load.v1` document on a
